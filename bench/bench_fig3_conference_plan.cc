@@ -1,0 +1,117 @@
+// Experiment E1: the Fig. 2/3 example plan — exact proliferative Conference
+// (avg 20 tuples), Weather selective in context (AvgTemp > 26), then Flight
+// and Hotel search services joined by a merge-scan parallel join.
+//
+// The bench prints the fully instantiated plan (the Fig. 3 annotations),
+// its cost under every §5.1 metric, and the measured execution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::Section;
+using bench_util::Unwrap;
+
+struct Fixture {
+  Scenario scenario;
+  BoundQuery query;
+  QueryPlan plan;
+};
+
+Fixture MakeFixture(int flight_fetch = 2, int hotel_fetch = 2) {
+  Fixture fx;
+  fx.scenario = Unwrap(MakeConferenceScenario(), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(fx.scenario.query_text), "parse");
+  fx.query = Unwrap(BindQuery(parsed, *fx.scenario.registry), "bind");
+  TopologySpec spec;  // Conference -> Weather -> (Flight || Hotel) -> MS
+  spec.stages = {{0}, {1}, {2, 3}};
+  spec.parallel_strategy.invocation = JoinInvocation::kMergeScan;
+  spec.parallel_strategy.completion = JoinCompletion::kTriangular;
+  spec.atom_settings[2].fetch_factor = flight_fetch;
+  spec.atom_settings[3].fetch_factor = hotel_fetch;
+  fx.plan = Unwrap(BuildPlan(fx.query, spec), "build");
+  ApplyAutoStrategies(&fx.plan);
+  AnnotationParams params;
+  params.k = 10;
+  CheckOk(AnnotatePlan(&fx.plan, params).status(), "annotate");
+  return fx;
+}
+
+void Report() {
+  Fixture fx = MakeFixture();
+  Section("E1: Fig. 2/3 conference-trip plan, fully instantiated");
+  std::printf("%s\n", fx.plan.ToString().c_str());
+
+  Section("expected behaviours (shape checks)");
+  const PlanNode& conference = fx.plan.node(fx.plan.NodeOfAtom(0));
+  std::printf("  Conference proliferative: t_out=%.0f from 1 call (paper: 20)\n",
+              conference.t_out);
+  double weather_out = 0, selection_out = 0;
+  for (const PlanNode& n : fx.plan.nodes()) {
+    if (n.kind == PlanNodeKind::kServiceCall && n.iface->name() == "Weather1") {
+      weather_out = n.t_out;
+    }
+    if (n.kind == PlanNodeKind::kSelection && !n.selections.empty()) {
+      selection_out = n.t_out;
+    }
+  }
+  std::printf(
+      "  Weather selective in context: %.1f tuples -> %.1f after AvgTemp>26\n",
+      weather_out, selection_out);
+
+  Section("plan cost under every metric (§5.1)");
+  for (CostMetricKind kind :
+       {CostMetricKind::kExecutionTime, CostMetricKind::kSumCost,
+        CostMetricKind::kRequestResponse, CostMetricKind::kCallCount,
+        CostMetricKind::kBottleneck, CostMetricKind::kTimeToScreen}) {
+    double cost = Unwrap(PlanCost(fx.plan, kind), "cost");
+    std::printf("  %-18s %10.1f %s\n", CostMetricKindToString(kind), cost,
+                MetricIsTimeBased(kind) ? "ms" : "units");
+  }
+
+  Section("measured execution");
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = fx.scenario.inputs;
+  ExecutionEngine engine(options);
+  ExecutionResult result = Unwrap(engine.Execute(fx.plan), "execute");
+  std::printf("  answers: %zu   calls: %d   elapsed: %.0f ms (parallel) vs"
+              " %.0f ms (sequential)\n",
+              result.combinations.size(), result.total_calls,
+              result.elapsed_ms, result.total_latency_ms);
+}
+
+void BM_ConferencePlanBuildAnnotate(benchmark::State& state) {
+  Fixture fx = MakeFixture();
+  for (auto _ : state) {
+    Fixture rebuilt = MakeFixture();
+    benchmark::DoNotOptimize(rebuilt.plan.num_nodes());
+  }
+}
+BENCHMARK(BM_ConferencePlanBuildAnnotate);
+
+void BM_ConferencePlanExecute(benchmark::State& state) {
+  Fixture fx = MakeFixture();
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = fx.scenario.inputs;
+  for (auto _ : state) {
+    ExecutionEngine engine(options);
+    benchmark::DoNotOptimize(engine.Execute(fx.plan));
+  }
+}
+BENCHMARK(BM_ConferencePlanExecute);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  seco::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Experiment E3: nested-loop vs merge-scan invocation strategies (Fig. 5).
+//
+// The chapter's claim: nested-loop is the right strategy when one service
+// has a *step* scoring function (drain its h high chunks first); merge-scan
+// when both decay progressively. We sweep score-decay shapes and the step
+// parameter h and report the calls needed to produce k join results plus the
+// ranking quality of the emitted results.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::RankConcordance;
+using bench_util::Section;
+using bench_util::Unwrap;
+
+JoinPredicate KeyEquals() {
+  return [](const Tuple& x, const Tuple& y) -> Result<bool> {
+    return x.AtomicAt(0).AsInt() == y.AtomicAt(0).AsInt();
+  };
+}
+
+struct RunOutcome {
+  int calls = 0;
+  double parallel_ms = 0;
+  double concordance = 0;
+  size_t results = 0;
+};
+
+RunOutcome RunOnce(ScoreDecay decay_x, int step_h, JoinInvocation invocation,
+                   JoinCompletion completion, int k) {
+  SyntheticPairParams params;
+  params.rows_x = 300;
+  params.rows_y = 300;
+  params.chunk_x = 10;
+  params.chunk_y = 10;
+  params.key_domain = 60;  // sparse matches: strategies must explore
+  params.decay_x = decay_x;
+  params.step_h_x = step_h;
+  params.decay_y = ScoreDecay::kLinear;
+  SyntheticPair pair = Unwrap(MakeSyntheticPair(params), "pair");
+  ChunkSource x(pair.x.interface, {});
+  ChunkSource y(pair.y.interface, {});
+  ParallelJoinConfig config;
+  config.strategy.invocation = invocation;
+  config.strategy.completion = completion;
+  config.k = k;
+  config.max_calls = 200;
+  ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+  JoinExecution exec = Unwrap(executor.Run(), "run");
+  RunOutcome outcome;
+  outcome.calls = exec.calls_x + exec.calls_y;
+  outcome.parallel_ms = exec.latency_parallel_ms;
+  outcome.results = exec.results.size();
+  std::vector<double> scores;
+  for (const JoinResultTuple& r : exec.results) scores.push_back(r.combined);
+  outcome.concordance = RankConcordance(scores);
+  return outcome;
+}
+
+void Report() {
+  Section("E3: invocation strategies NL vs MS (Fig. 5), k=20");
+  std::printf("  %-22s %-14s | %7s %10s %8s %12s\n", "SX decay", "strategy",
+              "calls", "time(ms)", "results", "rank-quality");
+  struct DecayCase {
+    const char* label;
+    ScoreDecay decay;
+    int h;
+  };
+  const DecayCase decays[] = {
+      {"step h=1", ScoreDecay::kStep, 1}, {"step h=2", ScoreDecay::kStep, 2},
+      {"step h=4", ScoreDecay::kStep, 4}, {"linear", ScoreDecay::kLinear, 1},
+      {"quadratic", ScoreDecay::kQuadratic, 1}};
+  for (const DecayCase& dc : decays) {
+    for (JoinInvocation invocation :
+         {JoinInvocation::kNestedLoop, JoinInvocation::kMergeScan}) {
+      JoinCompletion completion = invocation == JoinInvocation::kNestedLoop
+                                      ? JoinCompletion::kRectangular
+                                      : JoinCompletion::kTriangular;
+      RunOutcome outcome = RunOnce(dc.decay, dc.h, invocation, completion, 20);
+      std::printf("  %-22s %-14s | %7d %10.0f %8zu %12.3f\n", dc.label,
+                  JoinInvocationToString(invocation), outcome.calls,
+                  outcome.parallel_ms, outcome.results, outcome.concordance);
+    }
+  }
+  std::printf(
+      "\n  shape expectation: NL pays off once the step covers several\n"
+      "  chunks (h>=2) and always emits better-ranked streams; on\n"
+      "  progressive decay NL wastes calls and MS wins, as SS4.3 assigns.\n");
+
+  Section("selectivity sweep under merge-scan (calls to k=20)");
+  std::printf("  %-12s %8s %8s\n", "key_domain", "calls", "results");
+  for (int domain : {2, 5, 10, 25, 50}) {
+    SyntheticPairParams params;
+    params.rows_x = 150;
+    params.rows_y = 150;
+    params.key_domain = domain;
+    SyntheticPair pair = Unwrap(MakeSyntheticPair(params), "pair");
+    ChunkSource x(pair.x.interface, {});
+    ChunkSource y(pair.y.interface, {});
+    ParallelJoinConfig config;
+    config.k = 20;
+    config.max_calls = 200;
+    ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+    JoinExecution exec = Unwrap(executor.Run(), "run");
+    std::printf("  1/%-10d %8d %8zu\n", domain, exec.calls_x + exec.calls_y,
+                exec.results.size());
+  }
+  std::printf("  shape expectation: rarer matches (larger domain) need more"
+              " calls for the same k.\n");
+
+  Section("key-skew sweep (Zipf) under merge-scan: hot keys vs the uniform"
+          " assumption");
+  std::printf("  %-10s %8s %8s\n", "skew", "calls", "results");
+  for (double skew : {0.0, 0.8, 1.2, 1.6}) {
+    SyntheticPairParams params;
+    params.rows_x = 150;
+    params.rows_y = 150;
+    params.key_domain = 40;
+    params.key_skew = skew;
+    SyntheticPair pair = Unwrap(MakeSyntheticPair(params), "pair");
+    ChunkSource x(pair.x.interface, {});
+    ChunkSource y(pair.y.interface, {});
+    ParallelJoinConfig config;
+    config.k = 20;
+    config.max_calls = 200;
+    ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+    JoinExecution exec = Unwrap(executor.Run(), "run");
+    std::printf("  %-10.1f %8d %8zu\n", skew, exec.calls_x + exec.calls_y,
+                exec.results.size());
+  }
+  std::printf("  shape expectation: skewed keys concentrate matches on a few\n"
+              "  hot values, so the same k arrives in fewer calls than the\n"
+              "  uniform-distribution cost model would predict (§3.2).\n");
+}
+
+void BM_NestedLoopStep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOnce(ScoreDecay::kStep, 2,
+                                     JoinInvocation::kNestedLoop,
+                                     JoinCompletion::kRectangular, 20));
+  }
+}
+BENCHMARK(BM_NestedLoopStep);
+
+void BM_MergeScanLinear(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOnce(ScoreDecay::kLinear, 1,
+                                     JoinInvocation::kMergeScan,
+                                     JoinCompletion::kTriangular, 20));
+  }
+}
+BENCHMARK(BM_MergeScanLinear);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  seco::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Experiment E5: merge-scan + rectangular completion with ratio 1 explores
+// squares of increasing size (Fig. 7, frames 1-4).
+//
+// We trace the explored region after each fetch round and verify that it
+// stays square (|chunks_x - chunks_y| <= 1) and that every available tile is
+// processed immediately (rectangular completion).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::Section;
+using bench_util::Unwrap;
+
+JoinPredicate NeverMatches() {
+  return [](const Tuple&, const Tuple&) -> Result<bool> { return false; };
+}
+
+JoinExecution RunSquares(int max_calls) {
+  SyntheticPairParams params;
+  params.rows_x = 200;
+  params.rows_y = 200;
+  params.chunk_x = 10;
+  params.chunk_y = 10;
+  SyntheticPair pair = Unwrap(MakeSyntheticPair(params), "pair");
+  ChunkSource x(pair.x.interface, {});
+  ChunkSource y(pair.y.interface, {});
+  ParallelJoinConfig config;
+  config.strategy.invocation = JoinInvocation::kMergeScan;
+  config.strategy.completion = JoinCompletion::kRectangular;
+  config.strategy.ratio_x = 1;
+  config.strategy.ratio_y = 1;
+  config.k = 1;  // never reached: NeverMatches
+  config.max_calls = max_calls;
+  ParallelJoinExecutor executor(&x, &y, NeverMatches(), config);
+  return Unwrap(executor.Run(), "run");
+}
+
+void Report() {
+  Section("E5: merge-scan/rectangular r=1 grows squares (Fig. 7)");
+  JoinExecution exec = RunSquares(8);
+  int cx = 0, cy = 0;
+  size_t processed = 0;
+  int frame = 0;
+  bool all_square = true, all_caught_up = true;
+  std::printf("  %-7s %8s %8s %10s %12s %8s\n", "frame", "chunks_x",
+              "chunks_y", "tiles", "region", "square?");
+  for (const JoinEvent& event : exec.events) {
+    if (event.kind == JoinEventKind::kFetchX) ++cx;
+    if (event.kind == JoinEventKind::kFetchY) ++cy;
+    if (event.kind == JoinEventKind::kProcessTile) ++processed;
+    // A "frame" closes when the processed tiles catch up with cx*cy.
+    if (processed == static_cast<size_t>(cx) * cy && cx > 0 && cy > 0) {
+      bool square = std::abs(cx - cy) <= 1;
+      all_square = all_square && square;
+      std::printf("  %-7d %8d %8d %10zu %7dx%-4d %8s\n", ++frame, cx, cy,
+                  processed, cx, cy, square ? "yes" : "NO");
+    }
+  }
+  // Rectangular completion: at the end everything available is processed.
+  all_caught_up =
+      processed == static_cast<size_t>(cx) * cy && exec.space.Frontier().empty();
+  std::printf("\n  every frame square (|cx-cy|<=1): %s\n",
+              all_square ? "HOLDS" : "violated");
+  std::printf("  rectangular completion leaves no available tile: %s\n",
+              all_caught_up ? "HOLDS" : "violated");
+  std::printf("  final explored region: %dx%d = %zu tiles from %d calls\n", cx,
+              cy, processed, exec.calls_x + exec.calls_y);
+}
+
+void BM_SquareGrowth(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSquares(8).tile_order.size());
+  }
+}
+BENCHMARK(BM_SquareGrowth);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  seco::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Experiment E7: the four alternative topologies of Fig. 9 for the running
+// example, costed under every metric and actually executed.
+//
+//   (a) Movie -> Theatre -> Restaurant        (all serial, M first)
+//   (b) Theatre -> Movie -> Restaurant        (all serial, T first)
+//   (c) Theatre -> Restaurant -> Movie        (R piped early, M last)
+//   (d) (Movie || Theatre) -> MS join -> Restaurant   (the chapter's pick)
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::Section;
+using bench_util::Unwrap;
+
+struct Fixture {
+  Scenario scenario;
+  BoundQuery query;
+};
+
+Fixture MakeFixture() {
+  Fixture fx;
+  fx.scenario = Unwrap(MakeMovieScenario(), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(fx.scenario.query_text), "parse");
+  fx.query = Unwrap(BindQuery(parsed, *fx.scenario.registry), "bind");
+  for (BoundSelection& sel : fx.query.selections) {
+    if (sel.op == Comparator::kGt) sel.selectivity = 1.0;
+  }
+  return fx;
+}
+
+QueryPlan MakeTopology(const Fixture& fx, char which) {
+  TopologySpec spec;
+  switch (which) {
+    case 'a':
+      spec.stages = {{0}, {1}, {2}};
+      break;
+    case 'b':
+      spec.stages = {{1}, {0}, {2}};
+      break;
+    case 'c':
+      spec.stages = {{1}, {2}, {0}};
+      break;
+    case 'd':
+    default:
+      spec.stages = {{0, 1}, {2}};
+      break;
+  }
+  spec.parallel_strategy.invocation = JoinInvocation::kMergeScan;
+  spec.parallel_strategy.completion = JoinCompletion::kTriangular;
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  spec.atom_settings[2].fetch_factor = 1;
+  spec.atom_settings[2].keep_per_input = 1;
+  QueryPlan plan = Unwrap(BuildPlan(fx.query, spec), "build");
+  AnnotationParams params;
+  params.k = 10;
+  CheckOk(AnnotatePlan(&plan, params).status(), "annotate");
+  return plan;
+}
+
+void Report() {
+  Fixture fx = MakeFixture();
+  Section("E7: four topologies of Fig. 9 under every cost metric");
+  const CostMetricKind metrics[] = {
+      CostMetricKind::kExecutionTime, CostMetricKind::kSumCost,
+      CostMetricKind::kRequestResponse, CostMetricKind::kCallCount,
+      CostMetricKind::kBottleneck, CostMetricKind::kTimeToScreen};
+  std::printf("  %-10s", "topology");
+  for (CostMetricKind m : metrics) {
+    std::printf(" %16s", CostMetricKindToString(m));
+  }
+  std::printf(" %10s\n", "est.ans");
+  struct Winner {
+    char topo = '?';
+    double cost = 1e30;
+  };
+  Winner winners[6];
+  for (char which : {'a', 'b', 'c', 'd'}) {
+    QueryPlan plan = MakeTopology(fx, which);
+    std::printf("  (%c)       ", which);
+    for (size_t m = 0; m < 6; ++m) {
+      double cost = Unwrap(PlanCost(plan, metrics[m]), "cost");
+      std::printf(" %16.1f", cost);
+      if (cost < winners[m].cost) {
+        winners[m] = {which, cost};
+      }
+    }
+    std::printf(" %10.1f\n", plan.node(plan.output_node()).t_in);
+  }
+  std::printf("\n  winners: ");
+  for (size_t m = 0; m < 6; ++m) {
+    std::printf("%s->(%c)  ", CostMetricKindToString(metrics[m]),
+                winners[m].topo);
+  }
+  std::printf("\n  shape expectation: (d) — the chapter's pick — wins the\n"
+              "  time-based metrics thanks to the Movie/Theatre overlap.\n");
+
+  Section("measured execution per topology (K=10)");
+  std::printf("  %-10s %8s %10s %12s %9s\n", "topology", "answers", "calls",
+              "elapsed(ms)", "produced");
+  for (char which : {'a', 'b', 'c', 'd'}) {
+    QueryPlan plan = MakeTopology(fx, which);
+    ExecutionOptions options;
+    options.k = 10;
+    options.input_bindings = fx.scenario.inputs;
+    options.max_calls = 100000;
+    ExecutionEngine engine(options);
+    ExecutionResult result = Unwrap(engine.Execute(plan), "execute");
+    std::printf("  (%c)        %8zu %10d %12.0f %9d\n", which,
+                result.combinations.size(), result.total_calls,
+                result.elapsed_ms, result.total_combinations_produced);
+  }
+}
+
+void BM_TopologyD(benchmark::State& state) {
+  Fixture fx = MakeFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeTopology(fx, 'd').num_nodes());
+  }
+}
+BENCHMARK(BM_TopologyD);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  seco::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

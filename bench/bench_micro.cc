@@ -1,0 +1,144 @@
+// Micro-benchmarks of SeCo's hot primitives: value comparison, LIKE
+// matching, repeating-group semantics, tile bookkeeping, plan annotation,
+// and parsing. These guard against regressions in the per-tuple code paths
+// that dominate join processing once chunks are in memory (§4.1 assumes the
+// in-memory join cost is negligible next to request-responses — this suite
+// keeps that assumption true).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "query/semantics.h"
+
+namespace seco {
+namespace {
+
+using bench_util::Unwrap;
+
+void BM_ValueCompareInt(benchmark::State& state) {
+  Value a(42), b(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(Comparator::kLt, b));
+  }
+}
+BENCHMARK(BM_ValueCompareInt);
+
+void BM_ValueCompareString(benchmark::State& state) {
+  Value a("2009-05-01"), b("2009-06-15");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Compare(Comparator::kLt, b));
+  }
+}
+BENCHMARK(BM_ValueCompareString);
+
+void BM_LikeMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LikeMatch("the search computing framework",
+                                       "%search%comp_ting%"));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_ValueHash(benchmark::State& state) {
+  Value v("Theatre at Piazza Leonardo da Vinci 32");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Hash());
+  }
+}
+BENCHMARK(BM_ValueHash);
+
+void BM_SatisfiesSelectionsRepeatingGroup(benchmark::State& state) {
+  // The single-instance rule over a 4-instance repeating group.
+  auto schema = std::make_shared<ServiceSchema>(
+      "S", std::vector<AttributeDef>{AttributeDef::RepeatingGroup(
+               "R", {{"A", ValueType::kInt}, {"B", ValueType::kString}})});
+  BoundQuery query;
+  BoundAtom atom;
+  atom.alias = "S";
+  atom.schema = schema;
+  query.atoms.push_back(atom);
+  query.selections.push_back(
+      {0, AttrPath{0, 0}, Comparator::kEq, Value(3), "", 0.1});
+  query.selections.push_back(
+      {0, AttrPath{0, 1}, Comparator::kEq, Value("x"), "", 0.1});
+  RepeatingGroupValue group;
+  for (int i = 0; i < 4; ++i) {
+    group.push_back({Value(i), Value(i == 3 ? "x" : "y")});
+  }
+  Tuple tuple({group});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SatisfiesSelections(query, 0, tuple, {}));
+  }
+}
+BENCHMARK(BM_SatisfiesSelectionsRepeatingGroup);
+
+void BM_SearchSpaceFrontier(benchmark::State& state) {
+  SearchSpace space;
+  for (int i = 0; i < 12; ++i) {
+    space.AddChunkX(1.0 - i * 0.05);
+    space.AddChunkY(1.0 - i * 0.07);
+  }
+  for (int x = 0; x < 12; x += 2) {
+    for (int y = 0; y < 12; y += 3) {
+      space.MarkExplored(Tile{x, y});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.Frontier().size());
+  }
+}
+BENCHMARK(BM_SearchSpaceFrontier);
+
+void BM_ParseRunningExample(benchmark::State& state) {
+  const std::string text =
+      "select Movie11 as M, Theatre11 as T, Restaurant11 as R "
+      "where Shows(M, T) and DinnerPlace(T, R) "
+      "and M.Genres.Genre = INPUT1 and M.Openings.Country = INPUT2 "
+      "and M.Openings.Date > INPUT3 and T.UAddress = INPUT4 "
+      "and T.UCity = INPUT5 and T.UCountry = INPUT2 "
+      "and R.Category.Name = INPUT6 rank by (0.3, 0.5, 0.2)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseQuery(text));
+  }
+}
+BENCHMARK(BM_ParseRunningExample);
+
+void BM_BindRunningExample(benchmark::State& state) {
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(scenario.query_text), "parse");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BindQuery(parsed, *scenario.registry));
+  }
+}
+BENCHMARK(BM_BindRunningExample);
+
+void BM_FeasibilityRunningExample(benchmark::State& state) {
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(scenario.query_text), "parse");
+  BoundQuery query = Unwrap(BindQuery(parsed, *scenario.registry), "bind");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckFeasibility(query));
+  }
+}
+BENCHMARK(BM_FeasibilityRunningExample);
+
+void BM_PlanBuildAndAnnotate(benchmark::State& state) {
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(scenario.query_text), "parse");
+  BoundQuery query = Unwrap(BindQuery(parsed, *scenario.registry), "bind");
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  for (auto _ : state) {
+    QueryPlan plan = Unwrap(BuildPlan(query, spec), "build");
+    benchmark::DoNotOptimize(AnnotatePlan(&plan));
+  }
+}
+BENCHMARK(BM_PlanBuildAndAnnotate);
+
+}  // namespace
+}  // namespace seco
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+#ifndef SECO_BENCH_BENCH_UTIL_H_
+#define SECO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/seco.h"
+
+namespace seco {
+namespace bench_util {
+
+/// Aborts the bench with a message when a Status is not OK (benches are
+/// driver binaries; failing loudly is the right behaviour).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Prints a horizontal rule + centered section title.
+inline void Section(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// A registry with a *tree* of `n` keyed search services S0..S(n-1): S0 has
+/// no inputs; each S(i>0) takes Key as input, piped from its tree parent
+/// S((i-1)/2)'s Next output. The tree shape admits many valid topologies
+/// (siblings can run in any order or in parallel), exercising the
+/// optimizer's combinatorial Phase 2 search. Used by the scaling
+/// experiments.
+struct ChainScenario {
+  std::shared_ptr<ServiceRegistry> registry;
+  std::string query_text;
+};
+
+inline Result<ChainScenario> MakeChainScenario(int n, int rows = 400,
+                                               int chunk = 10,
+                                               uint64_t seed = 99) {
+  ChainScenario scenario;
+  scenario.registry = std::make_shared<ServiceRegistry>();
+  SplitMix64 rng(seed);
+  std::string select = "select ";
+  std::string where = "where ";
+  for (int i = 0; i < n; ++i) {
+    std::string name = "S" + std::to_string(i);
+    SimServiceBuilder builder(name);
+    builder
+        .Schema({AttributeDef::Atomic("Key", ValueType::kInt),
+                 AttributeDef::Atomic("Next", ValueType::kInt),
+                 AttributeDef::Atomic("Relevance", ValueType::kDouble)})
+        .Pattern({{"Key", i == 0 ? Adornment::kOutput : Adornment::kInput},
+                  {"Next", Adornment::kOutput},
+                  {"Relevance", Adornment::kRanked}})
+        .Kind(ServiceKind::kSearch)
+        .Seed(seed + i);
+    ServiceStats stats;
+    stats.chunk_size = chunk;
+    stats.latency_ms = 60.0 + 30.0 * (i % 3);
+    stats.cost_per_call = 1.0;
+    stats.decay = i % 2 == 0 ? ScoreDecay::kLinear : ScoreDecay::kQuadratic;
+    stats.avg_matches_per_binding =
+        i == 0 ? rows : static_cast<double>(rows) / 8;
+    builder.Stats(stats);
+    for (int r = 0; r < rows; ++r) {
+      double quality = 1.0 - static_cast<double>(r) / rows;
+      int64_t key = static_cast<int64_t>(rng.Uniform(8));
+      int64_t next = static_cast<int64_t>(rng.Uniform(8));
+      builder.AddRow(Tuple({Value(key), Value(next), Value(quality)}), quality);
+    }
+    auto mart = std::make_shared<ServiceMart>(
+        "M" + std::to_string(i),
+        std::make_shared<ServiceSchema>(
+            name, std::vector<AttributeDef>{
+                      AttributeDef::Atomic("Key", ValueType::kInt),
+                      AttributeDef::Atomic("Next", ValueType::kInt),
+                      AttributeDef::Atomic("Relevance", ValueType::kDouble)}));
+    SECO_RETURN_IF_ERROR(scenario.registry->RegisterMart(mart));
+    SECO_RETURN_IF_ERROR(
+        builder.BuildInto(*scenario.registry, mart->name()).status());
+    if (i > 0) {
+      select += ", ";
+      if (i > 1) where += " and ";
+    }
+    select += name + " as A" + std::to_string(i);
+    if (i == 0) {
+      // The root contributes no predicate: for n >= 2 the first Link
+      // supplies the query's mandatory condition. (n == 1 would need a
+      // dummy selection; the scaling experiments use n >= 2.)
+    } else {
+      int parent = (i - 1) / 2;
+      // Register the edge as a connection pattern carrying the true join
+      // selectivity (keys uniform over 8 values -> 1/8).
+      auto link = std::make_shared<ConnectionPattern>(
+          "Link" + std::to_string(i), "M" + std::to_string(parent),
+          "M" + std::to_string(i),
+          std::vector<ConnectionClause>{{"Next", Comparator::kEq, "Key"}});
+      link->set_selectivity(1.0 / 8);
+      SECO_RETURN_IF_ERROR(scenario.registry->RegisterConnectionPattern(link));
+      where += "Link" + std::to_string(i) + "(A" + std::to_string(parent) +
+               ", A" + std::to_string(i) + ")";
+    }
+  }
+  scenario.query_text = select + " " + where;
+  return scenario;
+}
+
+/// Kendall-tau-style concordance of a result sequence against its ideal
+/// (descending combined score) order: 1.0 = already sorted, 0 = random,
+/// negative = reversed. Measures "approximate ranking" quality (§4.1).
+inline double RankConcordance(const std::vector<double>& scores) {
+  if (scores.size() < 2) return 1.0;
+  long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    for (size_t j = i + 1; j < scores.size(); ++j) {
+      if (scores[i] > scores[j] + 1e-12) {
+        ++concordant;
+      } else if (scores[i] < scores[j] - 1e-12) {
+        ++discordant;
+      }
+    }
+  }
+  long total = concordant + discordant;
+  if (total == 0) return 1.0;
+  return static_cast<double>(concordant - discordant) / total;
+}
+
+}  // namespace bench_util
+}  // namespace seco
+
+#endif  // SECO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,163 @@
+// seco_shell: command-line driver for ad-hoc multi-domain queries against
+// the built-in scenarios.
+//
+// Usage:
+//   seco_shell [options] ["query text"]
+//     --scenario=movie|conference|doctor   data to load (default: movie)
+//     --metric=time|sum|rr|calls|bottleneck|tts   cost metric (default: time)
+//     --k=N                         answers to produce (default: 10)
+//     --parallel | --selective      topology heuristic (default: selective)
+//     --dot                         print the plan as Graphviz DOT
+//     --explain                     print the bound query and stop
+//     --estimates                   print estimate-vs-actual per node
+//
+// Without a query argument, the scenario's canonical query runs. INPUT
+// variables are bound from the scenario's defaults.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/seco.h"
+#include "query/printer.h"
+
+namespace {
+
+struct Options {
+  std::string scenario = "movie";
+  seco::CostMetricKind metric = seco::CostMetricKind::kExecutionTime;
+  int k = 10;
+  seco::TopologyHeuristic topology = seco::TopologyHeuristic::kSelectiveFirst;
+  bool dot = false;
+  bool explain = false;
+  bool estimates = false;
+  std::string query;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--scenario=")) {
+      options->scenario = v;
+    } else if (const char* v = value_of("--metric=")) {
+      std::string m = v;
+      if (m == "time") options->metric = seco::CostMetricKind::kExecutionTime;
+      else if (m == "sum") options->metric = seco::CostMetricKind::kSumCost;
+      else if (m == "rr") options->metric = seco::CostMetricKind::kRequestResponse;
+      else if (m == "calls") options->metric = seco::CostMetricKind::kCallCount;
+      else if (m == "bottleneck") options->metric = seco::CostMetricKind::kBottleneck;
+      else if (m == "tts") options->metric = seco::CostMetricKind::kTimeToScreen;
+      else {
+        std::fprintf(stderr, "unknown metric '%s'\n", v);
+        return false;
+      }
+    } else if (const char* v = value_of("--k=")) {
+      options->k = std::atoi(v);
+    } else if (arg == "--parallel") {
+      options->topology = seco::TopologyHeuristic::kParallelIsBetter;
+    } else if (arg == "--selective") {
+      options->topology = seco::TopologyHeuristic::kSelectiveFirst;
+    } else if (arg == "--dot") {
+      options->dot = true;
+    } else if (arg == "--explain") {
+      options->explain = true;
+    } else if (arg == "--estimates") {
+      options->estimates = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      options->query = arg;
+    }
+  }
+  return true;
+}
+
+seco::Status Run(const Options& options) {
+  seco::Scenario scenario;
+  if (options.scenario == "movie") {
+    SECO_ASSIGN_OR_RETURN(scenario, seco::MakeMovieScenario());
+  } else if (options.scenario == "conference") {
+    SECO_ASSIGN_OR_RETURN(scenario, seco::MakeConferenceScenario());
+  } else if (options.scenario == "doctor") {
+    SECO_ASSIGN_OR_RETURN(scenario, seco::MakeDoctorScenario());
+  } else {
+    return seco::Status::InvalidArgument("unknown scenario '" +
+                                         options.scenario + "'");
+  }
+  std::string query_text =
+      options.query.empty() ? scenario.query_text : options.query;
+
+  seco::OptimizerOptions optimizer_options;
+  optimizer_options.k = options.k;
+  optimizer_options.metric = options.metric;
+  optimizer_options.topology_heuristic = options.topology;
+  seco::QuerySession session(scenario.registry, optimizer_options);
+
+  if (options.explain) {
+    SECO_ASSIGN_OR_RETURN(seco::BoundQuery bound, session.Prepare(query_text));
+    std::printf("%s", seco::BoundQueryDebugString(bound).c_str());
+    SECO_ASSIGN_OR_RETURN(seco::FeasibilityReport report,
+                          seco::CheckFeasibility(bound));
+    std::printf("feasible: %s\n", report.feasible ? "yes" : "no");
+    if (!report.feasible) {
+      std::printf("  %s\n", report.reason.c_str());
+      SECO_ASSIGN_OR_RETURN(
+          std::vector<seco::AugmentationSuggestion> suggestions,
+          seco::SuggestAugmentations(bound, *scenario.registry));
+      for (const seco::AugmentationSuggestion& s : suggestions) {
+        std::printf("  suggestion: bind %s via off-query service %s (%s)%s\n",
+                    s.input_name.c_str(), s.provider_interface.c_str(),
+                    s.provider_output.c_str(),
+                    s.provider_invocable ? "" : " [provider not invocable]");
+      }
+    }
+    return seco::Status::OK();
+  }
+
+  SECO_ASSIGN_OR_RETURN(seco::QueryOutcome outcome,
+                        session.Run(query_text, scenario.inputs, 100000));
+  std::printf("plan (metric %s, cost %.1f, %d plans costed, %d pruned):\n%s\n",
+              seco::CostMetricKindToString(options.metric),
+              outcome.optimization.cost, outcome.optimization.plans_costed,
+              outcome.optimization.branches_pruned,
+              outcome.optimization.plan.ToString().c_str());
+  if (options.dot) {
+    std::printf("%s\n", outcome.optimization.plan.ToDot().c_str());
+  }
+  std::printf("answers: %zu of k=%d  (calls %d, simulated %.0f ms)\n",
+              outcome.execution.combinations.size(), options.k,
+              outcome.execution.total_calls, outcome.execution.elapsed_ms);
+  int rank = 0;
+  for (const seco::Combination& combo : outcome.execution.combinations) {
+    std::printf("  #%-3d score %.3f :", ++rank, combo.combined_score);
+    for (size_t a = 0; a < combo.components.size(); ++a) {
+      const seco::Tuple& t = combo.components[a];
+      std::printf("  %s", t.AtomicAt(0).ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (options.estimates) {
+    seco::EstimateReport report =
+        seco::CompareEstimates(outcome.optimization.plan, outcome.execution);
+    std::printf("\nestimate vs actual:\n%s", report.ToString().c_str());
+  }
+  return seco::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+  seco::Status status = Run(options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

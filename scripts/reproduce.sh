@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, and every experiment
+# (E1-E15), leaving test_output.txt and bench_output.txt in the repo root.
+#
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  echo "######## $(basename "$bench")" | tee -a bench_output.txt
+  "$bench" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "Done. See test_output.txt, bench_output.txt, and EXPERIMENTS.md."

@@ -1,0 +1,26 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace seco {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n == 0 ? 1 : n), s_(s) {
+  harmonic_ = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    harmonic_ += 1.0 / std::pow(static_cast<double>(i), s_);
+  }
+}
+
+uint64_t ZipfSampler::Sample(SplitMix64& rng) const {
+  // Inverse-CDF by linear scan; n is small in our generators (<= a few
+  // thousand distinct values), so this is fast enough and exact.
+  double u = rng.NextDouble() * harmonic_;
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s_);
+    if (u <= acc) return i - 1;
+  }
+  return n_ - 1;
+}
+
+}  // namespace seco

@@ -1,0 +1,68 @@
+#ifndef SECO_COMMON_RANDOM_H_
+#define SECO_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace seco {
+
+/// A small, fast, deterministic PRNG (SplitMix64). All synthetic data and
+/// simulated latencies in SeCo derive from seeded instances of this class so
+/// that tests and benchmarks are reproducible bit-for-bit across platforms.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Derives an independent child stream; stable for a given (seed, tag).
+  SplitMix64 Fork(uint64_t tag) const {
+    SplitMix64 child(state_ ^ (tag * 0xD6E8FEB86659FD93ULL + 0x2545F4914F6CDD1DULL));
+    child.Next();
+    return child;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Samples from a Zipf(s) distribution over ranks {0, ..., n-1}; rank 0 is
+/// the most frequent. Used by the data generators to produce realistically
+/// skewed join-attribute values.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (0 = uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(SplitMix64& rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  double harmonic_;  // generalized harmonic number H_{n,s}
+};
+
+}  // namespace seco
+
+#endif  // SECO_COMMON_RANDOM_H_

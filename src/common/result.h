@@ -1,0 +1,76 @@
+#ifndef SECO_COMMON_RESULT_H_
+#define SECO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace seco {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result`. Construction from a value yields the OK state;
+/// construction from a non-OK Status yields the error state. Constructing
+/// from an OK status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+  /// Constructs a success result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status, or OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Accessors; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which must be a declaration or lvalue).
+#define SECO_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define SECO_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SECO_ASSIGN_OR_RETURN_NAME(x, y) SECO_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define SECO_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SECO_ASSIGN_OR_RETURN_IMPL(            \
+      SECO_ASSIGN_OR_RETURN_NAME(_seco_result_, __LINE__), lhs, rexpr)
+
+}  // namespace seco
+
+#endif  // SECO_COMMON_RESULT_H_

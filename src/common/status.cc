@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace seco {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kInfeasible:
+      return "infeasible";
+    case StatusCode::kTypeError:
+      return "type error";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+  }
+  return "unknown";
+}
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(rep_->code);
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+}  // namespace seco

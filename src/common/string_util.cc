@@ -1,0 +1,65 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace seco {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool LikeMatch(std::string_view s, std::string_view pattern) {
+  // Iterative wildcard match with backtracking over the last '%'.
+  size_t si = 0, pi = 0;
+  size_t star_pi = std::string_view::npos, star_si = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() && (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string_view::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace seco

@@ -1,0 +1,28 @@
+#ifndef SECO_COMMON_STRING_UTIL_H_
+#define SECO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seco {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+/// True if `s` matches SQL LIKE `pattern` with '%' (any run) and '_'
+/// (any single char) wildcards; comparison is case-sensitive.
+bool LikeMatch(std::string_view s, std::string_view pattern);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+}  // namespace seco
+
+#endif  // SECO_COMMON_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+#include "core/session.h"
+
+namespace seco {
+
+Result<BoundQuery> QuerySession::Prepare(const std::string& query_text) const {
+  SECO_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  return BindQuery(parsed, *registry_);
+}
+
+Result<OptimizationResult> QuerySession::Optimize(const BoundQuery& query) const {
+  Optimizer optimizer(optimizer_options_);
+  return optimizer.Optimize(query);
+}
+
+Result<QueryOutcome> QuerySession::Run(
+    const std::string& query_text, const std::map<std::string, Value>& inputs,
+    int max_calls) const {
+  QueryOutcome outcome;
+  SECO_ASSIGN_OR_RETURN(outcome.parsed, ParseQuery(query_text));
+  SECO_ASSIGN_OR_RETURN(outcome.bound, BindQuery(outcome.parsed, *registry_));
+  Optimizer optimizer(optimizer_options_);
+  SECO_ASSIGN_OR_RETURN(outcome.optimization, optimizer.Optimize(outcome.bound));
+  ExecutionOptions exec_options;
+  exec_options.k = optimizer_options_.k;
+  exec_options.input_bindings = inputs;
+  exec_options.max_calls = max_calls;
+  ExecutionEngine engine(exec_options);
+  SECO_ASSIGN_OR_RETURN(outcome.execution,
+                        engine.Execute(outcome.optimization.plan));
+  return outcome;
+}
+
+}  // namespace seco

@@ -1,0 +1,65 @@
+#ifndef SECO_CORE_SESSION_H_
+#define SECO_CORE_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "exec/engine.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "service/registry.h"
+
+namespace seco {
+
+/// Everything known about one answered query.
+struct QueryOutcome {
+  ParsedQuery parsed;
+  BoundQuery bound;
+  OptimizationResult optimization;
+  ExecutionResult execution;
+};
+
+/// The high-level entry point of the SeCo library: holds a service registry
+/// and runs the full chain  parse -> bind -> optimize -> execute  for each
+/// submitted query.
+///
+/// ```
+/// QuerySession session(registry);
+/// auto outcome = session.Run(
+///     "select Movie11 as M, Theatre11 as T where Shows(M, T) and ...",
+///     {{"INPUT1", Value("action")}});
+/// for (const Combination& combo : outcome->execution.combinations) ...
+/// ```
+class QuerySession {
+ public:
+  explicit QuerySession(std::shared_ptr<ServiceRegistry> registry,
+                        OptimizerOptions optimizer_options = {})
+      : registry_(std::move(registry)),
+        optimizer_options_(optimizer_options) {}
+
+  const ServiceRegistry& registry() const { return *registry_; }
+  OptimizerOptions& optimizer_options() { return optimizer_options_; }
+
+  /// Parses and binds a query without running it (e.g. to inspect
+  /// feasibility or plans).
+  Result<BoundQuery> Prepare(const std::string& query_text) const;
+
+  /// Optimizes a prepared query into a fully instantiated plan.
+  Result<OptimizationResult> Optimize(const BoundQuery& query) const;
+
+  /// Full chain: parse, bind, optimize, execute with the given INPUT
+  /// variable bindings.
+  Result<QueryOutcome> Run(const std::string& query_text,
+                           const std::map<std::string, Value>& inputs,
+                           int max_calls = 10000) const;
+
+ private:
+  std::shared_ptr<ServiceRegistry> registry_;
+  OptimizerOptions optimizer_options_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_CORE_SESSION_H_

@@ -1,0 +1,105 @@
+#include "cost/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace seco {
+
+const char* CostMetricKindToString(CostMetricKind kind) {
+  switch (kind) {
+    case CostMetricKind::kExecutionTime:
+      return "execution-time";
+    case CostMetricKind::kSumCost:
+      return "sum-cost";
+    case CostMetricKind::kRequestResponse:
+      return "request-response";
+    case CostMetricKind::kCallCount:
+      return "call-count";
+    case CostMetricKind::kBottleneck:
+      return "bottleneck";
+    case CostMetricKind::kTimeToScreen:
+      return "time-to-screen";
+  }
+  return "?";
+}
+
+bool MetricIsTimeBased(CostMetricKind kind) {
+  return kind == CostMetricKind::kExecutionTime ||
+         kind == CostMetricKind::kBottleneck ||
+         kind == CostMetricKind::kTimeToScreen;
+}
+
+double NodeElapsedMs(const PlanNode& node) {
+  if (node.kind != PlanNodeKind::kServiceCall || !node.iface) return 0.0;
+  return node.est_calls * node.iface->stats().latency_ms;
+}
+
+namespace {
+
+/// Longest input-to-output path with per-node weights.
+Result<double> SlowestPath(const QueryPlan& plan,
+                           const std::vector<double>& node_weight) {
+  SECO_ASSIGN_OR_RETURN(std::vector<int> order, plan.TopologicalOrder());
+  std::vector<double> dist(plan.num_nodes(), 0.0);
+  double result = 0.0;
+  for (int id : order) {
+    const PlanNode& node = plan.node(id);
+    double best_pred = 0.0;
+    for (int pred : node.inputs) best_pred = std::max(best_pred, dist[pred]);
+    dist[id] = best_pred + node_weight[id];
+    if (node.kind == PlanNodeKind::kOutput) result = dist[id];
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<double> PlanCost(const QueryPlan& plan, CostMetricKind kind,
+                        const CostParams& params) {
+  switch (kind) {
+    case CostMetricKind::kExecutionTime: {
+      std::vector<double> weights(plan.num_nodes(), 0.0);
+      for (const PlanNode& n : plan.nodes()) weights[n.id] = NodeElapsedMs(n);
+      return SlowestPath(plan, weights);
+    }
+    case CostMetricKind::kTimeToScreen: {
+      // One call per service node suffices for the first tuple.
+      std::vector<double> weights(plan.num_nodes(), 0.0);
+      for (const PlanNode& n : plan.nodes()) {
+        if (n.kind == PlanNodeKind::kServiceCall && n.iface) {
+          weights[n.id] = std::min(n.est_calls, 1.0) * n.iface->stats().latency_ms;
+        }
+      }
+      return SlowestPath(plan, weights);
+    }
+    case CostMetricKind::kBottleneck: {
+      double worst = 0.0;
+      for (const PlanNode& n : plan.nodes()) {
+        worst = std::max(worst, NodeElapsedMs(n));
+      }
+      return worst;
+    }
+    case CostMetricKind::kSumCost:
+    case CostMetricKind::kRequestResponse:
+    case CostMetricKind::kCallCount: {
+      double total = 0.0;
+      for (const PlanNode& n : plan.nodes()) {
+        if (n.kind == PlanNodeKind::kServiceCall && n.iface) {
+          double per_call = kind == CostMetricKind::kCallCount
+                                ? 1.0
+                                : n.iface->stats().cost_per_call;
+          total += n.est_calls * per_call;
+        }
+        if (kind == CostMetricKind::kSumCost &&
+            n.kind == PlanNodeKind::kParallelJoin) {
+          total += params.join_cpu_cost_per_candidate * n.t_in;
+        }
+      }
+      return total;
+    }
+  }
+  return Status::InvalidArgument("unknown cost metric");
+}
+
+}  // namespace seco

@@ -1,0 +1,61 @@
+#ifndef SECO_COST_METRICS_H_
+#define SECO_COST_METRICS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace seco {
+
+/// The cost metrics of §5.1. All are monotonic: extending a partial plan
+/// (more nodes, more fetches) never decreases its cost, which is what the
+/// branch-and-bound pruning step relies on (§5.2).
+enum class CostMetricKind {
+  /// Expected elapsed time to the k-th answer: the slowest input-to-output
+  /// path, where a service node contributes (expected calls) x (latency) and
+  /// in-memory operators contribute ~0.
+  kExecutionTime,
+  /// Sum of per-operator costs: service calls priced at their per-call
+  /// charge plus (optionally) join CPU priced per candidate pair.
+  kSumCost,
+  /// Request-response special case of sum cost: only service invocation
+  /// charges, no operator execution costs.
+  kRequestResponse,
+  /// Further simplification: every invocation costs 1 (counts calls). The
+  /// relevant metric when network transfer dominates.
+  kCallCount,
+  /// Execution time of the slowest service in the plan (Srivastava et al.'s
+  /// WSMS metric; suited to pipelined continuous queries, not to k-answer
+  /// search plans).
+  kBottleneck,
+  /// Time to the first output tuple: slowest path counting one call per
+  /// service node.
+  kTimeToScreen,
+};
+
+const char* CostMetricKindToString(CostMetricKind kind);
+
+/// Knobs of the sum-cost metric.
+struct CostParams {
+  /// CPU price charged per candidate pair examined by a parallel join
+  /// (kSumCost only; 0 recovers the request-response special case).
+  double join_cpu_cost_per_candidate = 0.0;
+};
+
+/// Simulated elapsed milliseconds a service node spends issuing its
+/// expected calls back to back.
+double NodeElapsedMs(const PlanNode& node);
+
+/// Computes the cost of a *fully instantiated* (annotated) plan under
+/// `kind`. Plans must have been through AnnotatePlan first; costs of plans
+/// with unannotated nodes are meaningless.
+Result<double> PlanCost(const QueryPlan& plan, CostMetricKind kind,
+                        const CostParams& params = {});
+
+/// True for metrics measured in (simulated) milliseconds.
+bool MetricIsTimeBased(CostMetricKind kind);
+
+}  // namespace seco
+
+#endif  // SECO_COST_METRICS_H_

@@ -1,0 +1,422 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "query/semantics.h"
+#include "service/invocation.h"
+
+namespace seco {
+
+namespace {
+
+/// One partial combination flowing between nodes.
+struct Row {
+  std::vector<std::optional<Tuple>> tuples;  // per atom
+  std::vector<double> scores;                // per atom
+  int parent = -1;    ///< index of the input-stream row this row extends
+  int chunk_ord = 0;  ///< chunk index that produced this row's newest tuple
+};
+
+using Stream = std::vector<Row>;
+
+std::string BindingKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+/// Fetched results for one input binding of a service node.
+struct CachedFetch {
+  std::vector<Tuple> tuples;
+  std::vector<double> scores;
+  std::vector<int> chunk_ords;
+};
+
+}  // namespace
+
+Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
+  SECO_RETURN_IF_ERROR(plan.Validate());
+  SECO_ASSIGN_OR_RETURN(std::vector<int> order, plan.TopologicalOrder());
+  const BoundQuery& query = plan.query();
+  int num_atoms = static_cast<int>(query.atoms.size());
+
+  ExecutionResult result;
+  std::map<int, Stream> streams;  // node id -> output stream
+  std::map<int, double> finish;   // node id -> simulated completion time
+
+  auto call_with_retries =
+      [&](ServiceCallHandler* handler,
+          const ServiceRequest& request) -> Result<ServiceResponse> {
+    Status last;
+    for (int attempt = 0; attempt <= options_.call_retries; ++attempt) {
+      Result<ServiceResponse> resp = handler->Call(request);
+      if (resp.ok()) return resp;
+      last = resp.status();
+    }
+    return last;
+  };
+
+  for (int id : order) {
+    const PlanNode& node = plan.node(id);
+    NodeRuntimeStats& stats = result.node_stats[id];
+    double ready_ms = 0.0;
+    for (int pred : node.inputs) ready_ms = std::max(ready_ms, finish[pred]);
+
+    switch (node.kind) {
+      case PlanNodeKind::kInput: {
+        Row seed;
+        seed.tuples.resize(num_atoms);
+        seed.scores.assign(num_atoms, 0.0);
+        streams[id] = {seed};
+        break;
+      }
+
+      case PlanNodeKind::kServiceCall: {
+        const Stream& in = streams[node.inputs[0]];
+        Stream out;
+        const ServiceInterface& iface = *node.iface;
+        const AccessPattern& pattern = iface.pattern();
+        std::map<std::string, CachedFetch> cache;
+
+        for (size_t row_idx = 0; row_idx < in.size(); ++row_idx) {
+          const Row& row = in[row_idx];
+          // Candidate values per input path (multiple when piped from a
+          // repeating-group sub-attribute).
+          std::vector<std::vector<Value>> candidates;
+          for (const AttrPath& in_path : pattern.input_paths()) {
+            std::vector<Value> values;
+            // Constant / INPUT bindings.
+            for (int sel_idx : node.input_selections) {
+              const BoundSelection& sel = query.selections[sel_idx];
+              if (sel.atom == node.atom && sel.path == in_path) {
+                SECO_ASSIGN_OR_RETURN(
+                    Value v,
+                    query.ResolveSelectionValue(sel, options_.input_bindings));
+                values.push_back(std::move(v));
+              }
+            }
+            // Piped bindings.
+            if (values.empty()) {
+              for (int group_idx : node.pipe_groups) {
+                for (const JoinClause& clause : query.joins[group_idx].clauses) {
+                  int provider = -1;
+                  AttrPath provider_path;
+                  if (clause.to_atom == node.atom && clause.to_path == in_path) {
+                    provider = clause.from_atom;
+                    provider_path = clause.from_path;
+                  } else if (clause.from_atom == node.atom &&
+                             clause.from_path == in_path) {
+                    provider = clause.to_atom;
+                    provider_path = clause.to_path;
+                  }
+                  if (provider < 0 || !row.tuples[provider].has_value()) continue;
+                  for (Value& v :
+                       row.tuples[provider]->CandidateValuesAt(provider_path)) {
+                    values.push_back(std::move(v));
+                  }
+                }
+                if (!values.empty()) break;
+              }
+            }
+            if (values.empty()) {
+              return Status::Internal("engine: unbound input " +
+                                      iface.schema().PathToString(in_path) +
+                                      " of service " + iface.name());
+            }
+            candidates.push_back(std::move(values));
+          }
+
+          // Enumerate distinct input bindings (cross product of candidates).
+          std::vector<std::vector<Value>> bindings;
+          bindings.emplace_back();
+          for (const std::vector<Value>& values : candidates) {
+            std::vector<std::vector<Value>> next;
+            for (const std::vector<Value>& prefix : bindings) {
+              for (const Value& v : values) {
+                std::vector<Value> extended = prefix;
+                extended.push_back(v);
+                next.push_back(std::move(extended));
+              }
+            }
+            bindings = std::move(next);
+          }
+
+          int kept_for_row = 0;
+          for (const std::vector<Value>& binding : bindings) {
+            std::string key = BindingKey(binding);
+            auto cache_it = cache.find(key);
+            if (cache_it == cache.end()) {
+              CachedFetch fetch;
+              int fetches =
+                  iface.is_chunked() ? std::max(node.fetch_factor, 1) : 1;
+              for (int f = 0; f < fetches; ++f) {
+                if (result.total_calls >= options_.max_calls) {
+                  return Status::ResourceExhausted(
+                      "service call budget exceeded (" +
+                      std::to_string(options_.max_calls) + ")");
+                }
+                ServiceRequest request;
+                request.inputs = binding;
+                request.chunk_index = f;
+                SECO_ASSIGN_OR_RETURN(
+                    ServiceResponse resp,
+                    call_with_retries(iface.handler(), request));
+                ++result.total_calls;
+                ++stats.calls;
+                stats.latency_ms += resp.latency_ms;
+                result.total_latency_ms += resp.latency_ms;
+                if (options_.collect_trace) {
+                  result.trace.push_back(CallEvent{node.id, iface.name(), key,
+                                                   f, resp.latency_ms});
+                }
+                for (size_t t = 0; t < resp.tuples.size(); ++t) {
+                  fetch.tuples.push_back(std::move(resp.tuples[t]));
+                  fetch.scores.push_back(t < resp.scores.size() ? resp.scores[t]
+                                                                : 0.0);
+                  fetch.chunk_ords.push_back(f);
+                }
+                if (resp.exhausted) break;
+              }
+              cache_it = cache.emplace(key, std::move(fetch)).first;
+            }
+
+            const CachedFetch& fetch = cache_it->second;
+            for (size_t t = 0; t < fetch.tuples.size(); ++t) {
+              if (node.keep_per_input > 0 && kept_for_row >= node.keep_per_input) {
+                break;
+              }
+              Row extended = row;
+              extended.tuples[node.atom] = fetch.tuples[t];
+              extended.scores[node.atom] = fetch.scores[t];
+              extended.parent = static_cast<int>(row_idx);
+              extended.chunk_ord = fetch.chunk_ords[t];
+              // Verify the pipe-join groups on the composed row (covers
+              // clauses beyond the input binding and the repeating-group
+              // single-instance rule).
+              bool ok = true;
+              for (int group_idx : node.pipe_groups) {
+                const BoundJoinGroup& group = query.joins[group_idx];
+                const JoinClause& first = group.clauses[0];
+                int a = first.from_atom, b = first.to_atom;
+                if (!extended.tuples[a].has_value() ||
+                    !extended.tuples[b].has_value()) {
+                  continue;
+                }
+                SECO_ASSIGN_OR_RETURN(
+                    bool holds,
+                    SatisfiesJoinGroup(query, group, *extended.tuples[a],
+                                       *extended.tuples[b]));
+                if (!holds) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (!ok) continue;
+              out.push_back(std::move(extended));
+              ++kept_for_row;
+            }
+          }
+        }
+        streams[id] = std::move(out);
+        break;
+      }
+
+      case PlanNodeKind::kSelection: {
+        const Stream& in = streams[node.inputs[0]];
+        Stream out;
+        // Atoms whose selections this node re-checks (jointly per atom).
+        std::vector<int> atoms_to_check;
+        for (int sel_idx : node.selections) {
+          int atom = query.selections[sel_idx].atom;
+          if (std::find(atoms_to_check.begin(), atoms_to_check.end(), atom) ==
+              atoms_to_check.end()) {
+            atoms_to_check.push_back(atom);
+          }
+        }
+        for (const Row& row : in) {
+          bool ok = true;
+          for (int atom : atoms_to_check) {
+            if (!row.tuples[atom].has_value()) {
+              ok = false;
+              break;
+            }
+            SECO_ASSIGN_OR_RETURN(
+                bool holds, SatisfiesSelections(query, atom, *row.tuples[atom],
+                                                options_.input_bindings));
+            if (!holds) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            for (int group_idx : node.residual_join_groups) {
+              const BoundJoinGroup& group = query.joins[group_idx];
+              const JoinClause& first = group.clauses[0];
+              int a = first.from_atom, b = first.to_atom;
+              if (!row.tuples[a].has_value() || !row.tuples[b].has_value()) {
+                ok = false;
+                break;
+              }
+              SECO_ASSIGN_OR_RETURN(bool holds,
+                                    SatisfiesJoinGroup(query, group,
+                                                       *row.tuples[a],
+                                                       *row.tuples[b]));
+              if (!holds) {
+                ok = false;
+                break;
+              }
+            }
+          }
+          if (ok) out.push_back(row);
+        }
+        streams[id] = std::move(out);
+        break;
+      }
+
+      case PlanNodeKind::kParallelJoin: {
+        // Group each branch stream by parent (upstream row index).
+        std::vector<const Stream*> branches;
+        for (int pred : node.inputs) branches.push_back(&streams[pred]);
+        int upstream_size = 0;
+        if (node.join_upstream >= 0) {
+          upstream_size = static_cast<int>(streams[node.join_upstream].size());
+        }
+        std::vector<std::vector<std::vector<const Row*>>> grouped(
+            branches.size());
+        for (size_t b = 0; b < branches.size(); ++b) {
+          grouped[b].resize(std::max(upstream_size, 1));
+          for (const Row& row : *branches[b]) {
+            int parent = upstream_size > 0 ? std::max(row.parent, 0) : 0;
+            grouped[b][parent].push_back(&row);
+          }
+        }
+        // Fetch-grid extents for the triangular completion filter.
+        double fx = 1.0, fy = 1.0;
+        if (node.strategy.completion == JoinCompletion::kTriangular &&
+            branches.size() == 2) {
+          for (const Row& row : *branches[0]) {
+            fx = std::max(fx, row.chunk_ord + 1.0);
+          }
+          for (const Row& row : *branches[1]) {
+            fy = std::max(fy, row.chunk_ord + 1.0);
+          }
+        }
+
+        Stream out;
+        for (int parent = 0; parent < std::max(upstream_size, 1); ++parent) {
+          // Cross product across branches within this upstream row.
+          std::vector<Row> partial;
+          const Row* upstream_row = nullptr;
+          if (upstream_size > 0) {
+            upstream_row = &streams[node.join_upstream][parent];
+          }
+          bool first_branch = true;
+          for (size_t b = 0; b < branches.size(); ++b) {
+            std::vector<Row> next;
+            for (const Row* branch_row : grouped[b][parent]) {
+              if (first_branch) {
+                Row merged = *branch_row;
+                merged.parent = parent;
+                // Triangular filter on the first two branches.
+                next.push_back(std::move(merged));
+              } else {
+                for (const Row& existing : partial) {
+                  if (b == 1 &&
+                      node.strategy.completion == JoinCompletion::kTriangular) {
+                    double pos = (existing.chunk_ord + 0.5) / fx +
+                                 (branch_row->chunk_ord + 0.5) / fy;
+                    if (pos > 1.0) continue;
+                  }
+                  Row merged = existing;
+                  for (int a = 0; a < num_atoms; ++a) {
+                    if (branch_row->tuples[a].has_value() &&
+                        !merged.tuples[a].has_value()) {
+                      merged.tuples[a] = branch_row->tuples[a];
+                      merged.scores[a] = branch_row->scores[a];
+                    }
+                  }
+                  next.push_back(std::move(merged));
+                }
+              }
+            }
+            partial = std::move(next);
+            first_branch = false;
+          }
+          (void)upstream_row;
+          // Evaluate the node's join groups.
+          for (Row& row : partial) {
+            bool ok = true;
+            for (int group_idx : node.join_groups) {
+              const BoundJoinGroup& group = query.joins[group_idx];
+              const JoinClause& first = group.clauses[0];
+              int a = first.from_atom, b = first.to_atom;
+              if (!row.tuples[a].has_value() || !row.tuples[b].has_value()) {
+                ok = false;
+                break;
+              }
+              SECO_ASSIGN_OR_RETURN(
+                  bool holds, SatisfiesJoinGroup(query, group, *row.tuples[a],
+                                                 *row.tuples[b]));
+              if (!holds) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) out.push_back(std::move(row));
+          }
+        }
+        streams[id] = std::move(out);
+        break;
+      }
+
+      case PlanNodeKind::kOutput: {
+        const Stream& in = streams[node.inputs[0]];
+        std::vector<double> weights = query.EffectiveWeights();
+        result.total_combinations_produced = static_cast<int>(in.size());
+        for (const Row& row : in) {
+          Combination combo;
+          combo.components.reserve(num_atoms);
+          combo.component_scores.reserve(num_atoms);
+          double total = 0.0;
+          bool complete = true;
+          for (int a = 0; a < num_atoms; ++a) {
+            if (!row.tuples[a].has_value()) {
+              complete = false;
+              break;
+            }
+            combo.components.push_back(*row.tuples[a]);
+            combo.component_scores.push_back(row.scores[a]);
+            total += weights[a] * row.scores[a];
+          }
+          if (!complete) continue;
+          combo.combined_score = total;
+          result.combinations.push_back(std::move(combo));
+        }
+        std::stable_sort(result.combinations.begin(), result.combinations.end(),
+                         [](const Combination& a, const Combination& b) {
+                           return a.combined_score > b.combined_score;
+                         });
+        if (options_.truncate_to_k &&
+            static_cast<int>(result.combinations.size()) > options_.k) {
+          result.combinations.resize(options_.k);
+        }
+        break;
+      }
+    }
+
+    stats.tuples_out = node.kind == PlanNodeKind::kOutput
+                           ? static_cast<int>(result.combinations.size())
+                           : static_cast<int>(streams[id].size());
+    stats.finished_at_ms = ready_ms + stats.latency_ms;
+    finish[id] = stats.finished_at_ms;
+    result.elapsed_ms = std::max(result.elapsed_ms, finish[id]);
+  }
+  return result;
+}
+
+}  // namespace seco

@@ -1,0 +1,95 @@
+#ifndef SECO_EXEC_ENGINE_H_
+#define SECO_EXEC_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "service/tuple.h"
+
+namespace seco {
+
+/// Options of one plan execution.
+struct ExecutionOptions {
+  /// Number of answer combinations to return.
+  int k = 10;
+  /// Values for the query's INPUT variables.
+  std::map<std::string, Value> input_bindings;
+  /// Safety budget on total service calls.
+  int max_calls = 10000;
+  /// Retries per failing service call before the execution aborts.
+  int call_retries = 0;
+  /// When false, all produced combinations are returned (not just k).
+  bool truncate_to_k = true;
+  /// When true, every service call is recorded in ExecutionResult::trace.
+  bool collect_trace = false;
+};
+
+/// One recorded service request-response (when tracing is enabled).
+struct CallEvent {
+  int node = -1;            ///< plan node that issued the call
+  std::string service;      ///< interface name
+  std::string binding_key;  ///< serialized input values
+  int chunk_index = 0;
+  double latency_ms = 0.0;
+};
+
+/// Per-node runtime counters.
+struct NodeRuntimeStats {
+  int calls = 0;
+  double latency_ms = 0.0;   ///< sum of this node's call latencies
+  int tuples_out = 0;
+  double finished_at_ms = 0.0;  ///< simulated completion time of the node
+};
+
+/// The outcome of executing a fully instantiated plan.
+struct ExecutionResult {
+  /// Combinations in decreasing combined score (approximate global ranking:
+  /// plans without top-k join methods do not guarantee the true top-k).
+  std::vector<Combination> combinations;
+  int total_calls = 0;
+  /// Simulated wall-clock: per-path max of node latencies (parallel
+  /// branches overlap; calls within one node are sequential).
+  double elapsed_ms = 0.0;
+  /// Sum of every call's latency (the fully sequential time).
+  double total_latency_ms = 0.0;
+  int total_combinations_produced = 0;
+  std::map<int, NodeRuntimeStats> node_stats;
+  /// Chronological call log; empty unless `ExecutionOptions::collect_trace`.
+  std::vector<CallEvent> trace;
+};
+
+/// Dataflow interpreter for query plans (§3.2): walks the DAG in
+/// topological order, materializing each node's output stream.
+///
+///  - service nodes bind inputs from constants / INPUT variables / piped
+///    upstream values, call the service (`fetch_factor` chunks per distinct
+///    binding, with a per-binding call cache), verify pipe-join groups, and
+///    honor `keep_per_input`;
+///  - selection nodes re-evaluate *all* selections of the touched atoms
+///    jointly, enforcing the §3.1 single-instance repeating-group rule, plus
+///    residual join groups;
+///  - parallel-join nodes combine branch streams per upstream tuple; with a
+///    triangular completion strategy, candidate pairs beyond the
+///    anti-diagonal of the fetched chunk grid are skipped (§4.4.2);
+///  - the output node scores combinations with the query's ranking weights.
+///
+/// Execution is stage-materialized: chunk-level interleaving *within* a
+/// binary join is the province of `ParallelJoinExecutor`; the engine
+/// reproduces its effect through fetch factors and the completion filter.
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(ExecutionOptions options)
+      : options_(std::move(options)) {}
+
+  Result<ExecutionResult> Execute(const QueryPlan& plan);
+
+ private:
+  ExecutionOptions options_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_EXEC_ENGINE_H_

@@ -1,0 +1,89 @@
+#include "exec/estimate_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace seco {
+
+namespace {
+
+double QError(double est, double actual) {
+  if (est <= 0.0 && actual <= 0.0) return 1.0;
+  if (est <= 0.0 || actual <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(est / actual, actual / est);
+}
+
+}  // namespace
+
+double NodeEstimateDelta::CardinalityQError() const {
+  return QError(est_t_out, actual_t_out);
+}
+
+double NodeEstimateDelta::CallQError() const {
+  return QError(est_calls, actual_calls);
+}
+
+EstimateReport CompareEstimates(const QueryPlan& plan,
+                                const ExecutionResult& result) {
+  EstimateReport report;
+  for (const PlanNode& node : plan.nodes()) {
+    auto it = result.node_stats.find(node.id);
+    if (it == result.node_stats.end()) continue;
+    NodeEstimateDelta delta;
+    delta.node = node.id;
+    switch (node.kind) {
+      case PlanNodeKind::kInput:
+        continue;  // trivial
+      case PlanNodeKind::kOutput:
+        delta.label = "output";
+        break;
+      case PlanNodeKind::kServiceCall:
+        delta.label = node.iface ? node.iface->name() : "service";
+        break;
+      case PlanNodeKind::kParallelJoin:
+        delta.label = "join(" + node.strategy.ToString() + ")";
+        break;
+      case PlanNodeKind::kSelection:
+        delta.label = "selection";
+        break;
+    }
+    delta.est_calls = node.est_calls;
+    delta.actual_calls = it->second.calls;
+    delta.est_t_out = node.t_out;
+    delta.actual_t_out = it->second.tuples_out;
+    if (node.kind == PlanNodeKind::kServiceCall) {
+      report.max_call_qerror =
+          std::max(report.max_call_qerror, delta.CallQError());
+      report.max_cardinality_qerror =
+          std::max(report.max_cardinality_qerror, delta.CardinalityQError());
+    }
+    report.nodes.push_back(std::move(delta));
+  }
+  return report;
+}
+
+std::string EstimateReport::ToString() const {
+  std::ostringstream out;
+  out << "node                      est.calls  act.calls   est.t_out  act.t_out"
+         "   q(card)\n";
+  for (const NodeEstimateDelta& d : nodes) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-24s %10.1f %10.1f %11.1f %10.1f %9.2f\n", d.label.c_str(),
+                  d.est_calls, d.actual_calls, d.est_t_out, d.actual_t_out,
+                  d.CardinalityQError());
+    out << line;
+  }
+  char tail[120];
+  std::snprintf(tail, sizeof(tail),
+                "max q-error: calls %.2f, cardinality %.2f\n", max_call_qerror,
+                max_cardinality_qerror);
+  out << tail;
+  return out.str();
+}
+
+}  // namespace seco

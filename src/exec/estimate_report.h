@@ -1,0 +1,46 @@
+#ifndef SECO_EXEC_ESTIMATE_REPORT_H_
+#define SECO_EXEC_ESTIMATE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "plan/plan.h"
+
+namespace seco {
+
+/// Estimated vs. observed behaviour of one plan node.
+struct NodeEstimateDelta {
+  int node = -1;
+  std::string label;
+  double est_calls = 0.0;
+  double actual_calls = 0.0;
+  double est_t_out = 0.0;
+  double actual_t_out = 0.0;
+
+  /// q-error of the cardinality estimate: max(est/act, act/est), >= 1;
+  /// 1.0 = perfect. Zero-vs-nonzero cases saturate to +inf.
+  double CardinalityQError() const;
+  double CallQError() const;
+};
+
+/// Compares an annotated plan's estimates against an execution's measured
+/// node statistics. The chapter's cost model rests on the §3.2 independence
+/// and uniformity assumptions; this report quantifies how far reality (the
+/// engine's call cache, correlated data, bounded result lists) deviates.
+struct EstimateReport {
+  std::vector<NodeEstimateDelta> nodes;
+  /// Worst q-errors across service-call nodes.
+  double max_call_qerror = 1.0;
+  double max_cardinality_qerror = 1.0;
+
+  std::string ToString() const;
+};
+
+/// `plan` must be annotated and `result` must come from executing it.
+EstimateReport CompareEstimates(const QueryPlan& plan,
+                                const ExecutionResult& result);
+
+}  // namespace seco
+
+#endif  // SECO_EXEC_ESTIMATE_REPORT_H_

@@ -1,0 +1,144 @@
+#include "exec/resumable.h"
+
+#include <algorithm>
+
+namespace seco {
+
+namespace {
+
+std::string CacheKey(const ServiceRequest& request) {
+  std::string key = std::to_string(request.chunk_index);
+  key += '|';
+  for (const Value& v : request.inputs) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<ServiceResponse> CachingHandler::Call(const ServiceRequest& request) {
+  std::string key = CacheKey(request);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    ServiceResponse resp = it->second;
+    resp.latency_ms = 0.0;  // already paid
+    return resp;
+  }
+  SECO_ASSIGN_OR_RETURN(ServiceResponse resp, inner_->Call(request));
+  ++novel_calls_;
+  cache_[key] = resp;
+  return resp;
+}
+
+ResumableExecution::ResumableExecution(const QueryPlan& plan,
+                                       ExecutionOptions options)
+    : plan_(plan), options_(std::move(options)) {
+  // Rebind every service node to a caching handler. Nodes sharing an
+  // interface share one cache.
+  std::map<const ServiceInterface*, std::shared_ptr<ServiceInterface>> rebound;
+  for (int id = 0; id < plan_.num_nodes(); ++id) {
+    PlanNode& node = plan_.mutable_node(id);
+    if (node.kind != PlanNodeKind::kServiceCall || !node.iface) continue;
+    auto it = rebound.find(node.iface.get());
+    if (it == rebound.end()) {
+      auto cache = std::make_shared<CachingHandler>(
+          std::shared_ptr<ServiceCallHandler>(node.iface,
+                                              node.iface->handler()));
+      caches_.push_back(cache);
+      auto iface = std::make_shared<ServiceInterface>(
+          node.iface->name(), node.iface->schema_ptr(), node.iface->pattern(),
+          node.iface->kind(), node.iface->stats(), cache);
+      it = rebound.emplace(node.iface.get(), std::move(iface)).first;
+    }
+    node.iface = it->second;
+  }
+}
+
+int64_t ResumableExecution::total_novel_calls() const {
+  int64_t total = 0;
+  for (const auto& cache : caches_) total += cache->novel_calls();
+  return total;
+}
+
+Result<ResumeBatch> ResumableExecution::FetchMore(int count) {
+  ResumeBatch batch;
+  if (count <= 0) {
+    batch.may_have_more = !exhausted_;
+    return batch;
+  }
+  if (exhausted_) {
+    batch.may_have_more = false;
+    return batch;
+  }
+  ++rounds_;
+  int target = total_returned_ + count;
+
+  int64_t calls_before = total_novel_calls();
+  const int kMaxGrowthRounds = 8;
+  ExecutionResult result;
+  int prev_available = -1;
+  int64_t prev_calls = -1;
+  for (int attempt = 0; attempt < kMaxGrowthRounds; ++attempt) {
+    ExecutionOptions options = options_;
+    options.k = target;
+    // Keep the full (sorted) result: after deeper fetches, new combinations
+    // may rank anywhere, and the batch needs `count` genuinely new ones.
+    options.truncate_to_k = false;
+    ExecutionEngine engine(options);
+    SECO_ASSIGN_OR_RETURN(result, engine.Execute(plan_));
+    int available = static_cast<int>(result.combinations.size());
+    if (available >= target) break;
+    // Converged without reaching the target: the previous growth neither
+    // paid any new call nor surfaced any new combination — the sources are
+    // exhausted for this plan shape.
+    if (available == prev_available && total_novel_calls() == prev_calls) {
+      exhausted_ = true;
+      break;
+    }
+    prev_available = available;
+    prev_calls = total_novel_calls();
+
+    // Grow every chunked node's fetching factor and retry (the cache makes
+    // previously-paid calls free).
+    bool grew = false;
+    for (int id = 0; id < plan_.num_nodes(); ++id) {
+      PlanNode& node = plan_.mutable_node(id);
+      if (node.kind == PlanNodeKind::kServiceCall && node.iface &&
+          node.iface->is_chunked()) {
+        node.fetch_factor += std::max(1, node.fetch_factor / 2);
+        grew = true;
+      }
+    }
+    if (!grew) {
+      exhausted_ = true;
+      break;
+    }
+  }
+
+  // Hand out only combinations not returned by earlier batches. Deeper
+  // fetches can interleave new results anywhere in the ranking, so dedup is
+  // by content, not position.
+  const BoundQuery& query = plan_.query();
+  for (const Combination& combo : result.combinations) {
+    if (static_cast<int>(batch.combinations.size()) >= count) break;
+    std::string key;
+    for (size_t a = 0; a < combo.components.size(); ++a) {
+      key += combo.components[a].ToString(*query.atoms[a].schema);
+      key += '\x1e';
+    }
+    if (!seen_.insert(std::move(key)).second) continue;
+    batch.combinations.push_back(combo);
+  }
+  total_returned_ += static_cast<int>(batch.combinations.size());
+  batch.novel_calls = total_novel_calls() - calls_before;
+  batch.elapsed_ms = result.elapsed_ms;
+  if (static_cast<int>(batch.combinations.size()) < count && exhausted_) {
+    batch.may_have_more = false;
+  }
+  return batch;
+}
+
+}  // namespace seco

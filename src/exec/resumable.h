@@ -1,0 +1,82 @@
+#ifndef SECO_EXEC_RESUMABLE_H_
+#define SECO_EXEC_RESUMABLE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/engine.h"
+
+namespace seco {
+
+/// Wraps a service handler, memoizing responses by (inputs, chunk index).
+/// Repeated requests return the cached response with zero latency, so
+/// re-running a plan after growing its fetch factors only pays for the new
+/// calls — the substrate of resumable execution.
+class CachingHandler : public ServiceCallHandler {
+ public:
+  explicit CachingHandler(std::shared_ptr<ServiceCallHandler> inner)
+      : inner_(std::move(inner)) {}
+
+  Result<ServiceResponse> Call(const ServiceRequest& request) override;
+
+  /// Requests actually forwarded to the backing service.
+  int64_t novel_calls() const { return novel_calls_; }
+  int64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  std::shared_ptr<ServiceCallHandler> inner_;
+  std::map<std::string, ServiceResponse> cache_;
+  int64_t novel_calls_ = 0;
+  int64_t cache_hits_ = 0;
+};
+
+/// One batch of a resumable run.
+struct ResumeBatch {
+  /// The combinations *new in this batch* (not returned before), in
+  /// decreasing combined score.
+  std::vector<Combination> combinations;
+  /// Calls actually paid to backing services in this batch.
+  int64_t novel_calls = 0;
+  /// Simulated time charged in this batch (cache hits are free).
+  double elapsed_ms = 0.0;
+  /// False when the sources cannot produce any further combination.
+  bool may_have_more = true;
+};
+
+/// §3.2: "a plan execution can be continued, after an explicit user
+/// request, thereby producing more tuples". ResumableExecution re-runs the
+/// plan with progressively larger fetching factors; a per-service response
+/// cache makes the already-paid prefix free, so each `FetchMore` charges
+/// only the increment.
+class ResumableExecution {
+ public:
+  /// `plan` is copied; its service interfaces are rebound to caching
+  /// handlers. `options.k` is the batch size of the first FetchMore.
+  ResumableExecution(const QueryPlan& plan, ExecutionOptions options);
+
+  /// Produces up to `count` combinations beyond everything returned so far.
+  Result<ResumeBatch> FetchMore(int count);
+
+  /// Combinations handed out across all batches.
+  int total_returned() const { return total_returned_; }
+  /// Novel (paid) backend calls across all batches.
+  int64_t total_novel_calls() const;
+  int rounds() const { return rounds_; }
+
+ private:
+  QueryPlan plan_;
+  ExecutionOptions options_;
+  std::vector<std::shared_ptr<CachingHandler>> caches_;
+  std::set<std::string> seen_;  ///< content keys of returned combinations
+  int total_returned_ = 0;
+  int rounds_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace seco
+
+#endif  // SECO_EXEC_RESUMABLE_H_

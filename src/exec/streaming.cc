@@ -1,0 +1,529 @@
+#include "exec/streaming.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "query/semantics.h"
+#include "service/invocation.h"
+
+namespace seco {
+
+namespace {
+
+/// A streaming row: one optional tuple+score per atom, plus the chunk index
+/// that produced the newest tuple (for completion-strategy filtering).
+struct SRow {
+  std::vector<std::optional<Tuple>> tuples;
+  std::vector<double> scores;
+  int chunk_ord = 0;
+};
+
+/// Shared run-wide state: budgets and counters.
+struct RunState {
+  const BoundQuery* query = nullptr;
+  const StreamingOptions* options = nullptr;
+  int total_calls = 0;
+  double total_latency_ms = 0.0;
+};
+
+/// Lazily-fetched, cached result list for one (service, binding) pair.
+struct CacheEntry {
+  struct Item {
+    Tuple tuple;
+    double score;
+    int chunk_ord;
+  };
+  std::vector<Item> items;
+  int chunks_fetched = 0;
+  bool exhausted = false;
+};
+
+/// Per-service-node fetch cache shared by every operator touching the node.
+using FetchCache = std::map<std::string, CacheEntry>;
+
+std::string BindingKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+/// Fetches chunks into `entry` until it holds more than `index` items, the
+/// fetch factor is reached, or the service is exhausted.
+Status EnsureItem(const ServiceInterface& iface, const std::vector<Value>& binding,
+                  int fetch_factor, CacheEntry* entry, RunState* state,
+                  size_t index) {
+  while (entry->items.size() <= index && !entry->exhausted &&
+         entry->chunks_fetched < std::max(fetch_factor, 1)) {
+    if (state->total_calls >= state->options->max_calls) {
+      return Status::ResourceExhausted("service call budget exceeded (" +
+                                       std::to_string(state->options->max_calls) +
+                                       ")");
+    }
+    ServiceRequest request;
+    request.inputs = binding;
+    request.chunk_index = entry->chunks_fetched;
+    SECO_ASSIGN_OR_RETURN(ServiceResponse resp, iface.handler()->Call(request));
+    ++state->total_calls;
+    state->total_latency_ms += resp.latency_ms;
+    for (size_t t = 0; t < resp.tuples.size(); ++t) {
+      entry->items.push_back(CacheEntry::Item{
+          std::move(resp.tuples[t]), t < resp.scores.size() ? resp.scores[t] : 0.0,
+          entry->chunks_fetched});
+    }
+    ++entry->chunks_fetched;
+    if (resp.exhausted || !iface.is_chunked()) entry->exhausted = true;
+  }
+  return Status::OK();
+}
+
+/// Volcano-style operator interface.
+class Op {
+ public:
+  virtual ~Op() = default;
+  /// Fills *row with the next result; returns false at end of stream.
+  virtual Result<bool> Next(SRow* row) = 0;
+};
+
+/// Emits the single empty seed row.
+class InputOp : public Op {
+ public:
+  explicit InputOp(int num_atoms) : num_atoms_(num_atoms) {}
+  Result<bool> Next(SRow* row) override {
+    if (done_) return false;
+    done_ = true;
+    row->tuples.assign(num_atoms_, std::nullopt);
+    row->scores.assign(num_atoms_, 0.0);
+    row->chunk_ord = 0;
+    return true;
+  }
+
+ private:
+  int num_atoms_;
+  bool done_ = false;
+};
+
+/// Emits one preset row (used to seed join-branch expanders).
+class OneRowOp : public Op {
+ public:
+  explicit OneRowOp(SRow row) : row_(std::move(row)) {}
+  Result<bool> Next(SRow* row) override {
+    if (done_) return false;
+    done_ = true;
+    *row = row_;
+    return true;
+  }
+
+ private:
+  SRow row_;
+  bool done_ = false;
+};
+
+/// Lazily extends upstream rows with a service's results: pipe joins,
+/// constant/INPUT bindings, keep-per-input, pipe-group verification — the
+/// streaming counterpart of the materializing engine's service node.
+class ServiceCallOp : public Op {
+ public:
+  ServiceCallOp(std::unique_ptr<Op> upstream, const PlanNode* node,
+                RunState* state, FetchCache* cache)
+      : upstream_(std::move(upstream)), node_(node), state_(state),
+        cache_(cache) {}
+
+  Result<bool> Next(SRow* row) override {
+    while (true) {
+      if (!current_.has_value()) {
+        SRow pulled;
+        SECO_ASSIGN_OR_RETURN(bool got, upstream_->Next(&pulled));
+        if (!got) return false;
+        SECO_RETURN_IF_ERROR(ComputeBindings(pulled));
+        current_ = std::move(pulled);
+        binding_idx_ = 0;
+        item_idx_ = 0;
+        kept_ = 0;
+      }
+      const ServiceInterface& iface = *node_->iface;
+      while (binding_idx_ < bindings_.size()) {
+        if (node_->keep_per_input > 0 && kept_ >= node_->keep_per_input) break;
+        const std::vector<Value>& binding = bindings_[binding_idx_];
+        CacheEntry& entry = (*cache_)[BindingKey(binding)];
+        SECO_RETURN_IF_ERROR(EnsureItem(iface, binding, node_->fetch_factor,
+                                        &entry, state_, item_idx_));
+        if (item_idx_ >= entry.items.size()) {
+          ++binding_idx_;
+          item_idx_ = 0;
+          continue;
+        }
+        const CacheEntry::Item& item = entry.items[item_idx_++];
+        SRow extended = *current_;
+        extended.tuples[node_->atom] = item.tuple;
+        extended.scores[node_->atom] = item.score;
+        extended.chunk_ord = item.chunk_ord;
+        SECO_ASSIGN_OR_RETURN(bool pipe_ok, VerifyPipeGroups(extended));
+        if (!pipe_ok) continue;
+        ++kept_;
+        *row = std::move(extended);
+        return true;
+      }
+      current_.reset();  // row drained; pull the next upstream row
+    }
+  }
+
+ private:
+  Status ComputeBindings(const SRow& pulled) {
+    bindings_.clear();
+    bindings_.emplace_back();
+    const BoundQuery& query = *state_->query;
+    const AccessPattern& pattern = node_->iface->pattern();
+    for (const AttrPath& in_path : pattern.input_paths()) {
+      std::vector<Value> values;
+      for (int sel_idx : node_->input_selections) {
+        const BoundSelection& sel = query.selections[sel_idx];
+        if (sel.atom == node_->atom && sel.path == in_path) {
+          SECO_ASSIGN_OR_RETURN(
+              Value v,
+              query.ResolveSelectionValue(sel, state_->options->input_bindings));
+          values.push_back(std::move(v));
+        }
+      }
+      if (values.empty()) {
+        for (int group_idx : node_->pipe_groups) {
+          for (const JoinClause& clause : query.joins[group_idx].clauses) {
+            int provider = -1;
+            AttrPath provider_path;
+            if (clause.to_atom == node_->atom && clause.to_path == in_path) {
+              provider = clause.from_atom;
+              provider_path = clause.from_path;
+            } else if (clause.from_atom == node_->atom &&
+                       clause.from_path == in_path) {
+              provider = clause.to_atom;
+              provider_path = clause.to_path;
+            }
+            if (provider < 0 || !pulled.tuples[provider].has_value()) continue;
+            for (Value& v :
+                 pulled.tuples[provider]->CandidateValuesAt(provider_path)) {
+              values.push_back(std::move(v));
+            }
+          }
+          if (!values.empty()) break;
+        }
+      }
+      if (values.empty()) {
+        return Status::Internal("streaming engine: unbound input " +
+                                node_->iface->schema().PathToString(in_path));
+      }
+      std::vector<std::vector<Value>> next;
+      for (const std::vector<Value>& prefix : bindings_) {
+        for (const Value& v : values) {
+          std::vector<Value> extended = prefix;
+          extended.push_back(v);
+          next.push_back(std::move(extended));
+        }
+      }
+      bindings_ = std::move(next);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> VerifyPipeGroups(const SRow& extended) {
+    const BoundQuery& query = *state_->query;
+    for (int group_idx : node_->pipe_groups) {
+      const BoundJoinGroup& group = query.joins[group_idx];
+      const JoinClause& first = group.clauses[0];
+      int a = first.from_atom, b = first.to_atom;
+      if (!extended.tuples[a].has_value() || !extended.tuples[b].has_value()) {
+        continue;
+      }
+      SECO_ASSIGN_OR_RETURN(bool holds,
+                            SatisfiesJoinGroup(query, group, *extended.tuples[a],
+                                               *extended.tuples[b]));
+      if (!holds) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<Op> upstream_;
+  const PlanNode* node_;
+  RunState* state_;
+  FetchCache* cache_;
+  std::optional<SRow> current_;
+  std::vector<std::vector<Value>> bindings_;
+  size_t binding_idx_ = 0;
+  size_t item_idx_ = 0;
+  int kept_ = 0;
+};
+
+/// Filters rows by re-evaluating the touched atoms' selections (joint
+/// single-instance rule) and residual join groups.
+class SelectionOp : public Op {
+ public:
+  SelectionOp(std::unique_ptr<Op> upstream, const PlanNode* node,
+              RunState* state)
+      : upstream_(std::move(upstream)), node_(node), state_(state) {
+    for (int sel_idx : node_->selections) {
+      int atom = state_->query->selections[sel_idx].atom;
+      if (std::find(atoms_.begin(), atoms_.end(), atom) == atoms_.end()) {
+        atoms_.push_back(atom);
+      }
+    }
+  }
+
+  Result<bool> Next(SRow* row) override {
+    const BoundQuery& query = *state_->query;
+    while (true) {
+      SRow pulled;
+      SECO_ASSIGN_OR_RETURN(bool got, upstream_->Next(&pulled));
+      if (!got) return false;
+      bool ok = true;
+      for (int atom : atoms_) {
+        if (!pulled.tuples[atom].has_value()) {
+          ok = false;
+          break;
+        }
+        SECO_ASSIGN_OR_RETURN(
+            bool holds, SatisfiesSelections(query, atom, *pulled.tuples[atom],
+                                            state_->options->input_bindings));
+        if (!holds) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (int group_idx : node_->residual_join_groups) {
+          const BoundJoinGroup& group = query.joins[group_idx];
+          const JoinClause& first = group.clauses[0];
+          int a = first.from_atom, b = first.to_atom;
+          if (!pulled.tuples[a].has_value() || !pulled.tuples[b].has_value()) {
+            ok = false;
+            break;
+          }
+          SECO_ASSIGN_OR_RETURN(bool holds,
+                                SatisfiesJoinGroup(query, group,
+                                                   *pulled.tuples[a],
+                                                   *pulled.tuples[b]));
+          if (!holds) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        *row = std::move(pulled);
+        return true;
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<Op> upstream_;
+  const PlanNode* node_;
+  RunState* state_;
+  std::vector<int> atoms_;
+};
+
+/// Parallel join: per upstream row, materializes every branch but the last,
+/// streams the last, and emits verified merges. With triangular completion
+/// on two branches, candidate pairs beyond the fetch grid's anti-diagonal
+/// are skipped (§4.4.2).
+class JoinOp : public Op {
+ public:
+  JoinOp(std::unique_ptr<Op> upstream, std::vector<const PlanNode*> branches,
+         const PlanNode* node, RunState* state,
+         std::map<int, FetchCache>* caches)
+      : upstream_(std::move(upstream)), branches_(std::move(branches)),
+        node_(node), state_(state), caches_(caches) {}
+
+  Result<bool> Next(SRow* row) override {
+    const BoundQuery& query = *state_->query;
+    while (true) {
+      if (!seeded_) {
+        SRow pulled;
+        SECO_ASSIGN_OR_RETURN(bool got, upstream_->Next(&pulled));
+        if (!got) return false;
+        // Materialize all branches but the last.
+        partials_.clear();
+        partials_.push_back(pulled);
+        for (size_t b = 0; b + 1 < branches_.size(); ++b) {
+          std::vector<SRow> next;
+          for (const SRow& base : partials_) {
+            ServiceCallOp expander(std::make_unique<OneRowOp>(base),
+                                   branches_[b], state_,
+                                   &(*caches_)[branches_[b]->id]);
+            SRow extended;
+            while (true) {
+              SECO_ASSIGN_OR_RETURN(bool more, expander.Next(&extended));
+              if (!more) break;
+              next.push_back(extended);
+            }
+          }
+          partials_ = std::move(next);
+        }
+        last_ = std::make_unique<ServiceCallOp>(
+            std::make_unique<OneRowOp>(pulled), branches_.back(), state_,
+            &(*caches_)[branches_.back()->id]);
+        have_last_row_ = false;
+        partial_idx_ = 0;
+        seeded_ = true;
+      }
+
+      while (true) {
+        if (!have_last_row_) {
+          SECO_ASSIGN_OR_RETURN(bool got, last_->Next(&last_row_));
+          if (!got) break;  // this upstream row is drained
+          have_last_row_ = true;
+          partial_idx_ = 0;
+        }
+        bool emitted = false;
+        while (partial_idx_ < partials_.size()) {
+          const SRow& partial = partials_[partial_idx_++];
+          if (branches_.size() == 2 &&
+              node_->strategy.completion == JoinCompletion::kTriangular) {
+            double fx = std::max(branches_[0]->fetch_factor, 1);
+            double fy = std::max(branches_[1]->fetch_factor, 1);
+            double pos = (partial.chunk_ord + 0.5) / fx +
+                         (last_row_.chunk_ord + 0.5) / fy;
+            if (pos > 1.0) continue;
+          }
+          SRow merged = partial;
+          for (size_t a = 0; a < merged.tuples.size(); ++a) {
+            if (last_row_.tuples[a].has_value() && !merged.tuples[a].has_value()) {
+              merged.tuples[a] = last_row_.tuples[a];
+              merged.scores[a] = last_row_.scores[a];
+            }
+          }
+          bool ok = true;
+          for (int group_idx : node_->join_groups) {
+            const BoundJoinGroup& group = query.joins[group_idx];
+            const JoinClause& first = group.clauses[0];
+            int a = first.from_atom, b = first.to_atom;
+            if (!merged.tuples[a].has_value() || !merged.tuples[b].has_value()) {
+              ok = false;
+              break;
+            }
+            SECO_ASSIGN_OR_RETURN(bool holds,
+                                  SatisfiesJoinGroup(query, group,
+                                                     *merged.tuples[a],
+                                                     *merged.tuples[b]));
+            if (!holds) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            *row = std::move(merged);
+            emitted = true;
+            break;
+          }
+        }
+        if (emitted) return true;
+        have_last_row_ = false;  // exhausted partials for this last row
+      }
+      seeded_ = false;  // advance to the next upstream row
+    }
+  }
+
+ private:
+  std::unique_ptr<Op> upstream_;
+  std::vector<const PlanNode*> branches_;
+  const PlanNode* node_;
+  RunState* state_;
+  std::map<int, FetchCache>* caches_;
+  bool seeded_ = false;
+  std::vector<SRow> partials_;
+  std::unique_ptr<ServiceCallOp> last_;
+  SRow last_row_;
+  bool have_last_row_ = false;
+  size_t partial_idx_ = 0;
+};
+
+/// Recursively builds the operator tree rooted at `node_id`.
+Result<std::unique_ptr<Op>> BuildOp(const QueryPlan& plan, int node_id,
+                                    RunState* state,
+                                    std::map<int, FetchCache>* caches) {
+  const PlanNode& node = plan.node(node_id);
+  switch (node.kind) {
+    case PlanNodeKind::kInput:
+      return std::unique_ptr<Op>(
+          std::make_unique<InputOp>(static_cast<int>(plan.query().atoms.size())));
+    case PlanNodeKind::kServiceCall: {
+      SECO_ASSIGN_OR_RETURN(std::unique_ptr<Op> upstream,
+                            BuildOp(plan, node.inputs[0], state, caches));
+      return std::unique_ptr<Op>(std::make_unique<ServiceCallOp>(
+          std::move(upstream), &node, state, &(*caches)[node.id]));
+    }
+    case PlanNodeKind::kSelection: {
+      SECO_ASSIGN_OR_RETURN(std::unique_ptr<Op> upstream,
+                            BuildOp(plan, node.inputs[0], state, caches));
+      return std::unique_ptr<Op>(
+          std::make_unique<SelectionOp>(std::move(upstream), &node, state));
+    }
+    case PlanNodeKind::kParallelJoin: {
+      if (node.join_upstream < 0) {
+        return Status::Unsupported(
+            "streaming engine requires join nodes with a recorded upstream");
+      }
+      SECO_ASSIGN_OR_RETURN(std::unique_ptr<Op> upstream,
+                            BuildOp(plan, node.join_upstream, state, caches));
+      std::vector<const PlanNode*> branches;
+      for (int pred : node.inputs) {
+        const PlanNode& branch = plan.node(pred);
+        if (branch.kind != PlanNodeKind::kServiceCall) {
+          return Status::Unsupported(
+              "streaming engine supports service-call join branches only");
+        }
+        branches.push_back(&branch);
+      }
+      return std::unique_ptr<Op>(std::make_unique<JoinOp>(
+          std::move(upstream), std::move(branches), &node, state, caches));
+    }
+    case PlanNodeKind::kOutput:
+      return BuildOp(plan, node.inputs[0], state, caches);
+  }
+  return Status::Internal("unknown node kind");
+}
+
+}  // namespace
+
+Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
+  SECO_RETURN_IF_ERROR(plan.Validate());
+  RunState state;
+  state.query = &plan.query();
+  state.options = &options_;
+  std::map<int, FetchCache> caches;
+  SECO_ASSIGN_OR_RETURN(std::unique_ptr<Op> root,
+                        BuildOp(plan, plan.output_node(), &state, &caches));
+
+  StreamingResult result;
+  std::vector<double> weights = plan.query().EffectiveWeights();
+  int num_atoms = static_cast<int>(plan.query().atoms.size());
+  SRow row;
+  while (static_cast<int>(result.combinations.size()) < options_.k) {
+    SECO_ASSIGN_OR_RETURN(bool got, root->Next(&row));
+    if (!got) {
+      result.exhausted = true;
+      break;
+    }
+    Combination combo;
+    bool complete = true;
+    double total = 0.0;
+    for (int a = 0; a < num_atoms; ++a) {
+      if (!row.tuples[a].has_value()) {
+        complete = false;
+        break;
+      }
+      combo.components.push_back(*row.tuples[a]);
+      combo.component_scores.push_back(row.scores[a]);
+      total += weights[a] * row.scores[a];
+    }
+    if (!complete) continue;
+    combo.combined_score = total;
+    result.combinations.push_back(std::move(combo));
+  }
+  result.total_calls = state.total_calls;
+  result.total_latency_ms = state.total_latency_ms;
+  return result;
+}
+
+}  // namespace seco

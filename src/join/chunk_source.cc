@@ -1,0 +1,35 @@
+#include "join/chunk_source.h"
+
+namespace seco {
+
+Result<bool> ChunkSource::FetchNext() {
+  if (exhausted_) return false;
+  ServiceRequest request;
+  request.inputs = inputs_;
+  request.chunk_index = num_chunks();
+  SECO_ASSIGN_OR_RETURN(ServiceResponse resp, iface_->handler()->Call(request));
+  ++calls_;
+  total_latency_ms_ += resp.latency_ms;
+  Chunk chunk;
+  chunk.tuples = std::move(resp.tuples);
+  chunk.scores = std::move(resp.scores);
+  if (chunk.tuples.empty()) {
+    exhausted_ = true;
+    return false;
+  }
+  if (chunk.scores.empty() && iface_->is_ranked()) {
+    // Opaque ranking: the service returns results in relevance order but no
+    // scores. Translate positions into a monotone [0..1] score (§3.1 fn. 3).
+    chunk.scores.reserve(chunk.tuples.size());
+    for (size_t i = 0; i < chunk.tuples.size(); ++i) {
+      chunk.scores.push_back(1.0 / (1.0 + tuples_seen_ + static_cast<int>(i)));
+    }
+    scores_synthesized_ = true;
+  }
+  tuples_seen_ += static_cast<int>(chunk.tuples.size());
+  chunks_.push_back(std::move(chunk));
+  if (resp.exhausted) exhausted_ = true;
+  return true;
+}
+
+}  // namespace seco

@@ -1,0 +1,70 @@
+#ifndef SECO_JOIN_CHUNK_SOURCE_H_
+#define SECO_JOIN_CHUNK_SOURCE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "service/service_interface.h"
+
+namespace seco {
+
+/// One fetched chunk: tuples in ranking order with their scores (scores are
+/// empty for unranked services).
+struct Chunk {
+  std::vector<Tuple> tuples;
+  std::vector<double> scores;
+
+  /// The representative score of the chunk: its first tuple's score, or 1.0
+  /// when unranked / 0.0 when empty.
+  double RepresentativeScore() const {
+    if (tuples.empty()) return 0.0;
+    return scores.empty() ? 1.0 : scores.front();
+  }
+};
+
+/// Pulls successive chunks from a service interface under one fixed input
+/// binding, tracking calls and simulated latency. The unit of interaction
+/// of all join methods (§4.1: services produce a new chunk per call).
+class ChunkSource {
+ public:
+  ChunkSource(std::shared_ptr<ServiceInterface> iface, std::vector<Value> inputs)
+      : iface_(std::move(iface)), inputs_(std::move(inputs)) {}
+
+  /// Fetches the next chunk. Returns false when the service was already
+  /// exhausted (no call is made in that case).
+  Result<bool> FetchNext();
+
+  int num_chunks() const { return static_cast<int>(chunks_.size()); }
+  const Chunk& chunk(int i) const { return chunks_[i]; }
+  bool exhausted() const { return exhausted_; }
+
+  int calls() const { return calls_; }
+  double total_latency_ms() const { return total_latency_ms_; }
+
+  const ServiceInterface& iface() const { return *iface_; }
+
+  /// True if this source synthesized scores from positions because the
+  /// (ranked) service returned none — the opaque-ranking handling of the
+  /// chapter's §3.1 footnote: "associating the position of tuples in the
+  /// result with a new attribute and then translating the position into a
+  /// score in the [0..1] interval".
+  bool scores_synthesized() const { return scores_synthesized_; }
+
+ private:
+  std::shared_ptr<ServiceInterface> iface_;
+  std::vector<Value> inputs_;
+  // Deque: growing must not invalidate references to earlier chunks (the
+  // top-k executor keeps pointers into fetched tuples).
+  std::deque<Chunk> chunks_;
+  bool exhausted_ = false;
+  int calls_ = 0;
+  double total_latency_ms_ = 0.0;
+  int tuples_seen_ = 0;
+  bool scores_synthesized_ = false;
+};
+
+}  // namespace seco
+
+#endif  // SECO_JOIN_CHUNK_SOURCE_H_

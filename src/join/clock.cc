@@ -1,0 +1,45 @@
+#include "join/clock.h"
+
+namespace seco {
+
+Result<Clock> Clock::Create(std::vector<int> ratios) {
+  if (ratios.empty()) {
+    return Status::InvalidArgument("clock needs at least one service");
+  }
+  for (int r : ratios) {
+    if (r < 1) {
+      return Status::InvalidArgument("clock ratios must be >= 1");
+    }
+  }
+  return Clock(std::move(ratios));
+}
+
+int Clock::NextService() {
+  // Smooth weighted round-robin: every tick each active service earns its
+  // ratio as credit; the richest service is called and pays the total
+  // active weight. This interleaves calls as evenly as possible.
+  double total = 0.0;
+  for (int i = 0; i < num_services(); ++i) {
+    if (!suspended_[i]) total += ratios_[i];
+  }
+  if (total == 0.0) return -1;
+  int best = -1;
+  for (int i = 0; i < num_services(); ++i) {
+    if (suspended_[i]) continue;
+    credits_[i] += ratios_[i];
+    if (best < 0 || credits_[i] > credits_[best]) best = i;
+  }
+  credits_[best] -= total;
+  ++calls_[best];
+  return best;
+}
+
+void Clock::Suspend(int service) {
+  if (service >= 0 && service < num_services()) suspended_[service] = true;
+}
+
+void Clock::Resume(int service) {
+  if (service >= 0 && service < num_services()) suspended_[service] = false;
+}
+
+}  // namespace seco

@@ -1,0 +1,55 @@
+#ifndef SECO_JOIN_CLOCK_H_
+#define SECO_JOIN_CLOCK_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace seco {
+
+/// A *clock* (the chapter's §4.3.2 pointer to its Chapter 12): a unit that
+/// regulates service calls according to an inter-service ratio. Given
+/// per-service tick weights (r_0 : r_1 : ... : r_{n-1}), `NextService`
+/// returns the index of the service whose call keeps observed call counts
+/// closest to the configured ratio — a smooth weighted round-robin: with
+/// ratio 3:5, out of every 8 consecutive ticks service 0 gets 3 and
+/// service 1 gets 5, interleaved as evenly as possible.
+///
+/// Suspended services (exhausted, failed, or paused by the execution
+/// engine) are skipped until resumed.
+class Clock {
+ public:
+  /// `ratios` must be non-empty with every entry >= 1.
+  static Result<Clock> Create(std::vector<int> ratios);
+
+  int num_services() const { return static_cast<int>(ratios_.size()); }
+
+  /// The service to call next; -1 if every service is suspended.
+  /// Advances the clock state.
+  int NextService();
+
+  /// Marks a service as not callable; its ticks are redistributed.
+  void Suspend(int service);
+  /// Makes a suspended service callable again.
+  void Resume(int service);
+  bool suspended(int service) const { return suspended_[service]; }
+
+  /// Calls issued to each service so far.
+  const std::vector<int>& call_counts() const { return calls_; }
+
+ private:
+  explicit Clock(std::vector<int> ratios)
+      : ratios_(std::move(ratios)),
+        credits_(ratios_.size(), 0.0),
+        calls_(ratios_.size(), 0),
+        suspended_(ratios_.size(), false) {}
+
+  std::vector<int> ratios_;
+  std::vector<double> credits_;
+  std::vector<int> calls_;
+  std::vector<bool> suspended_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_JOIN_CLOCK_H_

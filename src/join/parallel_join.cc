@@ -1,0 +1,188 @@
+#include "join/parallel_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seco {
+
+namespace {
+
+/// Orders tiles by descending representative score, breaking ties by
+/// ascending index sum then x (deterministic diagonal order).
+void SortTilesBest(std::vector<Tile>* tiles, const SearchSpace& space) {
+  std::stable_sort(tiles->begin(), tiles->end(),
+                   [&space](const Tile& a, const Tile& b) {
+                     double sa = space.TileScore(a), sb = space.TileScore(b);
+                     if (sa != sb) return sa > sb;
+                     if (a.IndexSum() != b.IndexSum()) {
+                       return a.IndexSum() < b.IndexSum();
+                     }
+                     return a.x < b.x;
+                   });
+}
+
+}  // namespace
+
+int ParallelJoinExecutor::NextFetchSide() {
+  bool x_done = x_->exhausted();
+  bool y_done = y_->exhausted();
+  if (x_done && y_done) return 0;
+  // The first two calls always alternate so at least one tile exists (§4.4).
+  if (space_.chunks_x() == 0 && !x_done) return -1;
+  if (space_.chunks_y() == 0 && !y_done) return +1;
+  if (x_done) return +1;
+  if (y_done) return -1;
+
+  switch (config_.strategy.invocation) {
+    case JoinInvocation::kNestedLoop: {
+      // Drain the step service (conventionally X) for its h high-ranking
+      // chunks, then fetch only Y (§4.3.1).
+      int h = std::max(1, x_->iface().stats().step_h);
+      return space_.chunks_x() < h ? -1 : +1;
+    }
+    case JoinInvocation::kMergeScan: {
+      // A Clock paces the two services at the inter-service ratio
+      // r = ratio_x : ratio_y (§4.3.2 / the chapter's Chapter 12 pointer).
+      if (!clock_.has_value()) {
+        Result<Clock> clock = Clock::Create({std::max(1, config_.strategy.ratio_x),
+                                             std::max(1, config_.strategy.ratio_y)});
+        if (!clock.ok()) return 0;
+        clock_ = std::move(clock).value();
+      }
+      if (x_done) clock_->Suspend(0);
+      if (y_done) clock_->Suspend(1);
+      int side = clock_->NextService();
+      if (side < 0) return 0;
+      return side == 0 ? -1 : +1;
+    }
+  }
+  return 0;
+}
+
+std::vector<Tile> ParallelJoinExecutor::AdmittedTiles() const {
+  std::vector<Tile> frontier = space_.Frontier();
+  std::vector<Tile> admitted;
+  switch (config_.strategy.completion) {
+    case JoinCompletion::kRectangular:
+      admitted = std::move(frontier);
+      break;
+    case JoinCompletion::kTriangular: {
+      // Admit tiles whose center lies under the anti-diagonal of the
+      // fetched rectangle (~half of the rectangle), plus accumulated slack.
+      double m = std::max(space_.chunks_x(), 1);
+      double n = std::max(space_.chunks_y(), 1);
+      for (const Tile& t : frontier) {
+        double pos = (t.x + 0.5) / m + (t.y + 0.5) / n;
+        if (pos <= 1.0 + slack_) admitted.push_back(t);
+      }
+      break;
+    }
+  }
+  SortTilesBest(&admitted, space_);
+  return admitted;
+}
+
+Result<int> ParallelJoinExecutor::ProcessTile(const Tile& tile,
+                                              JoinExecution* exec) {
+  const Chunk& cx = x_->chunk(tile.x);
+  const Chunk& cy = y_->chunk(tile.y);
+  int found = 0;
+  std::vector<JoinResultTuple> tile_results;
+  for (size_t i = 0; i < cx.tuples.size(); ++i) {
+    for (size_t j = 0; j < cy.tuples.size(); ++j) {
+      SECO_ASSIGN_OR_RETURN(bool match, predicate_(cx.tuples[i], cy.tuples[j]));
+      if (!match) continue;
+      JoinResultTuple result;
+      result.x = cx.tuples[i];
+      result.y = cy.tuples[j];
+      result.score_x = i < cx.scores.size() ? cx.scores[i] : 0.0;
+      result.score_y = j < cy.scores.size() ? cy.scores[j] : 0.0;
+      result.combined =
+          config_.weight_x * result.score_x + config_.weight_y * result.score_y;
+      result.tile = tile;
+      tile_results.push_back(std::move(result));
+      ++found;
+    }
+  }
+  // Within a tile, emit best combinations first.
+  std::stable_sort(tile_results.begin(), tile_results.end(),
+                   [](const JoinResultTuple& a, const JoinResultTuple& b) {
+                     return a.combined > b.combined;
+                   });
+  for (JoinResultTuple& r : tile_results) {
+    exec->results.push_back(std::move(r));
+  }
+  space_.MarkExplored(tile);
+  exec->tile_order.push_back(tile);
+  exec->events.push_back(JoinEvent{JoinEventKind::kProcessTile, -1, tile});
+  return found;
+}
+
+Result<JoinExecution> ParallelJoinExecutor::Run() {
+  JoinExecution exec;
+  while (true) {
+    // Process every admitted tile; stop once k results are emitted.
+    bool done = false;
+    while (!done) {
+      std::vector<Tile> admitted = AdmittedTiles();
+      if (admitted.empty()) break;
+      for (const Tile& tile : admitted) {
+        SECO_RETURN_IF_ERROR(ProcessTile(tile, &exec).status());
+        if (static_cast<int>(exec.results.size()) >= config_.k) {
+          done = true;
+          break;
+        }
+      }
+      if (config_.strategy.completion == JoinCompletion::kRectangular) break;
+      // Triangular: re-evaluate (slack may admit more) only when we still
+      // need results; otherwise leave deferred tiles unprocessed.
+      if (!done) break;
+    }
+    if (static_cast<int>(exec.results.size()) >= config_.k) break;
+
+    bool budget_left = x_->calls() + y_->calls() < config_.max_calls;
+    int side = budget_left ? NextFetchSide() : 0;
+    if (side == 0) {
+      // No more fetches possible. Triangular completion widens its diagonal
+      // threshold as a last resort (§4.4.2: c is "progressively increased")
+      // so already-paid tiles beyond the diagonal can still be processed.
+      if (config_.strategy.completion == JoinCompletion::kTriangular &&
+          !space_.Frontier().empty()) {
+        double step =
+            1.0 / std::max(1, std::max(space_.chunks_x(), space_.chunks_y()));
+        slack_ += step;
+        continue;
+      }
+      break;
+    }
+    if (side < 0) {
+      SECO_ASSIGN_OR_RETURN(bool got, x_->FetchNext());
+      if (got) {
+        space_.AddChunkX(x_->chunk(x_->num_chunks() - 1).RepresentativeScore());
+        exec.events.push_back(
+            JoinEvent{JoinEventKind::kFetchX, x_->num_chunks() - 1, Tile{}});
+      }
+    } else {
+      SECO_ASSIGN_OR_RETURN(bool got, y_->FetchNext());
+      if (got) {
+        space_.AddChunkY(y_->chunk(y_->num_chunks() - 1).RepresentativeScore());
+        exec.events.push_back(
+            JoinEvent{JoinEventKind::kFetchY, y_->num_chunks() - 1, Tile{}});
+      }
+    }
+    if (x_->exhausted() && y_->exhausted() && space_.Frontier().empty()) {
+      break;
+    }
+  }
+  exec.calls_x = x_->calls();
+  exec.calls_y = y_->calls();
+  exec.latency_sequential_ms = x_->total_latency_ms() + y_->total_latency_ms();
+  exec.latency_parallel_ms =
+      std::max(x_->total_latency_ms(), y_->total_latency_ms());
+  exec.exhausted_x = x_->exhausted();
+  exec.exhausted_y = y_->exhausted();
+  exec.space = space_;
+  return exec;
+}
+
+}  // namespace seco

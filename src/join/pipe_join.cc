@@ -1,0 +1,72 @@
+#include "join/pipe_join.h"
+
+namespace seco {
+
+Result<JoinExecution> RunPipeJoin(ChunkSource* outer,
+                                  std::shared_ptr<ServiceInterface> inner_iface,
+                                  const PipeInputFn& inner_inputs,
+                                  const JoinPredicate& predicate,
+                                  const PipeJoinConfig& config) {
+  JoinExecution exec;
+  double inner_latency = 0.0;
+  int inner_calls = 0;
+
+  while (static_cast<int>(exec.results.size()) < config.k) {
+    if (outer->calls() + inner_calls >= config.max_calls) break;
+    SECO_ASSIGN_OR_RETURN(bool got, outer->FetchNext());
+    if (!got) break;
+    int chunk_idx = outer->num_chunks() - 1;
+    const Chunk& outer_chunk = outer->chunk(chunk_idx);
+    exec.events.push_back(JoinEvent{JoinEventKind::kFetchX, chunk_idx, Tile{}});
+
+    for (size_t i = 0; i < outer_chunk.tuples.size(); ++i) {
+      const Tuple& outer_tuple = outer_chunk.tuples[i];
+      double outer_score = i < outer_chunk.scores.size() ? outer_chunk.scores[i] : 0.0;
+      if (outer->calls() + inner_calls >= config.max_calls) break;
+
+      ChunkSource inner(inner_iface, inner_inputs(outer_tuple));
+      int kept = 0;
+      for (int f = 0; f < config.fetches_per_input; ++f) {
+        if (outer->calls() + inner_calls >= config.max_calls) break;
+        SECO_ASSIGN_OR_RETURN(bool inner_got, inner.FetchNext());
+        ++inner_calls;
+        if (!inner_got) break;
+        const Chunk& inner_chunk = inner.chunk(inner.num_chunks() - 1);
+        for (size_t j = 0; j < inner_chunk.tuples.size(); ++j) {
+          if (config.keep_per_input > 0 && kept >= config.keep_per_input) break;
+          bool match = true;
+          if (predicate) {
+            SECO_ASSIGN_OR_RETURN(match,
+                                  predicate(outer_tuple, inner_chunk.tuples[j]));
+          }
+          if (!match) continue;
+          JoinResultTuple result;
+          result.x = outer_tuple;
+          result.y = inner_chunk.tuples[j];
+          result.score_x = outer_score;
+          result.score_y =
+              j < inner_chunk.scores.size() ? inner_chunk.scores[j] : 0.0;
+          result.combined = config.weight_outer * result.score_x +
+                            config.weight_inner * result.score_y;
+          result.tile = Tile{chunk_idx, inner.num_chunks() - 1};
+          exec.results.push_back(std::move(result));
+          ++kept;
+        }
+        if (config.keep_per_input > 0 && kept >= config.keep_per_input) break;
+      }
+      inner_latency += inner.total_latency_ms();
+      if (static_cast<int>(exec.results.size()) >= config.k) break;
+    }
+    exec.exhausted_x = outer->exhausted();
+  }
+
+  exec.calls_x = outer->calls();
+  exec.calls_y = inner_calls;
+  // Pipe joins are sequential by construction: inner calls depend on outer
+  // results, so nothing overlaps.
+  exec.latency_sequential_ms = outer->total_latency_ms() + inner_latency;
+  exec.latency_parallel_ms = exec.latency_sequential_ms;
+  return exec;
+}
+
+}  // namespace seco

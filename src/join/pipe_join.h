@@ -1,0 +1,45 @@
+#ifndef SECO_JOIN_PIPE_JOIN_H_
+#define SECO_JOIN_PIPE_JOIN_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "join/chunk_source.h"
+#include "join/parallel_join.h"
+
+namespace seco {
+
+/// Maps an outer tuple to the input values of the inner service call.
+using PipeInputFn = std::function<std::vector<Value>(const Tuple&)>;
+
+/// Configuration of a standalone binary pipe join (§4.2.1): the outer
+/// service is drained chunk by chunk; each outer tuple's join attributes are
+/// piped as inputs of the inner service, fetching `fetches_per_input` chunks
+/// per outer tuple (nested-loop with rectangular completion, the natural
+/// pipe method per §4.5).
+struct PipeJoinConfig {
+  int k = 10;
+  int max_calls = 200;
+  int fetches_per_input = 1;
+  /// Keep only the best n inner results per outer tuple (<=0: all).
+  int keep_per_input = 0;
+  double weight_outer = 0.5;
+  double weight_inner = 0.5;
+};
+
+/// Executes a pipe join between `outer` (drained in ranking order) and the
+/// keyed service `inner_iface`. An optional residual `predicate` re-checks
+/// pairs (pass nullptr to accept every inner result of a piped call).
+/// Latency is inherently sequential: the inner call depends on outer data,
+/// so `latency_parallel_ms == latency_sequential_ms`.
+Result<JoinExecution> RunPipeJoin(ChunkSource* outer,
+                                  std::shared_ptr<ServiceInterface> inner_iface,
+                                  const PipeInputFn& inner_inputs,
+                                  const JoinPredicate& predicate,
+                                  const PipeJoinConfig& config);
+
+}  // namespace seco
+
+#endif  // SECO_JOIN_PIPE_JOIN_H_

@@ -1,0 +1,51 @@
+#include "join/search_space.h"
+
+#include <algorithm>
+
+namespace seco {
+
+bool SearchSpace::Explored(const Tile& t) const {
+  return std::find(explored_.begin(), explored_.end(), t) != explored_.end();
+}
+
+std::vector<Tile> SearchSpace::Frontier() const {
+  std::vector<Tile> out;
+  for (int x = 0; x < chunks_x(); ++x) {
+    for (int y = 0; y < chunks_y(); ++y) {
+      Tile t{x, y};
+      if (!Explored(t)) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+bool IsGloballyExtractionOptimal(const std::vector<Tile>& order,
+                                 const std::vector<double>& scores_x,
+                                 const std::vector<double>& scores_y,
+                                 double epsilon) {
+  double prev = 2.0;  // above any product of [0,1] scores
+  for (const Tile& t : order) {
+    if (t.x >= static_cast<int>(scores_x.size()) ||
+        t.y >= static_cast<int>(scores_y.size())) {
+      return false;  // processed a tile that was never fetched
+    }
+    double score = scores_x[t.x] * scores_y[t.y];
+    if (score > prev + epsilon) return false;
+    prev = score;
+  }
+  return true;
+}
+
+bool SatisfiesAdjacencyOrder(const std::vector<Tile>& order) {
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = i + 1; j < order.size(); ++j) {
+      if (order[i].AdjacentTo(order[j]) &&
+          order[i].IndexSum() > order[j].IndexSum()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace seco

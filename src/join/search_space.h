@@ -1,0 +1,85 @@
+#ifndef SECO_JOIN_SEARCH_SPACE_H_
+#define SECO_JOIN_SEARCH_SPACE_H_
+
+#include <string>
+#include <vector>
+
+namespace seco {
+
+/// A tile t_xy of the join search space (§4.1, Fig. 4): the rectangular
+/// region of the Cartesian plane covering chunk `x` of service SX and chunk
+/// `y` of service SY.
+struct Tile {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const Tile&) const = default;
+
+  /// Tiles are adjacent if they share an edge (§4.1).
+  bool AdjacentTo(const Tile& other) const {
+    int dx = x - other.x, dy = y - other.y;
+    return (dx == 0 && (dy == 1 || dy == -1)) ||
+           (dy == 0 && (dx == 1 || dx == -1));
+  }
+
+  int IndexSum() const { return x + y; }
+  std::string ToString() const {
+    return "t(" + std::to_string(x) + "," + std::to_string(y) + ")";
+  }
+};
+
+/// Book-keeping for the exploration of a binary join's search space: which
+/// chunks have been fetched from each side, which tiles processed, and the
+/// representative score of each chunk (the score of its first tuple, §4.1).
+class SearchSpace {
+ public:
+  /// Registers a fetched chunk of SX / SY with its representative score.
+  void AddChunkX(double representative_score) {
+    scores_x_.push_back(representative_score);
+  }
+  void AddChunkY(double representative_score) {
+    scores_y_.push_back(representative_score);
+  }
+
+  int chunks_x() const { return static_cast<int>(scores_x_.size()); }
+  int chunks_y() const { return static_cast<int>(scores_y_.size()); }
+
+  /// A tile is available once both of its chunks are fetched.
+  bool Available(const Tile& t) const {
+    return t.x < chunks_x() && t.y < chunks_y();
+  }
+  bool Explored(const Tile& t) const;
+
+  /// Representative ranking of a tile: the product of the representative
+  /// scores of its chunks (extraction-optimality orders by this, §4.1).
+  double TileScore(const Tile& t) const { return scores_x_[t.x] * scores_y_[t.y]; }
+
+  /// All available, not-yet-explored tiles.
+  std::vector<Tile> Frontier() const;
+
+  void MarkExplored(const Tile& t) { explored_.push_back(t); }
+  const std::vector<Tile>& explored_order() const { return explored_; }
+
+  const std::vector<double>& scores_x() const { return scores_x_; }
+  const std::vector<double>& scores_y() const { return scores_y_; }
+
+ private:
+  std::vector<double> scores_x_;
+  std::vector<double> scores_y_;
+  std::vector<Tile> explored_;
+};
+
+/// Checks the §4.1 *global* extraction-optimality condition on a processed
+/// tile order: tiles appear in non-increasing product-of-rankings order.
+bool IsGloballyExtractionOptimal(const std::vector<Tile>& order,
+                                 const std::vector<double>& scores_x,
+                                 const std::vector<double>& scores_y,
+                                 double epsilon = 1e-9);
+
+/// Checks the §4.4 adjacency property: whenever two adjacent tiles are both
+/// in `order`, the one with the smaller index sum comes first.
+bool SatisfiesAdjacencyOrder(const std::vector<Tile>& order);
+
+}  // namespace seco
+
+#endif  // SECO_JOIN_SEARCH_SPACE_H_

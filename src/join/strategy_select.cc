@@ -1,0 +1,72 @@
+#include "join/strategy_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace seco {
+
+void ReduceRatio(double a, double b, int max_r, int* out_a, int* out_b) {
+  if (a <= 0 || b <= 0) {
+    *out_a = 1;
+    *out_b = 1;
+    return;
+  }
+  // Find the best small-integer approximation of a/b.
+  double target = a / b;
+  int best_x = 1, best_y = 1;
+  double best_err = std::abs(target - 1.0);
+  for (int x = 1; x <= max_r; ++x) {
+    for (int y = 1; y <= max_r; ++y) {
+      if (std::gcd(x, y) != 1) continue;
+      double err = std::abs(target - static_cast<double>(x) / y);
+      if (err < best_err) {
+        best_err = err;
+        best_x = x;
+        best_y = y;
+      }
+    }
+  }
+  *out_a = best_x;
+  *out_b = best_y;
+}
+
+void ApplyAutoStrategies(QueryPlan* plan) {
+  for (int id = 0; id < plan->num_nodes(); ++id) {
+    PlanNode& node = plan->mutable_node(id);
+    if (node.kind != PlanNodeKind::kParallelJoin) continue;
+    const ServiceInterface* left = nullptr;
+    const ServiceInterface* right = nullptr;
+    for (int pred : node.inputs) {
+      const PlanNode& p = plan->node(pred);
+      if (p.kind != PlanNodeKind::kServiceCall || !p.iface) continue;
+      if (!left) {
+        left = p.iface.get();
+      } else if (!right) {
+        right = p.iface.get();
+      }
+    }
+    if (left && right) {
+      node.strategy = ChooseStrategy(*left, *right);
+    }
+  }
+}
+
+JoinStrategy ChooseStrategy(const ServiceInterface& x, const ServiceInterface& y) {
+  JoinStrategy strategy;
+  bool x_step = x.stats().decay == ScoreDecay::kStep;
+  bool y_step = y.stats().decay == ScoreDecay::kStep;
+  if (x_step || y_step) {
+    strategy.invocation = JoinInvocation::kNestedLoop;
+    strategy.completion = JoinCompletion::kRectangular;
+    return strategy;
+  }
+  strategy.invocation = JoinInvocation::kMergeScan;
+  strategy.completion = JoinCompletion::kTriangular;
+  // Variable inter-service ratio: call the cheaper (faster) service more.
+  ReduceRatio(y.stats().latency_ms, x.stats().latency_ms, 5, &strategy.ratio_x,
+              &strategy.ratio_y);
+  return strategy;
+}
+
+}  // namespace seco

@@ -1,0 +1,27 @@
+#ifndef SECO_JOIN_STRATEGY_SELECT_H_
+#define SECO_JOIN_STRATEGY_SELECT_H_
+
+#include "plan/plan.h"
+#include "service/service_interface.h"
+
+namespace seco {
+
+/// Picks a join strategy for a parallel join of two search services (§4.3):
+/// nested-loop (with rectangular completion) when a side exhibits a step
+/// scoring function — the step side becomes the drained service — otherwise
+/// merge-scan with triangular completion and an inter-service call ratio
+/// proportional to the inverse latencies (the cheaper service is called
+/// more often), reduced to small integers.
+JoinStrategy ChooseStrategy(const ServiceInterface& x, const ServiceInterface& y);
+
+/// Reduces a positive ratio a:b to small coprime integers capped at `max_r`.
+void ReduceRatio(double a, double b, int max_r, int* out_a, int* out_b);
+
+/// Rewrites every parallel-join node of `plan` with the strategy chosen by
+/// ChooseStrategy over its first two service-call predecessors. Call before
+/// AnnotatePlan (the completion strategy affects cardinality estimates).
+void ApplyAutoStrategies(QueryPlan* plan);
+
+}  // namespace seco
+
+#endif  // SECO_JOIN_STRATEGY_SELECT_H_

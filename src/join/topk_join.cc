@@ -1,0 +1,154 @@
+#include "join/topk_join.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace seco {
+
+namespace {
+
+/// A buffered tuple with its score and source chunk.
+struct Buffered {
+  const Tuple* tuple;
+  double score;
+  int chunk;
+};
+
+struct Candidate {
+  JoinResultTuple result;
+  bool operator<(const Candidate& other) const {
+    // std::priority_queue is a max-heap on operator<.
+    return result.combined < other.result.combined;
+  }
+};
+
+}  // namespace
+
+Result<TopKJoinExecution> TopKJoinExecutor::Run() {
+  TopKJoinExecution exec;
+  std::vector<Buffered> buffer_x, buffer_y;
+  std::priority_queue<Candidate> candidates;
+
+  double top_x = -1.0, last_x = 1.0;  // best / most recent score per side
+  double top_y = -1.0, last_y = 1.0;
+  bool done_x = false, done_y = false;
+
+  auto threshold = [&]() {
+    // Before a side produced anything, its top is unknown: the bound must
+    // stay at the maximum (1.0-scored) assumption for that side.
+    double tx = top_x < 0 ? 1.0 : top_x;
+    double ty = top_y < 0 ? 1.0 : top_y;
+    double lx = done_x ? 0.0 : last_x;
+    double ly = done_y ? 0.0 : last_y;
+    return std::max(config_.weight_x * tx + config_.weight_y * ly,
+                    config_.weight_x * lx + config_.weight_y * ty);
+  };
+
+  auto emit_ready = [&]() {
+    double t = threshold();
+    while (!candidates.empty() &&
+           static_cast<int>(exec.results.size()) < config_.k &&
+           candidates.top().result.combined >= t - 1e-12) {
+      exec.results.push_back(candidates.top().result);
+      candidates.pop();
+    }
+  };
+
+  auto join_new_chunk = [&](bool is_x) -> Status {
+    ChunkSource* self = is_x ? x_ : y_;
+    const Chunk& chunk = self->chunk(self->num_chunks() - 1);
+    std::vector<Buffered>& own = is_x ? buffer_x : buffer_y;
+    const std::vector<Buffered>& other = is_x ? buffer_y : buffer_x;
+    size_t own_start = own.size();
+    for (size_t i = 0; i < chunk.tuples.size(); ++i) {
+      double score = i < chunk.scores.size() ? chunk.scores[i] : 0.0;
+      own.push_back(Buffered{&chunk.tuples[i], score, self->num_chunks() - 1});
+      if (is_x) {
+        if (top_x < 0) top_x = score;
+        last_x = score;
+      } else {
+        if (top_y < 0) top_y = score;
+        last_y = score;
+      }
+    }
+    // Join the new tuples against the whole opposite buffer.
+    for (size_t i = own_start; i < own.size(); ++i) {
+      for (const Buffered& o : other) {
+        const Buffered& bx = is_x ? own[i] : o;
+        const Buffered& by = is_x ? o : own[i];
+        SECO_ASSIGN_OR_RETURN(bool match, predicate_(*bx.tuple, *by.tuple));
+        if (!match) continue;
+        JoinResultTuple result;
+        result.x = *bx.tuple;
+        result.y = *by.tuple;
+        result.score_x = bx.score;
+        result.score_y = by.score;
+        result.combined = config_.weight_x * bx.score + config_.weight_y * by.score;
+        result.tile = Tile{bx.chunk, by.chunk};
+        candidates.push(Candidate{std::move(result)});
+      }
+    }
+    return Status::OK();
+  };
+
+  while (static_cast<int>(exec.results.size()) < config_.k) {
+    emit_ready();
+    if (static_cast<int>(exec.results.size()) >= config_.k) break;
+
+    done_x = x_->exhausted();
+    done_y = y_->exhausted();
+    if (done_x && done_y) {
+      // Threshold collapses to what the tops can still pair with (nothing):
+      // drain remaining candidates in order.
+      while (!candidates.empty() &&
+             static_cast<int>(exec.results.size()) < config_.k) {
+        exec.results.push_back(candidates.top().result);
+        candidates.pop();
+      }
+      exec.guaranteed = true;
+      break;
+    }
+    if (x_->calls() + y_->calls() >= config_.max_calls) break;
+
+    // HRJN* descent: fetch the side whose term dominates the threshold.
+    double term_x = config_.weight_x * (done_x ? 0.0 : last_x) +
+                    config_.weight_y * (top_y < 0 ? 1.0 : top_y);
+    double term_y = config_.weight_x * (top_x < 0 ? 1.0 : top_x) +
+                    config_.weight_y * (done_y ? 0.0 : last_y);
+    bool fetch_x;
+    if (done_x) {
+      fetch_x = false;
+    } else if (done_y) {
+      fetch_x = true;
+    } else if (x_->num_chunks() == 0) {
+      fetch_x = true;  // bootstrap X first, then Y
+    } else if (y_->num_chunks() == 0) {
+      fetch_x = false;
+    } else {
+      fetch_x = term_x >= term_y;
+    }
+
+    ChunkSource* side = fetch_x ? x_ : y_;
+    SECO_ASSIGN_OR_RETURN(bool got, side->FetchNext());
+    if (got) {
+      SECO_RETURN_IF_ERROR(join_new_chunk(fetch_x));
+    } else if (fetch_x) {
+      last_x = 0.0;
+    } else {
+      last_y = 0.0;
+    }
+  }
+
+  if (static_cast<int>(exec.results.size()) >= config_.k) {
+    exec.guaranteed = true;
+  }
+  exec.calls_x = x_->calls();
+  exec.calls_y = y_->calls();
+  exec.final_threshold = threshold();
+  exec.latency_sequential_ms = x_->total_latency_ms() + y_->total_latency_ms();
+  exec.latency_parallel_ms =
+      std::max(x_->total_latency_ms(), y_->total_latency_ms());
+  return exec;
+}
+
+}  // namespace seco

@@ -1,0 +1,73 @@
+#ifndef SECO_JOIN_TOPK_JOIN_H_
+#define SECO_JOIN_TOPK_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "join/chunk_source.h"
+#include "join/parallel_join.h"
+
+namespace seco {
+
+/// Configuration of a guaranteed top-k binary rank join.
+struct TopKJoinConfig {
+  int k = 10;
+  int max_calls = 500;
+  double weight_x = 0.5;
+  double weight_y = 0.5;
+};
+
+/// Outcome of a top-k join run.
+struct TopKJoinExecution {
+  /// Emitted in strictly non-increasing combined score. When `guaranteed`
+  /// is true these are exactly the top-k joinable combinations of the two
+  /// full result lists under the weighted scoring function.
+  std::vector<JoinResultTuple> results;
+  int calls_x = 0;
+  int calls_y = 0;
+  /// The final HRJN threshold (upper bound on any unseen combination).
+  double final_threshold = 0.0;
+  /// True if k results were emitted with the top-k guarantee intact; false
+  /// if the call budget ran out first (results are still correct prefixes:
+  /// every emitted tuple is guaranteed, there are just fewer than k).
+  bool guaranteed = false;
+  double latency_sequential_ms = 0.0;
+  double latency_parallel_ms = 0.0;
+};
+
+/// A guaranteed top-k rank join in the style of HRJN (hash rank join), the
+/// family of "top-k join methods" the chapter defers to its Chapter 11:
+/// unlike the §4 extraction-optimal methods, it emits a combination only
+/// once the *threshold* — the best combined score any unseen pair could
+/// still achieve — proves no better combination is pending. The price is
+/// blocking behaviour: output stalls while the threshold is driven down.
+///
+///   T = max(wx * sx_top + wy * sy_last,  wx * sx_last + wy * sy_top)
+///
+/// where s*_top is the first (best) score seen on a side and s*_last the
+/// most recent (§: monotone sources). Each new chunk joins against the
+/// opposite buffer; joinable pairs wait in a priority queue until their
+/// combined score is >= T.
+///
+/// Invocation alternates toward the side whose contribution to the
+/// threshold is larger (the HRJN* descent rule), degenerating to simple
+/// alternation on ties.
+class TopKJoinExecutor {
+ public:
+  TopKJoinExecutor(ChunkSource* source_x, ChunkSource* source_y,
+                   JoinPredicate predicate, TopKJoinConfig config)
+      : x_(source_x), y_(source_y), predicate_(std::move(predicate)),
+        config_(config) {}
+
+  Result<TopKJoinExecution> Run();
+
+ private:
+  ChunkSource* x_;
+  ChunkSource* y_;
+  JoinPredicate predicate_;
+  TopKJoinConfig config_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_JOIN_TOPK_JOIN_H_

@@ -1,0 +1,151 @@
+#include "optimizer/augmentation.h"
+
+#include <algorithm>
+
+namespace seco {
+
+namespace {
+
+/// Leaf name of a path ("Genre" for "Genres.Genre", "City" for "City").
+std::string LeafName(const ServiceSchema& schema, const AttrPath& path) {
+  const AttributeDef& attr = schema.attribute(path.attr_index);
+  if (path.is_sub_attribute()) return attr.sub_attributes[path.sub_index].name;
+  return attr.name;
+}
+
+}  // namespace
+
+Result<std::vector<AugmentationSuggestion>> SuggestAugmentations(
+    const BoundQuery& query, const ServiceRegistry& registry) {
+  std::vector<AugmentationSuggestion> out;
+  SECO_ASSIGN_OR_RETURN(FeasibilityReport report, CheckFeasibility(query));
+  if (report.feasible) return out;
+
+  // Interfaces already used by the query are not "off-query".
+  std::vector<std::string> used;
+  for (const BoundAtom& atom : query.atoms) {
+    if (atom.iface) used.push_back(atom.iface->name());
+  }
+
+  for (int a = 0; a < static_cast<int>(query.atoms.size()); ++a) {
+    const AtomFeasibility& info = report.atoms[a];
+    if (info.reachable) continue;
+    const ServiceSchema& schema = *query.atoms[a].schema;
+    for (const InputBinding& binding : info.inputs) {
+      if (binding.source != BindingSource::kUnbound) continue;
+      std::string leaf = LeafName(schema, binding.path);
+      ValueType type = schema.TypeAt(binding.path);
+
+      for (const std::string& iface_name : registry.interface_names()) {
+        if (std::find(used.begin(), used.end(), iface_name) != used.end()) {
+          continue;
+        }
+        SECO_ASSIGN_OR_RETURN(std::shared_ptr<ServiceInterface> provider,
+                              registry.FindInterface(iface_name));
+        const ServiceSchema& pschema = provider->schema();
+        const AccessPattern& ppattern = provider->pattern();
+        // Look for an output of the provider with matching leaf name+type.
+        for (const AttrPath& out_path : ppattern.output_paths()) {
+          if (LeafName(pschema, out_path) != leaf) continue;
+          if (pschema.TypeAt(out_path) != type) continue;
+
+          AugmentationSuggestion suggestion;
+          suggestion.atom = a;
+          suggestion.input_path = binding.path;
+          suggestion.input_name = schema.PathToString(binding.path);
+          suggestion.provider_interface = iface_name;
+          suggestion.provider_output = pschema.PathToString(out_path);
+
+          // Can the provider itself be invoked from the query's constants?
+          suggestion.provider_invocable = true;
+          for (const AttrPath& pin : ppattern.input_paths()) {
+            std::string pin_leaf = LeafName(pschema, pin);
+            ValueType pin_type = pschema.TypeAt(pin);
+            int found = -1;
+            for (size_t s = 0; s < query.selections.size(); ++s) {
+              const BoundSelection& sel = query.selections[s];
+              if (sel.op != Comparator::kEq) continue;
+              const ServiceSchema& sel_schema = *query.atoms[sel.atom].schema;
+              if (LeafName(sel_schema, sel.path) == pin_leaf &&
+                  sel_schema.TypeAt(sel.path) == pin_type) {
+                found = static_cast<int>(s);
+                break;
+              }
+            }
+            suggestion.provider_input_bindings.push_back(found);
+            if (found < 0) suggestion.provider_invocable = false;
+          }
+          out.push_back(std::move(suggestion));
+        }
+      }
+    }
+  }
+  // Invocable providers first; stable within groups.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AugmentationSuggestion& a,
+                      const AugmentationSuggestion& b) {
+                     return a.provider_invocable > b.provider_invocable;
+                   });
+  return out;
+}
+
+Result<BoundQuery> ApplyAugmentation(const BoundQuery& query,
+                                     const ServiceRegistry& registry,
+                                     const AugmentationSuggestion& suggestion) {
+  if (!suggestion.provider_invocable) {
+    return Status::Unsupported(
+        "provider '" + suggestion.provider_interface +
+        "' is not invocable from the query's constants; recursive "
+        "augmentation is not supported");
+  }
+  SECO_ASSIGN_OR_RETURN(std::shared_ptr<ServiceInterface> provider,
+                        registry.FindInterface(suggestion.provider_interface));
+
+  BoundQuery augmented = query;
+  BoundAtom atom;
+  atom.alias = "_aug" + std::to_string(query.atoms.size());
+  atom.service_name = provider->name();
+  atom.mart_name = registry.MartOfInterface(provider->name());
+  atom.schema = provider->schema_ptr();
+  atom.iface = provider;
+  atom.candidates = {provider};
+  int provider_atom = static_cast<int>(augmented.atoms.size());
+  augmented.atoms.push_back(std::move(atom));
+  if (!augmented.explicit_weights.empty()) {
+    augmented.explicit_weights.push_back(0.0);  // auxiliary atom: no ranking
+  }
+
+  // Bind the provider's inputs by duplicating the matched selections.
+  const AccessPattern& ppattern = provider->pattern();
+  for (size_t i = 0; i < ppattern.input_paths().size(); ++i) {
+    int sel_index = i < suggestion.provider_input_bindings.size()
+                        ? suggestion.provider_input_bindings[i]
+                        : -1;
+    if (sel_index < 0) {
+      return Status::Internal("invocable suggestion lacks a binding for input " +
+                              std::to_string(i));
+    }
+    BoundSelection sel = query.selections[sel_index];
+    sel.atom = provider_atom;
+    sel.path = ppattern.input_paths()[i];
+    augmented.selections.push_back(std::move(sel));
+  }
+
+  // Join the provider's output to the formerly unbound input.
+  SECO_ASSIGN_OR_RETURN(AttrPath out_path,
+                        provider->schema().Resolve(suggestion.provider_output));
+  BoundJoinGroup group;
+  group.pattern_name = "";  // ad-hoc augmentation join
+  group.selectivity = 1.0;  // the binding is definitional, not filtering
+  JoinClause clause;
+  clause.from_atom = provider_atom;
+  clause.from_path = out_path;
+  clause.op = Comparator::kEq;
+  clause.to_atom = suggestion.atom;
+  clause.to_path = suggestion.input_path;
+  group.clauses.push_back(clause);
+  augmented.joins.push_back(std::move(group));
+  return augmented;
+}
+
+}  // namespace seco

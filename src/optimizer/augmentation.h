@@ -1,0 +1,64 @@
+#ifndef SECO_OPTIMIZER_AUGMENTATION_H_
+#define SECO_OPTIMIZER_AUGMENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/bound_query.h"
+#include "query/feasibility.h"
+
+namespace seco {
+
+/// A proposal to make an infeasible query answerable (§2.3): an *off-query*
+/// service — available in the schema but not mentioned by the query — whose
+/// output field can supply bindings for an unbound input field with the same
+/// abstract domain (approximated here as matching leaf attribute name and
+/// value type).
+struct AugmentationSuggestion {
+  /// The atom whose input cannot be bound.
+  int atom = -1;
+  AttrPath input_path;
+  std::string input_name;  ///< dotted name of the unbound input
+
+  /// The off-query provider.
+  std::string provider_interface;
+  std::string provider_output;  ///< dotted name of the matching output
+
+  /// How the provider itself becomes invocable: true when all of its own
+  /// inputs are coverable by the query's constant/INPUT selections (matched
+  /// by leaf name and type) or when it has no inputs. Providers that are
+  /// not self-invocable would require recursive augmentation, which §2.3
+  /// notes may need recursive query plans.
+  bool provider_invocable = false;
+  /// The selections (indexes into BoundQuery::selections) that would bind
+  /// the provider's inputs, in provider input order (-1 for uncovered).
+  std::vector<int> provider_input_bindings;
+};
+
+/// Analyzes an infeasible query and lists every off-query service whose
+/// outputs could bind the unreachable atoms' unbound inputs. Returns an
+/// empty list when the query is already feasible. Suggestions are an
+/// approximation of the original query (§2.3): joining through an off-query
+/// service restricts results to the bindings that service can produce.
+Result<std::vector<AugmentationSuggestion>> SuggestAugmentations(
+    const BoundQuery& query, const ServiceRegistry& registry);
+
+/// Applies a suggestion: returns a copy of `query` extended with the
+/// provider as a new atom (aliased `_aug<i>`), the selections that bind the
+/// provider's inputs, and an equality join from the provider's output to
+/// the unbound input. The suggestion must be `provider_invocable`; the
+/// result is feasible whenever the original query's only defect was the
+/// suggested input (re-check with CheckFeasibility — several unbound inputs
+/// may need several applications).
+///
+/// Note the §2.3 caveat: the augmented query computes an *approximation* of
+/// the original — combinations are restricted to bindings the provider
+/// produces.
+Result<BoundQuery> ApplyAugmentation(const BoundQuery& query,
+                                     const ServiceRegistry& registry,
+                                     const AugmentationSuggestion& suggestion);
+
+}  // namespace seco
+
+#endif  // SECO_OPTIMIZER_AUGMENTATION_H_

@@ -1,0 +1,126 @@
+#include "optimizer/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "join/chunk_source.h"
+
+namespace seco {
+
+namespace {
+
+/// Least-squares R^2 of y against x under y = a + b*x.
+double LinearFitR2(const std::vector<double>& x, const std::vector<double>& y) {
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  double b = (n * sxy - sx * sy) / denom;
+  double a = (sy - b * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  double mean_y = sy / n;
+  for (size_t i = 0; i < n; ++i) {
+    double fit = a + b * x[i];
+    ss_res += (y[i] - fit) * (y[i] - fit);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  if (ss_tot < 1e-12) return 1.0;  // constant data: any line fits
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+Result<ServiceProfile> ProfileService(std::shared_ptr<ServiceInterface> iface,
+                                      const std::vector<Value>& inputs,
+                                      int max_probes,
+                                      double step_drop_fraction) {
+  ChunkSource source(iface, inputs);
+  ServiceProfile profile;
+  std::vector<double> representatives;  // first score per chunk
+  std::vector<double> positions;
+  std::vector<double> scores;
+  int position = 0;
+  int total_tuples = 0;
+  for (int probe = 0; probe < max_probes; ++probe) {
+    SECO_ASSIGN_OR_RETURN(bool got, source.FetchNext());
+    if (!got) {
+      profile.exhausted = true;
+      break;
+    }
+    const Chunk& chunk = source.chunk(source.num_chunks() - 1);
+    if (chunk.scores.empty()) {
+      return Status::InvalidArgument("service '" + iface->name() +
+                                     "' returns no scores; cannot profile");
+    }
+    representatives.push_back(chunk.RepresentativeScore());
+    for (double s : chunk.scores) {
+      positions.push_back(position++);
+      scores.push_back(std::max(s, 0.0));
+    }
+    total_tuples += static_cast<int>(chunk.tuples.size());
+  }
+  profile.probes = source.calls();
+  if (representatives.empty()) {
+    return Status::InvalidArgument("service '" + iface->name() +
+                                   "' produced no chunks to profile");
+  }
+  profile.avg_chunk_size =
+      static_cast<double>(total_tuples) / representatives.size();
+  profile.avg_latency_ms = source.total_latency_ms() / source.calls();
+
+  // Step detection on chunk representatives: the drop must be large AND
+  // anomalous — a short progressive list also shows a big relative drop at
+  // its tail, so the candidate drop must dwarf the median of the others.
+  // A single inter-chunk drop (2 chunks) is no evidence: a short
+  // progressive list ends the same way. At least two drops are needed.
+  if (representatives.size() >= 3) {
+    std::vector<double> drops;
+    for (size_t c = 1; c < representatives.size(); ++c) {
+      double prev = representatives[c - 1];
+      double cur = representatives[c];
+      drops.push_back(prev > 1e-9 ? (prev - cur) / prev : 0.0);
+    }
+    size_t max_idx = 0;
+    for (size_t i = 1; i < drops.size(); ++i) {
+      if (drops[i] > drops[max_idx]) max_idx = i;
+    }
+    std::vector<double> others = drops;
+    others.erase(others.begin() + max_idx);
+    double median_other = 0.0;
+    if (!others.empty()) {
+      std::sort(others.begin(), others.end());
+      median_other = others[others.size() / 2];
+    }
+    if (drops[max_idx] > step_drop_fraction &&
+        drops[max_idx] >= 3.0 * median_other) {
+      profile.decay = ScoreDecay::kStep;
+      profile.step_h = static_cast<int>(max_idx) + 1;
+      return profile;
+    }
+  }
+
+  // Progressive fits: linear on s, linear on sqrt(s) (the quadratic model).
+  std::vector<double> sqrt_scores(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    sqrt_scores[i] = std::sqrt(scores[i]);
+  }
+  double r2_linear = LinearFitR2(positions, scores);
+  double r2_quadratic = LinearFitR2(positions, sqrt_scores);
+  if (r2_quadratic > r2_linear) {
+    profile.decay = ScoreDecay::kQuadratic;
+    profile.fit_r2 = r2_quadratic;
+  } else {
+    profile.decay = ScoreDecay::kLinear;
+    profile.fit_r2 = r2_linear;
+  }
+  return profile;
+}
+
+}  // namespace seco

@@ -1,0 +1,55 @@
+#ifndef SECO_OPTIMIZER_CALIBRATION_H_
+#define SECO_OPTIMIZER_CALIBRATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "service/service_interface.h"
+
+namespace seco {
+
+/// What probing a service revealed about its behaviour. §4.1 notes that
+/// when the ranking function is opaque, "classifying services and
+/// determining h ... is more difficult" — this module does exactly that
+/// classification empirically, so the optimizer can pick invocation
+/// strategies (nested-loop for step services, merge-scan otherwise) without
+/// trusting declared statistics.
+struct ServiceProfile {
+  /// Fitted score-decay class: kStep, kLinear, or kQuadratic.
+  ScoreDecay decay = ScoreDecay::kOpaque;
+  /// For kStep: the number of high-ranking chunks before the drop (h).
+  int step_h = 1;
+  /// Mean tuples per fetched chunk.
+  double avg_chunk_size = 0.0;
+  /// Mean observed request-response latency.
+  double avg_latency_ms = 0.0;
+  /// Coefficient of determination (R^2) of the winning progressive fit;
+  /// 1.0 for perfect fits, meaningless for kStep.
+  double fit_r2 = 0.0;
+  /// Chunks actually fetched.
+  int probes = 0;
+  /// True if the service ran out of results during probing.
+  bool exhausted = false;
+};
+
+/// Probes `iface` with the given input binding for up to `max_probes`
+/// chunks and classifies its scoring function:
+///
+///  - a relative drop of more than `step_drop_fraction` between consecutive
+///    chunk representative scores marks a *step* function, with h = number
+///    of chunks before the drop;
+///  - otherwise the tuple scores are regressed against position under the
+///    linear model s = a + b*pos and the quadratic model sqrt(s) = a + b*pos
+///    (the two §4.1 "progressive" archetypes); the better R^2 wins.
+///
+/// Unranked services (no scores returned and none synthesizable) fail with
+/// kInvalidArgument.
+Result<ServiceProfile> ProfileService(std::shared_ptr<ServiceInterface> iface,
+                                      const std::vector<Value>& inputs,
+                                      int max_probes = 8,
+                                      double step_drop_fraction = 0.4);
+
+}  // namespace seco
+
+#endif  // SECO_OPTIMIZER_CALIBRATION_H_

@@ -1,0 +1,35 @@
+#include "optimizer/heuristics.h"
+
+namespace seco {
+
+const char* AccessHeuristicToString(AccessHeuristic h) {
+  switch (h) {
+    case AccessHeuristic::kBoundIsBetter:
+      return "bound-is-better";
+    case AccessHeuristic::kUnboundIsEasier:
+      return "unbound-is-easier";
+  }
+  return "?";
+}
+
+const char* TopologyHeuristicToString(TopologyHeuristic h) {
+  switch (h) {
+    case TopologyHeuristic::kSelectiveFirst:
+      return "selective-first";
+    case TopologyHeuristic::kParallelIsBetter:
+      return "parallel-is-better";
+  }
+  return "?";
+}
+
+const char* FetchHeuristicToString(FetchHeuristic h) {
+  switch (h) {
+    case FetchHeuristic::kGreedy:
+      return "greedy";
+    case FetchHeuristic::kSquareIsBetter:
+      return "square-is-better";
+  }
+  return "?";
+}
+
+}  // namespace seco

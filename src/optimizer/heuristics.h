@@ -1,0 +1,45 @@
+#ifndef SECO_OPTIMIZER_HEURISTICS_H_
+#define SECO_OPTIMIZER_HEURISTICS_H_
+
+namespace seco {
+
+/// Phase 1 branching order (§5.3): which access pattern / interface to try
+/// first for each atom.
+enum class AccessHeuristic {
+  /// Prefer interfaces with many input attributes: tighter bindings mean
+  /// smaller answer sets and faster services.
+  kBoundIsBetter,
+  /// Prefer interfaces with few input attributes: easier to find an
+  /// assignment that keeps the query feasible.
+  kUnboundIsEasier,
+};
+
+const char* AccessHeuristicToString(AccessHeuristic h);
+
+/// Phase 2 branching order (§5.4): how to grow the plan DAG.
+enum class TopologyHeuristic {
+  /// Long linear paths ordered by decreasing selectivity (most selective
+  /// service first), ideally one chain from input to output.
+  kSelectiveFirst,
+  /// Always make the choice that maximizes parallelism; optimal when there
+  /// are no access limitations under the bottleneck metric.
+  kParallelIsBetter,
+};
+
+const char* TopologyHeuristicToString(TopologyHeuristic h);
+
+/// Phase 3 fetch-factor growth (§5.5).
+enum class FetchHeuristic {
+  /// Increment the fetching factor with the highest marginal answers gained
+  /// per unit of cost (sensitivity-driven).
+  kGreedy,
+  /// Increment factors so every chunked service explores about the same
+  /// number of tuples (keeps binary-join search spaces square).
+  kSquareIsBetter,
+};
+
+const char* FetchHeuristicToString(FetchHeuristic h);
+
+}  // namespace seco
+
+#endif  // SECO_OPTIMIZER_HEURISTICS_H_

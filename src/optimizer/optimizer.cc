@@ -1,0 +1,406 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "join/strategy_select.h"
+#include "query/feasibility.h"
+
+namespace seco {
+
+namespace {
+
+/// Atoms whose every input path is bound by an equality selection or by an
+/// equality join clause whose other side is an output of a placed atom.
+std::vector<int> ReachableUnplaced(const BoundQuery& query,
+                                   const std::vector<bool>& placed) {
+  std::vector<int> out;
+  for (int a = 0; a < static_cast<int>(query.atoms.size()); ++a) {
+    if (placed[a]) continue;
+    const ServiceInterface& iface = *query.atoms[a].iface;
+    bool all_bound = true;
+    for (const AttrPath& in_path : iface.pattern().input_paths()) {
+      bool bound = false;
+      for (const BoundSelection& sel : query.selections) {
+        if (sel.atom == a && sel.path == in_path && sel.op == Comparator::kEq) {
+          bound = true;
+        }
+      }
+      if (!bound) {
+        for (const BoundJoinGroup& group : query.joins) {
+          for (const JoinClause& clause : group.clauses) {
+            if (clause.op != Comparator::kEq) continue;
+            int other = -1;
+            AttrPath other_path;
+            if (clause.to_atom == a && clause.to_path == in_path) {
+              other = clause.from_atom;
+              other_path = clause.from_path;
+            } else if (clause.from_atom == a && clause.from_path == in_path) {
+              other = clause.to_atom;
+              other_path = clause.to_path;
+            } else {
+              continue;
+            }
+            if (other == a || !placed[other]) continue;
+            if (query.atoms[other].iface->pattern().At(other_path) !=
+                Adornment::kInput) {
+              bound = true;
+            }
+          }
+        }
+      }
+      if (!bound) {
+        all_bound = false;
+        break;
+      }
+    }
+    if (all_bound) out.push_back(a);
+  }
+  return out;
+}
+
+/// Expected per-input yield of an atom's service after its own residual
+/// selections; used to order the selective-first heuristic.
+double EstimatedYield(const BoundQuery& query, int atom) {
+  const ServiceInterface& iface = *query.atoms[atom].iface;
+  double base = iface.is_chunked()
+                    ? static_cast<double>(iface.stats().chunk_size)
+                    : iface.stats().avg_tuples_per_call;
+  for (const BoundSelection& sel : query.selections) {
+    if (sel.atom != atom) continue;
+    bool consumed_as_input = sel.op == Comparator::kEq &&
+                             iface.pattern().At(sel.path) == Adornment::kInput;
+    if (!consumed_as_input) base *= sel.selectivity;
+  }
+  return base;
+}
+
+/// Restricts `query` to a subset of atoms (for partial-plan bounding).
+/// `index_map[old] = new` or -1.
+BoundQuery RestrictQuery(const BoundQuery& query, const std::vector<bool>& keep,
+                         std::vector<int>* index_map) {
+  BoundQuery sub;
+  index_map->assign(query.atoms.size(), -1);
+  for (size_t a = 0; a < query.atoms.size(); ++a) {
+    if (!keep[a]) continue;
+    (*index_map)[a] = static_cast<int>(sub.atoms.size());
+    sub.atoms.push_back(query.atoms[a]);
+  }
+  for (const BoundSelection& sel : query.selections) {
+    if (sel.atom >= 0 && keep[sel.atom]) {
+      BoundSelection copy = sel;
+      copy.atom = (*index_map)[sel.atom];
+      sub.selections.push_back(copy);
+    }
+  }
+  for (const BoundJoinGroup& group : query.joins) {
+    bool all_kept = true;
+    for (const JoinClause& clause : group.clauses) {
+      if (!keep[clause.from_atom] || !keep[clause.to_atom]) all_kept = false;
+    }
+    if (!all_kept) continue;
+    BoundJoinGroup copy = group;
+    for (JoinClause& clause : copy.clauses) {
+      clause.from_atom = (*index_map)[clause.from_atom];
+      clause.to_atom = (*index_map)[clause.to_atom];
+    }
+    sub.joins.push_back(std::move(copy));
+  }
+  sub.input_vars = query.input_vars;
+  // Explicit weights do not matter for costing; leave empty.
+  return sub;
+}
+
+}  // namespace
+
+struct Optimizer::SearchState {
+  const OptimizerOptions* options = nullptr;
+  std::optional<QueryPlan> incumbent;
+  double incumbent_cost = std::numeric_limits<double>::infinity();
+  double incumbent_answers = 0.0;
+  bool incumbent_reaches_k = false;
+  OptimizationResult stats;
+  bool budget_exhausted = false;
+
+  bool Budget() {
+    if (stats.plans_costed >= options->max_plans) {
+      budget_exhausted = true;
+    }
+    return !budget_exhausted;
+  }
+
+  /// Whether `cost` can be pruned against the incumbent. Pruning is only
+  /// sound once an incumbent that reaches k answers exists (otherwise a
+  /// costlier plan that does reach k would be lost).
+  bool CanPrune(double cost) const {
+    return incumbent_reaches_k && cost >= incumbent_cost;
+  }
+
+  void Offer(QueryPlan plan, double cost, double answers) {
+    ++stats.plans_costed;
+    bool reaches = answers >= options->k;
+    bool better;
+    if (reaches != incumbent_reaches_k) {
+      better = reaches;
+    } else if (reaches) {
+      better = cost < incumbent_cost;
+    } else {
+      // Neither reaches k: prefer more answers, then lower cost.
+      better = answers > incumbent_answers ||
+               (answers == incumbent_answers && cost < incumbent_cost);
+    }
+    if (!incumbent.has_value() || better) {
+      incumbent = std::move(plan);
+      incumbent_cost = cost;
+      incumbent_answers = answers;
+      incumbent_reaches_k = reaches;
+    }
+  }
+};
+
+namespace {
+
+struct PlanBuildOutput {
+  QueryPlan plan;
+  double cost = 0.0;
+  double answers = 0.0;
+};
+
+Result<PlanBuildOutput> BuildAnnotateCost(const BoundQuery& query,
+                                          const TopologySpec& spec,
+                                          const OptimizerOptions& options) {
+  SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(query, spec));
+  if (options.auto_join_strategy) ApplyAutoStrategies(&plan);
+  AnnotationParams params;
+  params.k = options.k;
+  SECO_ASSIGN_OR_RETURN(double answers, AnnotatePlan(&plan, params));
+  SECO_ASSIGN_OR_RETURN(double cost,
+                        PlanCost(plan, options.metric, options.cost_params));
+  return PlanBuildOutput{std::move(plan), cost, answers};
+}
+
+/// Lower bound for a partial topology: cost of the plan over the placed
+/// atoms only, with every fetching factor at its minimum of 1. Monotonicity
+/// of the metrics makes this a valid bound (§5.2).
+Result<double> PartialLowerBound(const BoundQuery& query,
+                                 const std::vector<std::vector<int>>& stages,
+                                 const OptimizerOptions& options) {
+  std::vector<bool> keep(query.atoms.size(), false);
+  for (const std::vector<int>& stage : stages) {
+    for (int atom : stage) keep[atom] = true;
+  }
+  std::vector<int> index_map;
+  BoundQuery sub = RestrictQuery(query, keep, &index_map);
+  TopologySpec spec;
+  for (const std::vector<int>& stage : stages) {
+    std::vector<int> mapped;
+    for (int atom : stage) mapped.push_back(index_map[atom]);
+    spec.stages.push_back(std::move(mapped));
+  }
+  SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(sub, spec));
+  if (options.auto_join_strategy) ApplyAutoStrategies(&plan);
+  AnnotationParams params;
+  params.k = options.k;
+  SECO_RETURN_IF_ERROR(AnnotatePlan(&plan, params).status());
+  return PlanCost(plan, options.metric, options.cost_params);
+}
+
+}  // namespace
+
+Result<OptimizationResult> Optimizer::Optimize(const BoundQuery& query) {
+  for (const BoundAtom& atom : query.atoms) {
+    if (atom.candidates.empty() && !atom.iface) {
+      return Status::Infeasible("atom '" + atom.alias +
+                                "' has no candidate interfaces");
+    }
+  }
+
+  SearchState state;
+  state.options = &options_;
+  bool any_feasible = false;
+
+  // ---------- Phase 3: fetch factors for a fixed topology ----------
+  auto run_phase3 = [&](const BoundQuery& q,
+                        const std::vector<std::vector<int>>& stages) -> Status {
+    ++state.stats.topologies_tried;
+    std::vector<int> chunked;
+    for (size_t a = 0; a < q.atoms.size(); ++a) {
+      if (q.atoms[a].iface->is_chunked()) chunked.push_back(static_cast<int>(a));
+    }
+    std::map<int, int> fetch;  // atom -> F
+    for (int a : chunked) fetch[a] = 1;
+
+    auto make_spec = [&]() {
+      TopologySpec spec;
+      spec.stages = stages;
+      for (const auto& [atom, f] : fetch) {
+        spec.atom_settings[atom].fetch_factor = f;
+      }
+      return spec;
+    };
+
+    PlanBuildOutput current;
+    {
+      SECO_ASSIGN_OR_RETURN(current, BuildAnnotateCost(q, make_spec(), options_));
+    }
+    for (int iter = 0; iter < options_.max_fetch_iterations; ++iter) {
+      if (state.CanPrune(current.cost)) {
+        ++state.stats.branches_pruned;
+        return Status::OK();
+      }
+      if (current.answers >= options_.k || chunked.empty()) break;
+
+      int pick = -1;
+      if (options_.fetch_heuristic == FetchHeuristic::kSquareIsBetter) {
+        // Equalize explored tuples F_i * chunk_i across chunked services.
+        double best = std::numeric_limits<double>::infinity();
+        for (int a : chunked) {
+          if (fetch[a] >= options_.max_fetch_factor) continue;
+          double explored = fetch[a] * q.atoms[a].iface->stats().chunk_size;
+          if (explored < best) {
+            best = explored;
+            pick = a;
+          }
+        }
+      } else {
+        // Greedy: highest marginal answers per unit of added cost.
+        double best_ratio = -1.0;
+        for (int a : chunked) {
+          if (fetch[a] >= options_.max_fetch_factor) continue;
+          ++fetch[a];
+          SECO_ASSIGN_OR_RETURN(PlanBuildOutput probe,
+                                BuildAnnotateCost(q, make_spec(), options_));
+          --fetch[a];
+          double dcost = std::max(probe.cost - current.cost, 1e-9);
+          double dans = probe.answers - current.answers;
+          double ratio = dans / dcost;
+          if (ratio > best_ratio) {
+            best_ratio = ratio;
+            pick = a;
+          }
+        }
+        if (best_ratio <= 0.0) pick = -1;
+      }
+      if (pick < 0) break;
+      ++fetch[pick];
+      SECO_ASSIGN_OR_RETURN(current, BuildAnnotateCost(q, make_spec(), options_));
+    }
+    if (state.CanPrune(current.cost)) {
+      ++state.stats.branches_pruned;
+      return Status::OK();
+    }
+    state.Offer(std::move(current.plan), current.cost, current.answers);
+    return Status::OK();
+  };
+
+  // ---------- Phase 2: topology enumeration ----------
+  std::function<Status(const BoundQuery&, std::vector<bool>&,
+                       std::vector<std::vector<int>>&)>
+      enum_topologies = [&](const BoundQuery& q, std::vector<bool>& placed,
+                            std::vector<std::vector<int>>& stages) -> Status {
+    if (!state.Budget()) return Status::OK();
+    bool all_placed = true;
+    for (bool p : placed) {
+      if (!p) all_placed = false;
+    }
+    if (all_placed) return run_phase3(q, stages);
+
+    std::vector<int> reachable = ReachableUnplaced(q, placed);
+    if (reachable.empty()) return Status::OK();  // dead end
+
+    // Candidate next stages: every reachable singleton, plus the full
+    // reachable set as one parallel stage.
+    std::vector<std::vector<int>> candidates;
+    std::vector<int> singles = reachable;
+    if (options_.topology_heuristic == TopologyHeuristic::kSelectiveFirst) {
+      std::stable_sort(singles.begin(), singles.end(), [&](int a, int b) {
+        return EstimatedYield(q, a) < EstimatedYield(q, b);
+      });
+    }
+    if (options_.topology_heuristic == TopologyHeuristic::kParallelIsBetter &&
+        reachable.size() >= 2) {
+      candidates.push_back(reachable);
+    }
+    for (int a : singles) candidates.push_back({a});
+    if (options_.topology_heuristic != TopologyHeuristic::kParallelIsBetter &&
+        reachable.size() >= 2) {
+      candidates.push_back(reachable);
+    }
+
+    for (const std::vector<int>& stage : candidates) {
+      if (!state.Budget()) return Status::OK();
+      stages.push_back(stage);
+      for (int a : stage) placed[a] = true;
+      SECO_ASSIGN_OR_RETURN(double bound,
+                            PartialLowerBound(q, stages, options_));
+      if (state.CanPrune(bound)) {
+        ++state.stats.branches_pruned;
+      } else {
+        SECO_RETURN_IF_ERROR(enum_topologies(q, placed, stages));
+      }
+      for (int a : stage) placed[a] = false;
+      stages.pop_back();
+    }
+    return Status::OK();
+  };
+
+  // ---------- Phase 1: interface assignment ----------
+  std::vector<std::shared_ptr<ServiceInterface>> assignment(query.atoms.size());
+  std::function<Status(size_t)> enum_assignments = [&](size_t index) -> Status {
+    if (!state.Budget()) return Status::OK();
+    if (index == query.atoms.size()) {
+      BoundQuery q = query;
+      for (size_t a = 0; a < q.atoms.size(); ++a) {
+        q.atoms[a].iface = assignment[a];
+        q.atoms[a].schema = assignment[a]->schema_ptr();
+      }
+      SECO_ASSIGN_OR_RETURN(FeasibilityReport report, CheckFeasibility(q));
+      if (!report.feasible) return Status::OK();
+      any_feasible = true;
+      std::vector<bool> placed(q.atoms.size(), false);
+      std::vector<std::vector<int>> stages;
+      return enum_topologies(q, placed, stages);
+    }
+    std::vector<std::shared_ptr<ServiceInterface>> candidates =
+        query.atoms[index].candidates;
+    if (candidates.empty() && query.atoms[index].iface) {
+      candidates = {query.atoms[index].iface};
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](const auto& a, const auto& b) {
+                       int na = a->pattern().num_inputs();
+                       int nb = b->pattern().num_inputs();
+                       return options_.access_heuristic ==
+                                      AccessHeuristic::kBoundIsBetter
+                                  ? na > nb
+                                  : na < nb;
+                     });
+    for (const auto& candidate : candidates) {
+      assignment[index] = candidate;
+      SECO_RETURN_IF_ERROR(enum_assignments(index + 1));
+      if (!state.Budget()) return Status::OK();
+    }
+    return Status::OK();
+  };
+
+  SECO_RETURN_IF_ERROR(enum_assignments(0));
+
+  if (!state.incumbent.has_value()) {
+    if (!any_feasible) {
+      return Status::Infeasible(
+          "no choice of service interfaces makes the query feasible");
+    }
+    return Status::Infeasible("no executable plan found");
+  }
+  OptimizationResult result = std::move(state.stats);
+  result.plan = std::move(*state.incumbent);
+  result.cost = state.incumbent_cost;
+  result.estimated_answers = state.incumbent_answers;
+  result.search_exhausted = !state.budget_exhausted;
+  return result;
+}
+
+}  // namespace seco

@@ -1,0 +1,74 @@
+#ifndef SECO_OPTIMIZER_OPTIMIZER_H_
+#define SECO_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "cost/metrics.h"
+#include "optimizer/heuristics.h"
+#include "plan/annotate.h"
+#include "plan/builder.h"
+
+namespace seco {
+
+/// Options steering the branch-and-bound search (§5.2, Fig. 8).
+struct OptimizerOptions {
+  CostMetricKind metric = CostMetricKind::kSumCost;
+  CostParams cost_params;
+  /// Number of answer combinations to optimize for.
+  int k = 10;
+
+  AccessHeuristic access_heuristic = AccessHeuristic::kBoundIsBetter;
+  TopologyHeuristic topology_heuristic = TopologyHeuristic::kSelectiveFirst;
+  FetchHeuristic fetch_heuristic = FetchHeuristic::kGreedy;
+
+  /// Anytime budget: stop after costing this many complete plans; the best
+  /// plan found so far (the current upper bound) is returned.
+  int max_plans = 10000;
+  /// Phase 3 bounds.
+  int max_fetch_iterations = 64;
+  int max_fetch_factor = 100;
+  /// When true, parallel-join strategies are auto-selected from the joined
+  /// services' score models (nested-loop for step services, merge-scan with
+  /// latency-derived ratio otherwise).
+  bool auto_join_strategy = true;
+};
+
+/// Outcome of an optimization run.
+struct OptimizationResult {
+  QueryPlan plan;  ///< the best fully instantiated plan found
+  double cost = 0.0;
+  double estimated_answers = 0.0;
+  /// Search statistics.
+  int plans_costed = 0;        ///< complete plans built and costed
+  int branches_pruned = 0;     ///< subtrees discarded by the bounding step
+  int topologies_tried = 0;
+  bool search_exhausted = true;  ///< false if stopped by the anytime budget
+};
+
+/// The three-phase branch-and-bound optimizer of §5: (1) access-pattern /
+/// service-interface selection, (2) topology selection, (3) fetch-factor
+/// assignment. The search keeps the best complete plan as an incumbent
+/// upper bound and prunes any partial plan whose (monotonic) cost already
+/// exceeds it; stopped early it still returns a valid plan (§5.2).
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options) : options_(options) {}
+
+  /// Finds the minimum-cost fully instantiated plan for `query` producing
+  /// at least k answers (estimated). Fails with kInfeasible when no choice
+  /// of interfaces makes the query feasible.
+  Result<OptimizationResult> Optimize(const BoundQuery& query);
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  struct SearchState;
+
+  OptimizerOptions options_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_OPTIMIZER_OPTIMIZER_H_

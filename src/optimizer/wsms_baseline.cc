@@ -1,0 +1,56 @@
+#include "optimizer/wsms_baseline.h"
+
+#include "query/feasibility.h"
+
+namespace seco {
+
+Result<OptimizationResult> WsmsOptimize(const BoundQuery& query, int k) {
+  BoundQuery q = query;
+  for (BoundAtom& atom : q.atoms) {
+    if (!atom.iface) {
+      if (atom.candidates.empty()) {
+        return Status::Infeasible("atom '" + atom.alias + "' has no interface");
+      }
+      atom.iface = atom.candidates.front();
+      atom.schema = atom.iface->schema_ptr();
+    }
+  }
+  SECO_ASSIGN_OR_RETURN(FeasibilityReport report, CheckFeasibility(q));
+  if (!report.feasible) return Status::Infeasible(report.reason);
+
+  // Maximal parallelism: each stage is the full set of invocable services.
+  TopologySpec spec;
+  std::vector<bool> placed(q.atoms.size(), false);
+  while (true) {
+    std::vector<int> stage;
+    for (int a = 0; a < static_cast<int>(q.atoms.size()); ++a) {
+      if (placed[a]) continue;
+      // An atom is invocable when its join providers are placed.
+      bool ready = true;
+      for (int dep : report.atoms[a].depends_on) {
+        if (!placed[dep]) ready = false;
+      }
+      if (ready) stage.push_back(a);
+    }
+    if (stage.empty()) break;
+    for (int a : stage) placed[a] = true;
+    spec.stages.push_back(std::move(stage));
+  }
+
+  SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(q, spec));
+  AnnotationParams params;
+  params.k = k;
+  SECO_ASSIGN_OR_RETURN(double answers, AnnotatePlan(&plan, params));
+  SECO_ASSIGN_OR_RETURN(double cost, PlanCost(plan, CostMetricKind::kBottleneck));
+
+  OptimizationResult result;
+  result.plan = std::move(plan);
+  result.cost = cost;
+  result.estimated_answers = answers;
+  result.plans_costed = 1;
+  result.topologies_tried = 1;
+  result.search_exhausted = true;
+  return result;
+}
+
+}  // namespace seco

@@ -1,0 +1,24 @@
+#ifndef SECO_OPTIMIZER_WSMS_BASELINE_H_
+#define SECO_OPTIMIZER_WSMS_BASELINE_H_
+
+#include "common/result.h"
+#include "optimizer/optimizer.h"
+
+namespace seco {
+
+/// The Srivastava et al. (VLDB'06) Web Service Management System optimizer
+/// that §2.4 and §5.1 use as the reference point. It models every service
+/// as exact and unchunked, optimizes the *bottleneck* metric (the slowest
+/// service), and maximizes pipeline parallelism: at each step it dispatches
+/// every invocable service in parallel. It is provably optimal in that
+/// setting (no access limitations, homogeneous exact services) but ignores
+/// ranking, chunking, and the k-answer termination that characterize search
+/// services — the chapter's motivation for the SeCo optimizer.
+///
+/// Interfaces are taken as already selected (the first candidate when a
+/// mart-level atom has several); fetching factors stay at 1.
+Result<OptimizationResult> WsmsOptimize(const BoundQuery& query, int k = 10);
+
+}  // namespace seco
+
+#endif  // SECO_OPTIMIZER_WSMS_BASELINE_H_

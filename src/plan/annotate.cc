@@ -1,0 +1,92 @@
+#include "plan/annotate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seco {
+
+Result<double> AnnotatePlan(QueryPlan* plan, const AnnotationParams& params) {
+  SECO_ASSIGN_OR_RETURN(std::vector<int> order, plan->TopologicalOrder());
+  const BoundQuery& query = plan->query();
+
+  double answers = 0.0;
+  for (int id : order) {
+    PlanNode& node = plan->mutable_node(id);
+    // t_in: product of predecessor outputs for joins (candidate pairs);
+    // plain sum-of-one-predecessor otherwise.
+    if (node.kind == PlanNodeKind::kParallelJoin) {
+      // Branches share the upstream stream: combine per upstream tuple.
+      double upstream = 1.0;
+      if (node.join_upstream >= 0) {
+        upstream = std::max(plan->node(node.join_upstream).t_out, 1e-9);
+      }
+      double candidates = upstream;
+      for (int pred : node.inputs) {
+        candidates *= plan->node(pred).t_out / upstream;
+      }
+      if (node.strategy.completion == JoinCompletion::kTriangular) {
+        candidates *= 0.5;
+      }
+      node.t_in = candidates;
+    } else {
+      double t_in = 0.0;
+      for (int pred : node.inputs) t_in += plan->node(pred).t_out;
+      if (node.inputs.empty()) t_in = 0.0;
+      node.t_in = t_in;
+    }
+
+    switch (node.kind) {
+      case PlanNodeKind::kInput:
+        node.t_out = 1.0;
+        break;
+      case PlanNodeKind::kServiceCall: {
+        const ServiceStats& stats = node.iface->stats();
+        bool piped = !node.pipe_groups.empty();
+        double bindings = piped ? node.t_in : 1.0;
+        double fetches = node.iface->is_chunked() ? node.fetch_factor : 1.0;
+        if (node.iface->is_chunked() && stats.avg_matches_per_binding > 0) {
+          // The engine stops fetching a binding once the service reports
+          // exhaustion, so fetches are bounded by the expected list depth.
+          double max_useful = std::ceil(stats.avg_matches_per_binding /
+                                        std::max(stats.chunk_size, 1));
+          fetches = std::min(fetches, std::max(max_useful, 1.0));
+        }
+        node.est_calls = bindings * fetches;
+        double yield = node.iface->is_chunked()
+                           ? static_cast<double>(stats.chunk_size) * node.fetch_factor
+                           : stats.avg_tuples_per_call;
+        if (node.iface->is_chunked() && stats.avg_matches_per_binding > 0) {
+          // Fetching past the expected result-list depth yields nothing.
+          yield = std::min(yield, stats.avg_matches_per_binding);
+        }
+        if (node.keep_per_input > 0) {
+          yield = std::min(yield, static_cast<double>(node.keep_per_input));
+        }
+        double pipe_sel = 1.0;
+        for (int g : node.pipe_groups) pipe_sel *= query.joins[g].selectivity;
+        node.t_out = node.t_in * pipe_sel * yield;
+        break;
+      }
+      case PlanNodeKind::kSelection: {
+        double sel = 1.0;
+        for (int s : node.selections) sel *= query.selections[s].selectivity;
+        for (int g : node.residual_join_groups) sel *= query.joins[g].selectivity;
+        node.t_out = node.t_in * sel;
+        break;
+      }
+      case PlanNodeKind::kParallelJoin: {
+        double sel = 1.0;
+        for (int g : node.join_groups) sel *= query.joins[g].selectivity;
+        node.t_out = node.t_in * sel;
+        break;
+      }
+      case PlanNodeKind::kOutput:
+        answers = node.t_in;
+        node.t_out = std::min(node.t_in, static_cast<double>(params.k));
+        break;
+    }
+  }
+  return answers;
+}
+
+}  // namespace seco

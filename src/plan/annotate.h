@@ -1,0 +1,36 @@
+#ifndef SECO_PLAN_ANNOTATE_H_
+#define SECO_PLAN_ANNOTATE_H_
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace seco {
+
+/// Parameters of plan instantiation (§3.2): `k` is the number of answer
+/// combinations the user wants.
+struct AnnotationParams {
+  int k = 10;
+};
+
+/// Turns `plan` into a *fully instantiated query plan* by filling t_in,
+/// t_out, and est_calls on every node from service statistics, selectivity
+/// estimates, fetching factors, and the completion strategies, under the
+/// chapter's independence and uniform-distribution assumptions:
+///
+///  - input:    t_out = 1 (the user injects a single input tuple);
+///  - service:  distinct bindings b = (piped ? t_in : 1);
+///              calls = b * fetch_factor (chunked) or b (exact);
+///              yield = chunk_size * fetch_factor (chunked) or avg
+///              cardinality (exact), capped by keep_per_input;
+///              t_out = t_in * prod(pipe-group selectivity) * yield;
+///  - selection: t_out = t_in * prod(predicate selectivities);
+///  - parallel join: t_in = t_left * t_right * (1/2 if triangular);
+///              t_out = t_in * prod(join-group selectivities);
+///  - output:   t_out = min(t_in, k).
+///
+/// Returns the estimated number of answer tuples (t_in of the output node).
+Result<double> AnnotatePlan(QueryPlan* plan, const AnnotationParams& params = {});
+
+}  // namespace seco
+
+#endif  // SECO_PLAN_ANNOTATE_H_

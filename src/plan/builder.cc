@@ -1,0 +1,215 @@
+#include "plan/builder.h"
+
+#include <algorithm>
+
+namespace seco {
+
+namespace {
+
+/// True if `group` has an equality clause binding input `path` of `atom`
+/// from the other side.
+bool ClauseBindsInput(const JoinClause& clause, int atom, const AttrPath& path) {
+  if (clause.op != Comparator::kEq) return false;
+  return (clause.to_atom == atom && clause.to_path == path) ||
+         (clause.from_atom == atom && clause.from_path == path);
+}
+
+int OtherAtom(const JoinClause& clause, int atom) {
+  return clause.from_atom == atom ? clause.to_atom : clause.from_atom;
+}
+
+}  // namespace
+
+Result<QueryPlan> BuildPlan(const BoundQuery& query, const TopologySpec& spec) {
+  for (const BoundAtom& atom : query.atoms) {
+    if (!atom.iface) {
+      return Status::InvalidArgument("atom '" + atom.alias +
+                                     "' has no selected interface");
+    }
+  }
+  // Every atom must appear exactly once across stages.
+  std::vector<int> seen(query.atoms.size(), 0);
+  for (const std::vector<int>& stage : spec.stages) {
+    if (stage.empty()) {
+      return Status::InvalidArgument("empty stage in topology spec");
+    }
+    for (int atom : stage) {
+      if (atom < 0 || atom >= static_cast<int>(query.atoms.size())) {
+        return Status::InvalidArgument("stage references unknown atom");
+      }
+      if (seen[atom]++) {
+        return Status::InvalidArgument("atom '" + query.atoms[atom].alias +
+                                       "' appears twice in topology");
+      }
+    }
+  }
+  for (size_t a = 0; a < query.atoms.size(); ++a) {
+    if (!seen[a]) {
+      return Status::InvalidArgument("atom '" + query.atoms[a].alias +
+                                     "' missing from topology");
+    }
+  }
+
+  QueryPlan plan(query);
+  PlanNode input;
+  input.kind = PlanNodeKind::kInput;
+  int frontier = plan.AddNode(input);
+
+  std::vector<bool> placed(query.atoms.size(), false);
+  std::vector<bool> group_consumed(query.joins.size(), false);
+
+  for (const std::vector<int>& stage : spec.stages) {
+    std::vector<int> branch_ends;
+    std::vector<int> stage_pipe_groups;
+
+    for (int atom_idx : stage) {
+      const BoundAtom& atom = plan.query().atoms[atom_idx];
+      PlanNode call;
+      call.kind = PlanNodeKind::kServiceCall;
+      call.atom = atom_idx;
+      call.iface = atom.iface;
+      auto settings_it = spec.atom_settings.find(atom_idx);
+      if (settings_it != spec.atom_settings.end()) {
+        call.fetch_factor = settings_it->second.fetch_factor;
+        call.keep_per_input = settings_it->second.keep_per_input;
+      }
+
+      // Input bindings: equality selections on the atom's input paths.
+      const AccessPattern& pattern = atom.iface->pattern();
+      for (const AttrPath& in_path : pattern.input_paths()) {
+        bool bound = false;
+        for (size_t s = 0; s < query.selections.size(); ++s) {
+          const BoundSelection& sel = query.selections[s];
+          if (sel.atom == atom_idx && sel.path == in_path &&
+              sel.op == Comparator::kEq) {
+            call.input_selections.push_back(static_cast<int>(s));
+            bound = true;
+            break;
+          }
+        }
+        if (bound) continue;
+        // Pipe binding: a join group clause from an already-placed atom.
+        for (size_t g = 0; g < query.joins.size(); ++g) {
+          bool applies = false;
+          for (const JoinClause& clause : query.joins[g].clauses) {
+            if (!ClauseBindsInput(clause, atom_idx, in_path)) continue;
+            int other = OtherAtom(clause, atom_idx);
+            if (other != atom_idx && placed[other]) applies = true;
+          }
+          if (applies) {
+            if (std::find(call.pipe_groups.begin(), call.pipe_groups.end(),
+                          static_cast<int>(g)) == call.pipe_groups.end()) {
+              call.pipe_groups.push_back(static_cast<int>(g));
+              stage_pipe_groups.push_back(static_cast<int>(g));
+            }
+            bound = true;
+          }
+        }
+        if (!bound) {
+          return Status::Infeasible(
+              "topology places atom '" + atom.alias + "' before its input " +
+              atom.schema->PathToString(in_path) + " can be bound");
+        }
+      }
+      int call_id = plan.AddNode(call);
+      plan.Connect(frontier, call_id);
+      branch_ends.push_back(call_id);
+    }
+    for (int g : stage_pipe_groups) group_consumed[g] = true;
+    for (int atom_idx : stage) placed[atom_idx] = true;
+
+    int stage_end;
+    if (stage.size() > 1) {
+      PlanNode join;
+      join.kind = PlanNodeKind::kParallelJoin;
+      join.strategy = spec.parallel_strategy;
+      join.join_upstream = frontier;
+      // Evaluate every join group that just became evaluable and was not
+      // consumed as a pipe group.
+      for (size_t g = 0; g < query.joins.size(); ++g) {
+        if (group_consumed[g]) continue;
+        bool evaluable = true;
+        bool touches_stage = false;
+        for (const JoinClause& clause : query.joins[g].clauses) {
+          if (!placed[clause.from_atom] || !placed[clause.to_atom]) {
+            evaluable = false;
+          }
+          for (int atom_idx : stage) {
+            if (clause.from_atom == atom_idx || clause.to_atom == atom_idx) {
+              touches_stage = true;
+            }
+          }
+        }
+        if (evaluable && touches_stage) {
+          join.join_groups.push_back(static_cast<int>(g));
+          group_consumed[g] = true;
+        }
+      }
+      int join_id = plan.AddNode(join);
+      for (int end : branch_ends) plan.Connect(end, join_id);
+      stage_end = join_id;
+    } else {
+      stage_end = branch_ends[0];
+    }
+
+    // Residual predicates: selections of stage atoms not used as inputs,
+    // plus newly-evaluable join groups not yet consumed.
+    PlanNode select;
+    select.kind = PlanNodeKind::kSelection;
+    for (size_t s = 0; s < query.selections.size(); ++s) {
+      const BoundSelection& sel = query.selections[s];
+      bool in_stage =
+          std::find(stage.begin(), stage.end(), sel.atom) != stage.end();
+      if (!in_stage) continue;
+      bool used_as_input = false;
+      for (int end : branch_ends) {
+        const PlanNode& call = plan.node(end);
+        if (call.kind != PlanNodeKind::kServiceCall) continue;
+        if (std::find(call.input_selections.begin(), call.input_selections.end(),
+                      static_cast<int>(s)) != call.input_selections.end()) {
+          used_as_input = true;
+        }
+      }
+      if (!used_as_input) select.selections.push_back(static_cast<int>(s));
+    }
+    for (size_t g = 0; g < query.joins.size(); ++g) {
+      if (group_consumed[g]) continue;
+      bool evaluable = true;
+      for (const JoinClause& clause : query.joins[g].clauses) {
+        if (!placed[clause.from_atom] || !placed[clause.to_atom]) {
+          evaluable = false;
+        }
+      }
+      if (evaluable) {
+        select.residual_join_groups.push_back(static_cast<int>(g));
+        group_consumed[g] = true;
+      }
+    }
+    if (!select.selections.empty() || !select.residual_join_groups.empty()) {
+      int select_id = plan.AddNode(select);
+      plan.Connect(stage_end, select_id);
+      stage_end = select_id;
+    }
+    frontier = stage_end;
+  }
+
+  PlanNode output;
+  output.kind = PlanNodeKind::kOutput;
+  int output_id = plan.AddNode(output);
+  plan.Connect(frontier, output_id);
+
+  SECO_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+Result<QueryPlan> BuildDefaultPlan(const BoundQuery& query) {
+  SECO_ASSIGN_OR_RETURN(FeasibilityReport report, CheckFeasibility(query));
+  if (!report.feasible) return Status::Infeasible(report.reason);
+  TopologySpec spec;
+  for (int atom : report.reachable_order) {
+    spec.stages.push_back({atom});
+  }
+  return BuildPlan(query, spec);
+}
+
+}  // namespace seco

@@ -1,0 +1,55 @@
+#ifndef SECO_PLAN_BUILDER_H_
+#define SECO_PLAN_BUILDER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "query/feasibility.h"
+
+namespace seco {
+
+/// Per-atom instantiation knobs.
+struct AtomSettings {
+  int fetch_factor = 1;
+  int keep_per_input = 0;  // <=0: keep all
+  JoinStrategy pipe_strategy;  // exploration for pipe fetches (NL/rect default)
+};
+
+/// Declarative description of a plan topology: stages executed in sequence,
+/// each stage invoking one or more atoms; a multi-atom stage fans out in
+/// parallel and is recombined by a parallel-join node.
+///
+/// This covers the topology space the chapter's Phase 2 explores: chains of
+/// service invocations (pipe joins where access patterns induce I/O
+/// dependencies, residual join predicates otherwise) with parallel sections.
+struct TopologySpec {
+  std::vector<std::vector<int>> stages;  ///< atom indices per stage
+  JoinStrategy parallel_strategy;        ///< strategy for parallel-join nodes
+  std::map<int, AtomSettings> atom_settings;
+};
+
+/// Materializes a plan DAG for `query` following `spec`:
+///
+///  - every equality selection on an input path of an atom is consumed as an
+///    input binding of its service call;
+///  - join groups with a clause binding an input of the atom from an
+///    already-placed atom become pipe groups of the call (pipe join);
+///  - remaining selections of an atom and join groups whose atoms are all
+///    placed without a dedicated node become a selection node placed right
+///    after the stage (the chapter: "immediately after the service call that
+///    makes the predicate evaluable");
+///  - a multi-atom stage recombines through a parallel-join node evaluating
+///    the join groups that become evaluable at that point.
+///
+/// The result is validated structurally before being returned.
+Result<QueryPlan> BuildPlan(const BoundQuery& query, const TopologySpec& spec);
+
+/// Convenience: a left-deep pipeline in feasibility order (each reachable
+/// atom its own stage). A good default and the optimizer's starting point.
+Result<QueryPlan> BuildDefaultPlan(const BoundQuery& query);
+
+}  // namespace seco
+
+#endif  // SECO_PLAN_BUILDER_H_

@@ -1,0 +1,300 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace seco {
+
+const char* PlanNodeKindToString(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kInput:
+      return "input";
+    case PlanNodeKind::kOutput:
+      return "output";
+    case PlanNodeKind::kServiceCall:
+      return "service";
+    case PlanNodeKind::kParallelJoin:
+      return "join";
+    case PlanNodeKind::kSelection:
+      return "selection";
+  }
+  return "?";
+}
+
+const char* JoinInvocationToString(JoinInvocation inv) {
+  switch (inv) {
+    case JoinInvocation::kNestedLoop:
+      return "nested-loop";
+    case JoinInvocation::kMergeScan:
+      return "merge-scan";
+  }
+  return "?";
+}
+
+const char* JoinCompletionToString(JoinCompletion comp) {
+  switch (comp) {
+    case JoinCompletion::kRectangular:
+      return "rectangular";
+    case JoinCompletion::kTriangular:
+      return "triangular";
+  }
+  return "?";
+}
+
+std::string JoinStrategy::ToString() const {
+  std::string out = JoinInvocationToString(invocation);
+  out += "/";
+  out += JoinCompletionToString(completion);
+  if (invocation == JoinInvocation::kMergeScan) {
+    out += " r=" + std::to_string(ratio_x) + ":" + std::to_string(ratio_y);
+  }
+  return out;
+}
+
+int QueryPlan::AddNode(PlanNode node) {
+  node.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void QueryPlan::Connect(int from, int to) {
+  nodes_[from].outputs.push_back(to);
+  nodes_[to].inputs.push_back(from);
+}
+
+int QueryPlan::input_node() const {
+  for (const PlanNode& n : nodes_) {
+    if (n.kind == PlanNodeKind::kInput) return n.id;
+  }
+  return -1;
+}
+
+int QueryPlan::output_node() const {
+  for (const PlanNode& n : nodes_) {
+    if (n.kind == PlanNodeKind::kOutput) return n.id;
+  }
+  return -1;
+}
+
+int QueryPlan::NodeOfAtom(int atom) const {
+  for (const PlanNode& n : nodes_) {
+    if (n.kind == PlanNodeKind::kServiceCall && n.atom == atom) return n.id;
+  }
+  return -1;
+}
+
+Result<std::vector<int>> QueryPlan::TopologicalOrder() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (const PlanNode& n : nodes_) {
+    indegree[n.id] = static_cast<int>(n.inputs.size());
+  }
+  std::queue<int> ready;
+  for (const PlanNode& n : nodes_) {
+    if (indegree[n.id] == 0) ready.push(n.id);
+  }
+  std::vector<int> order;
+  while (!ready.empty()) {
+    int id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (int succ : nodes_[id].outputs) {
+      if (--indegree[succ] == 0) ready.push(succ);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::Internal("query plan contains a cycle");
+  }
+  return order;
+}
+
+Status QueryPlan::Validate() const {
+  int inputs = 0, outputs = 0;
+  for (const PlanNode& n : nodes_) {
+    if (n.kind == PlanNodeKind::kInput) ++inputs;
+    if (n.kind == PlanNodeKind::kOutput) ++outputs;
+  }
+  if (inputs != 1 || outputs != 1) {
+    return Status::InvalidArgument("plan must have exactly one input and one output node");
+  }
+  SECO_ASSIGN_OR_RETURN(std::vector<int> order, TopologicalOrder());
+
+  // Reachability from input and to output.
+  std::vector<bool> from_input(nodes_.size(), false);
+  from_input[input_node()] = true;
+  for (int id : order) {
+    if (!from_input[id]) continue;
+    for (int succ : nodes_[id].outputs) from_input[succ] = true;
+  }
+  std::vector<bool> to_output(nodes_.size(), false);
+  to_output[output_node()] = true;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (!to_output[*it]) continue;
+    for (int pred : nodes_[*it].inputs) to_output[pred] = true;
+  }
+  for (const PlanNode& n : nodes_) {
+    if (!from_input[n.id]) {
+      return Status::InvalidArgument("node " + std::to_string(n.id) +
+                                     " unreachable from input");
+    }
+    if (!to_output[n.id]) {
+      return Status::InvalidArgument("node " + std::to_string(n.id) +
+                                     " does not reach output");
+    }
+  }
+
+  // Upstream relation for pipe-binding checks.
+  auto upstream_of = [&](int node_id) {
+    std::vector<bool> up(nodes_.size(), false);
+    std::queue<int> frontier;
+    frontier.push(node_id);
+    while (!frontier.empty()) {
+      int id = frontier.front();
+      frontier.pop();
+      for (int pred : nodes_[id].inputs) {
+        if (!up[pred]) {
+          up[pred] = true;
+          frontier.push(pred);
+        }
+      }
+    }
+    return up;
+  };
+
+  for (const PlanNode& n : nodes_) {
+    if (n.kind != PlanNodeKind::kServiceCall) continue;
+    if (!n.iface) {
+      return Status::InvalidArgument("service node " + std::to_string(n.id) +
+                                     " has no interface");
+    }
+    std::vector<bool> up = upstream_of(n.id);
+    // Every input path must be bound by an input selection or a pipe group
+    // clause whose other side belongs to an upstream service node.
+    for (const AttrPath& in_path : n.iface->pattern().input_paths()) {
+      bool covered = false;
+      for (int sel_idx : n.input_selections) {
+        const BoundSelection& sel = query_.selections[sel_idx];
+        if (sel.atom == n.atom && sel.path == in_path &&
+            sel.op == Comparator::kEq) {
+          covered = true;
+        }
+      }
+      for (int group_idx : n.pipe_groups) {
+        for (const JoinClause& clause : query_.joins[group_idx].clauses) {
+          int other = -1;
+          if (clause.to_atom == n.atom && clause.to_path == in_path) {
+            other = clause.from_atom;
+          } else if (clause.from_atom == n.atom && clause.from_path == in_path) {
+            other = clause.to_atom;
+          }
+          if (other < 0) continue;
+          int other_node = NodeOfAtom(other);
+          if (other_node >= 0 && up[other_node]) covered = true;
+        }
+      }
+      if (!covered) {
+        return Status::Infeasible(
+            "service node " + std::to_string(n.id) + " (" + n.iface->name() +
+            ") input " + n.iface->schema().PathToString(in_path) + " is unbound");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string NodeLabel(const QueryPlan& plan, const PlanNode& n) {
+  std::ostringstream out;
+  switch (n.kind) {
+    case PlanNodeKind::kInput:
+      out << "INPUT";
+      break;
+    case PlanNodeKind::kOutput:
+      out << "OUTPUT";
+      break;
+    case PlanNodeKind::kServiceCall: {
+      out << n.iface->name() << " ["
+          << ServiceKindToString(n.iface->kind());
+      if (n.iface->is_chunked()) out << ", chunked";
+      out << "]";
+      if (n.iface->is_chunked()) out << " F=" << n.fetch_factor;
+      if (n.keep_per_input > 0) out << " keep=" << n.keep_per_input;
+      break;
+    }
+    case PlanNodeKind::kParallelJoin: {
+      out << "JOIN(" << n.strategy.ToString() << ")";
+      for (int g : n.join_groups) {
+        const BoundJoinGroup& group = plan.query().joins[g];
+        out << " " << (group.pattern_name.empty() ? "pred" : group.pattern_name);
+      }
+      break;
+    }
+    case PlanNodeKind::kSelection: {
+      out << "SELECT";
+      for (int s : n.selections) {
+        const BoundSelection& sel = plan.query().selections[s];
+        const BoundAtom& atom = plan.query().atoms[sel.atom];
+        out << " " << atom.alias << "." << atom.schema->PathToString(sel.path)
+            << ComparatorToString(sel.op)
+            << (sel.input_var.empty() ? sel.constant.ToString() : sel.input_var);
+      }
+      for (int g : n.residual_join_groups) {
+        const BoundJoinGroup& group = plan.query().joins[g];
+        out << " " << (group.pattern_name.empty() ? "join-pred" : group.pattern_name);
+      }
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string QueryPlan::ToString() const {
+  std::ostringstream out;
+  auto order_result = TopologicalOrder();
+  std::vector<int> order;
+  if (order_result.ok()) {
+    order = order_result.value();
+  } else {
+    for (const PlanNode& n : nodes_) order.push_back(n.id);
+  }
+  for (int id : order) {
+    const PlanNode& n = nodes_[id];
+    out << "#" << n.id << " " << NodeLabel(*this, n);
+    out << "  t_in=" << n.t_in << " t_out=" << n.t_out;
+    if (n.kind == PlanNodeKind::kServiceCall) out << " calls=" << n.est_calls;
+    if (!n.outputs.empty()) {
+      out << "  ->";
+      for (int succ : n.outputs) out << " #" << succ;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string QueryPlan::ToDot() const {
+  std::ostringstream out;
+  out << "digraph plan {\n  rankdir=LR;\n";
+  for (const PlanNode& n : nodes_) {
+    std::string shape = "box";
+    if (n.kind == PlanNodeKind::kParallelJoin) shape = "diamond";
+    if (n.kind == PlanNodeKind::kInput || n.kind == PlanNodeKind::kOutput) {
+      shape = "circle";
+    }
+    if (n.kind == PlanNodeKind::kSelection) shape = "ellipse";
+    out << "  n" << n.id << " [shape=" << shape << ", label=\""
+        << NodeLabel(*this, n) << "\\nt_in=" << n.t_in << " t_out=" << n.t_out
+        << "\"];\n";
+  }
+  for (const PlanNode& n : nodes_) {
+    for (int succ : n.outputs) {
+      out << "  n" << n.id << " -> n" << succ << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace seco

@@ -1,0 +1,149 @@
+#ifndef SECO_PLAN_PLAN_H_
+#define SECO_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/bound_query.h"
+
+namespace seco {
+
+/// Node kinds of a query plan DAG (§3.2, Fig. 1): explicit input/output
+/// nodes, service invocations (exact or search), parallel-join nodes, and
+/// selection nodes for predicates not evaluable through services or
+/// connection patterns. Pipe joins have no dedicated node: they are service
+/// invocations whose inputs arrive from an upstream node.
+enum class PlanNodeKind {
+  kInput,
+  kOutput,
+  kServiceCall,
+  kParallelJoin,
+  kSelection,
+};
+
+const char* PlanNodeKindToString(PlanNodeKind kind);
+
+/// Invocation strategies for joins over search services (§4.3).
+enum class JoinInvocation {
+  kNestedLoop,  // drain the "step" service first, then the other
+  kMergeScan,   // alternate calls, diagonal exploration
+};
+
+const char* JoinInvocationToString(JoinInvocation inv);
+
+/// Completion strategies governing tile-processing order (§4.4).
+enum class JoinCompletion {
+  kRectangular,
+  kTriangular,
+};
+
+const char* JoinCompletionToString(JoinCompletion comp);
+
+/// Full parameterization of a parallel join's exploration (§4.5).
+struct JoinStrategy {
+  JoinInvocation invocation = JoinInvocation::kMergeScan;
+  JoinCompletion completion = JoinCompletion::kTriangular;
+  /// Inter-service call ratio r = ratio_x : ratio_y for merge-scan.
+  int ratio_x = 1;
+  int ratio_y = 1;
+
+  std::string ToString() const;
+};
+
+/// One node of a query plan. Fields are meaningful per `kind`; annotation
+/// fields (`t_in`, `t_out`, `est_calls`) are filled by AnnotatePlan to turn
+/// the plan into a *fully instantiated* plan (§3.2, Fig. 3).
+struct PlanNode {
+  int id = -1;
+  PlanNodeKind kind = PlanNodeKind::kServiceCall;
+
+  // --- kServiceCall ---
+  int atom = -1;  ///< index into BoundQuery::atoms
+  std::shared_ptr<ServiceInterface> iface;
+  /// Chunked services: fetches issued per input tuple (the fetching factor
+  /// F_i of §5.5).
+  int fetch_factor = 1;
+  /// Keep only the best `keep_per_input` result tuples per input tuple
+  /// (<=0: keep all). §5.6 keeps the single best restaurant per theatre.
+  int keep_per_input = 0;
+  /// Join groups realized by piping values into this call's inputs.
+  std::vector<int> pipe_groups;
+  /// Selections consumed by binding this call's input attributes
+  /// (constants / INPUT variables), indexes into BoundQuery::selections.
+  std::vector<int> input_selections;
+
+  // --- kParallelJoin ---
+  std::vector<int> join_groups;  ///< groups evaluated at this node
+  JoinStrategy strategy;
+  /// The node whose output stream both branches share (the stage's common
+  /// upstream); joins combine branch results *per upstream tuple*, so
+  /// cardinality estimates divide out the shared multiplicity.
+  int join_upstream = -1;
+
+  // --- kSelection ---
+  std::vector<int> selections;            ///< residual selection predicates
+  std::vector<int> residual_join_groups;  ///< join predicates evaluated here
+
+  // --- annotations (fully instantiated plan) ---
+  double t_in = 0.0;
+  double t_out = 0.0;
+  double est_calls = 0.0;  ///< expected number of service invocations
+
+  // --- edges ---
+  std::vector<int> inputs;
+  std::vector<int> outputs;
+};
+
+/// A query plan: a DAG with one input and one output node, orchestrating
+/// service invocations and joins (§3.2). The plan owns a copy of the bound
+/// query it implements.
+class QueryPlan {
+ public:
+  /// An empty plan (useful as a placeholder before assignment).
+  QueryPlan() = default;
+  explicit QueryPlan(BoundQuery query) : query_(std::move(query)) {}
+
+  const BoundQuery& query() const { return query_; }
+  BoundQuery& mutable_query() { return query_; }
+
+  /// Adds a node; returns its id.
+  int AddNode(PlanNode node);
+  /// Adds a dataflow arc from `from` to `to`.
+  void Connect(int from, int to);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const PlanNode& node(int id) const { return nodes_[id]; }
+  PlanNode& mutable_node(int id) { return nodes_[id]; }
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+
+  /// The unique kInput / kOutput nodes (-1 if absent).
+  int input_node() const;
+  int output_node() const;
+
+  /// Node ids in a topological order; fails if the graph has a cycle.
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  /// Structural validation: exactly one input and one output, acyclic,
+  /// every non-input node reachable from input, every non-output node
+  /// reaching output, service nodes' inputs all covered (by input
+  /// selections or pipe groups whose providers are upstream).
+  Status Validate() const;
+
+  /// The service-call node for `atom`, or -1.
+  int NodeOfAtom(int atom) const;
+
+  /// Human-readable rendering of the (annotated) plan.
+  std::string ToString() const;
+  /// Graphviz DOT rendering.
+  std::string ToDot() const;
+
+ private:
+  BoundQuery query_;
+  std::vector<PlanNode> nodes_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_PLAN_PLAN_H_

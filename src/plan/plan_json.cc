@@ -1,0 +1,106 @@
+#include "plan/plan_json.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace seco {
+
+namespace {
+
+void AppendEscaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+void AppendNumber(std::ostringstream& out, double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    out << static_cast<long long>(v);
+  } else {
+    out << v;
+  }
+}
+
+void AppendIntArray(std::ostringstream& out, const std::vector<int>& values) {
+  out << '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ',';
+    out << values[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string PlanToJson(const QueryPlan& plan) {
+  const BoundQuery& query = plan.query();
+  std::ostringstream out;
+  out << "{\"nodes\":[";
+  for (int id = 0; id < plan.num_nodes(); ++id) {
+    const PlanNode& node = plan.node(id);
+    if (id > 0) out << ',';
+    out << "{\"id\":" << node.id << ",\"kind\":";
+    AppendEscaped(out, PlanNodeKindToString(node.kind));
+    if (node.kind == PlanNodeKind::kServiceCall && node.iface) {
+      out << ",\"service\":";
+      AppendEscaped(out, node.iface->name());
+      out << ",\"service_kind\":";
+      AppendEscaped(out, ServiceKindToString(node.iface->kind()));
+      out << ",\"chunked\":" << (node.iface->is_chunked() ? "true" : "false");
+      out << ",\"fetch_factor\":" << node.fetch_factor;
+      if (node.keep_per_input > 0) {
+        out << ",\"keep_per_input\":" << node.keep_per_input;
+      }
+      if (!node.pipe_groups.empty()) {
+        out << ",\"pipe_groups\":";
+        AppendIntArray(out, node.pipe_groups);
+      }
+      out << ",\"est_calls\":";
+      AppendNumber(out, node.est_calls);
+    }
+    if (node.kind == PlanNodeKind::kParallelJoin) {
+      out << ",\"strategy\":";
+      AppendEscaped(out, node.strategy.ToString());
+      out << ",\"join_groups\":[";
+      for (size_t g = 0; g < node.join_groups.size(); ++g) {
+        if (g > 0) out << ',';
+        const BoundJoinGroup& group = query.joins[node.join_groups[g]];
+        AppendEscaped(out,
+                      group.pattern_name.empty() ? "predicate" : group.pattern_name);
+      }
+      out << ']';
+    }
+    if (node.kind == PlanNodeKind::kSelection) {
+      out << ",\"selections\":" << node.selections.size()
+          << ",\"residual_joins\":" << node.residual_join_groups.size();
+    }
+    out << ",\"t_in\":";
+    AppendNumber(out, node.t_in);
+    out << ",\"t_out\":";
+    AppendNumber(out, node.t_out);
+    out << ",\"outputs\":";
+    AppendIntArray(out, node.outputs);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace seco

@@ -1,0 +1,32 @@
+#ifndef SECO_PLAN_PLAN_JSON_H_
+#define SECO_PLAN_PLAN_JSON_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace seco {
+
+/// Serializes an (optionally annotated) plan to a self-describing JSON
+/// document for external tooling (visualizers, regression diffing):
+///
+/// ```json
+/// {
+///   "nodes": [
+///     {"id": 0, "kind": "input", "t_in": 0, "t_out": 1, "outputs": [1]},
+///     {"id": 1, "kind": "service", "service": "Movie11", "service_kind":
+///      "search", "chunked": true, "fetch_factor": 5, "est_calls": 5, ...},
+///     {"id": 3, "kind": "join", "strategy": "merge-scan/triangular r=1:1",
+///      "join_groups": ["Shows"], ...},
+///     ...
+///   ]
+/// }
+/// ```
+///
+/// Output is deterministic (keys in fixed order) so serialized plans can be
+/// compared textually in tests and CI.
+std::string PlanToJson(const QueryPlan& plan);
+
+}  // namespace seco
+
+#endif  // SECO_PLAN_PLAN_JSON_H_

@@ -1,0 +1,68 @@
+#ifndef SECO_QUERY_AST_H_
+#define SECO_QUERY_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "service/value.h"
+
+namespace seco {
+
+/// One atom of the conjunctive query: a service (mart or interface) name
+/// plus the alias it is used under. The same service may occur several times
+/// under different aliases (§3.1).
+struct QueryAtom {
+  std::string service_name;
+  std::string alias;
+};
+
+/// A reference to an attribute of a query atom, e.g. `M.Genres.Genre`
+/// (alias "M", path "Genres.Genre").
+struct AttrRef {
+  std::string alias;
+  std::string path;
+};
+
+/// A reference to a user-supplied INPUT variable (§3.1), e.g. `INPUT1`.
+struct InputVarRef {
+  std::string name;
+};
+
+/// The right-hand side of a predicate: constant, INPUT variable, or another
+/// attribute (making the predicate a join predicate).
+using Operand = std::variant<Value, InputVarRef, AttrRef>;
+
+/// A selection (`A op const`/`A op INPUTi`) or join (`A op B`) predicate.
+struct ParsedPredicate {
+  AttrRef lhs;
+  Comparator op = Comparator::kEq;
+  Operand rhs;
+};
+
+/// A use of a registered connection pattern, e.g. `Shows(M, T)`.
+struct ConnectionUse {
+  std::string pattern_name;
+  std::string from_alias;
+  std::string to_alias;
+};
+
+/// The parsed form of a SeCo query:
+///
+///   select <svc> [as <alias>] (, ...)*
+///   where <cond> (and <cond>)*
+///   [rank by (w1, ..., wn)]
+///
+/// where each cond is a connection-pattern use or a predicate.
+struct ParsedQuery {
+  std::vector<QueryAtom> atoms;
+  std::vector<ConnectionUse> connections;
+  std::vector<ParsedPredicate> predicates;
+  /// Ranking-function weights, one per atom in select order; empty when the
+  /// query has no `rank by` clause.
+  std::vector<double> ranking_weights;
+};
+
+}  // namespace seco
+
+#endif  // SECO_QUERY_AST_H_

@@ -1,0 +1,185 @@
+#include "query/bound_query.h"
+
+#include <algorithm>
+
+namespace seco {
+
+int BoundQuery::AtomIndex(const std::string& alias) const {
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (atoms[i].alias == alias) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> BoundQuery::EffectiveWeights() const {
+  if (!explicit_weights.empty()) return explicit_weights;
+  std::vector<double> weights(atoms.size(), 0.0);
+  int ranked = 0;
+  for (const BoundAtom& atom : atoms) {
+    if (atom.iface && atom.iface->is_ranked()) ++ranked;
+  }
+  if (ranked == 0) return weights;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (atoms[i].iface && atoms[i].iface->is_ranked()) {
+      weights[i] = 1.0 / ranked;
+    }
+  }
+  return weights;
+}
+
+Result<Value> BoundQuery::ResolveSelectionValue(
+    const BoundSelection& sel,
+    const std::map<std::string, Value>& input_bindings) const {
+  if (sel.input_var.empty()) return sel.constant;
+  auto it = input_bindings.find(sel.input_var);
+  if (it == input_bindings.end()) {
+    return Status::InvalidArgument("no binding for input variable '" +
+                                   sel.input_var + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+double SelectionSelectivity(Comparator op, const BindOptions& options) {
+  switch (op) {
+    case Comparator::kEq:
+      return options.eq_selectivity;
+    case Comparator::kLike:
+      return options.like_selectivity;
+    default:
+      return options.range_selectivity;
+  }
+}
+
+void RecordInputVar(BoundQuery* query, const std::string& name) {
+  if (std::find(query->input_vars.begin(), query->input_vars.end(), name) ==
+      query->input_vars.end()) {
+    query->input_vars.push_back(name);
+  }
+}
+
+}  // namespace
+
+Result<BoundQuery> BindQuery(const ParsedQuery& parsed,
+                             const ServiceRegistry& registry,
+                             const BindOptions& options) {
+  BoundQuery query;
+
+  for (const QueryAtom& atom : parsed.atoms) {
+    BoundAtom bound;
+    bound.alias = atom.alias;
+    bound.service_name = atom.service_name;
+    auto iface_result = registry.FindInterface(atom.service_name);
+    if (iface_result.ok()) {
+      bound.iface = iface_result.value();
+      bound.candidates = {bound.iface};
+      bound.schema = bound.iface->schema_ptr();
+      bound.mart_name = registry.MartOfInterface(atom.service_name);
+    } else {
+      SECO_ASSIGN_OR_RETURN(std::shared_ptr<ServiceMart> mart,
+                            registry.FindMart(atom.service_name));
+      bound.mart_name = mart->name();
+      bound.schema = mart->schema_ptr();
+      bound.candidates = registry.InterfacesOfMart(mart->name());
+      if (bound.candidates.empty()) {
+        return Status::Infeasible("mart '" + mart->name() +
+                                  "' has no registered service interfaces");
+      }
+    }
+    query.atoms.push_back(std::move(bound));
+  }
+
+  // Expand connection-pattern uses into join groups.
+  for (const ConnectionUse& use : parsed.connections) {
+    SECO_ASSIGN_OR_RETURN(std::shared_ptr<ConnectionPattern> pattern,
+                          registry.FindConnectionPattern(use.pattern_name));
+    int from = query.AtomIndex(use.from_alias);
+    int to = query.AtomIndex(use.to_alias);
+    if (from < 0 || to < 0) {
+      return Status::InvalidArgument("connection '" + use.pattern_name +
+                                     "' references unknown alias");
+    }
+    if (!query.atoms[from].mart_name.empty() &&
+        query.atoms[from].mart_name != pattern->source_mart()) {
+      return Status::InvalidArgument(
+          "connection '" + use.pattern_name + "' expects source mart '" +
+          pattern->source_mart() + "' but alias '" + use.from_alias + "' is over '" +
+          query.atoms[from].mart_name + "'");
+    }
+    if (!query.atoms[to].mart_name.empty() &&
+        query.atoms[to].mart_name != pattern->target_mart()) {
+      return Status::InvalidArgument(
+          "connection '" + use.pattern_name + "' expects target mart '" +
+          pattern->target_mart() + "' but alias '" + use.to_alias + "' is over '" +
+          query.atoms[to].mart_name + "'");
+    }
+    BoundJoinGroup group;
+    group.pattern_name = pattern->name();
+    group.selectivity = pattern->selectivity();
+    for (const ConnectionClause& clause : pattern->clauses()) {
+      JoinClause bound_clause;
+      bound_clause.from_atom = from;
+      bound_clause.to_atom = to;
+      bound_clause.op = clause.op;
+      SECO_ASSIGN_OR_RETURN(bound_clause.from_path,
+                            query.atoms[from].schema->Resolve(clause.from_attribute));
+      SECO_ASSIGN_OR_RETURN(bound_clause.to_path,
+                            query.atoms[to].schema->Resolve(clause.to_attribute));
+      group.clauses.push_back(bound_clause);
+    }
+    query.joins.push_back(std::move(group));
+  }
+
+  // Resolve plain predicates into selections or singleton join groups.
+  for (const ParsedPredicate& pred : parsed.predicates) {
+    int atom = query.AtomIndex(pred.lhs.alias);
+    if (atom < 0) {
+      return Status::InvalidArgument("unknown alias '" + pred.lhs.alias + "'");
+    }
+    SECO_ASSIGN_OR_RETURN(AttrPath lhs_path,
+                          query.atoms[atom].schema->Resolve(pred.lhs.path));
+    if (const AttrRef* rhs_ref = std::get_if<AttrRef>(&pred.rhs)) {
+      int rhs_atom = query.AtomIndex(rhs_ref->alias);
+      if (rhs_atom < 0) {
+        return Status::InvalidArgument("unknown alias '" + rhs_ref->alias + "'");
+      }
+      SECO_ASSIGN_OR_RETURN(AttrPath rhs_path,
+                            query.atoms[rhs_atom].schema->Resolve(rhs_ref->path));
+      if (rhs_atom == atom) {
+        return Status::Unsupported(
+            "self-comparison predicates within one atom are not supported");
+      }
+      BoundJoinGroup group;
+      group.selectivity = pred.op == Comparator::kEq
+                              ? options.join_eq_selectivity
+                              : options.join_range_selectivity;
+      JoinClause clause;
+      clause.from_atom = atom;
+      clause.from_path = lhs_path;
+      clause.op = pred.op;
+      clause.to_atom = rhs_atom;
+      clause.to_path = rhs_path;
+      group.clauses.push_back(clause);
+      query.joins.push_back(std::move(group));
+      continue;
+    }
+    BoundSelection sel;
+    sel.atom = atom;
+    sel.path = lhs_path;
+    sel.op = pred.op;
+    sel.selectivity = SelectionSelectivity(pred.op, options);
+    if (const InputVarRef* var = std::get_if<InputVarRef>(&pred.rhs)) {
+      sel.input_var = var->name;
+      RecordInputVar(&query, var->name);
+    } else {
+      sel.constant = std::get<Value>(pred.rhs);
+    }
+    query.selections.push_back(std::move(sel));
+  }
+
+  query.explicit_weights = parsed.ranking_weights;
+  return query;
+}
+
+}  // namespace seco

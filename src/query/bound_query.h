@@ -1,0 +1,99 @@
+#ifndef SECO_QUERY_BOUND_QUERY_H_
+#define SECO_QUERY_BOUND_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "service/registry.h"
+
+namespace seco {
+
+/// A query atom resolved against the registry. When the query names a
+/// service interface directly, `iface` is set; when it names a service mart,
+/// `iface` stays null and `candidates` lists the interfaces the optimizer's
+/// Phase 1 may choose among.
+struct BoundAtom {
+  std::string alias;
+  std::string service_name;
+  std::string mart_name;  // empty if the interface has no registered mart
+  std::shared_ptr<const ServiceSchema> schema;
+  std::shared_ptr<ServiceInterface> iface;  // null for mart-level atoms
+  std::vector<std::shared_ptr<ServiceInterface>> candidates;
+};
+
+/// A resolved selection predicate `atom.path op (const | INPUTvar)`.
+struct BoundSelection {
+  int atom = -1;
+  AttrPath path;
+  Comparator op = Comparator::kEq;
+  Value constant;         // used when input_var is empty
+  std::string input_var;  // non-empty when bound to an INPUT variable
+  double selectivity = 0.1;
+};
+
+/// One comparison of a join: `from_atom.from_path op to_atom.to_path`.
+struct JoinClause {
+  int from_atom = -1;
+  AttrPath from_path;
+  Comparator op = Comparator::kEq;
+  int to_atom = -1;
+  AttrPath to_path;
+};
+
+/// A group of join clauses evaluated together with one combined selectivity:
+/// either the expansion of a connection-pattern use, or a singleton group
+/// for an ad-hoc join predicate.
+struct BoundJoinGroup {
+  std::vector<JoinClause> clauses;
+  std::string pattern_name;  // empty for ad-hoc predicates
+  double selectivity = 0.05;
+};
+
+/// Default selectivity estimates used when the registry provides none.
+struct BindOptions {
+  double eq_selectivity = 0.1;
+  double range_selectivity = 0.33;
+  double like_selectivity = 0.2;
+  double join_eq_selectivity = 0.05;
+  double join_range_selectivity = 0.3;
+};
+
+/// The registry-resolved form of a query, input to feasibility checking and
+/// optimization.
+struct BoundQuery {
+  std::vector<BoundAtom> atoms;
+  std::vector<BoundSelection> selections;
+  std::vector<BoundJoinGroup> joins;
+  /// Distinct INPUT variable names in first-use order.
+  std::vector<std::string> input_vars;
+  /// Per-atom ranking weights; empty when the query had no `rank by`.
+  std::vector<double> explicit_weights;
+
+  int AtomIndex(const std::string& alias) const;
+  bool has_explicit_weights() const { return !explicit_weights.empty(); }
+
+  /// Weights actually used for scoring: the explicit ones, or the chapter's
+  /// default (unranked services weigh 0; ranked services share weight
+  /// equally). Requires every atom to have a resolved interface.
+  std::vector<double> EffectiveWeights() const;
+
+  /// Resolves the comparison value of `sel` against the user's bindings.
+  Result<Value> ResolveSelectionValue(
+      const BoundSelection& sel,
+      const std::map<std::string, Value>& input_bindings) const;
+};
+
+/// Resolves a parsed query against the registry: atoms to interfaces (or
+/// mart candidates), attribute names to paths, connection-pattern uses to
+/// join groups, and collects INPUT variables.
+Result<BoundQuery> BindQuery(const ParsedQuery& parsed,
+                             const ServiceRegistry& registry,
+                             const BindOptions& options = {});
+
+}  // namespace seco
+
+#endif  // SECO_QUERY_BOUND_QUERY_H_

@@ -1,0 +1,128 @@
+#include "query/feasibility.h"
+
+namespace seco {
+
+namespace {
+
+/// True if `path` is an output (O or R) under `pattern`.
+bool IsOutput(const AccessPattern& pattern, const AttrPath& path) {
+  return pattern.At(path) != Adornment::kInput;
+}
+
+}  // namespace
+
+Result<FeasibilityReport> CheckFeasibility(const BoundQuery& query) {
+  for (const BoundAtom& atom : query.atoms) {
+    if (!atom.iface) {
+      return Status::InvalidArgument(
+          "atom '" + atom.alias +
+          "' has no selected service interface; run access-pattern selection first");
+    }
+  }
+
+  int n = static_cast<int>(query.atoms.size());
+  FeasibilityReport report;
+  report.atoms.resize(n);
+
+  // Seed the per-atom input lists and the constant/INPUT bindings.
+  for (int a = 0; a < n; ++a) {
+    const AccessPattern& pattern = query.atoms[a].iface->pattern();
+    for (const AttrPath& in_path : pattern.input_paths()) {
+      InputBinding binding;
+      binding.path = in_path;
+      for (size_t s = 0; s < query.selections.size(); ++s) {
+        const BoundSelection& sel = query.selections[s];
+        if (sel.atom == a && sel.path == in_path && sel.op == Comparator::kEq) {
+          binding.source = sel.input_var.empty() ? BindingSource::kConstant
+                                                 : BindingSource::kInput;
+          binding.selection_index = static_cast<int>(s);
+          break;
+        }
+      }
+      report.atoms[a].inputs.push_back(binding);
+    }
+  }
+
+  // Fixpoint: an atom becomes reachable when all of its inputs are bound;
+  // join bindings require the providing side to be reachable already.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a = 0; a < n; ++a) {
+      AtomFeasibility& info = report.atoms[a];
+      if (info.reachable) continue;
+      bool all_bound = true;
+      for (InputBinding& binding : info.inputs) {
+        if (binding.source != BindingSource::kUnbound) continue;
+        // Look for an equality join clause binding this input from a
+        // reachable atom's output (in either clause direction).
+        bool bound = false;
+        for (size_t g = 0; g < query.joins.size() && !bound; ++g) {
+          const BoundJoinGroup& group = query.joins[g];
+          for (size_t c = 0; c < group.clauses.size() && !bound; ++c) {
+            const JoinClause& clause = group.clauses[c];
+            if (clause.op != Comparator::kEq) continue;
+            int other = -1;
+            AttrPath other_path;
+            if (clause.to_atom == a && clause.to_path == binding.path) {
+              other = clause.from_atom;
+              other_path = clause.from_path;
+            } else if (clause.from_atom == a && clause.from_path == binding.path) {
+              other = clause.to_atom;
+              other_path = clause.to_path;
+            } else {
+              continue;
+            }
+            if (other == a || !report.atoms[other].reachable) continue;
+            if (!IsOutput(query.atoms[other].iface->pattern(), other_path)) continue;
+            binding.source = BindingSource::kJoin;
+            binding.join_group = static_cast<int>(g);
+            binding.clause_index = static_cast<int>(c);
+            binding.provider_atom = other;
+            binding.provider_path = other_path;
+            bound = true;
+          }
+        }
+        if (!bound) {
+          all_bound = false;
+        }
+      }
+      if (all_bound) {
+        info.reachable = true;
+        for (const InputBinding& binding : info.inputs) {
+          if (binding.source == BindingSource::kJoin) {
+            bool seen = false;
+            for (int d : info.depends_on) {
+              if (d == binding.provider_atom) seen = true;
+            }
+            if (!seen) info.depends_on.push_back(binding.provider_atom);
+          }
+        }
+        report.reachable_order.push_back(a);
+        changed = true;
+      }
+    }
+  }
+
+  report.feasible = static_cast<int>(report.reachable_order.size()) == n;
+  if (!report.feasible) {
+    std::string unreached;
+    for (int a = 0; a < n; ++a) {
+      if (!report.atoms[a].reachable) {
+        if (!unreached.empty()) unreached += ", ";
+        unreached += query.atoms[a].alias;
+        for (const InputBinding& binding : report.atoms[a].inputs) {
+          if (binding.source == BindingSource::kUnbound) {
+            unreached += " (unbound input " +
+                         query.atoms[a].schema->PathToString(binding.path) + ")";
+            break;
+          }
+        }
+      }
+    }
+    report.reason = "unreachable atoms: " + unreached;
+  }
+  return report;
+}
+
+}  // namespace seco

@@ -1,0 +1,59 @@
+#ifndef SECO_QUERY_FEASIBILITY_H_
+#define SECO_QUERY_FEASIBILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/bound_query.h"
+
+namespace seco {
+
+/// How one input (sub-)attribute of an atom's access pattern gets its value.
+enum class BindingSource {
+  kUnbound,   // nothing in the query binds it -> atom unreachable
+  kConstant,  // equality selection with a constant
+  kInput,     // equality selection with an INPUT variable
+  kJoin,      // equality join clause whose other side is a reachable output
+};
+
+/// Resolution of a single input path of an atom.
+struct InputBinding {
+  AttrPath path;
+  BindingSource source = BindingSource::kUnbound;
+  /// For kConstant/kInput: index into BoundQuery::selections.
+  int selection_index = -1;
+  /// For kJoin: join group / clause indexes and the providing atom.
+  int join_group = -1;
+  int clause_index = -1;
+  int provider_atom = -1;
+  /// For kJoin: the provider's output path feeding this input.
+  AttrPath provider_path;
+};
+
+/// Per-atom reachability detail.
+struct AtomFeasibility {
+  bool reachable = false;
+  std::vector<InputBinding> inputs;
+  /// Atoms whose outputs feed this atom's inputs (pipe/I-O dependencies).
+  std::vector<int> depends_on;
+};
+
+/// The result of the reachability analysis (§3.1): a query is feasible iff
+/// every atom is reachable through constants, INPUT variables, and equality
+/// joins against outputs of reachable atoms.
+struct FeasibilityReport {
+  bool feasible = false;
+  std::string reason;  // why not, when infeasible
+  std::vector<AtomFeasibility> atoms;
+  /// Atom indices in an order compatible with the I/O dependencies.
+  std::vector<int> reachable_order;
+};
+
+/// Analyzes `query`, whose atoms must all have resolved interfaces
+/// (mart-level atoms must first go through the optimizer's Phase 1).
+Result<FeasibilityReport> CheckFeasibility(const BoundQuery& query);
+
+}  // namespace seco
+
+#endif  // SECO_QUERY_FEASIBILITY_H_

@@ -1,0 +1,329 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace seco {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kOp,  // = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const std::string& s = text_;
+    while (i < s.size()) {
+      char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                                s[i] == '_')) {
+          ++i;
+        }
+        out.push_back({TokenKind::kIdent, s.substr(start, i - start), start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && i + 1 < s.size() &&
+                  std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+        ++i;
+        bool seen_dot = false;
+        while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                                (s[i] == '.' && !seen_dot &&
+                                 i + 1 < s.size() &&
+                                 std::isdigit(static_cast<unsigned char>(s[i + 1]))))) {
+          if (s[i] == '.') seen_dot = true;
+          ++i;
+        }
+        out.push_back({TokenKind::kNumber, s.substr(start, i - start), start});
+      } else if (c == '\'' || c == '"') {
+        char quote = c;
+        ++i;
+        std::string lit;
+        while (i < s.size() && s[i] != quote) lit.push_back(s[i++]);
+        if (i >= s.size()) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        ++i;  // closing quote
+        out.push_back({TokenKind::kString, lit, start});
+      } else if (c == ',') {
+        out.push_back({TokenKind::kComma, ",", start});
+        ++i;
+      } else if (c == '(') {
+        out.push_back({TokenKind::kLParen, "(", start});
+        ++i;
+      } else if (c == ')') {
+        out.push_back({TokenKind::kRParen, ")", start});
+        ++i;
+      } else if (c == '.') {
+        out.push_back({TokenKind::kDot, ".", start});
+        ++i;
+      } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+        std::string op(1, c);
+        ++i;
+        if (i < s.size() && s[i] == '=') {
+          op.push_back('=');
+          ++i;
+        }
+        if (op == "!") {
+          return Status::ParseError("stray '!' at offset " + std::to_string(start));
+        }
+        out.push_back({TokenKind::kOp, op, start});
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+      }
+    }
+    out.push_back({TokenKind::kEnd, "", s.size()});
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery query;
+    SECO_RETURN_IF_ERROR(ExpectKeyword("select"));
+    SECO_RETURN_IF_ERROR(ParseAtomList(&query));
+    SECO_RETURN_IF_ERROR(ExpectKeyword("where"));
+    SECO_RETURN_IF_ERROR(ParseConditionList(&query));
+    if (IsKeyword("rank")) {
+      Advance();
+      SECO_RETURN_IF_ERROR(ExpectKeyword("by"));
+      SECO_RETURN_IF_ERROR(ParseWeights(&query));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    if (!query.ranking_weights.empty() &&
+        query.ranking_weights.size() != query.atoms.size()) {
+      return Status::ParseError(
+          "rank by lists " + std::to_string(query.ranking_weights.size()) +
+          " weights for " + std::to_string(query.atoms.size()) + " atoms");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() { ++pos_; }
+
+  bool IsKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdent && AsciiToLower(Peek().text) == kw;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) {
+      return Error(std::string("expected '") + kw + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) return Error(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(Peek().offset) +
+                              (Peek().text.empty() ? "" : " near '" + Peek().text + "'"));
+  }
+
+  Status ParseAtomList(ParsedQuery* query) {
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) return Error("expected service name");
+      QueryAtom atom;
+      atom.service_name = Peek().text;
+      Advance();
+      if (IsKeyword("as")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdent) return Error("expected alias");
+        atom.alias = Peek().text;
+        Advance();
+      } else {
+        atom.alias = atom.service_name;
+      }
+      for (const QueryAtom& prev : query->atoms) {
+        if (prev.alias == atom.alias) {
+          return Status::ParseError("duplicate alias '" + atom.alias + "'");
+        }
+      }
+      query->atoms.push_back(std::move(atom));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseConditionList(ParsedQuery* query) {
+    while (true) {
+      SECO_RETURN_IF_ERROR(ParseCondition(query));
+      if (!IsKeyword("and")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseCondition(ParsedQuery* query) {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected condition");
+    // Connection use: IDENT '(' IDENT ',' IDENT ')'
+    if (Peek(1).kind == TokenKind::kLParen) {
+      ConnectionUse use;
+      use.pattern_name = Peek().text;
+      Advance();
+      Advance();  // '('
+      if (Peek().kind != TokenKind::kIdent) return Error("expected alias");
+      use.from_alias = Peek().text;
+      Advance();
+      SECO_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      if (Peek().kind != TokenKind::kIdent) return Error("expected alias");
+      use.to_alias = Peek().text;
+      Advance();
+      SECO_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      query->connections.push_back(std::move(use));
+      return Status::OK();
+    }
+    // Predicate: ref op operand
+    ParsedPredicate pred;
+    SECO_RETURN_IF_ERROR(ParseRef(&pred.lhs));
+    SECO_ASSIGN_OR_RETURN(pred.op, ParseOp());
+    SECO_ASSIGN_OR_RETURN(pred.rhs, ParseOperand());
+    query->predicates.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status ParseRef(AttrRef* ref) {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected attribute reference");
+    ref->alias = Peek().text;
+    Advance();
+    if (Peek().kind != TokenKind::kDot) return Error("expected '.' after alias");
+    Advance();
+    if (Peek().kind != TokenKind::kIdent) return Error("expected attribute name");
+    ref->path = Peek().text;
+    Advance();
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdent) return Error("expected sub-attribute name");
+      ref->path += "." + Peek().text;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<Comparator> ParseOp() {
+    if (IsKeyword("like")) {
+      Advance();
+      return Comparator::kLike;
+    }
+    if (Peek().kind != TokenKind::kOp) {
+      Status err = Error("expected comparison operator");
+      return err;
+    }
+    std::string op = Peek().text;
+    Advance();
+    if (op == "=") return Comparator::kEq;
+    if (op == "!=") return Comparator::kNe;
+    if (op == "<") return Comparator::kLt;
+    if (op == "<=") return Comparator::kLe;
+    if (op == ">") return Comparator::kGt;
+    if (op == ">=") return Comparator::kGe;
+    return Status::ParseError("unknown operator '" + op + "'");
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kNumber) {
+      Advance();
+      if (tok.text.find('.') != std::string::npos) {
+        return Operand(Value(std::stod(tok.text)));
+      }
+      return Operand(Value(static_cast<int64_t>(std::stoll(tok.text))));
+    }
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      return Operand(Value(tok.text));
+    }
+    if (tok.kind == TokenKind::kIdent) {
+      if (tok.text.rfind("INPUT", 0) == 0 && Peek(1).kind != TokenKind::kDot) {
+        Advance();
+        return Operand(InputVarRef{tok.text});
+      }
+      std::string lowered = AsciiToLower(tok.text);
+      if ((lowered == "true" || lowered == "false") &&
+          Peek(1).kind != TokenKind::kDot) {
+        Advance();
+        return Operand(Value(lowered == "true"));
+      }
+      AttrRef ref;
+      SECO_RETURN_IF_ERROR(ParseRef(&ref));
+      return Operand(std::move(ref));
+    }
+    Status err = Error("expected operand");
+    return err;
+  }
+
+  Status ParseWeights(ParsedQuery* query) {
+    SECO_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      if (Peek().kind != TokenKind::kNumber) return Error("expected weight");
+      query->ranking_weights.push_back(std::stod(Peek().text));
+      Advance();
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Expect(TokenKind::kRParen, "')'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  SECO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace seco

@@ -1,0 +1,30 @@
+#ifndef SECO_QUERY_PARSER_H_
+#define SECO_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace seco {
+
+/// Parses the SeCo conjunctive query language (§3.1) into a ParsedQuery.
+///
+/// Grammar (keywords case-insensitive; identifiers case-sensitive):
+///
+///   query      := 'select' atom (',' atom)*
+///                 'where' cond ('and' cond)*
+///                 [ 'rank' 'by' '(' number (',' number)* ')' ]
+///   atom       := IDENT [ 'as' IDENT ]
+///   cond       := IDENT '(' IDENT ',' IDENT ')'          -- connection use
+///               | ref op operand                         -- predicate
+///   ref        := IDENT '.' IDENT [ '.' IDENT ]
+///   operand    := NUMBER | STRING | INPUTVAR | ref
+///   op         := '=' | '!=' | '<' | '<=' | '>' | '>=' | 'like'
+///
+/// An identifier whose name starts with "INPUT" denotes an input variable.
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+}  // namespace seco
+
+#endif  // SECO_QUERY_PARSER_H_

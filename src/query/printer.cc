@@ -1,0 +1,94 @@
+#include "query/printer.h"
+
+#include <sstream>
+
+namespace seco {
+
+namespace {
+
+std::string OperandText(const Operand& operand) {
+  if (const Value* v = std::get_if<Value>(&operand)) {
+    return v->ToString();  // strings already quoted
+  }
+  if (const InputVarRef* var = std::get_if<InputVarRef>(&operand)) {
+    return var->name;
+  }
+  const AttrRef& ref = std::get<AttrRef>(operand);
+  return ref.alias + "." + ref.path;
+}
+
+}  // namespace
+
+std::string ToQueryText(const ParsedQuery& query) {
+  std::ostringstream out;
+  out << "select ";
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << query.atoms[i].service_name;
+    if (query.atoms[i].alias != query.atoms[i].service_name) {
+      out << " as " << query.atoms[i].alias;
+    }
+  }
+  out << " where ";
+  bool first = true;
+  for (const ConnectionUse& use : query.connections) {
+    if (!first) out << " and ";
+    first = false;
+    out << use.pattern_name << "(" << use.from_alias << ", " << use.to_alias
+        << ")";
+  }
+  for (const ParsedPredicate& pred : query.predicates) {
+    if (!first) out << " and ";
+    first = false;
+    out << pred.lhs.alias << "." << pred.lhs.path << " "
+        << ComparatorToString(pred.op) << " " << OperandText(pred.rhs);
+  }
+  if (!query.ranking_weights.empty()) {
+    out << " rank by (";
+    for (size_t i = 0; i < query.ranking_weights.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << query.ranking_weights[i];
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+std::string BoundQueryDebugString(const BoundQuery& query) {
+  std::ostringstream out;
+  out << "atoms:\n";
+  for (const BoundAtom& atom : query.atoms) {
+    out << "  " << atom.alias << " -> "
+        << (atom.iface ? atom.iface->name() : "<mart:" + atom.mart_name + ">");
+    if (atom.iface) {
+      out << " [" << ServiceKindToString(atom.iface->kind());
+      if (atom.iface->is_chunked()) out << ", chunked";
+      out << "]";
+    }
+    out << "\n";
+  }
+  out << "selections:\n";
+  for (const BoundSelection& sel : query.selections) {
+    const BoundAtom& atom = query.atoms[sel.atom];
+    out << "  " << atom.alias << "." << atom.schema->PathToString(sel.path)
+        << " " << ComparatorToString(sel.op) << " "
+        << (sel.input_var.empty() ? sel.constant.ToString() : sel.input_var)
+        << "  (sel " << sel.selectivity << ")\n";
+  }
+  out << "joins:\n";
+  for (const BoundJoinGroup& group : query.joins) {
+    out << "  " << (group.pattern_name.empty() ? "<predicate>" : group.pattern_name)
+        << " (sel " << group.selectivity << "):";
+    for (const JoinClause& clause : group.clauses) {
+      const BoundAtom& from = query.atoms[clause.from_atom];
+      const BoundAtom& to = query.atoms[clause.to_atom];
+      out << " " << from.alias << "." << from.schema->PathToString(clause.from_path)
+          << ComparatorToString(clause.op) << to.alias << "."
+          << to.schema->PathToString(clause.to_path);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace seco

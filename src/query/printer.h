@@ -1,0 +1,21 @@
+#ifndef SECO_QUERY_PRINTER_H_
+#define SECO_QUERY_PRINTER_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "query/bound_query.h"
+
+namespace seco {
+
+/// Renders a parsed query back to SeCo query text. `ParseQuery` of the
+/// output yields a structurally identical query (round-trip property).
+std::string ToQueryText(const ParsedQuery& query);
+
+/// Debug rendering of a bound query: atoms with their interfaces,
+/// selections, and join groups.
+std::string BoundQueryDebugString(const BoundQuery& query);
+
+}  // namespace seco
+
+#endif  // SECO_QUERY_PRINTER_H_

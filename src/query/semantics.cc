@@ -1,0 +1,264 @@
+#include "query/semantics.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace seco {
+
+namespace {
+
+/// Identifies one repeating group occurrence: (atom index, attribute index).
+using GroupKey = std::pair<int, int>;
+
+/// Collects the repeating groups occurring in a set of predicate paths.
+void CollectGroup(std::vector<GroupKey>* groups, int atom, const AttrPath& path) {
+  if (!path.is_sub_attribute()) return;
+  GroupKey key{atom, path.attr_index};
+  if (std::find(groups->begin(), groups->end(), key) == groups->end()) {
+    groups->push_back(key);
+  }
+}
+
+/// Evaluates a set of predicates over concrete tuples under the paper's
+/// single-instance semantics: existentially chooses one instance per
+/// repeating group occurring in the predicates, shared by all of them.
+class InstanceSearch {
+ public:
+  /// `tuple_of(atom)` must return the concrete tuple for that atom.
+  using TupleFn = const Tuple& (*)(int, const void*);
+
+  InstanceSearch(const Tuple* (*get)(int, const void*), const void* ctx)
+      : get_(get), ctx_(ctx) {}
+
+  void AddGroupsForPath(int atom, const AttrPath& path) {
+    CollectGroup(&groups_, atom, path);
+  }
+
+  /// `eval(assignment)` must evaluate every predicate under the given
+  /// instance choice. Tries all assignments; true if any satisfies.
+  Result<bool> Exists(
+      const std::function<Result<bool>(const std::map<GroupKey, int>&)>& eval) {
+    // Verify all groups are non-empty; an empty group occurring in the
+    // predicates admits no mapping M, so the combination is excluded.
+    std::vector<int> sizes;
+    for (const GroupKey& key : groups_) {
+      const Tuple* t = get_(key.first, ctx_);
+      const RepeatingGroupValue& group = t->GroupAt(key.second);
+      if (group.empty()) return false;
+      sizes.push_back(static_cast<int>(group.size()));
+    }
+    std::map<GroupKey, int> assignment;
+    return Recurse(0, sizes, &assignment, eval);
+  }
+
+  /// Value of `path` on `tuple` under `assignment`.
+  static const Value& ValueUnder(const Tuple& tuple, int atom,
+                                 const AttrPath& path,
+                                 const std::map<GroupKey, int>& assignment) {
+    if (!path.is_sub_attribute()) return tuple.ValueAt(path);
+    int inst = assignment.at(GroupKey{atom, path.attr_index});
+    return tuple.GroupAt(path.attr_index)[inst][path.sub_index];
+  }
+
+ private:
+  Result<bool> Recurse(
+      size_t i, const std::vector<int>& sizes, std::map<GroupKey, int>* assignment,
+      const std::function<Result<bool>(const std::map<GroupKey, int>&)>& eval) {
+    if (i == groups_.size()) return eval(*assignment);
+    for (int choice = 0; choice < sizes[i]; ++choice) {
+      (*assignment)[groups_[i]] = choice;
+      SECO_ASSIGN_OR_RETURN(bool ok, Recurse(i + 1, sizes, assignment, eval));
+      if (ok) return true;
+    }
+    assignment->erase(groups_[i]);
+    return false;
+  }
+
+  const Tuple* (*get_)(int, const void*);
+  const void* ctx_;
+  std::vector<GroupKey> groups_;
+};
+
+struct ComboContext {
+  const std::vector<const Tuple*>* tuples;
+};
+
+const Tuple* GetComboTuple(int atom, const void* ctx) {
+  return (*static_cast<const ComboContext*>(ctx)->tuples)[atom];
+}
+
+}  // namespace
+
+Result<bool> SatisfiesSelections(
+    const BoundQuery& query, int atom, const Tuple& tuple,
+    const std::map<std::string, Value>& input_bindings) {
+  std::vector<const Tuple*> tuples(query.atoms.size(), nullptr);
+  tuples[atom] = &tuple;
+  ComboContext ctx{&tuples};
+  InstanceSearch search(&GetComboTuple, &ctx);
+  std::vector<const BoundSelection*> sels;
+  for (const BoundSelection& sel : query.selections) {
+    if (sel.atom != atom) continue;
+    sels.push_back(&sel);
+    search.AddGroupsForPath(atom, sel.path);
+  }
+  if (sels.empty()) return true;
+  return search.Exists([&](const std::map<std::pair<int, int>, int>& assignment)
+                           -> Result<bool> {
+    for (const BoundSelection* sel : sels) {
+      SECO_ASSIGN_OR_RETURN(Value rhs,
+                            query.ResolveSelectionValue(*sel, input_bindings));
+      const Value& lhs =
+          InstanceSearch::ValueUnder(tuple, atom, sel->path, assignment);
+      SECO_ASSIGN_OR_RETURN(bool ok, lhs.Compare(sel->op, rhs));
+      if (!ok) return false;
+    }
+    return true;
+  });
+}
+
+Result<bool> SatisfiesJoinGroup(const BoundQuery& query,
+                                const BoundJoinGroup& group,
+                                const Tuple& from_tuple, const Tuple& to_tuple) {
+  if (group.clauses.empty()) return true;
+  int from_atom = group.clauses[0].from_atom;
+  int to_atom = group.clauses[0].to_atom;
+  std::vector<const Tuple*> tuples(query.atoms.size(), nullptr);
+  tuples[from_atom] = &from_tuple;
+  tuples[to_atom] = &to_tuple;
+  ComboContext ctx{&tuples};
+  InstanceSearch search(&GetComboTuple, &ctx);
+  for (const JoinClause& clause : group.clauses) {
+    search.AddGroupsForPath(clause.from_atom, clause.from_path);
+    search.AddGroupsForPath(clause.to_atom, clause.to_path);
+  }
+  return search.Exists([&](const std::map<std::pair<int, int>, int>& assignment)
+                           -> Result<bool> {
+    for (const JoinClause& clause : group.clauses) {
+      const Value& lhs = InstanceSearch::ValueUnder(
+          *tuples[clause.from_atom], clause.from_atom, clause.from_path, assignment);
+      const Value& rhs = InstanceSearch::ValueUnder(
+          *tuples[clause.to_atom], clause.to_atom, clause.to_path, assignment);
+      SECO_ASSIGN_OR_RETURN(bool ok, lhs.Compare(clause.op, rhs));
+      if (!ok) return false;
+    }
+    return true;
+  });
+}
+
+Result<std::vector<Combination>> EvaluateOracle(
+    const BoundQuery& query, const OracleInput& input,
+    const std::map<std::string, Value>& input_bindings, int k) {
+  int n = static_cast<int>(query.atoms.size());
+  if (static_cast<int>(input.tuples.size()) != n) {
+    return Status::InvalidArgument("oracle input must cover every atom");
+  }
+
+  std::vector<double> weights;
+  bool all_resolved = true;
+  for (const BoundAtom& atom : query.atoms) {
+    if (!atom.iface) all_resolved = false;
+  }
+  if (query.has_explicit_weights()) {
+    weights = query.explicit_weights;
+  } else if (all_resolved) {
+    weights = query.EffectiveWeights();
+  } else {
+    weights.assign(n, 1.0 / n);
+  }
+
+  std::vector<Combination> out;
+  std::vector<int> idx(n, 0);
+
+  // Odometer over the full cross product (oracle only: exponential).
+  while (true) {
+    std::vector<const Tuple*> tuples(n);
+    bool empty = false;
+    for (int a = 0; a < n; ++a) {
+      if (input.tuples[a].empty()) {
+        empty = true;
+        break;
+      }
+      tuples[a] = &input.tuples[a][idx[a]];
+    }
+    if (empty) break;
+
+    // Build the global instance search over every predicate in P.
+    ComboContext ctx{&tuples};
+    InstanceSearch search(&GetComboTuple, &ctx);
+    for (const BoundSelection& sel : query.selections) {
+      search.AddGroupsForPath(sel.atom, sel.path);
+    }
+    for (const BoundJoinGroup& group : query.joins) {
+      for (const JoinClause& clause : group.clauses) {
+        search.AddGroupsForPath(clause.from_atom, clause.from_path);
+        search.AddGroupsForPath(clause.to_atom, clause.to_path);
+      }
+    }
+    SECO_ASSIGN_OR_RETURN(
+        bool accepted,
+        search.Exists([&](const std::map<std::pair<int, int>, int>& assignment)
+                          -> Result<bool> {
+          for (const BoundSelection& sel : query.selections) {
+            SECO_ASSIGN_OR_RETURN(Value rhs,
+                                  query.ResolveSelectionValue(sel, input_bindings));
+            const Value& lhs = InstanceSearch::ValueUnder(
+                *tuples[sel.atom], sel.atom, sel.path, assignment);
+            SECO_ASSIGN_OR_RETURN(bool ok, lhs.Compare(sel.op, rhs));
+            if (!ok) return false;
+          }
+          for (const BoundJoinGroup& group : query.joins) {
+            for (const JoinClause& clause : group.clauses) {
+              const Value& lhs = InstanceSearch::ValueUnder(
+                  *tuples[clause.from_atom], clause.from_atom, clause.from_path,
+                  assignment);
+              const Value& rhs = InstanceSearch::ValueUnder(
+                  *tuples[clause.to_atom], clause.to_atom, clause.to_path,
+                  assignment);
+              SECO_ASSIGN_OR_RETURN(bool ok, lhs.Compare(clause.op, rhs));
+              if (!ok) return false;
+            }
+          }
+          return true;
+        }));
+
+    if (accepted) {
+      Combination combo;
+      combo.components.reserve(n);
+      combo.component_scores.reserve(n);
+      double total = 0.0;
+      for (int a = 0; a < n; ++a) {
+        combo.components.push_back(*tuples[a]);
+        double score = 0.0;
+        if (a < static_cast<int>(input.scores.size()) &&
+            idx[a] < static_cast<int>(input.scores[a].size())) {
+          score = input.scores[a][idx[a]];
+        }
+        combo.component_scores.push_back(score);
+        total += weights[a] * score;
+      }
+      combo.combined_score = total;
+      out.push_back(std::move(combo));
+    }
+
+    // Advance odometer.
+    int a = n - 1;
+    while (a >= 0) {
+      if (++idx[a] < static_cast<int>(input.tuples[a].size())) break;
+      idx[a] = 0;
+      --a;
+    }
+    if (a < 0) break;
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Combination& a, const Combination& b) {
+                     return a.combined_score > b.combined_score;
+                   });
+  if (k >= 0 && static_cast<int>(out.size()) > k) out.resize(k);
+  return out;
+}
+
+}  // namespace seco

@@ -1,0 +1,52 @@
+#ifndef SECO_QUERY_SEMANTICS_H_
+#define SECO_QUERY_SEMANTICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/bound_query.h"
+#include "service/tuple.h"
+
+namespace seco {
+
+/// Materialized per-atom data for the reference evaluator: `tuples[i]` are
+/// all tuples of atom i, `scores[i]` their scores (may be empty for
+/// unranked atoms; missing scores count as 0).
+struct OracleInput {
+  std::vector<std::vector<Tuple>> tuples;
+  std::vector<std::vector<double>> scores;
+};
+
+/// Reference (oracle) evaluator implementing the §3.1 semantics literally:
+/// the result is the largest set of composite tuples t1...tn such that some
+/// single mapping M — choosing ONE instance per repeating group occurring in
+/// the predicate set P — satisfies every predicate. Used as ground truth by
+/// tests and by extraction-optimality measurements; cost is exponential in
+/// the number of atoms and not intended for production execution.
+///
+/// Combinations are returned in decreasing `combined_score` (stable order),
+/// scored with `query.EffectiveWeights()` when atoms have interfaces, or
+/// equal weights otherwise. If `k >= 0`, only the top-k are returned.
+Result<std::vector<Combination>> EvaluateOracle(
+    const BoundQuery& query, const OracleInput& input,
+    const std::map<std::string, Value>& input_bindings, int k = -1);
+
+/// Evaluates all selection predicates of `query` that target `atom` against
+/// `tuple`, with the given INPUT bindings. Implements the single-instance
+/// repeating-group rule: all predicates over the same repeating group of
+/// this atom must be satisfied by one common group instance.
+Result<bool> SatisfiesSelections(const BoundQuery& query, int atom,
+                                 const Tuple& tuple,
+                                 const std::map<std::string, Value>& input_bindings);
+
+/// Evaluates one join group between two concrete tuples (single-instance
+/// rule applied per repeating group on each side).
+Result<bool> SatisfiesJoinGroup(const BoundQuery& query,
+                                const BoundJoinGroup& group,
+                                const Tuple& from_tuple, const Tuple& to_tuple);
+
+}  // namespace seco
+
+#endif  // SECO_QUERY_SEMANTICS_H_

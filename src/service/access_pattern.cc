@@ -1,0 +1,65 @@
+#include "service/access_pattern.h"
+
+namespace seco {
+
+const char* AdornmentToString(Adornment a) {
+  switch (a) {
+    case Adornment::kInput:
+      return "I";
+    case Adornment::kOutput:
+      return "O";
+    case Adornment::kRanked:
+      return "R";
+  }
+  return "?";
+}
+
+Result<AccessPattern> AccessPattern::Create(
+    const ServiceSchema& schema,
+    const std::vector<std::pair<std::string, Adornment>>& adornments) {
+  AccessPattern pattern;
+  // Count how many leaf paths the schema has to verify full coverage.
+  int expected = 0;
+  for (const AttributeDef& attr : schema.attributes()) {
+    expected += attr.is_repeating_group
+                    ? static_cast<int>(attr.sub_attributes.size())
+                    : 1;
+  }
+  for (const auto& [name, adornment] : adornments) {
+    SECO_ASSIGN_OR_RETURN(AttrPath path, schema.Resolve(name));
+    for (const Entry& e : pattern.entries_) {
+      if (e.path == path) {
+        return Status::InvalidArgument("duplicate adornment for '" + name + "'");
+      }
+    }
+    pattern.entries_.push_back(Entry{path, adornment});
+    switch (adornment) {
+      case Adornment::kInput:
+        pattern.input_paths_.push_back(path);
+        break;
+      case Adornment::kOutput:
+        pattern.output_paths_.push_back(path);
+        break;
+      case Adornment::kRanked:
+        pattern.output_paths_.push_back(path);
+        pattern.ranked_paths_.push_back(path);
+        break;
+    }
+  }
+  if (static_cast<int>(pattern.entries_.size()) != expected) {
+    return Status::InvalidArgument(
+        "access pattern for service '" + schema.name() + "' covers " +
+        std::to_string(pattern.entries_.size()) + " of " +
+        std::to_string(expected) + " leaf attributes");
+  }
+  return pattern;
+}
+
+Adornment AccessPattern::At(const AttrPath& path) const {
+  for (const Entry& e : entries_) {
+    if (e.path == path) return e.adornment;
+  }
+  return Adornment::kOutput;
+}
+
+}  // namespace seco

@@ -1,0 +1,66 @@
+#ifndef SECO_SERVICE_ACCESS_PATTERN_H_
+#define SECO_SERVICE_ACCESS_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/schema.h"
+
+namespace seco {
+
+/// Adornment of a (sub-)attribute in a service interface signature (§3.1,
+/// §5.6): Input fields must be bound before invocation, Output fields are
+/// produced, Ranked fields are outputs that carry the service's relevance
+/// score (denoted with superscript R in the chapter).
+enum class Adornment {
+  kInput,   // I
+  kOutput,  // O
+  kRanked,  // R (an output that determines ranking)
+};
+
+const char* AdornmentToString(Adornment a);
+
+/// The binding pattern of a service interface: one adornment per
+/// (sub-)attribute path of the schema. Determines which query formulations
+/// are feasible (a service is only invocable once all I fields are bound).
+class AccessPattern {
+ public:
+  AccessPattern() = default;
+
+  /// Builds a pattern over `schema` from dotted-name/adornment pairs.
+  /// Every atomic attribute and every sub-attribute of every repeating group
+  /// must be mentioned exactly once.
+  static Result<AccessPattern> Create(
+      const ServiceSchema& schema,
+      const std::vector<std::pair<std::string, Adornment>>& adornments);
+
+  /// Adornment at a resolved path.
+  Adornment At(const AttrPath& path) const;
+
+  /// All paths adorned kInput, in declaration order. Service requests carry
+  /// input values aligned with this order.
+  const std::vector<AttrPath>& input_paths() const { return input_paths_; }
+
+  /// All paths adorned kOutput or kRanked.
+  const std::vector<AttrPath>& output_paths() const { return output_paths_; }
+
+  /// Paths adorned kRanked (usually zero or one).
+  const std::vector<AttrPath>& ranked_paths() const { return ranked_paths_; }
+
+  int num_inputs() const { return static_cast<int>(input_paths_.size()); }
+
+ private:
+  struct Entry {
+    AttrPath path;
+    Adornment adornment;
+  };
+  std::vector<Entry> entries_;
+  std::vector<AttrPath> input_paths_;
+  std::vector<AttrPath> output_paths_;
+  std::vector<AttrPath> ranked_paths_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_ACCESS_PATTERN_H_

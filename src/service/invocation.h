@@ -1,0 +1,45 @@
+#ifndef SECO_SERVICE_INVOCATION_H_
+#define SECO_SERVICE_INVOCATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "service/tuple.h"
+
+namespace seco {
+
+/// One request-response to a service. For chunked services, `chunk_index`
+/// selects the fetch number (0-based) for the *same* input binding; callers
+/// fetch chunk 0, 1, 2, ... to page through the ranked result list.
+struct ServiceRequest {
+  /// Input values aligned with `AccessPattern::input_paths()`.
+  std::vector<Value> inputs;
+  int chunk_index = 0;
+};
+
+/// The result of one request-response.
+struct ServiceResponse {
+  std::vector<Tuple> tuples;
+  /// Score in [0,1] per tuple, parallel to `tuples`; empty for unranked
+  /// (exact) services.
+  std::vector<double> scores;
+  /// True if no further chunk exists for this input binding.
+  bool exhausted = true;
+  /// Simulated latency charged to this call, in milliseconds.
+  double latency_ms = 0.0;
+};
+
+/// The only interface through which SeCo touches data sources. Real
+/// deployments would put an HTTP/SOAP client behind this; this repository
+/// provides deterministic simulated services (see `src/sim/`).
+class ServiceCallHandler {
+ public:
+  virtual ~ServiceCallHandler() = default;
+
+  /// Executes one request-response against the source.
+  virtual Result<ServiceResponse> Call(const ServiceRequest& request) = 0;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_INVOCATION_H_

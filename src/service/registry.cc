@@ -1,0 +1,96 @@
+#include "service/registry.h"
+
+namespace seco {
+
+Status ServiceRegistry::RegisterMart(std::shared_ptr<ServiceMart> mart) {
+  const std::string& name = mart->name();
+  if (marts_.count(name) > 0) {
+    return Status::AlreadyExists("mart '" + name + "' already registered");
+  }
+  marts_[name] = std::move(mart);
+  return Status::OK();
+}
+
+Status ServiceRegistry::RegisterInterface(std::shared_ptr<ServiceInterface> iface,
+                                          const std::string& mart_name) {
+  const std::string& name = iface->name();
+  if (interfaces_.count(name) > 0) {
+    return Status::AlreadyExists("interface '" + name + "' already registered");
+  }
+  if (!mart_name.empty()) {
+    auto it = marts_.find(mart_name);
+    if (it == marts_.end()) {
+      return Status::NotFound("mart '" + mart_name + "' not registered");
+    }
+    it->second->AddInterface(name);
+    interface_to_mart_[name] = mart_name;
+  }
+  interfaces_[name] = std::move(iface);
+  return Status::OK();
+}
+
+Status ServiceRegistry::RegisterConnectionPattern(
+    std::shared_ptr<ConnectionPattern> pattern) {
+  const std::string& name = pattern->name();
+  if (patterns_.count(name) > 0) {
+    return Status::AlreadyExists("connection pattern '" + name +
+                                 "' already registered");
+  }
+  patterns_[name] = std::move(pattern);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<ServiceMart>> ServiceRegistry::FindMart(
+    const std::string& name) const {
+  auto it = marts_.find(name);
+  if (it == marts_.end()) return Status::NotFound("mart '" + name + "'");
+  return it->second;
+}
+
+Result<std::shared_ptr<ServiceInterface>> ServiceRegistry::FindInterface(
+    const std::string& name) const {
+  auto it = interfaces_.find(name);
+  if (it == interfaces_.end()) return Status::NotFound("interface '" + name + "'");
+  return it->second;
+}
+
+Result<std::shared_ptr<ConnectionPattern>> ServiceRegistry::FindConnectionPattern(
+    const std::string& name) const {
+  auto it = patterns_.find(name);
+  if (it == patterns_.end()) {
+    return Status::NotFound("connection pattern '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string ServiceRegistry::MartOfInterface(
+    const std::string& interface_name) const {
+  auto it = interface_to_mart_.find(interface_name);
+  return it == interface_to_mart_.end() ? "" : it->second;
+}
+
+std::vector<std::shared_ptr<ServiceInterface>> ServiceRegistry::InterfacesOfMart(
+    const std::string& mart_name) const {
+  std::vector<std::shared_ptr<ServiceInterface>> out;
+  auto it = marts_.find(mart_name);
+  if (it == marts_.end()) return out;
+  for (const std::string& iface_name : it->second->interface_names()) {
+    auto jt = interfaces_.find(iface_name);
+    if (jt != interfaces_.end()) out.push_back(jt->second);
+  }
+  return out;
+}
+
+std::vector<std::string> ServiceRegistry::mart_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : marts_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> ServiceRegistry::interface_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : interfaces_) out.push_back(name);
+  return out;
+}
+
+}  // namespace seco

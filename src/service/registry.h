@@ -1,0 +1,53 @@
+#ifndef SECO_SERVICE_REGISTRY_H_
+#define SECO_SERVICE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/service_interface.h"
+#include "service/service_mart.h"
+
+namespace seco {
+
+/// The catalog of marts, service interfaces, and connection patterns that
+/// queries are formulated against. Owns all registered objects.
+class ServiceRegistry {
+ public:
+  ServiceRegistry() = default;
+  ServiceRegistry(const ServiceRegistry&) = delete;
+  ServiceRegistry& operator=(const ServiceRegistry&) = delete;
+
+  Status RegisterMart(std::shared_ptr<ServiceMart> mart);
+  Status RegisterInterface(std::shared_ptr<ServiceInterface> iface,
+                           const std::string& mart_name = "");
+  Status RegisterConnectionPattern(std::shared_ptr<ConnectionPattern> pattern);
+
+  Result<std::shared_ptr<ServiceMart>> FindMart(const std::string& name) const;
+  Result<std::shared_ptr<ServiceInterface>> FindInterface(
+      const std::string& name) const;
+  Result<std::shared_ptr<ConnectionPattern>> FindConnectionPattern(
+      const std::string& name) const;
+
+  /// The mart an interface was registered under, or empty string.
+  std::string MartOfInterface(const std::string& interface_name) const;
+
+  /// All interfaces registered under `mart_name`, in registration order.
+  std::vector<std::shared_ptr<ServiceInterface>> InterfacesOfMart(
+      const std::string& mart_name) const;
+
+  std::vector<std::string> mart_names() const;
+  std::vector<std::string> interface_names() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<ServiceMart>> marts_;
+  std::map<std::string, std::shared_ptr<ServiceInterface>> interfaces_;
+  std::map<std::string, std::shared_ptr<ConnectionPattern>> patterns_;
+  std::map<std::string, std::string> interface_to_mart_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_REGISTRY_H_

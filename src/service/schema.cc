@@ -1,0 +1,50 @@
+#include "service/schema.h"
+
+#include "common/string_util.h"
+
+namespace seco {
+
+Result<AttrPath> ServiceSchema::Resolve(const std::string& dotted_name) const {
+  std::vector<std::string> parts = StrSplit(dotted_name, '.');
+  if (parts.empty() || parts.size() > 2 || parts[0].empty()) {
+    return Status::InvalidArgument("malformed attribute path '" + dotted_name + "'");
+  }
+  for (int i = 0; i < num_attributes(); ++i) {
+    const AttributeDef& attr = attributes_[i];
+    if (attr.name != parts[0]) continue;
+    if (parts.size() == 1) {
+      if (attr.is_repeating_group) {
+        return Status::InvalidArgument("attribute '" + parts[0] +
+                                       "' is a repeating group; name a sub-attribute");
+      }
+      return AttrPath{i, -1};
+    }
+    if (!attr.is_repeating_group) {
+      return Status::InvalidArgument("attribute '" + parts[0] +
+                                     "' is atomic and has no sub-attribute '" +
+                                     parts[1] + "'");
+    }
+    for (int j = 0; j < static_cast<int>(attr.sub_attributes.size()); ++j) {
+      if (attr.sub_attributes[j].name == parts[1]) return AttrPath{i, j};
+    }
+    return Status::NotFound("no sub-attribute '" + parts[1] + "' in group '" +
+                            parts[0] + "' of service " + name_);
+  }
+  return Status::NotFound("no attribute '" + parts[0] + "' in service " + name_);
+}
+
+ValueType ServiceSchema::TypeAt(const AttrPath& path) const {
+  const AttributeDef& attr = attributes_[path.attr_index];
+  if (path.is_sub_attribute()) return attr.sub_attributes[path.sub_index].type;
+  return attr.type;
+}
+
+std::string ServiceSchema::PathToString(const AttrPath& path) const {
+  const AttributeDef& attr = attributes_[path.attr_index];
+  if (path.is_sub_attribute()) {
+    return attr.name + "." + attr.sub_attributes[path.sub_index].name;
+  }
+  return attr.name;
+}
+
+}  // namespace seco

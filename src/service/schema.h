@@ -1,0 +1,84 @@
+#ifndef SECO_SERVICE_SCHEMA_H_
+#define SECO_SERVICE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "service/value.h"
+
+namespace seco {
+
+/// An atomic sub-attribute inside a repeating group.
+struct SubAttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// A service attribute: either a single-valued atomic attribute or a
+/// multi-valued repeating group of atomic sub-attributes (§3.1).
+struct AttributeDef {
+  /// Declares an atomic attribute.
+  static AttributeDef Atomic(std::string name, ValueType type) {
+    AttributeDef def;
+    def.name = std::move(name);
+    def.type = type;
+    return def;
+  }
+
+  /// Declares a repeating group with the given sub-attributes.
+  static AttributeDef RepeatingGroup(std::string name,
+                                     std::vector<SubAttributeDef> subs) {
+    AttributeDef def;
+    def.name = std::move(name);
+    def.is_repeating_group = true;
+    def.sub_attributes = std::move(subs);
+    return def;
+  }
+
+  std::string name;
+  ValueType type = ValueType::kString;  // atomic attributes only
+  bool is_repeating_group = false;
+  std::vector<SubAttributeDef> sub_attributes;  // repeating groups only
+};
+
+/// Addresses an atomic attribute (`sub_index < 0`) or a sub-attribute of a
+/// repeating group (`sub_index >= 0`) within one service schema.
+struct AttrPath {
+  int attr_index = -1;
+  int sub_index = -1;
+
+  bool is_sub_attribute() const { return sub_index >= 0; }
+  bool operator==(const AttrPath&) const = default;
+};
+
+/// The flat description of a service's output structure: an ordered list of
+/// attributes, some of which may be repeating groups.
+class ServiceSchema {
+ public:
+  ServiceSchema() = default;
+  ServiceSchema(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const AttributeDef& attribute(int i) const { return attributes_[i]; }
+
+  /// Resolves "Attr" or "Group.Sub" (case-sensitive) into a path.
+  Result<AttrPath> Resolve(const std::string& dotted_name) const;
+
+  /// The declared value type at `path`.
+  ValueType TypeAt(const AttrPath& path) const;
+
+  /// Renders `path` back to "Attr" or "Group.Sub" form.
+  std::string PathToString(const AttrPath& path) const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_SCHEMA_H_

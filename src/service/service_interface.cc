@@ -1,0 +1,55 @@
+#include "service/service_interface.h"
+
+#include <algorithm>
+
+namespace seco {
+
+const char* ServiceKindToString(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kExact:
+      return "exact";
+    case ServiceKind::kSearch:
+      return "search";
+  }
+  return "?";
+}
+
+const char* ScoreDecayToString(ScoreDecay decay) {
+  switch (decay) {
+    case ScoreDecay::kNone:
+      return "none";
+    case ScoreDecay::kStep:
+      return "step";
+    case ScoreDecay::kLinear:
+      return "linear";
+    case ScoreDecay::kQuadratic:
+      return "quadratic";
+    case ScoreDecay::kOpaque:
+      return "opaque";
+  }
+  return "?";
+}
+
+double ServiceInterface::ExpectedChunkScore(int chunk_index,
+                                            int total_chunks) const {
+  total_chunks = std::max(total_chunks, 1);
+  double frac = static_cast<double>(chunk_index) / total_chunks;
+  frac = std::clamp(frac, 0.0, 1.0);
+  switch (stats_.decay) {
+    case ScoreDecay::kNone:
+      return 1.0;  // unranked: constant score (weight 0 in ranking functions)
+    case ScoreDecay::kStep:
+      return chunk_index < stats_.step_h ? stats_.step_high : stats_.step_low;
+    case ScoreDecay::kLinear:
+      return 1.0 - frac;
+    case ScoreDecay::kQuadratic:
+      return (1.0 - frac) * (1.0 - frac);
+    case ScoreDecay::kOpaque:
+      // Unknown function: assume linear as the least-informative regular
+      // decay (the chapter treats opaque rankings as regular but unknown).
+      return 1.0 - frac;
+  }
+  return 0.0;
+}
+
+}  // namespace seco

@@ -1,0 +1,122 @@
+#ifndef SECO_SERVICE_SERVICE_INTERFACE_H_
+#define SECO_SERVICE_SERVICE_INTERFACE_H_
+
+#include <memory>
+#include <string>
+
+#include "service/access_pattern.h"
+#include "service/invocation.h"
+#include "service/schema.h"
+
+namespace seco {
+
+/// Classification of services (§3.2): exact services behave relationally and
+/// return unranked answers; search services return ranked, chunked lists.
+enum class ServiceKind {
+  kExact,
+  kSearch,
+};
+
+const char* ServiceKindToString(ServiceKind kind);
+
+/// How a search service's scores decay down the ranked list (§4.1):
+/// step functions drop sharply after `step_h` chunks; progressive functions
+/// decay smoothly (linear / quadratic-ish).
+enum class ScoreDecay {
+  kNone,         // unranked (exact services)
+  kStep,         // high plateau for the first h chunks, then a deep step
+  kLinear,       // progressive, linear decay
+  kQuadratic,    // progressive, convex decay (fast early drop)
+  kOpaque,       // ranked, but the scoring function is unknown to SeCo
+};
+
+const char* ScoreDecayToString(ScoreDecay decay);
+
+/// Statistics and cost parameters the optimizer uses for a service interface
+/// (§3.2, §5.1). All figures are averages under the chapter's independence
+/// and uniform-distribution assumptions.
+struct ServiceStats {
+  /// Exact services: expected output tuples per invocation (the "average
+  /// cardinality"); a service is *selective* when this is < 1 and
+  /// *proliferative* when > 1. Ignored for search services.
+  double avg_tuples_per_call = 1.0;
+
+  /// Chunked services: tuples per chunk (n_X in §4.1). Exact services may
+  /// also be chunked; search services always are.
+  int chunk_size = 10;
+  bool chunked = false;
+
+  /// Expected total result-list depth per input binding for chunked
+  /// services (how many tuples exist before the service is exhausted).
+  /// Caps the yield of additional fetches in cardinality estimation;
+  /// 0 = unknown/unbounded.
+  double avg_matches_per_binding = 0.0;
+
+  /// Expected request-response latency, milliseconds.
+  double latency_ms = 100.0;
+
+  /// Monetary / abstract per-call charge used by the sum cost metric.
+  double cost_per_call = 1.0;
+
+  /// Score model for search services.
+  ScoreDecay decay = ScoreDecay::kNone;
+  /// For kStep: number of chunks before the step (the parameter h).
+  int step_h = 1;
+  /// Score value of the plateau top and of the post-step tail.
+  double step_high = 0.95;
+  double step_low = 0.05;
+};
+
+/// A concrete invocable signature of a service mart: schema + access pattern
+/// (adornments) + behavioural statistics + a call handler bound to the data
+/// source. Query atoms reference service interfaces by name.
+class ServiceInterface {
+ public:
+  ServiceInterface(std::string name, std::shared_ptr<const ServiceSchema> schema,
+                   AccessPattern pattern, ServiceKind kind, ServiceStats stats,
+                   std::shared_ptr<ServiceCallHandler> handler)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        pattern_(std::move(pattern)),
+        kind_(kind),
+        stats_(stats),
+        handler_(std::move(handler)) {
+    if (kind_ == ServiceKind::kSearch) stats_.chunked = true;
+  }
+
+  const std::string& name() const { return name_; }
+  const ServiceSchema& schema() const { return *schema_; }
+  std::shared_ptr<const ServiceSchema> schema_ptr() const { return schema_; }
+  const AccessPattern& pattern() const { return pattern_; }
+  ServiceKind kind() const { return kind_; }
+  const ServiceStats& stats() const { return stats_; }
+
+  bool is_search() const { return kind_ == ServiceKind::kSearch; }
+  bool is_chunked() const { return stats_.chunked; }
+  bool is_ranked() const { return stats_.decay != ScoreDecay::kNone; }
+
+  /// Selective / proliferative classification of exact services (§3.2).
+  bool is_selective() const {
+    return kind_ == ServiceKind::kExact && stats_.avg_tuples_per_call < 1.0;
+  }
+  bool is_proliferative() const { return !is_selective(); }
+
+  /// Expected score of the first tuple of chunk `chunk_index` under the
+  /// declared decay model, given `total_chunks` available. Used by cost
+  /// estimation and by the merge-scan ratio selection.
+  double ExpectedChunkScore(int chunk_index, int total_chunks = 20) const;
+
+  ServiceCallHandler* handler() const { return handler_.get(); }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const ServiceSchema> schema_;
+  AccessPattern pattern_;
+  ServiceKind kind_;
+  ServiceStats stats_;
+  std::shared_ptr<ServiceCallHandler> handler_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_SERVICE_INTERFACE_H_

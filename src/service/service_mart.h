@@ -1,0 +1,78 @@
+#ifndef SECO_SERVICE_SERVICE_MART_H_
+#define SECO_SERVICE_SERVICE_MART_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/schema.h"
+#include "service/value.h"
+
+namespace seco {
+
+/// A service mart: the conceptual description of a class of services over
+/// one real-world object type (Chapter 9 recap). A mart owns a schema and
+/// names the service interfaces that implement it.
+class ServiceMart {
+ public:
+  ServiceMart(std::string name, std::shared_ptr<const ServiceSchema> schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const ServiceSchema& schema() const { return *schema_; }
+  std::shared_ptr<const ServiceSchema> schema_ptr() const { return schema_; }
+
+  void AddInterface(std::string interface_name) {
+    interface_names_.push_back(std::move(interface_name));
+  }
+  const std::vector<std::string>& interface_names() const {
+    return interface_names_;
+  }
+
+ private:
+  std::string name_;
+  std::shared_ptr<const ServiceSchema> schema_;
+  std::vector<std::string> interface_names_;
+};
+
+/// One comparison inside a connection pattern: `source.<from> op target.<to>`.
+struct ConnectionClause {
+  std::string from_attribute;  // dotted name in the source mart's schema
+  Comparator op = Comparator::kEq;
+  std::string to_attribute;    // dotted name in the target mart's schema
+};
+
+/// A connection pattern (§3.1): a named, pre-declared join semantics between
+/// two service marts, e.g. Shows(Movie, Theatre) joining on Title. Queries
+/// mention patterns by name instead of spelling out join predicates.
+class ConnectionPattern {
+ public:
+  ConnectionPattern(std::string name, std::string source_mart,
+                    std::string target_mart, std::vector<ConnectionClause> clauses)
+      : name_(std::move(name)),
+        source_mart_(std::move(source_mart)),
+        target_mart_(std::move(target_mart)),
+        clauses_(std::move(clauses)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& source_mart() const { return source_mart_; }
+  const std::string& target_mart() const { return target_mart_; }
+  const std::vector<ConnectionClause>& clauses() const { return clauses_; }
+
+  /// Estimated probability that a random (source, target) pair satisfies the
+  /// pattern; registered alongside the pattern and used for cardinality
+  /// estimation (the chapter's 2% for Shows, 40% for DinnerPlace).
+  double selectivity() const { return selectivity_; }
+  void set_selectivity(double s) { selectivity_ = s; }
+
+ private:
+  std::string name_;
+  std::string source_mart_;
+  std::string target_mart_;
+  std::vector<ConnectionClause> clauses_;
+  double selectivity_ = 0.1;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_SERVICE_MART_H_

@@ -1,0 +1,48 @@
+#include "service/tuple.h"
+
+namespace seco {
+
+std::vector<Value> Tuple::CandidateValuesAt(const AttrPath& path) const {
+  std::vector<Value> out;
+  const TupleSlot& s = slots_[path.attr_index];
+  if (!path.is_sub_attribute()) {
+    out.push_back(std::get<Value>(s));
+    return out;
+  }
+  const RepeatingGroupValue& group = std::get<RepeatingGroupValue>(s);
+  out.reserve(group.size());
+  for (const GroupInstance& inst : group) {
+    out.push_back(inst[path.sub_index]);
+  }
+  return out;
+}
+
+std::string Tuple::ToString(const ServiceSchema& schema) const {
+  std::string out = "{";
+  for (int i = 0; i < num_slots() && i < schema.num_attributes(); ++i) {
+    if (i > 0) out += ", ";
+    const AttributeDef& attr = schema.attribute(i);
+    out += attr.name;
+    out += ":";
+    if (IsAtomic(i)) {
+      out += AtomicAt(i).ToString();
+    } else {
+      out += "[";
+      const RepeatingGroupValue& group = GroupAt(i);
+      for (size_t g = 0; g < group.size(); ++g) {
+        if (g > 0) out += ", ";
+        out += "<";
+        for (size_t k = 0; k < group[g].size(); ++k) {
+          if (k > 0) out += ",";
+          out += group[g][k].ToString();
+        }
+        out += ">";
+      }
+      out += "]";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace seco

@@ -1,0 +1,71 @@
+#ifndef SECO_SERVICE_TUPLE_H_
+#define SECO_SERVICE_TUPLE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "service/schema.h"
+#include "service/value.h"
+
+namespace seco {
+
+/// One instance of a repeating group: values for its sub-attributes, in
+/// schema order.
+using GroupInstance = std::vector<Value>;
+
+/// The (multi-)value of a repeating group attribute: zero or more instances.
+using RepeatingGroupValue = std::vector<GroupInstance>;
+
+/// A slot of a tuple: atomic value or repeating group.
+using TupleSlot = std::variant<Value, RepeatingGroupValue>;
+
+/// A tuple produced by a service: one slot per schema attribute, in schema
+/// order. Tuples are passive data; the owning schema gives slots meaning.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<TupleSlot> slots) : slots_(std::move(slots)) {}
+
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  const TupleSlot& slot(int i) const { return slots_[i]; }
+  TupleSlot& slot(int i) { return slots_[i]; }
+  void Append(TupleSlot s) { slots_.push_back(std::move(s)); }
+
+  bool IsAtomic(int i) const { return std::holds_alternative<Value>(slots_[i]); }
+  const Value& AtomicAt(int i) const { return std::get<Value>(slots_[i]); }
+  const RepeatingGroupValue& GroupAt(int i) const {
+    return std::get<RepeatingGroupValue>(slots_[i]);
+  }
+
+  /// The atomic value at `path`; for a sub-attribute path this requires a
+  /// chosen group instance, so only atomic paths are valid here.
+  const Value& ValueAt(const AttrPath& path) const {
+    return std::get<Value>(slots_[path.attr_index]);
+  }
+
+  /// All candidate values at `path`: the single value for an atomic path, or
+  /// one value per group instance for a sub-attribute path. Used where the
+  /// semantics quantifies existentially over group instances.
+  std::vector<Value> CandidateValuesAt(const AttrPath& path) const;
+
+  bool operator==(const Tuple& other) const { return slots_ == other.slots_; }
+
+  /// Renders the tuple against its schema, e.g. `{Title:'Up', Genres:[...]}`.
+  std::string ToString(const ServiceSchema& schema) const;
+
+ private:
+  std::vector<TupleSlot> slots_;
+};
+
+/// A composite result: one component tuple per query atom plus its scores.
+/// `combined_score` applies the query ranking function to component scores.
+struct Combination {
+  std::vector<Tuple> components;
+  std::vector<double> component_scores;
+  double combined_score = 0.0;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_TUPLE_H_

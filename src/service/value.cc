@@ -1,0 +1,175 @@
+#include "service/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace seco {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+const char* ComparatorToString(Comparator op) {
+  switch (op) {
+    case Comparator::kEq:
+      return "=";
+    case Comparator::kNe:
+      return "!=";
+    case Comparator::kLt:
+      return "<";
+    case Comparator::kLe:
+      return "<=";
+    case Comparator::kGt:
+      return ">";
+    case Comparator::kGe:
+      return ">=";
+    case Comparator::kLike:
+      return "like";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt;
+    case 3:
+      return ValueType::kDouble;
+    case 4:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+double Value::AsDouble() const {
+  if (std::holds_alternative<int64_t>(rep_)) {
+    return static_cast<double>(std::get<int64_t>(rep_));
+  }
+  return std::get<double>(rep_);
+}
+
+namespace {
+
+bool IsNumeric(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDouble;
+}
+
+template <typename T>
+bool ApplyOrder(Comparator op, const T& a, const T& b) {
+  switch (op) {
+    case Comparator::kEq:
+      return a == b;
+    case Comparator::kNe:
+      return a != b;
+    case Comparator::kLt:
+      return a < b;
+    case Comparator::kLe:
+      return a <= b;
+    case Comparator::kGt:
+      return a > b;
+    case Comparator::kGe:
+      return a >= b;
+    case Comparator::kLike:
+      return false;  // handled by caller
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Value::TypeCompatibleWith(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  if (a == b) return true;
+  return IsNumeric(a) && IsNumeric(b);
+}
+
+Result<bool> Value::Compare(Comparator op, const Value& other) const {
+  ValueType a = type(), b = other.type();
+  if (op == Comparator::kLike) {
+    if (a != ValueType::kString || b != ValueType::kString) {
+      return Status::TypeError("'like' requires string operands");
+    }
+    return LikeMatch(AsString(), other.AsString());
+  }
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    // Null equals null; any ordered comparison involving null is false.
+    if (op == Comparator::kEq) return a == b;
+    if (op == Comparator::kNe) return a != b;
+    return false;
+  }
+  if (!TypeCompatibleWith(other)) {
+    return Status::TypeError(std::string("cannot compare ") + ValueTypeToString(a) +
+                             " with " + ValueTypeToString(b));
+  }
+  if (IsNumeric(a)) {
+    if (a == ValueType::kInt && b == ValueType::kInt) {
+      return ApplyOrder(op, AsInt(), other.AsInt());
+    }
+    return ApplyOrder(op, AsDouble(), other.AsDouble());
+  }
+  if (a == ValueType::kString) {
+    return ApplyOrder(op, AsString(), other.AsString());
+  }
+  return ApplyOrder(op, AsBool(), other.AsBool());
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kBool:
+      return std::hash<bool>{}(AsBool());
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(AsInt());
+    case ValueType::kDouble: {
+      // Hash doubles that hold integral values like the equal int, so that
+      // hash-join buckets agree with SQL-style numeric equality.
+      double d = AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 1e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace seco

@@ -1,0 +1,86 @@
+#ifndef SECO_SERVICE_VALUE_H_
+#define SECO_SERVICE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace seco {
+
+/// Dynamic types supported for service attribute values.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// Comparison operators usable in selection and join predicates
+/// ({=, <, <=, >, >=, like} per the chapter, plus != for completeness).
+enum class Comparator {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+};
+
+const char* ComparatorToString(Comparator op);
+
+/// A dynamically typed atomic value flowing between services.
+///
+/// Numeric values compare across kInt/kDouble; strings compare
+/// lexicographically; `like` applies SQL-style '%'/'_' wildcards and is only
+/// defined on strings. Nulls compare equal to nulls and are incomparable to
+/// everything else.
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool v) : rep_(v) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(int v) : rep_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors; behaviour is undefined if the type does not match.
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// True if both values belong to a comparable family (numeric with
+  /// numeric, string with string, bool with bool, null with null).
+  bool TypeCompatibleWith(const Value& other) const;
+
+  /// Evaluates `*this op other`; fails with kTypeError on incompatible types
+  /// or `like` applied to non-strings.
+  Result<bool> Compare(Comparator op, const Value& other) const;
+
+  /// Structural equality (exact type + payload); used for hashing/dedup,
+  /// distinct from SQL-style `Compare(kEq, ...)` numeric coercion.
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+
+  /// Deterministic hash for hash-join buckets.
+  size_t Hash() const;
+
+  /// Renders the value for plan/result printing ("null", "42", "'abc'", ...).
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVICE_VALUE_H_

@@ -1,0 +1,701 @@
+#include "sim/fixtures.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace seco {
+
+namespace {
+
+constexpr const char* kGenres[] = {"action", "comedy", "drama",
+                                   "thriller", "scifi", "animation"};
+constexpr const char* kCountries[] = {"Italy", "USA", "France"};
+constexpr const char* kCategories[] = {"romantic", "pizza", "sushi", "vegan"};
+
+Value Str(const std::string& s) { return Value(s); }
+
+}  // namespace
+
+Result<Scenario> MakeMovieScenario(const MovieScenarioParams& params) {
+  SplitMix64 rng(params.seed);
+  Scenario scenario;
+  scenario.registry = std::make_shared<ServiceRegistry>();
+  ServiceRegistry& reg = *scenario.registry;
+
+  const std::string user_address = "Addr0";
+  const std::string user_city = "Milano";
+  const std::string user_country = "Italy";
+  const std::string queried_genre = "action";
+  const std::string queried_category = "romantic";
+  const std::string queried_date = "2009-05-01";
+
+  // ---- Movie mart & Movie11 interface -----------------------------------
+  auto movie_schema = std::make_shared<ServiceSchema>(
+      "Movie",
+      std::vector<AttributeDef>{
+          AttributeDef::Atomic("Title", ValueType::kString),
+          AttributeDef::Atomic("Director", ValueType::kString),
+          AttributeDef::Atomic("Score", ValueType::kDouble),
+          AttributeDef::Atomic("Year", ValueType::kInt),
+          AttributeDef::RepeatingGroup("Genres", {{"Genre", ValueType::kString}}),
+          AttributeDef::Atomic("Language", ValueType::kString),
+          AttributeDef::RepeatingGroup("Openings",
+                                       {{"Country", ValueType::kString},
+                                        {"Date", ValueType::kString}}),
+          AttributeDef::RepeatingGroup("Actor", {{"Name", ValueType::kString}}),
+      });
+  SECO_RETURN_IF_ERROR(
+      reg.RegisterMart(std::make_shared<ServiceMart>("Movie", movie_schema)));
+
+  SimServiceBuilder movie_builder("Movie11");
+  movie_builder.Schema(movie_schema->attributes())
+      .Pattern({{"Title", Adornment::kOutput},
+                {"Director", Adornment::kOutput},
+                {"Score", Adornment::kRanked},
+                {"Year", Adornment::kOutput},
+                {"Genres.Genre", Adornment::kInput},
+                {"Language", Adornment::kOutput},
+                {"Openings.Country", Adornment::kInput},
+                {"Openings.Date", Adornment::kOutput},
+                {"Actor.Name", Adornment::kOutput}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x11);
+  ServiceStats movie_stats;
+  movie_stats.chunk_size = params.movie_chunk_size;
+  movie_stats.latency_ms = params.movie_latency_ms;
+  movie_stats.cost_per_call = 1.0;
+  movie_stats.decay = params.movie_decay;
+  movie_stats.step_h = 2;
+  movie_stats.avg_matches_per_binding = params.matching_movies;
+  movie_builder.Stats(movie_stats);
+
+  std::vector<std::string> movie_titles;
+  std::vector<Tuple> movie_rows;
+  std::vector<double> movie_qualities;
+  for (int i = 0; i < params.num_movies; ++i) {
+    std::string title = "Movie" + std::to_string(i);
+    movie_titles.push_back(title);
+    bool matching = i < params.matching_movies;
+
+    RepeatingGroupValue genres;
+    genres.push_back({Str(matching ? queried_genre
+                                   : kGenres[1 + rng.Uniform(5)])});
+    if (rng.NextDouble() < 0.4) {
+      genres.push_back({Str(kGenres[rng.Uniform(6)])});
+    }
+
+    RepeatingGroupValue openings;
+    if (matching) {
+      // Opens in the queried country at a date after the queried one; the
+      // single-instance semantics requires country and date in one instance.
+      openings.push_back({Str(user_country),
+                          Str("2009-06-" + std::to_string(1 + rng.Uniform(28)))});
+    } else {
+      openings.push_back({Str(kCountries[1 + rng.Uniform(2)]),
+                          Str("2009-03-" + std::to_string(1 + rng.Uniform(28)))});
+    }
+    if (rng.NextDouble() < 0.3) {
+      openings.push_back({Str(kCountries[rng.Uniform(3)]),
+                          Str("2009-04-" + std::to_string(1 + rng.Uniform(28)))});
+    }
+
+    RepeatingGroupValue actors;
+    actors.push_back({Str("Actor" + std::to_string(rng.Uniform(60)))});
+
+    double score = 1.0 - static_cast<double>(i) / params.num_movies;
+    Tuple row(std::vector<TupleSlot>{
+        Value(title), Value("Director" + std::to_string(rng.Uniform(80))),
+        Value(score), Value(static_cast<int64_t>(2000 + rng.Uniform(10))),
+        genres, Value("en"), openings, actors});
+    movie_rows.push_back(std::move(row));
+    movie_qualities.push_back(score);
+  }
+  for (size_t r = 0; r < movie_rows.size(); ++r) {
+    movie_builder.AddRow(movie_rows[r], movie_qualities[r]);
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService movie, movie_builder.BuildInto(reg, "Movie"));
+  scenario.backends["Movie11"] = movie.backend;
+
+  // Movie12: an alternative interface of the Movie mart keyed by Title
+  // (a lookup access pattern), giving the optimizer's Phase 1 a real
+  // choice and enabling pipe joins from Theatre's repeating group.
+  SimServiceBuilder movie12_builder("Movie12");
+  movie12_builder.Schema(movie_schema->attributes())
+      .Pattern({{"Title", Adornment::kInput},
+                {"Director", Adornment::kOutput},
+                {"Score", Adornment::kRanked},
+                {"Year", Adornment::kOutput},
+                {"Genres.Genre", Adornment::kOutput},
+                {"Language", Adornment::kOutput},
+                {"Openings.Country", Adornment::kOutput},
+                {"Openings.Date", Adornment::kOutput},
+                {"Actor.Name", Adornment::kOutput}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x12);
+  ServiceStats movie12_stats = movie_stats;
+  movie12_stats.chunk_size = 5;
+  movie12_stats.latency_ms = params.movie_latency_ms * 0.6;  // lookups are fast
+  movie12_stats.avg_matches_per_binding = 1.0;  // titles are unique
+  movie12_builder.Stats(movie12_stats);
+  for (size_t r = 0; r < movie_rows.size(); ++r) {
+    movie12_builder.AddRow(movie_rows[r], movie_qualities[r]);
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService movie12,
+                        movie12_builder.BuildInto(reg, "Movie"));
+  scenario.backends["Movie12"] = movie12.backend;
+
+  // ---- Theatre mart & Theatre11 ------------------------------------------
+  auto theatre_schema = std::make_shared<ServiceSchema>(
+      "Theatre",
+      std::vector<AttributeDef>{
+          AttributeDef::Atomic("Name", ValueType::kString),
+          AttributeDef::Atomic("UAddress", ValueType::kString),
+          AttributeDef::Atomic("UCity", ValueType::kString),
+          AttributeDef::Atomic("UCountry", ValueType::kString),
+          AttributeDef::Atomic("TAddress", ValueType::kString),
+          AttributeDef::Atomic("TCity", ValueType::kString),
+          AttributeDef::Atomic("TCountry", ValueType::kString),
+          AttributeDef::Atomic("TPhone", ValueType::kString),
+          AttributeDef::Atomic("Distance", ValueType::kDouble),
+          AttributeDef::RepeatingGroup("Movie",
+                                       {{"Title", ValueType::kString},
+                                        {"StartTimes", ValueType::kString},
+                                        {"Duration", ValueType::kInt}}),
+      });
+  SECO_RETURN_IF_ERROR(
+      reg.RegisterMart(std::make_shared<ServiceMart>("Theatre", theatre_schema)));
+
+  SimServiceBuilder theatre_builder("Theatre11");
+  theatre_builder.Schema(theatre_schema->attributes())
+      .Pattern({{"Name", Adornment::kOutput},
+                {"UAddress", Adornment::kInput},
+                {"UCity", Adornment::kInput},
+                {"UCountry", Adornment::kInput},
+                {"TAddress", Adornment::kOutput},
+                {"TCity", Adornment::kOutput},
+                {"TCountry", Adornment::kOutput},
+                {"TPhone", Adornment::kOutput},
+                {"Distance", Adornment::kRanked},
+                {"Movie.Title", Adornment::kOutput},
+                {"Movie.StartTimes", Adornment::kOutput},
+                {"Movie.Duration", Adornment::kOutput}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x22);
+  ServiceStats theatre_stats;
+  theatre_stats.chunk_size = params.theatre_chunk_size;
+  theatre_stats.latency_ms = params.theatre_latency_ms;
+  theatre_stats.cost_per_call = 1.0;
+  theatre_stats.decay = params.theatre_decay;
+  theatre_stats.avg_matches_per_binding = params.num_theatres;
+  theatre_builder.Stats(theatre_stats);
+
+  int movies_per_theatre = std::max(
+      1, static_cast<int>(params.shows_selectivity * params.num_movies));
+  std::vector<std::string> theatre_addresses;
+  for (int t = 0; t < params.num_theatres; ++t) {
+    std::string taddr = "TAddr" + std::to_string(t);
+    theatre_addresses.push_back(taddr);
+    RepeatingGroupValue shown;
+    // Sample distinct movie titles uniformly: realizes P(shown) ~ 2%.
+    std::vector<int> picks;
+    while (static_cast<int>(picks.size()) < movies_per_theatre) {
+      int m = static_cast<int>(rng.Uniform(params.num_movies));
+      if (std::find(picks.begin(), picks.end(), m) == picks.end()) {
+        picks.push_back(m);
+      }
+    }
+    for (int m : picks) {
+      shown.push_back({Str(movie_titles[m]), Str("20:30"),
+                       Value(static_cast<int64_t>(90 + rng.Uniform(60)))});
+    }
+    double distance = 0.3 + 0.25 * t + rng.NextDouble() * 0.1;
+    Tuple row(std::vector<TupleSlot>{
+        Value("Cinema" + std::to_string(t)), Value(user_address),
+        Value(user_city), Value(user_country), Value(taddr), Value(user_city),
+        Value(user_country), Value("+39-02-" + std::to_string(1000 + t)),
+        Value(distance), shown});
+    theatre_builder.AddRow(std::move(row), -distance);
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService theatre,
+                        theatre_builder.BuildInto(reg, "Theatre"));
+  scenario.backends["Theatre11"] = theatre.backend;
+
+  // ---- Restaurant mart & Restaurant11 -------------------------------------
+  auto restaurant_schema = std::make_shared<ServiceSchema>(
+      "Restaurant",
+      std::vector<AttributeDef>{
+          AttributeDef::Atomic("Name", ValueType::kString),
+          AttributeDef::Atomic("UAddress", ValueType::kString),
+          AttributeDef::Atomic("UCity", ValueType::kString),
+          AttributeDef::Atomic("UCountry", ValueType::kString),
+          AttributeDef::Atomic("RAddress", ValueType::kString),
+          AttributeDef::Atomic("RCity", ValueType::kString),
+          AttributeDef::Atomic("RCountry", ValueType::kString),
+          AttributeDef::Atomic("Phone", ValueType::kString),
+          AttributeDef::Atomic("Url", ValueType::kString),
+          AttributeDef::Atomic("Rating", ValueType::kDouble),
+          AttributeDef::RepeatingGroup("Category", {{"Name", ValueType::kString}}),
+      });
+  SECO_RETURN_IF_ERROR(reg.RegisterMart(
+      std::make_shared<ServiceMart>("Restaurant", restaurant_schema)));
+
+  SimServiceBuilder restaurant_builder("Restaurant11");
+  restaurant_builder.Schema(restaurant_schema->attributes())
+      .Pattern({{"Name", Adornment::kOutput},
+                {"UAddress", Adornment::kInput},
+                {"UCity", Adornment::kInput},
+                {"UCountry", Adornment::kInput},
+                {"RAddress", Adornment::kOutput},
+                {"RCity", Adornment::kOutput},
+                {"RCountry", Adornment::kOutput},
+                {"Phone", Adornment::kOutput},
+                {"Url", Adornment::kOutput},
+                {"Rating", Adornment::kRanked},
+                {"Category.Name", Adornment::kInput}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x33);
+  ServiceStats restaurant_stats;
+  restaurant_stats.chunk_size = params.restaurant_chunk_size;
+  restaurant_stats.latency_ms = params.restaurant_latency_ms;
+  restaurant_stats.cost_per_call = 1.0;
+  restaurant_stats.decay = ScoreDecay::kLinear;
+  // Given a theatre that has nearby restaurants (the 40% pipe selectivity),
+  // the generator creates 1-3 of them: expected depth ~2 per binding.
+  restaurant_stats.avg_matches_per_binding = 2.0;
+  restaurant_builder.Stats(restaurant_stats);
+
+  int restaurant_id = 0;
+  for (const std::string& taddr : theatre_addresses) {
+    // With probability dinner_selectivity the theatre has nearby restaurants
+    // (for any category: the selectivity is modelled at address level).
+    if (rng.NextDouble() >= params.dinner_selectivity) continue;
+    int count = 1 + static_cast<int>(rng.Uniform(3));
+    for (int r = 0; r < count; ++r) {
+      RepeatingGroupValue cats;
+      for (const char* c : kCategories) cats.push_back({Str(c)});
+      double rating = 2.5 + rng.NextDouble() * 2.5;
+      Tuple row(std::vector<TupleSlot>{
+          Value("Rest" + std::to_string(restaurant_id)), Value(taddr),
+          Value(user_city), Value(user_country), Value(taddr), Value(user_city),
+          Value(user_country), Value("+39-02-" + std::to_string(5000 + restaurant_id)),
+          Value("http://rest" + std::to_string(restaurant_id) + ".example"),
+          Value(rating), cats});
+      restaurant_builder.AddRow(std::move(row), rating);
+      ++restaurant_id;
+    }
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService restaurant,
+                        restaurant_builder.BuildInto(reg, "Restaurant"));
+  scenario.backends["Restaurant11"] = restaurant.backend;
+
+  // ---- Connection patterns -------------------------------------------------
+  auto shows = std::make_shared<ConnectionPattern>(
+      "Shows", "Movie", "Theatre",
+      std::vector<ConnectionClause>{{"Title", Comparator::kEq, "Movie.Title"}});
+  shows->set_selectivity(params.shows_selectivity);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(shows));
+
+  auto dinner = std::make_shared<ConnectionPattern>(
+      "DinnerPlace", "Theatre", "Restaurant",
+      std::vector<ConnectionClause>{
+          {"TAddress", Comparator::kEq, "UAddress"},
+          {"TCity", Comparator::kEq, "UCity"},
+          {"TCountry", Comparator::kEq, "UCountry"}});
+  dinner->set_selectivity(params.dinner_selectivity);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(dinner));
+
+  // ---- Canonical query + inputs -------------------------------------------
+  scenario.inputs = {{"INPUT1", Str(queried_genre)},
+                     {"INPUT2", Str(user_country)},
+                     {"INPUT3", Str(queried_date)},
+                     {"INPUT4", Str(user_address)},
+                     {"INPUT5", Str(user_city)},
+                     {"INPUT6", Str(queried_category)}};
+  scenario.query_text =
+      "select Movie11 as M, Theatre11 as T, Restaurant11 as R "
+      "where Shows(M, T) and DinnerPlace(T, R) "
+      "and M.Genres.Genre = INPUT1 and M.Openings.Country = INPUT2 "
+      "and M.Openings.Date > INPUT3 "
+      "and T.UAddress = INPUT4 and T.UCity = INPUT5 and T.UCountry = INPUT2 "
+      "and R.Category.Name = INPUT6 "
+      "rank by (0.3, 0.5, 0.2)";
+  return scenario;
+}
+
+Result<Scenario> MakeConferenceScenario(const ConferenceScenarioParams& params) {
+  SplitMix64 rng(params.seed);
+  Scenario scenario;
+  scenario.registry = std::make_shared<ServiceRegistry>();
+  ServiceRegistry& reg = *scenario.registry;
+
+  std::vector<std::string> cities;
+  for (int c = 0; c < params.num_cities; ++c) {
+    cities.push_back("City" + std::to_string(c));
+  }
+
+  // ---- Conference (exact, proliferative: ~20 tuples per call) -------------
+  auto conf_schema = std::make_shared<ServiceSchema>(
+      "Conference", std::vector<AttributeDef>{
+                        AttributeDef::Atomic("Area", ValueType::kString),
+                        AttributeDef::Atomic("Name", ValueType::kString),
+                        AttributeDef::Atomic("City", ValueType::kString),
+                        AttributeDef::Atomic("Date", ValueType::kString),
+                    });
+  SECO_RETURN_IF_ERROR(
+      reg.RegisterMart(std::make_shared<ServiceMart>("Conference", conf_schema)));
+  SimServiceBuilder conf_builder("Conference1");
+  conf_builder.Schema(conf_schema->attributes())
+      .Pattern({{"Area", Adornment::kInput},
+                {"Name", Adornment::kOutput},
+                {"City", Adornment::kOutput},
+                {"Date", Adornment::kOutput}})
+      .Kind(ServiceKind::kExact)
+      .Seed(params.seed ^ 0x44);
+  ServiceStats conf_stats;
+  conf_stats.avg_tuples_per_call = params.num_conferences;
+  conf_stats.latency_ms = params.conference_latency_ms;
+  conf_stats.cost_per_call = 1.0;
+  conf_builder.Stats(conf_stats);
+  std::vector<std::pair<std::string, std::string>> conf_city_date;
+  for (int i = 0; i < params.num_conferences; ++i) {
+    std::string city = cities[rng.Uniform(cities.size())];
+    std::string date = "2009-07-" + std::to_string(1 + rng.Uniform(28));
+    conf_city_date.emplace_back(city, date);
+    conf_builder.AddRow(Tuple(std::vector<TupleSlot>{
+        Value("databases"), Value("Conf" + std::to_string(i)), Value(city),
+        Value(date)}));
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService conf, conf_builder.BuildInto(reg, "Conference"));
+  scenario.backends["Conference1"] = conf.backend;
+
+  // ---- Weather (exact; selective in context via AvgTemp > 26) -------------
+  auto weather_schema = std::make_shared<ServiceSchema>(
+      "Weather", std::vector<AttributeDef>{
+                     AttributeDef::Atomic("City", ValueType::kString),
+                     AttributeDef::Atomic("Date", ValueType::kString),
+                     AttributeDef::Atomic("AvgTemp", ValueType::kDouble),
+                 });
+  SECO_RETURN_IF_ERROR(
+      reg.RegisterMart(std::make_shared<ServiceMart>("Weather", weather_schema)));
+  SimServiceBuilder weather_builder("Weather1");
+  weather_builder.Schema(weather_schema->attributes())
+      .Pattern({{"City", Adornment::kInput},
+                {"Date", Adornment::kInput},
+                {"AvgTemp", Adornment::kOutput}})
+      .Kind(ServiceKind::kExact)
+      .Seed(params.seed ^ 0x55);
+  ServiceStats weather_stats;
+  weather_stats.avg_tuples_per_call = 1.0;
+  weather_stats.latency_ms = params.weather_latency_ms;
+  weather_stats.cost_per_call = 0.5;
+  weather_builder.Stats(weather_stats);
+  for (const auto& [city, date] : conf_city_date) {
+    double temp = rng.NextDouble() < params.warm_fraction
+                      ? 26.5 + rng.NextDouble() * 8.0
+                      : 12.0 + rng.NextDouble() * 13.0;
+    weather_builder.AddRow(
+        Tuple(std::vector<TupleSlot>{Value(city), Value(date), Value(temp)}));
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService weather,
+                        weather_builder.BuildInto(reg, "Weather"));
+  scenario.backends["Weather1"] = weather.backend;
+
+  // ---- Flight (search, ranked by price ascending) -------------------------
+  auto flight_schema = std::make_shared<ServiceSchema>(
+      "Flight", std::vector<AttributeDef>{
+                    AttributeDef::Atomic("To", ValueType::kString),
+                    AttributeDef::Atomic("Airline", ValueType::kString),
+                    AttributeDef::Atomic("Price", ValueType::kDouble),
+                });
+  SECO_RETURN_IF_ERROR(
+      reg.RegisterMart(std::make_shared<ServiceMart>("Flight", flight_schema)));
+  SimServiceBuilder flight_builder("Flight1");
+  flight_builder.Schema(flight_schema->attributes())
+      .Pattern({{"To", Adornment::kInput},
+                {"Airline", Adornment::kOutput},
+                {"Price", Adornment::kRanked}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x66);
+  ServiceStats flight_stats;
+  flight_stats.chunk_size = params.flight_chunk_size;
+  flight_stats.latency_ms = params.flight_latency_ms;
+  flight_stats.cost_per_call = 2.0;
+  flight_stats.decay = ScoreDecay::kQuadratic;
+  flight_stats.avg_matches_per_binding = params.flights_per_city;
+  flight_builder.Stats(flight_stats);
+  for (const std::string& city : cities) {
+    for (int f = 0; f < params.flights_per_city; ++f) {
+      double price = 80.0 + rng.NextDouble() * 400.0;
+      flight_builder.AddRow(
+          Tuple(std::vector<TupleSlot>{
+              Value(city), Value("Airline" + std::to_string(rng.Uniform(8))),
+              Value(price)}),
+          -price);
+    }
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService flight, flight_builder.BuildInto(reg, "Flight"));
+  scenario.backends["Flight1"] = flight.backend;
+
+  // ---- Hotel (search, ranked by stars) -------------------------------------
+  auto hotel_schema = std::make_shared<ServiceSchema>(
+      "Hotel", std::vector<AttributeDef>{
+                   AttributeDef::Atomic("City", ValueType::kString),
+                   AttributeDef::Atomic("Name", ValueType::kString),
+                   AttributeDef::Atomic("Stars", ValueType::kDouble),
+                   AttributeDef::Atomic("Price", ValueType::kDouble),
+               });
+  SECO_RETURN_IF_ERROR(
+      reg.RegisterMart(std::make_shared<ServiceMart>("Hotel", hotel_schema)));
+  SimServiceBuilder hotel_builder("Hotel1");
+  hotel_builder.Schema(hotel_schema->attributes())
+      .Pattern({{"City", Adornment::kInput},
+                {"Name", Adornment::kOutput},
+                {"Stars", Adornment::kRanked},
+                {"Price", Adornment::kOutput}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x77);
+  ServiceStats hotel_stats;
+  hotel_stats.chunk_size = params.hotel_chunk_size;
+  hotel_stats.latency_ms = params.hotel_latency_ms;
+  hotel_stats.cost_per_call = 1.5;
+  hotel_stats.decay = ScoreDecay::kLinear;
+  hotel_stats.avg_matches_per_binding = params.hotels_per_city;
+  hotel_builder.Stats(hotel_stats);
+  int hotel_id = 0;
+  for (const std::string& city : cities) {
+    for (int h = 0; h < params.hotels_per_city; ++h) {
+      double stars = 1.0 + rng.NextDouble() * 4.0;
+      hotel_builder.AddRow(
+          Tuple(std::vector<TupleSlot>{
+              Value(city), Value("Hotel" + std::to_string(hotel_id++)),
+              Value(stars), Value(50.0 + stars * 40.0 + rng.NextDouble() * 30.0)}),
+          stars);
+    }
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService hotel, hotel_builder.BuildInto(reg, "Hotel"));
+  scenario.backends["Hotel1"] = hotel.backend;
+
+  // ---- Connection patterns --------------------------------------------------
+  auto held_in = std::make_shared<ConnectionPattern>(
+      "CheckWeather", "Conference", "Weather",
+      std::vector<ConnectionClause>{{"City", Comparator::kEq, "City"},
+                                    {"Date", Comparator::kEq, "Date"}});
+  // Every conference city/date has a weather report: the join itself is
+  // lossless; the warm_fraction shrinkage comes from the AvgTemp selection.
+  held_in->set_selectivity(1.0);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(held_in));
+  auto fly_to = std::make_shared<ConnectionPattern>(
+      "FlyTo", "Conference", "Flight",
+      std::vector<ConnectionClause>{{"City", Comparator::kEq, "To"}});
+  fly_to->set_selectivity(1.0);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(fly_to));
+  auto stay_at = std::make_shared<ConnectionPattern>(
+      "StayAt", "Conference", "Hotel",
+      std::vector<ConnectionClause>{{"City", Comparator::kEq, "City"}});
+  stay_at->set_selectivity(1.0);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(stay_at));
+  auto same_city = std::make_shared<ConnectionPattern>(
+      "SameCity", "Flight", "Hotel",
+      std::vector<ConnectionClause>{{"To", Comparator::kEq, "City"}});
+  same_city->set_selectivity(1.0 / params.num_cities);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(same_city));
+
+  scenario.inputs = {{"INPUT1", Value("databases")}, {"INPUT2", Value(26.0)}};
+  scenario.query_text =
+      "select Conference1 as C, Weather1 as W, Flight1 as F, Hotel1 as H "
+      "where CheckWeather(C, W) and FlyTo(C, F) and StayAt(C, H) "
+      "and SameCity(F, H) "
+      "and C.Area = INPUT1 and W.AvgTemp > INPUT2 "
+      "rank by (0.0, 0.0, 0.5, 0.5)";
+  return scenario;
+}
+
+Result<Scenario> MakeDoctorScenario(const DoctorScenarioParams& params) {
+  SplitMix64 rng(params.seed);
+  Scenario scenario;
+  scenario.registry = std::make_shared<ServiceRegistry>();
+  ServiceRegistry& reg = *scenario.registry;
+
+  const std::string user_city = "Milano";
+  const std::string queried_specialty = "insomnia";
+  const std::string queried_plan = "PlanA";
+
+  std::vector<std::string> hospitals;
+  for (int h = 0; h < params.num_hospitals; ++h) {
+    hospitals.push_back("Hospital" + std::to_string(h));
+  }
+
+  // ---- Doctor (search: by specialty, ranked by rating) --------------------
+  auto doctor_schema = std::make_shared<ServiceSchema>(
+      "Doctor", std::vector<AttributeDef>{
+                    AttributeDef::Atomic("Specialty", ValueType::kString),
+                    AttributeDef::Atomic("Name", ValueType::kString),
+                    AttributeDef::Atomic("HospitalName", ValueType::kString),
+                    AttributeDef::Atomic("Rating", ValueType::kDouble),
+                });
+  SECO_RETURN_IF_ERROR(
+      reg.RegisterMart(std::make_shared<ServiceMart>("Doctor", doctor_schema)));
+  SimServiceBuilder doctor_builder("Doctor1");
+  doctor_builder.Schema(doctor_schema->attributes())
+      .Pattern({{"Specialty", Adornment::kInput},
+                {"Name", Adornment::kOutput},
+                {"HospitalName", Adornment::kOutput},
+                {"Rating", Adornment::kRanked}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x88);
+  ServiceStats doctor_stats;
+  doctor_stats.chunk_size = params.doctor_chunk_size;
+  doctor_stats.latency_ms = 110.0;
+  doctor_stats.cost_per_call = 1.0;
+  doctor_stats.decay = ScoreDecay::kLinear;
+  doctor_stats.avg_matches_per_binding = params.doctors_per_specialty;
+  doctor_builder.Stats(doctor_stats);
+  const char* specialties[] = {"insomnia", "cardiology", "allergy"};
+  for (const char* specialty : specialties) {
+    for (int d = 0; d < params.doctors_per_specialty; ++d) {
+      double rating = 1.0 - static_cast<double>(d) / params.doctors_per_specialty;
+      doctor_builder.AddRow(
+          Tuple({Value(specialty),
+                 Value(std::string("Dr") + specialty[0] + std::to_string(d)),
+                 Value(hospitals[rng.Uniform(hospitals.size())]),
+                 Value(rating)}),
+          rating);
+    }
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService doctor, doctor_builder.BuildInto(reg, "Doctor"));
+  scenario.backends["Doctor1"] = doctor.backend;
+
+  // ---- Hospital (search: by city, ranked by quality) ----------------------
+  auto hospital_schema = std::make_shared<ServiceSchema>(
+      "Hospital", std::vector<AttributeDef>{
+                      AttributeDef::Atomic("City", ValueType::kString),
+                      AttributeDef::Atomic("Name", ValueType::kString),
+                      AttributeDef::Atomic("Quality", ValueType::kDouble),
+                  });
+  SECO_RETURN_IF_ERROR(reg.RegisterMart(
+      std::make_shared<ServiceMart>("Hospital", hospital_schema)));
+  SimServiceBuilder hospital_builder("Hospital1");
+  hospital_builder.Schema(hospital_schema->attributes())
+      .Pattern({{"City", Adornment::kInput},
+                {"Name", Adornment::kOutput},
+                {"Quality", Adornment::kRanked}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(params.seed ^ 0x99);
+  ServiceStats hospital_stats;
+  hospital_stats.chunk_size = params.hospital_chunk_size;
+  hospital_stats.latency_ms = 90.0;
+  hospital_stats.cost_per_call = 1.0;
+  hospital_stats.decay = ScoreDecay::kQuadratic;
+  hospital_stats.avg_matches_per_binding = params.num_hospitals;
+  hospital_builder.Stats(hospital_stats);
+  for (int h = 0; h < params.num_hospitals; ++h) {
+    double quality = 1.0 - static_cast<double>(h) / params.num_hospitals;
+    hospital_builder.AddRow(
+        Tuple({Value(user_city), Value(hospitals[h]), Value(quality)}), quality);
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService hospital,
+                        hospital_builder.BuildInto(reg, "Hospital"));
+  scenario.backends["Hospital1"] = hospital.backend;
+
+  // ---- Insurance (exact lookup: hospital -> coverage flag) ----------------
+  auto insurance_schema = std::make_shared<ServiceSchema>(
+      "Insurance", std::vector<AttributeDef>{
+                       AttributeDef::Atomic("HospitalName", ValueType::kString),
+                       AttributeDef::Atomic("Plan", ValueType::kString),
+                       AttributeDef::Atomic("Covered", ValueType::kBool),
+                   });
+  SECO_RETURN_IF_ERROR(reg.RegisterMart(
+      std::make_shared<ServiceMart>("Insurance", insurance_schema)));
+  SimServiceBuilder insurance_builder("Insurance1");
+  insurance_builder.Schema(insurance_schema->attributes())
+      .Pattern({{"HospitalName", Adornment::kInput},
+                {"Plan", Adornment::kInput},
+                {"Covered", Adornment::kOutput}})
+      .Kind(ServiceKind::kExact)
+      .Seed(params.seed ^ 0xAA);
+  ServiceStats insurance_stats;
+  insurance_stats.avg_tuples_per_call = 1.0;
+  insurance_stats.latency_ms = 40.0;
+  insurance_stats.cost_per_call = 0.2;
+  insurance_builder.Stats(insurance_stats);
+  for (const std::string& name : hospitals) {
+    bool covered = rng.NextDouble() < params.coverage_fraction;
+    insurance_builder.AddRow(
+        Tuple({Value(name), Value(queried_plan), Value(covered)}));
+  }
+  SECO_ASSIGN_OR_RETURN(BuiltService insurance,
+                        insurance_builder.BuildInto(reg, "Insurance"));
+  scenario.backends["Insurance1"] = insurance.backend;
+
+  // ---- Connection patterns -------------------------------------------------
+  auto works_at = std::make_shared<ConnectionPattern>(
+      "WorksAt", "Doctor", "Hospital",
+      std::vector<ConnectionClause>{{"HospitalName", Comparator::kEq, "Name"}});
+  works_at->set_selectivity(1.0 / params.num_hospitals);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(works_at));
+  auto covered_by = std::make_shared<ConnectionPattern>(
+      "CoveredBy", "Hospital", "Insurance",
+      std::vector<ConnectionClause>{{"Name", Comparator::kEq, "HospitalName"}});
+  covered_by->set_selectivity(1.0);
+  SECO_RETURN_IF_ERROR(reg.RegisterConnectionPattern(covered_by));
+
+  scenario.inputs = {{"INPUT1", Value(queried_specialty)},
+                     {"INPUT2", Value(user_city)},
+                     {"INPUT3", Value(queried_plan)}};
+  scenario.query_text =
+      "select Doctor1 as D, Hospital1 as H, Insurance1 as I "
+      "where WorksAt(D, H) and CoveredBy(H, I) "
+      "and D.Specialty = INPUT1 and H.City = INPUT2 and I.Plan = INPUT3 "
+      "and I.Covered = true "
+      "rank by (0.6, 0.4, 0.0)";
+  return scenario;
+}
+
+Result<SyntheticPair> MakeSyntheticPair(const SyntheticPairParams& params) {
+  SplitMix64 rng(params.seed);
+  ZipfSampler zipf(static_cast<uint64_t>(params.key_domain), params.key_skew);
+  auto make = [&](const char* name, int rows, int chunk, ScoreDecay decay,
+                  int step_h, double latency,
+                  uint64_t salt) -> Result<BuiltService> {
+    SimServiceBuilder builder(name);
+    builder
+        .Schema({AttributeDef::Atomic("Key", ValueType::kInt),
+                 AttributeDef::Atomic("Val", ValueType::kString),
+                 AttributeDef::Atomic("Relevance", ValueType::kDouble)})
+        .Pattern({{"Key", Adornment::kOutput},
+                  {"Val", Adornment::kOutput},
+                  {"Relevance", Adornment::kRanked}})
+        .Kind(ServiceKind::kSearch)
+        .Seed(params.seed ^ salt);
+    ServiceStats stats;
+    stats.chunk_size = chunk;
+    stats.latency_ms = latency;
+    stats.cost_per_call = 1.0;
+    stats.decay = decay;
+    stats.step_h = step_h;
+    builder.Stats(stats);
+    for (int i = 0; i < rows; ++i) {
+      double quality = 1.0 - static_cast<double>(i) / rows;
+      int64_t key = params.key_skew > 0.0
+                        ? static_cast<int64_t>(zipf.Sample(rng))
+                        : static_cast<int64_t>(rng.Uniform(params.key_domain));
+      builder.AddRow(
+          Tuple(std::vector<TupleSlot>{
+              Value(key), Value(std::string(name) + "#" + std::to_string(i)),
+              Value(quality)}),
+          quality);
+    }
+    return builder.Build();
+  };
+  SECO_ASSIGN_OR_RETURN(BuiltService x,
+                        make("SX", params.rows_x, params.chunk_x, params.decay_x,
+                             params.step_h_x, params.latency_x_ms, 0xA1));
+  SECO_ASSIGN_OR_RETURN(BuiltService y,
+                        make("SY", params.rows_y, params.chunk_y, params.decay_y,
+                             params.step_h_y, params.latency_y_ms, 0xB2));
+  return SyntheticPair{std::move(x), std::move(y)};
+}
+
+}  // namespace seco

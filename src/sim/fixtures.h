@@ -1,0 +1,137 @@
+#ifndef SECO_SIM_FIXTURES_H_
+#define SECO_SIM_FIXTURES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "service/registry.h"
+#include "sim/service_builder.h"
+
+namespace seco {
+
+/// Parameters for the Movie/Theatre/Restaurant running example (§3.1, §5.6).
+struct MovieScenarioParams {
+  uint64_t seed = 20090401;
+  int num_movies = 400;
+  /// Movies that match the queried genre+country (>= 100 so that the
+  /// paper's 5 fetches x chunk 20 are available).
+  int matching_movies = 150;
+  int num_theatres = 40;
+  int movie_chunk_size = 20;     // chapter: chunks of 20 movies
+  int theatre_chunk_size = 5;    // chapter: chunks of size 5
+  int restaurant_chunk_size = 5;
+  /// P(a given movie is shown in a given theatre) — chapter: 2%.
+  double shows_selectivity = 0.02;
+  /// P(a theatre has a close restaurant) — chapter: 40%.
+  double dinner_selectivity = 0.40;
+  ScoreDecay movie_decay = ScoreDecay::kLinear;
+  ScoreDecay theatre_decay = ScoreDecay::kLinear;
+  double movie_latency_ms = 140.0;
+  double theatre_latency_ms = 90.0;
+  double restaurant_latency_ms = 110.0;
+};
+
+/// A fully assembled scenario: registry with marts/interfaces/connection
+/// patterns, the backends for introspection, and the INPUT bindings that
+/// make the canonical query run.
+struct Scenario {
+  std::shared_ptr<ServiceRegistry> registry;
+  std::map<std::string, std::shared_ptr<SimulatedService>> backends;
+  std::map<std::string, Value> inputs;
+  /// The canonical query text for this scenario, in SeCo query syntax.
+  std::string query_text;
+};
+
+/// Builds the chapter's running example: marts Movie/Theatre/Restaurant,
+/// interfaces Movie11/Theatre11/Restaurant11 with the §5.6 adornments,
+/// connection patterns Shows (2%) and DinnerPlace (40%), and synthetic data
+/// realizing those selectivities.
+///
+/// Faithfulness notes: (1) the chapter adorns Movie1.Openings.Date as input
+/// but then filters it with '>', which its own feasibility rule (equality
+/// binding) does not cover — we adorn Date as output and apply the date
+/// filter as a selection node; (2) the chapter's query writes
+/// `T.Category.Name` although Category belongs to Restaurant — we attach it
+/// to R. Both deviations are documented here and in DESIGN.md.
+Result<Scenario> MakeMovieScenario(const MovieScenarioParams& params = {});
+
+/// Parameters for the Conference/Weather/Flight/Hotel plan of Figs. 2-3.
+struct ConferenceScenarioParams {
+  uint64_t seed = 20090315;
+  int num_conferences = 20;  // chapter: Conference produces 20 on average
+  int num_cities = 12;
+  int flights_per_city = 25;
+  int hotels_per_city = 25;
+  int flight_chunk_size = 5;
+  int hotel_chunk_size = 5;
+  /// Fraction of (city, date) pairs whose average temperature exceeds the
+  /// 26C threshold, making Weather selective in the context of the query.
+  double warm_fraction = 0.35;
+  double conference_latency_ms = 120.0;
+  double weather_latency_ms = 60.0;
+  double flight_latency_ms = 200.0;
+  double hotel_latency_ms = 150.0;
+};
+
+/// Builds the Fig. 2/3 example: exact proliferative Conference, exact
+/// Weather (selective in context via AvgTemp > 26), search services Flight
+/// and Hotel joined by a merge-scan parallel join.
+Result<Scenario> MakeConferenceScenario(const ConferenceScenarioParams& params = {});
+
+/// Parameters of the "best doctor to cure insomnia in a nearby hospital"
+/// scenario — the canonical multi-domain question of the ICDE'09 Search
+/// Computing vision paper that this chapter's framework answers.
+struct DoctorScenarioParams {
+  uint64_t seed = 20090512;
+  int num_hospitals = 15;
+  int doctors_per_specialty = 60;
+  int doctor_chunk_size = 5;
+  int hospital_chunk_size = 5;
+  /// Fraction of hospitals covered by the queried insurance plan (makes the
+  /// exact Insurance service selective in context).
+  double coverage_fraction = 0.5;
+};
+
+/// Two parallel search services — Doctor (by specialty, ranked by rating)
+/// and Hospital (by city, ranked by quality) — joined on the hospital name
+/// (connection pattern WorksAt), plus an exact Insurance lookup piped from
+/// the hospital (pattern CoveredBy) whose Covered flag is filtered by a
+/// selection.
+Result<Scenario> MakeDoctorScenario(const DoctorScenarioParams& params = {});
+
+/// Parameters for a controllable pair of search services used by the join
+/// method experiments (§4): keys drawn uniformly from a domain of size
+/// `key_domain` give join selectivity 1/key_domain.
+struct SyntheticPairParams {
+  uint64_t seed = 7;
+  int rows_x = 200;
+  int rows_y = 200;
+  int chunk_x = 10;
+  int chunk_y = 10;
+  int key_domain = 50;
+  /// Zipf skew of the key distribution (0 = uniform). Skewed keys violate
+  /// the uniform-value assumption of the §3.2 cost model: a few hot keys
+  /// carry most matches.
+  double key_skew = 0.0;
+  ScoreDecay decay_x = ScoreDecay::kLinear;
+  ScoreDecay decay_y = ScoreDecay::kLinear;
+  int step_h_x = 2;
+  int step_h_y = 2;
+  double latency_x_ms = 100.0;
+  double latency_y_ms = 100.0;
+};
+
+/// Two ranked search services SX/SY over {Key:int, Val:string} with no
+/// input attributes, for direct exercise of join methods.
+struct SyntheticPair {
+  BuiltService x;
+  BuiltService y;
+};
+
+Result<SyntheticPair> MakeSyntheticPair(const SyntheticPairParams& params = {});
+
+}  // namespace seco
+
+#endif  // SECO_SIM_FIXTURES_H_

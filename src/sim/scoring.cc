@@ -1,0 +1,35 @@
+#include "sim/scoring.h"
+
+#include <algorithm>
+
+namespace seco {
+
+double ScoreAtPosition(ScoreDecay decay, int position, int total,
+                       int chunk_size, int step_h, double step_high,
+                       double step_low) {
+  if (total <= 0) total = 1;
+  position = std::clamp(position, 0, total - 1);
+  // Use total-1 as the denominator so that the last tuple reaches the floor
+  // and the first always scores 1.0 for progressive models.
+  double denom = std::max(total - 1, 1);
+  double frac = static_cast<double>(position) / denom;
+  switch (decay) {
+    case ScoreDecay::kNone:
+      return 1.0;
+    case ScoreDecay::kStep:
+      return position < step_h * std::max(chunk_size, 1) ? step_high : step_low;
+    case ScoreDecay::kLinear:
+    case ScoreDecay::kOpaque:
+      return 1.0 - frac;
+    case ScoreDecay::kQuadratic:
+      return (1.0 - frac) * (1.0 - frac);
+  }
+  return 0.0;
+}
+
+double ScoreAtPosition(const ServiceStats& stats, int position, int total) {
+  return ScoreAtPosition(stats.decay, position, total, stats.chunk_size,
+                         stats.step_h, stats.step_high, stats.step_low);
+}
+
+}  // namespace seco

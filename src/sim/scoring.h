@@ -1,0 +1,26 @@
+#ifndef SECO_SIM_SCORING_H_
+#define SECO_SIM_SCORING_H_
+
+#include "service/service_interface.h"
+
+namespace seco {
+
+/// Computes the score of the tuple at 0-based `position` out of `total`
+/// ranked tuples, under the given decay model (§4.1). Scores are in [0,1]
+/// and non-increasing in `position`:
+///  - kStep: `high` for the first `step_h * chunk_size` tuples, `low` after;
+///  - kLinear: 1 - position/total;
+///  - kQuadratic: (1 - position/total)^2;
+///  - kOpaque: same values as kLinear (the function exists but is hidden
+///    from the optimizer, which is modelled at the ServiceInterface level);
+///  - kNone: constant 1.0 (unranked).
+double ScoreAtPosition(ScoreDecay decay, int position, int total,
+                       int chunk_size, int step_h, double step_high,
+                       double step_low);
+
+/// Convenience overload reading the model from `stats`.
+double ScoreAtPosition(const ServiceStats& stats, int position, int total);
+
+}  // namespace seco
+
+#endif  // SECO_SIM_SCORING_H_

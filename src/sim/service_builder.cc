@@ -1,0 +1,30 @@
+#include "sim/service_builder.h"
+
+namespace seco {
+
+Result<BuiltService> SimServiceBuilder::Build() {
+  if (!schema_) {
+    return Status::InvalidArgument("service '" + name_ + "' has no schema");
+  }
+  SECO_ASSIGN_OR_RETURN(AccessPattern pattern,
+                        AccessPattern::Create(*schema_, adornments_));
+  if (kind_ == ServiceKind::kSearch) {
+    stats_.chunked = true;
+    if (stats_.decay == ScoreDecay::kNone) stats_.decay = ScoreDecay::kLinear;
+  }
+  auto backend = std::make_shared<SimulatedService>(
+      schema_, pattern, kind_, stats_, std::move(rows_), std::move(quality_),
+      seed_);
+  auto iface = std::make_shared<ServiceInterface>(name_, schema_, pattern, kind_,
+                                                  stats_, backend);
+  return BuiltService{std::move(iface), std::move(backend)};
+}
+
+Result<BuiltService> SimServiceBuilder::BuildInto(ServiceRegistry& registry,
+                                                  const std::string& mart_name) {
+  SECO_ASSIGN_OR_RETURN(BuiltService built, Build());
+  SECO_RETURN_IF_ERROR(registry.RegisterInterface(built.interface, mart_name));
+  return built;
+}
+
+}  // namespace seco

@@ -1,0 +1,78 @@
+#ifndef SECO_SIM_SERVICE_BUILDER_H_
+#define SECO_SIM_SERVICE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "service/registry.h"
+#include "service/service_interface.h"
+#include "sim/simulated_service.h"
+
+namespace seco {
+
+/// A service interface together with the simulated backend that serves it;
+/// the backend pointer allows tests and the oracle to inspect raw rows and
+/// call counts.
+struct BuiltService {
+  std::shared_ptr<ServiceInterface> interface;
+  std::shared_ptr<SimulatedService> backend;
+};
+
+/// Fluent builder assembling a simulated service and its interface in one
+/// go. Used by fixtures, tests, and examples.
+class SimServiceBuilder {
+ public:
+  explicit SimServiceBuilder(std::string name) : name_(std::move(name)) {}
+
+  SimServiceBuilder& Schema(std::vector<AttributeDef> attributes) {
+    schema_ = std::make_shared<ServiceSchema>(name_, std::move(attributes));
+    return *this;
+  }
+  SimServiceBuilder& Pattern(
+      std::vector<std::pair<std::string, Adornment>> adornments) {
+    adornments_ = std::move(adornments);
+    return *this;
+  }
+  SimServiceBuilder& Kind(ServiceKind kind) {
+    kind_ = kind;
+    return *this;
+  }
+  SimServiceBuilder& Stats(ServiceStats stats) {
+    stats_ = stats;
+    return *this;
+  }
+  SimServiceBuilder& Seed(uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+  /// Appends a row; `quality` orders rows for ranked services (higher first).
+  SimServiceBuilder& AddRow(Tuple row, double quality = 0.0) {
+    rows_.push_back(std::move(row));
+    quality_.push_back(quality);
+    return *this;
+  }
+
+  /// Builds the interface + backend pair.
+  Result<BuiltService> Build();
+
+  /// Builds and registers into `registry` (optionally under a mart).
+  Result<BuiltService> BuildInto(ServiceRegistry& registry,
+                                 const std::string& mart_name = "");
+
+ private:
+  std::string name_;
+  std::shared_ptr<ServiceSchema> schema_;
+  std::vector<std::pair<std::string, Adornment>> adornments_;
+  ServiceKind kind_ = ServiceKind::kExact;
+  ServiceStats stats_;
+  uint64_t seed_ = 42;
+  std::vector<Tuple> rows_;
+  std::vector<double> quality_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SIM_SERVICE_BUILDER_H_

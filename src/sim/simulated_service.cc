@@ -1,0 +1,108 @@
+#include "sim/simulated_service.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/scoring.h"
+
+namespace seco {
+
+SimulatedService::SimulatedService(std::shared_ptr<const ServiceSchema> schema,
+                                   AccessPattern pattern, ServiceKind kind,
+                                   ServiceStats stats, std::vector<Tuple> rows,
+                                   std::vector<double> quality, uint64_t seed)
+    : schema_(std::move(schema)),
+      pattern_(std::move(pattern)),
+      kind_(kind),
+      stats_(stats),
+      rows_(std::move(rows)),
+      latency_(stats.latency_ms, /*jitter_fraction=*/0.2, seed) {
+  rank_order_.resize(rows_.size());
+  std::iota(rank_order_.begin(), rank_order_.end(), 0);
+  if (!quality.empty()) {
+    std::stable_sort(rank_order_.begin(), rank_order_.end(),
+                     [&quality](int a, int b) { return quality[a] > quality[b]; });
+  }
+}
+
+Result<std::vector<int>> SimulatedService::MatchingRowIndices(
+    const std::vector<Value>& inputs) const {
+  const std::vector<AttrPath>& in_paths = pattern_.input_paths();
+  if (inputs.size() != in_paths.size()) {
+    return Status::InvalidArgument(
+        "service expects " + std::to_string(in_paths.size()) + " inputs, got " +
+        std::to_string(inputs.size()));
+  }
+  std::vector<int> out;
+  for (int row_idx : rank_order_) {
+    const Tuple& row = rows_[row_idx];
+    bool match = true;
+    for (size_t i = 0; i < in_paths.size(); ++i) {
+      // A row matches an input binding if some candidate value at the path
+      // equals the bound value (existential over repeating-group instances).
+      bool any = false;
+      for (const Value& v : row.CandidateValuesAt(in_paths[i])) {
+        SECO_ASSIGN_OR_RETURN(bool eq, v.Compare(Comparator::kEq, inputs[i]));
+        if (eq) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(row_idx);
+  }
+  return out;
+}
+
+Result<ServiceResponse> SimulatedService::FullScan(
+    const std::vector<Value>& inputs) const {
+  SECO_ASSIGN_OR_RETURN(std::vector<int> matches, MatchingRowIndices(inputs));
+  ServiceResponse resp;
+  int total = static_cast<int>(matches.size());
+  for (int pos = 0; pos < total; ++pos) {
+    resp.tuples.push_back(rows_[matches[pos]]);
+    if (kind_ == ServiceKind::kSearch) {
+      resp.scores.push_back(ScoreAtPosition(stats_, pos, total));
+    }
+  }
+  resp.exhausted = true;
+  resp.latency_ms = 0.0;
+  return resp;
+}
+
+Result<ServiceResponse> SimulatedService::Call(const ServiceRequest& request) {
+  ++call_count_;
+  SECO_ASSIGN_OR_RETURN(std::vector<int> matches,
+                        MatchingRowIndices(request.inputs));
+  ServiceResponse resp;
+  resp.latency_ms = latency_.NextLatencyMs();
+  int total = static_cast<int>(matches.size());
+
+  int begin = 0, end = total;
+  if (stats_.chunked || kind_ == ServiceKind::kSearch) {
+    int chunk = std::max(stats_.chunk_size, 1);
+    begin = request.chunk_index * chunk;
+    end = std::min(begin + chunk, total);
+    resp.exhausted = end >= total;
+  } else {
+    if (request.chunk_index > 0) {
+      // Non-chunked service: only chunk 0 exists.
+      resp.exhausted = true;
+      return resp;
+    }
+    resp.exhausted = true;
+  }
+  for (int pos = begin; pos < end; ++pos) {
+    resp.tuples.push_back(rows_[matches[pos]]);
+    if (kind_ == ServiceKind::kSearch && !hide_scores_) {
+      resp.scores.push_back(ScoreAtPosition(stats_, pos, total));
+    }
+  }
+  return resp;
+}
+
+}  // namespace seco

@@ -1,0 +1,110 @@
+#ifndef SECO_SIM_SIMULATED_SERVICE_H_
+#define SECO_SIM_SIMULATED_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "service/access_pattern.h"
+#include "service/invocation.h"
+#include "service/schema.h"
+#include "service/service_interface.h"
+#include "service/tuple.h"
+
+namespace seco {
+
+/// Deterministic per-call latency: `base_ms` plus bounded jitter drawn from
+/// a stream keyed by (seed, call ordinal), so a given call sequence always
+/// costs the same simulated time.
+class LatencyModel {
+ public:
+  LatencyModel(double base_ms, double jitter_fraction, uint64_t seed)
+      : base_ms_(base_ms), jitter_fraction_(jitter_fraction), rng_(seed) {}
+
+  /// Latency for the next call in sequence.
+  double NextLatencyMs() {
+    double u = rng_.NextDouble();  // [0,1)
+    return base_ms_ * (1.0 + jitter_fraction_ * (2.0 * u - 1.0));
+  }
+
+ private:
+  double base_ms_;
+  double jitter_fraction_;
+  SplitMix64 rng_;
+};
+
+/// An in-process stand-in for a remote search/exact service (substitution
+/// for the paper's live web services; see DESIGN.md).
+///
+/// Holds a materialized relation. On each call it selects the rows whose
+/// input-path values match the request bindings (existentially for repeating
+/// groups), orders them by the row's intrinsic quality, assigns scores from
+/// the declared decay model, and returns the requested chunk. Exact services
+/// return the whole matching set (or its `chunk_index`-th chunk when
+/// chunked) without scores.
+class SimulatedService : public ServiceCallHandler {
+ public:
+  /// `quality[i]` ranks row i (higher = more relevant); if empty, row order
+  /// is used as the ranking.
+  SimulatedService(std::shared_ptr<const ServiceSchema> schema,
+                   AccessPattern pattern, ServiceKind kind, ServiceStats stats,
+                   std::vector<Tuple> rows, std::vector<double> quality,
+                   uint64_t seed);
+
+  Result<ServiceResponse> Call(const ServiceRequest& request) override;
+
+  /// Backdoor for the semantics oracle and tests: all rows, unranked.
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Matching rows in rank order with assigned scores (no chunking); the
+  /// oracle uses this to compute reference top-k answers.
+  Result<ServiceResponse> FullScan(const std::vector<Value>& inputs) const;
+
+  /// Number of Call() invocations served so far.
+  int64_t call_count() const { return call_count_; }
+  void ResetCallCount() { call_count_ = 0; }
+
+  /// Makes the service *opaque*: results stay in ranking order but no
+  /// scores are returned (§3.1 footnote 3 / §4.1 "opaque rankings").
+  void set_hide_scores(bool hide) { hide_scores_ = hide; }
+
+ private:
+  Result<std::vector<int>> MatchingRowIndices(
+      const std::vector<Value>& inputs) const;
+
+  std::shared_ptr<const ServiceSchema> schema_;
+  AccessPattern pattern_;
+  ServiceKind kind_;
+  ServiceStats stats_;
+  std::vector<Tuple> rows_;
+  std::vector<int> rank_order_;  // row indices sorted by quality desc
+  mutable LatencyModel latency_;
+  int64_t call_count_ = 0;
+  bool hide_scores_ = false;
+};
+
+/// Wraps a handler and fails every `failure_period`-th call with an
+/// injected error; used by failure-injection tests.
+class FlakyHandler : public ServiceCallHandler {
+ public:
+  FlakyHandler(std::shared_ptr<ServiceCallHandler> inner, int failure_period)
+      : inner_(std::move(inner)), failure_period_(failure_period) {}
+
+  Result<ServiceResponse> Call(const ServiceRequest& request) override {
+    ++calls_;
+    if (failure_period_ > 0 && calls_ % failure_period_ == 0) {
+      return Status::Internal("injected failure on call " + std::to_string(calls_));
+    }
+    return inner_->Call(request);
+  }
+
+ private:
+  std::shared_ptr<ServiceCallHandler> inner_;
+  int failure_period_;
+  int64_t calls_ = 0;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SIM_SIMULATED_SERVICE_H_

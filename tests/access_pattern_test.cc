@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "service/access_pattern.h"
+
+namespace seco {
+namespace {
+
+ServiceSchema TestSchema() {
+  return ServiceSchema(
+      "Svc", {AttributeDef::Atomic("A", ValueType::kString),
+              AttributeDef::Atomic("B", ValueType::kInt),
+              AttributeDef::Atomic("Score", ValueType::kDouble),
+              AttributeDef::RepeatingGroup("G", {{"X", ValueType::kString},
+                                                 {"Y", ValueType::kInt}})});
+}
+
+TEST(AccessPatternTest, CreateAndQuery) {
+  ServiceSchema schema = TestSchema();
+  Result<AccessPattern> p = AccessPattern::Create(
+      schema, {{"A", Adornment::kInput},
+               {"B", Adornment::kOutput},
+               {"Score", Adornment::kRanked},
+               {"G.X", Adornment::kInput},
+               {"G.Y", Adornment::kOutput}});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->num_inputs(), 2);
+  EXPECT_EQ(p->output_paths().size(), 3u);  // B, Score, G.Y
+  EXPECT_EQ(p->ranked_paths().size(), 1u);
+  EXPECT_EQ(p->At(*schema.Resolve("A")), Adornment::kInput);
+  EXPECT_EQ(p->At(*schema.Resolve("Score")), Adornment::kRanked);
+  EXPECT_EQ(p->At(*schema.Resolve("G.Y")), Adornment::kOutput);
+}
+
+TEST(AccessPatternTest, InputOrderIsDeclarationOrder) {
+  ServiceSchema schema = TestSchema();
+  Result<AccessPattern> p = AccessPattern::Create(
+      schema, {{"G.X", Adornment::kInput},
+               {"A", Adornment::kInput},
+               {"B", Adornment::kOutput},
+               {"Score", Adornment::kOutput},
+               {"G.Y", Adornment::kOutput}});
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->input_paths().size(), 2u);
+  EXPECT_TRUE(p->input_paths()[0].is_sub_attribute());  // G.X first
+  EXPECT_EQ(p->input_paths()[1].attr_index, 0);         // then A
+}
+
+TEST(AccessPatternTest, IncompleteCoverageFails) {
+  ServiceSchema schema = TestSchema();
+  Result<AccessPattern> p =
+      AccessPattern::Create(schema, {{"A", Adornment::kInput}});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AccessPatternTest, DuplicateAdornmentFails) {
+  ServiceSchema schema = TestSchema();
+  Result<AccessPattern> p = AccessPattern::Create(
+      schema, {{"A", Adornment::kInput},
+               {"A", Adornment::kOutput},
+               {"B", Adornment::kOutput},
+               {"Score", Adornment::kOutput},
+               {"G.X", Adornment::kOutput},
+               {"G.Y", Adornment::kOutput}});
+  EXPECT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(AccessPatternTest, UnknownAttributeFails) {
+  ServiceSchema schema = TestSchema();
+  Result<AccessPattern> p = AccessPattern::Create(
+      schema, {{"Nope", Adornment::kInput}});
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(AccessPatternTest, AdornmentNames) {
+  EXPECT_STREQ(AdornmentToString(Adornment::kInput), "I");
+  EXPECT_STREQ(AdornmentToString(Adornment::kOutput), "O");
+  EXPECT_STREQ(AdornmentToString(Adornment::kRanked), "R");
+}
+
+TEST(AccessPatternTest, RankedCountsAsOutput) {
+  ServiceSchema schema = TestSchema();
+  Result<AccessPattern> p = AccessPattern::Create(
+      schema, {{"A", Adornment::kOutput},
+               {"B", Adornment::kOutput},
+               {"Score", Adornment::kRanked},
+               {"G.X", Adornment::kOutput},
+               {"G.Y", Adornment::kOutput}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_inputs(), 0);
+  EXPECT_EQ(p->output_paths().size(), 5u);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "optimizer/augmentation.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+/// Fixture: a Theatre-like service whose UAddress input is NOT bound by the
+/// query, plus an off-query GeoCoder service that outputs UAddress given a
+/// UCity (which the query does bind by constant).
+class AugmentationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_shared<ServiceRegistry>();
+
+    SimServiceBuilder theatre("Theatres");
+    theatre
+        .Schema({AttributeDef::Atomic("Name", ValueType::kString),
+                 AttributeDef::Atomic("UAddress", ValueType::kString),
+                 AttributeDef::Atomic("UCity", ValueType::kString),
+                 AttributeDef::Atomic("Distance", ValueType::kDouble)})
+        .Pattern({{"Name", Adornment::kOutput},
+                  {"UAddress", Adornment::kInput},
+                  {"UCity", Adornment::kInput},
+                  {"Distance", Adornment::kRanked}})
+        .Kind(ServiceKind::kSearch);
+    theatre.AddRow(Tuple({Value("T1"), Value("Addr1"), Value("Milano"),
+                          Value(0.5)}),
+                   0.5);
+    ASSERT_TRUE(theatre.BuildInto(*registry_).ok());
+
+    SimServiceBuilder geocoder("GeoCoder");
+    geocoder
+        .Schema({AttributeDef::Atomic("UCity", ValueType::kString),
+                 AttributeDef::Atomic("UAddress", ValueType::kString)})
+        .Pattern({{"UCity", Adornment::kInput},
+                  {"UAddress", Adornment::kOutput}})
+        .Kind(ServiceKind::kExact);
+    geocoder.AddRow(Tuple({Value("Milano"), Value("Addr1")}));
+    ASSERT_TRUE(geocoder.BuildInto(*registry_).ok());
+
+    // A red herring: outputs an attribute with the right name but wrong type.
+    SimServiceBuilder wrong_type("WrongType");
+    wrong_type
+        .Schema({AttributeDef::Atomic("UAddress", ValueType::kInt)})
+        .Pattern({{"UAddress", Adornment::kOutput}})
+        .Kind(ServiceKind::kExact);
+    wrong_type.AddRow(Tuple({Value(42)}));
+    ASSERT_TRUE(wrong_type.BuildInto(*registry_).ok());
+
+    // A provider whose own inputs the query cannot bind.
+    SimServiceBuilder needy("NeedyProvider");
+    needy
+        .Schema({AttributeDef::Atomic("Zip", ValueType::kString),
+                 AttributeDef::Atomic("UAddress", ValueType::kString)})
+        .Pattern({{"Zip", Adornment::kInput},
+                  {"UAddress", Adornment::kOutput}})
+        .Kind(ServiceKind::kExact);
+    needy.AddRow(Tuple({Value("20133"), Value("Addr1")}));
+    ASSERT_TRUE(needy.BuildInto(*registry_).ok());
+  }
+
+  Result<BoundQuery> Bind(const std::string& text) {
+    SECO_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+    return BindQuery(parsed, *registry_);
+  }
+
+  std::shared_ptr<ServiceRegistry> registry_;
+};
+
+TEST_F(AugmentationTest, FeasibleQueryYieldsNoSuggestions) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      Bind("select Theatres as T where T.UAddress = 'Addr1' and "
+           "T.UCity = 'Milano'"));
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<AugmentationSuggestion> suggestions,
+                            SuggestAugmentations(q, *registry_));
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST_F(AugmentationTest, SuggestsOffQueryProvider) {
+  // UAddress unbound -> infeasible; GeoCoder can supply it from UCity.
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            Bind("select Theatres as T where T.UCity = 'Milano'"));
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<AugmentationSuggestion> suggestions,
+                            SuggestAugmentations(q, *registry_));
+  ASSERT_FALSE(suggestions.empty());
+  const AugmentationSuggestion& best = suggestions.front();
+  EXPECT_EQ(best.provider_interface, "GeoCoder");
+  EXPECT_EQ(best.input_name, "UAddress");
+  EXPECT_EQ(best.provider_output, "UAddress");
+  EXPECT_TRUE(best.provider_invocable);
+  ASSERT_EQ(best.provider_input_bindings.size(), 1u);
+  EXPECT_GE(best.provider_input_bindings[0], 0);  // bound by T.UCity='Milano'
+}
+
+TEST_F(AugmentationTest, TypeMismatchExcluded) {
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            Bind("select Theatres as T where T.UCity = 'Milano'"));
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<AugmentationSuggestion> suggestions,
+                            SuggestAugmentations(q, *registry_));
+  for (const AugmentationSuggestion& s : suggestions) {
+    EXPECT_NE(s.provider_interface, "WrongType");
+  }
+}
+
+TEST_F(AugmentationTest, NonInvocableProviderRankedLast) {
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            Bind("select Theatres as T where T.UCity = 'Milano'"));
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<AugmentationSuggestion> suggestions,
+                            SuggestAugmentations(q, *registry_));
+  // NeedyProvider (Zip unbound) must appear, flagged non-invocable, after
+  // the invocable GeoCoder.
+  bool found_needy = false;
+  bool invocable_region = true;
+  for (const AugmentationSuggestion& s : suggestions) {
+    if (!s.provider_invocable) invocable_region = false;
+    if (s.provider_interface == "NeedyProvider") {
+      found_needy = true;
+      EXPECT_FALSE(s.provider_invocable);
+      EXPECT_FALSE(invocable_region);
+    }
+  }
+  EXPECT_TRUE(found_needy);
+}
+
+TEST_F(AugmentationTest, ApplyMakesQueryFeasibleAndExecutable) {
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            Bind("select Theatres as T where T.UCity = 'Milano'"));
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<AugmentationSuggestion> suggestions,
+                            SuggestAugmentations(q, *registry_));
+  ASSERT_FALSE(suggestions.empty());
+  ASSERT_TRUE(suggestions.front().provider_invocable);
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BoundQuery augmented,
+      ApplyAugmentation(q, *registry_, suggestions.front()));
+  ASSERT_EQ(augmented.atoms.size(), 2u);
+  EXPECT_EQ(augmented.atoms[1].iface->name(), "GeoCoder");
+
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report,
+                            CheckFeasibility(augmented));
+  EXPECT_TRUE(report.feasible) << report.reason;
+
+  // End-to-end: the augmented query actually runs and produces the theatre
+  // reached through the geocoded address.
+  Optimizer optimizer(OptimizerOptions{});
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult plan, optimizer.Optimize(augmented));
+  ExecutionOptions exec_options;
+  exec_options.k = 5;
+  ExecutionEngine engine(exec_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(plan.plan));
+  ASSERT_EQ(result.combinations.size(), 1u);
+  EXPECT_EQ(result.combinations[0].components[0].AtomicAt(0).AsString(), "T1");
+}
+
+TEST_F(AugmentationTest, ApplyRejectsNonInvocableProvider) {
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            Bind("select Theatres as T where T.UCity = 'Milano'"));
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<AugmentationSuggestion> suggestions,
+                            SuggestAugmentations(q, *registry_));
+  const AugmentationSuggestion* needy = nullptr;
+  for (const AugmentationSuggestion& s : suggestions) {
+    if (s.provider_interface == "NeedyProvider") needy = &s;
+  }
+  ASSERT_NE(needy, nullptr);
+  Result<BoundQuery> augmented = ApplyAugmentation(q, *registry_, *needy);
+  EXPECT_FALSE(augmented.ok());
+  EXPECT_EQ(augmented.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(AugmentationTest, NoProviderNoSuggestions) {
+  // Unbound input with a leaf name nothing provides.
+  SimServiceBuilder lonely("Lonely");
+  lonely
+      .Schema({AttributeDef::Atomic("Out", ValueType::kString),
+               AttributeDef::Atomic("Frobnicator", ValueType::kString)})
+      .Pattern({{"Out", Adornment::kOutput},
+                {"Frobnicator", Adornment::kInput}})
+      .Kind(ServiceKind::kExact);
+  lonely.AddRow(Tuple({Value("x"), Value("y")}));
+  ASSERT_TRUE(lonely.BuildInto(*registry_).ok());
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            Bind("select Lonely as L where L.Out = 'x'"));
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<AugmentationSuggestion> suggestions,
+                            SuggestAugmentations(q, *registry_));
+  EXPECT_TRUE(suggestions.empty());
+}
+
+}  // namespace
+}  // namespace seco

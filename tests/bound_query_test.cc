@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "query/bound_query.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class BoundQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeMovieScenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).value();
+  }
+
+  Result<BoundQuery> Bind(const std::string& text) {
+    SECO_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+    return BindQuery(parsed, *scenario_.registry);
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(BoundQueryTest, BindsInterfaceAtoms) {
+  Result<BoundQuery> q = Bind("select Movie11 as M where M.Title = 'x'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->atoms.size(), 1u);
+  EXPECT_EQ(q->atoms[0].alias, "M");
+  ASSERT_NE(q->atoms[0].iface, nullptr);
+  EXPECT_EQ(q->atoms[0].iface->name(), "Movie11");
+  EXPECT_EQ(q->atoms[0].mart_name, "Movie");
+}
+
+TEST_F(BoundQueryTest, BindsMartAtomsWithCandidates) {
+  Result<BoundQuery> q = Bind("select Movie as M where M.Title = 'x'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms[0].iface, nullptr);
+  // The Movie mart registers two interfaces: the genre+country search
+  // (Movie11) and the title lookup (Movie12).
+  ASSERT_EQ(q->atoms[0].candidates.size(), 2u);
+  EXPECT_EQ(q->atoms[0].candidates[0]->name(), "Movie11");
+  EXPECT_EQ(q->atoms[0].candidates[1]->name(), "Movie12");
+}
+
+TEST_F(BoundQueryTest, UnknownServiceFails) {
+  Result<BoundQuery> q = Bind("select Nope as N where N.A = 1");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BoundQueryTest, ExpandsConnectionPattern) {
+  Result<BoundQuery> q = Bind(
+      "select Movie11 as M, Theatre11 as T where Shows(M, T) and "
+      "M.Genres.Genre = INPUT1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->joins.size(), 1u);
+  EXPECT_EQ(q->joins[0].pattern_name, "Shows");
+  EXPECT_DOUBLE_EQ(q->joins[0].selectivity, 0.02);
+  ASSERT_EQ(q->joins[0].clauses.size(), 1u);
+  const JoinClause& clause = q->joins[0].clauses[0];
+  EXPECT_EQ(clause.from_atom, 0);
+  EXPECT_EQ(clause.to_atom, 1);
+  EXPECT_FALSE(clause.from_path.is_sub_attribute());  // M.Title
+  EXPECT_TRUE(clause.to_path.is_sub_attribute());     // T.Movie.Title
+}
+
+TEST_F(BoundQueryTest, ConnectionMartMismatchFails) {
+  // DinnerPlace expects Theatre -> Restaurant.
+  Result<BoundQuery> q =
+      Bind("select Movie11 as M, Theatre11 as T where DinnerPlace(M, T)");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BoundQueryTest, UnknownConnectionFails) {
+  Result<BoundQuery> q =
+      Bind("select Movie11 as M, Theatre11 as T where Nope(M, T)");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BoundQueryTest, SelectionsAndInputVarsCollected) {
+  Result<BoundQuery> q = Bind(
+      "select Movie11 as M where M.Genres.Genre = INPUT1 and "
+      "M.Openings.Date > INPUT3 and M.Year = 2009");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->selections.size(), 3u);
+  EXPECT_EQ(q->selections[0].input_var, "INPUT1");
+  EXPECT_EQ(q->selections[1].input_var, "INPUT3");
+  EXPECT_EQ(q->selections[1].op, Comparator::kGt);
+  EXPECT_TRUE(q->selections[2].input_var.empty());
+  EXPECT_EQ(q->selections[2].constant.AsInt(), 2009);
+  EXPECT_EQ(q->input_vars, (std::vector<std::string>{"INPUT1", "INPUT3"}));
+}
+
+TEST_F(BoundQueryTest, AdHocJoinPredicateBecomesGroup) {
+  Result<BoundQuery> q = Bind(
+      "select Theatre11 as T, Restaurant11 as R where T.TCity = R.RCity");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->joins.size(), 1u);
+  EXPECT_TRUE(q->joins[0].pattern_name.empty());
+  EXPECT_EQ(q->joins[0].clauses[0].op, Comparator::kEq);
+}
+
+TEST_F(BoundQueryTest, SelfComparisonUnsupported) {
+  Result<BoundQuery> q = Bind("select Movie11 as M where M.Title = M.Director");
+  EXPECT_EQ(q.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(BoundQueryTest, UnknownAliasInPredicateFails) {
+  Result<BoundQuery> q = Bind("select Movie11 as M where X.Title = 'a'");
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BoundQueryTest, EffectiveWeightsDefault) {
+  // All three services in the scenario are ranked search services.
+  Result<BoundQuery> q = Bind(
+      "select Movie11 as M, Theatre11 as T where Shows(M, T) and "
+      "M.Title = 'x'");
+  ASSERT_TRUE(q.ok());
+  std::vector<double> w = q->EffectiveWeights();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST_F(BoundQueryTest, ExplicitWeightsWin) {
+  Result<BoundQuery> q = Bind(
+      "select Movie11 as M, Theatre11 as T where Shows(M, T) and M.Title = 'x' "
+      "rank by (0.9, 0.1)");
+  ASSERT_TRUE(q.ok());
+  std::vector<double> w = q->EffectiveWeights();
+  EXPECT_DOUBLE_EQ(w[0], 0.9);
+  EXPECT_DOUBLE_EQ(w[1], 0.1);
+}
+
+TEST_F(BoundQueryTest, ResolveSelectionValue) {
+  Result<BoundQuery> q = Bind("select Movie11 as M where M.Title = INPUT1");
+  ASSERT_TRUE(q.ok());
+  Result<Value> v =
+      q->ResolveSelectionValue(q->selections[0], {{"INPUT1", Value("Up")}});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "Up");
+  Result<Value> missing = q->ResolveSelectionValue(q->selections[0], {});
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST_F(BoundQueryTest, AtomIndexLookup) {
+  Result<BoundQuery> q = Bind(
+      "select Movie11 as M, Theatre11 as T where Shows(M, T) and M.Title='x'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->AtomIndex("M"), 0);
+  EXPECT_EQ(q->AtomIndex("T"), 1);
+  EXPECT_EQ(q->AtomIndex("Z"), -1);
+}
+
+TEST_F(BoundQueryTest, RunningExampleBinds) {
+  Result<BoundQuery> q = Bind(scenario_.query_text);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms.size(), 3u);
+  EXPECT_EQ(q->joins.size(), 2u);       // Shows + DinnerPlace
+  EXPECT_EQ(q->selections.size(), 7u);  // 7 selection predicates
+  EXPECT_EQ(q->input_vars.size(), 6u);
+  ASSERT_EQ(q->joins[1].clauses.size(), 3u);  // DinnerPlace: 3 clauses
+}
+
+}  // namespace
+}  // namespace seco

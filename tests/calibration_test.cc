@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "join/strategy_select.h"
+#include "optimizer/calibration.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+TEST(CalibrationTest, RecoversLinearDecay) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc,
+      MakeKeyedSearchService("Lin", 200, 10, 500, ScoreDecay::kLinear));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceProfile profile,
+                            ProfileService(svc.interface, {}));
+  EXPECT_EQ(profile.decay, ScoreDecay::kLinear);
+  EXPECT_GT(profile.fit_r2, 0.99);
+  EXPECT_DOUBLE_EQ(profile.avg_chunk_size, 10.0);
+  EXPECT_GT(profile.avg_latency_ms, 0.0);
+}
+
+TEST(CalibrationTest, RecoversQuadraticDecay) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc,
+      MakeKeyedSearchService("Quad", 200, 10, 500, ScoreDecay::kQuadratic));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceProfile profile,
+                            ProfileService(svc.interface, {}));
+  EXPECT_EQ(profile.decay, ScoreDecay::kQuadratic);
+  EXPECT_GT(profile.fit_r2, 0.99);
+}
+
+class StepRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StepRecoveryTest, RecoversStepAndH) {
+  int h = GetParam();
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc,
+      MakeKeyedSearchService("Step", 200, 10, 500, ScoreDecay::kStep,
+                             /*key_is_input=*/false, /*step_h=*/h));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceProfile profile,
+                            ProfileService(svc.interface, {}));
+  EXPECT_EQ(profile.decay, ScoreDecay::kStep);
+  EXPECT_EQ(profile.step_h, h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hs, StepRecoveryTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(CalibrationTest, ExhaustionDuringProbe) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("Small", 12, 10, 500));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceProfile profile,
+                            ProfileService(svc.interface, {}, /*max_probes=*/8));
+  EXPECT_TRUE(profile.exhausted);
+  EXPECT_EQ(profile.probes, 2);  // the 2nd chunk already reports exhaustion
+  EXPECT_EQ(profile.decay, ScoreDecay::kLinear);
+}
+
+TEST(CalibrationTest, UnrankedServiceRejected) {
+  SimServiceBuilder builder("Exact");
+  builder
+      .Schema({AttributeDef::Atomic("K", ValueType::kInt)})
+      .Pattern({{"K", Adornment::kOutput}})
+      .Kind(ServiceKind::kExact);
+  ServiceStats stats;
+  stats.chunked = true;
+  stats.chunk_size = 5;
+  builder.Stats(stats);
+  for (int i = 0; i < 20; ++i) builder.AddRow(Tuple({Value(i)}));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, builder.Build());
+  Result<ServiceProfile> profile = ProfileService(svc.interface, {});
+  EXPECT_FALSE(profile.ok());
+  EXPECT_EQ(profile.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CalibrationTest, ProfileFeedsStrategyChoice) {
+  // End-to-end: a service declared opaque is probed, classified as step,
+  // and the corrected stats drive ChooseStrategy to nested-loop.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService hidden_step,
+      MakeKeyedSearchService("Hidden", 200, 10, 500, ScoreDecay::kStep,
+                             /*key_is_input=*/false, /*step_h=*/2));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceProfile profile,
+                            ProfileService(hidden_step.interface, {}));
+  ASSERT_EQ(profile.decay, ScoreDecay::kStep);
+  ServiceStats corrected = hidden_step.interface->stats();
+  corrected.decay = profile.decay;
+  corrected.step_h = profile.step_h;
+  ServiceInterface corrected_iface(
+      "HiddenCorrected", hidden_step.interface->schema_ptr(),
+      hidden_step.interface->pattern(), ServiceKind::kSearch, corrected,
+      hidden_step.backend);
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService linear, MakeKeyedSearchService("Lin2", 100, 10, 500));
+  JoinStrategy strategy = ChooseStrategy(corrected_iface, *linear.interface);
+  EXPECT_EQ(strategy.invocation, JoinInvocation::kNestedLoop);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,74 @@
+// Sanity coverage of the optimizer-scaling tree scenario (bench_util):
+// feasibility shape, topology counts, and end-to-end execution.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::MakeChainScenario;
+
+TEST(ChainScenarioTest, TreeDependenciesAreFeasible) {
+  SECO_ASSERT_OK_AND_ASSIGN(bench_util::ChainScenario scenario,
+                            MakeChainScenario(5));
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario.registry));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(query));
+  ASSERT_TRUE(report.feasible) << report.reason;
+  // Tree: S1,S2 depend on S0; S3,S4 on S1.
+  EXPECT_TRUE(report.atoms[0].depends_on.empty());
+  EXPECT_EQ(report.atoms[1].depends_on, (std::vector<int>{0}));
+  EXPECT_EQ(report.atoms[2].depends_on, (std::vector<int>{0}));
+  EXPECT_EQ(report.atoms[3].depends_on, (std::vector<int>{1}));
+  EXPECT_EQ(report.atoms[4].depends_on, (std::vector<int>{1}));
+}
+
+TEST(ChainScenarioTest, TopologySpaceGrowsWithSize) {
+  int prev = 0;
+  for (int n : {3, 5, 6}) {
+    SECO_ASSERT_OK_AND_ASSIGN(bench_util::ChainScenario scenario,
+                              MakeChainScenario(n));
+    SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                              ParseQuery(scenario.query_text));
+    SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                              BindQuery(parsed, *scenario.registry));
+    OptimizerOptions options;
+    options.k = 10;
+    options.metric = CostMetricKind::kCallCount;
+    Optimizer optimizer(options);
+    SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult result,
+                              optimizer.Optimize(query));
+    int explored = result.topologies_tried + result.branches_pruned;
+    EXPECT_GT(explored, prev) << "n=" << n;
+    prev = explored;
+  }
+}
+
+TEST(ChainScenarioTest, OptimizedTreeExecutes) {
+  SECO_ASSERT_OK_AND_ASSIGN(bench_util::ChainScenario scenario,
+                            MakeChainScenario(4));
+  OptimizerOptions options;
+  options.k = 10;
+  options.metric = CostMetricKind::kExecutionTime;
+  QuerySession session(scenario.registry, options);
+  SECO_ASSERT_OK_AND_ASSIGN(QueryOutcome outcome,
+                            session.Run(scenario.query_text, {}));
+  ASSERT_FALSE(outcome.execution.combinations.empty());
+  // Every combination satisfies the tree joins: A0.Next=A1.Key, A0.Next=
+  // A2.Key, A1.Next=A3.Key.
+  for (const Combination& combo : outcome.execution.combinations) {
+    EXPECT_EQ(combo.components[0].AtomicAt(1).AsInt(),
+              combo.components[1].AtomicAt(0).AsInt());
+    EXPECT_EQ(combo.components[0].AtomicAt(1).AsInt(),
+              combo.components[2].AtomicAt(0).AsInt());
+    EXPECT_EQ(combo.components[1].AtomicAt(1).AsInt(),
+              combo.components[3].AtomicAt(0).AsInt());
+  }
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "cost/metrics.h"
+#include "plan/annotate.h"
+#include "plan/builder.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeConferenceScenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).value();
+    Result<ParsedQuery> parsed = ParseQuery(scenario_.query_text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Result<BoundQuery> bound = BindQuery(*parsed, *scenario_.registry);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    query_ = std::move(bound).value();
+    // Atoms: 0=Conference, 1=Weather, 2=Flight, 3=Hotel.
+  }
+
+  Result<QueryPlan> MakeFig2Plan(int flight_fetch = 1, int hotel_fetch = 1) {
+    TopologySpec spec;
+    spec.stages = {{0}, {1}, {2, 3}};
+    spec.atom_settings[2].fetch_factor = flight_fetch;
+    spec.atom_settings[3].fetch_factor = hotel_fetch;
+    SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(query_, spec));
+    SECO_RETURN_IF_ERROR(AnnotatePlan(&plan).status());
+    return plan;
+  }
+
+  Scenario scenario_;
+  BoundQuery query_;
+};
+
+TEST_F(CostTest, CallCountSumsCalls) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan());
+  SECO_ASSERT_OK_AND_ASSIGN(double calls,
+                            PlanCost(plan, CostMetricKind::kCallCount));
+  double expected = 0.0;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kServiceCall) expected += n.est_calls;
+  }
+  EXPECT_DOUBLE_EQ(calls, expected);
+  EXPECT_GT(calls, 0.0);
+}
+
+TEST_F(CostTest, RequestResponseWeighsPerCallCharge) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan());
+  SECO_ASSERT_OK_AND_ASSIGN(double rr,
+                            PlanCost(plan, CostMetricKind::kRequestResponse));
+  // Weighted sum of calls by each service's per-call charge.
+  double expected = 0.0;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kServiceCall) {
+      expected += n.est_calls * n.iface->stats().cost_per_call;
+    }
+  }
+  EXPECT_DOUBLE_EQ(rr, expected);
+  // Weather is discounted (0.5/call): rr differs from the raw call count.
+  SECO_ASSERT_OK_AND_ASSIGN(double calls,
+                            PlanCost(plan, CostMetricKind::kCallCount));
+  EXPECT_NE(rr, calls);
+}
+
+TEST_F(CostTest, SumCostAddsJoinCpu) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan());
+  SECO_ASSERT_OK_AND_ASSIGN(double base,
+                            PlanCost(plan, CostMetricKind::kSumCost));
+  CostParams params;
+  params.join_cpu_cost_per_candidate = 0.01;
+  SECO_ASSERT_OK_AND_ASSIGN(
+      double with_cpu, PlanCost(plan, CostMetricKind::kSumCost, params));
+  EXPECT_GT(with_cpu, base);
+}
+
+TEST_F(CostTest, ExecutionTimeIsSlowestPath) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan());
+  SECO_ASSERT_OK_AND_ASSIGN(double time,
+                            PlanCost(plan, CostMetricKind::kExecutionTime));
+  // Slowest path includes Conference + Weather + max(Flight, Hotel).
+  double conference = 0, weather = 0, flight = 0, hotel = 0;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind != PlanNodeKind::kServiceCall) continue;
+    double elapsed = NodeElapsedMs(n);
+    if (n.iface->name() == "Conference1") conference = elapsed;
+    if (n.iface->name() == "Weather1") weather = elapsed;
+    if (n.iface->name() == "Flight1") flight = elapsed;
+    if (n.iface->name() == "Hotel1") hotel = elapsed;
+  }
+  EXPECT_NEAR(time, conference + weather + std::max(flight, hotel), 1e-6);
+  // Parallel branches overlap: exec time strictly below the full sum.
+  EXPECT_LT(time, conference + weather + flight + hotel);
+}
+
+TEST_F(CostTest, BottleneckIsSlowestService) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan());
+  SECO_ASSERT_OK_AND_ASSIGN(double bottleneck,
+                            PlanCost(plan, CostMetricKind::kBottleneck));
+  double worst = 0;
+  for (const PlanNode& n : plan.nodes()) {
+    worst = std::max(worst, NodeElapsedMs(n));
+  }
+  EXPECT_DOUBLE_EQ(bottleneck, worst);
+}
+
+TEST_F(CostTest, TimeToScreenCountsOneCallPerService) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan(/*flight_fetch=*/5,
+                                                         /*hotel_fetch=*/5));
+  SECO_ASSERT_OK_AND_ASSIGN(double tts,
+                            PlanCost(plan, CostMetricKind::kTimeToScreen));
+  SECO_ASSERT_OK_AND_ASSIGN(double exec_time,
+                            PlanCost(plan, CostMetricKind::kExecutionTime));
+  EXPECT_LT(tts, exec_time);  // first tuple is cheaper than the k-th
+  // Conference + Weather + max(Flight, Hotel) single-call latencies.
+  EXPECT_NEAR(tts, 120.0 + 60.0 + 200.0, 1e-6);
+}
+
+TEST_F(CostTest, MonotonicInFetchFactors) {
+  // Growing a fetching factor must never reduce any metric (§5.2).
+  for (CostMetricKind kind :
+       {CostMetricKind::kExecutionTime, CostMetricKind::kSumCost,
+        CostMetricKind::kRequestResponse, CostMetricKind::kCallCount,
+        CostMetricKind::kBottleneck, CostMetricKind::kTimeToScreen}) {
+    double prev = -1.0;
+    for (int f = 1; f <= 4; ++f) {
+      SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan(f, f));
+      SECO_ASSERT_OK_AND_ASSIGN(double cost, PlanCost(plan, kind));
+      EXPECT_GE(cost, prev - 1e-9)
+          << CostMetricKindToString(kind) << " not monotone at F=" << f;
+      prev = cost;
+    }
+  }
+}
+
+TEST_F(CostTest, MonotonicInPlanExtension) {
+  // The cost of a prefix sub-plan is a lower bound for the full plan.
+  std::vector<int> keep_atoms = {0, 1};  // Conference + Weather only
+  BoundQuery sub = query_;
+  // Build the restricted query via the public API: re-bind a smaller query.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      ParsedQuery parsed,
+      ParseQuery("select Conference1 as C, Weather1 as W where "
+                 "CheckWeather(C, W) and C.Area = INPUT1 and "
+                 "W.AvgTemp > INPUT2"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery small,
+                            BindQuery(parsed, *scenario_.registry));
+  TopologySpec small_spec;
+  small_spec.stages = {{0}, {1}};
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan small_plan, BuildPlan(small, small_spec));
+  SECO_ASSERT_OK(AnnotatePlan(&small_plan).status());
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan full_plan, MakeFig2Plan());
+  for (CostMetricKind kind :
+       {CostMetricKind::kExecutionTime, CostMetricKind::kSumCost,
+        CostMetricKind::kCallCount, CostMetricKind::kBottleneck}) {
+    SECO_ASSERT_OK_AND_ASSIGN(double small_cost, PlanCost(small_plan, kind));
+    SECO_ASSERT_OK_AND_ASSIGN(double full_cost, PlanCost(full_plan, kind));
+    EXPECT_LE(small_cost, full_cost + 1e-9) << CostMetricKindToString(kind);
+  }
+}
+
+TEST_F(CostTest, MetricNamesAndTimeBase) {
+  EXPECT_STREQ(CostMetricKindToString(CostMetricKind::kExecutionTime),
+               "execution-time");
+  EXPECT_STREQ(CostMetricKindToString(CostMetricKind::kCallCount),
+               "call-count");
+  EXPECT_TRUE(MetricIsTimeBased(CostMetricKind::kExecutionTime));
+  EXPECT_TRUE(MetricIsTimeBased(CostMetricKind::kBottleneck));
+  EXPECT_TRUE(MetricIsTimeBased(CostMetricKind::kTimeToScreen));
+  EXPECT_FALSE(MetricIsTimeBased(CostMetricKind::kSumCost));
+  EXPECT_FALSE(MetricIsTimeBased(CostMetricKind::kCallCount));
+}
+
+TEST_F(CostTest, WeatherIsSelectiveInContext) {
+  // §3.2: Weather is selective in the context of the query because of the
+  // temperature selection: the selection node shrinks the stream.
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakeFig2Plan());
+  double weather_out = -1, selection_out = -1;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kServiceCall && n.iface->name() == "Weather1") {
+      weather_out = n.t_out;
+    }
+    if (n.kind == PlanNodeKind::kSelection && !n.selections.empty()) {
+      selection_out = n.t_out;
+    }
+  }
+  ASSERT_GT(weather_out, 0);
+  ASSERT_GT(selection_out, 0);
+  EXPECT_LT(selection_out, weather_out);
+}
+
+}  // namespace
+}  // namespace seco

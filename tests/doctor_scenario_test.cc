@@ -1,0 +1,169 @@
+// Integration coverage of the third domain fixture — the ICDE'09 vision
+// question "who is the best doctor to cure insomnia in a nearby hospital?" —
+// exercising a parallel join of two keyed search services, a piped exact
+// lookup, a boolean selection, and both execution engines.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class DoctorScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeDoctorScenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).value();
+  }
+  Scenario scenario_;
+};
+
+TEST_F(DoctorScenarioTest, QueryParsesBindsAndIsFeasible) {
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario_.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario_.registry));
+  ASSERT_EQ(query.atoms.size(), 3u);
+  // The Covered = true literal binds as a boolean constant.
+  bool found_bool = false;
+  for (const BoundSelection& sel : query.selections) {
+    if (sel.input_var.empty() && sel.constant.type() == ValueType::kBool) {
+      EXPECT_TRUE(sel.constant.AsBool());
+      found_bool = true;
+    }
+  }
+  EXPECT_TRUE(found_bool);
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(query));
+  EXPECT_TRUE(report.feasible) << report.reason;
+  // Insurance depends on Hospital (its name is piped).
+  int insurance = query.AtomIndex("I");
+  EXPECT_EQ(report.atoms[insurance].depends_on,
+            (std::vector<int>{query.AtomIndex("H")}));
+}
+
+TEST_F(DoctorScenarioTest, EndToEndAnswersRespectAllPredicates) {
+  OptimizerOptions options;
+  options.k = 10;
+  options.metric = CostMetricKind::kExecutionTime;
+  options.topology_heuristic = TopologyHeuristic::kParallelIsBetter;
+  QuerySession session(scenario_.registry, options);
+  SECO_ASSERT_OK_AND_ASSIGN(QueryOutcome outcome,
+                            session.Run(scenario_.query_text, scenario_.inputs));
+  ASSERT_FALSE(outcome.execution.combinations.empty());
+  for (const Combination& combo : outcome.execution.combinations) {
+    const Tuple& doctor = combo.components[0];
+    const Tuple& hospital = combo.components[1];
+    const Tuple& insurance = combo.components[2];
+    EXPECT_EQ(doctor.AtomicAt(0).AsString(), "insomnia");
+    // WorksAt: the doctor's hospital is the joined hospital.
+    EXPECT_EQ(doctor.AtomicAt(2).AsString(), hospital.AtomicAt(1).AsString());
+    // CoveredBy + Covered=true: only insured hospitals survive.
+    EXPECT_EQ(insurance.AtomicAt(0).AsString(), hospital.AtomicAt(1).AsString());
+    EXPECT_TRUE(insurance.AtomicAt(2).AsBool());
+  }
+  // Ranked: 60% doctor rating + 40% hospital quality, non-increasing.
+  for (size_t i = 1; i < outcome.execution.combinations.size(); ++i) {
+    EXPECT_LE(outcome.execution.combinations[i].combined_score,
+              outcome.execution.combinations[i - 1].combined_score + 1e-12);
+  }
+}
+
+TEST_F(DoctorScenarioTest, ParallelJoinOfTwoKeyedSearchServices) {
+  // Doctor and Hospital both bind from user inputs: a genuine parallel join
+  // (WorksAt has no pipe direction), with Insurance piped afterwards.
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario_.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario_.registry));
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.atom_settings[0].fetch_factor = 4;
+  spec.atom_settings[1].fetch_factor = 3;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  ApplyAutoStrategies(&plan);
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  bool has_join = false;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kParallelJoin) {
+      has_join = true;
+      ASSERT_EQ(n.join_groups.size(), 1u);
+      EXPECT_EQ(plan.query().joins[n.join_groups[0]].pattern_name, "WorksAt");
+      // Doctor is linear, Hospital quadratic: both progressive -> merge-scan.
+      EXPECT_EQ(n.strategy.invocation, JoinInvocation::kMergeScan);
+    }
+  }
+  EXPECT_TRUE(has_join);
+  int insurance_node = plan.NodeOfAtom(2);
+  EXPECT_FALSE(plan.node(insurance_node).pipe_groups.empty());
+}
+
+TEST_F(DoctorScenarioTest, StreamingEngineAgreesWithMaterializing) {
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario_.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario_.registry));
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.parallel_strategy.completion = JoinCompletion::kRectangular;
+  spec.atom_settings[0].fetch_factor = 12;
+  spec.atom_settings[1].fetch_factor = 3;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+
+  ExecutionOptions mat_options;
+  mat_options.k = 1000000;
+  mat_options.truncate_to_k = false;
+  mat_options.input_bindings = scenario_.inputs;
+  mat_options.max_calls = 100000;
+  ExecutionEngine materializing(mat_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult mat, materializing.Execute(plan));
+
+  StreamingOptions stream_options;
+  stream_options.k = 1000000;
+  stream_options.input_bindings = scenario_.inputs;
+  stream_options.max_calls = 100000;
+  StreamingEngine streaming(stream_options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult stream, streaming.Execute(plan));
+  EXPECT_TRUE(stream.exhausted);
+
+  auto key_of = [](const Combination& c) {
+    return c.components[0].AtomicAt(1).AsString() + "|" +
+           c.components[1].AtomicAt(1).AsString();
+  };
+  std::multiset<std::string> mat_keys, stream_keys;
+  for (const Combination& c : mat.combinations) mat_keys.insert(key_of(c));
+  for (const Combination& c : stream.combinations) stream_keys.insert(key_of(c));
+  EXPECT_EQ(mat_keys, stream_keys);
+  EXPECT_FALSE(mat_keys.empty());
+}
+
+TEST_F(DoctorScenarioTest, InsuranceSelectiveInContext) {
+  // ~half the hospitals are covered: the Covered=true selection shrinks the
+  // stream, making the exact Insurance service selective in context (§3.2).
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario_.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario_.registry));
+  TopologySpec spec;
+  spec.stages = {{0}, {1}, {2}};
+  spec.atom_settings[0].fetch_factor = 6;  // enough doctors/hospitals for
+  spec.atom_settings[1].fetch_factor = 3;  // the 1/15 WorksAt join to hit
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  ExecutionOptions options;
+  options.k = 1000;
+  options.truncate_to_k = false;
+  options.input_bindings = scenario_.inputs;
+  options.max_calls = 100000;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(plan));
+  int insurance_node = plan.NodeOfAtom(query.AtomIndex("I"));
+  const NodeRuntimeStats& stats = result.node_stats[insurance_node];
+  // Downstream selection removed uncovered hospitals.
+  EXPECT_LT(result.total_combinations_produced, stats.tuples_out);
+  EXPECT_GT(result.total_combinations_produced, 0);
+}
+
+}  // namespace
+}  // namespace seco

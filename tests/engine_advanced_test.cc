@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "exec/engine.h"
+#include "exec/estimate_report.h"
+#include "join/chunk_source.h"
+#include "optimizer/optimizer.h"
+#include "plan/annotate.h"
+#include "plan/builder.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+// ---- Pipe joins fed from a repeating group -------------------------------
+
+class RepeatingGroupPipeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeMovieScenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).value();
+  }
+  Scenario scenario_;
+};
+
+TEST_F(RepeatingGroupPipeTest, TheatreTitlesDriveMovieLookups) {
+  // Theatre11's Movie.Title repeating group pipes into Movie12 (title
+  // lookup): the engine must issue one lookup per *candidate title* of each
+  // theatre tuple and verify the join on the composed rows.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      ParsedQuery parsed,
+      ParseQuery("select Theatre11 as T, Movie12 as M "
+                 "where T.UAddress = INPUT4 and T.UCity = INPUT5 and "
+                 "T.UCountry = INPUT2 and T.Movie.Title = M.Title"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario_.registry));
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildDefaultPlan(query));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  // Movie12 is the piped side.
+  int movie_node = plan.NodeOfAtom(query.AtomIndex("M"));
+  ASSERT_NE(movie_node, -1);
+  EXPECT_FALSE(plan.node(movie_node).pipe_groups.empty());
+
+  ExecutionOptions options;
+  options.k = 100;
+  options.truncate_to_k = false;
+  options.input_bindings = scenario_.inputs;
+  options.max_calls = 10000;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(plan));
+
+  // One theatre chunk (5 theatres) x 8 shown titles, all titles exist:
+  // every theatre contributes one combination per shown movie.
+  ASSERT_FALSE(result.combinations.empty());
+  for (const Combination& combo : result.combinations) {
+    const Tuple& theatre = combo.components[0];
+    const Tuple& movie = combo.components[1];
+    bool shown = false;
+    for (const Value& title : theatre.CandidateValuesAt(AttrPath{9, 0})) {
+      if (title.AsString() == movie.AtomicAt(0).AsString()) shown = true;
+    }
+    EXPECT_TRUE(shown);
+  }
+  // 5 theatres x 8 distinct titles each.
+  EXPECT_EQ(result.combinations.size(), 40u);
+}
+
+TEST_F(RepeatingGroupPipeTest, OptimizerPicksLookupInterfaceForMartQuery) {
+  // Mart-level query binding only Title: only Movie12 (title lookup) makes
+  // it feasible; Phase 1 must select it.
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                            ParseQuery("select Movie as M where M.Title = "
+                                       "'Movie7'"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario_.registry));
+  OptimizerOptions options;
+  options.k = 1;
+  Optimizer optimizer(options);
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult result, optimizer.Optimize(query));
+  int node = result.plan.NodeOfAtom(0);
+  ASSERT_NE(node, -1);
+  EXPECT_EQ(result.plan.node(node).iface->name(), "Movie12");
+}
+
+TEST_F(RepeatingGroupPipeTest, Phase1ExploresBothFeasibleInterfaces) {
+  // Both Movie interfaces are feasible when genre+country AND title are
+  // bound. The cheap lookup (Movie12) can only promise ~0.01 answers under
+  // the cautious residual-selectivity estimates, so the optimizer rightly
+  // keeps the search interface (Movie11), which reaches k — but Phase 1
+  // must have explored both assignments.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      ParsedQuery parsed,
+      ParseQuery("select Movie as M where M.Title = 'Movie7' and "
+                 "M.Genres.Genre = 'action' and M.Openings.Country = 'Italy'"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario_.registry));
+  OptimizerOptions options;
+  options.k = 1;
+  options.metric = CostMetricKind::kExecutionTime;
+  Optimizer optimizer(options);
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult result, optimizer.Optimize(query));
+  EXPECT_GE(result.topologies_tried, 2);  // one per interface assignment
+  int node = result.plan.NodeOfAtom(0);
+  EXPECT_EQ(result.plan.node(node).iface->name(), "Movie11");
+  EXPECT_GE(result.estimated_answers, 1.0);
+}
+
+// ---- Opaque score synthesis ----------------------------------------------
+
+TEST(OpaqueScoreTest, ChunkSourceSynthesizesFromPosition) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc,
+      MakeKeyedSearchService("Opaque", 25, 10, 100, ScoreDecay::kOpaque));
+  svc.backend->set_hide_scores(true);
+
+  ChunkSource source(svc.interface, {});
+  SECO_ASSERT_OK_AND_ASSIGN(bool got1, source.FetchNext());
+  ASSERT_TRUE(got1);
+  SECO_ASSERT_OK_AND_ASSIGN(bool got2, source.FetchNext());
+  ASSERT_TRUE(got2);
+  EXPECT_TRUE(source.scores_synthesized());
+  // Synthesized scores are in (0,1], strictly decreasing across the whole
+  // stream, and continuous across the chunk boundary.
+  double prev = 1.1;
+  for (int c = 0; c < source.num_chunks(); ++c) {
+    const Chunk& chunk = source.chunk(c);
+    ASSERT_EQ(chunk.scores.size(), chunk.tuples.size());
+    for (double s : chunk.scores) {
+      EXPECT_GT(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_LT(s, prev);
+      prev = s;
+    }
+  }
+}
+
+TEST(OpaqueScoreTest, RankedServiceWithScoresNotTouched) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("Scored", 25, 10, 100));
+  ChunkSource source(svc.interface, {});
+  SECO_ASSERT_OK(source.FetchNext().status());
+  EXPECT_FALSE(source.scores_synthesized());
+}
+
+// ---- Estimate-vs-actual reporting ----------------------------------------
+
+TEST(EstimateReportTest, ReportsPerNodeDeltas) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario.registry));
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = scenario.inputs;
+  options.max_calls = 100000;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(plan));
+
+  EstimateReport report = CompareEstimates(plan, result);
+  EXPECT_FALSE(report.nodes.empty());
+  EXPECT_GE(report.max_cardinality_qerror, 1.0);
+  // The independence-assumption estimates should be within one order of
+  // magnitude on this well-calibrated fixture.
+  EXPECT_LT(report.max_cardinality_qerror, 10.0);
+  EXPECT_LT(report.max_call_qerror, 10.0);
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("Movie11"), std::string::npos);
+  EXPECT_NE(text.find("max q-error"), std::string::npos);
+}
+
+TEST(EstimateReportTest, QErrorSemantics) {
+  NodeEstimateDelta d;
+  d.est_t_out = 10;
+  d.actual_t_out = 5;
+  EXPECT_DOUBLE_EQ(d.CardinalityQError(), 2.0);
+  d.actual_t_out = 20;
+  EXPECT_DOUBLE_EQ(d.CardinalityQError(), 2.0);
+  d.actual_t_out = 0;
+  EXPECT_TRUE(std::isinf(d.CardinalityQError()));
+  d.est_t_out = 0;
+  EXPECT_DOUBLE_EQ(d.CardinalityQError(), 1.0);
+}
+
+// ---- Exact chunked services ----------------------------------------------
+
+TEST(ExactChunkedTest, EngineFetchesConfiguredChunks) {
+  SimServiceBuilder builder("Paged");
+  builder
+      .Schema({AttributeDef::Atomic("Id", ValueType::kInt),
+               AttributeDef::Atomic("Payload", ValueType::kString)})
+      .Pattern({{"Id", Adornment::kOutput}, {"Payload", Adornment::kOutput}})
+      .Kind(ServiceKind::kExact);
+  ServiceStats stats;
+  stats.chunked = true;
+  stats.chunk_size = 4;
+  stats.avg_tuples_per_call = 4;
+  builder.Stats(stats);
+  for (int i = 0; i < 20; ++i) {
+    builder.AddRow(Tuple({Value(i), Value("p" + std::to_string(i))}));
+  }
+  auto registry = std::make_shared<ServiceRegistry>();
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, builder.Build());
+  SECO_ASSERT_OK(registry->RegisterInterface(svc.interface));
+
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                            ParseQuery("select Paged as P where P.Id >= 0"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query, BindQuery(parsed, *registry));
+  TopologySpec spec;
+  spec.stages = {{0}};
+  spec.atom_settings[0].fetch_factor = 3;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  ExecutionOptions options;
+  options.k = 100;
+  options.truncate_to_k = false;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(plan));
+  // 3 fetches x 4 rows = 12 tuples, unranked (score 0).
+  EXPECT_EQ(result.combinations.size(), 12u);
+  EXPECT_EQ(result.total_calls, 3);
+  for (const Combination& combo : result.combinations) {
+    EXPECT_DOUBLE_EQ(combo.combined_score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace seco

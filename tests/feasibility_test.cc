@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "query/feasibility.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class FeasibilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeMovieScenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).value();
+  }
+
+  Result<BoundQuery> Bind(const std::string& text) {
+    SECO_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+    return BindQuery(parsed, *scenario_.registry);
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(FeasibilityTest, RunningExampleIsFeasible) {
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q, Bind(scenario_.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_TRUE(report.feasible) << report.reason;
+  EXPECT_EQ(report.reachable_order.size(), 3u);
+  // Restaurant (atom 2) depends on Theatre (atom 1) through DinnerPlace.
+  EXPECT_EQ(report.atoms[2].depends_on, (std::vector<int>{1}));
+  EXPECT_TRUE(report.atoms[0].depends_on.empty());
+  EXPECT_TRUE(report.atoms[1].depends_on.empty());
+}
+
+TEST_F(FeasibilityTest, UnboundInputMakesInfeasible) {
+  // Theatre's user-position inputs are not bound.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q, Bind("select Theatre11 as T where T.TCity = 'Milano'"));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.reason.find("T"), std::string::npos);
+  EXPECT_NE(report.reason.find("unbound input"), std::string::npos);
+}
+
+TEST_F(FeasibilityTest, InequalityDoesNotBindInput) {
+  // Movie needs Genres.Genre and Openings.Country by equality; 'like' and
+  // '>' must not count as bindings.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      Bind("select Movie11 as M where M.Genres.Genre like 'act%' and "
+           "M.Openings.Country > 'A'"));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST_F(FeasibilityTest, ConstantBindingSuffices) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      Bind("select Movie11 as M where M.Genres.Genre = 'action' and "
+           "M.Openings.Country = 'Italy'"));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_TRUE(report.feasible) << report.reason;
+  ASSERT_EQ(report.atoms[0].inputs.size(), 2u);
+  EXPECT_EQ(report.atoms[0].inputs[0].source, BindingSource::kConstant);
+}
+
+TEST_F(FeasibilityTest, InputVariableBinding) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      Bind("select Movie11 as M where M.Genres.Genre = INPUT1 and "
+           "M.Openings.Country = INPUT2"));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_EQ(report.atoms[0].inputs[0].source, BindingSource::kInput);
+}
+
+TEST_F(FeasibilityTest, JoinBindingRequiresProviderOutput) {
+  // Restaurant's inputs can be joined from Theatre's outputs; report must
+  // say so with provider info.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      Bind("select Theatre11 as T, Restaurant11 as R where DinnerPlace(T, R) "
+           "and T.UAddress = INPUT4 and T.UCity = INPUT5 and T.UCountry = "
+           "INPUT2 and R.Category.Name = INPUT6"));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_TRUE(report.feasible) << report.reason;
+  const AtomFeasibility& restaurant = report.atoms[1];
+  int join_bound = 0;
+  for (const InputBinding& binding : restaurant.inputs) {
+    if (binding.source == BindingSource::kJoin) {
+      ++join_bound;
+      EXPECT_EQ(binding.provider_atom, 0);
+    }
+  }
+  EXPECT_EQ(join_bound, 3);  // UAddress, UCity, UCountry piped from Theatre
+}
+
+TEST_F(FeasibilityTest, CyclicDependencyInfeasible) {
+  // Two keyed services, each needing the other's output: no start point.
+  ServiceRegistry reg;
+  using testing_util::MakeKeyedSearchService;
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService a, MakeKeyedSearchService("A", 10, 5, 4, ScoreDecay::kLinear,
+                                             /*key_is_input=*/true));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService b, MakeKeyedSearchService("B", 10, 5, 4, ScoreDecay::kLinear,
+                                             /*key_is_input=*/true));
+  SECO_ASSERT_OK(reg.RegisterInterface(a.interface));
+  SECO_ASSERT_OK(reg.RegisterInterface(b.interface));
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                            ParseQuery("select A as X, B as Y where X.Key = Y.Key"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q, BindQuery(parsed, reg));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  // Key is an *input* on both sides: neither can provide it as output.
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST_F(FeasibilityTest, MartLevelAtomRejected) {
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            Bind("select Movie as M where M.Title = 'x'"));
+  Result<FeasibilityReport> report = CheckFeasibility(q);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FeasibilityTest, ReachableOrderRespectsDependencies) {
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q, Bind(scenario_.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  // Theatre (1) must appear before Restaurant (2).
+  auto pos = [&](int atom) {
+    for (size_t i = 0; i < report.reachable_order.size(); ++i) {
+      if (report.reachable_order[i] == atom) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST_F(FeasibilityTest, NoInputServiceAlwaysReachable) {
+  ServiceRegistry reg;
+  using testing_util::MakeKeyedSearchService;
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService a, MakeKeyedSearchService("A", 10, 5, 4));
+  SECO_ASSERT_OK(reg.RegisterInterface(a.interface));
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                            ParseQuery("select A as X where X.Val = 'v'"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q, BindQuery(parsed, reg));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.atoms[0].inputs.empty());
+}
+
+}  // namespace
+}  // namespace seco

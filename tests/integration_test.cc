@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+TEST(IntegrationTest, MovieScenarioEndToEnd) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  OptimizerOptions options;
+  options.k = 10;
+  options.metric = CostMetricKind::kCallCount;
+  QuerySession session(scenario.registry, options);
+  SECO_ASSERT_OK_AND_ASSIGN(QueryOutcome outcome,
+                            session.Run(scenario.query_text, scenario.inputs));
+  EXPECT_EQ(outcome.bound.atoms.size(), 3u);
+  EXPECT_FALSE(outcome.execution.combinations.empty());
+  EXPECT_LE(outcome.execution.combinations.size(), 10u);
+  // Every combination satisfies the join conditions end to end.
+  for (const Combination& combo : outcome.execution.combinations) {
+    const Tuple& movie = combo.components[0];
+    const Tuple& theatre = combo.components[1];
+    const Tuple& restaurant = combo.components[2];
+    // Shows: M.Title appears among T.Movie.Title instances.
+    bool shows = false;
+    for (const Value& title : theatre.CandidateValuesAt(AttrPath{9, 0})) {
+      if (title.AsString() == movie.AtomicAt(0).AsString()) shows = true;
+    }
+    EXPECT_TRUE(shows);
+    // DinnerPlace: restaurant reached through the theatre's address.
+    EXPECT_EQ(restaurant.AtomicAt(1).AsString(),
+              theatre.AtomicAt(4).AsString());
+  }
+  // Results arrive ranked.
+  for (size_t i = 1; i < outcome.execution.combinations.size(); ++i) {
+    EXPECT_LE(outcome.execution.combinations[i].combined_score,
+              outcome.execution.combinations[i - 1].combined_score + 1e-12);
+  }
+}
+
+TEST(IntegrationTest, ConferenceScenarioEndToEnd) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  OptimizerOptions options;
+  options.k = 10;
+  options.metric = CostMetricKind::kExecutionTime;
+  QuerySession session(scenario.registry, options);
+  SECO_ASSERT_OK_AND_ASSIGN(QueryOutcome outcome,
+                            session.Run(scenario.query_text, scenario.inputs));
+  EXPECT_FALSE(outcome.execution.combinations.empty());
+  for (const Combination& combo : outcome.execution.combinations) {
+    const Tuple& conf = combo.components[0];
+    const Tuple& weather = combo.components[1];
+    const Tuple& flight = combo.components[2];
+    const Tuple& hotel = combo.components[3];
+    // Weather joined on (city, date) and above the 26C threshold.
+    EXPECT_EQ(weather.AtomicAt(0).AsString(), conf.AtomicAt(2).AsString());
+    EXPECT_GT(weather.AtomicAt(2).AsDouble(), 26.0);
+    // Flight and hotel serve the conference city.
+    EXPECT_EQ(flight.AtomicAt(0).AsString(), conf.AtomicAt(2).AsString());
+    EXPECT_EQ(hotel.AtomicAt(0).AsString(), conf.AtomicAt(2).AsString());
+  }
+}
+
+TEST(IntegrationTest, PrepareExposesFeasibility) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  QuerySession session(scenario.registry);
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q, session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(FeasibilityReport report, CheckFeasibility(q));
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario s1, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario s2, MakeMovieScenario());
+  OptimizerOptions options;
+  options.k = 5;
+  QuerySession a(s1.registry, options);
+  QuerySession b(s2.registry, options);
+  SECO_ASSERT_OK_AND_ASSIGN(QueryOutcome oa, a.Run(s1.query_text, s1.inputs));
+  SECO_ASSERT_OK_AND_ASSIGN(QueryOutcome ob, b.Run(s2.query_text, s2.inputs));
+  ASSERT_EQ(oa.execution.combinations.size(), ob.execution.combinations.size());
+  for (size_t i = 0; i < oa.execution.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(oa.execution.combinations[i].combined_score,
+                     ob.execution.combinations[i].combined_score);
+  }
+  EXPECT_EQ(oa.execution.total_calls, ob.execution.total_calls);
+  EXPECT_DOUBLE_EQ(oa.optimization.cost, ob.optimization.cost);
+}
+
+TEST(IntegrationTest, WsmsThreeBranchPlanExecutes) {
+  // The WSMS baseline produces a 3-branch parallel join for the conference
+  // query (Weather || Flight || Hotel); the engine must combine all three
+  // branches per conference tuple.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  QuerySession session(scenario.registry);
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q, session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult wsms, WsmsOptimize(q, 10));
+  int three_branch_joins = 0;
+  for (const PlanNode& n : wsms.plan.nodes()) {
+    if (n.kind == PlanNodeKind::kParallelJoin && n.inputs.size() == 3) {
+      ++three_branch_joins;
+    }
+  }
+  ASSERT_EQ(three_branch_joins, 1);
+  ExecutionOptions options;
+  options.k = 50;
+  options.truncate_to_k = false;
+  options.input_bindings = scenario.inputs;
+  options.max_calls = 100000;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(wsms.plan));
+  ASSERT_FALSE(result.combinations.empty());
+  for (const Combination& combo : result.combinations) {
+    const Tuple& conf = combo.components[0];
+    EXPECT_EQ(combo.components[1].AtomicAt(0).AsString(),
+              conf.AtomicAt(2).AsString());  // weather city
+    EXPECT_EQ(combo.components[2].AtomicAt(0).AsString(),
+              conf.AtomicAt(2).AsString());  // flight city
+    EXPECT_EQ(combo.components[3].AtomicAt(0).AsString(),
+              conf.AtomicAt(2).AsString());  // hotel city
+    EXPECT_GT(combo.components[1].AtomicAt(2).AsDouble(), 26.0);
+  }
+}
+
+TEST(IntegrationTest, BadQueryTextSurfacesParseError) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  QuerySession session(scenario.registry);
+  Result<QueryOutcome> outcome = session.Run("select", {});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kParseError);
+}
+
+TEST(IntegrationTest, EstimatesTrackActualsWithinFactor) {
+  // The optimizer's call estimate and the engine's actual calls should be
+  // within an order of magnitude (the call cache makes actuals cheaper).
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  OptimizerOptions options;
+  options.k = 10;
+  options.metric = CostMetricKind::kCallCount;
+  QuerySession session(scenario.registry, options);
+  SECO_ASSERT_OK_AND_ASSIGN(QueryOutcome outcome,
+                            session.Run(scenario.query_text, scenario.inputs));
+  double estimated = outcome.optimization.cost;  // call count metric
+  double actual = outcome.execution.total_calls;
+  EXPECT_GT(actual, 0);
+  EXPECT_LT(actual, estimated * 10 + 10);
+  EXPECT_GT(actual * 10 + 10, estimated);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "join/parallel_join.h"
+#include "join/pipe_join.h"
+#include "join/strategy_select.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+JoinPredicate KeyEquals() {
+  return [](const Tuple& x, const Tuple& y) -> Result<bool> {
+    return x.AtomicAt(0).AsInt() == y.AtomicAt(0).AsInt();
+  };
+}
+
+struct StrategyCase {
+  JoinInvocation invocation;
+  JoinCompletion completion;
+};
+
+class ParallelJoinStrategyTest : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(ParallelJoinStrategyTest, ProducesKResultsAndValidTrace) {
+  SyntheticPairParams params;
+  params.rows_x = 120;
+  params.rows_y = 120;
+  params.chunk_x = 10;
+  params.chunk_y = 10;
+  params.key_domain = 8;  // selectivity 1/8: plenty of matches
+  params.decay_x = GetParam().invocation == JoinInvocation::kNestedLoop
+                       ? ScoreDecay::kStep
+                       : ScoreDecay::kLinear;
+  params.step_h_x = 2;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+
+  ChunkSource x(pair.x.interface, {});
+  ChunkSource y(pair.y.interface, {});
+  ParallelJoinConfig config;
+  config.strategy.invocation = GetParam().invocation;
+  config.strategy.completion = GetParam().completion;
+  config.k = 15;
+  config.max_calls = 100;
+  ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution exec, executor.Run());
+
+  EXPECT_GE(exec.results.size(), 15u);
+  EXPECT_GT(exec.calls_x, 0);
+  EXPECT_GT(exec.calls_y, 0);
+  EXPECT_LE(exec.calls_x + exec.calls_y, 100);
+  // Every result really joins.
+  for (const JoinResultTuple& r : exec.results) {
+    EXPECT_EQ(r.x.AtomicAt(0).AsInt(), r.y.AtomicAt(0).AsInt());
+  }
+  // Tiles are never processed twice and only after both chunks fetched.
+  int seen_x = 0, seen_y = 0;
+  std::vector<Tile> processed;
+  for (const JoinEvent& event : exec.events) {
+    switch (event.kind) {
+      case JoinEventKind::kFetchX:
+        ++seen_x;
+        break;
+      case JoinEventKind::kFetchY:
+        ++seen_y;
+        break;
+      case JoinEventKind::kProcessTile:
+        EXPECT_LT(event.tile.x, seen_x);
+        EXPECT_LT(event.tile.y, seen_y);
+        for (const Tile& prev : processed) {
+          EXPECT_FALSE(prev == event.tile);
+        }
+        processed.push_back(event.tile);
+        break;
+    }
+  }
+  // Parallel latency never exceeds sequential.
+  EXPECT_LE(exec.latency_parallel_ms, exec.latency_sequential_ms + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ParallelJoinStrategyTest,
+    ::testing::Values(
+        StrategyCase{JoinInvocation::kNestedLoop, JoinCompletion::kRectangular},
+        StrategyCase{JoinInvocation::kNestedLoop, JoinCompletion::kTriangular},
+        StrategyCase{JoinInvocation::kMergeScan, JoinCompletion::kRectangular},
+        StrategyCase{JoinInvocation::kMergeScan, JoinCompletion::kTriangular}));
+
+TEST(ParallelJoinTest, MergeScanAlternatesPerRatio) {
+  SyntheticPairParams params;
+  params.key_domain = 1;  // everything joins; calls driven by k
+  params.rows_x = 100;
+  params.rows_y = 100;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+  ChunkSource x(pair.x.interface, {});
+  ChunkSource y(pair.y.interface, {});
+  ParallelJoinConfig config;
+  config.strategy.invocation = JoinInvocation::kMergeScan;
+  config.strategy.completion = JoinCompletion::kRectangular;
+  config.strategy.ratio_x = 2;
+  config.strategy.ratio_y = 1;
+  config.k = 1000000;  // force exploration until budget
+  config.max_calls = 12;  // below exhaustion (10 chunks per side)
+  ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution exec, executor.Run());
+  // Calls should approximate the 2:1 ratio.
+  EXPECT_NEAR(static_cast<double>(exec.calls_x) / exec.calls_y, 2.0, 0.7);
+}
+
+TEST(ParallelJoinTest, NestedLoopDrainsStepServiceFirst) {
+  SyntheticPairParams params;
+  params.decay_x = ScoreDecay::kStep;
+  params.step_h_x = 3;
+  params.key_domain = 1000;  // rare matches: fetch order is observable
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+  ChunkSource x(pair.x.interface, {});
+  ChunkSource y(pair.y.interface, {});
+  ParallelJoinConfig config;
+  config.strategy.invocation = JoinInvocation::kNestedLoop;
+  config.strategy.completion = JoinCompletion::kRectangular;
+  config.k = 50;
+  config.max_calls = 12;
+  ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution exec, executor.Run());
+  // After the first alternated X/Y calls, X is drained up to h=3 chunks
+  // before further Y fetches.
+  std::vector<JoinEventKind> fetches;
+  for (const JoinEvent& e : exec.events) {
+    if (e.kind != JoinEventKind::kProcessTile) fetches.push_back(e.kind);
+  }
+  ASSERT_GE(fetches.size(), 4u);
+  EXPECT_EQ(fetches[0], JoinEventKind::kFetchX);
+  EXPECT_EQ(fetches[1], JoinEventKind::kFetchY);
+  EXPECT_EQ(fetches[2], JoinEventKind::kFetchX);  // draining the step
+  EXPECT_EQ(fetches[3], JoinEventKind::kFetchX);
+  EXPECT_EQ(exec.calls_x, 3);  // h chunks and no more
+}
+
+TEST(ParallelJoinTest, TriangularDefersBeyondDiagonal) {
+  SyntheticPairParams params;
+  params.key_domain = 1000;  // no matches: exploration driven by structure
+  params.rows_x = 60;
+  params.rows_y = 60;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+
+  auto run = [&](JoinCompletion completion, int max_calls) {
+    ChunkSource x(pair.x.interface, {});
+    ChunkSource y(pair.y.interface, {});
+    ParallelJoinConfig config;
+    config.strategy.invocation = JoinInvocation::kMergeScan;
+    config.strategy.completion = completion;
+    config.k = 5;
+    config.max_calls = max_calls;
+    ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+    return executor.Run();
+  };
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution rect,
+                            run(JoinCompletion::kRectangular, 8));
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution tri,
+                            run(JoinCompletion::kTriangular, 8));
+  // With no matches both exhaust their call budget, but triangular keeps
+  // processing tiles (slack growth) so it never processes FEWER than the
+  // admitted half... it must process at most the rectangular count.
+  EXPECT_LE(tri.tile_order.size(), rect.tile_order.size());
+  EXPECT_GT(rect.tile_order.size(), 0u);
+}
+
+TEST(ParallelJoinTest, LocalExtractionOptimalityOfProcessedOrder) {
+  // §4.4: both completions are locally extraction-optimal — replay the
+  // event trace and check each processed tile had the best product score
+  // among available unexplored tiles at that moment.
+  SyntheticPairParams params;
+  params.rows_x = 80;
+  params.rows_y = 80;
+  params.key_domain = 4;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+  ChunkSource x(pair.x.interface, {});
+  ChunkSource y(pair.y.interface, {});
+  ParallelJoinConfig config;
+  config.strategy.invocation = JoinInvocation::kMergeScan;
+  config.strategy.completion = JoinCompletion::kRectangular;
+  config.k = 40;
+  config.max_calls = 20;
+  ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution exec, executor.Run());
+
+  SearchSpace replay;
+  std::vector<Tile> explored;
+  for (const JoinEvent& event : exec.events) {
+    if (event.kind == JoinEventKind::kFetchX) {
+      replay.AddChunkX(exec.space.scores_x()[event.chunk]);
+    } else if (event.kind == JoinEventKind::kFetchY) {
+      replay.AddChunkY(exec.space.scores_y()[event.chunk]);
+    } else {
+      double best = -1.0;
+      for (const Tile& t : replay.Frontier()) {
+        best = std::max(best, replay.TileScore(t));
+      }
+      EXPECT_GE(replay.TileScore(event.tile), best - 1e-9)
+          << "tile " << event.tile.ToString() << " processed before better one";
+      replay.MarkExplored(event.tile);
+      explored.push_back(event.tile);
+    }
+  }
+}
+
+TEST(ParallelJoinTest, ExhaustsWhenNoMoreData) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService sx,
+                            MakeKeyedSearchService("SX", 10, 5, 2));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService sy,
+                            MakeKeyedSearchService("SY", 10, 5, 2));
+  ChunkSource x(sx.interface, {});
+  ChunkSource y(sy.interface, {});
+  ParallelJoinConfig config;
+  config.k = 1000000;
+  config.max_calls = 100;
+  ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution exec, executor.Run());
+  EXPECT_TRUE(exec.exhausted_x);
+  EXPECT_TRUE(exec.exhausted_y);
+  // 10 rows, chunk 5 -> 2 chunks each; all 4 tiles processed.
+  EXPECT_EQ(exec.tile_order.size(), 4u);
+  // Full cross check: 50 matching pairs per construction (keys cycle 0,1).
+  EXPECT_EQ(exec.results.size(), 50u);
+}
+
+TEST(ParallelJoinTest, ScoresCombineWithWeights) {
+  SyntheticPairParams params;
+  params.key_domain = 1;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+  ChunkSource x(pair.x.interface, {});
+  ChunkSource y(pair.y.interface, {});
+  ParallelJoinConfig config;
+  config.k = 5;
+  config.weight_x = 0.25;
+  config.weight_y = 0.75;
+  ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution exec, executor.Run());
+  for (const JoinResultTuple& r : exec.results) {
+    EXPECT_NEAR(r.combined, 0.25 * r.score_x + 0.75 * r.score_y, 1e-12);
+  }
+}
+
+TEST(PipeJoinTest, FetchesInnerPerOuterTuple) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService outer,
+                            MakeKeyedSearchService("O", 20, 5, 4));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService inner,
+      MakeKeyedSearchService("I", 40, 5, 4, ScoreDecay::kLinear,
+                             /*key_is_input=*/true));
+  ChunkSource outer_source(outer.interface, {});
+  PipeJoinConfig config;
+  config.k = 8;
+  config.fetches_per_input = 1;
+  SECO_ASSERT_OK_AND_ASSIGN(
+      JoinExecution exec,
+      RunPipeJoin(&outer_source, inner.interface,
+                  [](const Tuple& t) {
+                    return std::vector<Value>{t.AtomicAt(0)};
+                  },
+                  KeyEquals(), config));
+  EXPECT_GE(exec.results.size(), 8u);
+  for (const JoinResultTuple& r : exec.results) {
+    EXPECT_EQ(r.x.AtomicAt(0).AsInt(), r.y.AtomicAt(0).AsInt());
+  }
+  // Pipe joins are sequential: parallel latency equals sequential.
+  EXPECT_DOUBLE_EQ(exec.latency_parallel_ms, exec.latency_sequential_ms);
+}
+
+TEST(PipeJoinTest, KeepPerInputLimitsResults) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService outer,
+                            MakeKeyedSearchService("O", 5, 5, 1));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService inner,
+      MakeKeyedSearchService("I", 50, 10, 1, ScoreDecay::kLinear,
+                             /*key_is_input=*/true));
+  ChunkSource outer_source(outer.interface, {});
+  PipeJoinConfig config;
+  config.k = 100;
+  config.max_calls = 50;
+  config.keep_per_input = 1;
+  SECO_ASSERT_OK_AND_ASSIGN(
+      JoinExecution exec,
+      RunPipeJoin(&outer_source, inner.interface,
+                  [](const Tuple& t) {
+                    return std::vector<Value>{t.AtomicAt(0)};
+                  },
+                  nullptr, config));
+  // Exactly one inner result kept per outer tuple.
+  EXPECT_EQ(exec.results.size(), 5u);
+}
+
+TEST(PipeJoinTest, RespectsCallBudget) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService outer,
+                            MakeKeyedSearchService("O", 100, 5, 2));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService inner,
+      MakeKeyedSearchService("I", 100, 5, 2, ScoreDecay::kLinear, true));
+  ChunkSource outer_source(outer.interface, {});
+  PipeJoinConfig config;
+  config.k = 1000000;
+  config.max_calls = 10;
+  SECO_ASSERT_OK_AND_ASSIGN(
+      JoinExecution exec,
+      RunPipeJoin(&outer_source, inner.interface,
+                  [](const Tuple& t) {
+                    return std::vector<Value>{t.AtomicAt(0)};
+                  },
+                  KeyEquals(), config));
+  EXPECT_LE(exec.calls_x + exec.calls_y, 10);
+}
+
+TEST(StrategySelectTest, StepServiceTriggersNestedLoop) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService step,
+      MakeKeyedSearchService("S", 10, 5, 2, ScoreDecay::kStep));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService lin,
+                            MakeKeyedSearchService("L", 10, 5, 2));
+  JoinStrategy s = ChooseStrategy(*step.interface, *lin.interface);
+  EXPECT_EQ(s.invocation, JoinInvocation::kNestedLoop);
+  EXPECT_EQ(s.completion, JoinCompletion::kRectangular);
+}
+
+TEST(StrategySelectTest, ProgressiveServicesUseMergeScan) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService fast,
+      MakeKeyedSearchService("F", 10, 5, 2, ScoreDecay::kLinear, false, 1,
+                             /*latency_ms=*/50));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService slow,
+      MakeKeyedSearchService("W", 10, 5, 2, ScoreDecay::kQuadratic, false, 1,
+                             /*latency_ms=*/150));
+  JoinStrategy s = ChooseStrategy(*fast.interface, *slow.interface);
+  EXPECT_EQ(s.invocation, JoinInvocation::kMergeScan);
+  EXPECT_EQ(s.completion, JoinCompletion::kTriangular);
+  // Fast service (x) should be called ~3x more than slow (y).
+  EXPECT_GT(static_cast<double>(s.ratio_x) / s.ratio_y, 1.5);
+}
+
+TEST(StrategySelectTest, ReduceRatioFindsSmallIntegers) {
+  int a = 0, b = 0;
+  ReduceRatio(3.0, 5.0, 5, &a, &b);
+  EXPECT_EQ(a, 3);
+  EXPECT_EQ(b, 5);
+  ReduceRatio(100.0, 100.0, 5, &a, &b);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  ReduceRatio(0.0, 5.0, 5, &a, &b);  // degenerate -> 1:1
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,154 @@
+// Metric-specific optimizer behaviour and golden regressions: the optimizer
+// must react to the chosen metric, and the §5.6 numbers must stay pinned.
+
+#include <gtest/gtest.h>
+
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class OptimizerMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeDoctorScenario();
+    ASSERT_TRUE(scenario.ok());
+    doctor_ = std::move(scenario).value();
+    Result<Scenario> movie = MakeMovieScenario();
+    ASSERT_TRUE(movie.ok());
+    movie_ = std::move(movie).value();
+  }
+
+  Result<OptimizationResult> OptimizeWith(const Scenario& scenario,
+                                          CostMetricKind metric, int k = 10) {
+    SECO_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(scenario.query_text));
+    SECO_ASSIGN_OR_RETURN(BoundQuery query,
+                          BindQuery(parsed, *scenario.registry));
+    OptimizerOptions options;
+    options.k = k;
+    options.metric = metric;
+    Optimizer optimizer(options);
+    return optimizer.Optimize(query);
+  }
+
+  Scenario doctor_;
+  Scenario movie_;
+};
+
+TEST_F(OptimizerMetricsTest, EveryMetricProducesAValidPlan) {
+  for (CostMetricKind metric :
+       {CostMetricKind::kExecutionTime, CostMetricKind::kSumCost,
+        CostMetricKind::kRequestResponse, CostMetricKind::kCallCount,
+        CostMetricKind::kBottleneck, CostMetricKind::kTimeToScreen}) {
+    SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult result,
+                              OptimizeWith(doctor_, metric));
+    SECO_ASSERT_OK(result.plan.Validate());
+    EXPECT_GT(result.cost, 0.0) << CostMetricKindToString(metric);
+    // The reported cost must equal re-pricing the returned plan.
+    SECO_ASSERT_OK_AND_ASSIGN(double repriced, PlanCost(result.plan, metric));
+    EXPECT_DOUBLE_EQ(result.cost, repriced) << CostMetricKindToString(metric);
+  }
+}
+
+TEST_F(OptimizerMetricsTest, TimeToScreenNeverWorseThanExecutionTimePlan) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      OptimizationResult tts_opt,
+      OptimizeWith(doctor_, CostMetricKind::kTimeToScreen));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      OptimizationResult exec_opt,
+      OptimizeWith(doctor_, CostMetricKind::kExecutionTime));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      double tts_of_tts, PlanCost(tts_opt.plan, CostMetricKind::kTimeToScreen));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      double tts_of_exec,
+      PlanCost(exec_opt.plan, CostMetricKind::kTimeToScreen));
+  EXPECT_LE(tts_of_tts, tts_of_exec + 1e-9);
+}
+
+TEST_F(OptimizerMetricsTest, CallCountOptimizerNeverWorseOnCalls) {
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult calls_opt,
+                            OptimizeWith(movie_, CostMetricKind::kCallCount));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      OptimizationResult time_opt,
+      OptimizeWith(movie_, CostMetricKind::kExecutionTime));
+  SECO_ASSERT_OK_AND_ASSIGN(double calls_of_calls,
+                            PlanCost(calls_opt.plan, CostMetricKind::kCallCount));
+  SECO_ASSERT_OK_AND_ASSIGN(double calls_of_time,
+                            PlanCost(time_opt.plan, CostMetricKind::kCallCount));
+  EXPECT_LE(calls_of_calls, calls_of_time + 1e-9);
+}
+
+TEST_F(OptimizerMetricsTest, GoldenFig10AnnotationsInJson) {
+  // Golden regression of the §5.6 arithmetic through the JSON exporter.
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(movie_.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *movie_.registry));
+  for (BoundSelection& sel : query.selections) {
+    if (sel.op == Comparator::kGt) sel.selectivity = 1.0;
+  }
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.parallel_strategy.completion = JoinCompletion::kTriangular;
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  spec.atom_settings[2].keep_per_input = 1;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  AnnotationParams params;
+  params.k = 10;
+  SECO_ASSERT_OK(AnnotatePlan(&plan, params).status());
+  std::string json = PlanToJson(plan);
+  // The six §5.6 quantities, pinned.
+  EXPECT_NE(json.find("\"service\":\"Movie11\",\"service_kind\":\"search\","
+                      "\"chunked\":true,\"fetch_factor\":5,\"est_calls\":5,"
+                      "\"t_in\":1,\"t_out\":100"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"t_in\":1250,\"t_out\":25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"keep_per_input\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"t_in\":25,\"t_out\":10"), std::string::npos) << json;
+}
+
+TEST_F(OptimizerMetricsTest, ExecutionTraceRecordsCalls) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      OptimizationResult result,
+      OptimizeWith(doctor_, CostMetricKind::kCallCount, /*k=*/5));
+  ExecutionOptions options;
+  options.k = 5;
+  options.input_bindings = doctor_.inputs;
+  options.max_calls = 100000;
+  options.collect_trace = true;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult exec, engine.Execute(result.plan));
+  ASSERT_EQ(static_cast<int>(exec.trace.size()), exec.total_calls);
+  // Chunk indexes per (service, binding) are strictly increasing (no
+  // repeated call thanks to the engine's cache).
+  std::map<std::string, int> last_chunk;
+  for (const CallEvent& event : exec.trace) {
+    std::string key = event.service + "|" + event.binding_key;
+    auto it = last_chunk.find(key);
+    if (it != last_chunk.end()) {
+      EXPECT_GT(event.chunk_index, it->second) << key;
+    }
+    last_chunk[key] = event.chunk_index;
+    EXPECT_GT(event.latency_ms, 0.0);
+    EXPECT_GE(event.node, 0);
+  }
+}
+
+TEST_F(OptimizerMetricsTest, TraceDisabledByDefault) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      OptimizationResult result,
+      OptimizeWith(doctor_, CostMetricKind::kCallCount, /*k=*/5));
+  ExecutionOptions options;
+  options.k = 5;
+  options.input_bindings = doctor_.inputs;
+  options.max_calls = 100000;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult exec, engine.Execute(result.plan));
+  EXPECT_TRUE(exec.trace.empty());
+  EXPECT_GT(exec.total_calls, 0);
+}
+
+}  // namespace
+}  // namespace seco

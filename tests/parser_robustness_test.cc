@@ -1,0 +1,111 @@
+// Robustness fuzzing of the query parser: pseudo-random token soups and
+// mutations of valid queries must either parse or fail with a clean
+// kParseError — never crash, hang, or return a malformed AST.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/parser.h"
+#include "query/printer.h"
+
+namespace seco {
+namespace {
+
+const char* kFragments[] = {
+    "select", "where",  "and",   "as",     "rank",   "by",   "like", "Svc",
+    "A",      "B",      "x",     "M.Title", "T.Movie.Title",  "INPUT1",
+    "'str'",  "\"dq\"", "12",    "-3.5",   "(",      ")",    ",",    ".",
+    "=",      "!=",     "<",     "<=",     ">",      ">=",   "true", "false",
+    "Shows",  "%",      "'unterminated",
+};
+
+TEST(ParserRobustnessTest, RandomTokenSoupsNeverCrash) {
+  SplitMix64 rng(20090704);
+  int parsed_ok = 0;
+  const int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::string text;
+    int len = 1 + static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < len; ++i) {
+      text += kFragments[rng.Uniform(std::size(kFragments))];
+      text += ' ';
+    }
+    Result<ParsedQuery> result = ParseQuery(text);
+    if (result.ok()) {
+      ++parsed_ok;
+      // A successful parse must yield a well-formed AST: at least one atom
+      // and round-trippable text.
+      EXPECT_FALSE(result->atoms.empty()) << text;
+      Result<ParsedQuery> reparsed = ParseQuery(ToQueryText(*result));
+      EXPECT_TRUE(reparsed.ok()) << "round-trip failed for: " << text;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError) << text;
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  // Virtually no uniform soup forms a valid query; all that matters is that
+  // none of them crashed and every rejection was a clean parse error.
+  EXPECT_LT(parsed_ok, kTrials);
+}
+
+TEST(ParserRobustnessTest, MutatedValidQueriesNeverCrash) {
+  const std::string base =
+      "select Movie11 as M, Theatre11 as T where Shows(M, T) and "
+      "M.Genres.Genre = INPUT1 and T.UCity = 'Milano' rank by (0.5, 0.5)";
+  SplitMix64 rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text = base;
+    int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(text.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // delete a span
+          text.erase(pos, 1 + rng.Uniform(5));
+          break;
+        case 1:  // duplicate a char
+          text.insert(pos, 1, text[pos]);
+          break;
+        default:  // replace with a random printable char
+          text[pos] = static_cast<char>(' ' + rng.Uniform(95));
+      }
+      if (text.empty()) text = "x";
+    }
+    Result<ParsedQuery> result = ParseQuery(text);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError) << text;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, PathologicalInputs) {
+  // Long identifier / deep chains must not blow up.
+  std::string long_ident(10000, 'a');
+  EXPECT_FALSE(ParseQuery(long_ident).ok());
+  std::string many_conds = "select S where S.A = 1";
+  for (int i = 0; i < 2000; ++i) many_conds += " and S.A = 1";
+  Result<ParsedQuery> big = ParseQuery(many_conds);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->predicates.size(), 2001u);
+  EXPECT_FALSE(ParseQuery(std::string(5000, '(')).ok());
+  EXPECT_FALSE(ParseQuery("\x01\x02\x7f").ok());
+}
+
+TEST(ParserTest, BooleanLiterals) {
+  Result<ParsedQuery> q =
+      ParseQuery("select S where S.A = true and S.B != FALSE");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(std::get<Value>(q->predicates[0].rhs).AsBool());
+  EXPECT_FALSE(std::get<Value>(q->predicates[1].rhs).AsBool());
+}
+
+TEST(ParserTest, TrueAsAliasPrefixStillResolves) {
+  // `true.Attr` must be an attribute reference, not a literal.
+  Result<ParsedQuery> q = ParseQuery("select S as true where S.A = true.B");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const AttrRef& ref = std::get<AttrRef>(q->predicates[0].rhs);
+  EXPECT_EQ(ref.alias, "true");
+  EXPECT_EQ(ref.path, "B");
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "plan/annotate.h"
+#include "plan/builder.h"
+#include "plan/plan_json.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class PlanJsonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeMovieScenario();
+    ASSERT_TRUE(scenario.ok());
+    scenario_ = std::move(scenario).value();
+    Result<ParsedQuery> parsed = ParseQuery(scenario_.query_text);
+    ASSERT_TRUE(parsed.ok());
+    Result<BoundQuery> bound = BindQuery(*parsed, *scenario_.registry);
+    ASSERT_TRUE(bound.ok());
+    query_ = std::move(bound).value();
+  }
+
+  Scenario scenario_;
+  BoundQuery query_;
+};
+
+TEST_F(PlanJsonTest, ContainsAllStructuralElements) {
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  spec.atom_settings[2].keep_per_input = 1;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+
+  std::string json = PlanToJson(plan);
+  EXPECT_NE(json.find("\"kind\":\"input\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"output\""), std::string::npos);
+  EXPECT_NE(json.find("\"service\":\"Movie11\""), std::string::npos);
+  EXPECT_NE(json.find("\"service\":\"Theatre11\""), std::string::npos);
+  EXPECT_NE(json.find("\"service\":\"Restaurant11\""), std::string::npos);
+  EXPECT_NE(json.find("\"fetch_factor\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"keep_per_input\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"join_groups\":[\"Shows\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"pipe_groups\":"), std::string::npos);
+  EXPECT_NE(json.find("\"t_in\":1250"), std::string::npos);  // MS candidates
+  EXPECT_NE(json.find("\"strategy\":\"merge-scan/triangular"), std::string::npos);
+}
+
+TEST_F(PlanJsonTest, DeterministicOutput) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan a, BuildDefaultPlan(query_));
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan b, BuildDefaultPlan(query_));
+  SECO_ASSERT_OK(AnnotatePlan(&a).status());
+  SECO_ASSERT_OK(AnnotatePlan(&b).status());
+  EXPECT_EQ(PlanToJson(a), PlanToJson(b));
+}
+
+TEST_F(PlanJsonTest, BalancedBracesAndQuotes) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildDefaultPlan(query_));
+  std::string json = PlanToJson(plan);
+  int braces = 0, brackets = 0, quotes = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) ++quotes;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST_F(PlanJsonTest, EscapesSpecialCharacters) {
+  // A selection constant with a quote must not break the document.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      ParsedQuery parsed,
+      ParseQuery("select Movie11 as M where M.Genres.Genre = INPUT1 and "
+                 "M.Openings.Country = INPUT2"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q, BindQuery(parsed, *scenario_.registry));
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildDefaultPlan(q));
+  std::string json = PlanToJson(plan);
+  EXPECT_EQ(json.find("\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "plan/annotate.h"
+#include "plan/builder.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeMovieScenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).value();
+    Result<ParsedQuery> parsed = ParseQuery(scenario_.query_text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Result<BoundQuery> bound = BindQuery(*parsed, *scenario_.registry);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    query_ = std::move(bound).value();
+    // The fixture generates every matching movie with an opening date after
+    // the queried one, so the date filter's true selectivity is 1.0 (the
+    // §5.6 numbers likewise ignore it). Override the 0.33 default estimate.
+    for (BoundSelection& sel : query_.selections) {
+      if (sel.op == Comparator::kGt) sel.selectivity = 1.0;
+    }
+  }
+
+  Scenario scenario_;
+  BoundQuery query_;  // atoms: 0=Movie, 1=Theatre, 2=Restaurant
+};
+
+TEST_F(PlanTest, DefaultPlanIsValidChain) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildDefaultPlan(query_));
+  SECO_ASSERT_OK(plan.Validate());
+  EXPECT_GE(plan.num_nodes(), 5);  // input, 3 services, output (+selections)
+  EXPECT_NE(plan.input_node(), -1);
+  EXPECT_NE(plan.output_node(), -1);
+}
+
+TEST_F(PlanTest, TopologyMustCoverAllAtoms) {
+  TopologySpec spec;
+  spec.stages = {{0}, {1}};  // Restaurant missing
+  Result<QueryPlan> plan = BuildPlan(query_, spec);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("missing"), std::string::npos);
+}
+
+TEST_F(PlanTest, TopologyDuplicateAtomRejected) {
+  TopologySpec spec;
+  spec.stages = {{0}, {0}, {1}, {2}};
+  Result<QueryPlan> plan = BuildPlan(query_, spec);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(PlanTest, PrematurePlacementInfeasible) {
+  // Restaurant before Theatre: its piped inputs cannot be bound.
+  TopologySpec spec;
+  spec.stages = {{2}, {0}, {1}};
+  Result<QueryPlan> plan = BuildPlan(query_, spec);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(PlanTest, PipeGroupAssignedToPipedService) {
+  TopologySpec spec;
+  spec.stages = {{0}, {1}, {2}};
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  int rest_node = plan.NodeOfAtom(2);
+  ASSERT_NE(rest_node, -1);
+  // DinnerPlace (join group 1) is realized as a pipe into Restaurant.
+  EXPECT_EQ(plan.node(rest_node).pipe_groups, (std::vector<int>{1}));
+}
+
+TEST_F(PlanTest, ResidualJoinBecomesSelectionInChain) {
+  // In the all-serial topology, Shows (group 0) cannot pipe into Theatre
+  // (its inputs come from the user), so it must appear as a residual
+  // predicate after Theatre.
+  TopologySpec spec;
+  spec.stages = {{0}, {1}, {2}};
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  bool found = false;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kSelection) {
+      for (int g : n.residual_join_groups) {
+        if (g == 0) found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PlanTest, ParallelStageCreatesJoinNode) {
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  int joins = 0;
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kParallelJoin) {
+      ++joins;
+      EXPECT_EQ(n.join_groups, (std::vector<int>{0}));  // Shows
+      EXPECT_EQ(n.inputs.size(), 2u);
+    }
+  }
+  EXPECT_EQ(joins, 1);
+}
+
+// The fully instantiated running example of §5.6 / Fig. 10: K=10,
+// sel(Shows)=2%, sel(DinnerPlace)=40%, movies: 5 fetches x chunk 20 = 100,
+// theatres: 5 fetches x chunk 5 = 25, parallel join triangular ->
+// 100*25/2 = 1250 candidates -> x2% = 25 combinations -> Restaurant piped
+// with keep-first-1 -> 25 * 40% = 10 = K.
+TEST_F(PlanTest, RunningExampleAnnotationMatchesPaper) {
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.parallel_strategy.invocation = JoinInvocation::kMergeScan;
+  spec.parallel_strategy.completion = JoinCompletion::kTriangular;
+  spec.atom_settings[0].fetch_factor = 5;  // Movie: 5 fetches of 20
+  spec.atom_settings[1].fetch_factor = 5;  // Theatre: 5 fetches of 5
+  spec.atom_settings[2].fetch_factor = 1;
+  spec.atom_settings[2].keep_per_input = 1;  // best restaurant per theatre
+
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  AnnotationParams params;
+  params.k = 10;
+  SECO_ASSERT_OK_AND_ASSIGN(double answers, AnnotatePlan(&plan, params));
+
+  const PlanNode& movie = plan.node(plan.NodeOfAtom(0));
+  EXPECT_DOUBLE_EQ(movie.t_out, 100.0);  // t_Movie_out = 100
+  EXPECT_DOUBLE_EQ(movie.est_calls, 5.0);
+
+  const PlanNode& theatre = plan.node(plan.NodeOfAtom(1));
+  EXPECT_DOUBLE_EQ(theatre.t_out, 25.0);  // t_Theatre_out = 25
+  EXPECT_DOUBLE_EQ(theatre.est_calls, 5.0);
+
+  // The parallel join processes 1250 candidates and outputs 25.
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kParallelJoin) {
+      EXPECT_DOUBLE_EQ(n.t_in, 1250.0);
+      EXPECT_DOUBLE_EQ(n.t_out, 25.0);  // t_MS_out = 25
+    }
+  }
+
+  const PlanNode& restaurant = plan.node(plan.NodeOfAtom(2));
+  EXPECT_DOUBLE_EQ(restaurant.t_in, 25.0);  // t_Restaurant_in = 25
+  EXPECT_DOUBLE_EQ(restaurant.t_out, 10.0);  // 25 * 40% * keep 1 = 10 = K
+  EXPECT_NEAR(answers, 10.0, 1e-9);
+}
+
+TEST_F(PlanTest, RectangularCompletionDoublesCandidates) {
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.parallel_strategy.completion = JoinCompletion::kRectangular;
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  for (const PlanNode& n : plan.nodes()) {
+    if (n.kind == PlanNodeKind::kParallelJoin) {
+      EXPECT_DOUBLE_EQ(n.t_in, 2500.0);
+    }
+  }
+}
+
+TEST_F(PlanTest, SerialChainSharesSingleCallForUnpipedService) {
+  // Movie then Theatre in series: Theatre has no piped inputs, so its call
+  // count stays at fetch_factor (distinct bindings = 1), not t_in.
+  TopologySpec spec;
+  spec.stages = {{0}, {1}, {2}};
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  const PlanNode& theatre = plan.node(plan.NodeOfAtom(1));
+  EXPECT_DOUBLE_EQ(theatre.est_calls, 5.0);
+  EXPECT_DOUBLE_EQ(theatre.t_in, 100.0);
+  EXPECT_DOUBLE_EQ(theatre.t_out, 100.0 * 25.0);  // composition, joined later
+}
+
+TEST_F(PlanTest, PipedServiceCallsScaleWithInput) {
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  spec.atom_settings[2].fetch_factor = 2;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  const PlanNode& restaurant = plan.node(plan.NodeOfAtom(2));
+  EXPECT_DOUBLE_EQ(restaurant.t_in, 25.0);
+  // 25 bindings, but the second fetch per binding is useless: the expected
+  // result-list depth (2) fits in one chunk of 5, so the estimator caps the
+  // fetches at 1 per binding (the engine stops on exhaustion likewise).
+  EXPECT_DOUBLE_EQ(restaurant.est_calls, 25.0);
+}
+
+TEST_F(PlanTest, ValidateCatchesGraphDefects) {
+  // Hand-built broken plan: no output node.
+  QueryPlan plan(query_);
+  PlanNode input;
+  input.kind = PlanNodeKind::kInput;
+  plan.AddNode(input);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST_F(PlanTest, ValidateCatchesCycle) {
+  QueryPlan plan(query_);
+  PlanNode input;
+  input.kind = PlanNodeKind::kInput;
+  int in = plan.AddNode(input);
+  PlanNode output;
+  output.kind = PlanNodeKind::kOutput;
+  int out = plan.AddNode(output);
+  plan.Connect(in, out);
+  plan.Connect(out, in);  // cycle
+  EXPECT_FALSE(plan.TopologicalOrder().ok());
+}
+
+TEST_F(PlanTest, ToStringAndDotRender) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildDefaultPlan(query_));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("Movie11"), std::string::npos);
+  EXPECT_NE(text.find("t_out"), std::string::npos);
+  std::string dot = plan.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST_F(PlanTest, OutputTruncatesToK) {
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  AnnotationParams params;
+  params.k = 3;
+  SECO_ASSERT_OK(AnnotatePlan(&plan, params).status());
+  const PlanNode& output = plan.node(plan.output_node());
+  EXPECT_LE(output.t_out, 3.0);
+}
+
+TEST_F(PlanTest, JoinStrategyToString) {
+  JoinStrategy s;
+  s.invocation = JoinInvocation::kMergeScan;
+  s.completion = JoinCompletion::kTriangular;
+  s.ratio_x = 3;
+  s.ratio_y = 5;
+  EXPECT_EQ(s.ToString(), "merge-scan/triangular r=3:5");
+  s.invocation = JoinInvocation::kNestedLoop;
+  s.completion = JoinCompletion::kRectangular;
+  EXPECT_EQ(s.ToString(), "nested-loop/rectangular");
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/printer.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+/// Structural equality of parsed queries (enough for round-trip checks).
+void ExpectSameQuery(const ParsedQuery& a, const ParsedQuery& b) {
+  ASSERT_EQ(a.atoms.size(), b.atoms.size());
+  for (size_t i = 0; i < a.atoms.size(); ++i) {
+    EXPECT_EQ(a.atoms[i].service_name, b.atoms[i].service_name);
+    EXPECT_EQ(a.atoms[i].alias, b.atoms[i].alias);
+  }
+  ASSERT_EQ(a.connections.size(), b.connections.size());
+  for (size_t i = 0; i < a.connections.size(); ++i) {
+    EXPECT_EQ(a.connections[i].pattern_name, b.connections[i].pattern_name);
+    EXPECT_EQ(a.connections[i].from_alias, b.connections[i].from_alias);
+    EXPECT_EQ(a.connections[i].to_alias, b.connections[i].to_alias);
+  }
+  ASSERT_EQ(a.predicates.size(), b.predicates.size());
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    EXPECT_EQ(a.predicates[i].lhs.alias, b.predicates[i].lhs.alias);
+    EXPECT_EQ(a.predicates[i].lhs.path, b.predicates[i].lhs.path);
+    EXPECT_EQ(a.predicates[i].op, b.predicates[i].op);
+    EXPECT_EQ(a.predicates[i].rhs.index(), b.predicates[i].rhs.index());
+  }
+  ASSERT_EQ(a.ranking_weights.size(), b.ranking_weights.size());
+  for (size_t i = 0; i < a.ranking_weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ranking_weights[i], b.ranking_weights[i]);
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParse) {
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery original, ParseQuery(GetParam()));
+  std::string printed = ToQueryText(original);
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery reparsed, ParseQuery(printed));
+  ExpectSameQuery(original, reparsed);
+  // Printing is a fixed point: print(parse(print(q))) == print(q).
+  EXPECT_EQ(ToQueryText(reparsed), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "select S where S.A = 1",
+        "select S as X where X.A != 'text'",
+        "select A, B where A.K = B.K",
+        "select A as L, B as R where Links(L, R) and L.X like 'pat%'",
+        "select M, T where M.G.Sub >= 2.5 and T.Y < M.Z",
+        "select A, B, C where A.X = INPUT1 and B.Y = A.X and C.Z <= 7 "
+        "rank by (0.25, 0.5, 0.25)",
+        "select Movie11 as M, Theatre11 as T, Restaurant11 as R "
+        "where Shows(M, T) and DinnerPlace(T, R) and M.Genres.Genre = INPUT1 "
+        "and M.Openings.Date > INPUT3 rank by (0.3, 0.5, 0.2)"));
+
+TEST(PrinterTest, BoundQueryDebugString) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            BindQuery(parsed, *scenario.registry));
+  std::string text = BoundQueryDebugString(bound);
+  EXPECT_NE(text.find("M -> Movie11"), std::string::npos);
+  EXPECT_NE(text.find("Shows"), std::string::npos);
+  EXPECT_NE(text.find("DinnerPlace"), std::string::npos);
+  EXPECT_NE(text.find("INPUT1"), std::string::npos);
+  EXPECT_NE(text.find("sel 0.02"), std::string::npos);
+}
+
+TEST(PrinterTest, MartLevelAtomRendered) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                            ParseQuery("select Movie as M where M.Title = 'x'"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            BindQuery(parsed, *scenario.registry));
+  std::string text = BoundQueryDebugString(bound);
+  EXPECT_NE(text.find("<mart:Movie>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "service/registry.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+std::shared_ptr<ServiceMart> MakeMart(const std::string& name) {
+  auto schema = std::make_shared<ServiceSchema>(
+      name, std::vector<AttributeDef>{
+                AttributeDef::Atomic("Key", ValueType::kInt),
+                AttributeDef::Atomic("Val", ValueType::kString),
+                AttributeDef::Atomic("Relevance", ValueType::kDouble)});
+  return std::make_shared<ServiceMart>(name, schema);
+}
+
+TEST(RegistryTest, RegisterAndFindMart) {
+  ServiceRegistry reg;
+  SECO_ASSERT_OK(reg.RegisterMart(MakeMart("M")));
+  Result<std::shared_ptr<ServiceMart>> found = reg.FindMart("M");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->name(), "M");
+  EXPECT_EQ(reg.FindMart("X").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, DuplicateMartRejected) {
+  ServiceRegistry reg;
+  SECO_ASSERT_OK(reg.RegisterMart(MakeMart("M")));
+  EXPECT_EQ(reg.RegisterMart(MakeMart("M")).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, RegisterInterfaceUnderMart) {
+  ServiceRegistry reg;
+  SECO_ASSERT_OK(reg.RegisterMart(MakeMart("M")));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("S1", 10, 5, 3));
+  SECO_ASSERT_OK(reg.RegisterInterface(svc.interface, "M"));
+  EXPECT_EQ(reg.MartOfInterface("S1"), "M");
+  auto of_mart = reg.InterfacesOfMart("M");
+  ASSERT_EQ(of_mart.size(), 1u);
+  EXPECT_EQ(of_mart[0]->name(), "S1");
+}
+
+TEST(RegistryTest, InterfaceWithoutMart) {
+  ServiceRegistry reg;
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("S1", 10, 5, 3));
+  SECO_ASSERT_OK(reg.RegisterInterface(svc.interface));
+  EXPECT_EQ(reg.MartOfInterface("S1"), "");
+  ASSERT_TRUE(reg.FindInterface("S1").ok());
+}
+
+TEST(RegistryTest, UnknownMartRejected) {
+  ServiceRegistry reg;
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("S1", 10, 5, 3));
+  EXPECT_EQ(reg.RegisterInterface(svc.interface, "Nope").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, DuplicateInterfaceRejected) {
+  ServiceRegistry reg;
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService a,
+                            MakeKeyedSearchService("S1", 10, 5, 3));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService b,
+                            MakeKeyedSearchService("S1", 10, 5, 3));
+  SECO_ASSERT_OK(reg.RegisterInterface(a.interface));
+  EXPECT_EQ(reg.RegisterInterface(b.interface).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, ConnectionPatterns) {
+  ServiceRegistry reg;
+  auto pattern = std::make_shared<ConnectionPattern>(
+      "Links", "A", "B",
+      std::vector<ConnectionClause>{{"Key", Comparator::kEq, "Key"}});
+  pattern->set_selectivity(0.25);
+  SECO_ASSERT_OK(reg.RegisterConnectionPattern(pattern));
+  Result<std::shared_ptr<ConnectionPattern>> found =
+      reg.FindConnectionPattern("Links");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->source_mart(), "A");
+  EXPECT_DOUBLE_EQ((*found)->selectivity(), 0.25);
+  EXPECT_EQ(reg.RegisterConnectionPattern(pattern).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(reg.FindConnectionPattern("Nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, NameListings) {
+  ServiceRegistry reg;
+  SECO_ASSERT_OK(reg.RegisterMart(MakeMart("M1")));
+  SECO_ASSERT_OK(reg.RegisterMart(MakeMart("M2")));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("S1", 10, 5, 3));
+  SECO_ASSERT_OK(reg.RegisterInterface(svc.interface, "M1"));
+  EXPECT_EQ(reg.mart_names(), (std::vector<std::string>{"M1", "M2"}));
+  EXPECT_EQ(reg.interface_names(), (std::vector<std::string>{"S1"}));
+}
+
+}  // namespace
+}  // namespace seco

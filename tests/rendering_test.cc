@@ -1,0 +1,94 @@
+// Rendering regressions: plan ToString/ToDot structure and stability.
+
+#include <gtest/gtest.h>
+
+#include "plan/annotate.h"
+#include "plan/builder.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class RenderingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeMovieScenario();
+    ASSERT_TRUE(scenario.ok());
+    scenario_ = std::move(scenario).value();
+    Result<ParsedQuery> parsed = ParseQuery(scenario_.query_text);
+    ASSERT_TRUE(parsed.ok());
+    Result<BoundQuery> bound = BindQuery(*parsed, *scenario_.registry);
+    ASSERT_TRUE(bound.ok());
+    query_ = std::move(bound).value();
+  }
+
+  Result<QueryPlan> Fig10Plan() {
+    TopologySpec spec;
+    spec.stages = {{0, 1}, {2}};
+    spec.atom_settings[0].fetch_factor = 5;
+    spec.atom_settings[1].fetch_factor = 5;
+    spec.atom_settings[2].keep_per_input = 1;
+    SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(query_, spec));
+    SECO_RETURN_IF_ERROR(AnnotatePlan(&plan).status());
+    return plan;
+  }
+
+  Scenario scenario_;
+  BoundQuery query_;
+};
+
+TEST_F(RenderingTest, ToStringListsEveryNodeOnce) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, Fig10Plan());
+  std::string text = plan.ToString();
+  for (int id = 0; id < plan.num_nodes(); ++id) {
+    std::string tag = "#" + std::to_string(id) + " ";
+    size_t first = text.find("\n" + tag);
+    if (id == 0) first = text.rfind(tag, 0) == 0 ? 0 : first;
+    EXPECT_NE(text.find(tag), std::string::npos) << "node " << id;
+  }
+  EXPECT_NE(text.find("keep=1"), std::string::npos);
+  EXPECT_NE(text.find("F=5"), std::string::npos);
+  EXPECT_NE(text.find("Shows"), std::string::npos);
+}
+
+TEST_F(RenderingTest, DotHasOneEdgePerArc) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, Fig10Plan());
+  std::string dot = plan.ToDot();
+  int arcs = 0;
+  for (const PlanNode& n : plan.nodes()) {
+    arcs += static_cast<int>(n.outputs.size());
+  }
+  int edges = 0;
+  size_t pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, arcs);
+  // Join node is diamond-shaped, input/output circles.
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);
+}
+
+TEST_F(RenderingTest, SelectionNodeShowsResidualJoinName) {
+  // A serial topology evaluates Shows as a residual predicate; the
+  // rendering must name it.
+  TopologySpec spec;
+  spec.stages = {{0}, {1}, {2}};
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query_, spec));
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("SELECT"), std::string::npos);
+  EXPECT_NE(text.find("Shows"), std::string::npos);
+}
+
+TEST_F(RenderingTest, RenderingIsDeterministic) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan a, Fig10Plan());
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan b, Fig10Plan());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.ToDot(), b.ToDot());
+}
+
+}  // namespace
+}  // namespace seco

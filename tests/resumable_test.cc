@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/resumable.h"
+#include "plan/annotate.h"
+#include "plan/builder.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+TEST(CachingHandlerTest, MemoizesByInputsAndChunk) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc,
+      MakeKeyedSearchService("S", 30, 5, 3, ScoreDecay::kLinear,
+                             /*key_is_input=*/true));
+  CachingHandler cache(svc.backend);
+  ServiceRequest req;
+  req.inputs = {Value(1)};
+  req.chunk_index = 0;
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse first, cache.Call(req));
+  EXPECT_GT(first.latency_ms, 0.0);
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse again, cache.Call(req));
+  EXPECT_DOUBLE_EQ(again.latency_ms, 0.0);  // cache hit is free
+  EXPECT_EQ(again.tuples.size(), first.tuples.size());
+  EXPECT_EQ(cache.novel_calls(), 1);
+  EXPECT_EQ(cache.cache_hits(), 1);
+
+  req.chunk_index = 1;  // different chunk -> new call
+  SECO_ASSERT_OK(cache.Call(req).status());
+  req.inputs = {Value(2)};  // different binding -> new call
+  req.chunk_index = 0;
+  SECO_ASSERT_OK(cache.Call(req).status());
+  EXPECT_EQ(cache.novel_calls(), 3);
+}
+
+class ResumableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_shared<ServiceRegistry>();
+    Result<BuiltService> outer =
+        MakeKeyedSearchService("Outer", 60, 5, 4, ScoreDecay::kLinear);
+    ASSERT_TRUE(outer.ok());
+    outer_ = std::move(outer).value();
+    Result<BuiltService> inner = MakeKeyedSearchService(
+        "Inner", 80, 5, 4, ScoreDecay::kLinear, /*key_is_input=*/true);
+    ASSERT_TRUE(inner.ok());
+    inner_ = std::move(inner).value();
+    ASSERT_TRUE(registry_->RegisterInterface(outer_.interface).ok());
+    ASSERT_TRUE(registry_->RegisterInterface(inner_.interface).ok());
+
+    Result<ParsedQuery> parsed =
+        ParseQuery("select Outer as O, Inner as I where O.Key = I.Key");
+    ASSERT_TRUE(parsed.ok());
+    Result<BoundQuery> bound = BindQuery(*parsed, *registry_);
+    ASSERT_TRUE(bound.ok());
+    Result<QueryPlan> plan = BuildDefaultPlan(*bound);
+    ASSERT_TRUE(plan.ok());
+    plan_ = std::move(plan).value();
+    ASSERT_TRUE(AnnotatePlan(&plan_).ok());
+  }
+
+  std::shared_ptr<ServiceRegistry> registry_;
+  BuiltService outer_;
+  BuiltService inner_;
+  QueryPlan plan_;
+};
+
+TEST_F(ResumableTest, BatchesAreDisjointAndComplete) {
+  ResumableExecution resumable(plan_, ExecutionOptions{});
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch first, resumable.FetchMore(5));
+  EXPECT_EQ(first.combinations.size(), 5u);
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch second, resumable.FetchMore(5));
+  EXPECT_EQ(second.combinations.size(), 5u);
+  EXPECT_EQ(resumable.total_returned(), 10);
+
+  std::set<std::string> seen;
+  for (const std::vector<Combination>* batch :
+       {&first.combinations, &second.combinations}) {
+    for (const Combination& combo : *batch) {
+      std::string key = combo.components[0].AtomicAt(1).AsString() + "|" +
+                        combo.components[1].AtomicAt(1).AsString();
+      EXPECT_TRUE(seen.insert(key).second) << "duplicate " << key;
+    }
+  }
+}
+
+TEST_F(ResumableTest, LaterBatchesOnlyPayIncrement) {
+  ResumableExecution resumable(plan_, ExecutionOptions{});
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch first, resumable.FetchMore(5));
+  int64_t first_calls = first.novel_calls;
+  EXPECT_GT(first_calls, 0);
+  // A second batch from the already-fetched region costs few or no calls.
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch second, resumable.FetchMore(3));
+  EXPECT_EQ(second.combinations.size(), 3u);
+  EXPECT_LT(second.novel_calls, first_calls);
+}
+
+TEST_F(ResumableTest, DrainsToExhaustion) {
+  ResumableExecution resumable(plan_, ExecutionOptions{});
+  int total = 0;
+  for (int round = 0; round < 50; ++round) {
+    SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch batch, resumable.FetchMore(40));
+    total += static_cast<int>(batch.combinations.size());
+    if (!batch.may_have_more) break;
+  }
+  // Ground truth: 60 outer x 80 inner over 4 keys = 60 * 20 matches.
+  EXPECT_EQ(total, 60 * 20);
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch after, resumable.FetchMore(10));
+  EXPECT_TRUE(after.combinations.empty());
+  EXPECT_FALSE(after.may_have_more);
+}
+
+TEST_F(ResumableTest, BatchesComeInScoreOrderWithinBatch) {
+  ResumableExecution resumable(plan_, ExecutionOptions{});
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch batch, resumable.FetchMore(10));
+  for (size_t i = 1; i < batch.combinations.size(); ++i) {
+    EXPECT_LE(batch.combinations[i].combined_score,
+              batch.combinations[i - 1].combined_score + 1e-12);
+  }
+}
+
+TEST_F(ResumableTest, ZeroCountIsANoOp) {
+  ResumableExecution resumable(plan_, ExecutionOptions{});
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch batch, resumable.FetchMore(0));
+  EXPECT_TRUE(batch.combinations.empty());
+  EXPECT_EQ(batch.novel_calls, 0);
+  EXPECT_TRUE(batch.may_have_more);
+  EXPECT_EQ(resumable.rounds(), 0);
+}
+
+TEST(ResumableScenarioTest, MovieScenarioMoreResults) {
+  // The §3.2 user interaction: take 10 answers, then ask for 10 more.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario.registry));
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+
+  ExecutionOptions options;
+  options.input_bindings = scenario.inputs;
+  options.max_calls = 100000;
+  ResumableExecution resumable(plan, options);
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch first, resumable.FetchMore(10));
+  EXPECT_EQ(first.combinations.size(), 10u);
+  SECO_ASSERT_OK_AND_ASSIGN(ResumeBatch more, resumable.FetchMore(10));
+  EXPECT_GT(more.combinations.size(), 0u);
+  // The continuation must not repeat any combination.
+  std::set<std::string> keys;
+  for (const std::vector<Combination>* batch :
+       {&first.combinations, &more.combinations}) {
+    for (const Combination& combo : *batch) {
+      std::string key;
+      for (const Tuple& t : combo.components) {
+        key += t.AtomicAt(0).ToString() + "|";
+      }
+      EXPECT_TRUE(keys.insert(key).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "service/schema.h"
+#include "service/tuple.h"
+
+namespace seco {
+namespace {
+
+ServiceSchema MovieSchema() {
+  return ServiceSchema(
+      "Movie", {AttributeDef::Atomic("Title", ValueType::kString),
+                AttributeDef::Atomic("Year", ValueType::kInt),
+                AttributeDef::RepeatingGroup(
+                    "Openings", {{"Country", ValueType::kString},
+                                 {"Date", ValueType::kString}})});
+}
+
+TEST(SchemaTest, ResolveAtomic) {
+  ServiceSchema schema = MovieSchema();
+  Result<AttrPath> p = schema.Resolve("Title");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attr_index, 0);
+  EXPECT_EQ(p->sub_index, -1);
+  EXPECT_FALSE(p->is_sub_attribute());
+}
+
+TEST(SchemaTest, ResolveSubAttribute) {
+  ServiceSchema schema = MovieSchema();
+  Result<AttrPath> p = schema.Resolve("Openings.Date");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attr_index, 2);
+  EXPECT_EQ(p->sub_index, 1);
+  EXPECT_TRUE(p->is_sub_attribute());
+}
+
+TEST(SchemaTest, ResolveErrors) {
+  ServiceSchema schema = MovieSchema();
+  EXPECT_EQ(schema.Resolve("Nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(schema.Resolve("Openings").status().code(),
+            StatusCode::kInvalidArgument);  // group without sub-attribute
+  EXPECT_EQ(schema.Resolve("Title.Sub").status().code(),
+            StatusCode::kInvalidArgument);  // atomic with sub-attribute
+  EXPECT_EQ(schema.Resolve("Openings.Nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema.Resolve("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.Resolve("a.b.c").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, TypeAt) {
+  ServiceSchema schema = MovieSchema();
+  EXPECT_EQ(schema.TypeAt(*schema.Resolve("Year")), ValueType::kInt);
+  EXPECT_EQ(schema.TypeAt(*schema.Resolve("Openings.Country")),
+            ValueType::kString);
+}
+
+TEST(SchemaTest, PathToStringRoundTrip) {
+  ServiceSchema schema = MovieSchema();
+  for (const char* name : {"Title", "Year", "Openings.Country", "Openings.Date"}) {
+    Result<AttrPath> p = schema.Resolve(name);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(schema.PathToString(*p), name);
+  }
+}
+
+Tuple MakeMovieTuple() {
+  RepeatingGroupValue openings;
+  openings.push_back({Value("Italy"), Value("2009-06-01")});
+  openings.push_back({Value("USA"), Value("2009-03-15")});
+  return Tuple({Value("Up"), Value(2009), openings});
+}
+
+TEST(TupleTest, AtomicAccess) {
+  Tuple t = MakeMovieTuple();
+  EXPECT_TRUE(t.IsAtomic(0));
+  EXPECT_EQ(t.AtomicAt(0).AsString(), "Up");
+  EXPECT_FALSE(t.IsAtomic(2));
+  EXPECT_EQ(t.GroupAt(2).size(), 2u);
+}
+
+TEST(TupleTest, CandidateValuesAtomicPath) {
+  Tuple t = MakeMovieTuple();
+  std::vector<Value> vals = t.CandidateValuesAt(AttrPath{0, -1});
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_EQ(vals[0].AsString(), "Up");
+}
+
+TEST(TupleTest, CandidateValuesGroupPath) {
+  Tuple t = MakeMovieTuple();
+  std::vector<Value> countries = t.CandidateValuesAt(AttrPath{2, 0});
+  ASSERT_EQ(countries.size(), 2u);
+  EXPECT_EQ(countries[0].AsString(), "Italy");
+  EXPECT_EQ(countries[1].AsString(), "USA");
+}
+
+TEST(TupleTest, CandidateValuesEmptyGroup) {
+  Tuple t(std::vector<TupleSlot>{Value("x"), RepeatingGroupValue{}});
+  EXPECT_TRUE(t.CandidateValuesAt(AttrPath{1, 0}).empty());
+}
+
+TEST(TupleTest, EqualityIsStructural) {
+  EXPECT_TRUE(MakeMovieTuple() == MakeMovieTuple());
+  Tuple other = MakeMovieTuple();
+  other.slot(0) = Value("Down");
+  EXPECT_FALSE(MakeMovieTuple() == other);
+}
+
+TEST(TupleTest, ToStringRendersGroups) {
+  ServiceSchema schema = MovieSchema();
+  std::string s = MakeMovieTuple().ToString(schema);
+  EXPECT_NE(s.find("Title:'Up'"), std::string::npos);
+  EXPECT_NE(s.find("Openings:[<'Italy','2009-06-01'>"), std::string::npos);
+}
+
+TEST(TupleTest, AppendGrowsSlots) {
+  Tuple t;
+  EXPECT_EQ(t.num_slots(), 0);
+  t.Append(Value(1));
+  t.Append(RepeatingGroupValue{{Value("a")}});
+  EXPECT_EQ(t.num_slots(), 2);
+  EXPECT_TRUE(t.IsAtomic(0));
+  EXPECT_FALSE(t.IsAtomic(1));
+}
+
+}  // namespace
+}  // namespace seco

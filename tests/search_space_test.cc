@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "join/search_space.h"
+
+namespace seco {
+namespace {
+
+TEST(TileTest, Adjacency) {
+  Tile a{2, 3};
+  EXPECT_TRUE(a.AdjacentTo(Tile{2, 4}));
+  EXPECT_TRUE(a.AdjacentTo(Tile{2, 2}));
+  EXPECT_TRUE(a.AdjacentTo(Tile{1, 3}));
+  EXPECT_TRUE(a.AdjacentTo(Tile{3, 3}));
+  EXPECT_FALSE(a.AdjacentTo(Tile{3, 4}));  // diagonal
+  EXPECT_FALSE(a.AdjacentTo(a));
+  EXPECT_FALSE(a.AdjacentTo(Tile{2, 5}));
+}
+
+TEST(TileTest, IndexSumAndToString) {
+  Tile t{1, 4};
+  EXPECT_EQ(t.IndexSum(), 5);
+  EXPECT_EQ(t.ToString(), "t(1,4)");
+}
+
+TEST(SearchSpaceTest, AvailabilityFollowsFetches) {
+  SearchSpace space;
+  EXPECT_FALSE(space.Available(Tile{0, 0}));
+  space.AddChunkX(1.0);
+  EXPECT_FALSE(space.Available(Tile{0, 0}));  // no Y chunk yet
+  space.AddChunkY(0.9);
+  EXPECT_TRUE(space.Available(Tile{0, 0}));
+  EXPECT_FALSE(space.Available(Tile{1, 0}));
+  space.AddChunkX(0.8);
+  EXPECT_TRUE(space.Available(Tile{1, 0}));
+}
+
+TEST(SearchSpaceTest, TileScoreIsProductOfRepresentatives) {
+  SearchSpace space;
+  space.AddChunkX(0.8);
+  space.AddChunkY(0.5);
+  EXPECT_DOUBLE_EQ(space.TileScore(Tile{0, 0}), 0.4);
+}
+
+TEST(SearchSpaceTest, FrontierExcludesExplored) {
+  SearchSpace space;
+  space.AddChunkX(1.0);
+  space.AddChunkX(0.5);
+  space.AddChunkY(1.0);
+  EXPECT_EQ(space.Frontier().size(), 2u);
+  space.MarkExplored(Tile{0, 0});
+  std::vector<Tile> frontier = space.Frontier();
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0], (Tile{1, 0}));
+  EXPECT_TRUE(space.Explored(Tile{0, 0}));
+  EXPECT_FALSE(space.Explored(Tile{1, 0}));
+}
+
+TEST(ExtractionOptimalityTest, DetectsOrderedSequences) {
+  std::vector<double> sx{1.0, 0.8, 0.6};
+  std::vector<double> sy{1.0, 0.5};
+  // Scores: (0,0)=1.0 (1,0)=0.8 (2,0)=0.6 (0,1)=0.5 (1,1)=0.4 (2,1)=0.3
+  std::vector<Tile> good{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}};
+  EXPECT_TRUE(IsGloballyExtractionOptimal(good, sx, sy));
+  std::vector<Tile> bad{{0, 0}, {0, 1}, {1, 0}};  // 0.5 then 0.8 increases
+  EXPECT_FALSE(IsGloballyExtractionOptimal(bad, sx, sy));
+}
+
+TEST(ExtractionOptimalityTest, EqualScoresAllowed) {
+  std::vector<double> sx{1.0, 1.0};
+  std::vector<double> sy{1.0};
+  std::vector<Tile> order{{0, 0}, {1, 0}};
+  EXPECT_TRUE(IsGloballyExtractionOptimal(order, sx, sy));
+}
+
+TEST(ExtractionOptimalityTest, UnfetchedTileRejected) {
+  std::vector<double> sx{1.0};
+  std::vector<double> sy{1.0};
+  std::vector<Tile> order{{1, 0}};
+  EXPECT_FALSE(IsGloballyExtractionOptimal(order, sx, sy));
+}
+
+TEST(AdjacencyOrderTest, SmallerIndexSumFirst) {
+  // §4.1: among adjacent tiles, the smaller index sum is extracted first.
+  std::vector<Tile> good{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  EXPECT_TRUE(SatisfiesAdjacencyOrder(good));
+  std::vector<Tile> bad{{1, 1}, {1, 0}};  // adjacent, sums 2 then 1
+  EXPECT_FALSE(SatisfiesAdjacencyOrder(bad));
+}
+
+TEST(AdjacencyOrderTest, NonAdjacentUnconstrained) {
+  std::vector<Tile> order{{2, 2}, {0, 0}};  // not adjacent: fine
+  EXPECT_TRUE(SatisfiesAdjacencyOrder(order));
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "query/semantics.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+// The §3.1 example: services S1, S2 over a repeating group R with
+// sub-attributes A (int) and B (string).
+//   S1: t1 = ({<1,x>,<2,x>}),  t2 = ({<2,x>,<1,y>})
+//   S2: t3 = ({<1,x>,<2,y>}),  t4 = ({<2,x>})
+
+std::shared_ptr<ServiceSchema> GroupSchema(const std::string& name) {
+  return std::make_shared<ServiceSchema>(
+      name, std::vector<AttributeDef>{AttributeDef::RepeatingGroup(
+                "R", {{"A", ValueType::kInt}, {"B", ValueType::kString}})});
+}
+
+Tuple GroupTuple(std::vector<std::pair<int, std::string>> instances) {
+  RepeatingGroupValue group;
+  for (auto& [a, b] : instances) {
+    group.push_back({Value(a), Value(b)});
+  }
+  return Tuple({group});
+}
+
+BoundAtom MakeAtom(const std::string& alias) {
+  BoundAtom atom;
+  atom.alias = alias;
+  atom.schema = GroupSchema(alias);
+  return atom;
+}
+
+const AttrPath kPathA{0, 0};
+const AttrPath kPathB{0, 1};
+
+Tuple T1() { return GroupTuple({{1, "x"}, {2, "x"}}); }
+Tuple T2() { return GroupTuple({{2, "x"}, {1, "y"}}); }
+Tuple T3() { return GroupTuple({{1, "x"}, {2, "y"}}); }
+Tuple T4() { return GroupTuple({{2, "x"}}); }
+
+TEST(SemanticsTest, PaperQ1SelectionSingleInstanceRule) {
+  // Q1: select S1 where S1.R.A=1 and S1.R.B=x  ==>  {t1}.
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.selections.push_back({0, kPathA, Comparator::kEq, Value(1), "", 0.1});
+  q.selections.push_back({0, kPathB, Comparator::kEq, Value("x"), "", 0.1});
+
+  OracleInput input;
+  input.tuples = {{T1(), T2()}};
+  input.scores = {{1.0, 0.9}};
+
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> result,
+                            EvaluateOracle(q, input, {}));
+  // t1 qualifies: instance <1,x> satisfies both predicates.
+  // t2 does NOT: <2,x> fails A=1; <1,y> fails B=x (no single instance works).
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0].components[0] == T1());
+}
+
+TEST(SemanticsTest, PaperQ2JoinSingleInstanceRule) {
+  // Q2: select S1, S2 where S1.R.A=S2.R.A and S1.R.B=S2.R.B
+  //     ==> {t1*t3, t1*t4, t2*t4}.
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.atoms.push_back(MakeAtom("S2"));
+  BoundJoinGroup group;
+  group.clauses.push_back({0, kPathA, Comparator::kEq, 1, kPathA});
+  group.clauses.push_back({0, kPathB, Comparator::kEq, 1, kPathB});
+  group.selectivity = 0.5;
+  q.joins.push_back(group);
+
+  OracleInput input;
+  input.tuples = {{T1(), T2()}, {T3(), T4()}};
+  input.scores = {{1.0, 0.9}, {1.0, 0.9}};
+
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> result,
+                            EvaluateOracle(q, input, {}));
+  ASSERT_EQ(result.size(), 3u);
+  auto contains = [&](const Tuple& s1, const Tuple& s2) {
+    for (const Combination& combo : result) {
+      if (combo.components[0] == s1 && combo.components[1] == s2) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(T1(), T3()));  // shared instance <1,x>
+  EXPECT_TRUE(contains(T1(), T4()));  // shared instance <2,x>
+  EXPECT_TRUE(contains(T2(), T4()));  // shared instance <2,x>
+  // t2*t3 excluded: A and B only match in *different* instances.
+  EXPECT_FALSE(contains(T2(), T3()));
+}
+
+TEST(SemanticsTest, EmptyGroupExcludesCombination) {
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.selections.push_back({0, kPathA, Comparator::kEq, Value(1), "", 0.1});
+  OracleInput input;
+  input.tuples = {{GroupTuple({})}};  // empty repeating group
+  input.scores = {{1.0}};
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> result,
+                            EvaluateOracle(q, input, {}));
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(SemanticsTest, InputVariableResolution) {
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.selections.push_back({0, kPathA, Comparator::kEq, Value(), "INPUT1", 0.1});
+  OracleInput input;
+  input.tuples = {{T1(), T2()}};
+  input.scores = {{1.0, 0.9}};
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> result,
+                            EvaluateOracle(q, input, {{"INPUT1", Value(1)}}));
+  EXPECT_EQ(result.size(), 2u);  // both tuples have an instance with A=1... t2 has <1,y> yes
+  Result<std::vector<Combination>> missing = EvaluateOracle(q, input, {});
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(SemanticsTest, RankingOrderAndTopK) {
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.explicit_weights = {1.0};
+  OracleInput input;
+  input.tuples = {{T1(), T2(), T3(), T4()}};
+  input.scores = {{0.3, 0.9, 0.1, 0.5}};
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> all,
+                            EvaluateOracle(q, input, {}));
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_DOUBLE_EQ(all[0].combined_score, 0.9);
+  EXPECT_DOUBLE_EQ(all[3].combined_score, 0.1);
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> top2,
+                            EvaluateOracle(q, input, {}, 2));
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_DOUBLE_EQ(top2[1].combined_score, 0.5);
+}
+
+TEST(SemanticsTest, WeightsCombineScores) {
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.atoms.push_back(MakeAtom("S2"));
+  q.explicit_weights = {0.3, 0.7};
+  OracleInput input;
+  input.tuples = {{T1()}, {T4()}};
+  input.scores = {{0.5}, {1.0}};
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> result,
+                            EvaluateOracle(q, input, {}));
+  ASSERT_EQ(result.size(), 1u);  // cross product, no predicates
+  EXPECT_NEAR(result[0].combined_score, 0.3 * 0.5 + 0.7 * 1.0, 1e-12);
+}
+
+TEST(SemanticsTest, SatisfiesSelectionsJointInstance) {
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.selections.push_back({0, kPathA, Comparator::kEq, Value(1), "", 0.1});
+  q.selections.push_back({0, kPathB, Comparator::kEq, Value("x"), "", 0.1});
+  SECO_ASSERT_OK_AND_ASSIGN(bool t1_ok, SatisfiesSelections(q, 0, T1(), {}));
+  EXPECT_TRUE(t1_ok);
+  SECO_ASSERT_OK_AND_ASSIGN(bool t2_ok, SatisfiesSelections(q, 0, T2(), {}));
+  EXPECT_FALSE(t2_ok);  // needs a single shared instance
+}
+
+TEST(SemanticsTest, SatisfiesJoinGroupSharedInstance) {
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.atoms.push_back(MakeAtom("S2"));
+  BoundJoinGroup group;
+  group.clauses.push_back({0, kPathA, Comparator::kEq, 1, kPathA});
+  group.clauses.push_back({0, kPathB, Comparator::kEq, 1, kPathB});
+  q.joins.push_back(group);
+  SECO_ASSERT_OK_AND_ASSIGN(bool t2t3,
+                            SatisfiesJoinGroup(q, q.joins[0], T2(), T3()));
+  EXPECT_FALSE(t2t3);
+  SECO_ASSERT_OK_AND_ASSIGN(bool t2t4,
+                            SatisfiesJoinGroup(q, q.joins[0], T2(), T4()));
+  EXPECT_TRUE(t2t4);
+}
+
+TEST(SemanticsTest, GlobalInstanceSharedBetweenSelectionAndJoin) {
+  // A selection and a join over the SAME group of S1 must share the chosen
+  // instance in the oracle's global semantics.
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  q.atoms.push_back(MakeAtom("S2"));
+  q.selections.push_back({0, kPathB, Comparator::kEq, Value("y"), "", 0.1});
+  BoundJoinGroup group;
+  group.clauses.push_back({0, kPathA, Comparator::kEq, 1, kPathA});
+  q.joins.push_back(group);
+
+  OracleInput input;
+  // S1 = t2 = {<2,x>,<1,y>}: the selection B=y forces instance <1,y>, so the
+  // join can only use A=1.
+  input.tuples = {{T2()}, {GroupTuple({{2, "q"}}), GroupTuple({{1, "q"}})}};
+  input.scores = {{1.0}, {1.0, 0.9}};
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> result,
+                            EvaluateOracle(q, input, {}));
+  ASSERT_EQ(result.size(), 1u);
+  // Partner must be the A=1 tuple, not A=2.
+  EXPECT_EQ(result[0].components[1].GroupAt(0)[0][0].AsInt(), 1);
+}
+
+TEST(SemanticsTest, AtomCountMismatchRejected) {
+  BoundQuery q;
+  q.atoms.push_back(MakeAtom("S1"));
+  OracleInput input;  // no tuple lists
+  Result<std::vector<Combination>> r = EvaluateOracle(q, input, {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SemanticsTest, AtomicAttributesNeedNoMapping) {
+  auto schema = std::make_shared<ServiceSchema>(
+      "P", std::vector<AttributeDef>{AttributeDef::Atomic("K", ValueType::kInt)});
+  BoundAtom atom;
+  atom.alias = "P";
+  atom.schema = schema;
+  BoundQuery q;
+  q.atoms.push_back(atom);
+  q.selections.push_back({0, AttrPath{0, -1}, Comparator::kGe, Value(5), "", 0.3});
+  OracleInput input;
+  input.tuples = {{Tuple({Value(7)}), Tuple({Value(3)})}};
+  input.scores = {{1.0, 0.9}};
+  SECO_ASSERT_OK_AND_ASSIGN(std::vector<Combination> result,
+                            EvaluateOracle(q, input, {}));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].components[0].AtomicAt(0).AsInt(), 7);
+}
+
+}  // namespace
+}  // namespace seco

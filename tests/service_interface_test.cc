@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "query/bound_query.h"
+#include "query/parser.h"
+#include "service/service_interface.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+TEST(ServiceInterfaceTest, SearchServicesAreAlwaysChunked) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("S", 10, 5, 2));
+  EXPECT_TRUE(svc.interface->is_search());
+  EXPECT_TRUE(svc.interface->is_chunked());
+  EXPECT_TRUE(svc.interface->is_ranked());
+  EXPECT_TRUE(svc.interface->is_proliferative());
+}
+
+TEST(ServiceInterfaceTest, SelectiveExactClassification) {
+  SimServiceBuilder builder("Lookup");
+  builder.Schema({AttributeDef::Atomic("K", ValueType::kInt)})
+      .Pattern({{"K", Adornment::kOutput}})
+      .Kind(ServiceKind::kExact);
+  ServiceStats stats;
+  stats.avg_tuples_per_call = 0.3;  // fewer outputs than inputs: selective
+  builder.Stats(stats);
+  builder.AddRow(Tuple({Value(1)}));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, builder.Build());
+  EXPECT_TRUE(svc.interface->is_selective());
+  EXPECT_FALSE(svc.interface->is_proliferative());
+  EXPECT_FALSE(svc.interface->is_ranked());
+}
+
+TEST(ServiceInterfaceTest, ExpectedChunkScoreShapes) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService linear,
+      MakeKeyedSearchService("L", 100, 10, 2, ScoreDecay::kLinear));
+  // Linear: decreasing, first chunk at 1.0.
+  EXPECT_DOUBLE_EQ(linear.interface->ExpectedChunkScore(0, 10), 1.0);
+  EXPECT_GT(linear.interface->ExpectedChunkScore(2, 10),
+            linear.interface->ExpectedChunkScore(7, 10));
+
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService quad,
+      MakeKeyedSearchService("Q", 100, 10, 2, ScoreDecay::kQuadratic));
+  for (int c = 1; c < 10; ++c) {
+    EXPECT_LE(quad.interface->ExpectedChunkScore(c, 10),
+              linear.interface->ExpectedChunkScore(c, 10) + 1e-12);
+  }
+
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService step,
+      MakeKeyedSearchService("St", 100, 10, 2, ScoreDecay::kStep,
+                             /*key_is_input=*/false, /*step_h=*/3));
+  EXPECT_DOUBLE_EQ(step.interface->ExpectedChunkScore(2, 10), 0.95);
+  EXPECT_DOUBLE_EQ(step.interface->ExpectedChunkScore(3, 10), 0.05);
+}
+
+TEST(ServiceInterfaceTest, EnumNames) {
+  EXPECT_STREQ(ServiceKindToString(ServiceKind::kExact), "exact");
+  EXPECT_STREQ(ServiceKindToString(ServiceKind::kSearch), "search");
+  EXPECT_STREQ(ScoreDecayToString(ScoreDecay::kStep), "step");
+  EXPECT_STREQ(ScoreDecayToString(ScoreDecay::kOpaque), "opaque");
+}
+
+TEST(BindOptionsTest, CustomSelectivitiesApplied) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      ParsedQuery parsed,
+      ParseQuery("select Movie11 as M, Theatre11 as T where "
+                 "M.Year = 2009 and M.Openings.Date > INPUT3 and "
+                 "M.Director like 'D%' and M.Title = T.Name"));
+  BindOptions options;
+  options.eq_selectivity = 0.01;
+  options.range_selectivity = 0.5;
+  options.like_selectivity = 0.25;
+  options.join_eq_selectivity = 0.002;
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery q,
+                            BindQuery(parsed, *scenario.registry, options));
+  ASSERT_EQ(q.selections.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.selections[0].selectivity, 0.01);  // equality
+  EXPECT_DOUBLE_EQ(q.selections[1].selectivity, 0.5);   // range
+  EXPECT_DOUBLE_EQ(q.selections[2].selectivity, 0.25);  // like
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.joins[0].selectivity, 0.002);
+}
+
+TEST(StatsDefaultsTest, SensibleOutOfTheBox) {
+  ServiceStats stats;
+  EXPECT_DOUBLE_EQ(stats.avg_tuples_per_call, 1.0);
+  EXPECT_EQ(stats.chunk_size, 10);
+  EXPECT_FALSE(stats.chunked);
+  EXPECT_EQ(stats.decay, ScoreDecay::kNone);
+  EXPECT_DOUBLE_EQ(stats.avg_matches_per_binding, 0.0);  // unknown
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "sim/fixtures.h"
+#include "sim/scoring.h"
+#include "sim/simulated_service.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+TEST(ScoringTest, LinearDecayShape) {
+  EXPECT_DOUBLE_EQ(
+      ScoreAtPosition(ScoreDecay::kLinear, 0, 100, 10, 1, 0.9, 0.1), 1.0);
+  double mid = ScoreAtPosition(ScoreDecay::kLinear, 50, 101, 10, 1, 0.9, 0.1);
+  EXPECT_NEAR(mid, 0.5, 1e-9);
+  EXPECT_NEAR(ScoreAtPosition(ScoreDecay::kLinear, 100, 101, 10, 1, 0.9, 0.1),
+              0.0, 1e-9);
+}
+
+TEST(ScoringTest, QuadraticBelowLinear) {
+  for (int pos = 1; pos < 100; ++pos) {
+    double lin = ScoreAtPosition(ScoreDecay::kLinear, pos, 100, 10, 1, 0.9, 0.1);
+    double quad =
+        ScoreAtPosition(ScoreDecay::kQuadratic, pos, 100, 10, 1, 0.9, 0.1);
+    EXPECT_LE(quad, lin + 1e-12) << "at pos " << pos;
+  }
+}
+
+TEST(ScoringTest, StepDropsAfterHChunks) {
+  // h=2 chunks of size 10: positions 0..19 high, 20+ low.
+  EXPECT_DOUBLE_EQ(ScoreAtPosition(ScoreDecay::kStep, 19, 100, 10, 2, 0.9, 0.1),
+                   0.9);
+  EXPECT_DOUBLE_EQ(ScoreAtPosition(ScoreDecay::kStep, 20, 100, 10, 2, 0.9, 0.1),
+                   0.1);
+}
+
+TEST(ScoringTest, NoneIsConstantOne) {
+  EXPECT_DOUBLE_EQ(ScoreAtPosition(ScoreDecay::kNone, 5, 10, 3, 1, 0.9, 0.1),
+                   1.0);
+}
+
+class DecaySweepTest : public ::testing::TestWithParam<ScoreDecay> {};
+
+TEST_P(DecaySweepTest, ScoresAreMonotoneNonIncreasingAndBounded) {
+  ScoreDecay decay = GetParam();
+  double prev = 1.0 + 1e-12;
+  for (int pos = 0; pos < 200; ++pos) {
+    double s = ScoreAtPosition(decay, pos, 200, 10, 3, 0.95, 0.05);
+    EXPECT_LE(s, prev + 1e-12);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    prev = s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDecays, DecaySweepTest,
+                         ::testing::Values(ScoreDecay::kNone, ScoreDecay::kStep,
+                                           ScoreDecay::kLinear,
+                                           ScoreDecay::kQuadratic,
+                                           ScoreDecay::kOpaque));
+
+TEST(SimulatedServiceTest, ChunkingPagesThroughRankedList) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc, MakeKeyedSearchService("S", /*rows=*/12, /*chunk=*/5,
+                                               /*key_domain=*/100));
+  ServiceRequest req;
+  req.chunk_index = 0;
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse r0, svc.backend->Call(req));
+  EXPECT_EQ(r0.tuples.size(), 5u);
+  EXPECT_FALSE(r0.exhausted);
+  req.chunk_index = 2;
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse r2, svc.backend->Call(req));
+  EXPECT_EQ(r2.tuples.size(), 2u);  // 12 = 5 + 5 + 2
+  EXPECT_TRUE(r2.exhausted);
+  req.chunk_index = 3;
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse r3, svc.backend->Call(req));
+  EXPECT_TRUE(r3.tuples.empty());
+}
+
+TEST(SimulatedServiceTest, ScoresDecreaseAcrossChunks) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc,
+                            MakeKeyedSearchService("S", 30, 10, 100));
+  double prev = 1.1;
+  for (int c = 0; c < 3; ++c) {
+    ServiceRequest req;
+    req.chunk_index = c;
+    SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse resp, svc.backend->Call(req));
+    for (double s : resp.scores) {
+      EXPECT_LE(s, prev + 1e-12);
+      prev = s;
+    }
+  }
+}
+
+TEST(SimulatedServiceTest, InputMatchingFiltersRows) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc,
+      MakeKeyedSearchService("S", 20, 10, /*key_domain=*/4,
+                             ScoreDecay::kLinear, /*key_is_input=*/true));
+  ServiceRequest req;
+  req.inputs = {Value(2)};
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse resp, svc.backend->Call(req));
+  EXPECT_EQ(resp.tuples.size(), 5u);  // rows 2, 6, 10, 14, 18
+  for (const Tuple& t : resp.tuples) {
+    EXPECT_EQ(t.AtomicAt(0).AsInt(), 2);
+  }
+}
+
+TEST(SimulatedServiceTest, WrongArityRejected) {
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService svc, MakeKeyedSearchService("S", 10, 5, 4, ScoreDecay::kLinear,
+                                               /*key_is_input=*/true));
+  ServiceRequest req;  // no inputs provided
+  Result<ServiceResponse> resp = svc.backend->Call(req);
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimulatedServiceTest, LatencyIsDeterministicPerCallSequence) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService a, MakeKeyedSearchService("S", 10, 5, 4));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService b, MakeKeyedSearchService("S", 10, 5, 4));
+  ServiceRequest req;
+  for (int i = 0; i < 3; ++i) {
+    req.chunk_index = i % 2;
+    SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse ra, a.backend->Call(req));
+    SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse rb, b.backend->Call(req));
+    EXPECT_DOUBLE_EQ(ra.latency_ms, rb.latency_ms);
+    EXPECT_GT(ra.latency_ms, 0.0);
+  }
+}
+
+TEST(SimulatedServiceTest, CallCountTracks) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, MakeKeyedSearchService("S", 10, 5, 4));
+  EXPECT_EQ(svc.backend->call_count(), 0);
+  ServiceRequest req;
+  SECO_ASSERT_OK(svc.backend->Call(req).status());
+  SECO_ASSERT_OK(svc.backend->Call(req).status());
+  EXPECT_EQ(svc.backend->call_count(), 2);
+  svc.backend->ResetCallCount();
+  EXPECT_EQ(svc.backend->call_count(), 0);
+}
+
+TEST(SimulatedServiceTest, FullScanReturnsAllMatchesRanked) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, MakeKeyedSearchService("S", 17, 5, 100));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse all, svc.backend->FullScan({}));
+  EXPECT_EQ(all.tuples.size(), 17u);
+  for (size_t i = 1; i < all.scores.size(); ++i) {
+    EXPECT_LE(all.scores[i], all.scores[i - 1]);
+  }
+}
+
+TEST(SimulatedServiceTest, RepeatingGroupInputMatchesExistentially) {
+  // Service whose input is a sub-attribute of a repeating group.
+  SimServiceBuilder builder("G");
+  builder
+      .Schema({AttributeDef::Atomic("Id", ValueType::kInt),
+               AttributeDef::RepeatingGroup("Tags", {{"T", ValueType::kString}})})
+      .Pattern({{"Id", Adornment::kOutput}, {"Tags.T", Adornment::kInput}})
+      .Kind(ServiceKind::kExact);
+  builder.AddRow(Tuple({Value(1), RepeatingGroupValue{{Value("a")}, {Value("b")}}}));
+  builder.AddRow(Tuple({Value(2), RepeatingGroupValue{{Value("c")}}}));
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, builder.Build());
+  ServiceRequest req;
+  req.inputs = {Value("b")};
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse resp, svc.backend->Call(req));
+  ASSERT_EQ(resp.tuples.size(), 1u);
+  EXPECT_EQ(resp.tuples[0].AtomicAt(0).AsInt(), 1);
+}
+
+TEST(FlakyHandlerTest, FailsPeriodically) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, MakeKeyedSearchService("S", 10, 5, 4));
+  FlakyHandler flaky(svc.backend, /*failure_period=*/3);
+  ServiceRequest req;
+  EXPECT_TRUE(flaky.Call(req).ok());
+  EXPECT_TRUE(flaky.Call(req).ok());
+  EXPECT_FALSE(flaky.Call(req).ok());  // 3rd call fails
+  EXPECT_TRUE(flaky.Call(req).ok());
+}
+
+TEST(FixturesTest, MovieScenarioBuilds) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  EXPECT_TRUE(scenario.registry->FindInterface("Movie11").ok());
+  EXPECT_TRUE(scenario.registry->FindInterface("Theatre11").ok());
+  EXPECT_TRUE(scenario.registry->FindInterface("Restaurant11").ok());
+  EXPECT_TRUE(scenario.registry->FindConnectionPattern("Shows").ok());
+  EXPECT_TRUE(scenario.registry->FindConnectionPattern("DinnerPlace").ok());
+  EXPECT_EQ(scenario.inputs.size(), 6u);
+}
+
+TEST(FixturesTest, MovieScenarioHasEnoughMatchingMovies) {
+  MovieScenarioParams params;
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario(params));
+  // The canonical query needs >= 100 movies matching genre+country for the
+  // chapter's 5 fetches of 20.
+  SECO_ASSERT_OK_AND_ASSIGN(
+      ServiceResponse matches,
+      scenario.backends["Movie11"]->FullScan(
+          {scenario.inputs["INPUT1"], scenario.inputs["INPUT2"]}));
+  EXPECT_GE(matches.tuples.size(), 100u);
+}
+
+TEST(FixturesTest, ConferenceScenarioBuilds) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  for (const char* name : {"Conference1", "Weather1", "Flight1", "Hotel1"}) {
+    EXPECT_TRUE(scenario.registry->FindInterface(name).ok()) << name;
+  }
+  // Conference is exact and proliferative (avg 20 per call).
+  SECO_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<ServiceInterface> conf,
+      scenario.registry->FindInterface("Conference1"));
+  EXPECT_EQ(conf->kind(), ServiceKind::kExact);
+  EXPECT_TRUE(conf->is_proliferative());
+  EXPECT_DOUBLE_EQ(conf->stats().avg_tuples_per_call, 20.0);
+}
+
+TEST(FixturesTest, SyntheticPairSelectivityControlled) {
+  SyntheticPairParams params;
+  params.rows_x = 100;
+  params.rows_y = 100;
+  params.key_domain = 10;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+  // Count actual joinable pairs; expectation ~ rows_x*rows_y/key_domain.
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse all_x, pair.x.backend->FullScan({}));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse all_y, pair.y.backend->FullScan({}));
+  int matches = 0;
+  for (const Tuple& x : all_x.tuples) {
+    for (const Tuple& y : all_y.tuples) {
+      if (x.AtomicAt(0).AsInt() == y.AtomicAt(0).AsInt()) ++matches;
+    }
+  }
+  EXPECT_GT(matches, 500);
+  EXPECT_LT(matches, 1500);
+}
+
+TEST(FixturesTest, ScenariosAreDeterministic) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario a, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario b, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse ra,
+                            a.backends["Movie11"]->FullScan(
+                                {a.inputs["INPUT1"], a.inputs["INPUT2"]}));
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse rb,
+                            b.backends["Movie11"]->FullScan(
+                                {b.inputs["INPUT1"], b.inputs["INPUT2"]}));
+  ASSERT_EQ(ra.tuples.size(), rb.tuples.size());
+  for (size_t i = 0; i < ra.tuples.size(); ++i) {
+    EXPECT_TRUE(ra.tuples[i] == rb.tuples[i]);
+  }
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/engine.h"
+#include "exec/streaming.h"
+#include "plan/annotate.h"
+#include "plan/builder.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_shared<ServiceRegistry>();
+    Result<BuiltService> outer =
+        MakeKeyedSearchService("Outer", 60, 5, 4, ScoreDecay::kLinear);
+    ASSERT_TRUE(outer.ok());
+    outer_ = std::move(outer).value();
+    Result<BuiltService> inner = MakeKeyedSearchService(
+        "Inner", 80, 5, 4, ScoreDecay::kLinear, /*key_is_input=*/true);
+    ASSERT_TRUE(inner.ok());
+    inner_ = std::move(inner).value();
+    ASSERT_TRUE(registry_->RegisterInterface(outer_.interface).ok());
+    ASSERT_TRUE(registry_->RegisterInterface(inner_.interface).ok());
+  }
+
+  Result<QueryPlan> MakePlan(int outer_fetch = 12, int inner_fetch = 16) {
+    SECO_ASSIGN_OR_RETURN(
+        ParsedQuery parsed,
+        ParseQuery("select Outer as O, Inner as I where O.Key = I.Key"));
+    SECO_ASSIGN_OR_RETURN(BoundQuery bound, BindQuery(parsed, *registry_));
+    TopologySpec spec;
+    spec.stages = {{0}, {1}};
+    spec.atom_settings[0].fetch_factor = outer_fetch;
+    spec.atom_settings[1].fetch_factor = inner_fetch;
+    SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(bound, spec));
+    SECO_RETURN_IF_ERROR(AnnotatePlan(&plan).status());
+    return plan;
+  }
+
+  std::shared_ptr<ServiceRegistry> registry_;
+  BuiltService outer_;
+  BuiltService inner_;
+};
+
+TEST_F(StreamingTest, ProducesKValidCombinations) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  StreamingOptions options;
+  options.k = 7;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult result, engine.Execute(plan));
+  ASSERT_EQ(result.combinations.size(), 7u);
+  EXPECT_FALSE(result.exhausted);
+  for (const Combination& combo : result.combinations) {
+    EXPECT_EQ(combo.components[0].AtomicAt(0).AsInt(),
+              combo.components[1].AtomicAt(0).AsInt());
+  }
+}
+
+TEST_F(StreamingTest, StopsCallingAtK) {
+  // The materializing engine prepays every fetch the factors allow; the
+  // streaming engine stops the moment k combinations exist.
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  ExecutionOptions mat_options;
+  mat_options.k = 5;
+  mat_options.max_calls = 100000;
+  ExecutionEngine materializing(mat_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult mat, materializing.Execute(plan));
+
+  StreamingOptions stream_options;
+  stream_options.k = 5;
+  stream_options.max_calls = 100000;
+  StreamingEngine streaming(stream_options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult stream, streaming.Execute(plan));
+
+  ASSERT_EQ(stream.combinations.size(), 5u);
+  EXPECT_LT(stream.total_calls, mat.total_calls);
+  EXPECT_LE(stream.total_calls, 3);  // 1 outer chunk + lookups for 1-2 keys
+}
+
+TEST_F(StreamingTest, DrainingMatchesMaterializingEngine) {
+  // Pulled to exhaustion, the streaming engine sees exactly the same
+  // combinations as the materializing engine.
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  ExecutionOptions mat_options;
+  mat_options.k = 1000000;
+  mat_options.truncate_to_k = false;
+  mat_options.max_calls = 100000;
+  ExecutionEngine materializing(mat_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult mat, materializing.Execute(plan));
+
+  StreamingOptions stream_options;
+  stream_options.k = 1000000;
+  stream_options.max_calls = 100000;
+  StreamingEngine streaming(stream_options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult stream, streaming.Execute(plan));
+  EXPECT_TRUE(stream.exhausted);
+
+  auto key_of = [](const Combination& c) {
+    return c.components[0].AtomicAt(1).AsString() + "|" +
+           c.components[1].AtomicAt(1).AsString();
+  };
+  std::multiset<std::string> mat_keys, stream_keys;
+  for (const Combination& c : mat.combinations) mat_keys.insert(key_of(c));
+  for (const Combination& c : stream.combinations) stream_keys.insert(key_of(c));
+  EXPECT_EQ(mat_keys, stream_keys);
+}
+
+TEST_F(StreamingTest, ArrivalOrderApproximatesRanking) {
+  // Outer tuples are consumed in ranking order, so the first emitted
+  // combination carries the best outer score seen overall.
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  StreamingOptions options;
+  options.k = 20;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult result, engine.Execute(plan));
+  ASSERT_GE(result.combinations.size(), 2u);
+  double first_outer = result.combinations.front().component_scores[0];
+  for (const Combination& combo : result.combinations) {
+    EXPECT_LE(combo.component_scores[0], first_outer + 1e-12);
+  }
+}
+
+TEST_F(StreamingTest, BudgetSurfacesAsError) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  StreamingOptions options;
+  options.k = 1000;
+  options.max_calls = 2;
+  StreamingEngine engine(options);
+  Result<StreamingResult> result = engine.Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StreamingScenarioTest, MovieScenarioStreamsAndSavesCalls) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed, ParseQuery(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario.registry));
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.parallel_strategy.completion = JoinCompletion::kRectangular;
+  spec.atom_settings[0].fetch_factor = 5;
+  spec.atom_settings[1].fetch_factor = 5;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+
+  StreamingOptions options;
+  options.k = 5;
+  options.input_bindings = scenario.inputs;
+  options.max_calls = 100000;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult stream, engine.Execute(plan));
+  ASSERT_EQ(stream.combinations.size(), 5u);
+  for (const Combination& combo : stream.combinations) {
+    const Tuple& movie = combo.components[0];
+    const Tuple& theatre = combo.components[1];
+    bool shows = false;
+    for (const Value& title : theatre.CandidateValuesAt(AttrPath{9, 0})) {
+      if (title.AsString() == movie.AtomicAt(0).AsString()) shows = true;
+    }
+    EXPECT_TRUE(shows);
+  }
+
+  ExecutionOptions mat_options;
+  mat_options.k = 5;
+  mat_options.input_bindings = scenario.inputs;
+  mat_options.max_calls = 100000;
+  ExecutionEngine materializing(mat_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult mat, materializing.Execute(plan));
+  EXPECT_LE(stream.total_calls, mat.total_calls);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,66 @@
+#ifndef SECO_TESTS_TEST_UTIL_H_
+#define SECO_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/service_builder.h"
+
+namespace seco {
+namespace testing_util {
+
+/// ASSERT on a non-OK Result and unwrap it.
+#define SECO_ASSERT_OK(expr)                                        \
+  do {                                                              \
+    auto _st = (expr);                                              \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                        \
+  } while (false)
+
+#define SECO_ASSERT_OK_AND_ASSIGN(lhs, rexpr)             \
+  auto SECO_ASSIGN_OR_RETURN_NAME(_tmp_, __LINE__) = (rexpr);       \
+  ASSERT_TRUE(SECO_ASSIGN_OR_RETURN_NAME(_tmp_, __LINE__).ok())     \
+      << SECO_ASSIGN_OR_RETURN_NAME(_tmp_, __LINE__).status().ToString(); \
+  lhs = std::move(SECO_ASSIGN_OR_RETURN_NAME(_tmp_, __LINE__)).value()
+
+/// Builds a simple ranked search service over {Key:int, Val:string,
+/// Relevance:double(R)} with `rows` tuples whose keys cycle through
+/// [0, key_domain). Quality (and score order) decreases with row index.
+inline Result<BuiltService> MakeKeyedSearchService(
+    const std::string& name, int rows, int chunk_size, int key_domain,
+    ScoreDecay decay = ScoreDecay::kLinear, bool key_is_input = false,
+    int step_h = 1, double latency_ms = 100.0) {
+  SimServiceBuilder builder(name);
+  builder
+      .Schema({AttributeDef::Atomic("Key", ValueType::kInt),
+               AttributeDef::Atomic("Val", ValueType::kString),
+               AttributeDef::Atomic("Relevance", ValueType::kDouble)})
+      .Pattern({{"Key", key_is_input ? Adornment::kInput : Adornment::kOutput},
+                {"Val", Adornment::kOutput},
+                {"Relevance", Adornment::kRanked}})
+      .Kind(ServiceKind::kSearch)
+      .Seed(1234);
+  ServiceStats stats;
+  stats.chunk_size = chunk_size;
+  stats.latency_ms = latency_ms;
+  stats.decay = decay;
+  stats.step_h = step_h;
+  stats.avg_matches_per_binding =
+      key_is_input ? static_cast<double>(rows) / key_domain : rows;
+  builder.Stats(stats);
+  for (int i = 0; i < rows; ++i) {
+    double quality = 1.0 - static_cast<double>(i) / rows;
+    builder.AddRow(Tuple({Value(static_cast<int64_t>(i % key_domain)),
+                          Value(name + "#" + std::to_string(i)),
+                          Value(quality)}),
+                   quality);
+  }
+  return builder.Build();
+}
+
+}  // namespace testing_util
+}  // namespace seco
+
+#endif  // SECO_TESTS_TEST_UTIL_H_
