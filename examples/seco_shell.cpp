@@ -7,6 +7,10 @@
 //     --metric=time|sum|rr|calls|bottleneck|tts   cost metric (default: time)
 //     --k=N                         answers to produce (default: 10)
 //     --parallel | --selective      topology heuristic (default: selective)
+//     --threads=N                   engine worker threads (default: 1)
+//     --shared-cache                serve repeats from the process-wide
+//                                   service-call cache (runs twice to show
+//                                   the warm hit-rate)
 //     --dot                         print the plan as Graphviz DOT
 //     --explain                     print the bound query and stop
 //     --estimates                   print estimate-vs-actual per node
@@ -28,6 +32,8 @@ struct Options {
   seco::CostMetricKind metric = seco::CostMetricKind::kExecutionTime;
   int k = 10;
   seco::TopologyHeuristic topology = seco::TopologyHeuristic::kSelectiveFirst;
+  int threads = 1;
+  bool shared_cache = false;
   bool dot = false;
   bool explain = false;
   bool estimates = false;
@@ -57,6 +63,10 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       }
     } else if (const char* v = value_of("--k=")) {
       options->k = std::atoi(v);
+    } else if (const char* v = value_of("--threads=")) {
+      options->threads = std::atoi(v);
+    } else if (arg == "--shared-cache") {
+      options->shared_cache = true;
     } else if (arg == "--parallel") {
       options->topology = seco::TopologyHeuristic::kParallelIsBetter;
     } else if (arg == "--selective") {
@@ -119,8 +129,17 @@ seco::Status Run(const Options& options) {
     return seco::Status::OK();
   }
 
+  session.execution_options().num_threads = options.threads;
+  if (options.shared_cache) {
+    session.execution_options().cache = seco::ServiceCallCache::Process();
+  }
   SECO_ASSIGN_OR_RETURN(seco::QueryOutcome outcome,
                         session.Run(query_text, scenario.inputs, 100000));
+  if (options.shared_cache) {
+    // Second identical run: every request-response should now be warm.
+    SECO_ASSIGN_OR_RETURN(outcome, session.Run(query_text, scenario.inputs,
+                                               100000));
+  }
   std::printf("plan (metric %s, cost %.1f, %d plans costed, %d pruned):\n%s\n",
               seco::CostMetricKindToString(options.metric),
               outcome.optimization.cost, outcome.optimization.plans_costed,
@@ -129,9 +148,18 @@ seco::Status Run(const Options& options) {
   if (options.dot) {
     std::printf("%s\n", outcome.optimization.plan.ToDot().c_str());
   }
-  std::printf("answers: %zu of k=%d  (calls %d, simulated %.0f ms)\n",
-              outcome.execution.combinations.size(), options.k,
-              outcome.execution.total_calls, outcome.execution.elapsed_ms);
+  std::printf(
+      "answers: %zu of k=%d  (calls %d, cache hits %d / misses %d, "
+      "simulated %.0f ms, wall %.1f ms, threads %d)\n",
+      outcome.execution.combinations.size(), options.k,
+      outcome.execution.total_calls, outcome.execution.cache_hits,
+      outcome.execution.cache_misses, outcome.execution.elapsed_ms,
+      outcome.execution.wall_clock_ms, options.threads);
+  for (const auto& [node_id, stats] : outcome.execution.node_stats) {
+    if (stats.calls == 0 && stats.cache_hits == 0) continue;
+    std::printf("  node %-3d calls %-4d cache hits %-4d latency %.0f ms\n",
+                node_id, stats.calls, stats.cache_hits, stats.latency_ms);
+  }
   int rank = 0;
   for (const seco::Combination& combo : outcome.execution.combinations) {
     std::printf("  #%-3d score %.3f :", ++rank, combo.combined_score);

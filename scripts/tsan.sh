@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive targets under ThreadSanitizer and run the
+# tests that exercise real multithreading. Use this after touching the thread
+# pool, the call scheduler, the call cache, or the engine's fetch passes.
+#
+# Usage: scripts/tsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tsan
+
+cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
+  thread_pool_test call_cache_test concurrency_determinism_test \
+  engine_test engine_advanced_test integration_test
+
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j"$(nproc)" -R \
+  'ThreadPool|CallCache|ConcurrencyDeterminism|Engine|Integration' "$@"

@@ -1,0 +1,77 @@
+#ifndef SECO_COMMON_THREAD_POOL_H_
+#define SECO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace seco {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Deliberately work-stealing-free: tasks are executed in submission order
+/// (modulo worker availability), which keeps scheduling easy to reason
+/// about; determinism of *results* is the caller's job — collect outcomes
+/// by task index, never by completion order (see docs/CONCURRENCY.md).
+///
+/// `Submit` returns a `std::future` carrying the task's value; exceptions
+/// thrown by a task are captured and rethrown from `future::get()`.
+/// Destruction (or `Shutdown()`) drains every already-queued task before
+/// joining the workers, so submitted work is never silently dropped.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `f` and returns a future for its result. After `Shutdown()`
+  /// the task runs inline on the submitting thread (the pool never rejects
+  /// work).
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) {
+        lock.unlock();
+        (*task)();
+        return future;
+      }
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Waits for all queued tasks to finish, then joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace seco
+
+#endif  // SECO_COMMON_THREAD_POOL_H_

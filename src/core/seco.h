@@ -24,8 +24,11 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/session.h"
 #include "cost/metrics.h"
+#include "exec/call_cache.h"
+#include "exec/call_scheduler.h"
 #include "exec/engine.h"
 #include "exec/estimate_report.h"
 #include "exec/resumable.h"

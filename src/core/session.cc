@@ -20,7 +20,7 @@ Result<QueryOutcome> QuerySession::Run(
   SECO_ASSIGN_OR_RETURN(outcome.bound, BindQuery(outcome.parsed, *registry_));
   Optimizer optimizer(optimizer_options_);
   SECO_ASSIGN_OR_RETURN(outcome.optimization, optimizer.Optimize(outcome.bound));
-  ExecutionOptions exec_options;
+  ExecutionOptions exec_options = execution_options_;
   exec_options.k = optimizer_options_.k;
   exec_options.input_bindings = inputs;
   exec_options.max_calls = max_calls;

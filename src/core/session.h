@@ -42,6 +42,13 @@ class QuerySession {
   const ServiceRegistry& registry() const { return *registry_; }
   OptimizerOptions& optimizer_options() { return optimizer_options_; }
 
+  /// Template for the engine options of every `Run`: set `num_threads` for
+  /// a concurrent service-call fan-out, or `cache` (e.g.
+  /// `ServiceCallCache::Process()`) to share warm call results across
+  /// queries and sessions. `k`, `input_bindings` and `max_calls` are
+  /// overwritten per Run from its arguments.
+  ExecutionOptions& execution_options() { return execution_options_; }
+
   /// Parses and binds a query without running it (e.g. to inspect
   /// feasibility or plans).
   Result<BoundQuery> Prepare(const std::string& query_text) const;
@@ -58,6 +65,7 @@ class QuerySession {
  private:
   std::shared_ptr<ServiceRegistry> registry_;
   OptimizerOptions optimizer_options_;
+  ExecutionOptions execution_options_;
 };
 
 }  // namespace seco

@@ -1,0 +1,139 @@
+#include "exec/call_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "service/tuple.h"
+
+namespace seco {
+
+namespace {
+
+size_t ApproxValueBytes(const Value& v) {
+  // Variant storage plus heap payload for strings.
+  size_t bytes = sizeof(Value);
+  if (v.type() == ValueType::kString) bytes += v.AsString().size();
+  return bytes;
+}
+
+size_t ApproxTupleBytes(const Tuple& tuple) {
+  size_t bytes = sizeof(Tuple);
+  for (int i = 0; i < tuple.num_slots(); ++i) {
+    if (tuple.IsAtomic(i)) {
+      bytes += ApproxValueBytes(tuple.AtomicAt(i));
+    } else {
+      for (const GroupInstance& instance : tuple.GroupAt(i)) {
+        for (const Value& v : instance) bytes += ApproxValueBytes(v);
+      }
+    }
+  }
+  return bytes;
+}
+
+size_t ApproxResponseBytes(const std::string& key,
+                           const ServiceResponse& response) {
+  size_t bytes = key.size() + sizeof(ServiceResponse);
+  for (const Tuple& t : response.tuples) bytes += ApproxTupleBytes(t);
+  bytes += response.scores.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace
+
+std::string SerializeBinding(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+ServiceCallCache::ServiceCallCache(size_t byte_budget, int num_shards)
+    : num_shards_(std::max(num_shards, 1)),
+      shard_budget_(std::max<size_t>(byte_budget / num_shards_, 1)),
+      shards_(new Shard[num_shards_]) {}
+
+std::string ServiceCallCache::Key(const std::string& service,
+                                  const std::string& binding_key,
+                                  int chunk_index) {
+  std::string key = service;
+  key += '\x1e';
+  key += binding_key;
+  key += '\x1e';
+  key += std::to_string(chunk_index);
+  return key;
+}
+
+size_t ServiceCallCache::ShardOf(const std::string& key) const {
+  return std::hash<std::string>{}(key) % num_shards_;
+}
+
+std::optional<ServiceResponse> ServiceCallCache::Get(const std::string& key) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->response;
+}
+
+void ServiceCallCache::Put(const std::string& key,
+                           const ServiceResponse& response) {
+  size_t bytes = ApproxResponseBytes(key, response);
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  if (bytes > shard_budget_) return;  // would evict the whole shard
+  while (shard.bytes + bytes > shard_budget_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, response, bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+}
+
+CallCacheStats ServiceCallCache::stats() const {
+  CallCacheStats total;
+  for (int i = 0; i < num_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.entries += static_cast<int64_t>(shard.lru.size());
+    total.bytes += static_cast<int64_t>(shard.bytes);
+  }
+  return total;
+}
+
+void ServiceCallCache::Clear() {
+  for (int i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+    shard.hits = shard.misses = shard.evictions = 0;
+  }
+}
+
+ServiceCallCache* ServiceCallCache::Process() {
+  static ServiceCallCache* cache = new ServiceCallCache();
+  return cache;
+}
+
+}  // namespace seco

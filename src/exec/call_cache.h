@@ -1,0 +1,108 @@
+#ifndef SECO_EXEC_CALL_CACHE_H_
+#define SECO_EXEC_CALL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/invocation.h"
+
+namespace seco {
+
+/// Serializes an input binding to a stable cache-key fragment: each value's
+/// textual form followed by a 0x1f separator. The engine and the join layer
+/// share this so their entries interoperate.
+std::string SerializeBinding(const std::vector<Value>& values);
+
+/// Aggregate counters of a `ServiceCallCache`.
+struct CallCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+  int64_t bytes = 0;
+};
+
+/// A process-wide, sharded, byte-budgeted LRU cache of service responses.
+///
+/// Keyed by (service interface name, serialized input binding, chunk
+/// index) — exactly the identity of one request-response — so any executor
+/// (engine service nodes, `ChunkSource`, resumable cursors) can reuse warm
+/// entries across queries and sessions. Each shard has its own mutex and
+/// LRU list; a key is hashed to one shard, so concurrent callers touching
+/// different shards never contend.
+///
+/// Determinism note: cached responses carry the latency the original call
+/// was charged, but executors do NOT replay that latency on a hit — a hit
+/// models "no remote call happened". Hit/miss behaviour is a deterministic
+/// function of the request history as long as the byte budget is not
+/// exceeded (eviction order under concurrent Put is schedule-dependent);
+/// size the budget generously when bit-reproducibility matters.
+class ServiceCallCache {
+ public:
+  static constexpr size_t kDefaultByteBudget = 64 << 20;  // 64 MiB
+  static constexpr int kDefaultShards = 16;
+
+  explicit ServiceCallCache(size_t byte_budget = kDefaultByteBudget,
+                            int num_shards = kDefaultShards);
+
+  ServiceCallCache(const ServiceCallCache&) = delete;
+  ServiceCallCache& operator=(const ServiceCallCache&) = delete;
+
+  /// Composes the canonical cache key of one request.
+  static std::string Key(const std::string& service,
+                         const std::string& binding_key, int chunk_index);
+
+  /// Returns the cached response and refreshes its recency, or nullopt.
+  std::optional<ServiceResponse> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `response` under `key`, evicting least-recently
+  /// used entries of the same shard while the shard overflows its share of
+  /// the byte budget. An entry larger than a whole shard's budget is not
+  /// admitted.
+  void Put(const std::string& key, const ServiceResponse& response);
+
+  /// Counters summed over all shards.
+  CallCacheStats stats() const;
+
+  /// Drops every entry; counters are reset too.
+  void Clear();
+
+  int num_shards() const { return num_shards_; }
+
+  /// Which shard `key` lives in (exposed for the distribution tests).
+  size_t ShardOf(const std::string& key) const;
+
+  /// The process-wide instance shared by all sessions (default budget).
+  static ServiceCallCache* Process();
+
+ private:
+  struct Entry {
+    std::string key;
+    ServiceResponse response;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  int num_shards_;
+  size_t shard_budget_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_EXEC_CALL_CACHE_H_

@@ -1,0 +1,28 @@
+#include "exec/call_scheduler.h"
+
+#include <future>
+
+namespace seco {
+
+Status CallScheduler::RunAll(std::vector<CallJob> jobs) {
+  if (!concurrent()) {
+    for (CallJob& job : jobs) {
+      Status status = job();
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+  std::vector<std::future<Status>> futures;
+  futures.reserve(jobs.size());
+  for (CallJob& job : jobs) {
+    futures.push_back(pool_->Submit(std::move(job)));
+  }
+  Status first_error;
+  for (std::future<Status>& future : futures) {
+    Status status = future.get();
+    if (!status.ok() && first_error.ok()) first_error = std::move(status);
+  }
+  return first_error;
+}
+
+}  // namespace seco

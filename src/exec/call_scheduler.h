@@ -1,0 +1,45 @@
+#ifndef SECO_EXEC_CALL_SCHEDULER_H_
+#define SECO_EXEC_CALL_SCHEDULER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace seco {
+
+/// One independent unit of service-call work: typically "fetch every chunk
+/// of one distinct input binding" for an engine service node, or one branch
+/// fetch of a parallel join. Jobs write their outcome into caller-owned,
+/// index-addressed slots; they must not touch shared mutable state other
+/// than through atomics or their own slot.
+using CallJob = std::function<Status()>;
+
+/// Dispatches a batch of independent `CallJob`s and reports a deterministic
+/// outcome.
+///
+/// With a pool, all jobs are submitted up front and awaited in index order;
+/// without one (or with a single worker), jobs run inline in index order
+/// and the batch stops at the first failure — byte-identical to the
+/// historical sequential engine. In both modes the reported error is the
+/// *lowest-index* failure, so error selection does not depend on thread
+/// interleaving (completion order is never observed; see
+/// docs/CONCURRENCY.md).
+class CallScheduler {
+ public:
+  /// `pool` may be null (inline execution). Not owned.
+  explicit CallScheduler(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs every job; returns OK or the lowest-index error.
+  Status RunAll(std::vector<CallJob> jobs);
+
+  bool concurrent() const { return pool_ != nullptr && pool_->num_threads() > 1; }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_EXEC_CALL_SCHEDULER_H_

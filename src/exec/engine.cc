@@ -1,9 +1,15 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "common/thread_pool.h"
+#include "exec/call_cache.h"
+#include "exec/call_scheduler.h"
 #include "query/semantics.h"
 #include "service/invocation.h"
 
@@ -21,15 +27,6 @@ struct Row {
 
 using Stream = std::vector<Row>;
 
-std::string BindingKey(const std::vector<Value>& values) {
-  std::string key;
-  for (const Value& v : values) {
-    key += v.ToString();
-    key += '\x1f';
-  }
-  return key;
-}
-
 /// Fetched results for one input binding of a service node.
 struct CachedFetch {
   std::vector<Tuple> tuples;
@@ -37,9 +34,26 @@ struct CachedFetch {
   std::vector<int> chunk_ords;
 };
 
+/// One real request-response issued by a fetch job, for the deterministic
+/// accounting pass.
+struct FetchCall {
+  int chunk = 0;
+  double latency_ms = 0.0;
+};
+
+/// Everything one distinct-binding fetch job produced. Written by exactly
+/// one job, read only after the whole batch completes.
+struct FetchOutcome {
+  CachedFetch fetch;
+  std::vector<FetchCall> calls;  // real calls, in chunk order
+  int cache_hits = 0;
+  int cache_misses = 0;
+};
+
 }  // namespace
 
 Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
+  auto wall_start = std::chrono::steady_clock::now();
   SECO_RETURN_IF_ERROR(plan.Validate());
   SECO_ASSIGN_OR_RETURN(std::vector<int> order, plan.TopologicalOrder());
   const BoundQuery& query = plan.query();
@@ -48,6 +62,19 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
   ExecutionResult result;
   std::map<int, Stream> streams;  // node id -> output stream
   std::map<int, double> finish;   // node id -> simulated completion time
+
+  // Call infrastructure: a pool when concurrency was requested, and either
+  // the caller's shared cross-execution cache or a private one scoped to
+  // this execution (the historical per-execution dedup).
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  CallScheduler scheduler(pool.get());
+  ServiceCallCache local_cache;
+  ServiceCallCache* cache = options_.cache ? options_.cache : &local_cache;
+  // Budget reservations; fetch jobs from any thread claim call slots here.
+  std::atomic<int> calls_issued{0};
 
   auto call_with_retries =
       [&](ServiceCallHandler* handler,
@@ -81,8 +108,14 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
         Stream out;
         const ServiceInterface& iface = *node.iface;
         const AccessPattern& pattern = iface.pattern();
-        std::map<std::string, CachedFetch> cache;
 
+        // Pass 1 — bind inputs (pure CPU, no calls): compute each row's
+        // input bindings and list the distinct ones in first-appearance
+        // order.
+        std::vector<std::vector<int>> row_jobs(in.size());  // job per binding
+        std::vector<std::vector<Value>> distinct_bindings;
+        std::vector<std::string> distinct_keys;
+        std::map<std::string, int> job_of_key;
         for (size_t row_idx = 0; row_idx < in.size(); ++row_idx) {
           const Row& row = in[row_idx];
           // Candidate values per input path (multiple when piped from a
@@ -146,46 +179,98 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
             bindings = std::move(next);
           }
 
-          int kept_for_row = 0;
-          for (const std::vector<Value>& binding : bindings) {
-            std::string key = BindingKey(binding);
-            auto cache_it = cache.find(key);
-            if (cache_it == cache.end()) {
-              CachedFetch fetch;
-              int fetches =
-                  iface.is_chunked() ? std::max(node.fetch_factor, 1) : 1;
-              for (int f = 0; f < fetches; ++f) {
-                if (result.total_calls >= options_.max_calls) {
+          for (std::vector<Value>& binding : bindings) {
+            std::string key = SerializeBinding(binding);
+            auto [it, inserted] =
+                job_of_key.emplace(std::move(key),
+                                   static_cast<int>(distinct_keys.size()));
+            if (inserted) {
+              distinct_keys.push_back(it->first);
+              distinct_bindings.push_back(std::move(binding));
+            }
+            row_jobs[row_idx].push_back(it->second);
+          }
+        }
+
+        // Pass 2 — fetch: one job per distinct binding, dispatched through
+        // the scheduler (concurrent across bindings when a pool exists,
+        // inline in index order otherwise). Chunks of one binding stay
+        // sequential — chunk f+1 is only needed if chunk f was not
+        // exhausted. Each job owns its FetchOutcome slot; the call budget
+        // is claimed through `calls_issued`.
+        const int fetches =
+            iface.is_chunked() ? std::max(node.fetch_factor, 1) : 1;
+        std::vector<FetchOutcome> outcomes(distinct_keys.size());
+        std::vector<CallJob> jobs;
+        jobs.reserve(distinct_keys.size());
+        for (size_t j = 0; j < distinct_keys.size(); ++j) {
+          jobs.push_back([&, j]() -> Status {
+            FetchOutcome& outcome = outcomes[j];
+            for (int f = 0; f < fetches; ++f) {
+              std::string cache_key =
+                  ServiceCallCache::Key(iface.name(), distinct_keys[j], f);
+              ServiceResponse resp;
+              std::optional<ServiceResponse> cached = cache->Get(cache_key);
+              if (cached.has_value()) {
+                resp = std::move(*cached);
+                ++outcome.cache_hits;
+              } else {
+                if (calls_issued.fetch_add(1, std::memory_order_relaxed) >=
+                    options_.max_calls) {
                   return Status::ResourceExhausted(
                       "service call budget exceeded (" +
                       std::to_string(options_.max_calls) + ")");
                 }
                 ServiceRequest request;
-                request.inputs = binding;
+                request.inputs = distinct_bindings[j];
                 request.chunk_index = f;
                 SECO_ASSIGN_OR_RETURN(
-                    ServiceResponse resp,
-                    call_with_retries(iface.handler(), request));
-                ++result.total_calls;
-                ++stats.calls;
-                stats.latency_ms += resp.latency_ms;
-                result.total_latency_ms += resp.latency_ms;
-                if (options_.collect_trace) {
-                  result.trace.push_back(CallEvent{node.id, iface.name(), key,
-                                                   f, resp.latency_ms});
-                }
-                for (size_t t = 0; t < resp.tuples.size(); ++t) {
-                  fetch.tuples.push_back(std::move(resp.tuples[t]));
-                  fetch.scores.push_back(t < resp.scores.size() ? resp.scores[t]
-                                                                : 0.0);
-                  fetch.chunk_ords.push_back(f);
-                }
-                if (resp.exhausted) break;
+                    resp, call_with_retries(iface.handler(), request));
+                cache->Put(cache_key, resp);
+                outcome.calls.push_back(FetchCall{f, resp.latency_ms});
+                ++outcome.cache_misses;
               }
-              cache_it = cache.emplace(key, std::move(fetch)).first;
+              for (size_t t = 0; t < resp.tuples.size(); ++t) {
+                outcome.fetch.tuples.push_back(std::move(resp.tuples[t]));
+                outcome.fetch.scores.push_back(
+                    t < resp.scores.size() ? resp.scores[t] : 0.0);
+                outcome.fetch.chunk_ords.push_back(f);
+              }
+              if (resp.exhausted) break;
             }
+            return Status::OK();
+          });
+        }
+        SECO_RETURN_IF_ERROR(scheduler.RunAll(std::move(jobs)));
 
-            const CachedFetch& fetch = cache_it->second;
+        // Pass 3 — deterministic accounting in first-appearance order:
+        // identical to the historical sequential interleaving, regardless
+        // of which thread finished first.
+        for (size_t j = 0; j < outcomes.size(); ++j) {
+          const FetchOutcome& outcome = outcomes[j];
+          for (const FetchCall& call : outcome.calls) {
+            ++result.total_calls;
+            ++stats.calls;
+            stats.latency_ms += call.latency_ms;
+            result.total_latency_ms += call.latency_ms;
+            if (options_.collect_trace) {
+              result.trace.push_back(CallEvent{node.id, iface.name(),
+                                               distinct_keys[j], call.chunk,
+                                               call.latency_ms});
+            }
+          }
+          stats.cache_hits += outcome.cache_hits;
+          result.cache_hits += outcome.cache_hits;
+          result.cache_misses += outcome.cache_misses;
+        }
+
+        // Pass 4 — extend rows with the fetched tuples, byte-identical to
+        // the sequential fetch-as-you-go order.
+        for (size_t row_idx = 0; row_idx < in.size(); ++row_idx) {
+          const Row& row = in[row_idx];
+          int kept_for_row = 0;
+          for (int job_idx : row_jobs[row_idx]) {
+            const CachedFetch& fetch = outcomes[job_idx].fetch;
             for (size_t t = 0; t < fetch.tuples.size(); ++t) {
               if (node.keep_per_input > 0 && kept_for_row >= node.keep_per_input) {
                 break;
@@ -416,6 +501,10 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
     finish[id] = stats.finished_at_ms;
     result.elapsed_ms = std::max(result.elapsed_ms, finish[id]);
   }
+  result.wall_clock_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   return result;
 }
 

@@ -11,6 +11,8 @@
 
 namespace seco {
 
+class ServiceCallCache;
+
 /// Options of one plan execution.
 struct ExecutionOptions {
   /// Number of answer combinations to return.
@@ -25,6 +27,17 @@ struct ExecutionOptions {
   bool truncate_to_k = true;
   /// When true, every service call is recorded in ExecutionResult::trace.
   bool collect_trace = false;
+  /// Worker threads for the service-call fan-out: the distinct input
+  /// bindings of each service node fetch concurrently (parallel-join
+  /// branches overlap through their nodes' fan-outs). Results are collected
+  /// by task index, so any value yields bit-identical output; 1 (default)
+  /// is the historical fully sequential behavior.
+  int num_threads = 1;
+  /// Service-call cache. nullptr (default) = a fresh private cache per
+  /// execution, reproducing the historical per-execution dedup; point at
+  /// `ServiceCallCache::Process()` (or any shared instance) to let repeated
+  /// queries across sessions hit warm entries. Not owned.
+  ServiceCallCache* cache = nullptr;
 };
 
 /// One recorded service request-response (when tracing is enabled).
@@ -42,6 +55,7 @@ struct NodeRuntimeStats {
   double latency_ms = 0.0;   ///< sum of this node's call latencies
   int tuples_out = 0;
   double finished_at_ms = 0.0;  ///< simulated completion time of the node
+  int cache_hits = 0;  ///< request-responses served from the call cache
 };
 
 /// The outcome of executing a fully instantiated plan.
@@ -56,6 +70,12 @@ struct ExecutionResult {
   /// Sum of every call's latency (the fully sequential time).
   double total_latency_ms = 0.0;
   int total_combinations_produced = 0;
+  /// Request-responses served from the call cache / issued to services.
+  int cache_hits = 0;
+  int cache_misses = 0;
+  /// Measured real wall-clock duration of Execute(), in milliseconds —
+  /// distinct from the *simulated* `elapsed_ms` (see docs/CONCURRENCY.md).
+  double wall_clock_ms = 0.0;
   std::map<int, NodeRuntimeStats> node_stats;
   /// Chronological call log; empty unless `ExecutionOptions::collect_trace`.
   std::vector<CallEvent> trace;
@@ -65,9 +85,12 @@ struct ExecutionResult {
 /// topological order, materializing each node's output stream.
 ///
 ///  - service nodes bind inputs from constants / INPUT variables / piped
-///    upstream values, call the service (`fetch_factor` chunks per distinct
-///    binding, with a per-binding call cache), verify pipe-join groups, and
-///    honor `keep_per_input`;
+///    upstream values, then fetch `fetch_factor` chunks per distinct
+///    binding through a `CallScheduler` (bindings run concurrently under
+///    `num_threads`, against the shared `ServiceCallCache`), verify
+///    pipe-join groups, and honor `keep_per_input`; outcomes are assembled
+///    by task index, so results and stats are independent of thread
+///    interleaving;
 ///  - selection nodes re-evaluate *all* selections of the touched atoms
 ///    jointly, enforcing the §3.1 single-instance repeating-group rule, plus
 ///    residual join groups;

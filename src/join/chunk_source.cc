@@ -7,9 +7,26 @@ Result<bool> ChunkSource::FetchNext() {
   ServiceRequest request;
   request.inputs = inputs_;
   request.chunk_index = num_chunks();
-  SECO_ASSIGN_OR_RETURN(ServiceResponse resp, iface_->handler()->Call(request));
-  ++calls_;
-  total_latency_ms_ += resp.latency_ms;
+  ServiceResponse resp;
+  std::string cache_key;
+  bool from_cache = false;
+  if (cache_ != nullptr) {
+    cache_key = ServiceCallCache::Key(iface_->name(),
+                                      SerializeBinding(inputs_),
+                                      request.chunk_index);
+    std::optional<ServiceResponse> cached = cache_->Get(cache_key);
+    if (cached.has_value()) {
+      resp = std::move(*cached);
+      from_cache = true;
+      ++cache_hits_;
+    }
+  }
+  if (!from_cache) {
+    SECO_ASSIGN_OR_RETURN(resp, iface_->handler()->Call(request));
+    if (cache_ != nullptr) cache_->Put(cache_key, resp);
+    ++calls_;
+    total_latency_ms_ += resp.latency_ms;
+  }
   Chunk chunk;
   chunk.tuples = std::move(resp.tuples);
   chunk.scores = std::move(resp.scores);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/call_cache.h"
 #include "service/service_interface.h"
 
 namespace seco {
@@ -29,8 +30,13 @@ struct Chunk {
 /// of all join methods (§4.1: services produce a new chunk per call).
 class ChunkSource {
  public:
-  ChunkSource(std::shared_ptr<ServiceInterface> iface, std::vector<Value> inputs)
-      : iface_(std::move(iface)), inputs_(std::move(inputs)) {}
+  /// `cache`, when given (not owned), serves repeat fetches of the same
+  /// (service, binding, chunk) without touching the service: a warm entry
+  /// yields the chunk with no call counted and no latency charged. The
+  /// default keeps the historical always-call behavior.
+  ChunkSource(std::shared_ptr<ServiceInterface> iface, std::vector<Value> inputs,
+              ServiceCallCache* cache = nullptr)
+      : iface_(std::move(iface)), inputs_(std::move(inputs)), cache_(cache) {}
 
   /// Fetches the next chunk. Returns false when the service was already
   /// exhausted (no call is made in that case).
@@ -41,6 +47,8 @@ class ChunkSource {
   bool exhausted() const { return exhausted_; }
 
   int calls() const { return calls_; }
+  /// Chunks served from the call cache instead of a service call.
+  int cache_hits() const { return cache_hits_; }
   double total_latency_ms() const { return total_latency_ms_; }
 
   const ServiceInterface& iface() const { return *iface_; }
@@ -55,11 +63,13 @@ class ChunkSource {
  private:
   std::shared_ptr<ServiceInterface> iface_;
   std::vector<Value> inputs_;
+  ServiceCallCache* cache_ = nullptr;  // not owned; may be null
   // Deque: growing must not invalidate references to earlier chunks (the
   // top-k executor keeps pointers into fetched tuples).
   std::deque<Chunk> chunks_;
   bool exhausted_ = false;
   int calls_ = 0;
+  int cache_hits_ = 0;
   double total_latency_ms_ = 0.0;
   int tuples_seen_ = 0;
   bool scores_synthesized_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 namespace seco {
 
@@ -120,6 +121,30 @@ Result<int> ParallelJoinExecutor::ProcessTile(const Tile& tile,
 
 Result<JoinExecution> ParallelJoinExecutor::Run() {
   JoinExecution exec;
+  // Concurrent priming: both sides always need their first chunk before a
+  // single tile exists (§4.4), so with a pool the two opening fetches
+  // overlap. Bookkeeping runs X-then-Y afterwards, matching the sequential
+  // event order exactly.
+  if (config_.pool != nullptr && space_.chunks_x() == 0 &&
+      space_.chunks_y() == 0 && !x_->exhausted() && !y_->exhausted() &&
+      config_.max_calls >= 2) {
+    std::future<Result<bool>> fx =
+        config_.pool->Submit([this] { return x_->FetchNext(); });
+    Result<bool> got_y = y_->FetchNext();
+    Result<bool> got_x = fx.get();
+    SECO_RETURN_IF_ERROR(got_x.status());
+    SECO_RETURN_IF_ERROR(got_y.status());
+    if (got_x.value()) {
+      space_.AddChunkX(x_->chunk(x_->num_chunks() - 1).RepresentativeScore());
+      exec.events.push_back(
+          JoinEvent{JoinEventKind::kFetchX, x_->num_chunks() - 1, Tile{}});
+    }
+    if (got_y.value()) {
+      space_.AddChunkY(y_->chunk(y_->num_chunks() - 1).RepresentativeScore());
+      exec.events.push_back(
+          JoinEvent{JoinEventKind::kFetchY, y_->num_chunks() - 1, Tile{}});
+    }
+  }
   while (true) {
     // Process every admitted tile; stop once k results are emitted.
     bool done = false;

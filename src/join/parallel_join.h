@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "join/chunk_source.h"
 #include "join/clock.h"
 #include "join/search_space.h"
@@ -26,6 +27,12 @@ struct ParallelJoinConfig {
   /// Ranking-function weights combining the two scores.
   double weight_x = 0.5;
   double weight_y = 0.5;
+  /// Optional worker pool (not owned). When set, the priming fetches of
+  /// the two sides — always the first two calls of any strategy, since no
+  /// tile exists before both sides hold a chunk — overlap on the real wall
+  /// clock. Fetch *decisions* stay sequential, so traces, call counts and
+  /// results are identical with and without a pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// What happened during a join run, for benches and property tests.

@@ -1,11 +1,29 @@
 #include "sim/simulated_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "sim/scoring.h"
 
 namespace seco {
+
+uint64_t RequestOrdinal(const ServiceRequest& request) {
+  // FNV-1a over the textual inputs, then the chunk index.
+  uint64_t hash = 14695981039346656037ULL;
+  auto mix = [&hash](const std::string& s) {
+    for (unsigned char c : s) {
+      hash ^= c;
+      hash *= 1099511628211ULL;
+    }
+    hash ^= 0x1f;  // separator so adjacent inputs do not merge
+    hash *= 1099511628211ULL;
+  };
+  for (const Value& v : request.inputs) mix(v.ToString());
+  mix(std::to_string(request.chunk_index));
+  return hash;
+}
 
 SimulatedService::SimulatedService(std::shared_ptr<const ServiceSchema> schema,
                                    AccessPattern pattern, ServiceKind kind,
@@ -75,11 +93,17 @@ Result<ServiceResponse> SimulatedService::FullScan(
 }
 
 Result<ServiceResponse> SimulatedService::Call(const ServiceRequest& request) {
-  ++call_count_;
+  call_count_.fetch_add(1, std::memory_order_relaxed);
   SECO_ASSIGN_OR_RETURN(std::vector<int> matches,
                         MatchingRowIndices(request.inputs));
   ServiceResponse resp;
-  resp.latency_ms = latency_.NextLatencyMs();
+  resp.latency_ms = latency_.LatencyForOrdinal(RequestOrdinal(request));
+  if (realtime_factor_ > 0.0) {
+    // Model the remote round-trip as real blocking so concurrent executors
+    // can overlap calls on the wall clock.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        resp.latency_ms * realtime_factor_));
+  }
   int total = static_cast<int>(matches.size());
 
   int begin = 0, end = total;

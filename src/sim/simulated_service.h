@@ -1,6 +1,8 @@
 #ifndef SECO_SIM_SIMULATED_SERVICE_H_
 #define SECO_SIM_SIMULATED_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,25 +16,34 @@
 
 namespace seco {
 
-/// Deterministic per-call latency: `base_ms` plus bounded jitter drawn from
-/// a stream keyed by (seed, call ordinal), so a given call sequence always
-/// costs the same simulated time.
+/// Deterministic per-call latency: `base_ms` plus bounded jitter derived by
+/// hashing (seed, call ordinal). Stateless — unlike the earlier shared-RNG
+/// stream, a call's latency depends only on its identity, never on how
+/// calls from concurrent threads interleave, so simulated timings are
+/// bit-reproducible under any schedule.
 class LatencyModel {
  public:
   LatencyModel(double base_ms, double jitter_fraction, uint64_t seed)
-      : base_ms_(base_ms), jitter_fraction_(jitter_fraction), rng_(seed) {}
+      : base_ms_(base_ms), jitter_fraction_(jitter_fraction), seed_(seed) {}
 
-  /// Latency for the next call in sequence.
-  double NextLatencyMs() {
-    double u = rng_.NextDouble();  // [0,1)
+  /// Latency of the call identified by `ordinal`. The sim layer uses a
+  /// stable hash of the request (inputs + chunk index) as the ordinal, so
+  /// identical requests always cost the same simulated time.
+  double LatencyForOrdinal(uint64_t ordinal) const {
+    SplitMix64 rng(seed_ ^ (ordinal * 0x9E3779B97F4A7C15ULL));
+    double u = rng.NextDouble();  // [0,1)
     return base_ms_ * (1.0 + jitter_fraction_ * (2.0 * u - 1.0));
   }
 
  private:
   double base_ms_;
   double jitter_fraction_;
-  SplitMix64 rng_;
+  uint64_t seed_;
 };
+
+/// Stable 64-bit identity of a request: FNV-1a over the textual inputs and
+/// the chunk index. Feeds `LatencyModel::LatencyForOrdinal`.
+uint64_t RequestOrdinal(const ServiceRequest& request);
 
 /// An in-process stand-in for a remote search/exact service (substitution
 /// for the paper's live web services; see DESIGN.md).
@@ -61,13 +72,23 @@ class SimulatedService : public ServiceCallHandler {
   /// oracle uses this to compute reference top-k answers.
   Result<ServiceResponse> FullScan(const std::vector<Value>& inputs) const;
 
-  /// Number of Call() invocations served so far.
-  int64_t call_count() const { return call_count_; }
-  void ResetCallCount() { call_count_ = 0; }
+  /// Number of Call() invocations served so far. Thread-safe.
+  int64_t call_count() const {
+    return call_count_.load(std::memory_order_relaxed);
+  }
+  void ResetCallCount() { call_count_.store(0, std::memory_order_relaxed); }
 
   /// Makes the service *opaque*: results stay in ranking order but no
   /// scores are returned (§3.1 footnote 3 / §4.1 "opaque rankings").
+  /// Configure before issuing concurrent calls.
   void set_hide_scores(bool hide) { hide_scores_ = hide; }
+
+  /// When > 0, every Call() actually blocks for `latency_ms * factor`
+  /// milliseconds of real wall-clock time, turning the simulated latency
+  /// into observable I/O-style waiting (benchmarks use small factors so a
+  /// 140 ms simulated call sleeps ~3 ms). 0 = pure simulation, no sleeping.
+  /// Configure before issuing concurrent calls.
+  void set_realtime_factor(double factor) { realtime_factor_ = factor; }
 
  private:
   Result<std::vector<int>> MatchingRowIndices(
@@ -79,22 +100,27 @@ class SimulatedService : public ServiceCallHandler {
   ServiceStats stats_;
   std::vector<Tuple> rows_;
   std::vector<int> rank_order_;  // row indices sorted by quality desc
-  mutable LatencyModel latency_;
-  int64_t call_count_ = 0;
+  LatencyModel latency_;
+  std::atomic<int64_t> call_count_{0};
   bool hide_scores_ = false;
+  double realtime_factor_ = 0.0;
 };
 
 /// Wraps a handler and fails every `failure_period`-th call with an
-/// injected error; used by failure-injection tests.
+/// injected error; used by failure-injection tests. The arrival counter is
+/// atomic, so concurrent callers never tear it — though *which* caller
+/// draws the failing ordinal under concurrency is schedule-dependent by
+/// nature.
 class FlakyHandler : public ServiceCallHandler {
  public:
   FlakyHandler(std::shared_ptr<ServiceCallHandler> inner, int failure_period)
       : inner_(std::move(inner)), failure_period_(failure_period) {}
 
   Result<ServiceResponse> Call(const ServiceRequest& request) override {
-    ++calls_;
-    if (failure_period_ > 0 && calls_ % failure_period_ == 0) {
-      return Status::Internal("injected failure on call " + std::to_string(calls_));
+    int64_t ordinal = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (failure_period_ > 0 && ordinal % failure_period_ == 0) {
+      return Status::Internal("injected failure on call " +
+                              std::to_string(ordinal));
     }
     return inner_->Call(request);
   }
@@ -102,7 +128,7 @@ class FlakyHandler : public ServiceCallHandler {
  private:
   std::shared_ptr<ServiceCallHandler> inner_;
   int failure_period_;
-  int64_t calls_ = 0;
+  std::atomic<int64_t> calls_{0};
 };
 
 }  // namespace seco

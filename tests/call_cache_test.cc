@@ -1,0 +1,160 @@
+#include "exec/call_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/tuple.h"
+
+namespace seco {
+namespace {
+
+ServiceResponse MakeResponse(const std::string& payload, double latency_ms) {
+  ServiceResponse resp;
+  resp.tuples.push_back(Tuple({TupleSlot(Value(payload))}));
+  resp.scores.push_back(0.5);
+  resp.exhausted = false;
+  resp.latency_ms = latency_ms;
+  return resp;
+}
+
+TEST(CallCacheTest, KeyDistinguishesServiceBindingAndChunk) {
+  std::set<std::string> keys = {
+      ServiceCallCache::Key("S", "b", 0), ServiceCallCache::Key("S", "b", 1),
+      ServiceCallCache::Key("S", "c", 0), ServiceCallCache::Key("T", "b", 0)};
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(CallCacheTest, SerializeBindingIsPositional) {
+  EXPECT_NE(SerializeBinding({Value("ab"), Value("c")}),
+            SerializeBinding({Value("a"), Value("bc")}));
+  EXPECT_EQ(SerializeBinding({Value(1), Value(2)}),
+            SerializeBinding({Value(1), Value(2)}));
+}
+
+TEST(CallCacheTest, PutGetRoundTrip) {
+  ServiceCallCache cache;
+  std::string key = ServiceCallCache::Key("S", "b", 0);
+  EXPECT_FALSE(cache.Get(key).has_value());
+  cache.Put(key, MakeResponse("hello", 42.0));
+  std::optional<ServiceResponse> got = cache.Get(key);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->tuples.size(), 1u);
+  EXPECT_EQ(got->tuples[0].AtomicAt(0).AsString(), "hello");
+  EXPECT_DOUBLE_EQ(got->scores[0], 0.5);
+  EXPECT_FALSE(got->exhausted);
+  EXPECT_DOUBLE_EQ(got->latency_ms, 42.0);
+  CallCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes, 0);
+}
+
+TEST(CallCacheTest, LruEvictionPrefersRecentlyUsed) {
+  // Single shard, ~2 KiB budget; each 800-char payload entry weighs roughly
+  // 1 KiB, so exactly two fit.
+  ServiceCallCache cache(/*byte_budget=*/2048, /*num_shards=*/1);
+  std::string payload(800, 'x');
+  cache.Put("A", MakeResponse(payload, 1.0));
+  cache.Put("B", MakeResponse(payload, 2.0));
+  ASSERT_TRUE(cache.Get("A").has_value());  // A becomes most-recently-used
+  cache.Put("C", MakeResponse(payload, 3.0));
+  EXPECT_TRUE(cache.Get("A").has_value());
+  EXPECT_FALSE(cache.Get("B").has_value());  // LRU victim
+  EXPECT_TRUE(cache.Get("C").has_value());
+  EXPECT_GE(cache.stats().evictions, 1);
+}
+
+TEST(CallCacheTest, EvictionKeepsShardWithinBudget) {
+  ServiceCallCache cache(/*byte_budget=*/2048, /*num_shards=*/1);
+  std::string payload(400, 'y');
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("k" + std::to_string(i), MakeResponse(payload, i));
+  }
+  CallCacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 2048);
+  EXPECT_LT(stats.entries, 10);
+  EXPECT_TRUE(cache.Get("k9").has_value());    // newest survives
+  EXPECT_FALSE(cache.Get("k0").has_value());   // oldest evicted
+}
+
+TEST(CallCacheTest, OversizedEntryIsNotAdmitted) {
+  ServiceCallCache cache(/*byte_budget=*/512, /*num_shards=*/1);
+  cache.Put("small", MakeResponse("s", 1.0));
+  cache.Put("huge", MakeResponse(std::string(4096, 'z'), 2.0));
+  EXPECT_FALSE(cache.Get("huge").has_value());
+  EXPECT_TRUE(cache.Get("small").has_value());  // untouched by the rejection
+}
+
+TEST(CallCacheTest, KeysSpreadAcrossShards) {
+  ServiceCallCache cache(ServiceCallCache::kDefaultByteBudget,
+                         /*num_shards=*/16);
+  std::set<size_t> shards;
+  for (int i = 0; i < 1000; ++i) {
+    shards.insert(cache.ShardOf(ServiceCallCache::Key(
+        "S" + std::to_string(i % 7), "binding" + std::to_string(i), i % 5)));
+  }
+  // With 1000 hashed keys, a healthy hash touches essentially every shard.
+  EXPECT_GE(shards.size(), 12u);
+}
+
+TEST(CallCacheTest, ClearDropsEntriesAndCounters) {
+  ServiceCallCache cache;
+  cache.Put("A", MakeResponse("a", 1.0));
+  ASSERT_TRUE(cache.Get("A").has_value());
+  cache.Clear();
+  CallCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_FALSE(cache.Get("A").has_value());
+}
+
+TEST(CallCacheTest, ConcurrentGetPutHammering) {
+  // 8 threads hammer 32 keys under a tight budget (evictions happen
+  // continuously). Correctness bar: every hit returns the payload that was
+  // stored for that exact key, and shard counters never tear.
+  ServiceCallCache cache(/*byte_budget=*/8192, /*num_shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<int64_t> payload_mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &payload_mismatches, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int key_id = (t * 31 + i * 17) % 32;
+        std::string key = ServiceCallCache::Key("S", std::to_string(key_id), 0);
+        std::string payload = "payload-" + std::to_string(key_id);
+        if ((t + i) % 3 == 0) {
+          cache.Put(key, MakeResponse(payload, key_id));
+        } else {
+          std::optional<ServiceResponse> got = cache.Get(key);
+          if (got.has_value() &&
+              got->tuples[0].AtomicAt(0).AsString() != payload) {
+            payload_mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(payload_mismatches.load(), 0);
+  int64_t expected_gets = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      if ((t + i) % 3 != 0) ++expected_gets;
+    }
+  }
+  CallCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, expected_gets);
+  EXPECT_LE(stats.bytes, 8192);
+}
+
+}  // namespace
+}  // namespace seco

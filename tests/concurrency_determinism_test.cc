@@ -1,0 +1,163 @@
+// Determinism contract of the concurrent execution layer
+// (docs/CONCURRENCY.md): an `ExecutionEngine` with `num_threads = 8` must
+// produce byte-identical results, counters, and simulated timings to the
+// sequential engine — thread interleaving may change only the real wall
+// clock. Exercised on the Fig. 10 running example (pipe topology) and the
+// conference scenario (parallel-join branches).
+
+#include <gtest/gtest.h>
+
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+ExecutionOptions BaseOptions(const Scenario& scenario, int num_threads) {
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = scenario.inputs;
+  options.num_threads = num_threads;
+  options.collect_trace = true;
+  return options;
+}
+
+void ExpectIdentical(const ExecutionResult& sequential,
+                     const ExecutionResult& threaded) {
+  EXPECT_EQ(threaded.total_calls, sequential.total_calls);
+  EXPECT_DOUBLE_EQ(threaded.elapsed_ms, sequential.elapsed_ms);
+  EXPECT_DOUBLE_EQ(threaded.total_latency_ms, sequential.total_latency_ms);
+  EXPECT_EQ(threaded.total_combinations_produced,
+            sequential.total_combinations_produced);
+  EXPECT_EQ(threaded.cache_hits, sequential.cache_hits);
+  EXPECT_EQ(threaded.cache_misses, sequential.cache_misses);
+
+  ASSERT_EQ(threaded.combinations.size(), sequential.combinations.size());
+  for (size_t i = 0; i < sequential.combinations.size(); ++i) {
+    const Combination& a = sequential.combinations[i];
+    const Combination& b = threaded.combinations[i];
+    EXPECT_DOUBLE_EQ(b.combined_score, a.combined_score);
+    ASSERT_EQ(b.components.size(), a.components.size());
+    for (size_t c = 0; c < a.components.size(); ++c) {
+      EXPECT_TRUE(b.components[c] == a.components[c]);
+      EXPECT_DOUBLE_EQ(b.component_scores[c], a.component_scores[c]);
+    }
+  }
+
+  ASSERT_EQ(threaded.node_stats.size(), sequential.node_stats.size());
+  for (const auto& [node_id, stats] : sequential.node_stats) {
+    auto it = threaded.node_stats.find(node_id);
+    ASSERT_NE(it, threaded.node_stats.end());
+    EXPECT_EQ(it->second.calls, stats.calls);
+    EXPECT_EQ(it->second.tuples_out, stats.tuples_out);
+    EXPECT_EQ(it->second.cache_hits, stats.cache_hits);
+    EXPECT_DOUBLE_EQ(it->second.latency_ms, stats.latency_ms);
+    EXPECT_DOUBLE_EQ(it->second.finished_at_ms, stats.finished_at_ms);
+  }
+
+  // The chronological call log is part of the contract: collection by task
+  // index must reproduce the sequential fetch order event for event.
+  ASSERT_EQ(threaded.trace.size(), sequential.trace.size());
+  for (size_t i = 0; i < sequential.trace.size(); ++i) {
+    EXPECT_EQ(threaded.trace[i].node, sequential.trace[i].node);
+    EXPECT_EQ(threaded.trace[i].service, sequential.trace[i].service);
+    EXPECT_EQ(threaded.trace[i].binding_key, sequential.trace[i].binding_key);
+    EXPECT_EQ(threaded.trace[i].chunk_index, sequential.trace[i].chunk_index);
+    EXPECT_DOUBLE_EQ(threaded.trace[i].latency_ms,
+                     sequential.trace[i].latency_ms);
+  }
+}
+
+TEST(ConcurrencyDeterminismTest, Fig10RunningExampleEightThreads) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  QuerySession session(scenario.registry, optimizer_options);
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult optimized,
+                            session.Optimize(bound));
+
+  ExecutionEngine sequential_engine(BaseOptions(scenario, 1));
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult sequential,
+                            sequential_engine.Execute(optimized.plan));
+  ExecutionEngine threaded_engine(BaseOptions(scenario, 8));
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult threaded,
+                            threaded_engine.Execute(optimized.plan));
+  EXPECT_FALSE(sequential.combinations.empty());
+  ExpectIdentical(sequential, threaded);
+}
+
+TEST(ConcurrencyDeterminismTest, ConferenceParallelBranchesEightThreads) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  optimizer_options.topology_heuristic = TopologyHeuristic::kParallelIsBetter;
+  QuerySession session(scenario.registry, optimizer_options);
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult optimized,
+                            session.Optimize(bound));
+
+  ExecutionEngine sequential_engine(BaseOptions(scenario, 1));
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult sequential,
+                            sequential_engine.Execute(optimized.plan));
+  ExecutionEngine threaded_engine(BaseOptions(scenario, 8));
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult threaded,
+                            threaded_engine.Execute(optimized.plan));
+  EXPECT_FALSE(sequential.combinations.empty());
+  ExpectIdentical(sequential, threaded);
+}
+
+TEST(ConcurrencyDeterminismTest, RepeatedExecutionIsStableUnderThreads) {
+  // Back-to-back threaded runs see identical simulated latencies: the
+  // latency model keys jitter off the request identity, never off shared
+  // RNG state that interleaving could reorder.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  QuerySession session(scenario.registry, OptimizerOptions{});
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult optimized,
+                            session.Optimize(bound));
+  ExecutionEngine first(BaseOptions(scenario, 4));
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult a, first.Execute(optimized.plan));
+  ExecutionEngine second(BaseOptions(scenario, 4));
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult b, second.Execute(optimized.plan));
+  ExpectIdentical(a, b);
+}
+
+TEST(ConcurrencyDeterminismTest, SharedCacheMakesSecondRunWarm) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  QuerySession session(scenario.registry, OptimizerOptions{});
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult optimized,
+                            session.Optimize(bound));
+
+  ServiceCallCache cache;
+  ExecutionOptions options = BaseOptions(scenario, 2);
+  options.cache = &cache;
+  ExecutionEngine cold_engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult cold,
+                            cold_engine.Execute(optimized.plan));
+  EXPECT_GT(cold.total_calls, 0);
+  EXPECT_EQ(cold.cache_hits, 0);
+
+  ExecutionEngine warm_engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult warm,
+                            warm_engine.Execute(optimized.plan));
+  // Every request-response of the repeat run is served from the cache.
+  EXPECT_EQ(warm.total_calls, 0);
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(warm.cache_hits, cold.cache_hits + cold.cache_misses);
+  // Answers are unchanged; only the simulated time collapses.
+  ASSERT_EQ(warm.combinations.size(), cold.combinations.size());
+  for (size_t i = 0; i < cold.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warm.combinations[i].combined_score,
+                     cold.combinations[i].combined_score);
+  }
+  EXPECT_DOUBLE_EQ(warm.total_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+namespace seco {
+namespace {
+
+TEST(ThreadPoolTest, ResultsCollectedByTaskIndex) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  // Futures are read in submission order: completion order is irrelevant.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> boom =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  std::future<int> fine = pool.Submit([] { return 7; });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // A throwing task must not poison the pool.
+  EXPECT_EQ(fine.get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(ran.load(), 32);
+  }
+  EXPECT_EQ(ran.load(), 32);  // destructor after Shutdown is a no-op
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::future<int> future = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SleepingTasksOverlapOnTheWallClock) {
+  // 8 tasks x 50 ms with 4 workers: sequential execution would take 400 ms,
+  // two overlapped waves take ~100 ms. The generous bound keeps the test
+  // robust on loaded machines while still proving real overlap.
+  ThreadPool pool(4);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(50)); }));
+  }
+  for (auto& future : futures) future.get();
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_LT(elapsed_ms, 320.0);
+  EXPECT_GE(elapsed_ms, 95.0);  // two waves cannot beat ~100 ms
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.Submit([] { return 3; }).get(), 3);
+}
+
+}  // namespace
+}  // namespace seco
