@@ -106,6 +106,85 @@ void Report() {
               full.total_calls);
 }
 
+/// Realtime wall-clock comparison of the speculative prefetcher on the
+/// conference pipe: the same plan runs with blocking (paced) services,
+/// once sequentially and once with 4 worker threads speculating 3 chunks
+/// ahead. Results and charged calls must be identical; only the wall
+/// clock may change.
+void ReportPrefetchOverlap() {
+  Section("speculative prefetch: realtime overlap on the conference pipe");
+  Scenario scenario = Unwrap(MakeConferenceScenario(), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(scenario.query_text), "parse");
+  BoundQuery query = Unwrap(BindQuery(parsed, *scenario.registry), "bind");
+  TopologySpec spec;  // Fig. 3: Conference -> Weather -> (Flight || Hotel)
+  spec.stages = {{0}, {1}, {2, 3}};
+  spec.atom_settings[2].fetch_factor = 4;
+  spec.atom_settings[3].fetch_factor = 4;
+  QueryPlan plan = Unwrap(BuildPlan(query, spec), "build");
+  CheckOk(AnnotatePlan(&plan).status(), "annotate");
+
+  // Pace every backend so a service call blocks for 5% of its simulated
+  // latency in real time, and let the engines cut pacing sleeps short at
+  // teardown instead of waiting out abandoned speculation.
+  auto interrupt = std::make_shared<InterruptFlag>();
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.1);
+    backend->set_interrupt(interrupt);
+  }
+
+  auto run = [&](int num_threads, int prefetch_depth) {
+    StreamingOptions options;
+    options.k = 25;
+    options.input_bindings = scenario.inputs;
+    options.max_calls = 100000;
+    options.num_threads = num_threads;
+    options.prefetch_depth = prefetch_depth;
+    options.interrupt = interrupt;
+    StreamingEngine engine(options);
+    return Unwrap(engine.Execute(plan), "stream");
+  };
+  StreamingResult sequential = run(1, 0);
+  StreamingResult overlapped = run(4, 4);
+
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.0);
+    backend->set_interrupt(nullptr);
+  }
+
+  bool identical =
+      sequential.combinations.size() == overlapped.combinations.size() &&
+      sequential.total_calls == overlapped.total_calls;
+  for (size_t i = 0; identical && i < sequential.combinations.size(); ++i) {
+    identical = sequential.combinations[i].combined_score ==
+                overlapped.combinations[i].combined_score;
+  }
+  double speedup = overlapped.wall_clock_ms > 0.0
+                       ? sequential.wall_clock_ms / overlapped.wall_clock_ms
+                       : 0.0;
+  double waste_ratio =
+      overlapped.speculative_calls > 0
+          ? static_cast<double>(overlapped.speculative_wasted) /
+                overlapped.speculative_calls
+          : 0.0;
+  std::printf("  %-34s | %10s %10s %8s\n", "configuration", "wall ms",
+              "charged", "answers");
+  std::printf("  %-34s | %10.1f %10d %8zu\n", "sequential (threads=1, depth=0)",
+              sequential.wall_clock_ms, sequential.total_calls,
+              sequential.combinations.size());
+  std::printf("  %-34s | %10.1f %10d %8zu\n", "prefetch   (threads=4, depth=4)",
+              overlapped.wall_clock_ms, overlapped.total_calls,
+              overlapped.combinations.size());
+  std::printf(
+      "  wall-clock speedup: %.2fx   identical results & charges: %s\n"
+      "  speculation: %d issued, %d wasted (waste ratio %.0f%%)\n",
+      speedup, identical ? "yes" : "NO (BUG)", overlapped.speculative_calls,
+      overlapped.speculative_wasted, 100.0 * waste_ratio);
+  std::printf(
+      "  shape expectation: the pipe's per-binding fetches overlap, so the\n"
+      "  speculative run should finish at least ~2x sooner while charging\n"
+      "  the same calls; wasted fetches stay cached for later runs.\n");
+}
+
 void BM_MaterializingK5(benchmark::State& state) {
   Fixture fx = MakeMovieFixture();
   ExecutionOptions options;
@@ -137,6 +216,7 @@ BENCHMARK(BM_StreamingK5);
 
 int main(int argc, char** argv) {
   seco::Report();
+  seco::ReportPrefetchOverlap();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,11 @@
 //     --k=N                         answers to produce (default: 10)
 //     --parallel | --selective      topology heuristic (default: selective)
 //     --threads=N                   engine worker threads (default: 1)
+//     --stream                      run the pull-based streaming engine
+//                                   (answers in arrival order)
+//     --prefetch=N                  streaming speculation depth: with
+//                                   --threads>1, fetch up to N chunks ahead
+//                                   of the consumer (default: 0, off)
 //     --shared-cache                serve repeats from the process-wide
 //                                   service-call cache (runs twice to show
 //                                   the warm hit-rate)
@@ -33,6 +38,8 @@ struct Options {
   int k = 10;
   seco::TopologyHeuristic topology = seco::TopologyHeuristic::kSelectiveFirst;
   int threads = 1;
+  bool stream = false;
+  int prefetch = 0;
   bool shared_cache = false;
   bool dot = false;
   bool explain = false;
@@ -65,6 +72,10 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->k = std::atoi(v);
     } else if (const char* v = value_of("--threads=")) {
       options->threads = std::atoi(v);
+    } else if (arg == "--stream") {
+      options->stream = true;
+    } else if (const char* v = value_of("--prefetch=")) {
+      options->prefetch = std::atoi(v);
     } else if (arg == "--shared-cache") {
       options->shared_cache = true;
     } else if (arg == "--parallel") {
@@ -125,6 +136,57 @@ seco::Status Run(const Options& options) {
                     s.provider_output.c_str(),
                     s.provider_invocable ? "" : " [provider not invocable]");
       }
+    }
+    return seco::Status::OK();
+  }
+
+  if (options.stream) {
+    SECO_ASSIGN_OR_RETURN(seco::BoundQuery bound, session.Prepare(query_text));
+    SECO_ASSIGN_OR_RETURN(seco::OptimizationResult optimized,
+                          session.Optimize(bound));
+    seco::StreamingOptions stream_options;
+    stream_options.k = options.k;
+    stream_options.input_bindings = scenario.inputs;
+    stream_options.max_calls = 100000;
+    stream_options.num_threads = options.threads;
+    stream_options.prefetch_depth = options.prefetch;
+    if (options.shared_cache) {
+      stream_options.cache = seco::ServiceCallCache::Process();
+    }
+    seco::StreamingEngine engine(stream_options);
+    SECO_ASSIGN_OR_RETURN(seco::StreamingResult stream,
+                          engine.Execute(optimized.plan));
+    if (options.shared_cache) {
+      // Second identical run: every request-response should now be warm.
+      SECO_ASSIGN_OR_RETURN(stream, engine.Execute(optimized.plan));
+    }
+    std::printf("plan (metric %s, cost %.1f):\n%s\n",
+                seco::CostMetricKindToString(options.metric),
+                optimized.cost, optimized.plan.ToString().c_str());
+    std::printf(
+        "streamed answers: %zu of k=%d%s  (charged calls %d, cache hits %d / "
+        "misses %d, critical path %.0f ms, wall %.1f ms, threads %d, "
+        "prefetch depth %d, speculative %d issued / %d wasted)\n",
+        stream.combinations.size(), options.k,
+        stream.exhausted ? " [sources exhausted]" : "", stream.total_calls,
+        stream.cache_hits, stream.cache_misses, stream.total_latency_ms,
+        stream.wall_clock_ms, options.threads, options.prefetch,
+        stream.speculative_calls, stream.speculative_wasted);
+    for (const auto& [node_id, stats] : stream.node_stats) {
+      if (stats.calls == 0 && stats.cache_hits == 0) continue;
+      std::printf(
+          "  node %-3d calls %-4d cache hits %-4d latency %.0f ms "
+          "(finished %.0f ms, %d tuples out)\n",
+          node_id, stats.calls, stats.cache_hits, stats.latency_ms,
+          stats.finished_at_ms, stats.tuples_out);
+    }
+    int rank = 0;
+    for (const seco::Combination& combo : stream.combinations) {
+      std::printf("  #%-3d score %.3f :", ++rank, combo.combined_score);
+      for (size_t a = 0; a < combo.components.size(); ++a) {
+        std::printf("  %s", combo.components[a].AtomicAt(0).ToString().c_str());
+      }
+      std::printf("\n");
     }
     return seco::Status::OK();
   }

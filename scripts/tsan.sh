@@ -12,8 +12,9 @@ BUILD_DIR=build-tsan
 cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
   thread_pool_test call_cache_test concurrency_determinism_test \
+  streaming_prefetch_test streaming_test join_methods_test \
   engine_test engine_advanced_test integration_test
 
 cd "${BUILD_DIR}"
 ctest --output-on-failure -j"$(nproc)" -R \
-  'ThreadPool|CallCache|ConcurrencyDeterminism|Engine|Integration' "$@"
+  'ThreadPool|CallCache|ConcurrencyDeterminism|StreamingPrefetch|Streaming|ParallelJoin|Engine|Integration' "$@"

@@ -1,0 +1,57 @@
+#ifndef SECO_COMMON_INTERRUPT_H_
+#define SECO_COMMON_INTERRUPT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace seco {
+
+/// A one-shot, thread-safe wakeup flag shared between an executor and the
+/// blocking calls it may have in flight.
+///
+/// Realtime-mode simulated services sleep for their modeled latency; when an
+/// executor hits its call budget (or simply finishes) while speculative
+/// fetches are still sleeping on pool threads, it triggers the flag and the
+/// sleeps return immediately instead of holding up teardown. Interruption
+/// only shortens the *pacing* sleep — the interrupted call still computes
+/// and returns its full response, so results and simulated timings are
+/// unaffected.
+class InterruptFlag {
+ public:
+  void Trigger() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      triggered_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Re-arms the flag (e.g. between runs sharing one flag).
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    triggered_ = false;
+  }
+
+  bool triggered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return triggered_;
+  }
+
+  /// Blocks for `duration` or until triggered, whichever comes first.
+  /// Returns true if the wait ended early because of a trigger.
+  template <typename Rep, typename Period>
+  bool SleepFor(std::chrono::duration<Rep, Period> duration) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, duration, [this] { return triggered_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool triggered_ = false;
+};
+
+}  // namespace seco
+
+#endif  // SECO_COMMON_INTERRUPT_H_

@@ -82,6 +82,12 @@ std::optional<ServiceResponse> ServiceCallCache::Get(const std::string& key) {
   return it->second->response;
 }
 
+bool ServiceCallCache::Contains(const std::string& key) const {
+  const Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.find(key) != shard.index.end();
+}
+
 void ServiceCallCache::Put(const std::string& key,
                            const ServiceResponse& response) {
   size_t bytes = ApproxResponseBytes(key, response);

@@ -61,6 +61,12 @@ class ServiceCallCache {
   /// Returns the cached response and refreshes its recency, or nullopt.
   std::optional<ServiceResponse> Get(const std::string& key);
 
+  /// True if `key` is currently cached. Unlike `Get`, this is a pure probe:
+  /// it bumps neither the hit/miss counters nor the entry's recency, so
+  /// speculative planners can ask "is this fetch already covered?" without
+  /// distorting the statistics a deterministic run must reproduce.
+  bool Contains(const std::string& key) const;
+
   /// Inserts (or refreshes) `response` under `key`, evicting least-recently
   /// used entries of the same shard while the shard overflows its share of
   /// the byte budget. An entry larger than a whole shard's budget is not

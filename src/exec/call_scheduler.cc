@@ -25,4 +25,9 @@ Status CallScheduler::RunAll(std::vector<CallJob> jobs) {
   return first_error;
 }
 
+std::optional<std::future<Status>> CallScheduler::SubmitOne(CallJob job) {
+  if (!concurrent()) return std::nullopt;
+  return pool_->Submit(std::move(job));
+}
+
 }  // namespace seco

@@ -2,6 +2,8 @@
 #define SECO_EXEC_CALL_SCHEDULER_H_
 
 #include <functional>
+#include <future>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -33,6 +35,12 @@ class CallScheduler {
 
   /// Runs every job; returns OK or the lowest-index error.
   Status RunAll(std::vector<CallJob> jobs);
+
+  /// Dispatches one job asynchronously — the speculative-prefetch entry
+  /// point. Returns the job's future in concurrent mode; nullopt in inline
+  /// mode, where speculation has no spare thread to hide behind and callers
+  /// should simply skip the speculative work (the demand path will do it).
+  std::optional<std::future<Status>> SubmitOne(CallJob job);
 
   bool concurrent() const { return pool_ != nullptr && pool_->num_threads() > 1; }
 

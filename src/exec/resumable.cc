@@ -4,32 +4,30 @@
 
 namespace seco {
 
-namespace {
-
-std::string CacheKey(const ServiceRequest& request) {
-  std::string key = std::to_string(request.chunk_index);
-  key += '|';
-  for (const Value& v : request.inputs) {
-    key += v.ToString();
-    key += '\x1f';
+CachingHandler::CachingHandler(std::shared_ptr<ServiceCallHandler> inner,
+                               std::string service_name,
+                               ServiceCallCache* cache)
+    : inner_(std::move(inner)), service_name_(std::move(service_name)) {
+  if (cache == nullptr) {
+    owned_cache_ = std::make_unique<ServiceCallCache>();
+    cache_ = owned_cache_.get();
+  } else {
+    cache_ = cache;
   }
-  return key;
 }
 
-}  // namespace
-
 Result<ServiceResponse> CachingHandler::Call(const ServiceRequest& request) {
-  std::string key = CacheKey(request);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
+  std::string key = ServiceCallCache::Key(
+      service_name_, SerializeBinding(request.inputs), request.chunk_index);
+  std::optional<ServiceResponse> cached = cache_->Get(key);
+  if (cached.has_value()) {
     ++cache_hits_;
-    ServiceResponse resp = it->second;
-    resp.latency_ms = 0.0;  // already paid
-    return resp;
+    cached->latency_ms = 0.0;  // already paid
+    return std::move(*cached);
   }
   SECO_ASSIGN_OR_RETURN(ServiceResponse resp, inner_->Call(request));
   ++novel_calls_;
-  cache_[key] = resp;
+  cache_->Put(key, resp);
   return resp;
 }
 
@@ -44,9 +42,12 @@ ResumableExecution::ResumableExecution(const QueryPlan& plan,
     if (node.kind != PlanNodeKind::kServiceCall || !node.iface) continue;
     auto it = rebound.find(node.iface.get());
     if (it == rebound.end()) {
+      // With a shared ExecutionOptions::cache the memoization interoperates
+      // with engine/streaming runs; otherwise each interface keeps its own.
       auto cache = std::make_shared<CachingHandler>(
           std::shared_ptr<ServiceCallHandler>(node.iface,
-                                              node.iface->handler()));
+                                              node.iface->handler()),
+          node.iface->name(), options_.cache);
       caches_.push_back(cache);
       auto iface = std::make_shared<ServiceInterface>(
           node.iface->name(), node.iface->schema_ptr(), node.iface->pattern(),

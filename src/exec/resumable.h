@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/call_cache.h"
 #include "exec/engine.h"
 
 namespace seco {
@@ -16,10 +17,21 @@ namespace seco {
 /// Repeated requests return the cached response with zero latency, so
 /// re-running a plan after growing its fetch factors only pays for the new
 /// calls — the substrate of resumable execution.
+///
+/// Storage is a `ServiceCallCache` keyed exactly like the engine and the
+/// join layer key theirs, not a private map: hand the handler a shared
+/// cache (e.g. `ServiceCallCache::Process()`) and resumable runs exchange
+/// warm entries with engine and streaming runs — a response any executor
+/// paid for is free here, and vice versa. Without one, the handler owns a
+/// private cache, preserving the historical per-handler memoization.
 class CachingHandler : public ServiceCallHandler {
  public:
-  explicit CachingHandler(std::shared_ptr<ServiceCallHandler> inner)
-      : inner_(std::move(inner)) {}
+  /// `service_name` scopes the cache keys (empty works but only separates
+  /// handlers through their bindings); `cache` is not owned and may be
+  /// null, in which case a private cache is created.
+  explicit CachingHandler(std::shared_ptr<ServiceCallHandler> inner,
+                          std::string service_name = "",
+                          ServiceCallCache* cache = nullptr);
 
   Result<ServiceResponse> Call(const ServiceRequest& request) override;
 
@@ -29,7 +41,9 @@ class CachingHandler : public ServiceCallHandler {
 
  private:
   std::shared_ptr<ServiceCallHandler> inner_;
-  std::map<std::string, ServiceResponse> cache_;
+  std::string service_name_;
+  std::unique_ptr<ServiceCallCache> owned_cache_;  // when no shared cache
+  ServiceCallCache* cache_;
   int64_t novel_calls_ = 0;
   int64_t cache_hits_ = 0;
 };

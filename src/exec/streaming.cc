@@ -1,9 +1,17 @@
 #include "exec/streaming.h"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
+#include "common/thread_pool.h"
+#include "exec/call_cache.h"
+#include "exec/call_scheduler.h"
 #include "query/semantics.h"
 #include "service/invocation.h"
 
@@ -19,12 +27,46 @@ struct SRow {
   int chunk_ord = 0;
 };
 
-/// Shared run-wide state: budgets and counters.
+/// One speculative fetch in flight. The pool job writes the response into
+/// its slot and Puts it in the call cache; the demand path consumes the slot
+/// and charges the call as if it had made it synchronously.
+struct SpecFetch {
+  std::future<Status> done;
+  Result<ServiceResponse> response = Status::Internal("speculation pending");
+};
+
+/// Shared run-wide state: budgets, counters, and the speculation ledger.
+///
+/// The pull pipeline runs entirely on the calling thread; worker jobs touch
+/// only their own `SpecFetch` slot and the (internally synchronized) call
+/// cache, so none of these fields need locks.
 struct RunState {
   const BoundQuery* query = nullptr;
   const StreamingOptions* options = nullptr;
-  int total_calls = 0;
-  double total_latency_ms = 0.0;
+  ServiceCallCache* cache = nullptr;
+  CallScheduler* scheduler = nullptr;
+  bool speculate = false;
+  /// Calls charged against max_calls (the sequential engine's count).
+  int charged_calls = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+  int speculative_issued = 0;
+  int speculative_consumed = 0;
+  std::map<int, NodeRuntimeStats> node_stats;
+  std::vector<CallEvent> trace;
+  /// Cache key -> in-flight speculative fetch. Consulted *before* the call
+  /// cache on the demand path: a speculative result must be charged at
+  /// consumption, never mistaken for a warm hit.
+  std::unordered_map<std::string, std::unique_ptr<SpecFetch>> inflight;
+  /// Every service node of the plan, in topological order, for row-driven
+  /// downstream speculation.
+  std::vector<const PlanNode*> service_nodes;
+
+  /// Budget slots already spoken for: charged calls plus outstanding
+  /// speculation. Real issued calls never exceed this.
+  int reserved() const {
+    return charged_calls + static_cast<int>(inflight.size());
+  }
 };
 
 /// Lazily-fetched, cached result list for one (service, binding) pair.
@@ -42,42 +84,252 @@ struct CacheEntry {
 /// Per-service-node fetch cache shared by every operator touching the node.
 using FetchCache = std::map<std::string, CacheEntry>;
 
-std::string BindingKey(const std::vector<Value>& values) {
-  std::string key;
-  for (const Value& v : values) {
-    key += v.ToString();
-    key += '\x1f';
+/// Chunks a node may fetch per binding: the fetch factor for chunked
+/// services, exactly one call otherwise.
+int FetchCap(const PlanNode& node) {
+  return node.iface->is_chunked() ? std::max(node.fetch_factor, 1) : 1;
+}
+
+/// Books one charged call: budget, per-node counters, and the trace.
+void ChargeCall(const PlanNode& node, const std::string& binding_key,
+                int chunk, double latency_ms, RunState* state) {
+  ++state->charged_calls;
+  ++state->cache_misses;
+  NodeRuntimeStats& stats = state->node_stats[node.id];
+  ++stats.calls;
+  stats.latency_ms += latency_ms;
+  if (state->options->collect_trace) {
+    state->trace.push_back(CallEvent{node.id, node.iface->name(), binding_key,
+                                     chunk, latency_ms});
   }
-  return key;
+}
+
+/// Issues the fetch of (node, binding, chunk) on the pool unless it is
+/// already in flight, already cached, or the budget has no free slot.
+/// Every guard is evaluated on the pipeline thread, so whether a fetch is
+/// speculated never races with demand accounting.
+void TrySpeculate(const PlanNode& node, const std::string& binding_key,
+                  const std::vector<Value>& binding, int chunk,
+                  RunState* state) {
+  if (!state->speculate) return;
+  std::string key =
+      ServiceCallCache::Key(node.iface->name(), binding_key, chunk);
+  if (state->inflight.count(key) > 0) return;
+  if (state->reserved() >= state->options->max_calls) return;
+  if (state->cache->Contains(key)) return;
+  auto fetch = std::make_unique<SpecFetch>();
+  SpecFetch* slot = fetch.get();
+  ServiceCallHandler* handler = node.iface->handler();
+  ServiceCallCache* cache = state->cache;
+  std::optional<std::future<Status>> job = state->scheduler->SubmitOne(
+      [handler, cache, binding, chunk, key, slot]() -> Status {
+        ServiceRequest request;
+        request.inputs = binding;
+        request.chunk_index = chunk;
+        Result<ServiceResponse> resp = handler->Call(request);
+        if (resp.ok()) cache->Put(key, resp.value());
+        slot->response = std::move(resp);
+        return slot->response.status();
+      });
+  if (!job.has_value()) return;  // inline mode: no thread to hide behind
+  slot->done = std::move(*job);
+  ++state->speculative_issued;
+  state->inflight.emplace(std::move(key), std::move(fetch));
+}
+
+/// Speculates chunks [from, from + prefetch_depth) of one binding, within
+/// the node's fetch cap.
+void SpeculateChunks(const PlanNode& node, const std::string& binding_key,
+                     const std::vector<Value>& binding, int from,
+                     RunState* state) {
+  if (!state->speculate) return;
+  int limit = std::min(FetchCap(node), from + state->options->prefetch_depth);
+  for (int chunk = from; chunk < limit; ++chunk) {
+    TrySpeculate(node, binding_key, binding, chunk, state);
+  }
+}
+
+/// The demand path: returns the response of (node, binding, chunk) from the
+/// speculation ledger, the call cache, or a blocking call — charging
+/// exactly when the sequential engine would have charged.
+Result<ServiceResponse> FetchChunk(const PlanNode& node,
+                                   const std::string& binding_key,
+                                   const std::vector<Value>& binding,
+                                   int chunk, RunState* state) {
+  const int max_calls = state->options->max_calls;
+  auto budget_error = [max_calls]() {
+    return Status::ResourceExhausted("service call budget exceeded (" +
+                                     std::to_string(max_calls) + ")");
+  };
+  std::string key =
+      ServiceCallCache::Key(node.iface->name(), binding_key, chunk);
+  auto it = state->inflight.find(key);
+  if (it != state->inflight.end()) {
+    // A speculative fetch covers this demand. It is charged like the fresh
+    // call it replaced — including the budget check at the sequential
+    // engine's exact abort point — and leaves the ledger, so a repeat
+    // demand becomes an ordinary (free) cache hit, as it would have been
+    // sequentially.
+    if (state->charged_calls >= max_calls) return budget_error();
+    std::unique_ptr<SpecFetch> fetch = std::move(it->second);
+    state->inflight.erase(it);
+    ++state->speculative_consumed;
+    fetch->done.wait();
+    SECO_RETURN_IF_ERROR(fetch->response.status());
+    ServiceResponse resp = std::move(fetch->response).value();
+    ChargeCall(node, binding_key, chunk, resp.latency_ms, state);
+    return resp;
+  }
+  std::optional<ServiceResponse> cached = state->cache->Get(key);
+  if (cached.has_value()) {
+    ++state->cache_hits;
+    ++state->node_stats[node.id].cache_hits;
+    return std::move(*cached);
+  }
+  if (state->charged_calls >= max_calls) return budget_error();
+  // Outstanding speculation holds the remaining budget slots; issuing one
+  // more real call would overdraw max_calls. This can only fire while
+  // speculation is in flight (never in a sequential run).
+  if (state->reserved() >= max_calls) return budget_error();
+  ServiceRequest request;
+  request.inputs = binding;
+  request.chunk_index = chunk;
+  SECO_ASSIGN_OR_RETURN(ServiceResponse resp,
+                        node.iface->handler()->Call(request));
+  state->cache->Put(key, resp);
+  ChargeCall(node, binding_key, chunk, resp.latency_ms, state);
+  return resp;
 }
 
 /// Fetches chunks into `entry` until it holds more than `index` items, the
-/// fetch factor is reached, or the service is exhausted.
-Status EnsureItem(const ServiceInterface& iface, const std::vector<Value>& binding,
-                  int fetch_factor, CacheEntry* entry, RunState* state,
-                  size_t index) {
+/// fetch factor is reached, or the service is exhausted. Ahead of every
+/// blocking fetch (and of the consumer, once enough items exist), the next
+/// chunks of the binding are speculated so they overlap with consumption.
+Status EnsureItem(const PlanNode& node, const std::string& binding_key,
+                  const std::vector<Value>& binding, CacheEntry* entry,
+                  RunState* state, size_t index) {
+  const ServiceInterface& iface = *node.iface;
+  int fetch_cap = FetchCap(node);
   while (entry->items.size() <= index && !entry->exhausted &&
-         entry->chunks_fetched < std::max(fetch_factor, 1)) {
-    if (state->total_calls >= state->options->max_calls) {
-      return Status::ResourceExhausted("service call budget exceeded (" +
-                                       std::to_string(state->options->max_calls) +
-                                       ")");
+         entry->chunks_fetched < fetch_cap) {
+    // Chunk 0: one chunk ahead only — whether deeper chunks will ever be
+    // consumed is unknown, and deep speculation would hold workers that
+    // bindings further down the pipe need. Once the consumer crosses a
+    // chunk boundary it has demonstrated appetite, so keep the full
+    // `prefetch_depth` window in flight.
+    if (entry->chunks_fetched == 0) {
+      if (1 < fetch_cap) TrySpeculate(node, binding_key, binding, 1, state);
+    } else {
+      SpeculateChunks(node, binding_key, binding, entry->chunks_fetched + 1,
+                      state);
     }
-    ServiceRequest request;
-    request.inputs = binding;
-    request.chunk_index = entry->chunks_fetched;
-    SECO_ASSIGN_OR_RETURN(ServiceResponse resp, iface.handler()->Call(request));
-    ++state->total_calls;
-    state->total_latency_ms += resp.latency_ms;
+    SECO_ASSIGN_OR_RETURN(
+        ServiceResponse resp,
+        FetchChunk(node, binding_key, binding, entry->chunks_fetched, state));
     for (size_t t = 0; t < resp.tuples.size(); ++t) {
       entry->items.push_back(CacheEntry::Item{
-          std::move(resp.tuples[t]), t < resp.scores.size() ? resp.scores[t] : 0.0,
+          std::move(resp.tuples[t]),
+          t < resp.scores.size() ? resp.scores[t] : 0.0,
           entry->chunks_fetched});
     }
     ++entry->chunks_fetched;
     if (resp.exhausted || !iface.is_chunked()) entry->exhausted = true;
   }
+  if (!entry->exhausted && entry->chunks_fetched < fetch_cap) {
+    SpeculateChunks(node, binding_key, binding, entry->chunks_fetched, state);
+  }
   return Status::OK();
+}
+
+/// Enumerates the distinct input bindings a service node derives from one
+/// upstream row: constants / INPUT variables from the node's selections,
+/// then piped values from upstream tuples, cross-producted per input path.
+Result<std::vector<std::vector<Value>>> ComputeNodeBindings(
+    const PlanNode& node, const SRow& pulled, RunState* state) {
+  std::vector<std::vector<Value>> bindings;
+  bindings.emplace_back();
+  const BoundQuery& query = *state->query;
+  const AccessPattern& pattern = node.iface->pattern();
+  for (const AttrPath& in_path : pattern.input_paths()) {
+    std::vector<Value> values;
+    for (int sel_idx : node.input_selections) {
+      const BoundSelection& sel = query.selections[sel_idx];
+      if (sel.atom == node.atom && sel.path == in_path) {
+        SECO_ASSIGN_OR_RETURN(
+            Value v,
+            query.ResolveSelectionValue(sel, state->options->input_bindings));
+        values.push_back(std::move(v));
+      }
+    }
+    if (values.empty()) {
+      for (int group_idx : node.pipe_groups) {
+        for (const JoinClause& clause : query.joins[group_idx].clauses) {
+          int provider = -1;
+          AttrPath provider_path;
+          if (clause.to_atom == node.atom && clause.to_path == in_path) {
+            provider = clause.from_atom;
+            provider_path = clause.from_path;
+          } else if (clause.from_atom == node.atom &&
+                     clause.from_path == in_path) {
+            provider = clause.to_atom;
+            provider_path = clause.to_path;
+          }
+          if (provider < 0 || !pulled.tuples[provider].has_value()) continue;
+          for (Value& v :
+               pulled.tuples[provider]->CandidateValuesAt(provider_path)) {
+            values.push_back(std::move(v));
+          }
+        }
+        if (!values.empty()) break;
+      }
+    }
+    if (values.empty()) {
+      return Status::Internal("streaming engine: unbound input " +
+                              node.iface->schema().PathToString(in_path));
+    }
+    std::vector<std::vector<Value>> next;
+    for (const std::vector<Value>& prefix : bindings) {
+      for (const Value& v : values) {
+        std::vector<Value> extended = prefix;
+        extended.push_back(v);
+        next.push_back(std::move(extended));
+      }
+    }
+    bindings = std::move(next);
+  }
+  return bindings;
+}
+
+/// Row-driven speculation: a freshly pulled row already fixes the bindings
+/// of every downstream service node whose providers it carries — in a pipe
+/// the Flight and Hotel bindings are known the moment the Conference tuple
+/// exists, long before the pull front reaches those operators. Warm their
+/// opening chunks now, while the pull thread blocks on upstream demand
+/// fetches. Binding computation is pure, so nodes whose providers are not
+/// bound yet simply skip (the demand path surfaces real errors
+/// deterministically); nodes whose atom the row already holds are upstream
+/// and were fetched on the way here.
+void SpeculateDownstream(const SRow& pulled, int self_id, RunState* state) {
+  if (!state->speculate) return;
+  for (const PlanNode* other : state->service_nodes) {
+    if (other->id == self_id) continue;
+    if (pulled.tuples[other->atom].has_value()) continue;
+    Result<std::vector<std::vector<Value>>> bindings =
+        ComputeNodeBindings(*other, pulled, state);
+    if (!bindings.ok()) continue;
+    // Opening chunk only: whether this row survives the intervening
+    // selections is unknown until the upstream demand fetches return, so
+    // deep speculation here is the most likely to be wasted — and it
+    // would occupy workers that rows already past the filters need.
+    // Deeper chunks pipeline through EnsureItem once consumption begins.
+    size_t limit =
+        std::min(static_cast<size_t>(state->options->prefetch_depth),
+                 bindings.value().size());
+    for (size_t b = 0; b < limit; ++b) {
+      const std::vector<Value>& binding = bindings.value()[b];
+      TrySpeculate(*other, SerializeBinding(binding), binding, 0, state);
+    }
+  }
 }
 
 /// Volcano-style operator interface.
@@ -138,19 +390,32 @@ class ServiceCallOp : public Op {
         SRow pulled;
         SECO_ASSIGN_OR_RETURN(bool got, upstream_->Next(&pulled));
         if (!got) return false;
-        SECO_RETURN_IF_ERROR(ComputeBindings(pulled));
+        SECO_ASSIGN_OR_RETURN(bindings_,
+                              ComputeNodeBindings(*node_, pulled, state_));
+        SpeculateDownstream(pulled, node_->id, state_);
         current_ = std::move(pulled);
         binding_idx_ = 0;
         item_idx_ = 0;
         kept_ = 0;
       }
-      const ServiceInterface& iface = *node_->iface;
       while (binding_idx_ < bindings_.size()) {
         if (node_->keep_per_input > 0 && kept_ >= node_->keep_per_input) break;
+        // While the current binding is consumed, warm up the opening chunks
+        // of the next distinct bindings.
+        if (state_->speculate) {
+          size_t ahead = std::min(
+              bindings_.size(),
+              binding_idx_ + 1 +
+                  static_cast<size_t>(state_->options->prefetch_depth));
+          for (size_t b = binding_idx_ + 1; b < ahead; ++b) {
+            TrySpeculate(*node_, SerializeBinding(bindings_[b]), bindings_[b],
+                         0, state_);
+          }
+        }
         const std::vector<Value>& binding = bindings_[binding_idx_];
-        CacheEntry& entry = (*cache_)[BindingKey(binding)];
-        SECO_RETURN_IF_ERROR(EnsureItem(iface, binding, node_->fetch_factor,
-                                        &entry, state_, item_idx_));
+        CacheEntry& entry = (*cache_)[SerializeBinding(binding)];
+        SECO_RETURN_IF_ERROR(EnsureItem(*node_, SerializeBinding(binding),
+                                        binding, &entry, state_, item_idx_));
         if (item_idx_ >= entry.items.size()) {
           ++binding_idx_;
           item_idx_ = 0;
@@ -164,6 +429,7 @@ class ServiceCallOp : public Op {
         SECO_ASSIGN_OR_RETURN(bool pipe_ok, VerifyPipeGroups(extended));
         if (!pipe_ok) continue;
         ++kept_;
+        ++state_->node_stats[node_->id].tuples_out;
         *row = std::move(extended);
         return true;
       }
@@ -172,61 +438,6 @@ class ServiceCallOp : public Op {
   }
 
  private:
-  Status ComputeBindings(const SRow& pulled) {
-    bindings_.clear();
-    bindings_.emplace_back();
-    const BoundQuery& query = *state_->query;
-    const AccessPattern& pattern = node_->iface->pattern();
-    for (const AttrPath& in_path : pattern.input_paths()) {
-      std::vector<Value> values;
-      for (int sel_idx : node_->input_selections) {
-        const BoundSelection& sel = query.selections[sel_idx];
-        if (sel.atom == node_->atom && sel.path == in_path) {
-          SECO_ASSIGN_OR_RETURN(
-              Value v,
-              query.ResolveSelectionValue(sel, state_->options->input_bindings));
-          values.push_back(std::move(v));
-        }
-      }
-      if (values.empty()) {
-        for (int group_idx : node_->pipe_groups) {
-          for (const JoinClause& clause : query.joins[group_idx].clauses) {
-            int provider = -1;
-            AttrPath provider_path;
-            if (clause.to_atom == node_->atom && clause.to_path == in_path) {
-              provider = clause.from_atom;
-              provider_path = clause.from_path;
-            } else if (clause.from_atom == node_->atom &&
-                       clause.from_path == in_path) {
-              provider = clause.to_atom;
-              provider_path = clause.to_path;
-            }
-            if (provider < 0 || !pulled.tuples[provider].has_value()) continue;
-            for (Value& v :
-                 pulled.tuples[provider]->CandidateValuesAt(provider_path)) {
-              values.push_back(std::move(v));
-            }
-          }
-          if (!values.empty()) break;
-        }
-      }
-      if (values.empty()) {
-        return Status::Internal("streaming engine: unbound input " +
-                                node_->iface->schema().PathToString(in_path));
-      }
-      std::vector<std::vector<Value>> next;
-      for (const std::vector<Value>& prefix : bindings_) {
-        for (const Value& v : values) {
-          std::vector<Value> extended = prefix;
-          extended.push_back(v);
-          next.push_back(std::move(extended));
-        }
-      }
-      bindings_ = std::move(next);
-    }
-    return Status::OK();
-  }
-
   Result<bool> VerifyPipeGroups(const SRow& extended) {
     const BoundQuery& query = *state_->query;
     for (int group_idx : node_->pipe_groups) {
@@ -310,6 +521,7 @@ class SelectionOp : public Op {
         }
       }
       if (ok) {
+        ++state_->node_stats[node_->id].tuples_out;
         *row = std::move(pulled);
         return true;
       }
@@ -327,6 +539,12 @@ class SelectionOp : public Op {
 /// streams the last, and emits verified merges. With triangular completion
 /// on two branches, candidate pairs beyond the fetch grid's anti-diagonal
 /// are skipped (§4.4.2).
+///
+/// With speculation on, seeding an upstream row primes *all* branches
+/// concurrently: the opening chunks of every branch's distinct bindings are
+/// issued on the pool before the branch expanders start their (blocking)
+/// demand fetches, so the branches' service calls overlap on the wall
+/// clock — the §4 parallel invocation, realized at the fetch layer.
 class JoinOp : public Op {
  public:
   JoinOp(std::unique_ptr<Op> upstream, std::vector<const PlanNode*> branches,
@@ -342,6 +560,7 @@ class JoinOp : public Op {
         SRow pulled;
         SECO_ASSIGN_OR_RETURN(bool got, upstream_->Next(&pulled));
         if (!got) return false;
+        PrimeBranches(pulled);
         // Materialize all branches but the last.
         partials_.clear();
         partials_.push_back(pulled);
@@ -412,6 +631,7 @@ class JoinOp : public Op {
             }
           }
           if (ok) {
+            ++state_->node_stats[node_->id].tuples_out;
             *row = std::move(merged);
             emitted = true;
             break;
@@ -425,6 +645,46 @@ class JoinOp : public Op {
   }
 
  private:
+  /// Issues the opening speculative fetches of every branch for one
+  /// upstream row. Binding enumeration is repeated by the expanders right
+  /// after (cheap, pure CPU); failures here are ignored — the demand path
+  /// will surface them at the deterministic point.
+  void PrimeBranches(const SRow& pulled) {
+    if (!state_->speculate) return;
+    // Seeding materializes every branch but the last in full, so those
+    // branches' chunks up to the fetch cap are *certain* demand — issue
+    // them all. The last branch streams on demand; only its opening chunk
+    // is a sound bet here (deeper chunks pipeline once consumption proves
+    // an appetite). Chunk-major across branches so that with few workers
+    // every branch starts concurrently instead of one branch's deep chunks
+    // starving the others' openers.
+    struct Primed {
+      const PlanNode* branch;
+      std::vector<std::vector<Value>> bindings;
+      int chunks;  // how deep to prime this branch
+    };
+    std::vector<Primed> primed;
+    int max_chunks = 0;
+    for (size_t b = 0; b < branches_.size(); ++b) {
+      const PlanNode* branch = branches_[b];
+      Result<std::vector<std::vector<Value>>> bindings =
+          ComputeNodeBindings(*branch, pulled, state_);
+      if (!bindings.ok()) continue;
+      int chunks = b + 1 < branches_.size() ? FetchCap(*branch) : 1;
+      max_chunks = std::max(max_chunks, chunks);
+      primed.push_back(Primed{branch, std::move(bindings).value(), chunks});
+    }
+    for (int chunk = 0; chunk < max_chunks; ++chunk) {
+      for (const Primed& p : primed) {
+        if (chunk >= p.chunks) continue;
+        for (const std::vector<Value>& binding : p.bindings) {
+          TrySpeculate(*p.branch, SerializeBinding(binding), binding, chunk,
+                       state_);
+        }
+      }
+    }
+  }
+
   std::unique_ptr<Op> upstream_;
   std::vector<const PlanNode*> branches_;
   const PlanNode* node_;
@@ -487,42 +747,106 @@ Result<std::unique_ptr<Op>> BuildOp(const QueryPlan& plan, int node_id,
 }  // namespace
 
 Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
+  auto wall_start = std::chrono::steady_clock::now();
   SECO_RETURN_IF_ERROR(plan.Validate());
+  if (options_.interrupt != nullptr) options_.interrupt->Reset();
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1 && options_.prefetch_depth > 0) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  CallScheduler scheduler(pool.get());
+  ServiceCallCache local_cache;
+
   RunState state;
   state.query = &plan.query();
   state.options = &options_;
+  state.cache = options_.cache != nullptr ? options_.cache : &local_cache;
+  state.scheduler = &scheduler;
+  state.speculate = scheduler.concurrent() && options_.prefetch_depth > 0;
+  SECO_ASSIGN_OR_RETURN(std::vector<int> speculation_order,
+                        plan.TopologicalOrder());
+  for (int id : speculation_order) {
+    const PlanNode& node = plan.node(id);
+    if (node.kind == PlanNodeKind::kServiceCall && node.iface) {
+      state.service_nodes.push_back(&node);
+    }
+  }
   std::map<int, FetchCache> caches;
-  SECO_ASSIGN_OR_RETURN(std::unique_ptr<Op> root,
-                        BuildOp(plan, plan.output_node(), &state, &caches));
 
   StreamingResult result;
   std::vector<double> weights = plan.query().EffectiveWeights();
   int num_atoms = static_cast<int>(plan.query().atoms.size());
-  SRow row;
-  while (static_cast<int>(result.combinations.size()) < options_.k) {
-    SECO_ASSIGN_OR_RETURN(bool got, root->Next(&row));
-    if (!got) {
-      result.exhausted = true;
-      break;
-    }
-    Combination combo;
-    bool complete = true;
-    double total = 0.0;
-    for (int a = 0; a < num_atoms; ++a) {
-      if (!row.tuples[a].has_value()) {
-        complete = false;
+
+  Status run_status = [&]() -> Status {
+    SECO_ASSIGN_OR_RETURN(std::unique_ptr<Op> root,
+                          BuildOp(plan, plan.output_node(), &state, &caches));
+    SRow row;
+    while (static_cast<int>(result.combinations.size()) < options_.k) {
+      SECO_ASSIGN_OR_RETURN(bool got, root->Next(&row));
+      if (!got) {
+        result.exhausted = true;
         break;
       }
-      combo.components.push_back(*row.tuples[a]);
-      combo.component_scores.push_back(row.scores[a]);
-      total += weights[a] * row.scores[a];
+      Combination combo;
+      bool complete = true;
+      double total = 0.0;
+      for (int a = 0; a < num_atoms; ++a) {
+        if (!row.tuples[a].has_value()) {
+          complete = false;
+          break;
+        }
+        combo.components.push_back(*row.tuples[a]);
+        combo.component_scores.push_back(row.scores[a]);
+        total += weights[a] * row.scores[a];
+      }
+      if (!complete) continue;
+      combo.combined_score = total;
+      result.combinations.push_back(std::move(combo));
     }
-    if (!complete) continue;
-    combo.combined_score = total;
-    result.combinations.push_back(std::move(combo));
+    return Status::OK();
+  }();
+
+  // Teardown: wake any realtime-mode sleeps, then wait out speculation still
+  // in flight — worker jobs hold pointers into the ledger and must not
+  // outlive this frame. Their responses are already in the cache, so the
+  // work is not lost, just not consumed by this run.
+  if (options_.interrupt != nullptr) options_.interrupt->Trigger();
+  for (auto& [key, fetch] : state.inflight) {
+    if (fetch->done.valid()) fetch->done.wait();
   }
-  result.total_calls = state.total_calls;
-  result.total_latency_ms = state.total_latency_ms;
+  pool.reset();
+  result.speculative_calls = state.speculative_issued;
+  result.speculative_wasted =
+      state.speculative_issued - state.speculative_consumed;
+  SECO_RETURN_IF_ERROR(run_status);
+
+  result.total_calls = state.charged_calls;
+  result.cache_hits = state.cache_hits;
+  result.cache_misses = state.cache_misses;
+  result.node_stats = std::move(state.node_stats);
+  result.trace = std::move(state.trace);
+
+  // Overlap-aware simulated clock: per-node ready/finish times over the
+  // plan DAG, exactly the materializing engine's model — parallel branches
+  // count once, and the total is the critical path, not the sum. Computed
+  // from charged latencies only, so it is identical at any thread count.
+  SECO_ASSIGN_OR_RETURN(std::vector<int> order, plan.TopologicalOrder());
+  std::map<int, double> finish;
+  for (int id : order) {
+    const PlanNode& node = plan.node(id);
+    double ready_ms = 0.0;
+    for (int pred : node.inputs) ready_ms = std::max(ready_ms, finish[pred]);
+    NodeRuntimeStats& stats = result.node_stats[id];
+    stats.finished_at_ms = ready_ms + stats.latency_ms;
+    finish[id] = stats.finished_at_ms;
+    result.total_latency_ms = std::max(result.total_latency_ms, finish[id]);
+  }
+
+  result.wall_clock_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   return result;
 }
 

@@ -2,22 +2,50 @@
 #define SECO_EXEC_STREAMING_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/interrupt.h"
 #include "common/result.h"
+#include "exec/engine.h"
 #include "plan/plan.h"
 #include "service/tuple.h"
 
 namespace seco {
+
+class ServiceCallCache;
 
 /// Options of a streaming execution.
 struct StreamingOptions {
   /// Stop after emitting this many combinations.
   int k = 10;
   std::map<std::string, Value> input_bindings;
-  /// Safety budget on service calls.
+  /// Safety budget on *charged* service calls — the calls the sequential
+  /// engine would make. Speculative fetches reserve budget while in flight
+  /// (charged + outstanding never exceeds this) but are only charged when
+  /// their result is actually consumed.
   int max_calls = 10000;
+  /// Worker threads of the speculative prefetcher. 1 (default) keeps the
+  /// historical fully sequential pull pipeline; any value yields
+  /// bit-identical combinations, charged calls, and traces.
+  int num_threads = 1;
+  /// How far ahead of the consumer the prefetcher may run per service node:
+  /// up to `prefetch_depth` chunks beyond the one being consumed, and the
+  /// first chunks of up to `prefetch_depth` upcoming distinct bindings.
+  /// 0 (default) disables speculation.
+  int prefetch_depth = 0;
+  /// Service-call cache. nullptr (default) = a fresh private cache per
+  /// execution; point at `ServiceCallCache::Process()` (or any shared
+  /// instance) to let repeated queries hit warm entries — including entries
+  /// a speculative fetch paid for in an earlier run. Not owned.
+  ServiceCallCache* cache = nullptr;
+  /// When true, every charged call is recorded in StreamingResult::trace.
+  bool collect_trace = false;
+  /// Shared with realtime-mode services (`SimulatedService::set_interrupt`):
+  /// triggered when the run ends so speculative fetches still sleeping on
+  /// pool threads stop blocking teardown. Optional.
+  std::shared_ptr<InterruptFlag> interrupt;
 };
 
 /// Result of a streaming run. Combinations appear in *arrival order* — the
@@ -26,10 +54,31 @@ struct StreamingOptions {
 /// explored best-first, but no global sort ever happens).
 struct StreamingResult {
   std::vector<Combination> combinations;
+  /// Calls charged against `max_calls`: demand misses plus consumed
+  /// speculative fetches. Identical at any thread count / prefetch depth.
   int total_calls = 0;
+  /// Simulated critical-path time: per-node ready/finish times over the
+  /// plan DAG, so overlapping branches count once (matches the
+  /// materializing engine's `elapsed_ms` clock model).
   double total_latency_ms = 0.0;
   /// True if the sources were exhausted before k combinations appeared.
   bool exhausted = false;
+  /// Measured real duration of Execute(), in milliseconds.
+  double wall_clock_ms = 0.0;
+  /// Request-responses served from the call cache / issued to services.
+  /// Consumed speculative fetches count as misses (they are charged), never
+  /// as hits, so these totals match the sequential baseline.
+  int cache_hits = 0;
+  int cache_misses = 0;
+  /// Speculative fetches issued / issued-but-never-consumed. Wasted fetches
+  /// are *not* in `total_calls` — their responses stay in the cache, so the
+  /// work is recoverable by later runs.
+  int speculative_calls = 0;
+  int speculative_wasted = 0;
+  std::map<int, NodeRuntimeStats> node_stats;
+  /// Chronological charged-call log; empty unless
+  /// `StreamingOptions::collect_trace`. Identical at any thread count.
+  std::vector<CallEvent> trace;
 };
 
 /// Pull-based (Volcano-style) interpreter for the same plans the
@@ -42,10 +91,19 @@ struct StreamingResult {
 ///    request-responses the moment the k-th combination is emitted —
 ///    fetch factors act as caps, not as prepaid work.
 ///
+/// With `num_threads > 1` and `prefetch_depth > 0` a speculative prefetcher
+/// overlaps the pull pipeline with upcoming fetches: while the consumer
+/// digests chunk *i* of a node, chunk *i+1* (and the first chunks of the
+/// next distinct bindings) fetch on a thread pool, and parallel-join nodes
+/// prime all branches concurrently. Speculation changes only the real wall
+/// clock — emitted combinations, charged calls, traces, and the simulated
+/// clock stay bit-identical to the sequential run (docs/CONCURRENCY.md).
+/// `total_latency_ms` is the overlap-aware critical path through the plan
+/// DAG, matching the materializing engine's clock model.
+///
 /// `bench_streaming` quantifies the calls saved versus the materializing
-/// engine at equal k. Restrictions: parallel-join nodes stream their last
-/// branch and materialize the others per upstream tuple; simulated time is
-/// reported as the sequential latency sum (no overlap model).
+/// engine at equal k, and the wall-clock speedup of prefetching under
+/// realtime-mode services.
 class StreamingEngine {
  public:
   explicit StreamingEngine(StreamingOptions options)

@@ -2,11 +2,13 @@
 #define SECO_JOIN_CHUNK_SOURCE_H_
 
 #include <deque>
+#include <future>
 #include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "exec/call_cache.h"
+#include "exec/call_scheduler.h"
 #include "service/service_interface.h"
 
 namespace seco {
@@ -28,6 +30,14 @@ struct Chunk {
 /// Pulls successive chunks from a service interface under one fixed input
 /// binding, tracking calls and simulated latency. The unit of interaction
 /// of all join methods (§4.1: services produce a new chunk per call).
+///
+/// `Prefetch` overlaps the next chunk's round-trip with whatever the caller
+/// is doing: the fetch runs on the scheduler's pool and `FetchNext` later
+/// consumes it in issue order, with *all* accounting (calls, latency, cache
+/// hits) done at consumption — so counters, chunk contents, and the fetch
+/// schedule are identical with and without prefetching. Prefetched chunks
+/// never consumed are only visible in `prefetches_issued()` (and in the
+/// call cache, where their responses keep their value).
 class ChunkSource {
  public:
   /// `cache`, when given (not owned), serves repeat fetches of the same
@@ -38,9 +48,24 @@ class ChunkSource {
               ServiceCallCache* cache = nullptr)
       : iface_(std::move(iface)), inputs_(std::move(inputs)), cache_(cache) {}
 
-  /// Fetches the next chunk. Returns false when the service was already
-  /// exhausted (no call is made in that case).
+  /// Outstanding prefetch jobs hold pointers into this object; wait them
+  /// out before the members are torn down.
+  ~ChunkSource() { AbandonPrefetches(); }
+
+  /// Fetches the next chunk — from the oldest pending prefetch if one is in
+  /// flight, synchronously otherwise. Returns false when the service was
+  /// already exhausted (no call is made in that case).
   Result<bool> FetchNext();
+
+  /// Speculatively issues the fetch of the next not-yet-requested chunk on
+  /// the scheduler's pool. Returns true if a fetch was issued; false when
+  /// the source is exhausted or the scheduler has no pool (inline mode
+  /// never speculates).
+  bool Prefetch(CallScheduler* scheduler);
+
+  /// Waits for outstanding prefetches and discards their results (their
+  /// responses stay in the call cache if one is attached).
+  void AbandonPrefetches();
 
   int num_chunks() const { return static_cast<int>(chunks_.size()); }
   const Chunk& chunk(int i) const { return chunks_[i]; }
@@ -50,6 +75,13 @@ class ChunkSource {
   /// Chunks served from the call cache instead of a service call.
   int cache_hits() const { return cache_hits_; }
   double total_latency_ms() const { return total_latency_ms_; }
+
+  /// Speculative fetches issued / consumed by a later FetchNext. The
+  /// difference is the speculation waste so far.
+  int prefetches_issued() const { return prefetches_issued_; }
+  int prefetches_consumed() const { return prefetches_consumed_; }
+  /// Prefetches currently in flight (issued, not yet consumed).
+  int prefetches_pending() const { return static_cast<int>(pending_.size()); }
 
   const ServiceInterface& iface() const { return *iface_; }
 
@@ -61,17 +93,34 @@ class ChunkSource {
   bool scores_synthesized() const { return scores_synthesized_; }
 
  private:
+  /// One in-flight speculative fetch; the pool job writes into the slot.
+  struct PendingFetch {
+    std::future<Status> done;
+    Result<ServiceResponse> response = Status::Internal("prefetch pending");
+    bool from_cache = false;
+  };
+
+  /// Appends a fetched response as a chunk, with the accounting shared by
+  /// the synchronous and prefetched paths.
+  bool IngestResponse(ServiceResponse resp, bool from_cache);
+
   std::shared_ptr<ServiceInterface> iface_;
   std::vector<Value> inputs_;
   ServiceCallCache* cache_ = nullptr;  // not owned; may be null
   // Deque: growing must not invalidate references to earlier chunks (the
   // top-k executor keeps pointers into fetched tuples).
   std::deque<Chunk> chunks_;
+  /// Prefetches in flight, oldest first; FetchNext consumes the front.
+  std::deque<std::unique_ptr<PendingFetch>> pending_;
   bool exhausted_ = false;
   int calls_ = 0;
   int cache_hits_ = 0;
   double total_latency_ms_ = 0.0;
   int tuples_seen_ = 0;
+  /// Chunk index of the next request to issue (sync or speculative).
+  int next_chunk_ = 0;
+  int prefetches_issued_ = 0;
+  int prefetches_consumed_ = 0;
   bool scores_synthesized_ = false;
 };
 

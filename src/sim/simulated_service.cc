@@ -100,9 +100,15 @@ Result<ServiceResponse> SimulatedService::Call(const ServiceRequest& request) {
   resp.latency_ms = latency_.LatencyForOrdinal(RequestOrdinal(request));
   if (realtime_factor_ > 0.0) {
     // Model the remote round-trip as real blocking so concurrent executors
-    // can overlap calls on the wall clock.
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        resp.latency_ms * realtime_factor_));
+    // can overlap calls on the wall clock. An interrupt flag cuts the
+    // blocking short (never the response) when the executor is tearing down.
+    std::chrono::duration<double, std::milli> pause(resp.latency_ms *
+                                                    realtime_factor_);
+    if (interrupt_ != nullptr) {
+      interrupt_->SleepFor(pause);
+    } else {
+      std::this_thread::sleep_for(pause);
+    }
   }
   int total = static_cast<int>(matches.size());
 

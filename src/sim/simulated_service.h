@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/interrupt.h"
 #include "common/random.h"
 #include "service/access_pattern.h"
 #include "service/invocation.h"
@@ -90,6 +91,15 @@ class SimulatedService : public ServiceCallHandler {
   /// Configure before issuing concurrent calls.
   void set_realtime_factor(double factor) { realtime_factor_ = factor; }
 
+  /// Makes the realtime-mode pacing sleep interruptible: a triggered flag
+  /// ends the sleep immediately so executors tearing down (budget
+  /// exhaustion, early k) never wait out speculative calls still in flight.
+  /// The interrupted call still returns its full response — only the
+  /// blocking is cut short. Configure before issuing concurrent calls.
+  void set_interrupt(std::shared_ptr<InterruptFlag> interrupt) {
+    interrupt_ = std::move(interrupt);
+  }
+
  private:
   Result<std::vector<int>> MatchingRowIndices(
       const std::vector<Value>& inputs) const;
@@ -104,6 +114,7 @@ class SimulatedService : public ServiceCallHandler {
   std::atomic<int64_t> call_count_{0};
   bool hide_scores_ = false;
   double realtime_factor_ = 0.0;
+  std::shared_ptr<InterruptFlag> interrupt_;  // may be null
 };
 
 /// Wraps a handler and fails every `failure_period`-th call with an

@@ -1,0 +1,244 @@
+// Determinism and budget-safety contract of the StreamingEngine's
+// speculative chunk prefetcher (docs/CONCURRENCY.md): the emitted
+// combinations, charged calls, per-node stats, trace, and simulated
+// timings must be bit-identical at any {num_threads} x {prefetch_depth}
+// setting — speculation may only move work onto the wall clock — and
+// speculative fetches must never push the real backend call count past
+// `max_calls`.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+StreamingOptions BaseStreamOptions(const std::map<std::string, Value>& inputs,
+                                   int num_threads, int prefetch_depth) {
+  StreamingOptions options;
+  options.k = 10;
+  options.input_bindings = inputs;
+  options.max_calls = 10000;
+  options.num_threads = num_threads;
+  options.prefetch_depth = prefetch_depth;
+  options.collect_trace = true;
+  return options;
+}
+
+void ExpectIdenticalStream(const StreamingResult& sequential,
+                           const StreamingResult& speculative) {
+  EXPECT_EQ(speculative.total_calls, sequential.total_calls);
+  EXPECT_DOUBLE_EQ(speculative.total_latency_ms, sequential.total_latency_ms);
+  EXPECT_EQ(speculative.exhausted, sequential.exhausted);
+  EXPECT_EQ(speculative.cache_hits, sequential.cache_hits);
+  EXPECT_EQ(speculative.cache_misses, sequential.cache_misses);
+
+  ASSERT_EQ(speculative.combinations.size(), sequential.combinations.size());
+  for (size_t i = 0; i < sequential.combinations.size(); ++i) {
+    const Combination& a = sequential.combinations[i];
+    const Combination& b = speculative.combinations[i];
+    EXPECT_DOUBLE_EQ(b.combined_score, a.combined_score);
+    ASSERT_EQ(b.components.size(), a.components.size());
+    for (size_t c = 0; c < a.components.size(); ++c) {
+      EXPECT_TRUE(b.components[c] == a.components[c]);
+      EXPECT_DOUBLE_EQ(b.component_scores[c], a.component_scores[c]);
+    }
+  }
+
+  ASSERT_EQ(speculative.node_stats.size(), sequential.node_stats.size());
+  for (const auto& [node_id, stats] : sequential.node_stats) {
+    auto it = speculative.node_stats.find(node_id);
+    ASSERT_NE(it, speculative.node_stats.end());
+    EXPECT_EQ(it->second.calls, stats.calls);
+    EXPECT_EQ(it->second.tuples_out, stats.tuples_out);
+    EXPECT_EQ(it->second.cache_hits, stats.cache_hits);
+    EXPECT_DOUBLE_EQ(it->second.latency_ms, stats.latency_ms);
+    EXPECT_DOUBLE_EQ(it->second.finished_at_ms, stats.finished_at_ms);
+  }
+
+  // Charging happens at consumption, on the pull thread, so the chronological
+  // call log must reproduce the sequential demand order event for event no
+  // matter what the speculation threads did.
+  ASSERT_EQ(speculative.trace.size(), sequential.trace.size());
+  for (size_t i = 0; i < sequential.trace.size(); ++i) {
+    EXPECT_EQ(speculative.trace[i].node, sequential.trace[i].node);
+    EXPECT_EQ(speculative.trace[i].service, sequential.trace[i].service);
+    EXPECT_EQ(speculative.trace[i].binding_key,
+              sequential.trace[i].binding_key);
+    EXPECT_EQ(speculative.trace[i].chunk_index,
+              sequential.trace[i].chunk_index);
+    EXPECT_DOUBLE_EQ(speculative.trace[i].latency_ms,
+                     sequential.trace[i].latency_ms);
+  }
+}
+
+/// Runs the plan at {1, 8} threads x {0, 1, 4} prefetch depth (each run
+/// against a fresh private cache) and asserts every result is identical to
+/// the sequential baseline.
+void ExpectDeterministicAcrossSettings(
+    const QueryPlan& plan, const std::map<std::string, Value>& inputs) {
+  StreamingEngine baseline_engine(BaseStreamOptions(inputs, 1, 0));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult baseline,
+                            baseline_engine.Execute(plan));
+  EXPECT_FALSE(baseline.combinations.empty());
+  for (int num_threads : {1, 8}) {
+    for (int prefetch_depth : {0, 1, 4}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(num_threads) +
+                   " prefetch_depth=" + std::to_string(prefetch_depth));
+      StreamingEngine engine(
+          BaseStreamOptions(inputs, num_threads, prefetch_depth));
+      SECO_ASSERT_OK_AND_ASSIGN(StreamingResult run, engine.Execute(plan));
+      ExpectIdenticalStream(baseline, run);
+      if (num_threads > 1 && prefetch_depth > 0) {
+        // Speculation must actually run in these settings (otherwise the
+        // property test exercises nothing) and waste must be accounted.
+        EXPECT_GT(run.speculative_calls, 0);
+        EXPECT_GE(run.speculative_wasted, 0);
+        EXPECT_LE(run.speculative_wasted, run.speculative_calls);
+      } else {
+        EXPECT_EQ(run.speculative_calls, 0);
+      }
+    }
+  }
+}
+
+TEST(StreamingPrefetchTest, ConferenceScenarioIsDeterministic) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  QuerySession session(scenario.registry, optimizer_options);
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult optimized,
+                            session.Optimize(bound));
+  ExpectDeterministicAcrossSettings(optimized.plan, scenario.inputs);
+}
+
+TEST(StreamingPrefetchTest, DoctorScenarioIsDeterministic) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeDoctorScenario());
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  QuerySession session(scenario.registry, optimizer_options);
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult optimized,
+                            session.Optimize(bound));
+  ExpectDeterministicAcrossSettings(optimized.plan, scenario.inputs);
+}
+
+TEST(StreamingPrefetchTest, ChainScenarioIsDeterministic) {
+  SECO_ASSERT_OK_AND_ASSIGN(bench_util::ChainScenario scenario,
+                            bench_util::MakeChainScenario(4));
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  QuerySession session(scenario.registry, optimizer_options);
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery bound,
+                            session.Prepare(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(OptimizationResult optimized,
+                            session.Optimize(bound));
+  ExpectDeterministicAcrossSettings(optimized.plan, {});
+}
+
+// --- Budget safety ---------------------------------------------------------
+
+class StreamingPrefetchBudgetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_shared<ServiceRegistry>();
+    Result<BuiltService> outer =
+        MakeKeyedSearchService("Outer", 60, 5, 4, ScoreDecay::kLinear);
+    ASSERT_TRUE(outer.ok());
+    outer_ = std::move(outer).value();
+    Result<BuiltService> inner = MakeKeyedSearchService(
+        "Inner", 80, 5, 4, ScoreDecay::kLinear, /*key_is_input=*/true);
+    ASSERT_TRUE(inner.ok());
+    inner_ = std::move(inner).value();
+    ASSERT_TRUE(registry_->RegisterInterface(outer_.interface).ok());
+    ASSERT_TRUE(registry_->RegisterInterface(inner_.interface).ok());
+  }
+
+  Result<QueryPlan> MakePlan() {
+    SECO_ASSIGN_OR_RETURN(
+        ParsedQuery parsed,
+        ParseQuery("select Outer as O, Inner as I where O.Key = I.Key"));
+    SECO_ASSIGN_OR_RETURN(BoundQuery query, BindQuery(parsed, *registry_));
+    TopologySpec spec;
+    spec.stages = {{0}, {1}};
+    spec.atom_settings[0].fetch_factor = 12;
+    spec.atom_settings[1].fetch_factor = 16;
+    SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(query, spec));
+    SECO_RETURN_IF_ERROR(AnnotatePlan(&plan).status());
+    return plan;
+  }
+
+  int BackendCalls() const {
+    return static_cast<int>(outer_.backend->call_count() +
+                            inner_.backend->call_count());
+  }
+
+  BuiltService outer_;
+  BuiltService inner_;
+  std::shared_ptr<ServiceRegistry> registry_;
+};
+
+TEST_F(StreamingPrefetchBudgetTest, SpeculationNeverOverdrawsMaxCalls) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  for (int max_calls : {1, 2, 3, 5, 8}) {
+    SCOPED_TRACE("max_calls=" + std::to_string(max_calls));
+    outer_.backend->ResetCallCount();
+    inner_.backend->ResetCallCount();
+    StreamingOptions options;
+    options.k = 1000;  // demand far more than the budget allows
+    options.max_calls = max_calls;
+    options.num_threads = 4;
+    options.prefetch_depth = 4;
+    StreamingEngine engine(options);
+    Result<StreamingResult> result = engine.Execute(plan);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    // The hard guarantee: speculation reserves budget before issuing, so
+    // even the failed run never sent more real requests than max_calls.
+    EXPECT_LE(BackendCalls(), max_calls);
+  }
+}
+
+TEST_F(StreamingPrefetchBudgetTest, ChargedPlusWastedEqualsRealCalls) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  outer_.backend->ResetCallCount();
+  inner_.backend->ResetCallCount();
+  StreamingOptions options;
+  options.k = 7;
+  options.max_calls = 10000;
+  options.num_threads = 8;
+  options.prefetch_depth = 4;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult stream, engine.Execute(plan));
+  ASSERT_EQ(stream.combinations.size(), 7u);
+  // With a fresh private cache every real request is either charged (a
+  // demand miss or a consumed speculation) or wasted speculation.
+  EXPECT_EQ(BackendCalls(), stream.total_calls + stream.speculative_wasted);
+  EXPECT_GT(stream.speculative_calls, 0);
+}
+
+TEST_F(StreamingPrefetchBudgetTest, SequentialBudgetErrorIsUnchanged) {
+  // The overdraw guard may refuse a demand fetch only while speculation is
+  // outstanding; without speculation the error point must match the
+  // historical sequential engine exactly.
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  StreamingOptions options;
+  options.k = 1000;
+  options.max_calls = 2;
+  options.num_threads = 1;
+  options.prefetch_depth = 0;
+  StreamingEngine engine(options);
+  Result<StreamingResult> result = engine.Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace seco
