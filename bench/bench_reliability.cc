@@ -1,0 +1,173 @@
+// Experiment E-REL: reliability layer over the Fig. 2/3 conference-trip
+// plan — transient fault injection across failure rates, retry recovery,
+// and graceful degradation under a permanent outage.
+//
+// The report prints, per fault rate, the recovered execution next to the
+// fault-free baseline: answers, charged calls, and the simulated clock must
+// be *bit-identical* (the determinism contract of docs/RELIABILITY.md — a
+// recovered retry returns the identical response the fault-free run got),
+// with the reliability overhead (attempts, retries, backoff) reported
+// separately. The benchmark section measures the real per-execution cost of
+// the decorator stack.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::Section;
+using bench_util::Unwrap;
+
+struct Fixture {
+  Scenario scenario;
+  BoundQuery query;
+  QueryPlan plan;
+};
+
+Fixture MakeFixture() {
+  Fixture fx;
+  fx.scenario = Unwrap(MakeConferenceScenario(), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(fx.scenario.query_text), "parse");
+  fx.query = Unwrap(BindQuery(parsed, *fx.scenario.registry), "bind");
+  TopologySpec spec;  // Conference -> Weather -> (Flight || Hotel) -> MS
+  spec.stages = {{0}, {1}, {2, 3}};
+  spec.parallel_strategy.invocation = JoinInvocation::kMergeScan;
+  spec.parallel_strategy.completion = JoinCompletion::kTriangular;
+  spec.atom_settings[2].fetch_factor = 2;
+  spec.atom_settings[3].fetch_factor = 2;
+  fx.plan = Unwrap(BuildPlan(fx.query, spec), "build");
+  ApplyAutoStrategies(&fx.plan);
+  AnnotationParams params;
+  params.k = 10;
+  CheckOk(AnnotatePlan(&fx.plan, params).status(), "annotate");
+  return fx;
+}
+
+void InjectFaults(Fixture* fx, double rate, int attempts) {
+  for (auto& [name, backend] : fx->scenario.backends) {
+    FaultProfile profile;
+    profile.transient_rate = rate;
+    profile.transient_attempts = attempts;
+    backend->set_fault_profile(profile);
+  }
+}
+
+ExecutionResult RunOnce(const Fixture& fx, const ReliabilityPolicy& policy) {
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = fx.scenario.inputs;
+  options.reliability = policy;
+  ExecutionEngine engine(options);
+  return Unwrap(engine.Execute(fx.plan), "execute");
+}
+
+void Report() {
+  Section("E-REL: fault-free baseline (conference-trip plan, k=10)");
+  Fixture clean = MakeFixture();
+  ExecutionResult baseline = RunOnce(clean, ReliabilityPolicy{});
+  std::printf("  answers %zu  calls %d  simulated %.0f ms\n",
+              baseline.combinations.size(), baseline.total_calls,
+              baseline.elapsed_ms);
+
+  Section("recovery across transient fault rates (3 retries)");
+  std::printf("  %-6s %-8s %-6s %-10s %-9s %-8s %-11s %s\n", "rate",
+              "answers", "calls", "simulated", "attempts", "retries",
+              "backoff ms", "identical?");
+  for (double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    Fixture fx = MakeFixture();
+    InjectFaults(&fx, rate, /*attempts=*/2);
+    ReliabilityPolicy policy;
+    policy.retry.max_retries = 3;
+    ExecutionResult result = RunOnce(fx, policy);
+    bool identical = result.combinations.size() ==
+                         baseline.combinations.size() &&
+                     result.total_calls == baseline.total_calls &&
+                     result.elapsed_ms == baseline.elapsed_ms;
+    std::printf("  %-6.2f %-8zu %-6d %-10.0f %-9lld %-8lld %-11.1f %s\n",
+                rate, result.combinations.size(), result.total_calls,
+                result.elapsed_ms,
+                static_cast<long long>(result.reliability.attempts),
+                static_cast<long long>(result.reliability.retries),
+                result.reliability.backoff_ms, identical ? "yes" : "NO");
+  }
+
+  Section("graceful degradation: permanent Hotel outage");
+  {
+    Fixture fx = MakeFixture();
+    for (auto& [name, backend] : fx.scenario.backends) {
+      if (name.rfind("Hotel", 0) == 0) {
+        FaultProfile profile;
+        profile.permanent_outage = true;
+        backend->set_fault_profile(profile);
+      }
+    }
+    ReliabilityPolicy policy;
+    policy.retry.max_retries = 1;
+    policy.degrade = true;
+    ExecutionResult result = RunOnce(fx, policy);
+    std::printf("  answers %zu (complete: %s)\n", result.combinations.size(),
+                result.complete ? "yes" : "no — partial");
+    for (const DegradedStatus& d : result.degraded) {
+      std::printf("  degraded node %d (%s): %d failed bindings — %s\n",
+                  d.node, d.service.c_str(), d.failed_bindings,
+                  d.reason.c_str());
+    }
+  }
+}
+
+// Per-execution wall cost of the inert policy (the historical fast path).
+void BM_ExecuteNoPolicy(benchmark::State& state) {
+  Fixture fx = MakeFixture();
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = fx.scenario.inputs;
+  for (auto _ : state) {
+    ExecutionEngine engine(options);
+    benchmark::DoNotOptimize(engine.Execute(fx.plan));
+  }
+}
+BENCHMARK(BM_ExecuteNoPolicy);
+
+// Decorator-stack overhead with a live policy but no faults: budget claims,
+// ledger updates, and breaker checks on every call, zero retries.
+void BM_ExecutePolicyNoFaults(benchmark::State& state) {
+  Fixture fx = MakeFixture();
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = fx.scenario.inputs;
+  options.reliability.retry.max_retries = 3;
+  options.reliability.breaker_failure_threshold = 5;
+  for (auto _ : state) {
+    ExecutionEngine engine(options);
+    benchmark::DoNotOptimize(engine.Execute(fx.plan));
+  }
+}
+BENCHMARK(BM_ExecutePolicyNoFaults);
+
+// Full recovery path: 10% transient faults, every stricken request retried.
+void BM_ExecutePolicyFaulted(benchmark::State& state) {
+  Fixture fx = MakeFixture();
+  InjectFaults(&fx, 0.10, 2);
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = fx.scenario.inputs;
+  options.reliability.retry.max_retries = 3;
+  for (auto _ : state) {
+    ExecutionEngine engine(options);
+    benchmark::DoNotOptimize(engine.Execute(fx.plan));
+  }
+}
+BENCHMARK(BM_ExecutePolicyFaulted);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  seco::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

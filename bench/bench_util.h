@@ -40,6 +40,8 @@ inline void Section(const std::string& title) {
 struct ChainScenario {
   std::shared_ptr<ServiceRegistry> registry;
   std::string query_text;
+  /// Backends by interface name, for fault injection and introspection.
+  std::map<std::string, std::shared_ptr<SimulatedService>> backends;
 };
 
 inline Result<ChainScenario> MakeChainScenario(int n, int rows = 400,
@@ -84,8 +86,9 @@ inline Result<ChainScenario> MakeChainScenario(int n, int rows = 400,
                       AttributeDef::Atomic("Next", ValueType::kInt),
                       AttributeDef::Atomic("Relevance", ValueType::kDouble)}));
     SECO_RETURN_IF_ERROR(scenario.registry->RegisterMart(mart));
-    SECO_RETURN_IF_ERROR(
-        builder.BuildInto(*scenario.registry, mart->name()).status());
+    SECO_ASSIGN_OR_RETURN(BuiltService built,
+                          builder.BuildInto(*scenario.registry, mart->name()));
+    scenario.backends[name] = built.backend;
     if (i > 0) {
       select += ", ";
       if (i > 1) where += " and ";

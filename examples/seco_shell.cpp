@@ -20,10 +20,32 @@
 //     --explain                     print the bound query and stop
 //     --estimates                   print estimate-vs-actual per node
 //
+// Reliability (docs/RELIABILITY.md):
+//     --faults=R                    transient fault rate in [0,1] injected
+//                                   into every scenario service
+//     --fault-attempts=N            attempts a stricken request fails before
+//                                   recovering (default 2)
+//     --spikes=R                    latency-spike rate in [0,1]
+//     --outage=SERVICE              permanent outage of one named service
+//     --fault-seed=S                fault-model seed (default: per service)
+//     --retries=N                   retry budget per call (capped backoff)
+//     --call-deadline=MS            per-call deadline on simulated latency
+//     --query-deadline=MS           simulated-clock budget for the query
+//     --breaker=N                   open a circuit breaker after N
+//                                   consecutive failures per interface
+//     --hedge=MS                    launch a backup call after MS real ms
+//     --degrade                     report partial answers instead of
+//                                   failing when a service stays down
+//
+// With any reliability knob set, a summary table (attempts, retries, hedges
+// won, breaker state, degraded nodes) prints after the results.
+//
 // Without a query argument, the scenario's canonical query runs. INPUT
 // variables are bound from the scenario's defaults.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -44,7 +66,32 @@ struct Options {
   bool dot = false;
   bool explain = false;
   bool estimates = false;
+  double faults = 0.0;
+  int fault_attempts = 2;
+  double spikes = 0.0;
+  std::string outage;
+  uint64_t fault_seed = 0;
+  int retries = 0;
+  double call_deadline_ms = 0.0;
+  double query_deadline_ms = 0.0;
+  int breaker = 0;
+  double hedge_ms = -1.0;
+  bool degrade = false;
   std::string query;
+
+  bool faulty() const {
+    return faults > 0.0 || spikes > 0.0 || !outage.empty();
+  }
+  seco::ReliabilityPolicy policy() const {
+    seco::ReliabilityPolicy policy;
+    policy.retry.max_retries = retries;
+    policy.call_deadline_ms = call_deadline_ms;
+    policy.query_deadline_ms = query_deadline_ms;
+    policy.breaker_failure_threshold = breaker;
+    policy.hedge_delay_ms = hedge_ms;
+    policy.degrade = degrade;
+    return policy;
+  }
 };
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -88,6 +135,28 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->explain = true;
     } else if (arg == "--estimates") {
       options->estimates = true;
+    } else if (const char* v = value_of("--faults=")) {
+      options->faults = std::atof(v);
+    } else if (const char* v = value_of("--fault-attempts=")) {
+      options->fault_attempts = std::atoi(v);
+    } else if (const char* v = value_of("--spikes=")) {
+      options->spikes = std::atof(v);
+    } else if (const char* v = value_of("--outage=")) {
+      options->outage = v;
+    } else if (const char* v = value_of("--fault-seed=")) {
+      options->fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--retries=")) {
+      options->retries = std::atoi(v);
+    } else if (const char* v = value_of("--call-deadline=")) {
+      options->call_deadline_ms = std::atof(v);
+    } else if (const char* v = value_of("--query-deadline=")) {
+      options->query_deadline_ms = std::atof(v);
+    } else if (const char* v = value_of("--breaker=")) {
+      options->breaker = std::atoi(v);
+    } else if (const char* v = value_of("--hedge=")) {
+      options->hedge_ms = std::atof(v);
+    } else if (arg == "--degrade") {
+      options->degrade = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -112,6 +181,78 @@ seco::Status Run(const Options& options) {
   }
   std::string query_text =
       options.query.empty() ? scenario.query_text : options.query;
+
+  if (options.faulty()) {
+    bool outage_found = options.outage.empty();
+    for (auto& [name, backend] : scenario.backends) {
+      seco::FaultProfile profile;
+      profile.transient_rate = options.faults;
+      profile.transient_attempts = options.fault_attempts;
+      profile.spike_rate = options.spikes;
+      profile.seed = options.fault_seed;
+      if (name == options.outage) {
+        profile.permanent_outage = true;
+        outage_found = true;
+      }
+      if (profile.active()) backend->set_fault_profile(profile);
+    }
+    if (!outage_found) {
+      return seco::Status::InvalidArgument("unknown service '" +
+                                           options.outage + "' for --outage");
+    }
+  }
+
+  // Reliability summary table, shared by both engines.
+  auto print_reliability = [&](const seco::ReliabilityStats& stats,
+                               const std::vector<seco::DegradedStatus>& degraded,
+                               const std::vector<std::string>& open_breakers,
+                               bool complete) {
+    if (!options.faulty() && !options.policy().enabled()) return;
+    std::printf("\nreliability summary:\n");
+    std::printf("  %-24s %lld\n", "attempts",
+                static_cast<long long>(stats.attempts));
+    std::printf("  %-24s %lld\n", "retries",
+                static_cast<long long>(stats.retries));
+    std::printf("  %-24s %lld\n", "transient failures",
+                static_cast<long long>(stats.transient_failures));
+    std::printf("  %-24s %lld\n", "deadline hits",
+                static_cast<long long>(stats.deadline_hits));
+    std::printf("  %-24s %lld / %lld\n", "hedges launched / won",
+                static_cast<long long>(stats.hedges_launched),
+                static_cast<long long>(stats.hedges_won));
+    std::printf("  %-24s %lld\n", "breaker short-circuits",
+                static_cast<long long>(stats.breaker_short_circuits));
+    std::printf("  %-24s %lld\n", "permanent failures",
+                static_cast<long long>(stats.permanent_failures));
+    std::printf("  %-24s %.1f ms\n", "backoff", stats.backoff_ms);
+    std::printf("  %-24s %.1f ms\n", "overhead charged", stats.overhead_ms);
+    if (open_breakers.empty()) {
+      std::printf("  %-24s all closed\n", "breakers");
+    } else {
+      std::string names;
+      for (const std::string& name : open_breakers) {
+        if (!names.empty()) names += ", ";
+        names += name;
+      }
+      std::printf("  %-24s open: %s\n", "breakers", names.c_str());
+    }
+    for (const seco::DegradedStatus& d : degraded) {
+      std::printf("  degraded node %-3d %s: %d failed bindings (%s)\n", d.node,
+                  d.service.c_str(), d.failed_bindings, d.reason.c_str());
+    }
+    std::printf("  %-24s %s\n", "answers",
+                complete ? "complete" : "PARTIAL (degraded services)");
+  };
+
+  // A degraded atom has a placeholder component; print it as a hole rather
+  // than dereferencing an empty tuple.
+  auto component_str = [](const seco::Combination& combo,
+                          size_t atom) -> std::string {
+    for (int m : combo.missing_atoms) {
+      if (static_cast<size_t>(m) == atom) return "<missing>";
+    }
+    return combo.components[atom].AtomicAt(0).ToString();
+  };
 
   seco::OptimizerOptions optimizer_options;
   optimizer_options.k = options.k;
@@ -150,6 +291,7 @@ seco::Status Run(const Options& options) {
     stream_options.max_calls = 100000;
     stream_options.num_threads = options.threads;
     stream_options.prefetch_depth = options.prefetch;
+    stream_options.reliability = options.policy();
     if (options.shared_cache) {
       stream_options.cache = seco::ServiceCallCache::Process();
     }
@@ -184,14 +326,17 @@ seco::Status Run(const Options& options) {
     for (const seco::Combination& combo : stream.combinations) {
       std::printf("  #%-3d score %.3f :", ++rank, combo.combined_score);
       for (size_t a = 0; a < combo.components.size(); ++a) {
-        std::printf("  %s", combo.components[a].AtomicAt(0).ToString().c_str());
+        std::printf("  %s", component_str(combo, a).c_str());
       }
       std::printf("\n");
     }
+    print_reliability(stream.reliability, stream.degraded,
+                      stream.open_breakers, stream.complete);
     return seco::Status::OK();
   }
 
   session.execution_options().num_threads = options.threads;
+  session.execution_options().reliability = options.policy();
   if (options.shared_cache) {
     session.execution_options().cache = seco::ServiceCallCache::Process();
   }
@@ -226,11 +371,13 @@ seco::Status Run(const Options& options) {
   for (const seco::Combination& combo : outcome.execution.combinations) {
     std::printf("  #%-3d score %.3f :", ++rank, combo.combined_score);
     for (size_t a = 0; a < combo.components.size(); ++a) {
-      const seco::Tuple& t = combo.components[a];
-      std::printf("  %s", t.AtomicAt(0).ToString().c_str());
+      std::printf("  %s", component_str(combo, a).c_str());
     }
     std::printf("\n");
   }
+  print_reliability(outcome.execution.reliability, outcome.execution.degraded,
+                    outcome.execution.open_breakers,
+                    outcome.execution.complete);
   if (options.estimates) {
     seco::EstimateReport report =
         seco::CompareEstimates(outcome.optimization.plan, outcome.execution);

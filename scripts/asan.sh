@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build the full test suite under AddressSanitizer + UndefinedBehaviorSanitizer
+# (SECO_SANITIZE=address enables both) and run it. Use this after touching
+# ownership-sensitive code: the decorator stacks in reliability/, the
+# speculative prefetcher's shared slots, or anything that hands shared_ptrs
+# across threads.
+#
+# Usage: scripts/asan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-asan
+
+cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j"$(nproc)" "$@"

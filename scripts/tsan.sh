@@ -13,8 +13,9 @@ cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDe
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
   thread_pool_test call_cache_test concurrency_determinism_test \
   streaming_prefetch_test streaming_test join_methods_test \
-  engine_test engine_advanced_test integration_test
+  engine_test engine_advanced_test integration_test \
+  reliability_test fault_recovery_test
 
 cd "${BUILD_DIR}"
 ctest --output-on-failure -j"$(nproc)" -R \
-  'ThreadPool|CallCache|ConcurrencyDeterminism|StreamingPrefetch|Streaming|ParallelJoin|Engine|Integration' "$@"
+  'ThreadPool|CallCache|ConcurrencyDeterminism|StreamingPrefetch|Streaming|ParallelJoin|Engine|Integration|Reliability|RetryPolicy|CircuitBreaker|CallBudget|ResilientHandler|RetryStorm|FaultRecovery' "$@"

@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "unsupported";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kInternal = 7,          ///< Invariant violation inside the library.
   kUnsupported = 8,       ///< A combination of options that is not implemented.
   kResourceExhausted = 9, ///< A configured budget (calls, plans, ...) ran out.
+  kUnavailable = 10,      ///< A service is (transiently or permanently) down.
+  kDeadlineExceeded = 11, ///< A call or query overran its deadline.
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "not found", ...).
@@ -73,6 +75,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -19,6 +19,7 @@
 ///   join/      search-space model, parallel/pipe join executors
 ///   cost/      the five cost metrics of the chapter
 ///   optimizer/ three-phase branch-and-bound + WSMS baseline
+///   reliability/ fault-handling decorators: retry, deadlines, breakers
 ///   exec/      dataflow execution engine
 ///   core/      QuerySession facade
 
@@ -51,7 +52,11 @@
 #include "query/parser.h"
 #include "query/printer.h"
 #include "query/semantics.h"
+#include "reliability/circuit_breaker.h"
+#include "reliability/policy.h"
+#include "reliability/resilient_handler.h"
 #include "service/registry.h"
+#include "sim/fault_model.h"
 #include "sim/fixtures.h"
 #include "sim/service_builder.h"
 

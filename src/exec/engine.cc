@@ -6,11 +6,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "common/thread_pool.h"
 #include "exec/call_cache.h"
 #include "exec/call_scheduler.h"
 #include "query/semantics.h"
+#include "reliability/circuit_breaker.h"
+#include "reliability/resilient_handler.h"
 #include "service/invocation.h"
 
 namespace seco {
@@ -39,6 +42,9 @@ struct CachedFetch {
 struct FetchCall {
   int chunk = 0;
   double latency_ms = 0.0;
+  /// Reliability overhead (backoff + charged deadlines) this logical call
+  /// accumulated before succeeding; accounted separately from latency.
+  double overhead_ms = 0.0;
 };
 
 /// Everything one distinct-binding fetch job produced. Written by exactly
@@ -48,6 +54,10 @@ struct FetchOutcome {
   std::vector<FetchCall> calls;  // real calls, in chunk order
   int cache_hits = 0;
   int cache_misses = 0;
+  /// Set when this binding's fetch hit a permanent fault under a degrading
+  /// policy: earlier chunks (if any) are kept, later ones abandoned.
+  bool failed = false;
+  Status failure;
 };
 
 }  // namespace
@@ -73,19 +83,43 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
   CallScheduler scheduler(pool.get());
   ServiceCallCache local_cache;
   ServiceCallCache* cache = options_.cache ? options_.cache : &local_cache;
-  // Budget reservations; fetch jobs from any thread claim call slots here.
+  // Budget reservations; fetch jobs from any thread claim call slots here
+  // (legacy path — under a reliability policy the shared CallBudget below
+  // charges every attempt instead).
   std::atomic<int> calls_issued{0};
 
-  auto call_with_retries =
-      [&](ServiceCallHandler* handler,
-          const ServiceRequest& request) -> Result<ServiceResponse> {
-    Status last;
-    for (int attempt = 0; attempt <= options_.call_retries; ++attempt) {
-      Result<ServiceResponse> resp = handler->Call(request);
-      if (resp.ok()) return resp;
-      last = resp.status();
+  // Effective reliability policy: the legacy `call_retries` knob maps onto
+  // the retry policy when no explicit one was configured. An inert policy
+  // leaves every code path below exactly as it was before this layer.
+  ReliabilityPolicy policy = options_.reliability;
+  if (policy.retry.max_retries == 0 && options_.call_retries > 0) {
+    policy.retry.max_retries = options_.call_retries;
+  }
+  const bool resilient = policy.enabled();
+  CallBudget budget(resilient ? options_.max_calls : -1);
+  ReliabilityLedger ledger;
+  CircuitBreakerRegistry breakers(policy.breaker_failure_threshold,
+                                  policy.breaker_probe_interval);
+  // Atoms whose service degraded: partial rows missing only these atoms
+  // survive selections, joins, and output as flagged partial answers.
+  std::set<int> degraded_atoms;
+  // Reliability overhead consumed so far, in deterministic accounting
+  // order; feeds the query-deadline check and the final stats.
+  double overhead_consumed_ms = 0.0;
+
+  // Classifies a join-group endpoint pair: 0 = both tuples present
+  // (evaluate the clause), 1 = a tuple is missing because its atom
+  // degraded (skip the clause, keep the row), -1 = missing for structural
+  // reasons (drop the row, the historical behavior).
+  auto join_endpoints = [&degraded_atoms](const Row& row, int a, int b) {
+    bool missing_a = !row.tuples[a].has_value();
+    bool missing_b = !row.tuples[b].has_value();
+    if (!missing_a && !missing_b) return 0;
+    if ((missing_a && degraded_atoms.count(a) > 0) ||
+        (missing_b && degraded_atoms.count(b) > 0)) {
+      return 1;
     }
-    return last;
+    return -1;
   };
 
   for (int id : order) {
@@ -116,6 +150,10 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
         std::vector<std::vector<Value>> distinct_bindings;
         std::vector<std::string> distinct_keys;
         std::map<std::string, int> job_of_key;
+        // Rows whose inputs can only pipe from an atom a degraded service
+        // never produced; they skip fetching and pass through partially
+        // bound (the degradation cascades down the pipe).
+        std::vector<char> row_unbindable(in.size(), 0);
         for (size_t row_idx = 0; row_idx < in.size(); ++row_idx) {
           const Row& row = in[row_idx];
           // Candidate values per input path (multiple when piped from a
@@ -123,6 +161,7 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
           std::vector<std::vector<Value>> candidates;
           for (const AttrPath& in_path : pattern.input_paths()) {
             std::vector<Value> values;
+            bool provider_degraded = false;
             // Constant / INPUT bindings.
             for (int sel_idx : node.input_selections) {
               const BoundSelection& sel = query.selections[sel_idx];
@@ -147,7 +186,13 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
                     provider = clause.to_atom;
                     provider_path = clause.to_path;
                   }
-                  if (provider < 0 || !row.tuples[provider].has_value()) continue;
+                  if (provider < 0) continue;
+                  if (!row.tuples[provider].has_value()) {
+                    if (degraded_atoms.count(provider) > 0) {
+                      provider_degraded = true;
+                    }
+                    continue;
+                  }
                   for (Value& v :
                        row.tuples[provider]->CandidateValuesAt(provider_path)) {
                     values.push_back(std::move(v));
@@ -157,12 +202,17 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
               }
             }
             if (values.empty()) {
+              if (provider_degraded) {
+                row_unbindable[row_idx] = 1;
+                break;
+              }
               return Status::Internal("engine: unbound input " +
                                       iface.schema().PathToString(in_path) +
                                       " of service " + iface.name());
             }
             candidates.push_back(std::move(values));
           }
+          if (row_unbindable[row_idx]) continue;
 
           // Enumerate distinct input bindings (cross product of candidates).
           std::vector<std::vector<Value>> bindings;
@@ -192,56 +242,109 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
           }
         }
 
+        // Reliability wrapper for this node's handler: retry / deadline /
+        // breaker / hedging behavior shared by every fetch job below.
+        std::shared_ptr<ServiceCallHandler> node_handler = iface.handler_ptr();
+        if (resilient) {
+          ReliabilityContext ctx;
+          ctx.policy = policy;
+          ctx.budget = &budget;
+          ctx.ledger = &ledger;
+          ctx.breakers = &breakers;
+          ctx.hedge_pool = pool.get();
+          node_handler = std::make_shared<ResilientHandler>(
+              std::move(node_handler), iface.name(), ctx);
+        }
+
+        // Query deadline, checked at the deterministic node boundary: the
+        // node would start at simulated time `ready_ms`, after
+        // `overhead_consumed_ms` of reliability overhead.
+        const bool node_past_deadline =
+            resilient && policy.query_deadline_ms > 0.0 &&
+            ready_ms + overhead_consumed_ms > policy.query_deadline_ms;
+        if (node_past_deadline && !policy.degrade) {
+          return Status::DeadlineExceeded(
+              "query deadline (" + std::to_string(policy.query_deadline_ms) +
+              " ms) exceeded before node " + std::to_string(node.id));
+        }
+
         // Pass 2 — fetch: one job per distinct binding, dispatched through
         // the scheduler (concurrent across bindings when a pool exists,
         // inline in index order otherwise). Chunks of one binding stay
         // sequential — chunk f+1 is only needed if chunk f was not
         // exhausted. Each job owns its FetchOutcome slot; the call budget
-        // is claimed through `calls_issued`.
+        // is claimed through `calls_issued` (or, under a reliability
+        // policy, per attempt inside the resilient handler).
         const int fetches =
             iface.is_chunked() ? std::max(node.fetch_factor, 1) : 1;
         std::vector<FetchOutcome> outcomes(distinct_keys.size());
-        std::vector<CallJob> jobs;
-        jobs.reserve(distinct_keys.size());
-        for (size_t j = 0; j < distinct_keys.size(); ++j) {
-          jobs.push_back([&, j]() -> Status {
-            FetchOutcome& outcome = outcomes[j];
-            for (int f = 0; f < fetches; ++f) {
-              std::string cache_key =
-                  ServiceCallCache::Key(iface.name(), distinct_keys[j], f);
-              ServiceResponse resp;
-              std::optional<ServiceResponse> cached = cache->Get(cache_key);
-              if (cached.has_value()) {
-                resp = std::move(*cached);
-                ++outcome.cache_hits;
-              } else {
-                if (calls_issued.fetch_add(1, std::memory_order_relaxed) >=
-                    options_.max_calls) {
-                  return Status::ResourceExhausted(
-                      "service call budget exceeded (" +
-                      std::to_string(options_.max_calls) + ")");
+        if (node_past_deadline) {
+          for (FetchOutcome& outcome : outcomes) {
+            outcome.failed = true;
+            outcome.failure = Status::DeadlineExceeded(
+                "query deadline exceeded before fetching");
+          }
+        } else {
+          std::vector<CallJob> jobs;
+          jobs.reserve(distinct_keys.size());
+          for (size_t j = 0; j < distinct_keys.size(); ++j) {
+            jobs.push_back([&, j]() -> Status {
+              FetchOutcome& outcome = outcomes[j];
+              for (int f = 0; f < fetches; ++f) {
+                std::string cache_key =
+                    ServiceCallCache::Key(iface.name(), distinct_keys[j], f);
+                ServiceResponse resp;
+                std::optional<ServiceResponse> cached = cache->Get(cache_key);
+                if (cached.has_value()) {
+                  resp = std::move(*cached);
+                  ++outcome.cache_hits;
+                } else {
+                  if (!resilient &&
+                      calls_issued.fetch_add(1, std::memory_order_relaxed) >=
+                          options_.max_calls) {
+                    return Status::ResourceExhausted(
+                        "service call budget exceeded (" +
+                        std::to_string(options_.max_calls) + ")");
+                  }
+                  ServiceRequest request;
+                  request.inputs = distinct_bindings[j];
+                  request.chunk_index = f;
+                  Result<ServiceResponse> fetched =
+                      node_handler->Call(request);
+                  if (!fetched.ok()) {
+                    Status s = fetched.status();
+                    if (resilient && policy.degrade && IsFaultStatus(s)) {
+                      // Permanent fault: keep what this binding already
+                      // yielded, degrade the rest.
+                      outcome.failed = true;
+                      outcome.failure = std::move(s);
+                      break;
+                    }
+                    return s;
+                  }
+                  resp = std::move(fetched).value();
+                  // Overhead belongs to this attempt chain, never to the
+                  // cached response: a later cache hit must not replay it.
+                  double call_overhead = resp.fault_overhead_ms;
+                  resp.fault_overhead_ms = 0.0;
+                  cache->Put(cache_key, resp);
+                  outcome.calls.push_back(
+                      FetchCall{f, resp.latency_ms, call_overhead});
+                  ++outcome.cache_misses;
                 }
-                ServiceRequest request;
-                request.inputs = distinct_bindings[j];
-                request.chunk_index = f;
-                SECO_ASSIGN_OR_RETURN(
-                    resp, call_with_retries(iface.handler(), request));
-                cache->Put(cache_key, resp);
-                outcome.calls.push_back(FetchCall{f, resp.latency_ms});
-                ++outcome.cache_misses;
+                for (size_t t = 0; t < resp.tuples.size(); ++t) {
+                  outcome.fetch.tuples.push_back(std::move(resp.tuples[t]));
+                  outcome.fetch.scores.push_back(
+                      t < resp.scores.size() ? resp.scores[t] : 0.0);
+                  outcome.fetch.chunk_ords.push_back(f);
+                }
+                if (resp.exhausted) break;
               }
-              for (size_t t = 0; t < resp.tuples.size(); ++t) {
-                outcome.fetch.tuples.push_back(std::move(resp.tuples[t]));
-                outcome.fetch.scores.push_back(
-                    t < resp.scores.size() ? resp.scores[t] : 0.0);
-                outcome.fetch.chunk_ords.push_back(f);
-              }
-              if (resp.exhausted) break;
-            }
-            return Status::OK();
-          });
+              return Status::OK();
+            });
+          }
+          SECO_RETURN_IF_ERROR(scheduler.RunAll(std::move(jobs)));
         }
-        SECO_RETURN_IF_ERROR(scheduler.RunAll(std::move(jobs)));
 
         // Pass 3 — deterministic accounting in first-appearance order:
         // identical to the historical sequential interleaving, regardless
@@ -253,6 +356,7 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
             ++stats.calls;
             stats.latency_ms += call.latency_ms;
             result.total_latency_ms += call.latency_ms;
+            overhead_consumed_ms += call.overhead_ms;
             if (options_.collect_trace) {
               result.trace.push_back(CallEvent{node.id, iface.name(),
                                                distinct_keys[j], call.chunk,
@@ -263,13 +367,37 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
           result.cache_hits += outcome.cache_hits;
           result.cache_misses += outcome.cache_misses;
         }
+        if (resilient) {
+          int failed_bindings = 0;
+          std::string reason;
+          for (const FetchOutcome& outcome : outcomes) {
+            if (!outcome.failed) continue;
+            ++failed_bindings;
+            if (reason.empty()) reason = outcome.failure.ToString();
+          }
+          for (char unbindable : row_unbindable) {
+            if (!unbindable) continue;
+            ++failed_bindings;
+            if (reason.empty()) {
+              reason = "input unavailable: piped from a degraded service";
+            }
+          }
+          if (failed_bindings > 0) {
+            degraded_atoms.insert(node.atom);
+            result.degraded.push_back(
+                DegradedStatus{node.id, iface.name(), failed_bindings, reason});
+            result.complete = false;
+          }
+        }
 
         // Pass 4 — extend rows with the fetched tuples, byte-identical to
         // the sequential fetch-as-you-go order.
         for (size_t row_idx = 0; row_idx < in.size(); ++row_idx) {
           const Row& row = in[row_idx];
           int kept_for_row = 0;
+          bool row_hit_failure = row_unbindable[row_idx] != 0;
           for (int job_idx : row_jobs[row_idx]) {
+            if (outcomes[job_idx].failed) row_hit_failure = true;
             const CachedFetch& fetch = outcomes[job_idx].fetch;
             for (size_t t = 0; t < fetch.tuples.size(); ++t) {
               if (node.keep_per_input > 0 && kept_for_row >= node.keep_per_input) {
@@ -306,6 +434,15 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
               ++kept_for_row;
             }
           }
+          if (kept_for_row == 0 && row_hit_failure) {
+            // Degraded pass-through: the row's service data is gone, but
+            // the partial combination stays alive so other services' joins
+            // still produce (flagged) answers.
+            Row passed = row;
+            passed.parent = static_cast<int>(row_idx);
+            passed.chunk_ord = 0;
+            out.push_back(std::move(passed));
+          }
         }
         streams[id] = std::move(out);
         break;
@@ -327,6 +464,9 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
           bool ok = true;
           for (int atom : atoms_to_check) {
             if (!row.tuples[atom].has_value()) {
+              // A missing degraded atom has no tuple to check; keep the
+              // partial row rather than silently dropping it.
+              if (degraded_atoms.count(atom) > 0) continue;
               ok = false;
               break;
             }
@@ -343,7 +483,9 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
               const BoundJoinGroup& group = query.joins[group_idx];
               const JoinClause& first = group.clauses[0];
               int a = first.from_atom, b = first.to_atom;
-              if (!row.tuples[a].has_value() || !row.tuples[b].has_value()) {
+              int cls = join_endpoints(row, a, b);
+              if (cls == 1) continue;  // endpoint degraded: unverifiable
+              if (cls < 0) {
                 ok = false;
                 break;
               }
@@ -440,7 +582,9 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
               const BoundJoinGroup& group = query.joins[group_idx];
               const JoinClause& first = group.clauses[0];
               int a = first.from_atom, b = first.to_atom;
-              if (!row.tuples[a].has_value() || !row.tuples[b].has_value()) {
+              int cls = join_endpoints(row, a, b);
+              if (cls == 1) continue;  // endpoint degraded: unverifiable
+              if (cls < 0) {
                 ok = false;
                 break;
               }
@@ -468,17 +612,25 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
           combo.components.reserve(num_atoms);
           combo.component_scores.reserve(num_atoms);
           double total = 0.0;
-          bool complete = true;
+          bool viable = true;
           for (int a = 0; a < num_atoms; ++a) {
             if (!row.tuples[a].has_value()) {
-              complete = false;
-              break;
+              // Partial answers survive only when every hole traces back to
+              // a degraded service; structurally incomplete rows still drop.
+              if (degraded_atoms.count(a) == 0) {
+                viable = false;
+                break;
+              }
+              combo.components.emplace_back();
+              combo.component_scores.push_back(0.0);
+              combo.missing_atoms.push_back(a);
+              continue;
             }
             combo.components.push_back(*row.tuples[a]);
             combo.component_scores.push_back(row.scores[a]);
             total += weights[a] * row.scores[a];
           }
-          if (!complete) continue;
+          if (!viable) continue;
           combo.combined_score = total;
           result.combinations.push_back(std::move(combo));
         }
@@ -500,6 +652,11 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
     stats.finished_at_ms = ready_ms + stats.latency_ms;
     finish[id] = stats.finished_at_ms;
     result.elapsed_ms = std::max(result.elapsed_ms, finish[id]);
+  }
+  if (resilient) {
+    result.reliability = ledger.Snapshot();
+    result.reliability.overhead_ms = overhead_consumed_ms;
+    result.open_breakers = breakers.OpenBreakers();
   }
   result.wall_clock_ms =
       std::chrono::duration<double, std::milli>(

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "plan/plan.h"
+#include "reliability/policy.h"
 #include "service/tuple.h"
 
 namespace seco {
@@ -19,9 +20,11 @@ struct ExecutionOptions {
   int k = 10;
   /// Values for the query's INPUT variables.
   std::map<std::string, Value> input_bindings;
-  /// Safety budget on total service calls.
+  /// Safety budget on total service calls. Under a reliability policy every
+  /// delivery *attempt* (first try, retry, hedge) counts against it.
   int max_calls = 10000;
-  /// Retries per failing service call before the execution aborts.
+  /// Retries per failing service call before the execution aborts. Legacy
+  /// knob: mapped onto `reliability.retry.max_retries` when the latter is 0.
   int call_retries = 0;
   /// When false, all produced combinations are returned (not just k).
   bool truncate_to_k = true;
@@ -38,6 +41,10 @@ struct ExecutionOptions {
   /// `ServiceCallCache::Process()` (or any shared instance) to let repeated
   /// queries across sessions hit warm entries. Not owned.
   ServiceCallCache* cache = nullptr;
+  /// Retry / deadline / breaker / hedging / degradation policy (see
+  /// docs/RELIABILITY.md). The default policy is inert and preserves the
+  /// historical behavior bit-for-bit.
+  ReliabilityPolicy reliability;
 };
 
 /// One recorded service request-response (when tracing is enabled).
@@ -79,6 +86,17 @@ struct ExecutionResult {
   std::map<int, NodeRuntimeStats> node_stats;
   /// Chronological call log; empty unless `ExecutionOptions::collect_trace`.
   std::vector<CallEvent> trace;
+  /// Retry / hedge / breaker / deadline telemetry (zero when the policy is
+  /// inert).
+  ReliabilityStats reliability;
+  /// Plan nodes that lost data to permanent service failures; empty unless
+  /// `ReliabilityPolicy::degrade` allowed a partial answer.
+  std::vector<DegradedStatus> degraded;
+  /// Interfaces whose circuit breaker ended the run open.
+  std::vector<std::string> open_breakers;
+  /// False when any node degraded: `combinations` may then contain partial
+  /// combinations (see `Combination::missing_atoms`).
+  bool complete = true;
 };
 
 /// Dataflow interpreter for query plans (§3.2): walks the DAG in

@@ -5,6 +5,7 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +14,8 @@
 #include "exec/call_cache.h"
 #include "exec/call_scheduler.h"
 #include "query/semantics.h"
+#include "reliability/circuit_breaker.h"
+#include "reliability/resilient_handler.h"
 #include "service/invocation.h"
 
 namespace seco {
@@ -62,12 +65,69 @@ struct RunState {
   /// downstream speculation.
   std::vector<const PlanNode*> service_nodes;
 
+  // ---- Reliability (see docs/RELIABILITY.md) ----
+  /// Effective policy; `resilient` caches `policy.enabled()`.
+  ReliabilityPolicy policy;
+  bool resilient = false;
+  /// Per-service-node resilient wrappers (retry/deadline/breaker/hedging);
+  /// raw handlers are used when the policy is inert.
+  std::map<int, std::shared_ptr<ServiceCallHandler>> handlers;
+  /// Atoms whose service degraded; partial rows missing only these atoms
+  /// survive selections, joins, and output as flagged partial answers.
+  std::set<int> degraded_atoms;
+  std::map<int, DegradedStatus> degraded;
+  /// Pipeline-thread sums of consumed latency and reliability overhead —
+  /// the deterministic mid-run clock the query deadline is checked against.
+  double consumed_latency_ms = 0.0;
+  double overhead_consumed_ms = 0.0;
+
+  ServiceCallHandler* HandlerFor(const PlanNode& node) const {
+    auto it = handlers.find(node.id);
+    return it != handlers.end() ? it->second.get() : node.iface->handler();
+  }
+
+  bool PastQueryDeadline() const {
+    return resilient && policy.query_deadline_ms > 0.0 &&
+           consumed_latency_ms + overhead_consumed_ms >
+               policy.query_deadline_ms;
+  }
+
+  /// Marks `node` degraded by `failure` (called on the pipeline thread at
+  /// the deterministic consumption point of the failing fetch).
+  void RecordDegraded(const PlanNode& node, const Status& failure) {
+    degraded_atoms.insert(node.atom);
+    auto [it, inserted] = degraded.emplace(
+        node.id, DegradedStatus{node.id, node.iface->name(), 0,
+                                failure.ToString()});
+    ++it->second.failed_bindings;
+  }
+
+  /// True when this fetch failure should degrade the node instead of
+  /// aborting the run.
+  bool ShouldDegrade(const Status& failure) const {
+    return resilient && policy.degrade && IsFaultStatus(failure);
+  }
+
   /// Budget slots already spoken for: charged calls plus outstanding
   /// speculation. Real issued calls never exceed this.
   int reserved() const {
     return charged_calls + static_cast<int>(inflight.size());
   }
 };
+
+/// Classifies a predicate over atoms `a` and `b` of a row that may be
+/// partially bound: 0 = both present (evaluate it), 1 = data missing but
+/// only from degraded services (skip the predicate, keep the row),
+/// -1 = data missing for a non-degraded reason (drop the row).
+int ClassifyEndpoints(const SRow& row, int a, int b, const RunState& state) {
+  int cls = 0;
+  for (int atom : {a, b}) {
+    if (row.tuples[atom].has_value()) continue;
+    if (state.degraded_atoms.count(atom) == 0) return -1;
+    cls = 1;
+  }
+  return cls;
+}
 
 /// Lazily-fetched, cached result list for one (service, binding) pair.
 struct CacheEntry {
@@ -91,10 +151,16 @@ int FetchCap(const PlanNode& node) {
 }
 
 /// Books one charged call: budget, per-node counters, and the trace.
+/// `overhead_ms` is the reliability overhead (backoff + charged deadlines)
+/// the consumed response carried — accounted separately from the base
+/// simulated clock so a recovered run matches the fault-free run.
 void ChargeCall(const PlanNode& node, const std::string& binding_key,
-                int chunk, double latency_ms, RunState* state) {
+                int chunk, double latency_ms, double overhead_ms,
+                RunState* state) {
   ++state->charged_calls;
   ++state->cache_misses;
+  state->consumed_latency_ms += latency_ms;
+  state->overhead_consumed_ms += overhead_ms;
   NodeRuntimeStats& stats = state->node_stats[node.id];
   ++stats.calls;
   stats.latency_ms += latency_ms;
@@ -119,7 +185,7 @@ void TrySpeculate(const PlanNode& node, const std::string& binding_key,
   if (state->cache->Contains(key)) return;
   auto fetch = std::make_unique<SpecFetch>();
   SpecFetch* slot = fetch.get();
-  ServiceCallHandler* handler = node.iface->handler();
+  ServiceCallHandler* handler = state->HandlerFor(node);
   ServiceCallCache* cache = state->cache;
   std::optional<std::future<Status>> job = state->scheduler->SubmitOne(
       [handler, cache, binding, chunk, key, slot]() -> Status {
@@ -127,7 +193,15 @@ void TrySpeculate(const PlanNode& node, const std::string& binding_key,
         request.inputs = binding;
         request.chunk_index = chunk;
         Result<ServiceResponse> resp = handler->Call(request);
-        if (resp.ok()) cache->Put(key, resp.value());
+        if (resp.ok()) {
+          // Cache the clean response: reliability overhead is charged once,
+          // at the consumption point of this fetch — a later cache hit must
+          // not replay it. Errors are never cached, so a transiently failing
+          // speculative fetch cannot poison the cache.
+          ServiceResponse clean = resp.value();
+          clean.fault_overhead_ms = 0.0;
+          cache->Put(key, clean);
+        }
         slot->response = std::move(resp);
         return slot->response.status();
       });
@@ -161,6 +235,9 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
     return Status::ResourceExhausted("service call budget exceeded (" +
                                      std::to_string(max_calls) + ")");
   };
+  // Query-deadline checks below run on the pipeline thread against the
+  // cumulative *consumed* latency + overhead — a deterministic mid-run
+  // clock — and guard every charge point. Cache hits stay free.
   std::string key =
       ServiceCallCache::Key(node.iface->name(), binding_key, chunk);
   auto it = state->inflight.find(key);
@@ -170,6 +247,9 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
     // engine's exact abort point — and leaves the ledger, so a repeat
     // demand becomes an ordinary (free) cache hit, as it would have been
     // sequentially.
+    if (state->PastQueryDeadline()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
     if (state->charged_calls >= max_calls) return budget_error();
     std::unique_ptr<SpecFetch> fetch = std::move(it->second);
     state->inflight.erase(it);
@@ -177,7 +257,8 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
     fetch->done.wait();
     SECO_RETURN_IF_ERROR(fetch->response.status());
     ServiceResponse resp = std::move(fetch->response).value();
-    ChargeCall(node, binding_key, chunk, resp.latency_ms, state);
+    ChargeCall(node, binding_key, chunk, resp.latency_ms,
+               resp.fault_overhead_ms, state);
     return resp;
   }
   std::optional<ServiceResponse> cached = state->cache->Get(key);
@@ -185,6 +266,9 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
     ++state->cache_hits;
     ++state->node_stats[node.id].cache_hits;
     return std::move(*cached);
+  }
+  if (state->PastQueryDeadline()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
   }
   if (state->charged_calls >= max_calls) return budget_error();
   // Outstanding speculation holds the remaining budget slots; issuing one
@@ -195,9 +279,14 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
   request.inputs = binding;
   request.chunk_index = chunk;
   SECO_ASSIGN_OR_RETURN(ServiceResponse resp,
-                        node.iface->handler()->Call(request));
-  state->cache->Put(key, resp);
-  ChargeCall(node, binding_key, chunk, resp.latency_ms, state);
+                        state->HandlerFor(node)->Call(request));
+  // Cache the clean response — reliability overhead is charged exactly once,
+  // here at consumption; a later cache hit must not replay it.
+  ServiceResponse clean = resp;
+  clean.fault_overhead_ms = 0.0;
+  state->cache->Put(key, clean);
+  ChargeCall(node, binding_key, chunk, resp.latency_ms,
+             resp.fault_overhead_ms, state);
   return resp;
 }
 
@@ -244,6 +333,9 @@ Status EnsureItem(const PlanNode& node, const std::string& binding_key,
 /// Enumerates the distinct input bindings a service node derives from one
 /// upstream row: constants / INPUT variables from the node's selections,
 /// then piped values from upstream tuples, cross-producted per input path.
+/// Returns an *empty* vector — no bindings, not an error — when an input
+/// can only pipe from an atom a degraded service never produced: the caller
+/// then cascades the degradation instead of aborting.
 Result<std::vector<std::vector<Value>>> ComputeNodeBindings(
     const PlanNode& node, const SRow& pulled, RunState* state) {
   std::vector<std::vector<Value>> bindings;
@@ -252,6 +344,7 @@ Result<std::vector<std::vector<Value>>> ComputeNodeBindings(
   const AccessPattern& pattern = node.iface->pattern();
   for (const AttrPath& in_path : pattern.input_paths()) {
     std::vector<Value> values;
+    bool provider_degraded = false;
     for (int sel_idx : node.input_selections) {
       const BoundSelection& sel = query.selections[sel_idx];
       if (sel.atom == node.atom && sel.path == in_path) {
@@ -274,7 +367,13 @@ Result<std::vector<std::vector<Value>>> ComputeNodeBindings(
             provider = clause.to_atom;
             provider_path = clause.to_path;
           }
-          if (provider < 0 || !pulled.tuples[provider].has_value()) continue;
+          if (provider < 0) continue;
+          if (!pulled.tuples[provider].has_value()) {
+            if (state->degraded_atoms.count(provider) > 0) {
+              provider_degraded = true;
+            }
+            continue;
+          }
           for (Value& v :
                pulled.tuples[provider]->CandidateValuesAt(provider_path)) {
             values.push_back(std::move(v));
@@ -284,6 +383,7 @@ Result<std::vector<std::vector<Value>>> ComputeNodeBindings(
       }
     }
     if (values.empty()) {
+      if (provider_degraded) return std::vector<std::vector<Value>>{};
       return Status::Internal("streaming engine: unbound input " +
                               node.iface->schema().PathToString(in_path));
     }
@@ -397,6 +497,16 @@ class ServiceCallOp : public Op {
         binding_idx_ = 0;
         item_idx_ = 0;
         kept_ = 0;
+        row_failed_ = false;
+        if (bindings_.empty()) {
+          // The row's only providers for this node's inputs came from a
+          // degraded service: cascade the degradation so the partial row
+          // passes through with this atom flagged missing too.
+          state_->RecordDegraded(
+              *node_, Status::Unavailable("input unavailable: piped from a "
+                                          "degraded service"));
+          row_failed_ = true;
+        }
       }
       while (binding_idx_ < bindings_.size()) {
         if (node_->keep_per_input > 0 && kept_ >= node_->keep_per_input) break;
@@ -414,8 +524,18 @@ class ServiceCallOp : public Op {
         }
         const std::vector<Value>& binding = bindings_[binding_idx_];
         CacheEntry& entry = (*cache_)[SerializeBinding(binding)];
-        SECO_RETURN_IF_ERROR(EnsureItem(*node_, SerializeBinding(binding),
-                                        binding, &entry, state_, item_idx_));
+        Status fetch_status = EnsureItem(*node_, SerializeBinding(binding),
+                                         binding, &entry, state_, item_idx_);
+        if (!fetch_status.ok()) {
+          if (!state_->ShouldDegrade(fetch_status)) return fetch_status;
+          // Permanent service failure under a degrade policy: mark the node
+          // degraded, stop fetching this binding (items already fetched are
+          // still consumed), and remember that this upstream row lost data —
+          // if nothing else extends it, it passes through partially bound.
+          state_->RecordDegraded(*node_, fetch_status);
+          entry.exhausted = true;
+          row_failed_ = true;
+        }
         if (item_idx_ >= entry.items.size()) {
           ++binding_idx_;
           item_idx_ = 0;
@@ -431,6 +551,16 @@ class ServiceCallOp : public Op {
         ++kept_;
         ++state_->node_stats[node_->id].tuples_out;
         *row = std::move(extended);
+        return true;
+      }
+      // Row drained. If a degraded service left it with no extension at
+      // all, pass it through unextended — downstream operators and the
+      // output stage treat the missing (degraded) atom as partial data.
+      if (kept_ == 0 && row_failed_) {
+        SRow passthrough = std::move(*current_);
+        current_.reset();
+        ++state_->node_stats[node_->id].tuples_out;
+        *row = std::move(passthrough);
         return true;
       }
       current_.reset();  // row drained; pull the next upstream row
@@ -464,6 +594,8 @@ class ServiceCallOp : public Op {
   size_t binding_idx_ = 0;
   size_t item_idx_ = 0;
   int kept_ = 0;
+  /// True when a degraded-service failure cost the current row data.
+  bool row_failed_ = false;
 };
 
 /// Filters rows by re-evaluating the touched atoms' selections (joint
@@ -490,6 +622,9 @@ class SelectionOp : public Op {
       bool ok = true;
       for (int atom : atoms_) {
         if (!pulled.tuples[atom].has_value()) {
+          // A degraded service never produced this atom; its selections
+          // cannot be evaluated, but the partial row stays alive.
+          if (state_->degraded_atoms.count(atom) > 0) continue;
           ok = false;
           break;
         }
@@ -506,7 +641,9 @@ class SelectionOp : public Op {
           const BoundJoinGroup& group = query.joins[group_idx];
           const JoinClause& first = group.clauses[0];
           int a = first.from_atom, b = first.to_atom;
-          if (!pulled.tuples[a].has_value() || !pulled.tuples[b].has_value()) {
+          int cls = ClassifyEndpoints(pulled, a, b, *state_);
+          if (cls == 1) continue;  // degraded endpoint: predicate skipped
+          if (cls < 0) {
             ok = false;
             break;
           }
@@ -617,7 +754,9 @@ class JoinOp : public Op {
             const BoundJoinGroup& group = query.joins[group_idx];
             const JoinClause& first = group.clauses[0];
             int a = first.from_atom, b = first.to_atom;
-            if (!merged.tuples[a].has_value() || !merged.tuples[b].has_value()) {
+            int cls = ClassifyEndpoints(merged, a, b, *state_);
+            if (cls == 1) continue;  // degraded endpoint: predicate skipped
+            if (cls < 0) {
               ok = false;
               break;
             }
@@ -764,12 +903,33 @@ Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
   state.cache = options_.cache != nullptr ? options_.cache : &local_cache;
   state.scheduler = &scheduler;
   state.speculate = scheduler.concurrent() && options_.prefetch_depth > 0;
+  state.policy = options_.reliability;
+  state.resilient = state.policy.enabled();
+  // Attempt-level budget (every delivery attempt, demand or speculative,
+  // claims a slot) plus the shared telemetry/breaker state. Only built when
+  // the policy is live: the inert path keeps the historical charged-calls
+  // guards and raw handlers, bit-for-bit.
+  CallBudget budget(state.resilient ? options_.max_calls : -1);
+  ReliabilityLedger ledger;
+  CircuitBreakerRegistry breakers(state.policy.breaker_failure_threshold,
+                                  state.policy.breaker_probe_interval);
   SECO_ASSIGN_OR_RETURN(std::vector<int> speculation_order,
                         plan.TopologicalOrder());
   for (int id : speculation_order) {
     const PlanNode& node = plan.node(id);
     if (node.kind == PlanNodeKind::kServiceCall && node.iface) {
       state.service_nodes.push_back(&node);
+      if (state.resilient) {
+        ReliabilityContext ctx;
+        ctx.policy = state.policy;
+        ctx.budget = &budget;
+        ctx.ledger = &ledger;
+        ctx.breakers = &breakers;
+        ctx.hedge_pool = pool.get();
+        ctx.interrupt = options_.interrupt;
+        state.handlers[node.id] = std::make_shared<ResilientHandler>(
+            node.iface->handler_ptr(), node.iface->name(), std::move(ctx));
+      }
     }
   }
   std::map<int, FetchCache> caches;
@@ -789,18 +949,28 @@ Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
         break;
       }
       Combination combo;
-      bool complete = true;
+      bool viable = true;
       double total = 0.0;
       for (int a = 0; a < num_atoms; ++a) {
         if (!row.tuples[a].has_value()) {
-          complete = false;
+          // A missing atom is only emittable as partial data when its
+          // service degraded under a degrade policy; anything else means
+          // the row never finished assembling.
+          if (state.resilient && state.policy.degrade &&
+              state.degraded_atoms.count(a) > 0) {
+            combo.components.emplace_back();
+            combo.component_scores.push_back(0.0);
+            combo.missing_atoms.push_back(a);
+            continue;
+          }
+          viable = false;
           break;
         }
         combo.components.push_back(*row.tuples[a]);
         combo.component_scores.push_back(row.scores[a]);
         total += weights[a] * row.scores[a];
       }
-      if (!complete) continue;
+      if (!viable) continue;
       combo.combined_score = total;
       result.combinations.push_back(std::move(combo));
     }
@@ -826,6 +996,15 @@ Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
   result.cache_misses = state.cache_misses;
   result.node_stats = std::move(state.node_stats);
   result.trace = std::move(state.trace);
+  if (state.resilient) {
+    result.reliability = ledger.Snapshot();
+    result.reliability.overhead_ms = state.overhead_consumed_ms;
+    result.open_breakers = breakers.OpenBreakers();
+  }
+  for (auto& [node_id, status] : state.degraded) {
+    result.degraded.push_back(std::move(status));
+  }
+  result.complete = result.degraded.empty();
 
   // Overlap-aware simulated clock: per-node ready/finish times over the
   // plan DAG, exactly the materializing engine's model — parallel branches

@@ -46,6 +46,14 @@ struct StreamingOptions {
   /// triggered when the run ends so speculative fetches still sleeping on
   /// pool threads stop blocking teardown. Optional.
   std::shared_ptr<InterruptFlag> interrupt;
+  /// Retry / deadline / breaker / hedging / degradation policy (see
+  /// docs/RELIABILITY.md). The default policy is inert and preserves the
+  /// historical behavior bit-for-bit. Under a policy, every delivery
+  /// *attempt* — demand or speculative — claims a `max_calls` slot, so a
+  /// retry storm can never overdraw the budget. The streaming engine
+  /// applies `query_deadline_ms` to the cumulative charged latency plus
+  /// reliability overhead (its deterministic mid-run clock).
+  ReliabilityPolicy reliability;
 };
 
 /// Result of a streaming run. Combinations appear in *arrival order* — the
@@ -79,6 +87,17 @@ struct StreamingResult {
   /// Chronological charged-call log; empty unless
   /// `StreamingOptions::collect_trace`. Identical at any thread count.
   std::vector<CallEvent> trace;
+  /// Retry / hedge / breaker / deadline telemetry (zero when the policy is
+  /// inert).
+  ReliabilityStats reliability;
+  /// Plan nodes that lost data to permanent service failures; empty unless
+  /// `ReliabilityPolicy::degrade` allowed a partial answer.
+  std::vector<DegradedStatus> degraded;
+  /// Interfaces whose circuit breaker ended the run open.
+  std::vector<std::string> open_breakers;
+  /// False when any node degraded: `combinations` may then contain partial
+  /// combinations (see `Combination::missing_atoms`).
+  bool complete = true;
 };
 
 /// Pull-based (Volcano-style) interpreter for the same plans the

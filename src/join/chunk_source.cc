@@ -60,12 +60,16 @@ Result<bool> ChunkSource::FetchNext() {
     }
   }
   if (!from_cache) {
-    SECO_ASSIGN_OR_RETURN(resp, iface_->handler()->Call(request));
+    SECO_ASSIGN_OR_RETURN(resp, effective_handler()->Call(request));
     if (cache_ != nullptr) {
+      // Cache the clean response: reliability overhead belongs to this
+      // attempt chain and must not replay on later hits.
+      ServiceResponse clean = resp;
+      clean.fault_overhead_ms = 0.0;
       cache_->Put(ServiceCallCache::Key(iface_->name(),
                                         SerializeBinding(inputs_),
                                         request.chunk_index),
-                  resp);
+                  clean);
     }
   }
   return IngestResponse(std::move(resp), from_cache);
@@ -76,11 +80,12 @@ bool ChunkSource::Prefetch(CallScheduler* scheduler) {
   auto fetch = std::make_unique<PendingFetch>();
   PendingFetch* slot = fetch.get();
   std::shared_ptr<ServiceInterface> iface = iface_;
+  ServiceCallHandler* handler = effective_handler();
   std::vector<Value> inputs = inputs_;
   ServiceCallCache* cache = cache_;
   int chunk_index = next_chunk_;
   std::optional<std::future<Status>> job = scheduler->SubmitOne(
-      [iface, inputs = std::move(inputs), cache, chunk_index,
+      [iface, handler, inputs = std::move(inputs), cache, chunk_index,
        slot]() -> Status {
         ServiceRequest request;
         request.inputs = inputs;
@@ -96,8 +101,12 @@ bool ChunkSource::Prefetch(CallScheduler* scheduler) {
             return Status::OK();
           }
         }
-        Result<ServiceResponse> resp = iface->handler()->Call(request);
-        if (resp.ok() && cache != nullptr) cache->Put(key, resp.value());
+        Result<ServiceResponse> resp = handler->Call(request);
+        if (resp.ok() && cache != nullptr) {
+          ServiceResponse clean = resp.value();
+          clean.fault_overhead_ms = 0.0;
+          cache->Put(key, clean);
+        }
         slot->response = std::move(resp);
         return slot->response.status();
       });

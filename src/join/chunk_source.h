@@ -67,6 +67,14 @@ class ChunkSource {
   /// responses stay in the call cache if one is attached).
   void AbandonPrefetches();
 
+  /// Overrides the handler calls go through — typically a
+  /// `ResilientHandler` wrapping `iface->handler()` so the join methods
+  /// inherit retry/deadline/breaker behavior. Must outlive this source
+  /// (including outstanding prefetch jobs). nullptr restores the default.
+  void set_handler(std::shared_ptr<ServiceCallHandler> handler) {
+    handler_override_ = std::move(handler);
+  }
+
   int num_chunks() const { return static_cast<int>(chunks_.size()); }
   const Chunk& chunk(int i) const { return chunks_[i]; }
   bool exhausted() const { return exhausted_; }
@@ -104,8 +112,15 @@ class ChunkSource {
   /// the synchronous and prefetched paths.
   bool IngestResponse(ServiceResponse resp, bool from_cache);
 
+  /// The handler fetches go through: the override when set, the
+  /// interface's own otherwise.
+  ServiceCallHandler* effective_handler() const {
+    return handler_override_ ? handler_override_.get() : iface_->handler();
+  }
+
   std::shared_ptr<ServiceInterface> iface_;
   std::vector<Value> inputs_;
+  std::shared_ptr<ServiceCallHandler> handler_override_;
   ServiceCallCache* cache_ = nullptr;  // not owned; may be null
   // Deque: growing must not invalidate references to earlier chunks (the
   // top-k executor keeps pointers into fetched tuples).

@@ -1,0 +1,25 @@
+#include "reliability/circuit_breaker.h"
+
+namespace seco {
+
+std::shared_ptr<CircuitBreaker> CircuitBreakerRegistry::GetOrCreate(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(name);
+  if (it != breakers_.end()) return it->second;
+  auto breaker =
+      std::make_shared<CircuitBreaker>(failure_threshold_, probe_interval_);
+  breakers_.emplace(name, breaker);
+  return breaker;
+}
+
+std::vector<std::string> CircuitBreakerRegistry::OpenBreakers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> open;
+  for (const auto& [name, breaker] : breakers_) {
+    if (breaker->open()) open.push_back(name);
+  }
+  return open;
+}
+
+}  // namespace seco

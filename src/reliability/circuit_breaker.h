@@ -1,0 +1,90 @@
+#ifndef SECO_RELIABILITY_CIRCUIT_BREAKER_H_
+#define SECO_RELIABILITY_CIRCUIT_BREAKER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace seco {
+
+/// A count-based circuit breaker guarding one service interface.
+///
+/// `failure_threshold` consecutive failures open the breaker; while open,
+/// calls are denied without touching the service, except that every
+/// `probe_interval`-th denied call is let through as a probe. A successful
+/// call (probe or otherwise) closes the breaker and resets the failure run.
+///
+/// Count-based rather than time-based on purpose: the repository's clock is
+/// simulated, and counting keeps behaviour independent of wall-clock
+/// scheduling. Under concurrency the *order* of successes and failures from
+/// different threads is schedule-dependent, so breaker state is diagnostic,
+/// not part of the determinism contract.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int failure_threshold, int probe_interval)
+      : failure_threshold_(failure_threshold),
+        probe_interval_(probe_interval < 1 ? 1 : probe_interval) {}
+
+  /// True if the caller may attempt the service now; false to short-circuit.
+  bool AllowCall() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return true;
+    if (++denied_since_probe_ >= probe_interval_) {
+      denied_since_probe_ = 0;
+      return true;  // let a probe through
+    }
+    return false;
+  }
+
+  void RecordSuccess() {
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    denied_since_probe_ = 0;
+    open_ = false;
+  }
+
+  void RecordFailure() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failure_threshold_ <= 0) return;
+    if (++consecutive_failures_ >= failure_threshold_) open_ = true;
+  }
+
+  bool open() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return open_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int failure_threshold_;
+  int probe_interval_;
+  int consecutive_failures_ = 0;
+  int denied_since_probe_ = 0;
+  bool open_ = false;
+};
+
+/// One breaker per interface name, shared by all handlers of an execution
+/// (and across executions if the caller reuses the registry).
+class CircuitBreakerRegistry {
+ public:
+  CircuitBreakerRegistry(int failure_threshold, int probe_interval)
+      : failure_threshold_(failure_threshold),
+        probe_interval_(probe_interval) {}
+
+  std::shared_ptr<CircuitBreaker> GetOrCreate(const std::string& name);
+
+  /// Names of interfaces whose breaker is currently open.
+  std::vector<std::string> OpenBreakers() const;
+
+ private:
+  int failure_threshold_;
+  int probe_interval_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_RELIABILITY_CIRCUIT_BREAKER_H_

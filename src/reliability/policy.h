@@ -1,0 +1,207 @@
+#ifndef SECO_RELIABILITY_POLICY_H_
+#define SECO_RELIABILITY_POLICY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace seco {
+
+/// Capped exponential backoff with deterministic jitter. The jitter for a
+/// given (request, attempt) pair is a pure hash — no shared RNG stream — so
+/// the simulated milliseconds charged for a retry are bit-identical under
+/// any thread schedule.
+struct RetryPolicy {
+  /// Additional attempts after the first; 0 disables retrying.
+  int max_retries = 0;
+  /// Backoff before retry i (0-based) is
+  /// `min(base * multiplier^i, cap) * (1 ± jitter)`.
+  double backoff_base_ms = 50.0;
+  double backoff_multiplier = 2.0;
+  double backoff_cap_ms = 2000.0;
+  /// Jitter amplitude as a fraction of the nominal backoff, in [0,1).
+  double jitter_fraction = 0.1;
+  uint64_t jitter_seed = 0x5EC0;
+
+  /// Simulated milliseconds to back off before retrying attempt
+  /// `failed_attempt` of the request identified by `ordinal`.
+  double BackoffMs(uint64_t ordinal, int failed_attempt) const {
+    double nominal = backoff_base_ms;
+    for (int i = 0; i < failed_attempt && nominal < backoff_cap_ms; ++i) {
+      nominal *= backoff_multiplier;
+    }
+    if (nominal > backoff_cap_ms) nominal = backoff_cap_ms;
+    SplitMix64 rng(jitter_seed ^ (ordinal * 0x9E3779B97F4A7C15ULL) ^
+                   (static_cast<uint64_t>(failed_attempt) * 0xD6E8FEB86659FD93ULL));
+    double u = rng.NextDouble();  // [0,1)
+    return nominal * (1.0 + jitter_fraction * (2.0 * u - 1.0));
+  }
+};
+
+/// How an execution should respond to failing services. The default policy
+/// is inert (`enabled()` is false): executors then behave exactly as before
+/// this layer existed.
+struct ReliabilityPolicy {
+  RetryPolicy retry;
+
+  /// A successful response whose simulated latency exceeds this is treated
+  /// as a timeout: the caller is charged the deadline, the response is
+  /// discarded, and the attempt counts as failed. 0 = no per-call deadline.
+  double call_deadline_ms = 0.0;
+
+  /// Simulated-clock budget for the whole query; once elapsed simulated
+  /// time (including reliability overhead) passes it, remaining service
+  /// work is abandoned — degraded to partial answers when `degrade` is set,
+  /// an error otherwise. 0 = no query deadline.
+  double query_deadline_ms = 0.0;
+
+  /// Consecutive failures of one interface that open its breaker; while
+  /// open, calls short-circuit without touching the service. 0 = off.
+  int breaker_failure_threshold = 0;
+  /// While open, every `breaker_probe_interval`-th short-circuited call is
+  /// let through as a probe; a successful probe closes the breaker.
+  int breaker_probe_interval = 8;
+
+  /// Real (wall-clock) milliseconds to wait for a primary call before
+  /// launching a backup attempt on the thread pool; first success wins.
+  /// Negative = hedging off. Hedge outcomes depend on wall-clock timing, so
+  /// hedge counters are diagnostic, not deterministic.
+  double hedge_delay_ms = -1.0;
+
+  /// When true, a permanently failing service degrades its plan node —
+  /// the query completes with partial answers flagged per node — instead
+  /// of aborting the whole execution.
+  bool degrade = false;
+
+  bool enabled() const {
+    return retry.max_retries > 0 || call_deadline_ms > 0.0 ||
+           query_deadline_ms > 0.0 || breaker_failure_threshold > 0 ||
+           hedge_delay_ms >= 0.0 || degrade;
+  }
+};
+
+/// Aggregate reliability telemetry for one execution. Counters are
+/// attempt-level and include speculative work, so under concurrency their
+/// totals may vary run-to-run; `overhead_ms` is accounted at consumption
+/// and is deterministic.
+struct ReliabilityStats {
+  int64_t attempts = 0;            ///< Delivery attempts issued (incl. hedges).
+  int64_t retries = 0;             ///< Re-attempts after a failure.
+  int64_t transient_failures = 0;  ///< Attempts that failed with kUnavailable.
+  int64_t deadline_hits = 0;       ///< Attempts converted to kDeadlineExceeded.
+  int64_t hedges_launched = 0;
+  int64_t hedges_won = 0;          ///< Backup finished before the primary.
+  int64_t breaker_short_circuits = 0;
+  int64_t permanent_failures = 0;  ///< Logical calls that exhausted retries.
+  /// Simulated ms spent backing off between attempts (diagnostic).
+  double backoff_ms = 0.0;
+  /// Simulated ms of reliability overhead (backoff + charged deadlines) on
+  /// *consumed* responses; deterministic. Kept out of the base simulated
+  /// clock so a recovered run matches the fault-free run bit-for-bit.
+  double overhead_ms = 0.0;
+
+  bool any() const {
+    return attempts != 0 || retries != 0 || transient_failures != 0 ||
+           deadline_hits != 0 || hedges_launched != 0 ||
+           breaker_short_circuits != 0 || permanent_failures != 0;
+  }
+};
+
+/// Why a plan node returned no (or partial) data. Surfaced per degraded
+/// node in `ExecutionResult` / `StreamingResult`.
+struct DegradedStatus {
+  int node = -1;             ///< Plan node id.
+  std::string service;       ///< Interface name of the failing service.
+  int failed_bindings = 0;   ///< Input bindings whose fetches failed.
+  std::string reason;        ///< Last error message observed.
+};
+
+/// True for error codes that mean "the service misbehaved" — the codes the
+/// reliability layer may degrade on. Everything else (bad plan, bad data,
+/// exhausted budget) still aborts.
+inline bool IsFaultStatus(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Thread-safe attempt budget shared by every handler of one execution.
+/// Each delivery attempt — first try, retry, or hedge, demand or
+/// speculative — claims one unit, so a retry storm can never exceed the
+/// query's `max_calls` no matter how many threads are fetching.
+class CallBudget {
+ public:
+  /// `max_calls < 0` means unlimited.
+  explicit CallBudget(int64_t max_calls) : max_(max_calls) {}
+
+  bool TryClaim() {
+    if (max_ < 0) {
+      used_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    int64_t cur = used_.load(std::memory_order_relaxed);
+    while (cur < max_) {
+      if (used_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t max_calls() const { return max_; }
+
+ private:
+  int64_t max_;
+  std::atomic<int64_t> used_{0};
+};
+
+/// Atomic counterpart of `ReliabilityStats`, written concurrently by
+/// resilient handlers on any thread and snapshotted once at the end of an
+/// execution.
+class ReliabilityLedger {
+ public:
+  std::atomic<int64_t> attempts{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> transient_failures{0};
+  std::atomic<int64_t> deadline_hits{0};
+  std::atomic<int64_t> hedges_launched{0};
+  std::atomic<int64_t> hedges_won{0};
+  std::atomic<int64_t> breaker_short_circuits{0};
+  std::atomic<int64_t> permanent_failures{0};
+
+  void AddBackoffMs(double ms) {
+    double cur = backoff_ms_.load(std::memory_order_relaxed);
+    while (!backoff_ms_.compare_exchange_weak(cur, cur + ms,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Counter snapshot; `overhead_ms` is filled in by the executor from
+  /// consumed responses.
+  ReliabilityStats Snapshot() const {
+    ReliabilityStats s;
+    s.attempts = attempts.load(std::memory_order_relaxed);
+    s.retries = retries.load(std::memory_order_relaxed);
+    s.transient_failures = transient_failures.load(std::memory_order_relaxed);
+    s.deadline_hits = deadline_hits.load(std::memory_order_relaxed);
+    s.hedges_launched = hedges_launched.load(std::memory_order_relaxed);
+    s.hedges_won = hedges_won.load(std::memory_order_relaxed);
+    s.breaker_short_circuits =
+        breaker_short_circuits.load(std::memory_order_relaxed);
+    s.permanent_failures = permanent_failures.load(std::memory_order_relaxed);
+    s.backoff_ms = backoff_ms_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<double> backoff_ms_{0.0};
+};
+
+}  // namespace seco
+
+#endif  // SECO_RELIABILITY_POLICY_H_

@@ -1,0 +1,226 @@
+#include "reliability/resilient_handler.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace seco {
+
+namespace {
+
+/// Shared state of one hedged round. Owned jointly by the caller and the
+/// pool job via shared_ptr, so an abandoned loser can finish after the
+/// caller has returned (it is drained at pool teardown at the latest).
+struct HedgeState {
+  /// 0 = primary still queued, 1 = a pool worker claimed it, 2 = the caller
+  /// stole it to run inline. Whoever wins the CAS from 0 executes the call;
+  /// the other side must not.
+  std::atomic<int> primary_claim{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<ServiceResponse> result{Status::Internal("hedge primary pending")};
+};
+
+}  // namespace
+
+ResilientHandler::ResilientHandler(std::shared_ptr<ServiceCallHandler> inner,
+                                   std::string interface_name,
+                                   ReliabilityContext context)
+    : inner_(std::move(inner)),
+      name_(std::move(interface_name)),
+      context_(std::move(context)) {
+  if (context_.breakers != nullptr &&
+      context_.policy.breaker_failure_threshold > 0) {
+    breaker_ = context_.breakers->GetOrCreate(name_);
+  }
+}
+
+Result<ServiceResponse> ResilientHandler::AttemptOnce(
+    const ServiceRequest& request, int attempt, double* overhead_ms) {
+  if (context_.budget != nullptr && !context_.budget->TryClaim()) {
+    return Status::ResourceExhausted("call budget exhausted while calling '" +
+                                     name_ + "'");
+  }
+  if (context_.ledger != nullptr) {
+    context_.ledger->attempts.fetch_add(1, std::memory_order_relaxed);
+  }
+  ServiceRequest attempt_req = request;
+  attempt_req.attempt = attempt;
+  Result<ServiceResponse> res = inner_->Call(attempt_req);
+  if (!res.ok()) return res;
+  ServiceResponse resp = std::move(res).value();
+  double deadline = context_.policy.call_deadline_ms;
+  if (deadline > 0.0 && resp.latency_ms > deadline) {
+    // The caller waited the full deadline before abandoning the attempt;
+    // charge that waiting as reliability overhead, not base latency.
+    *overhead_ms += deadline;
+    return Status::DeadlineExceeded("call to '" + name_ + "' exceeded " +
+                                    std::to_string(deadline) + " ms deadline");
+  }
+  return resp;
+}
+
+Result<ServiceResponse> ResilientHandler::HedgedAttempt(
+    const ServiceRequest& request, int attempt, double* overhead_ms,
+    int* attempts_used) {
+  *attempts_used = 1;
+  if (context_.budget != nullptr && !context_.budget->TryClaim()) {
+    return Status::ResourceExhausted("call budget exhausted while calling '" +
+                                     name_ + "'");
+  }
+  ReliabilityLedger* ledger = context_.ledger;
+  if (ledger != nullptr) ledger->attempts.fetch_add(1, std::memory_order_relaxed);
+
+  auto state = std::make_shared<HedgeState>();
+  ServiceRequest primary_req = request;
+  primary_req.attempt = attempt;
+  // Capture the inner handler by shared_ptr so the job stays valid even if
+  // this wrapper is destroyed before the pool drains.
+  std::shared_ptr<ServiceCallHandler> inner = inner_;
+  context_.hedge_pool->Submit([state, inner, primary_req] {
+    int expected = 0;
+    if (!state->primary_claim.compare_exchange_strong(expected, 1)) {
+      return;  // the caller stole this attempt and ran it inline
+    }
+    Result<ServiceResponse> r = inner->Call(primary_req);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->result = std::move(r);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+
+  auto finish = [this, overhead_ms](Result<ServiceResponse> res)
+      -> Result<ServiceResponse> {
+    if (!res.ok()) return res;
+    ServiceResponse resp = std::move(res).value();
+    double deadline = context_.policy.call_deadline_ms;
+    if (deadline > 0.0 && resp.latency_ms > deadline) {
+      *overhead_ms += deadline;
+      return Status::DeadlineExceeded("call to '" + name_ + "' exceeded " +
+                                      std::to_string(deadline) +
+                                      " ms deadline");
+    }
+    return resp;
+  };
+
+  // Settle for the primary: steal it if still queued (never block on queue
+  // position), otherwise wait for the worker that is physically running it.
+  auto await_primary = [&]() -> Result<ServiceResponse> {
+    int expected = 0;
+    if (state->primary_claim.compare_exchange_strong(expected, 2)) {
+      Result<ServiceResponse> r = inner_->Call(primary_req);
+      return finish(std::move(r));
+    }
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done; });
+    return finish(std::move(state->result));
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    bool primary_done = state->cv.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            context_.policy.hedge_delay_ms),
+        [&] { return state->done; });
+    if (primary_done) return finish(std::move(state->result));
+  }
+
+  // The primary is slow; race a backup attempt inline.
+  if (ledger != nullptr) {
+    ledger->hedges_launched.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (context_.budget != nullptr && !context_.budget->TryClaim()) {
+    return await_primary();  // no budget for a backup
+  }
+  *attempts_used = 2;
+  if (ledger != nullptr) ledger->attempts.fetch_add(1, std::memory_order_relaxed);
+  ServiceRequest backup_req = request;
+  backup_req.attempt = attempt + 1;
+  Result<ServiceResponse> backup = inner_->Call(backup_req);
+  if (backup.ok()) {
+    bool primary_pending;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      primary_pending = !state->done;
+    }
+    if (primary_pending) {
+      if (ledger != nullptr) {
+        ledger->hedges_won.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (context_.interrupt != nullptr) {
+        // Wake the losing primary out of its realtime pacing sleep, then
+        // re-arm the flag. A stray early wakeup of some other pacing sleep
+        // is benign: interruption never changes a response.
+        context_.interrupt->Trigger();
+        context_.interrupt->Reset();
+      }
+    }
+    return finish(std::move(backup));
+  }
+  // Backup failed; the primary's verdict decides this round.
+  return await_primary();
+}
+
+Result<ServiceResponse> ResilientHandler::Call(const ServiceRequest& request) {
+  const ReliabilityPolicy& policy = context_.policy;
+  ReliabilityLedger* ledger = context_.ledger;
+  uint64_t ordinal = RequestOrdinal(request);
+  double overhead_ms = 0.0;
+  Status last_error = Status::Unavailable("no attempt made against '" + name_ +
+                                          "'");
+  const int max_attempts = policy.retry.max_retries + 1;
+  int attempt = 0;
+  while (attempt < max_attempts) {
+    if (breaker_ != nullptr && !breaker_->AllowCall()) {
+      if (ledger != nullptr) {
+        ledger->breaker_short_circuits.fetch_add(1, std::memory_order_relaxed);
+      }
+      last_error =
+          Status::Unavailable("circuit breaker open for '" + name_ + "'");
+      break;  // the breaker has already seen repeated failures: fail fast
+    }
+    int attempts_used = 1;
+    Result<ServiceResponse> res =
+        hedging_enabled()
+            ? HedgedAttempt(request, attempt, &overhead_ms, &attempts_used)
+            : AttemptOnce(request, attempt, &overhead_ms);
+    if (res.ok()) {
+      if (breaker_ != nullptr) breaker_->RecordSuccess();
+      ServiceResponse resp = std::move(res).value();
+      resp.fault_overhead_ms += overhead_ms;
+      return resp;
+    }
+    Status s = res.status();
+    if (s.code() == StatusCode::kResourceExhausted) {
+      return s;  // budget exhaustion aborts: never retried, never degraded
+    }
+    if (breaker_ != nullptr) breaker_->RecordFailure();
+    if (ledger != nullptr) {
+      if (s.code() == StatusCode::kUnavailable) {
+        ledger->transient_failures.fetch_add(1, std::memory_order_relaxed);
+      } else if (s.code() == StatusCode::kDeadlineExceeded) {
+        ledger->deadline_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    last_error = std::move(s);
+    attempt += attempts_used;
+    if (attempt >= max_attempts) break;
+    double backoff = policy.retry.BackoffMs(ordinal, attempt - 1);
+    overhead_ms += backoff;
+    if (ledger != nullptr) {
+      ledger->retries.fetch_add(1, std::memory_order_relaxed);
+      ledger->AddBackoffMs(backoff);
+    }
+  }
+  if (ledger != nullptr) {
+    ledger->permanent_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return last_error;
+}
+
+}  // namespace seco

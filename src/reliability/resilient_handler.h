@@ -1,0 +1,90 @@
+#ifndef SECO_RELIABILITY_RESILIENT_HANDLER_H_
+#define SECO_RELIABILITY_RESILIENT_HANDLER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/interrupt.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "reliability/circuit_breaker.h"
+#include "reliability/policy.h"
+#include "service/invocation.h"
+
+namespace seco {
+
+/// Everything a `ResilientHandler` shares with its siblings of the same
+/// execution: the policy, the attempt budget, the telemetry ledger, the
+/// breaker registry, and (optionally) a pool + interrupt for hedging.
+/// All pointed-to objects must outlive the handlers; `budget`, `ledger`,
+/// `breakers`, `hedge_pool`, and `interrupt` may each be null.
+struct ReliabilityContext {
+  ReliabilityPolicy policy;
+  CallBudget* budget = nullptr;
+  ReliabilityLedger* ledger = nullptr;
+  CircuitBreakerRegistry* breakers = nullptr;
+  /// Pool for hedged backups. Hedging is skipped when null or when
+  /// `policy.hedge_delay_ms < 0`.
+  ThreadPool* hedge_pool = nullptr;
+  /// Flag triggered (then re-armed) when a hedge race is decided, cutting
+  /// short the loser's realtime pacing sleep. Affects wall-clock pacing
+  /// only, never responses.
+  std::shared_ptr<InterruptFlag> interrupt;
+};
+
+/// The reliability decorator: wraps one service's `ServiceCallHandler` with
+/// retry/backoff, per-call deadline conversion, circuit breaking, and
+/// hedged backup requests, per the shared `ReliabilityContext`.
+///
+/// Determinism contract (see docs/RELIABILITY.md): the *value* of a
+/// successful call — tuples, scores, `latency_ms` — is identical to what
+/// the undecorated handler returns for that request identity, because
+/// retries change only `ServiceRequest::attempt` and deterministic fault
+/// models key success on (identity, attempt). All simulated time the
+/// reliability layer adds (backoff, charged deadlines of failed attempts)
+/// is accumulated into `ServiceResponse::fault_overhead_ms`, never into
+/// `latency_ms`, so the executor's base clock matches the fault-free run.
+class ResilientHandler : public ServiceCallHandler {
+ public:
+  ResilientHandler(std::shared_ptr<ServiceCallHandler> inner,
+                   std::string interface_name, ReliabilityContext context);
+
+  /// Runs the retry/hedge loop. Returns the first successful response with
+  /// `fault_overhead_ms` set, or: the last fault status once retries are
+  /// exhausted (kUnavailable / kDeadlineExceeded — degradable), a
+  /// kResourceExhausted status if the attempt budget ran out (never
+  /// retried, never degraded), or any other error verbatim.
+  Result<ServiceResponse> Call(const ServiceRequest& request) override;
+
+  const std::string& interface_name() const { return name_; }
+
+ private:
+  /// One delivery attempt: budget claim, breaker bookkeeping, inner call,
+  /// per-call deadline conversion. `*overhead_ms` accumulates charged
+  /// deadline time.
+  Result<ServiceResponse> AttemptOnce(const ServiceRequest& request,
+                                      int attempt, double* overhead_ms);
+
+  /// One possibly-hedged delivery round: primary on the pool, backup inline
+  /// after `hedge_delay_ms` real milliseconds, first success wins.
+  /// `*attempts_used` reports how many attempt numbers were consumed (1 or
+  /// 2) so the retry loop never reuses an attempt number.
+  Result<ServiceResponse> HedgedAttempt(const ServiceRequest& request,
+                                        int attempt, double* overhead_ms,
+                                        int* attempts_used);
+
+  bool hedging_enabled() const {
+    return context_.hedge_pool != nullptr &&
+           context_.policy.hedge_delay_ms >= 0.0;
+  }
+
+  std::shared_ptr<ServiceCallHandler> inner_;
+  std::string name_;
+  ReliabilityContext context_;
+  std::shared_ptr<CircuitBreaker> breaker_;  // null when breaker disabled
+};
+
+}  // namespace seco
+
+#endif  // SECO_RELIABILITY_RESILIENT_HANDLER_H_

@@ -1,0 +1,23 @@
+#include "service/invocation.h"
+
+#include <string>
+
+namespace seco {
+
+uint64_t RequestOrdinal(const ServiceRequest& request) {
+  // FNV-1a over the textual inputs, then the chunk index.
+  uint64_t hash = 14695981039346656037ULL;
+  auto mix = [&hash](const std::string& s) {
+    for (unsigned char c : s) {
+      hash ^= c;
+      hash *= 1099511628211ULL;
+    }
+    hash ^= 0x1f;  // separator so adjacent inputs do not merge
+    hash *= 1099511628211ULL;
+  };
+  for (const Value& v : request.inputs) mix(v.ToString());
+  mix(std::to_string(request.chunk_index));
+  return hash;
+}
+
+}  // namespace seco

@@ -15,6 +15,13 @@ struct ServiceRequest {
   /// Input values aligned with `AccessPattern::input_paths()`.
   std::vector<Value> inputs;
   int chunk_index = 0;
+  /// Which delivery attempt of this logical request this is: 0 for the first
+  /// try, incremented by the reliability layer for retries and hedges. The
+  /// request *identity* (inputs + chunk, see `RequestOrdinal`) excludes the
+  /// attempt, so caches and latency models see one logical call; fault
+  /// models mix the attempt in, so a transient failure of attempt 0 does not
+  /// doom attempt 1.
+  int attempt = 0;
 };
 
 /// The result of one request-response.
@@ -27,7 +34,20 @@ struct ServiceResponse {
   bool exhausted = true;
   /// Simulated latency charged to this call, in milliseconds.
   double latency_ms = 0.0;
+  /// Simulated milliseconds the reliability layer spent before this response
+  /// succeeded: retry backoff plus per-call-deadline charges of failed
+  /// attempts. Kept separate from `latency_ms` so the base simulated clock
+  /// of a faulty-but-recovered run stays identical to the fault-free run;
+  /// executors account it at consumption into `ReliabilityStats`.
+  double fault_overhead_ms = 0.0;
 };
+
+/// Stable 64-bit identity of a request: FNV-1a over the textual inputs and
+/// the chunk index — deliberately *excluding* the attempt number, so all
+/// attempts of one logical call share an identity. Feeds
+/// `LatencyModel::LatencyForOrdinal`, `FaultModel` draws, and retry-jitter
+/// derivation.
+uint64_t RequestOrdinal(const ServiceRequest& request);
 
 /// The only interface through which SeCo touches data sources. Real
 /// deployments would put an HTTP/SOAP client behind this; this repository

@@ -107,6 +107,9 @@ class ServiceInterface {
   double ExpectedChunkScore(int chunk_index, int total_chunks = 20) const;
 
   ServiceCallHandler* handler() const { return handler_.get(); }
+  /// Shared ownership of the handler, for decorators (reliability layer)
+  /// that must outlive individual calls.
+  std::shared_ptr<ServiceCallHandler> handler_ptr() const { return handler_; }
 
  private:
   std::string name_;

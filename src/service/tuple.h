@@ -64,6 +64,13 @@ struct Combination {
   std::vector<Tuple> components;
   std::vector<double> component_scores;
   double combined_score = 0.0;
+  /// Atoms whose component is an empty placeholder because their service was
+  /// degraded (permanent failure under a `ReliabilityPolicy` that allows
+  /// partial answers). Empty for complete combinations; `combined_score`
+  /// sums the present components only.
+  std::vector<int> missing_atoms;
+
+  bool complete() const { return missing_atoms.empty(); }
 };
 
 }  // namespace seco

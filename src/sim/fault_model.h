@@ -1,0 +1,133 @@
+#ifndef SECO_SIM_FAULT_MODEL_H_
+#define SECO_SIM_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "service/invocation.h"
+
+namespace seco {
+
+/// Knobs describing how a simulated service misbehaves. All draws are keyed
+/// on the *request identity* (see `RequestOrdinal`) plus the attempt number,
+/// never on arrival order, so injected faults are bit-reproducible under any
+/// thread schedule — the same contract `LatencyModel` provides for latency.
+struct FaultProfile {
+  /// Fraction of logical requests that fail transiently, in [0,1].
+  double transient_rate = 0.0;
+  /// A transiently failing request fails its first `transient_attempts`
+  /// delivery attempts and succeeds from then on; retrying at least this
+  /// many times therefore always recovers.
+  int transient_attempts = 1;
+
+  /// Fraction of logical requests whose latency spikes (timeout-style
+  /// slowness), in [0,1].
+  double spike_rate = 0.0;
+  /// A spiking request is slow for its first `spike_attempts` attempts.
+  int spike_attempts = 1;
+  /// Multiplier applied to the base latency of a spiking attempt.
+  double spike_factor = 8.0;
+
+  /// When true every call fails: the service is permanently down.
+  bool permanent_outage = false;
+
+  /// Salt for the per-request draws, mixed with the request ordinal.
+  uint64_t seed = 0;
+
+  bool active() const {
+    return transient_rate > 0.0 || spike_rate > 0.0 || permanent_outage;
+  }
+};
+
+/// Deterministic fault decisions for one service. Analogous to
+/// `LatencyModel`: stateless, so whether a given (request, attempt) pair
+/// fails depends only on its identity, never on how concurrent calls
+/// interleave.
+class FaultModel {
+ public:
+  explicit FaultModel(FaultProfile profile) : profile_(profile) {}
+
+  const FaultProfile& profile() const { return profile_; }
+  bool active() const { return profile_.active(); }
+  bool permanent_outage() const { return profile_.permanent_outage; }
+
+  /// True if this request identity is one of the `transient_rate` fraction
+  /// that fails its first `transient_attempts` attempts.
+  bool TransientlyStricken(uint64_t ordinal) const {
+    return Draw(ordinal, 0x7472616E73ULL) < profile_.transient_rate;
+  }
+
+  /// True if attempt `attempt` of this request should fail transiently.
+  bool ShouldFailTransiently(uint64_t ordinal, int attempt) const {
+    return TransientlyStricken(ordinal) && attempt < profile_.transient_attempts;
+  }
+
+  /// Latency multiplier for attempt `attempt` of this request: the spike
+  /// factor while the request is stricken and the attempt is early, 1
+  /// otherwise.
+  double LatencyFactor(uint64_t ordinal, int attempt) const {
+    if (Draw(ordinal, 0x7370696B65ULL) < profile_.spike_rate &&
+        attempt < profile_.spike_attempts) {
+      return profile_.spike_factor;
+    }
+    return 1.0;
+  }
+
+  /// The error a failing attempt returns, or OK if this attempt goes
+  /// through. Transient failures model a refused connection: the caller
+  /// learns immediately, so no simulated latency is charged.
+  Status FaultFor(uint64_t ordinal, int attempt) const {
+    if (profile_.permanent_outage) {
+      return Status::Unavailable("service is down (permanent outage)");
+    }
+    if (ShouldFailTransiently(ordinal, attempt)) {
+      return Status::Unavailable("transient fault on attempt " +
+                                 std::to_string(attempt));
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Uniform [0,1) draw keyed on (seed, ordinal, stream). Separate streams
+  /// keep the transient and spike populations independent.
+  double Draw(uint64_t ordinal, uint64_t stream) const {
+    SplitMix64 rng(profile_.seed ^ stream ^ (ordinal * 0x9E3779B97F4A7C15ULL));
+    return rng.NextDouble();
+  }
+
+  FaultProfile profile_;
+};
+
+/// Decorator injecting `FaultModel` faults in front of any handler.
+/// Replaces the former `FlakyHandler`, whose arrival-order counter made the
+/// set of failing calls schedule-dependent under concurrency; here the
+/// failing set is a pure function of request identity.
+class FaultInjectingHandler : public ServiceCallHandler {
+ public:
+  FaultInjectingHandler(std::shared_ptr<ServiceCallHandler> inner,
+                        FaultProfile profile)
+      : inner_(std::move(inner)), model_(profile) {}
+
+  Result<ServiceResponse> Call(const ServiceRequest& request) override {
+    uint64_t ordinal = RequestOrdinal(request);
+    Status fault = model_.FaultFor(ordinal, request.attempt);
+    if (!fault.ok()) return fault;
+    SECO_ASSIGN_OR_RETURN(ServiceResponse resp, inner_->Call(request));
+    resp.latency_ms *= model_.LatencyFactor(ordinal, request.attempt);
+    return resp;
+  }
+
+  const FaultModel& model() const { return model_; }
+
+ private:
+  std::shared_ptr<ServiceCallHandler> inner_;
+  FaultModel model_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SIM_FAULT_MODEL_H_

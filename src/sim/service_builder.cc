@@ -15,6 +15,7 @@ Result<BuiltService> SimServiceBuilder::Build() {
   auto backend = std::make_shared<SimulatedService>(
       schema_, pattern, kind_, stats_, std::move(rows_), std::move(quality_),
       seed_);
+  if (fault_profile_.active()) backend->set_fault_profile(fault_profile_);
   auto iface = std::make_shared<ServiceInterface>(name_, schema_, pattern, kind_,
                                                   stats_, backend);
   return BuiltService{std::move(iface), std::move(backend)};

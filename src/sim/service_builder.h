@@ -48,6 +48,11 @@ class SimServiceBuilder {
     seed_ = seed;
     return *this;
   }
+  /// Deterministic fault injection for the backend (see `FaultModel`).
+  SimServiceBuilder& Faults(FaultProfile profile) {
+    fault_profile_ = profile;
+    return *this;
+  }
   /// Appends a row; `quality` orders rows for ranked services (higher first).
   SimServiceBuilder& AddRow(Tuple row, double quality = 0.0) {
     rows_.push_back(std::move(row));
@@ -69,6 +74,7 @@ class SimServiceBuilder {
   ServiceKind kind_ = ServiceKind::kExact;
   ServiceStats stats_;
   uint64_t seed_ = 42;
+  FaultProfile fault_profile_;
   std::vector<Tuple> rows_;
   std::vector<double> quality_;
 };

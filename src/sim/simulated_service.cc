@@ -9,22 +9,6 @@
 
 namespace seco {
 
-uint64_t RequestOrdinal(const ServiceRequest& request) {
-  // FNV-1a over the textual inputs, then the chunk index.
-  uint64_t hash = 14695981039346656037ULL;
-  auto mix = [&hash](const std::string& s) {
-    for (unsigned char c : s) {
-      hash ^= c;
-      hash *= 1099511628211ULL;
-    }
-    hash ^= 0x1f;  // separator so adjacent inputs do not merge
-    hash *= 1099511628211ULL;
-  };
-  for (const Value& v : request.inputs) mix(v.ToString());
-  mix(std::to_string(request.chunk_index));
-  return hash;
-}
-
 SimulatedService::SimulatedService(std::shared_ptr<const ServiceSchema> schema,
                                    AccessPattern pattern, ServiceKind kind,
                                    ServiceStats stats, std::vector<Tuple> rows,
@@ -34,7 +18,8 @@ SimulatedService::SimulatedService(std::shared_ptr<const ServiceSchema> schema,
       kind_(kind),
       stats_(stats),
       rows_(std::move(rows)),
-      latency_(stats.latency_ms, /*jitter_fraction=*/0.2, seed) {
+      latency_(stats.latency_ms, /*jitter_fraction=*/0.2, seed),
+      seed_(seed) {
   rank_order_.resize(rows_.size());
   std::iota(rank_order_.begin(), rank_order_.end(), 0);
   if (!quality.empty()) {
@@ -94,10 +79,20 @@ Result<ServiceResponse> SimulatedService::FullScan(
 
 Result<ServiceResponse> SimulatedService::Call(const ServiceRequest& request) {
   call_count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t ordinal = RequestOrdinal(request);
+  if (faults_.active()) {
+    // Failed attempts cost no simulated time: transient errors model a
+    // refused connection, and an outage is discovered immediately.
+    Status fault = faults_.FaultFor(ordinal, request.attempt);
+    if (!fault.ok()) return fault;
+  }
   SECO_ASSIGN_OR_RETURN(std::vector<int> matches,
                         MatchingRowIndices(request.inputs));
   ServiceResponse resp;
-  resp.latency_ms = latency_.LatencyForOrdinal(RequestOrdinal(request));
+  resp.latency_ms = latency_.LatencyForOrdinal(ordinal);
+  if (faults_.active()) {
+    resp.latency_ms *= faults_.LatencyFactor(ordinal, request.attempt);
+  }
   if (realtime_factor_ > 0.0) {
     // Model the remote round-trip as real blocking so concurrent executors
     // can overlap calls on the wall clock. An interrupt flag cuts the

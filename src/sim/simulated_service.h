@@ -10,6 +10,7 @@
 #include "common/interrupt.h"
 #include "common/random.h"
 #include "service/access_pattern.h"
+#include "sim/fault_model.h"
 #include "service/invocation.h"
 #include "service/schema.h"
 #include "service/service_interface.h"
@@ -41,10 +42,6 @@ class LatencyModel {
   double jitter_fraction_;
   uint64_t seed_;
 };
-
-/// Stable 64-bit identity of a request: FNV-1a over the textual inputs and
-/// the chunk index. Feeds `LatencyModel::LatencyForOrdinal`.
-uint64_t RequestOrdinal(const ServiceRequest& request);
 
 /// An in-process stand-in for a remote search/exact service (substitution
 /// for the paper's live web services; see DESIGN.md).
@@ -100,6 +97,17 @@ class SimulatedService : public ServiceCallHandler {
     interrupt_ = std::move(interrupt);
   }
 
+  /// Injects deterministic faults (see `FaultModel`): transient errors and
+  /// outages fail the call, latency spikes inflate `latency_ms` (and the
+  /// realtime sleep). If `profile.seed` is 0 the service's own seed is used,
+  /// so distinct services strike distinct request sets by default.
+  /// Configure before issuing concurrent calls.
+  void set_fault_profile(FaultProfile profile) {
+    if (profile.seed == 0) profile.seed = seed_;
+    faults_ = FaultModel(profile);
+  }
+  const FaultModel& fault_model() const { return faults_; }
+
  private:
   Result<std::vector<int>> MatchingRowIndices(
       const std::vector<Value>& inputs) const;
@@ -111,35 +119,12 @@ class SimulatedService : public ServiceCallHandler {
   std::vector<Tuple> rows_;
   std::vector<int> rank_order_;  // row indices sorted by quality desc
   LatencyModel latency_;
+  uint64_t seed_;
+  FaultModel faults_{FaultProfile{}};
   std::atomic<int64_t> call_count_{0};
   bool hide_scores_ = false;
   double realtime_factor_ = 0.0;
   std::shared_ptr<InterruptFlag> interrupt_;  // may be null
-};
-
-/// Wraps a handler and fails every `failure_period`-th call with an
-/// injected error; used by failure-injection tests. The arrival counter is
-/// atomic, so concurrent callers never tear it — though *which* caller
-/// draws the failing ordinal under concurrency is schedule-dependent by
-/// nature.
-class FlakyHandler : public ServiceCallHandler {
- public:
-  FlakyHandler(std::shared_ptr<ServiceCallHandler> inner, int failure_period)
-      : inner_(std::move(inner)), failure_period_(failure_period) {}
-
-  Result<ServiceResponse> Call(const ServiceRequest& request) override {
-    int64_t ordinal = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (failure_period_ > 0 && ordinal % failure_period_ == 0) {
-      return Status::Internal("injected failure on call " +
-                              std::to_string(ordinal));
-    }
-    return inner_->Call(request);
-  }
-
- private:
-  std::shared_ptr<ServiceCallHandler> inner_;
-  int failure_period_;
-  std::atomic<int64_t> calls_{0};
 };
 
 }  // namespace seco

@@ -148,8 +148,13 @@ TEST_F(EngineTest, CallBudgetEnforced) {
 }
 
 TEST_F(EngineTest, RetriesRecoverFromFlakyService) {
-  // Wrap the inner service in a handler that fails every 2nd call.
-  auto flaky = std::make_shared<FlakyHandler>(inner_.backend, 2);
+  // Wrap the inner service in a handler that fails the first two delivery
+  // attempts of every request (identity-keyed, schedule-independent).
+  FaultProfile profile;
+  profile.transient_rate = 1.0;
+  profile.transient_attempts = 2;
+  profile.seed = 11;
+  auto flaky = std::make_shared<FaultInjectingHandler>(inner_.backend, profile);
   auto iface = std::make_shared<ServiceInterface>(
       "FlakyInner", inner_.interface->schema_ptr(), inner_.interface->pattern(),
       ServiceKind::kSearch, inner_.interface->stats(), flaky);

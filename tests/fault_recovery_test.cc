@@ -1,0 +1,436 @@
+// End-to-end acceptance tests of the reliability layer (docs/RELIABILITY.md):
+// with transient faults and retries, every scenario recovers answers, charged
+// calls, and the simulated clock *bit-identical* to the fault-free run at any
+// {num_threads, prefetch_depth}; a permanent single-service outage degrades to
+// partial, flagged results instead of an error; the shared call cache is never
+// poisoned by faulted or retried requests.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+constexpr double kFaultRate = 0.08;
+
+template <typename Backends>
+void InjectTransientFaults(Backends* backends, double rate, int attempts,
+                           uint64_t seed = 0) {
+  for (auto& [name, backend] : *backends) {
+    FaultProfile profile;
+    profile.transient_rate = rate;
+    profile.transient_attempts = attempts;
+    profile.seed = seed;
+    backend->set_fault_profile(profile);
+  }
+}
+
+ReliabilityPolicy RetryPolicyOf(int max_retries) {
+  ReliabilityPolicy policy;
+  policy.retry.max_retries = max_retries;
+  return policy;
+}
+
+StreamingOptions BaseStreamOptions(const std::map<std::string, Value>& inputs,
+                                   int num_threads, int prefetch_depth) {
+  StreamingOptions options;
+  options.k = 10;
+  options.input_bindings = inputs;
+  options.max_calls = 10000;
+  options.num_threads = num_threads;
+  options.prefetch_depth = prefetch_depth;
+  options.collect_trace = true;
+  return options;
+}
+
+// The determinism contract: everything the simulated world can observe —
+// answers, charged calls, per-node stats, the chronological call log, the
+// simulated clock — matches the fault-free baseline. Reliability overhead
+// lives only in `reliability` / `overhead_ms`, which are deliberately NOT
+// compared here.
+void ExpectIdenticalAnswers(const StreamingResult& baseline,
+                            const StreamingResult& recovered) {
+  EXPECT_EQ(recovered.total_calls, baseline.total_calls);
+  EXPECT_DOUBLE_EQ(recovered.total_latency_ms, baseline.total_latency_ms);
+  EXPECT_EQ(recovered.exhausted, baseline.exhausted);
+  EXPECT_TRUE(recovered.complete);
+
+  ASSERT_EQ(recovered.combinations.size(), baseline.combinations.size());
+  for (size_t i = 0; i < baseline.combinations.size(); ++i) {
+    const Combination& a = baseline.combinations[i];
+    const Combination& b = recovered.combinations[i];
+    EXPECT_DOUBLE_EQ(b.combined_score, a.combined_score);
+    ASSERT_EQ(b.components.size(), a.components.size());
+    for (size_t c = 0; c < a.components.size(); ++c) {
+      EXPECT_TRUE(b.components[c] == a.components[c]);
+    }
+  }
+
+  ASSERT_EQ(recovered.node_stats.size(), baseline.node_stats.size());
+  for (const auto& [node_id, stats] : baseline.node_stats) {
+    auto it = recovered.node_stats.find(node_id);
+    ASSERT_NE(it, recovered.node_stats.end());
+    EXPECT_EQ(it->second.calls, stats.calls);
+    EXPECT_EQ(it->second.tuples_out, stats.tuples_out);
+    EXPECT_DOUBLE_EQ(it->second.latency_ms, stats.latency_ms);
+  }
+
+  ASSERT_EQ(recovered.trace.size(), baseline.trace.size());
+  for (size_t i = 0; i < baseline.trace.size(); ++i) {
+    EXPECT_EQ(recovered.trace[i].node, baseline.trace[i].node);
+    EXPECT_EQ(recovered.trace[i].binding_key, baseline.trace[i].binding_key);
+    EXPECT_EQ(recovered.trace[i].chunk_index, baseline.trace[i].chunk_index);
+    EXPECT_DOUBLE_EQ(recovered.trace[i].latency_ms,
+                     baseline.trace[i].latency_ms);
+  }
+}
+
+/// Fault-free baseline first, then the faulted run with retries at every
+/// {num_threads} x {prefetch_depth} — the speculation threads race retried
+/// and faulted requests, which must stay invisible.
+template <typename Backends>
+void ExpectFaultedRunsRecoverExactly(const QueryPlan& plan,
+                                     const std::map<std::string, Value>& inputs,
+                                     Backends* backends,
+                                     double rate = kFaultRate) {
+  StreamingEngine baseline_engine(BaseStreamOptions(inputs, 1, 0));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult baseline,
+                            baseline_engine.Execute(plan));
+  EXPECT_FALSE(baseline.combinations.empty());
+
+  InjectTransientFaults(backends, rate, /*attempts=*/2);
+  bool saw_retry = false;
+  for (int num_threads : {1, 8}) {
+    for (int prefetch_depth : {0, 1, 4}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(num_threads) +
+                   " prefetch_depth=" + std::to_string(prefetch_depth));
+      StreamingOptions options =
+          BaseStreamOptions(inputs, num_threads, prefetch_depth);
+      options.reliability = RetryPolicyOf(3);
+      StreamingEngine engine(options);
+      SECO_ASSERT_OK_AND_ASSIGN(StreamingResult run, engine.Execute(plan));
+      ExpectIdenticalAnswers(baseline, run);
+      if (run.reliability.retries > 0) saw_retry = true;
+    }
+  }
+  // Over the whole sweep at least one request must actually have been
+  // stricken — otherwise this test exercised nothing. (Chain uses a higher
+  // rate: its plan issues few enough requests that 8% can draw no strikes.)
+  EXPECT_TRUE(saw_retry);
+}
+
+Result<QueryPlan> OptimizeScenario(std::shared_ptr<ServiceRegistry> registry,
+                                   const std::string& query_text) {
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  QuerySession session(std::move(registry), optimizer_options);
+  SECO_ASSIGN_OR_RETURN(BoundQuery bound, session.Prepare(query_text));
+  SECO_ASSIGN_OR_RETURN(OptimizationResult optimized, session.Optimize(bound));
+  return std::move(optimized.plan);
+}
+
+TEST(FaultRecoveryTest, ConferenceScenarioRecoversBitIdentically) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+  ExpectFaultedRunsRecoverExactly(plan, scenario.inputs, &scenario.backends);
+}
+
+TEST(FaultRecoveryTest, DoctorScenarioRecoversBitIdentically) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeDoctorScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+  ExpectFaultedRunsRecoverExactly(plan, scenario.inputs, &scenario.backends);
+}
+
+TEST(FaultRecoveryTest, ChainScenarioRecoversBitIdentically) {
+  SECO_ASSERT_OK_AND_ASSIGN(bench_util::ChainScenario scenario,
+                            bench_util::MakeChainScenario(4));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+  ExpectFaultedRunsRecoverExactly(plan, {}, &scenario.backends,
+                                  /*rate=*/0.35);
+}
+
+TEST(FaultRecoveryTest, MaterializingEngineRecoversBitIdentically) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  ExecutionOptions options;
+  options.k = 10;
+  options.input_bindings = scenario.inputs;
+  ExecutionEngine baseline_engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult baseline,
+                            baseline_engine.Execute(plan));
+  EXPECT_FALSE(baseline.combinations.empty());
+
+  InjectTransientFaults(&scenario.backends, kFaultRate, /*attempts=*/2);
+  options.reliability = RetryPolicyOf(3);
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult recovered, engine.Execute(plan));
+  EXPECT_EQ(recovered.total_calls, baseline.total_calls);
+  EXPECT_DOUBLE_EQ(recovered.elapsed_ms, baseline.elapsed_ms);
+  EXPECT_TRUE(recovered.complete);
+  ASSERT_EQ(recovered.combinations.size(), baseline.combinations.size());
+  for (size_t i = 0; i < baseline.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(recovered.combinations[i].combined_score,
+                     baseline.combinations[i].combined_score);
+  }
+  EXPECT_GT(recovered.reliability.retries, 0);
+  EXPECT_GT(recovered.reliability.overhead_ms, 0.0);
+}
+
+// --- Latency spikes + per-call deadlines -----------------------------------
+
+TEST(FaultRecoveryTest, CallDeadlineRecoversFromLatencySpikes) {
+  auto registry = std::make_shared<ServiceRegistry>();
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService outer,
+      MakeKeyedSearchService("Outer", 60, 5, 4, ScoreDecay::kLinear));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService inner,
+      MakeKeyedSearchService("Inner", 80, 5, 4, ScoreDecay::kLinear,
+                             /*key_is_input=*/true));
+  SECO_ASSERT_OK(registry->RegisterInterface(outer.interface));
+  SECO_ASSERT_OK(registry->RegisterInterface(inner.interface));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      ParsedQuery parsed,
+      ParseQuery("select Outer as O, Inner as I where O.Key = I.Key"));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query, BindQuery(parsed, *registry));
+  TopologySpec spec;
+  spec.stages = {{0}, {1}};
+  spec.atom_settings[0].fetch_factor = 12;
+  spec.atom_settings[1].fetch_factor = 16;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+
+  StreamingEngine baseline_engine(BaseStreamOptions({}, 1, 0));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult baseline,
+                            baseline_engine.Execute(plan));
+
+  // Every request's first attempt is spiked to 8x the ~100ms base latency.
+  // A 300ms per-call deadline converts the spiked attempt into a fault; the
+  // retry (attempt 1, unspiked) returns the clean response, so the answers
+  // and simulated clock recover exactly.
+  for (auto* service : {&outer, &inner}) {
+    FaultProfile profile;
+    profile.spike_rate = 1.0;
+    profile.spike_attempts = 1;
+    profile.spike_factor = 8.0;
+    service->backend->set_fault_profile(profile);
+  }
+  StreamingOptions options = BaseStreamOptions({}, 1, 0);
+  options.reliability = RetryPolicyOf(2);
+  options.reliability.call_deadline_ms = 300.0;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult recovered, engine.Execute(plan));
+  ExpectIdenticalAnswers(baseline, recovered);
+  EXPECT_GT(recovered.reliability.deadline_hits, 0);
+  EXPECT_GT(recovered.reliability.overhead_ms, 0.0);
+}
+
+// --- Graceful degradation under permanent outage ---------------------------
+
+TEST(FaultRecoveryTest, PermanentOutageDegradesToPartialResults) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  FaultProfile outage;
+  outage.permanent_outage = true;
+  scenario.backends.at("Hotel1")->set_fault_profile(outage);
+
+  ReliabilityPolicy policy = RetryPolicyOf(1);
+  policy.degrade = true;
+
+  // Streaming engine: partial answers with the Hotel component missing.
+  StreamingOptions stream_options = BaseStreamOptions(scenario.inputs, 1, 0);
+  stream_options.reliability = policy;
+  StreamingEngine stream_engine(stream_options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult stream,
+                            stream_engine.Execute(plan));
+  EXPECT_FALSE(stream.complete);
+  ASSERT_FALSE(stream.degraded.empty());
+  EXPECT_EQ(stream.degraded[0].service, "Hotel1");
+  EXPECT_GT(stream.degraded[0].failed_bindings, 0);
+  ASSERT_FALSE(stream.combinations.empty());
+  bool saw_missing = false;
+  for (const Combination& combo : stream.combinations) {
+    if (!combo.missing_atoms.empty()) saw_missing = true;
+  }
+  EXPECT_TRUE(saw_missing);
+
+  // Materializing engine: same contract.
+  ExecutionOptions exec_options;
+  exec_options.k = 10;
+  exec_options.input_bindings = scenario.inputs;
+  exec_options.reliability = policy;
+  ExecutionEngine engine(exec_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(plan));
+  EXPECT_FALSE(result.complete);
+  ASSERT_FALSE(result.degraded.empty());
+  EXPECT_EQ(result.degraded[0].service, "Hotel1");
+  EXPECT_FALSE(result.combinations.empty());
+
+  // Without `degrade` the outage is a hard error.
+  exec_options.reliability.degrade = false;
+  ExecutionEngine strict(exec_options);
+  Result<ExecutionResult> failed = strict.Execute(plan);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultRecoveryTest, OutageCascadesThroughPipedChain) {
+  // Chain tree: S0 -> {S1, S2}, S1 -> S3. Killing S1 starves S3's piped
+  // input: S3 must degrade too ("input unavailable"), not abort the query.
+  SECO_ASSERT_OK_AND_ASSIGN(bench_util::ChainScenario scenario,
+                            bench_util::MakeChainScenario(4));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  FaultProfile outage;
+  outage.permanent_outage = true;
+  scenario.backends.at("S1")->set_fault_profile(outage);
+
+  ReliabilityPolicy policy = RetryPolicyOf(1);
+  policy.degrade = true;
+  StreamingOptions options = BaseStreamOptions({}, 1, 0);
+  options.reliability = policy;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult result, engine.Execute(plan));
+  EXPECT_FALSE(result.complete);
+  std::set<std::string> degraded_services;
+  for (const DegradedStatus& d : result.degraded) {
+    degraded_services.insert(d.service);
+  }
+  EXPECT_TRUE(degraded_services.count("S1")) << "origin of the outage";
+  EXPECT_TRUE(degraded_services.count("S3")) << "starved downstream service";
+  EXPECT_FALSE(result.combinations.empty());
+
+  ExecutionOptions exec_options;
+  exec_options.k = 10;
+  exec_options.reliability = policy;
+  ExecutionEngine materializing(exec_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult exec_result,
+                            materializing.Execute(plan));
+  EXPECT_FALSE(exec_result.complete);
+  EXPECT_FALSE(exec_result.combinations.empty());
+}
+
+// --- Cache purity ----------------------------------------------------------
+
+TEST(FaultRecoveryTest, FaultsNeverPoisonTheSharedCache) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+  InjectTransientFaults(&scenario.backends, 0.3, /*attempts=*/1);
+
+  ServiceCallCache cache;
+  StreamingOptions options = BaseStreamOptions(scenario.inputs, 8, 4);
+  options.cache = &cache;
+  options.reliability = RetryPolicyOf(3);
+
+  StreamingEngine first(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult cold, first.Execute(plan));
+  EXPECT_FALSE(cold.combinations.empty());
+  EXPECT_TRUE(cold.complete);
+
+  // The warm run must be served entirely from the cache: no real calls (so
+  // no chance to be stricken), no retries, and — because responses are
+  // stored overhead-stripped and errors are never stored — zero replayed
+  // reliability overhead.
+  int64_t calls_after_cold = 0;
+  for (const auto& [name, backend] : scenario.backends) {
+    calls_after_cold += backend->call_count();
+  }
+  StreamingEngine second(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult warm, second.Execute(plan));
+  int64_t calls_after_warm = 0;
+  for (const auto& [name, backend] : scenario.backends) {
+    calls_after_warm += backend->call_count();
+  }
+  EXPECT_EQ(calls_after_warm, calls_after_cold);
+  EXPECT_EQ(warm.total_calls, 0);
+  EXPECT_EQ(warm.reliability.retries, 0);
+  EXPECT_DOUBLE_EQ(warm.reliability.overhead_ms, 0.0);
+  ASSERT_EQ(warm.combinations.size(), cold.combinations.size());
+  for (size_t i = 0; i < cold.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warm.combinations[i].combined_score,
+                     cold.combinations[i].combined_score);
+  }
+}
+
+// --- Query deadline --------------------------------------------------------
+
+TEST(FaultRecoveryTest, QueryDeadlineErrorsOrDegrades) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  StreamingOptions options = BaseStreamOptions(scenario.inputs, 1, 0);
+  options.reliability = RetryPolicyOf(0);
+  options.reliability.query_deadline_ms = 1.0;  // expires after the 1st call
+
+  StreamingEngine strict(options);
+  Result<StreamingResult> failed = strict.Execute(plan);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded);
+
+  options.reliability.degrade = true;
+  StreamingEngine lenient(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult partial, lenient.Execute(plan));
+  EXPECT_FALSE(partial.complete);
+  EXPECT_FALSE(partial.degraded.empty());
+}
+
+// --- Hedging ---------------------------------------------------------------
+
+TEST(FaultRecoveryTest, HedgingDoesNotChangeAnswers) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  StreamingEngine baseline_engine(
+      BaseStreamOptions(scenario.inputs, 1, 0));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult baseline,
+                            baseline_engine.Execute(plan));
+
+  // A hedge only launches when the primary is still in flight after
+  // hedge_delay_ms of *wall* time, so make the backends genuinely slow (a
+  // few real ms per call); the interrupt flag keeps losers and abandoned
+  // speculations from blocking teardown.
+  auto interrupt = std::make_shared<InterruptFlag>();
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.05);
+    backend->set_interrupt(interrupt);
+  }
+  StreamingOptions options = BaseStreamOptions(scenario.inputs, 8, 2);
+  options.interrupt = interrupt;
+  options.reliability = RetryPolicyOf(1);
+  options.reliability.hedge_delay_ms = 0.0;  // hedge every call immediately
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult hedged, engine.Execute(plan));
+  ExpectIdenticalAnswers(baseline, hedged);
+  // Hedge counters are wall-clock-class diagnostics (how many races were
+  // launched/won depends on the schedule), but launches must have happened:
+  // every primary sleeps for real, so the zero-delay hedge always fires.
+  EXPECT_GT(hedged.reliability.hedges_launched, 0);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,320 @@
+// Unit tests of the reliability layer (docs/RELIABILITY.md): deterministic
+// backoff, circuit breaking, the attempt-level call budget, and the
+// ResilientHandler decorator's retry / deadline / short-circuit behavior —
+// plus the retry-storm budget regression at the engine level.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+// --- RetryPolicy ----------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy retry;
+  retry.backoff_base_ms = 50.0;
+  retry.backoff_multiplier = 2.0;
+  retry.backoff_cap_ms = 300.0;
+  retry.jitter_fraction = 0.0;  // isolate the nominal curve
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(7, 0), 50.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(7, 1), 100.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(7, 2), 200.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(7, 3), 300.0);  // capped
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(7, 9), 300.0);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy retry;
+  retry.backoff_base_ms = 100.0;
+  retry.jitter_fraction = 0.25;
+  for (uint64_t ordinal : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      double a = retry.BackoffMs(ordinal, attempt);
+      double b = retry.BackoffMs(ordinal, attempt);
+      EXPECT_DOUBLE_EQ(a, b);  // pure function of (ordinal, attempt)
+      double nominal = std::min(100.0 * std::pow(2.0, attempt), 2000.0);
+      EXPECT_GE(a, nominal * 0.75);
+      EXPECT_LE(a, nominal * 1.25);
+    }
+  }
+  // Different ordinals draw different jitter (not a shared RNG stream, but
+  // also not degenerate).
+  EXPECT_NE(retry.BackoffMs(1, 0), retry.BackoffMs(2, 0));
+}
+
+// --- CircuitBreaker -------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndProbes) {
+  CircuitBreaker breaker(/*failure_threshold=*/3, /*probe_interval=*/4);
+  EXPECT_TRUE(breaker.AllowCall());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.open());
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.open());
+  // While open, every 4th denied call goes through as a probe.
+  int allowed = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (breaker.AllowCall()) ++allowed;
+  }
+  EXPECT_EQ(allowed, 2);
+  // A successful probe closes the breaker.
+  breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.AllowCall());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureRun) {
+  CircuitBreaker breaker(/*failure_threshold=*/2, /*probe_interval=*/8);
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.open());  // never two in a row
+}
+
+// --- CallBudget -----------------------------------------------------------
+
+TEST(CallBudgetTest, ClaimsUpToMaxThenRefuses) {
+  CallBudget budget(3);
+  EXPECT_TRUE(budget.TryClaim());
+  EXPECT_TRUE(budget.TryClaim());
+  EXPECT_TRUE(budget.TryClaim());
+  EXPECT_FALSE(budget.TryClaim());
+  EXPECT_EQ(budget.used(), 3);
+}
+
+TEST(CallBudgetTest, NegativeMaxIsUnlimited) {
+  CallBudget budget(-1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(budget.TryClaim());
+  EXPECT_EQ(budget.used(), 100);
+}
+
+// --- ResilientHandler -----------------------------------------------------
+
+class ResilientHandlerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<BuiltService> built =
+        MakeKeyedSearchService("Svc", 20, 5, 4, ScoreDecay::kLinear);
+    ASSERT_TRUE(built.ok());
+    service_ = std::move(built).value();
+  }
+
+  ReliabilityContext Context(const ReliabilityPolicy& policy) {
+    ReliabilityContext ctx;
+    ctx.policy = policy;
+    ctx.budget = &budget_;
+    ctx.ledger = &ledger_;
+    ctx.breakers = &breakers_;
+    return ctx;
+  }
+
+  BuiltService service_;
+  CallBudget budget_{-1};
+  ReliabilityLedger ledger_;
+  CircuitBreakerRegistry breakers_{2, 4};
+};
+
+TEST_F(ResilientHandlerTest, RetriesRecoverTheIdenticalResponse) {
+  ServiceRequest request;
+  request.chunk_index = 0;
+  // Fault-free reference response for this request identity.
+  Result<ServiceResponse> clean = service_.backend->Call(request);
+  ASSERT_TRUE(clean.ok());
+
+  FaultProfile profile;
+  profile.transient_rate = 1.0;  // every request stricken
+  profile.transient_attempts = 2;
+  profile.seed = 5;
+  service_.backend->set_fault_profile(profile);
+
+  ReliabilityPolicy policy;
+  policy.retry.max_retries = 3;
+  ResilientHandler handler(service_.backend, "Svc", Context(policy));
+  Result<ServiceResponse> recovered = handler.Call(request);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // The recovered response is bit-identical to the fault-free one: same
+  // tuples, same simulated latency. Only fault_overhead_ms differs.
+  EXPECT_EQ(recovered.value().tuples.size(), clean.value().tuples.size());
+  EXPECT_DOUBLE_EQ(recovered.value().latency_ms, clean.value().latency_ms);
+  uint64_t ordinal = RequestOrdinal(request);
+  EXPECT_DOUBLE_EQ(
+      recovered.value().fault_overhead_ms,
+      policy.retry.BackoffMs(ordinal, 0) + policy.retry.BackoffMs(ordinal, 1));
+
+  ReliabilityStats stats = ledger_.Snapshot();
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.transient_failures, 2);
+  EXPECT_EQ(stats.permanent_failures, 0);
+}
+
+TEST_F(ResilientHandlerTest, ExhaustedRetriesReturnTheFaultStatus) {
+  FaultProfile profile;
+  profile.transient_rate = 1.0;
+  profile.transient_attempts = 5;  // outlasts the retry budget
+  service_.backend->set_fault_profile(profile);
+
+  ReliabilityPolicy policy;
+  policy.retry.max_retries = 2;
+  ResilientHandler handler(service_.backend, "Svc", Context(policy));
+  ServiceRequest request;
+  Result<ServiceResponse> result = handler.Call(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ledger_.Snapshot().permanent_failures, 1);
+}
+
+TEST_F(ResilientHandlerTest, BudgetExhaustionIsNeverRetried) {
+  FaultProfile profile;
+  profile.transient_rate = 1.0;
+  profile.transient_attempts = 3;
+  service_.backend->set_fault_profile(profile);
+
+  CallBudget tight(1);
+  ReliabilityPolicy policy;
+  policy.retry.max_retries = 5;
+  ReliabilityContext ctx = Context(policy);
+  ctx.budget = &tight;
+  ResilientHandler handler(service_.backend, "Svc", std::move(ctx));
+  Result<ServiceResponse> result = handler.Call(ServiceRequest{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ledger_.Snapshot().attempts, 1);  // the storm stopped cold
+}
+
+TEST_F(ResilientHandlerTest, CallDeadlineConvertsSlowResponses) {
+  ReliabilityPolicy policy;
+  policy.retry.max_retries = 1;
+  policy.call_deadline_ms = 1.0;  // far below the ~100ms simulated latency
+  ResilientHandler handler(service_.backend, "Svc", Context(policy));
+  Result<ServiceResponse> result = handler.Call(ServiceRequest{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  ReliabilityStats stats = ledger_.Snapshot();
+  EXPECT_EQ(stats.deadline_hits, 2);  // latency keys on identity, not attempt
+  EXPECT_EQ(stats.attempts, 2);
+}
+
+TEST_F(ResilientHandlerTest, OpenBreakerShortCircuits) {
+  FaultProfile profile;
+  profile.permanent_outage = true;
+  service_.backend->set_fault_profile(profile);
+
+  ReliabilityPolicy policy;
+  policy.breaker_failure_threshold = 2;
+  policy.breaker_probe_interval = 4;
+  ResilientHandler handler(service_.backend, "Svc", Context(policy));
+  for (int i = 0; i < 10; ++i) {
+    Result<ServiceResponse> result = handler.Call(ServiceRequest{});
+    EXPECT_FALSE(result.ok());
+  }
+  ReliabilityStats stats = ledger_.Snapshot();
+  EXPECT_GT(stats.breaker_short_circuits, 0);
+  // Short-circuited calls never reach the backend: 10 logical calls but
+  // strictly fewer real attempts.
+  EXPECT_LT(static_cast<int>(service_.backend->call_count()), 10);
+  EXPECT_EQ(breakers_.OpenBreakers(), std::vector<std::string>{"Svc"});
+}
+
+TEST_F(ResilientHandlerTest, HedgedCallStillReturnsTheIdenticalResponse) {
+  ServiceRequest request;
+  Result<ServiceResponse> clean = service_.backend->Call(request);
+  ASSERT_TRUE(clean.ok());
+
+  ThreadPool pool(2);
+  ReliabilityPolicy policy;
+  policy.hedge_delay_ms = 0.0;  // hedge aggressively
+  ReliabilityContext ctx = Context(policy);
+  ctx.hedge_pool = &pool;
+  ResilientHandler handler(service_.backend, "Svc", std::move(ctx));
+  for (int i = 0; i < 5; ++i) {
+    Result<ServiceResponse> hedged = handler.Call(request);
+    ASSERT_TRUE(hedged.ok()) << hedged.status().ToString();
+    // Whoever wins the race, the response value is a pure function of the
+    // request identity.
+    EXPECT_DOUBLE_EQ(hedged.value().latency_ms, clean.value().latency_ms);
+    EXPECT_EQ(hedged.value().tuples.size(), clean.value().tuples.size());
+  }
+}
+
+// --- Retry-storm budget regression (attempt-level accounting) -------------
+
+class RetryStormTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_shared<ServiceRegistry>();
+    Result<BuiltService> built =
+        MakeKeyedSearchService("Outer", 40, 5, 4, ScoreDecay::kLinear);
+    ASSERT_TRUE(built.ok());
+    service_ = std::move(built).value();
+    ASSERT_TRUE(registry_->RegisterInterface(service_.interface).ok());
+  }
+
+  Result<QueryPlan> MakePlan() {
+    SECO_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                          ParseQuery("select Outer as O where O.Key >= 0"));
+    SECO_ASSIGN_OR_RETURN(BoundQuery query, BindQuery(parsed, *registry_));
+    TopologySpec spec;
+    spec.stages = {{0}};
+    spec.atom_settings[0].fetch_factor = 8;
+    SECO_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(query, spec));
+    SECO_RETURN_IF_ERROR(AnnotatePlan(&plan).status());
+    return plan;
+  }
+
+  BuiltService service_;
+  std::shared_ptr<ServiceRegistry> registry_;
+};
+
+TEST_F(RetryStormTest, EveryAttemptCountsAgainstMaxCalls) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  FaultProfile profile;
+  profile.permanent_outage = true;  // every attempt fails: maximal storm
+  service_.backend->set_fault_profile(profile);
+
+  ExecutionOptions options;
+  options.k = 10;
+  options.max_calls = 5;
+  options.reliability.retry.max_retries = 100;
+  ExecutionEngine engine(options);
+  Result<ExecutionResult> result = engine.Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The invariant: real requests == claimed attempts <= max_calls. Without
+  // attempt-level budgeting the storm would have sent ~100 requests.
+  EXPECT_LE(static_cast<int>(service_.backend->call_count()), 5);
+}
+
+TEST_F(RetryStormTest, RealCallsEqualChargedPlusFailedAttempts) {
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  FaultProfile profile;
+  profile.transient_rate = 0.5;
+  profile.transient_attempts = 2;
+  profile.seed = 17;
+  service_.backend->set_fault_profile(profile);
+
+  ExecutionOptions options;
+  options.k = 10;
+  options.max_calls = 10000;
+  options.reliability.retry.max_retries = 3;
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult result, engine.Execute(plan));
+  EXPECT_FALSE(result.combinations.empty());
+  // PR-2 invariant, extended by reliability: every real request is either a
+  // charged (successful) call or a failed attempt.
+  EXPECT_EQ(static_cast<int64_t>(service_.backend->call_count()),
+            result.total_calls + result.reliability.transient_failures);
+  EXPECT_GT(result.reliability.retries, 0);
+}
+
+}  // namespace
+}  // namespace seco

@@ -169,14 +169,69 @@ TEST(SimulatedServiceTest, RepeatingGroupInputMatchesExistentially) {
   EXPECT_EQ(resp.tuples[0].AtomicAt(0).AsInt(), 1);
 }
 
-TEST(FlakyHandlerTest, FailsPeriodically) {
+TEST(FaultModelTest, TransientFaultsKeyOnRequestIdentityNotArrivalOrder) {
   SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, MakeKeyedSearchService("S", 10, 5, 4));
-  FlakyHandler flaky(svc.backend, /*failure_period=*/3);
+  FaultProfile profile;
+  profile.transient_rate = 1.0;  // every logical request is stricken
+  profile.transient_attempts = 2;
+  profile.seed = 7;
+  FaultInjectingHandler flaky(svc.backend, profile);
   ServiceRequest req;
+  // Attempt 0 fails every time it is delivered — the decision depends on
+  // the request identity and attempt number, never on arrival order.
+  EXPECT_EQ(flaky.Call(req).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(flaky.Call(req).status().code(), StatusCode::kUnavailable);
+  req.attempt = 1;
+  EXPECT_EQ(flaky.Call(req).status().code(), StatusCode::kUnavailable);
+  // From attempt `transient_attempts` on, the request always succeeds.
+  req.attempt = 2;
   EXPECT_TRUE(flaky.Call(req).ok());
-  EXPECT_TRUE(flaky.Call(req).ok());
-  EXPECT_FALSE(flaky.Call(req).ok());  // 3rd call fails
-  EXPECT_TRUE(flaky.Call(req).ok());
+  req.attempt = 0;
+  EXPECT_EQ(flaky.Call(req).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultModelTest, RateSelectsAStrictSubsetOfRequests) {
+  FaultProfile profile;
+  profile.transient_rate = 0.3;
+  profile.seed = 99;
+  FaultModel model(profile);
+  int stricken = 0;
+  for (uint64_t ordinal = 0; ordinal < 1000; ++ordinal) {
+    if (model.TransientlyStricken(ordinal)) ++stricken;
+    // Decisions are stable across repeated queries.
+    EXPECT_EQ(model.TransientlyStricken(ordinal),
+              model.TransientlyStricken(ordinal));
+  }
+  EXPECT_GT(stricken, 200);
+  EXPECT_LT(stricken, 400);
+}
+
+TEST(FaultModelTest, PermanentOutageFailsEveryAttempt) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, MakeKeyedSearchService("S", 10, 5, 4));
+  FaultProfile profile;
+  profile.permanent_outage = true;
+  svc.backend->set_fault_profile(profile);
+  ServiceRequest req;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    req.attempt = attempt;
+    EXPECT_EQ(svc.backend->Call(req).status().code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(FaultModelTest, LatencySpikesInflateStrickenAttemptsOnly) {
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService svc, MakeKeyedSearchService("S", 10, 5, 4));
+  ServiceRequest req;
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse base, svc.backend->Call(req));
+  FaultProfile profile;
+  profile.spike_rate = 1.0;
+  profile.spike_factor = 8.0;
+  profile.spike_attempts = 1;
+  svc.backend->set_fault_profile(profile);
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse spiked, svc.backend->Call(req));
+  EXPECT_DOUBLE_EQ(spiked.latency_ms, base.latency_ms * 8.0);
+  req.attempt = 1;  // past spike_attempts: back to the base latency
+  SECO_ASSERT_OK_AND_ASSIGN(ServiceResponse calm, svc.backend->Call(req));
+  EXPECT_DOUBLE_EQ(calm.latency_ms, base.latency_ms);
 }
 
 TEST(FixturesTest, MovieScenarioBuilds) {
