@@ -1,0 +1,166 @@
+// Experiment E-REPAIR: mid-query plan repair over the Fig. 2/3
+// conference-trip plan — what failover onto a registry replica costs
+// relative to an outage-free run, and what it buys relative to degrading to
+// partial answers.
+//
+// The report publishes the overhead curve of the repair loop:
+//   - outage-free:        repair armed but never triggered (the fast path);
+//   - 1 outage + replica: Hotel1 dies mid-query, the run replans onto
+//     Hotel1R, salvaging the abandoned round's chunks through the shared
+//     call cache — answers must be complete and identical to planning
+//     against the replica from the start;
+//   - degrade-only:       the same outage without a replica, degraded to
+//     partial answers.
+// Replanning time is wall-clock (`RepairStats::replan_ms`) and never lands
+// on the simulated clock, which the report verifies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::CheckOk;
+using bench_util::Section;
+using bench_util::Unwrap;
+
+struct Fixture {
+  Scenario scenario;
+  QueryPlan plan;
+};
+
+Fixture MakeFixture(bool with_replica) {
+  Fixture fx;
+  fx.scenario = Unwrap(MakeConferenceScenario(), "scenario");
+  if (with_replica) {
+    Unwrap(AddReplica(&fx.scenario, "Hotel1", "Hotel1R"), "replica");
+  }
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  QuerySession session(fx.scenario.registry, optimizer_options);
+  BoundQuery bound = Unwrap(session.Prepare(fx.scenario.query_text), "bind");
+  fx.plan = std::move(Unwrap(session.Optimize(bound), "optimize").plan);
+  return fx;
+}
+
+void KillHotel(Fixture* fx) {
+  FaultProfile outage;
+  outage.permanent_outage = true;
+  fx->scenario.backends.at("Hotel1")->set_fault_profile(outage);
+}
+
+RepairOptions RepairWith(const Fixture& fx, RepairPolicy policy) {
+  RepairOptions repair;
+  repair.policy = policy;
+  repair.registry = fx.scenario.registry.get();
+  repair.optimizer.k = 10;
+  return repair;
+}
+
+StreamingResult RunStream(const Fixture& fx, const RepairOptions& repair) {
+  StreamingOptions options;
+  options.k = 10;
+  options.input_bindings = fx.scenario.inputs;
+  options.repair = repair;
+  StreamingEngine engine(options);
+  return Unwrap(engine.Execute(fx.plan), "execute");
+}
+
+void Report() {
+  Section("E-REPAIR: outage-free baseline (repair armed, never triggered)");
+  Fixture clean = MakeFixture(/*with_replica=*/true);
+  StreamingResult baseline =
+      RunStream(clean, RepairWith(clean, RepairPolicy::kFailover));
+  std::printf("  answers %zu  calls %d  simulated %.0f ms  replans %d\n",
+              baseline.combinations.size(), baseline.total_calls,
+              baseline.total_latency_ms, baseline.repair.replans);
+
+  Section("failover: Hotel1 dies mid-query, replica Hotel1R registered");
+  {
+    Fixture fx = MakeFixture(/*with_replica=*/true);
+    KillHotel(&fx);
+    StreamingResult repaired =
+        RunStream(fx, RepairWith(fx, RepairPolicy::kFailover));
+    std::printf(
+        "  answers %zu (complete: %s)  calls %d  simulated %.0f ms\n",
+        repaired.combinations.size(), repaired.complete ? "yes" : "NO",
+        repaired.total_calls, repaired.total_latency_ms);
+    std::printf(
+        "  repair: %d events, %d replans, %.2f ms replanning (wall), "
+        "%lld salvaged calls, %.0f ms of abandoned rounds\n",
+        repaired.repair.events, repaired.repair.replans,
+        repaired.repair.replan_ms,
+        static_cast<long long>(repaired.repair.salvaged_calls),
+        repaired.repair.abandoned_ms);
+    for (const RepairEvent& event : repaired.repair.log) {
+      std::printf("  lost %s -> %s (%s)\n", event.lost.c_str(),
+                  event.replacement.c_str(), event.reason.c_str());
+    }
+    // The simulated clock must be untouched by replanning: it matches a run
+    // that was planned against the replica from the start, not baseline+
+    // replan_ms.
+    std::printf("  simulated clock inflated by replanning: %s\n",
+                repaired.total_latency_ms <= baseline.total_latency_ms * 1.5
+                    ? "no"
+                    : "YES (bug)");
+  }
+
+  Section("degrade-only: same outage, no replica");
+  {
+    Fixture fx = MakeFixture(/*with_replica=*/false);
+    KillHotel(&fx);
+    StreamingResult partial =
+        RunStream(fx, RepairWith(fx, RepairPolicy::kFailoverThenDegrade));
+    std::printf("  answers %zu (complete: %s)  calls %d  simulated %.0f ms\n",
+                partial.combinations.size(), partial.complete ? "yes" : "no",
+                partial.total_calls, partial.total_latency_ms);
+    for (const RepairEvent& event : partial.repair.log) {
+      std::printf("  lost %s -> (unrepaired: %s)\n", event.lost.c_str(),
+                  event.reason.c_str());
+    }
+  }
+}
+
+// Wall cost of an armed-but-idle repair policy: one extra plan copy and the
+// repair-loop bookkeeping, no replanning.
+void BM_FailoverArmedNoOutage(benchmark::State& state) {
+  Fixture fx = MakeFixture(/*with_replica=*/true);
+  RepairOptions repair = RepairWith(fx, RepairPolicy::kFailover);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunStream(fx, repair));
+  }
+}
+BENCHMARK(BM_FailoverArmedNoOutage);
+
+// Full repair path: abandoned round + re-optimization + salvaged rerun.
+void BM_FailoverWithOutage(benchmark::State& state) {
+  Fixture fx = MakeFixture(/*with_replica=*/true);
+  KillHotel(&fx);
+  RepairOptions repair = RepairWith(fx, RepairPolicy::kFailover);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunStream(fx, repair));
+  }
+}
+BENCHMARK(BM_FailoverWithOutage);
+
+// The degrade alternative, for the cost comparison in docs/RELIABILITY.md.
+void BM_DegradeWithOutage(benchmark::State& state) {
+  Fixture fx = MakeFixture(/*with_replica=*/false);
+  KillHotel(&fx);
+  RepairOptions repair = RepairWith(fx, RepairPolicy::kDegrade);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunStream(fx, repair));
+  }
+}
+BENCHMARK(BM_DegradeWithOutage);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  seco::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -37,8 +37,18 @@
 //     --degrade                     report partial answers instead of
 //                                   failing when a service stays down
 //
+// Plan repair (docs/RELIABILITY.md, "Failover & plan repair"):
+//     --replicas                    register an "R"-suffixed replica of every
+//                                   scenario service, so --outage has a
+//                                   failover target
+//     --repair=off|degrade|failover|failover_then_degrade
+//                                   what to do when a service is permanently
+//                                   lost mid-query (default: off)
+//
 // With any reliability knob set, a summary table (attempts, retries, hedges
-// won, breaker state, degraded nodes) prints after the results.
+// won, per-interface breaker state, degraded nodes) prints after the
+// results; with a repair policy, a repair block (events, replans, chosen
+// replicas, salvaged calls) follows it.
 //
 // Without a query argument, the scenario's canonical query runs. INPUT
 // variables are bound from the scenario's defaults.
@@ -48,6 +58,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/seco.h"
 #include "query/printer.h"
@@ -77,6 +88,8 @@ struct Options {
   int breaker = 0;
   double hedge_ms = -1.0;
   bool degrade = false;
+  bool replicas = false;
+  seco::RepairPolicy repair = seco::RepairPolicy::kOff;
   std::string query;
 
   bool faulty() const {
@@ -157,6 +170,15 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->hedge_ms = std::atof(v);
     } else if (arg == "--degrade") {
       options->degrade = true;
+    } else if (arg == "--replicas") {
+      options->replicas = true;
+    } else if (const char* v = value_of("--repair=")) {
+      seco::Result<seco::RepairPolicy> parsed = seco::ParseRepairPolicy(v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return false;
+      }
+      options->repair = parsed.value();
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -181,6 +203,17 @@ seco::Status Run(const Options& options) {
   }
   std::string query_text =
       options.query.empty() ? scenario.query_text : options.query;
+
+  if (options.replicas) {
+    // Register before faults are injected: replicas clone the clean backends,
+    // so an --outage of the original leaves its "R" twin healthy.
+    std::vector<std::string> names;
+    for (const auto& [name, backend] : scenario.backends) names.push_back(name);
+    for (const std::string& name : names) {
+      SECO_RETURN_IF_ERROR(
+          seco::AddReplica(&scenario, name, name + "R").status());
+    }
+  }
 
   if (options.faulty()) {
     bool outage_found = options.outage.empty();
@@ -236,12 +269,53 @@ seco::Status Run(const Options& options) {
       }
       std::printf("  %-24s open: %s\n", "breakers", names.c_str());
     }
+    if (!stats.breakers.empty()) {
+      std::printf("  breaker state:\n");
+      std::printf("    %-20s %-10s %6s %9s %9s\n", "interface", "phase",
+                  "trips", "failures", "shorted");
+      for (const seco::CircuitBreakerState& b : stats.breakers) {
+        std::printf("    %-20s %-10s %6d %9d %9lld\n",
+                    b.interface_name.c_str(),
+                    seco::BreakerPhaseToString(b.phase), b.trips,
+                    b.consecutive_failures,
+                    static_cast<long long>(b.short_circuits));
+      }
+    }
+    for (const seco::ServiceLostEvent& lost : stats.services_lost) {
+      std::printf("  service lost: %-14s %s%s\n", lost.interface_name.c_str(),
+                  lost.reason.c_str(),
+                  lost.breaker_open ? " [breaker open]" : "");
+    }
     for (const seco::DegradedStatus& d : degraded) {
       std::printf("  degraded node %-3d %s: %d failed bindings (%s)\n", d.node,
                   d.service.c_str(), d.failed_bindings, d.reason.c_str());
     }
     std::printf("  %-24s %s\n", "answers",
                 complete ? "complete" : "PARTIAL (degraded services)");
+  };
+
+  // Repair summary: what was lost, what it was replanned onto, and how much
+  // of the abandoned round's work the shared cache salvaged.
+  auto print_repair = [&](const seco::RepairStats& repair) {
+    if (options.repair == seco::RepairPolicy::kOff && !repair.any()) return;
+    std::printf("\nrepair summary (policy %s):\n",
+                seco::RepairPolicyToString(options.repair));
+    std::printf("  %-24s %d\n", "services lost", repair.events);
+    std::printf("  %-24s %d\n", "replans", repair.replans);
+    std::printf("  %-24s %.2f ms (wall; never on the simulated clock)\n",
+                "replan time", repair.replan_ms);
+    std::printf("  %-24s %lld\n", "salvaged calls",
+                static_cast<long long>(repair.salvaged_calls));
+    std::printf("  %-24s %.1f ms\n", "abandoned rounds", repair.abandoned_ms);
+    for (const seco::RepairEvent& event : repair.log) {
+      if (event.replacement.empty()) {
+        std::printf("  lost %-20s -> (unrepaired: %s)\n", event.lost.c_str(),
+                    event.reason.c_str());
+      } else {
+        std::printf("  lost %-20s -> %s (%s)\n", event.lost.c_str(),
+                    event.replacement.c_str(), event.reason.c_str());
+      }
+    }
   };
 
   // A degraded atom has a placeholder component; print it as a hole rather
@@ -259,6 +333,13 @@ seco::Status Run(const Options& options) {
   optimizer_options.metric = options.metric;
   optimizer_options.topology_heuristic = options.topology;
   seco::QuerySession session(scenario.registry, optimizer_options);
+
+  seco::RepairOptions repair_options;
+  repair_options.policy = options.repair;
+  repair_options.registry = scenario.registry.get();
+  // Re-optimize with the same options as the original plan, so a failover
+  // plan equals what planning against the replica would have produced.
+  repair_options.optimizer = optimizer_options;
 
   if (options.explain) {
     SECO_ASSIGN_OR_RETURN(seco::BoundQuery bound, session.Prepare(query_text));
@@ -292,6 +373,7 @@ seco::Status Run(const Options& options) {
     stream_options.num_threads = options.threads;
     stream_options.prefetch_depth = options.prefetch;
     stream_options.reliability = options.policy();
+    stream_options.repair = repair_options;
     if (options.shared_cache) {
       stream_options.cache = seco::ServiceCallCache::Process();
     }
@@ -332,11 +414,13 @@ seco::Status Run(const Options& options) {
     }
     print_reliability(stream.reliability, stream.degraded,
                       stream.open_breakers, stream.complete);
+    print_repair(stream.repair);
     return seco::Status::OK();
   }
 
   session.execution_options().num_threads = options.threads;
   session.execution_options().reliability = options.policy();
+  session.execution_options().repair = repair_options;
   if (options.shared_cache) {
     session.execution_options().cache = seco::ServiceCallCache::Process();
   }
@@ -378,6 +462,7 @@ seco::Status Run(const Options& options) {
   print_reliability(outcome.execution.reliability, outcome.execution.degraded,
                     outcome.execution.open_breakers,
                     outcome.execution.complete);
+  print_repair(outcome.execution.repair);
   if (options.estimates) {
     seco::EstimateReport report =
         seco::CompareEstimates(outcome.optimization.plan, outcome.execution);

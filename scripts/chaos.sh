@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Chaos matrix for the fault-injection and plan-repair layers: build the
+# fault/repair test suites under ThreadSanitizer, then sweep the fault-model
+# seed (SECO_FAULT_SEED, picked up by the chaos-aware tests) so different
+# stricken-request populations race different thread schedules. Every cell
+# must be green: recovery and failover are bit-deterministic contracts, not
+# best-effort ones.
+#
+# Usage: scripts/chaos.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tsan
+
+cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
+  fault_recovery_test plan_repair_test streaming_prefetch_test
+
+cd "${BUILD_DIR}"
+for seed in 0x5EC0 7 20090401; do
+  echo "=== chaos matrix: SECO_FAULT_SEED=${seed} ==="
+  SECO_FAULT_SEED="${seed}" ctest --output-on-failure -j"$(nproc)" -R \
+    'FaultRecovery|PlanRepair|StreamingPrefetch' "$@"
+done

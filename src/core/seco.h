@@ -20,6 +20,7 @@
 ///   cost/      the five cost metrics of the chapter
 ///   optimizer/ three-phase branch-and-bound + WSMS baseline
 ///   reliability/ fault-handling decorators: retry, deadlines, breakers
+///   repair/    mid-query plan repair: replica failover + re-optimization
 ///   exec/      dataflow execution engine
 ///   core/      QuerySession facade
 
@@ -55,6 +56,9 @@
 #include "reliability/circuit_breaker.h"
 #include "reliability/policy.h"
 #include "reliability/resilient_handler.h"
+#include "repair/plan_repairer.h"
+#include "repair/repair.h"
+#include "repair/repair_driver.h"
 #include "service/registry.h"
 #include "sim/fault_model.h"
 #include "sim/fixtures.h"

@@ -14,6 +14,7 @@
 #include "query/semantics.h"
 #include "reliability/circuit_breaker.h"
 #include "reliability/resilient_handler.h"
+#include "repair/repair_driver.h"
 #include "service/invocation.h"
 
 namespace seco {
@@ -63,6 +64,40 @@ struct FetchOutcome {
 }  // namespace
 
 Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
+  switch (options_.repair.policy) {
+    case RepairPolicy::kOff:
+      return ExecuteOnce(plan, nullptr, /*force_degrade=*/false);
+    case RepairPolicy::kDegrade:
+      return ExecuteOnce(plan, nullptr, /*force_degrade=*/true);
+    default:
+      break;
+  }
+  // Failover: all rounds share one cache so chunks materialized by an
+  // abandoned round replay as free hits after replanning.
+  ServiceCallCache round_cache;
+  ServiceCallCache* cache = options_.cache ? options_.cache : &round_cache;
+  auto run = [this, cache](const QueryPlan& p) {
+    return ExecuteOnce(p, cache, /*force_degrade=*/true);
+  };
+  auto warm = [](const ExecutionResult& r, const QueryPlan& p) {
+    std::map<std::string, int64_t> warm_calls;
+    for (const auto& [id, stats] : r.node_stats) {
+      const PlanNode& node = p.node(id);
+      if (node.kind != PlanNodeKind::kServiceCall || node.iface == nullptr) {
+        continue;
+      }
+      warm_calls[node.iface->name()] += stats.calls + stats.cache_hits;
+    }
+    return warm_calls;
+  };
+  auto clock = [](const ExecutionResult& r) { return r.elapsed_ms; };
+  return RunWithRepair<ExecutionResult>(plan, options_.repair, run, warm,
+                                        clock);
+}
+
+Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
+    const QueryPlan& plan, ServiceCallCache* cache_override,
+    bool force_degrade) {
   auto wall_start = std::chrono::steady_clock::now();
   SECO_RETURN_IF_ERROR(plan.Validate());
   SECO_ASSIGN_OR_RETURN(std::vector<int> order, plan.TopologicalOrder());
@@ -82,7 +117,9 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
   }
   CallScheduler scheduler(pool.get());
   ServiceCallCache local_cache;
-  ServiceCallCache* cache = options_.cache ? options_.cache : &local_cache;
+  ServiceCallCache* cache = cache_override      ? cache_override
+                            : options_.cache    ? options_.cache
+                                                : &local_cache;
   // Budget reservations; fetch jobs from any thread claim call slots here
   // (legacy path — under a reliability policy the shared CallBudget below
   // charges every attempt instead).
@@ -95,11 +132,13 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
   if (policy.retry.max_retries == 0 && options_.call_retries > 0) {
     policy.retry.max_retries = options_.call_retries;
   }
+  if (force_degrade) policy.degrade = true;
   const bool resilient = policy.enabled();
   CallBudget budget(resilient ? options_.max_calls : -1);
   ReliabilityLedger ledger;
   CircuitBreakerRegistry breakers(policy.breaker_failure_threshold,
                                   policy.breaker_probe_interval);
+  ServiceLostCollector lost_collector;
   // Atoms whose service degraded: partial rows missing only these atoms
   // survive selections, joins, and output as flagged partial answers.
   std::set<int> degraded_atoms;
@@ -252,6 +291,7 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
           ctx.ledger = &ledger;
           ctx.breakers = &breakers;
           ctx.hedge_pool = pool.get();
+          ctx.lost = &lost_collector;
           node_handler = std::make_shared<ResilientHandler>(
               std::move(node_handler), iface.name(), ctx);
         }
@@ -368,24 +408,33 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
           result.cache_misses += outcome.cache_misses;
         }
         if (resilient) {
-          int failed_bindings = 0;
+          int failed_direct = 0;
+          int failed_cascade = 0;
           std::string reason;
           for (const FetchOutcome& outcome : outcomes) {
             if (!outcome.failed) continue;
-            ++failed_bindings;
+            ++failed_direct;
             if (reason.empty()) reason = outcome.failure.ToString();
           }
           for (char unbindable : row_unbindable) {
             if (!unbindable) continue;
-            ++failed_bindings;
+            ++failed_cascade;
             if (reason.empty()) {
               reason = "input unavailable: piped from a degraded service";
             }
           }
-          if (failed_bindings > 0) {
+          if (failed_direct + failed_cascade > 0) {
             degraded_atoms.insert(node.atom);
-            result.degraded.push_back(
-                DegradedStatus{node.id, iface.name(), failed_bindings, reason});
+            DegradedStatus d;
+            d.node = node.id;
+            d.service = iface.name();
+            d.failed_bindings = failed_direct + failed_cascade;
+            d.reason = reason;
+            // Only direct failures make this node a repair candidate; a
+            // purely inherited degradation heals once its upstream does.
+            d.cascaded = failed_direct == 0;
+            d.query_deadline = node_past_deadline;
+            result.degraded.push_back(std::move(d));
             result.complete = false;
           }
         }
@@ -656,6 +705,8 @@ Result<ExecutionResult> ExecutionEngine::Execute(const QueryPlan& plan) {
   if (resilient) {
     result.reliability = ledger.Snapshot();
     result.reliability.overhead_ms = overhead_consumed_ms;
+    result.reliability.breakers = breakers.States();
+    result.reliability.services_lost = lost_collector.Snapshot();
     result.open_breakers = breakers.OpenBreakers();
   }
   result.wall_clock_ms =

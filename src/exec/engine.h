@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "plan/plan.h"
 #include "reliability/policy.h"
+#include "repair/repair.h"
 #include "service/tuple.h"
 
 namespace seco {
@@ -45,6 +46,11 @@ struct ExecutionOptions {
   /// docs/RELIABILITY.md). The default policy is inert and preserves the
   /// historical behavior bit-for-bit.
   ReliabilityPolicy reliability;
+  /// Plan-repair policy: what to do when a service is permanently lost
+  /// (docs/RELIABILITY.md, "Failover & plan repair"). The failover policies
+  /// need `repair.registry`; all repair policies force degradation on for
+  /// the individual rounds so losses are observed deterministically.
+  RepairOptions repair;
 };
 
 /// One recorded service request-response (when tracing is enabled).
@@ -94,6 +100,9 @@ struct ExecutionResult {
   std::vector<DegradedStatus> degraded;
   /// Interfaces whose circuit breaker ended the run open.
   std::vector<std::string> open_breakers;
+  /// Replanning telemetry; inert (`!any()`) unless a repair policy was set
+  /// and a service was actually lost.
+  RepairStats repair;
   /// False when any node degraded: `combinations` may then contain partial
   /// combinations (see `Combination::missing_atoms`).
   bool complete = true;
@@ -128,6 +137,16 @@ class ExecutionEngine {
   Result<ExecutionResult> Execute(const QueryPlan& plan);
 
  private:
+  /// One plan execution round. `cache_override` (when non-null) takes
+  /// precedence over `options_.cache` — the repair loop threads one cache
+  /// through all rounds so abandoned prefixes replay as hits.
+  /// `force_degrade` turns degradation on regardless of the reliability
+  /// policy, so a lost service surfaces as `DegradedStatus` instead of
+  /// aborting the round.
+  Result<ExecutionResult> ExecuteOnce(const QueryPlan& plan,
+                                      ServiceCallCache* cache_override,
+                                      bool force_degrade);
+
   ExecutionOptions options_;
 };
 

@@ -16,6 +16,7 @@
 #include "query/semantics.h"
 #include "reliability/circuit_breaker.h"
 #include "reliability/resilient_handler.h"
+#include "repair/repair_driver.h"
 #include "service/invocation.h"
 
 namespace seco {
@@ -94,12 +95,26 @@ struct RunState {
 
   /// Marks `node` degraded by `failure` (called on the pipeline thread at
   /// the deterministic consumption point of the failing fetch).
-  void RecordDegraded(const PlanNode& node, const Status& failure) {
+  /// `cascaded` failures are inherited from a degraded upstream; a node is
+  /// flagged cascaded only while *every* failure it saw was. Degradations
+  /// struck after the query deadline elapsed are flagged so the repair
+  /// layer never mistakes a timeout for a service loss.
+  void RecordDegraded(const PlanNode& node, const Status& failure,
+                      bool cascaded = false) {
     degraded_atoms.insert(node.atom);
-    auto [it, inserted] = degraded.emplace(
-        node.id, DegradedStatus{node.id, node.iface->name(), 0,
-                                failure.ToString()});
+    DegradedStatus status;
+    status.node = node.id;
+    status.service = node.iface->name();
+    status.reason = failure.ToString();
+    status.cascaded = cascaded;
+    status.query_deadline = PastQueryDeadline();
+    auto [it, inserted] = degraded.emplace(node.id, std::move(status));
     ++it->second.failed_bindings;
+    if (!inserted) {
+      it->second.cascaded = it->second.cascaded && cascaded;
+      it->second.query_deadline =
+          it->second.query_deadline || PastQueryDeadline();
+    }
   }
 
   /// True when this fetch failure should degrade the node instead of
@@ -178,6 +193,11 @@ void TrySpeculate(const PlanNode& node, const std::string& binding_key,
                   const std::vector<Value>& binding, int chunk,
                   RunState* state) {
   if (!state->speculate) return;
+  // Never speculate against a service already declared lost: every such
+  // fetch is guaranteed waste, and (for partial-outage fault profiles) its
+  // stray successes must not seed the shared cache behind a node the run
+  // has already degraded.
+  if (state->degraded_atoms.count(node.atom) > 0) return;
   std::string key =
       ServiceCallCache::Key(node.iface->name(), binding_key, chunk);
   if (state->inflight.count(key) > 0) return;
@@ -253,9 +273,12 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
     if (state->charged_calls >= max_calls) return budget_error();
     std::unique_ptr<SpecFetch> fetch = std::move(it->second);
     state->inflight.erase(it);
-    ++state->speculative_consumed;
     fetch->done.wait();
+    // A failed speculation is never charged, so it must count as wasted —
+    // consume-then-check would leak it out of both `total_calls` and
+    // `speculative_wasted`, breaking `real calls = charged + wasted`.
     SECO_RETURN_IF_ERROR(fetch->response.status());
+    ++state->speculative_consumed;
     ServiceResponse resp = std::move(fetch->response).value();
     ChargeCall(node, binding_key, chunk, resp.latency_ms,
                resp.fault_overhead_ms, state);
@@ -503,8 +526,10 @@ class ServiceCallOp : public Op {
           // degraded service: cascade the degradation so the partial row
           // passes through with this atom flagged missing too.
           state_->RecordDegraded(
-              *node_, Status::Unavailable("input unavailable: piped from a "
-                                          "degraded service"));
+              *node_,
+              Status::Unavailable("input unavailable: piped from a "
+                                  "degraded service"),
+              /*cascaded=*/true);
           row_failed_ = true;
         }
       }
@@ -886,6 +911,42 @@ Result<std::unique_ptr<Op>> BuildOp(const QueryPlan& plan, int node_id,
 }  // namespace
 
 Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
+  switch (options_.repair.policy) {
+    case RepairPolicy::kOff:
+      return ExecuteOnce(plan, nullptr, /*force_degrade=*/false);
+    case RepairPolicy::kDegrade:
+      return ExecuteOnce(plan, nullptr, /*force_degrade=*/true);
+    default:
+      break;
+  }
+  // Failover: all rounds share one cache so chunks materialized by an
+  // abandoned round replay as free hits after replanning. (Wasted
+  // speculation of earlier rounds also lands in this cache, so repaired
+  // runs compare on combinations, not call counts, across prefetch depths.)
+  ServiceCallCache round_cache;
+  ServiceCallCache* cache = options_.cache ? options_.cache : &round_cache;
+  auto run = [this, cache](const QueryPlan& p) {
+    return ExecuteOnce(p, cache, /*force_degrade=*/true);
+  };
+  auto warm = [](const StreamingResult& r, const QueryPlan& p) {
+    std::map<std::string, int64_t> warm_calls;
+    for (const auto& [id, stats] : r.node_stats) {
+      const PlanNode& node = p.node(id);
+      if (node.kind != PlanNodeKind::kServiceCall || node.iface == nullptr) {
+        continue;
+      }
+      warm_calls[node.iface->name()] += stats.calls + stats.cache_hits;
+    }
+    return warm_calls;
+  };
+  auto clock = [](const StreamingResult& r) { return r.total_latency_ms; };
+  return RunWithRepair<StreamingResult>(plan, options_.repair, run, warm,
+                                        clock);
+}
+
+Result<StreamingResult> StreamingEngine::ExecuteOnce(
+    const QueryPlan& plan, ServiceCallCache* cache_override,
+    bool force_degrade) {
   auto wall_start = std::chrono::steady_clock::now();
   SECO_RETURN_IF_ERROR(plan.Validate());
   if (options_.interrupt != nullptr) options_.interrupt->Reset();
@@ -900,10 +961,13 @@ Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
   RunState state;
   state.query = &plan.query();
   state.options = &options_;
-  state.cache = options_.cache != nullptr ? options_.cache : &local_cache;
+  state.cache = cache_override != nullptr  ? cache_override
+                : options_.cache != nullptr ? options_.cache
+                                            : &local_cache;
   state.scheduler = &scheduler;
   state.speculate = scheduler.concurrent() && options_.prefetch_depth > 0;
   state.policy = options_.reliability;
+  if (force_degrade) state.policy.degrade = true;
   state.resilient = state.policy.enabled();
   // Attempt-level budget (every delivery attempt, demand or speculative,
   // claims a slot) plus the shared telemetry/breaker state. Only built when
@@ -913,6 +977,7 @@ Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
   ReliabilityLedger ledger;
   CircuitBreakerRegistry breakers(state.policy.breaker_failure_threshold,
                                   state.policy.breaker_probe_interval);
+  ServiceLostCollector lost_collector;
   SECO_ASSIGN_OR_RETURN(std::vector<int> speculation_order,
                         plan.TopologicalOrder());
   for (int id : speculation_order) {
@@ -927,6 +992,7 @@ Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
         ctx.breakers = &breakers;
         ctx.hedge_pool = pool.get();
         ctx.interrupt = options_.interrupt;
+        ctx.lost = &lost_collector;
         state.handlers[node.id] = std::make_shared<ResilientHandler>(
             node.iface->handler_ptr(), node.iface->name(), std::move(ctx));
       }
@@ -999,6 +1065,8 @@ Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
   if (state.resilient) {
     result.reliability = ledger.Snapshot();
     result.reliability.overhead_ms = state.overhead_consumed_ms;
+    result.reliability.breakers = breakers.States();
+    result.reliability.services_lost = lost_collector.Snapshot();
     result.open_breakers = breakers.OpenBreakers();
   }
   for (auto& [node_id, status] : state.degraded) {

@@ -54,6 +54,11 @@ struct StreamingOptions {
   /// applies `query_deadline_ms` to the cumulative charged latency plus
   /// reliability overhead (its deterministic mid-run clock).
   ReliabilityPolicy reliability;
+  /// Plan-repair policy: what to do when a service is permanently lost
+  /// (docs/RELIABILITY.md, "Failover & plan repair"). The failover policies
+  /// need `repair.registry`; repair rounds share one call cache so an
+  /// abandoned round's chunks replay as free hits after replanning.
+  RepairOptions repair;
 };
 
 /// Result of a streaming run. Combinations appear in *arrival order* — the
@@ -95,6 +100,9 @@ struct StreamingResult {
   std::vector<DegradedStatus> degraded;
   /// Interfaces whose circuit breaker ended the run open.
   std::vector<std::string> open_breakers;
+  /// Replanning telemetry; inert (`!any()`) unless a repair policy was set
+  /// and a service was actually lost.
+  RepairStats repair;
   /// False when any node degraded: `combinations` may then contain partial
   /// combinations (see `Combination::missing_atoms`).
   bool complete = true;
@@ -131,6 +139,15 @@ class StreamingEngine {
   Result<StreamingResult> Execute(const QueryPlan& plan);
 
  private:
+  /// One streaming round. `cache_override` (when non-null) takes precedence
+  /// over `options_.cache` — the repair loop threads one cache through all
+  /// rounds so abandoned prefixes replay as hits. `force_degrade` turns
+  /// degradation on regardless of the reliability policy, so a lost service
+  /// surfaces as `DegradedStatus` instead of aborting the round.
+  Result<StreamingResult> ExecuteOnce(const QueryPlan& plan,
+                                      ServiceCallCache* cache_override,
+                                      bool force_degrade);
+
   StreamingOptions options_;
 };
 

@@ -22,4 +22,26 @@ std::vector<std::string> CircuitBreakerRegistry::OpenBreakers() const {
   return open;
 }
 
+std::vector<CircuitBreakerState> CircuitBreakerRegistry::States() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CircuitBreakerState> out;
+  out.reserve(breakers_.size());
+  for (const auto& [name, breaker] : breakers_) {
+    out.push_back(breaker->State(name));  // breakers_ is sorted by name
+  }
+  return out;
+}
+
+const char* BreakerPhaseToString(BreakerPhase phase) {
+  switch (phase) {
+    case BreakerPhase::kClosed:
+      return "closed";
+    case BreakerPhase::kOpen:
+      return "open";
+    case BreakerPhase::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
 }  // namespace seco

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "reliability/policy.h"
+
 namespace seco {
 
 /// A count-based circuit breaker guarding one service interface.
@@ -33,8 +35,10 @@ class CircuitBreaker {
     if (!open_) return true;
     if (++denied_since_probe_ >= probe_interval_) {
       denied_since_probe_ = 0;
-      return true;  // let a probe through
+      probing_ = true;  // half-open until the probe reports back
+      return true;
     }
+    ++short_circuits_;
     return false;
   }
 
@@ -43,17 +47,35 @@ class CircuitBreaker {
     consecutive_failures_ = 0;
     denied_since_probe_ = 0;
     open_ = false;
+    probing_ = false;
   }
 
   void RecordFailure() {
     std::lock_guard<std::mutex> lock(mu_);
+    probing_ = false;
     if (failure_threshold_ <= 0) return;
-    if (++consecutive_failures_ >= failure_threshold_) open_ = true;
+    if (++consecutive_failures_ >= failure_threshold_ && !open_) {
+      open_ = true;
+      ++trips_;
+    }
   }
 
   bool open() const {
     std::lock_guard<std::mutex> lock(mu_);
     return open_;
+  }
+
+  /// Snapshot for `ReliabilityStats.breakers`.
+  CircuitBreakerState State(const std::string& interface_name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    CircuitBreakerState s;
+    s.interface_name = interface_name;
+    s.phase = !open_ ? BreakerPhase::kClosed
+                     : (probing_ ? BreakerPhase::kHalfOpen : BreakerPhase::kOpen);
+    s.trips = trips_;
+    s.consecutive_failures = consecutive_failures_;
+    s.short_circuits = short_circuits_;
+    return s;
   }
 
  private:
@@ -62,7 +84,10 @@ class CircuitBreaker {
   int probe_interval_;
   int consecutive_failures_ = 0;
   int denied_since_probe_ = 0;
+  int trips_ = 0;
+  int64_t short_circuits_ = 0;
   bool open_ = false;
+  bool probing_ = false;  // an admitted probe is in flight
 };
 
 /// One breaker per interface name, shared by all handlers of an execution
@@ -77,6 +102,9 @@ class CircuitBreakerRegistry {
 
   /// Names of interfaces whose breaker is currently open.
   std::vector<std::string> OpenBreakers() const;
+
+  /// State of every breaker, sorted by interface name.
+  std::vector<CircuitBreakerState> States() const;
 
  private:
   int failure_threshold_;

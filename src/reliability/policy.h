@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -84,6 +86,64 @@ struct ReliabilityPolicy {
   }
 };
 
+/// Lifecycle phase of a circuit breaker: closed (calls flow), open (calls
+/// short-circuit), half-open (open, but the next denied call is due to pass
+/// as a probe).
+enum class BreakerPhase {
+  kClosed,
+  kOpen,
+  kHalfOpen,
+};
+
+const char* BreakerPhaseToString(BreakerPhase phase);
+
+/// Point-in-time state of one interface's breaker, surfaced in
+/// `ReliabilityStats` so a tripped breaker is visible even when degradation
+/// never fires.
+struct CircuitBreakerState {
+  std::string interface_name;
+  BreakerPhase phase = BreakerPhase::kClosed;
+  int trips = 0;                ///< closed→open transitions so far.
+  int consecutive_failures = 0;
+  int64_t short_circuits = 0;   ///< Calls denied while open.
+};
+
+/// A service declared permanently lost during one execution: its handler
+/// exhausted retries (or its breaker stayed open). The repair layer turns
+/// these into replanning events; without repair they surface as telemetry
+/// next to `DegradedStatus`.
+struct ServiceLostEvent {
+  std::string interface_name;
+  uint64_t ordinal = 0;      ///< RequestOrdinal of the first lost request.
+  std::string reason;        ///< Final error message.
+  bool breaker_open = false; ///< Breaker was open when the loss was declared.
+};
+
+/// Thread-safe sink collecting the first `ServiceLostEvent` per interface.
+/// Speculative and demand fetches from any thread may record concurrently;
+/// only the set of lost *interfaces* is deterministic (which request lost
+/// the race is schedule-dependent, so `ordinal`/`reason` are diagnostic).
+class ServiceLostCollector {
+ public:
+  void Record(const ServiceLostEvent& event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.emplace(event.interface_name, event);  // keep the first
+  }
+
+  /// Events sorted by interface name.
+  std::vector<ServiceLostEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ServiceLostEvent> out;
+    out.reserve(events_.size());
+    for (const auto& [_, event] : events_) out.push_back(event);
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ServiceLostEvent> events_;
+};
+
 /// Aggregate reliability telemetry for one execution. Counters are
 /// attempt-level and include speculative work, so under concurrency their
 /// totals may vary run-to-run; `overhead_ms` is accounted at consumption
@@ -104,6 +164,13 @@ struct ReliabilityStats {
   /// clock so a recovered run matches the fault-free run bit-for-bit.
   double overhead_ms = 0.0;
 
+  /// Per-interface breaker state at the end of the execution (only
+  /// interfaces that were actually called appear). Diagnostic.
+  std::vector<CircuitBreakerState> breakers;
+
+  /// Services declared permanently lost, one entry per interface.
+  std::vector<ServiceLostEvent> services_lost;
+
   bool any() const {
     return attempts != 0 || retries != 0 || transient_failures != 0 ||
            deadline_hits != 0 || hedges_launched != 0 ||
@@ -118,6 +185,15 @@ struct DegradedStatus {
   std::string service;       ///< Interface name of the failing service.
   int failed_bindings = 0;   ///< Input bindings whose fetches failed.
   std::string reason;        ///< Last error message observed.
+  /// True when every failure at this node was inherited — piped inputs
+  /// missing because an upstream service degraded — rather than the node's
+  /// own service misbehaving. Cascaded nodes are not repair candidates:
+  /// fixing the upstream fixes them.
+  bool cascaded = false;
+  /// True when the node was abandoned because the query deadline elapsed.
+  /// Deadline degradations are not service losses, so they never trigger
+  /// failover either.
+  bool query_deadline = false;
 };
 
 /// True for error codes that mean "the service misbehaved" — the codes the

@@ -220,6 +220,14 @@ Result<ServiceResponse> ResilientHandler::Call(const ServiceRequest& request) {
   if (ledger != nullptr) {
     ledger->permanent_failures.fetch_add(1, std::memory_order_relaxed);
   }
+  if (context_.lost != nullptr && IsFaultStatus(last_error)) {
+    ServiceLostEvent event;
+    event.interface_name = name_;
+    event.ordinal = ordinal;
+    event.reason = last_error.message();
+    event.breaker_open = breaker_ != nullptr && breaker_->open();
+    context_.lost->Record(event);
+  }
   return last_error;
 }
 

@@ -31,6 +31,10 @@ struct ReliabilityContext {
   /// short the loser's realtime pacing sleep. Affects wall-clock pacing
   /// only, never responses.
   std::shared_ptr<InterruptFlag> interrupt;
+  /// When set, a logical call that exhausts its retries (or dies against an
+  /// open breaker) records a `ServiceLostEvent` here before the fault status
+  /// is returned — the structured signal the repair layer listens for.
+  ServiceLostCollector* lost = nullptr;
 };
 
 /// The reliability decorator: wraps one service's `ServiceCallHandler` with

@@ -1,0 +1,150 @@
+#include "repair/plan_repairer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "query/feasibility.h"
+
+namespace seco {
+
+namespace {
+
+void Substitute(BoundQuery* query, int atom_index,
+                const std::shared_ptr<ServiceInterface>& iface) {
+  BoundAtom& atom = query->atoms[atom_index];
+  atom.iface = iface;
+  atom.service_name = iface->name();
+  atom.schema = iface->schema_ptr();
+  atom.candidates.clear();
+}
+
+bool AllResolved(const BoundQuery& query) {
+  for (const BoundAtom& atom : query.atoms) {
+    if (atom.iface == nullptr) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double PlanRepairer::SalvageCredit(
+    const QueryPlan& plan,
+    const std::map<std::string, int64_t>& warm_calls) const {
+  double credit = 0.0;
+  for (const PlanNode& node : plan.nodes()) {
+    if (node.kind != PlanNodeKind::kServiceCall || node.iface == nullptr) {
+      continue;
+    }
+    auto it = warm_calls.find(node.iface->name());
+    if (it == warm_calls.end()) continue;
+    double covered = std::min(node.est_calls, static_cast<double>(it->second));
+    if (covered <= 0.0) continue;
+    double unit;
+    switch (options_.metric) {
+      case CostMetricKind::kSumCost:
+      case CostMetricKind::kRequestResponse:
+        unit = node.iface->stats().cost_per_call;
+        break;
+      case CostMetricKind::kCallCount:
+        unit = 1.0;
+        break;
+      default:  // time-based metrics
+        unit = node.iface->stats().latency_ms;
+        break;
+    }
+    credit += covered * unit;
+  }
+  return credit;
+}
+
+Result<RepairedPlan> PlanRepairer::Repair(
+    const QueryPlan& failed, const std::vector<std::string>& lost,
+    const std::set<std::string>& dead,
+    const std::map<std::string, int64_t>& warm_calls) const {
+  BoundQuery query = failed.query();
+
+  // Pin every atom to the interface the failed plan actually executed, so
+  // re-optimization starts from the Phase-1 choices that were in effect
+  // (mart-level atoms would otherwise be re-opened arbitrarily).
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    int node_id = failed.NodeOfAtom(static_cast<int>(i));
+    if (node_id < 0) continue;
+    const PlanNode& node = failed.node(node_id);
+    if (node.iface != nullptr) {
+      Substitute(&query, static_cast<int>(i), node.iface);
+    }
+  }
+
+  // A dead interface must never re-enter through a candidate list.
+  for (BoundAtom& atom : query.atoms) {
+    atom.candidates.erase(
+        std::remove_if(atom.candidates.begin(), atom.candidates.end(),
+                       [&dead](const std::shared_ptr<ServiceInterface>& c) {
+                         return dead.count(c->name()) > 0;
+                       }),
+        atom.candidates.end());
+  }
+
+  const std::set<std::string> lost_set(lost.begin(), lost.end());
+  RepairedPlan repaired;
+
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    const BoundAtom& atom = query.atoms[i];
+    if (atom.iface == nullptr || lost_set.count(atom.iface->name()) == 0) {
+      continue;
+    }
+    const std::string lost_name = atom.iface->name();
+
+    bool found = false;
+    ReplicaChoice best;
+    std::shared_ptr<ServiceInterface> best_iface;
+    for (const std::shared_ptr<ServiceInterface>& alt :
+         registry_.AlternativesFor(lost_name)) {
+      if (dead.count(alt->name()) > 0) continue;
+      BoundQuery trial = query;
+      Substitute(&trial, static_cast<int>(i), alt);
+      if (AllResolved(trial)) {
+        Result<FeasibilityReport> feas = CheckFeasibility(trial);
+        if (!feas.ok() || !feas.value().feasible) continue;
+      }
+      Result<OptimizationResult> opt = Optimizer(options_).Optimize(trial);
+      if (!opt.ok()) continue;
+      double credit = SalvageCredit(opt.value().plan, warm_calls);
+      double score = opt.value().cost - credit;
+      // Strict '<' keeps the earlier (registration-order) replica on ties.
+      if (!found || score < best.cost - best.salvage_credit) {
+        found = true;
+        best.lost = lost_name;
+        best.replacement = alt->name();
+        best.cost = opt.value().cost;
+        best.salvage_credit = credit;
+        best_iface = alt;
+      }
+    }
+
+    if (found) {
+      Substitute(&query, static_cast<int>(i), best_iface);
+      repaired.choices.push_back(std::move(best));
+    } else {
+      repaired.unrepaired.push_back(lost_name);
+    }
+  }
+
+  if (repaired.choices.empty()) {
+    std::string names;
+    for (const std::string& name : lost) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    return Status::NotFound("no feasible replica for lost service(s): " +
+                            names);
+  }
+
+  SECO_ASSIGN_OR_RETURN(OptimizationResult final_plan,
+                        Optimizer(options_).Optimize(query));
+  repaired.plan = std::move(final_plan.plan);
+  repaired.cost = final_plan.cost;
+  return repaired;
+}
+
+}  // namespace seco

@@ -1,0 +1,82 @@
+#ifndef SECO_REPAIR_PLAN_REPAIRER_H_
+#define SECO_REPAIR_PLAN_REPAIRER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+#include "repair/repair.h"
+#include "service/registry.h"
+
+namespace seco {
+
+/// One accepted substitution: `lost` replanned onto `replacement`.
+struct ReplicaChoice {
+  std::string lost;
+  std::string replacement;
+  /// Optimizer cost of the full repaired plan under this substitution.
+  double cost = 0.0;
+  /// Estimated cost already paid for by cached chunks (see
+  /// `PlanRepairer::Repair`); used only to rank candidate replicas.
+  double salvage_credit = 0.0;
+};
+
+/// Outcome of a repair: the re-optimized plan plus what was (not) replaced.
+struct RepairedPlan {
+  QueryPlan plan;
+  double cost = 0.0;
+  std::vector<ReplicaChoice> choices;
+  /// Lost interfaces for which no feasible replica exists; the caller
+  /// decides whether they degrade or fail the query.
+  std::vector<std::string> unrepaired;
+};
+
+/// Replans a partially executed query around permanently lost services.
+///
+/// For every lost interface the repairer consults the registry for replicas
+/// (`AlternativesFor`: same mart, same logical signature), checks that the
+/// substituted query stays feasible (`CheckFeasibility` — a replica with a
+/// different access pattern may need different piping), and re-runs the full
+/// branch-and-bound optimizer so topology and join strategies (pipe vs
+/// parallel) are re-derived, not patched. Among several feasible replicas it
+/// prefers the lowest `cost - salvage_credit`, where the credit prices the
+/// chunks the abandoned run already materialized into the shared
+/// `ServiceCallCache` at zero (surviving services' prefixes replay as cache
+/// hits, so their estimated calls are free up to the warm-call count).
+///
+/// The repairer is deliberately execution-free: it never touches caches or
+/// backends, so it cannot perturb the determinism of the runs around it.
+class PlanRepairer {
+ public:
+  PlanRepairer(const ServiceRegistry& registry, OptimizerOptions options)
+      : registry_(registry), options_(options) {}
+
+  /// Repairs `failed` (whose execution degraded) by substituting replicas
+  /// for `lost` interfaces. `dead` is every interface declared lost so far
+  /// (across rounds) — never chosen as a replacement. `warm_calls` maps
+  /// interface name -> calls already materialized in the shared cache.
+  ///
+  /// Fails with kNotFound when not a single lost interface could be
+  /// replaced; otherwise returns the re-optimized plan with per-interface
+  /// outcomes.
+  Result<RepairedPlan> Repair(
+      const QueryPlan& failed, const std::vector<std::string>& lost,
+      const std::set<std::string>& dead,
+      const std::map<std::string, int64_t>& warm_calls) const;
+
+ private:
+  /// Estimated cost of `plan` already covered by cached chunks.
+  double SalvageCredit(const QueryPlan& plan,
+                       const std::map<std::string, int64_t>& warm_calls) const;
+
+  const ServiceRegistry& registry_;
+  OptimizerOptions options_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_REPAIR_PLAN_REPAIRER_H_

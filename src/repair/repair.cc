@@ -1,0 +1,31 @@
+#include "repair/repair.h"
+
+namespace seco {
+
+const char* RepairPolicyToString(RepairPolicy policy) {
+  switch (policy) {
+    case RepairPolicy::kOff:
+      return "off";
+    case RepairPolicy::kDegrade:
+      return "degrade";
+    case RepairPolicy::kFailover:
+      return "failover";
+    case RepairPolicy::kFailoverThenDegrade:
+      return "failover_then_degrade";
+  }
+  return "?";
+}
+
+Result<RepairPolicy> ParseRepairPolicy(const std::string& text) {
+  if (text == "off") return RepairPolicy::kOff;
+  if (text == "degrade") return RepairPolicy::kDegrade;
+  if (text == "failover") return RepairPolicy::kFailover;
+  if (text == "failover_then_degrade") {
+    return RepairPolicy::kFailoverThenDegrade;
+  }
+  return Status::InvalidArgument(
+      "unknown repair policy '" + text +
+      "' (expected off|degrade|failover|failover_then_degrade)");
+}
+
+}  // namespace seco

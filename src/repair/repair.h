@@ -1,0 +1,82 @@
+#ifndef SECO_REPAIR_REPAIR_H_
+#define SECO_REPAIR_REPAIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "optimizer/optimizer.h"
+#include "service/registry.h"
+
+namespace seco {
+
+/// What an executor does when a service is declared permanently lost
+/// mid-query (see docs/RELIABILITY.md, "Failover & plan repair").
+enum class RepairPolicy {
+  /// PR-3 behaviour: the reliability policy alone decides (degrade or abort).
+  kOff,
+  /// Force degradation on: permanent losses yield partial answers, never a
+  /// replan. Equivalent to `ReliabilityPolicy::degrade = true`.
+  kDegrade,
+  /// Replan lost services onto registry replicas; fail the query if any lost
+  /// service has no feasible replica or the repaired run is still incomplete.
+  kFailover,
+  /// Replan what can be replanned, degrade the rest to partial answers.
+  kFailoverThenDegrade,
+};
+
+const char* RepairPolicyToString(RepairPolicy policy);
+Result<RepairPolicy> ParseRepairPolicy(const std::string& text);
+
+/// One line of the repair log: a lost interface and what became of it.
+struct RepairEvent {
+  std::string lost;         ///< Interface declared permanently lost.
+  std::string replacement;  ///< Replica it was replanned onto; empty if none.
+  std::string reason;       ///< "failover", or why no replacement was found.
+};
+
+/// Repair telemetry for one execution, reported next to `ReliabilityStats`.
+struct RepairStats {
+  int events = 0;    ///< Lost services that triggered repair consideration.
+  int replans = 0;   ///< Successful re-optimizations grafted into the run.
+  /// Wall-clock milliseconds spent inside the repair planner. Never added to
+  /// `latency_ms` or the simulated clock — replanning is optimizer work, not
+  /// service time.
+  double replan_ms = 0.0;
+  /// Cache hits of the final (post-repair) round: prefix chunks materialized
+  /// by abandoned rounds and replayed for free. 0 when no repair happened.
+  int64_t salvaged_calls = 0;
+  /// Simulated ms of abandoned partial rounds (diagnostic; the surviving
+  /// round's clock is what the result reports).
+  double abandoned_ms = 0.0;
+  std::vector<RepairEvent> log;
+
+  bool any() const { return events != 0 || replans != 0 || !log.empty(); }
+};
+
+/// Executor-facing configuration of the repair layer.
+struct RepairOptions {
+  RepairPolicy policy = RepairPolicy::kOff;
+  /// Required for the failover policies: where replicas are looked up
+  /// (`ServiceRegistry::AlternativesFor`). Must outlive the execution.
+  const ServiceRegistry* registry = nullptr;
+  /// Options for re-optimization. Use the same options as the original
+  /// optimization so an accepted repair equals planning against the replica
+  /// from the start.
+  OptimizerOptions optimizer;
+  /// Upper bound on replanning rounds (distinct services can die in
+  /// successive rounds); the loop also terminates naturally because a lost
+  /// interface is never retried.
+  int max_rounds = 3;
+
+  bool active() const { return policy != RepairPolicy::kOff; }
+  bool failover() const {
+    return policy == RepairPolicy::kFailover ||
+           policy == RepairPolicy::kFailoverThenDegrade;
+  }
+};
+
+}  // namespace seco
+
+#endif  // SECO_REPAIR_REPAIR_H_

@@ -1,0 +1,127 @@
+#ifndef SECO_REPAIR_REPAIR_DRIVER_H_
+#define SECO_REPAIR_REPAIR_DRIVER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "repair/plan_repairer.h"
+#include "repair/repair.h"
+
+namespace seco {
+
+/// The run-repair-rerun loop shared by both engines. `R` is the engine's
+/// result type and must expose `degraded` (vector of `DegradedStatus`),
+/// `complete`, `cache_hits`, and a `RepairStats repair` member.
+///
+/// - `run(plan)` executes one round with degradation forced on and the
+///   shared `ServiceCallCache` attached, so an abandoned round's chunks are
+///   salvaged by the next round as cache hits.
+/// - `warm(result, plan)` reports per-interface calls materialized in the
+///   cache by that round (charged calls + hits it replayed itself).
+/// - `clock(result)` is the round's simulated clock, logged as
+///   `abandoned_ms` for rounds that get replanned away.
+///
+/// Determinism: a round's degraded set derives from the seeded fault model
+/// via deterministic request ordinals, so the lost-service set — and hence
+/// every replanning decision — is identical at any `{num_threads,
+/// prefetch_depth}`. Replanning time is wall-clock and goes to
+/// `RepairStats.replan_ms` only.
+template <typename R, typename RunFn, typename WarmFn, typename ClockFn>
+Result<R> RunWithRepair(const QueryPlan& plan, const RepairOptions& options,
+                        const RunFn& run, const WarmFn& warm,
+                        const ClockFn& clock) {
+  if (options.registry == nullptr) {
+    return Status::InvalidArgument(
+        "repair policy '" + std::string(RepairPolicyToString(options.policy)) +
+        "' requires RepairOptions::registry");
+  }
+  PlanRepairer repairer(*options.registry, options.optimizer);
+  RepairStats stats;
+  std::set<std::string> dead;
+  QueryPlan current = plan;
+
+  for (int round = 0;; ++round) {
+    SECO_ASSIGN_OR_RETURN(R result, run(current));
+
+    // Services lost *by this round's own faults*: direct (non-cascaded,
+    // non-deadline) degradations not already written off. Deterministic —
+    // unlike the ServiceLostCollector, which also sees speculative fetches.
+    std::vector<std::string> lost;
+    for (const DegradedStatus& d : result.degraded) {
+      if (d.cascaded || d.query_deadline) continue;
+      if (d.service.empty() || dead.count(d.service) > 0) continue;
+      lost.push_back(d.service);
+    }
+    std::sort(lost.begin(), lost.end());
+    lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+
+    const bool out_of_rounds = round >= options.max_rounds;
+    if (lost.empty() || out_of_rounds) {
+      stats.salvaged_calls = round > 0 ? result.cache_hits : 0;
+      if (options.policy == RepairPolicy::kFailover && !result.complete) {
+        std::string detail = out_of_rounds && !lost.empty()
+                                 ? "repair rounds exhausted"
+                                 : "plan still degraded after repair";
+        return Status::Unavailable("failover repair failed: " + detail);
+      }
+      result.repair = std::move(stats);
+      return result;
+    }
+
+    stats.events += static_cast<int>(lost.size());
+    stats.abandoned_ms += clock(result);
+    std::map<std::string, int64_t> warm_calls = warm(result, current);
+    for (const std::string& name : lost) dead.insert(name);
+
+    auto t0 = std::chrono::steady_clock::now();
+    Result<RepairedPlan> repaired =
+        repairer.Repair(current, lost, dead, warm_calls);
+    stats.replan_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (!repaired.ok()) {
+      if (options.policy == RepairPolicy::kFailover) {
+        return repaired.status();
+      }
+      // failover_then_degrade: the round we already ran *is* the degraded
+      // answer; keep it and log why no repair happened.
+      for (const std::string& name : lost) {
+        stats.log.push_back({name, "", repaired.status().message()});
+      }
+      stats.salvaged_calls = round > 0 ? result.cache_hits : 0;
+      result.repair = std::move(stats);
+      return result;
+    }
+
+    RepairedPlan rp = std::move(repaired).value();
+    ++stats.replans;
+    for (const ReplicaChoice& choice : rp.choices) {
+      stats.log.push_back({choice.lost, choice.replacement, "failover"});
+    }
+    for (const std::string& name : rp.unrepaired) {
+      stats.log.push_back({name, "", "no feasible replica"});
+    }
+    if (options.policy == RepairPolicy::kFailover && !rp.unrepaired.empty()) {
+      std::string names;
+      for (const std::string& name : rp.unrepaired) {
+        if (!names.empty()) names += ", ";
+        names += name;
+      }
+      return Status::Unavailable("no feasible replica for: " + names);
+    }
+    current = std::move(rp.plan);
+  }
+}
+
+}  // namespace seco
+
+#endif  // SECO_REPAIR_REPAIR_DRIVER_H_

@@ -81,6 +81,48 @@ std::vector<std::shared_ptr<ServiceInterface>> ServiceRegistry::InterfacesOfMart
   return out;
 }
 
+namespace {
+
+/// Same logical signature: identical attribute names, types, and
+/// repeating-group structure, in declaration order.
+bool SameSignature(const ServiceSchema& a, const ServiceSchema& b) {
+  if (a.num_attributes() != b.num_attributes()) return false;
+  for (int i = 0; i < a.num_attributes(); ++i) {
+    const AttributeDef& x = a.attribute(i);
+    const AttributeDef& y = b.attribute(i);
+    if (x.name != y.name || x.is_repeating_group != y.is_repeating_group) {
+      return false;
+    }
+    if (!x.is_repeating_group && x.type != y.type) return false;
+    if (x.sub_attributes.size() != y.sub_attributes.size()) return false;
+    for (size_t s = 0; s < x.sub_attributes.size(); ++s) {
+      if (x.sub_attributes[s].name != y.sub_attributes[s].name ||
+          x.sub_attributes[s].type != y.sub_attributes[s].type) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::shared_ptr<ServiceInterface>> ServiceRegistry::AlternativesFor(
+    const std::string& interface_name) const {
+  std::vector<std::shared_ptr<ServiceInterface>> out;
+  auto self_it = interfaces_.find(interface_name);
+  if (self_it == interfaces_.end()) return out;
+  const std::string mart = MartOfInterface(interface_name);
+  if (mart.empty()) return out;
+  for (const std::shared_ptr<ServiceInterface>& sibling :
+       InterfacesOfMart(mart)) {
+    if (sibling->name() == interface_name) continue;
+    if (!SameSignature(self_it->second->schema(), sibling->schema())) continue;
+    out.push_back(sibling);
+  }
+  return out;
+}
+
 std::vector<std::string> ServiceRegistry::mart_names() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : marts_) out.push_back(name);

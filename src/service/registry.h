@@ -38,6 +38,16 @@ class ServiceRegistry {
   std::vector<std::shared_ptr<ServiceInterface>> InterfacesOfMart(
       const std::string& mart_name) const;
 
+  /// Replica candidates for `interface_name`: the *other* interfaces of the
+  /// same mart whose schema carries the same logical signature (attribute
+  /// names, types, and repeating-group structure, in order). Replicas may
+  /// differ in access pattern, chunk size, costs, and fault profile — the
+  /// plan repairer re-optimizes around those differences. Registration
+  /// order; empty when the interface is unknown, has no mart, or has no
+  /// compatible sibling.
+  std::vector<std::shared_ptr<ServiceInterface>> AlternativesFor(
+      const std::string& interface_name) const;
+
   std::vector<std::string> mart_names() const;
   std::vector<std::string> interface_names() const;
 

@@ -18,6 +18,25 @@ Value Str(const std::string& s) { return Value(s); }
 
 }  // namespace
 
+Result<BuiltService> AddReplica(Scenario* scenario,
+                                const std::string& interface_name,
+                                const std::string& replica_name) {
+  ServiceRegistry& reg = *scenario->registry;
+  SECO_ASSIGN_OR_RETURN(std::shared_ptr<ServiceInterface> iface,
+                        reg.FindInterface(interface_name));
+  auto backend_it = scenario->backends.find(interface_name);
+  if (backend_it == scenario->backends.end()) {
+    return Status::NotFound("no backend for interface '" + interface_name + "'");
+  }
+  BuiltService source{iface, backend_it->second};
+  SECO_ASSIGN_OR_RETURN(
+      BuiltService replica,
+      SimServiceBuilder(replica_name).Replica(source).BuildInto(
+          reg, reg.MartOfInterface(interface_name)));
+  scenario->backends[replica_name] = replica.backend;
+  return replica;
+}
+
 Result<Scenario> MakeMovieScenario(const MovieScenarioParams& params) {
   SplitMix64 rng(params.seed);
   Scenario scenario;

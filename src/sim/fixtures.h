@@ -44,6 +44,17 @@ struct Scenario {
   std::string query_text;
 };
 
+/// Registers a replica of `interface_name` (an existing interface of
+/// `scenario`) named `replica_name` under the same mart: same schema, access
+/// pattern, kind, stats, seed, and data, served by a fresh backend. The new
+/// backend is added to `scenario->backends`. Use the returned builder output
+/// (or mutate the backend) to give the replica a different fault profile
+/// before running; `ServiceRegistry::AlternativesFor(interface_name)` will
+/// list it as a failover candidate.
+Result<BuiltService> AddReplica(Scenario* scenario,
+                                const std::string& interface_name,
+                                const std::string& replica_name);
+
 /// Builds the chapter's running example: marts Movie/Theatre/Restaurant,
 /// interfaces Movie11/Theatre11/Restaurant11 with the §5.6 adornments,
 /// connection patterns Shows (2%) and DinnerPlace (40%), and synthetic data

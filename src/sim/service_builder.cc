@@ -2,12 +2,28 @@
 
 namespace seco {
 
+SimServiceBuilder& SimServiceBuilder::Replica(const BuiltService& source) {
+  schema_ = source.interface->schema_ptr();
+  pattern_override_ = source.interface->pattern();
+  adornments_.clear();
+  kind_ = source.interface->kind();
+  stats_ = source.interface->stats();
+  seed_ = source.backend->seed();
+  rows_ = source.backend->rows();
+  quality_ = source.backend->quality();
+  return *this;
+}
+
 Result<BuiltService> SimServiceBuilder::Build() {
   if (!schema_) {
     return Status::InvalidArgument("service '" + name_ + "' has no schema");
   }
-  SECO_ASSIGN_OR_RETURN(AccessPattern pattern,
-                        AccessPattern::Create(*schema_, adornments_));
+  AccessPattern pattern;
+  if (adornments_.empty() && pattern_override_.has_value()) {
+    pattern = *pattern_override_;
+  } else {
+    SECO_ASSIGN_OR_RETURN(pattern, AccessPattern::Create(*schema_, adornments_));
+  }
   if (kind_ == ServiceKind::kSearch) {
     stats_.chunked = true;
     if (stats_.decay == ScoreDecay::kNone) stats_.decay = ScoreDecay::kLinear;

@@ -2,6 +2,7 @@
 #define SECO_SIM_SERVICE_BUILDER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,7 @@ class SimServiceBuilder {
   SimServiceBuilder& Pattern(
       std::vector<std::pair<std::string, Adornment>> adornments) {
     adornments_ = std::move(adornments);
+    pattern_override_.reset();
     return *this;
   }
   SimServiceBuilder& Kind(ServiceKind kind) {
@@ -60,6 +62,14 @@ class SimServiceBuilder {
     return *this;
   }
 
+  /// Clones `source` into this builder: schema (shared), access pattern,
+  /// kind, stats, seed, rows, and quality — a replica serving the same data
+  /// under this builder's name. Call further setters afterwards to vary the
+  /// copy (different `Pattern`, chunk size via `Stats`, `Faults`, `Seed`).
+  /// The registry treats same-mart interfaces with the same schema signature
+  /// as failover alternatives (`ServiceRegistry::AlternativesFor`).
+  SimServiceBuilder& Replica(const BuiltService& source);
+
   /// Builds the interface + backend pair.
   Result<BuiltService> Build();
 
@@ -69,8 +79,9 @@ class SimServiceBuilder {
 
  private:
   std::string name_;
-  std::shared_ptr<ServiceSchema> schema_;
+  std::shared_ptr<const ServiceSchema> schema_;
   std::vector<std::pair<std::string, Adornment>> adornments_;
+  std::optional<AccessPattern> pattern_override_;  // set by Replica()
   ServiceKind kind_ = ServiceKind::kExact;
   ServiceStats stats_;
   uint64_t seed_ = 42;

@@ -18,13 +18,15 @@ SimulatedService::SimulatedService(std::shared_ptr<const ServiceSchema> schema,
       kind_(kind),
       stats_(stats),
       rows_(std::move(rows)),
+      quality_(std::move(quality)),
       latency_(stats.latency_ms, /*jitter_fraction=*/0.2, seed),
       seed_(seed) {
   rank_order_.resize(rows_.size());
   std::iota(rank_order_.begin(), rank_order_.end(), 0);
-  if (!quality.empty()) {
-    std::stable_sort(rank_order_.begin(), rank_order_.end(),
-                     [&quality](int a, int b) { return quality[a] > quality[b]; });
+  if (!quality_.empty()) {
+    std::stable_sort(rank_order_.begin(), rank_order_.end(), [this](int a, int b) {
+      return quality_[a] > quality_[b];
+    });
   }
 }
 

@@ -66,6 +66,14 @@ class SimulatedService : public ServiceCallHandler {
   /// Backdoor for the semantics oracle and tests: all rows, unranked.
   const std::vector<Tuple>& rows() const { return rows_; }
 
+  /// Row quality weights as given at construction (may be empty); replicas
+  /// built via `SimServiceBuilder::Replica` copy these so the clone ranks
+  /// rows identically.
+  const std::vector<double>& quality() const { return quality_; }
+
+  /// Determinism seed for latency jitter and default fault keying.
+  uint64_t seed() const { return seed_; }
+
   /// Matching rows in rank order with assigned scores (no chunking); the
   /// oracle uses this to compute reference top-k answers.
   Result<ServiceResponse> FullScan(const std::vector<Value>& inputs) const;
@@ -117,6 +125,7 @@ class SimulatedService : public ServiceCallHandler {
   ServiceKind kind_;
   ServiceStats stats_;
   std::vector<Tuple> rows_;
+  std::vector<double> quality_;
   std::vector<int> rank_order_;  // row indices sorted by quality desc
   LatencyModel latency_;
   uint64_t seed_;

@@ -432,5 +432,131 @@ TEST(FaultRecoveryTest, HedgingDoesNotChangeAnswers) {
   EXPECT_GT(hedged.reliability.hedges_launched, 0);
 }
 
+// --- Fault-model edge cases ------------------------------------------------
+
+TEST(FaultRecoveryTest, OutageOnTheVeryFirstRequestDegradesCleanly) {
+  // The root service dies before producing a single tuple: nothing can be
+  // assembled, but under a degrade policy the run must still end OK, flag the
+  // root as a *direct* (non-cascaded) loss, and cascade its starved
+  // downstream services rather than erroring or hanging.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  FaultProfile outage;
+  outage.permanent_outage = true;
+  scenario.backends.at("Conference1")->set_fault_profile(outage);
+
+  ReliabilityPolicy policy = RetryPolicyOf(1);
+  policy.degrade = true;
+  for (int num_threads : {1, 8}) {
+    for (int prefetch_depth : {0, 4}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(num_threads) +
+                   " prefetch_depth=" + std::to_string(prefetch_depth));
+      StreamingOptions options =
+          BaseStreamOptions(scenario.inputs, num_threads, prefetch_depth);
+      options.reliability = policy;
+      StreamingEngine engine(options);
+      SECO_ASSERT_OK_AND_ASSIGN(StreamingResult result, engine.Execute(plan));
+      EXPECT_FALSE(result.complete);
+      // Nothing was ever fetched, so at most empty-shell combinations (every
+      // atom flagged missing) can come out — and nothing was charged.
+      for (const Combination& combo : result.combinations) {
+        EXPECT_EQ(combo.missing_atoms.size(), combo.components.size());
+      }
+      EXPECT_EQ(result.total_calls, 0);
+      bool saw_direct_root_loss = false;
+      for (const DegradedStatus& d : result.degraded) {
+        if (d.service == "Conference1") {
+          saw_direct_root_loss = !d.cascaded;
+        } else {
+          EXPECT_TRUE(d.cascaded) << d.service << " starved by the root";
+        }
+      }
+      EXPECT_TRUE(saw_direct_root_loss);
+    }
+  }
+}
+
+TEST(FaultRecoveryTest, ZeroCallDeadlineMeansNoDeadline) {
+  // call_deadline_ms == 0 is the documented "off" value; even with every
+  // request's latency spiked 8x it must never convert a slow response into a
+  // fault — the spiked latencies are simply consumed.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  StreamingEngine baseline_engine(BaseStreamOptions(scenario.inputs, 1, 0));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult baseline,
+                            baseline_engine.Execute(plan));
+
+  for (auto& [name, backend] : scenario.backends) {
+    FaultProfile profile;
+    profile.spike_rate = 1.0;
+    profile.spike_attempts = 1;
+    profile.spike_factor = 8.0;
+    backend->set_fault_profile(profile);
+  }
+  StreamingOptions options = BaseStreamOptions(scenario.inputs, 1, 0);
+  options.reliability = RetryPolicyOf(2);
+  options.reliability.call_deadline_ms = 0.0;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult slow, engine.Execute(plan));
+  EXPECT_TRUE(slow.complete);
+  EXPECT_EQ(slow.reliability.deadline_hits, 0);
+  EXPECT_EQ(slow.reliability.retries, 0);
+  EXPECT_EQ(slow.total_calls, baseline.total_calls);
+  // Same answers, slower simulated clock: the spikes really happened.
+  ASSERT_EQ(slow.combinations.size(), baseline.combinations.size());
+  for (size_t i = 0; i < baseline.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(slow.combinations[i].combined_score,
+                     baseline.combinations[i].combined_score);
+  }
+  EXPECT_GT(slow.total_latency_ms, baseline.total_latency_ms);
+}
+
+TEST(FaultRecoveryTest, SpikeAndTransientCollidingOnOneRequestRecover) {
+  // Every request draws *both* fault populations: attempt 0 fails
+  // transiently (and would also have spiked), the retry is clean because
+  // both strikes cover only the first attempt. Answers, charged calls, and
+  // the simulated clock recover bit-identically; no deadline machinery is
+  // involved.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan,
+      OptimizeScenario(scenario.registry, scenario.query_text));
+
+  StreamingEngine baseline_engine(BaseStreamOptions(scenario.inputs, 1, 0));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult baseline,
+                            baseline_engine.Execute(plan));
+
+  for (auto& [name, backend] : scenario.backends) {
+    FaultProfile profile;
+    profile.transient_rate = 1.0;
+    profile.transient_attempts = 1;
+    profile.spike_rate = 1.0;
+    profile.spike_attempts = 1;
+    profile.spike_factor = 8.0;
+    backend->set_fault_profile(profile);
+  }
+  for (int num_threads : {1, 8}) {
+    for (int prefetch_depth : {0, 4}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(num_threads) +
+                   " prefetch_depth=" + std::to_string(prefetch_depth));
+      StreamingOptions options =
+          BaseStreamOptions(scenario.inputs, num_threads, prefetch_depth);
+      options.reliability = RetryPolicyOf(2);
+      StreamingEngine engine(options);
+      SECO_ASSERT_OK_AND_ASSIGN(StreamingResult recovered,
+                                engine.Execute(plan));
+      ExpectIdenticalAnswers(baseline, recovered);
+      EXPECT_GT(recovered.reliability.retries, 0);
+      EXPECT_EQ(recovered.reliability.deadline_hits, 0);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace seco

@@ -1,0 +1,458 @@
+// Acceptance tests of mid-query plan repair (docs/RELIABILITY.md, "Failover
+// & plan repair"): a permanent outage of a service with a registered replica
+// triggers re-optimization onto the replica and returns *complete* answers
+// identical to planning against the replica from the start; the prefix
+// materialized before the outage is salvaged through the shared call cache;
+// the whole loop is bit-deterministic at any {num_threads, prefetch_depth};
+// without a replica the policy matrix decides between erroring and degrading.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "core/seco.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+/// Seed salt for injected fault profiles; `scripts/chaos.sh` sweeps it so the
+/// same binaries exercise different stricken-request populations.
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("SECO_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 0) : 0;
+}
+
+std::string WithService(std::string text, const std::string& from,
+                        const std::string& to) {
+  size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from << " not in: " << text;
+  text.replace(pos, from.size(), to);
+  return text;
+}
+
+Result<QueryPlan> OptimizeScenario(std::shared_ptr<ServiceRegistry> registry,
+                                   const std::string& query_text) {
+  OptimizerOptions optimizer_options;
+  optimizer_options.k = 10;
+  QuerySession session(std::move(registry), optimizer_options);
+  SECO_ASSIGN_OR_RETURN(BoundQuery bound, session.Prepare(query_text));
+  SECO_ASSIGN_OR_RETURN(OptimizationResult optimized, session.Optimize(bound));
+  return std::move(optimized.plan);
+}
+
+void KillBackend(Scenario* scenario, const std::string& name) {
+  FaultProfile outage;
+  outage.permanent_outage = true;
+  scenario->backends.at(name)->set_fault_profile(outage);
+}
+
+StreamingOptions StreamOptions(const Scenario& scenario, int num_threads = 1,
+                               int prefetch_depth = 0) {
+  StreamingOptions options;
+  options.k = 10;
+  options.input_bindings = scenario.inputs;
+  options.num_threads = num_threads;
+  options.prefetch_depth = prefetch_depth;
+  return options;
+}
+
+RepairOptions FailoverOptions(const Scenario& scenario,
+                              RepairPolicy policy = RepairPolicy::kFailover) {
+  RepairOptions repair;
+  repair.policy = policy;
+  repair.registry = scenario.registry.get();
+  repair.optimizer.k = 10;
+  return repair;
+}
+
+void ExpectSameCombinations(const std::vector<Combination>& expected,
+                            const std::vector<Combination>& actual) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("combination " + std::to_string(i));
+    EXPECT_DOUBLE_EQ(actual[i].combined_score, expected[i].combined_score);
+    EXPECT_TRUE(actual[i].missing_atoms.empty());
+    ASSERT_EQ(actual[i].components.size(), expected[i].components.size());
+    for (size_t c = 0; c < expected[i].components.size(); ++c) {
+      EXPECT_TRUE(actual[i].components[c] == expected[i].components[c]);
+    }
+  }
+}
+
+// --- Replica registry ------------------------------------------------------
+
+TEST(PlanRepairTest, RegistryListsReplicaAlternatives) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService replica,
+                            AddReplica(&scenario, "Hotel1", "Hotel2"));
+  EXPECT_EQ(replica.interface->name(), "Hotel2");
+
+  auto alts = scenario.registry->AlternativesFor("Hotel1");
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0]->name(), "Hotel2");
+  // Symmetric, never includes self.
+  auto back = scenario.registry->AlternativesFor("Hotel2");
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0]->name(), "Hotel1");
+  // No compatible sibling / unknown interface -> empty.
+  EXPECT_TRUE(scenario.registry->AlternativesFor("Conference1").empty());
+  EXPECT_TRUE(scenario.registry->AlternativesFor("NoSuchService").empty());
+}
+
+TEST(PlanRepairTest, MovieMartInterfacesAreNaturalReplicas) {
+  // Movie11 (search by genre+country) and Movie12 (lookup by title) share the
+  // Movie mart and schema but differ in access pattern — exactly the kind of
+  // sibling the repairer must re-optimize around, not patch in place.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  auto alts = scenario.registry->AlternativesFor("Movie11");
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0]->name(), "Movie12");
+}
+
+// --- Failover returns complete, reference-identical answers ----------------
+
+TEST(PlanRepairTest, StreamingFailoverMatchesPlanningAgainstReplica) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK(AddReplica(&scenario, "Hotel1", "Hotel2").status());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan replica_plan,
+      OptimizeScenario(scenario.registry,
+                       WithService(scenario.query_text, "Hotel1", "Hotel2")));
+
+  // Reference: the replica was the plan's hotel service from the start.
+  StreamingEngine reference_engine(StreamOptions(scenario));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult reference,
+                            reference_engine.Execute(replica_plan));
+  ASSERT_FALSE(reference.combinations.empty());
+  ASSERT_TRUE(reference.complete);
+
+  KillBackend(&scenario, "Hotel1");
+  StreamingOptions options = StreamOptions(scenario);
+  options.repair = FailoverOptions(scenario);
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult repaired, engine.Execute(plan));
+
+  EXPECT_TRUE(repaired.complete);
+  EXPECT_TRUE(repaired.degraded.empty());
+  ExpectSameCombinations(reference.combinations, repaired.combinations);
+
+  EXPECT_EQ(repaired.repair.events, 1);
+  EXPECT_EQ(repaired.repair.replans, 1);
+  ASSERT_EQ(repaired.repair.log.size(), 1u);
+  EXPECT_EQ(repaired.repair.log[0].lost, "Hotel1");
+  EXPECT_EQ(repaired.repair.log[0].replacement, "Hotel2");
+  EXPECT_EQ(repaired.repair.log[0].reason, "failover");
+  EXPECT_GE(repaired.repair.replan_ms, 0.0);
+  EXPECT_GT(repaired.repair.abandoned_ms, 0.0);
+  // Replanning is optimizer work and never inflates the simulated clock;
+  // the salvaged prefix replays as free cache hits (call_cache.h), so the
+  // repaired round can only be cheaper than the reference, never dearer.
+  EXPECT_GT(repaired.total_latency_ms, 0.0);
+  EXPECT_LE(repaired.total_latency_ms, reference.total_latency_ms);
+}
+
+TEST(PlanRepairTest, MaterializingEngineFailsOver) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK(AddReplica(&scenario, "Hotel1", "Hotel2").status());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan replica_plan,
+      OptimizeScenario(scenario.registry,
+                       WithService(scenario.query_text, "Hotel1", "Hotel2")));
+
+  ExecutionOptions reference_options;
+  reference_options.k = 10;
+  reference_options.input_bindings = scenario.inputs;
+  ExecutionEngine reference_engine(reference_options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult reference,
+                            reference_engine.Execute(replica_plan));
+  ASSERT_FALSE(reference.combinations.empty());
+
+  KillBackend(&scenario, "Hotel1");
+  ExecutionOptions options = reference_options;
+  options.repair = FailoverOptions(scenario);
+  ExecutionEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(ExecutionResult repaired, engine.Execute(plan));
+
+  EXPECT_TRUE(repaired.complete);
+  ExpectSameCombinations(reference.combinations, repaired.combinations);
+  EXPECT_EQ(repaired.repair.replans, 1);
+  ASSERT_EQ(repaired.repair.log.size(), 1u);
+  EXPECT_EQ(repaired.repair.log[0].replacement, "Hotel2");
+  // Salvaged cache hits are free on the simulated clock, so repair can only
+  // come in at or under the reference; replanning never inflates it.
+  EXPECT_GT(repaired.elapsed_ms, 0.0);
+  EXPECT_LE(repaired.elapsed_ms, reference.elapsed_ms);
+}
+
+TEST(PlanRepairTest, FailoverAcrossAccessPatternsReplansTopology) {
+  // Movie11 dies; the only replica, Movie12, is keyed by Title — the repaired
+  // plan cannot keep Movie as the root search service and must re-derive the
+  // topology (Theatre-rooted, Movie piped), which a full re-optimization does.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeMovieScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan replica_plan,
+      OptimizeScenario(scenario.registry,
+                       WithService(scenario.query_text, "Movie11", "Movie12")));
+
+  StreamingEngine reference_engine(StreamOptions(scenario));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult reference,
+                            reference_engine.Execute(replica_plan));
+  ASSERT_TRUE(reference.complete);
+
+  KillBackend(&scenario, "Movie11");
+  StreamingOptions options = StreamOptions(scenario);
+  options.repair = FailoverOptions(scenario);
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult repaired, engine.Execute(plan));
+
+  EXPECT_TRUE(repaired.complete);
+  ASSERT_EQ(repaired.repair.log.size(), 1u);
+  EXPECT_EQ(repaired.repair.log[0].lost, "Movie11");
+  EXPECT_EQ(repaired.repair.log[0].replacement, "Movie12");
+  ExpectSameCombinations(reference.combinations, repaired.combinations);
+}
+
+// --- Salvaged prefix -------------------------------------------------------
+
+TEST(PlanRepairTest, AbandonedPrefixIsSalvagedThroughTheSharedCache) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK(AddReplica(&scenario, "Hotel1", "Hotel2").status());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+
+  // A from-scratch run on an identical fresh scenario tells us how many real
+  // calls the root service costs when nothing is salvaged.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario fresh, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan fresh_plan, OptimizeScenario(fresh.registry, fresh.query_text));
+  StreamingEngine fresh_engine(StreamOptions(fresh));
+  SECO_ASSERT_OK(fresh_engine.Execute(fresh_plan).status());
+  const int64_t fresh_conference_calls =
+      fresh.backends.at("Conference1")->call_count();
+
+  KillBackend(&scenario, "Hotel1");
+  StreamingOptions options = StreamOptions(scenario);
+  options.repair = FailoverOptions(scenario);
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult repaired, engine.Execute(plan));
+
+  // The replanned round replays the abandoned round's chunks as cache hits:
+  // salvage is visible in the counters, and the root service paid no more
+  // real calls across *both* rounds than the from-scratch run paid in one.
+  EXPECT_GT(repaired.repair.salvaged_calls, 0);
+  EXPECT_EQ(repaired.repair.salvaged_calls, repaired.cache_hits);
+  EXPECT_EQ(scenario.backends.at("Conference1")->call_count(),
+            fresh_conference_calls);
+}
+
+// --- Determinism -----------------------------------------------------------
+
+TEST(PlanRepairTest, RepairIsDeterministicAcrossThreadsAndPrefetch) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK(AddReplica(&scenario, "Hotel1", "Hotel2").status());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  KillBackend(&scenario, "Hotel1");
+
+  // Wasted speculation of abandoned rounds can pre-warm each run's private
+  // repair cache differently across configurations, so call/hit counts are
+  // wall-clock-class here; the *answers* and the repair decisions must match.
+  StreamingResult baseline;
+  bool have_baseline = false;
+  for (int num_threads : {1, 4}) {
+    for (int prefetch_depth : {0, 4}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(num_threads) +
+                   " prefetch_depth=" + std::to_string(prefetch_depth));
+      StreamingOptions options =
+          StreamOptions(scenario, num_threads, prefetch_depth);
+      options.repair = FailoverOptions(scenario);
+      StreamingEngine engine(options);
+      SECO_ASSERT_OK_AND_ASSIGN(StreamingResult run, engine.Execute(plan));
+      EXPECT_TRUE(run.complete);
+      if (!have_baseline) {
+        baseline = run;
+        have_baseline = true;
+        ASSERT_FALSE(baseline.combinations.empty());
+        continue;
+      }
+      ExpectSameCombinations(baseline.combinations, run.combinations);
+      EXPECT_EQ(run.total_calls, baseline.total_calls);
+      EXPECT_DOUBLE_EQ(run.total_latency_ms, baseline.total_latency_ms);
+      EXPECT_EQ(run.repair.events, baseline.repair.events);
+      EXPECT_EQ(run.repair.replans, baseline.repair.replans);
+      ASSERT_EQ(run.repair.log.size(), baseline.repair.log.size());
+      for (size_t i = 0; i < baseline.repair.log.size(); ++i) {
+        EXPECT_EQ(run.repair.log[i].lost, baseline.repair.log[i].lost);
+        EXPECT_EQ(run.repair.log[i].replacement,
+                  baseline.repair.log[i].replacement);
+        EXPECT_EQ(run.repair.log[i].reason, baseline.repair.log[i].reason);
+      }
+    }
+  }
+}
+
+TEST(PlanRepairTest, FailoverRecoversUnderTransientNoise) {
+  // Chaos-style combination: transient faults everywhere (seed swept by
+  // scripts/chaos.sh via SECO_FAULT_SEED) plus a permanent outage with a
+  // replica. Retries absorb the noise, failover absorbs the outage; answers
+  // still match the clean reference against the replica.
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK(AddReplica(&scenario, "Hotel1", "Hotel2").status());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan replica_plan,
+      OptimizeScenario(scenario.registry,
+                       WithService(scenario.query_text, "Hotel1", "Hotel2")));
+
+  StreamingEngine reference_engine(StreamOptions(scenario));
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult reference,
+                            reference_engine.Execute(replica_plan));
+
+  for (auto& [name, backend] : scenario.backends) {
+    FaultProfile profile;
+    profile.transient_rate = 0.15;
+    profile.transient_attempts = 2;
+    profile.seed = ChaosSeed();
+    if (name == "Hotel1") profile.permanent_outage = true;
+    backend->set_fault_profile(profile);
+  }
+
+  for (int num_threads : {1, 4}) {
+    for (int prefetch_depth : {0, 4}) {
+      SCOPED_TRACE("num_threads=" + std::to_string(num_threads) +
+                   " prefetch_depth=" + std::to_string(prefetch_depth));
+      StreamingOptions options =
+          StreamOptions(scenario, num_threads, prefetch_depth);
+      options.reliability.retry.max_retries = 3;
+      options.repair = FailoverOptions(scenario);
+      StreamingEngine engine(options);
+      SECO_ASSERT_OK_AND_ASSIGN(StreamingResult repaired, engine.Execute(plan));
+      EXPECT_TRUE(repaired.complete);
+      EXPECT_EQ(repaired.repair.replans, 1);
+      ExpectSameCombinations(reference.combinations, repaired.combinations);
+    }
+  }
+}
+
+// --- Policy matrix without a replica ---------------------------------------
+
+TEST(PlanRepairTest, PolicyMatrixWithoutReplica) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  KillBackend(&scenario, "Hotel1");
+
+  // failover: no replica -> the query fails with the repairer's verdict.
+  {
+    StreamingOptions options = StreamOptions(scenario);
+    options.repair = FailoverOptions(scenario, RepairPolicy::kFailover);
+    StreamingEngine engine(options);
+    Result<StreamingResult> failed = engine.Execute(plan);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kNotFound);
+  }
+
+  // failover_then_degrade: the degraded round is kept, with the reason logged.
+  {
+    StreamingOptions options = StreamOptions(scenario);
+    options.repair =
+        FailoverOptions(scenario, RepairPolicy::kFailoverThenDegrade);
+    StreamingEngine engine(options);
+    SECO_ASSERT_OK_AND_ASSIGN(StreamingResult partial, engine.Execute(plan));
+    EXPECT_FALSE(partial.complete);
+    EXPECT_FALSE(partial.degraded.empty());
+    EXPECT_EQ(partial.repair.events, 1);
+    EXPECT_EQ(partial.repair.replans, 0);
+    ASSERT_EQ(partial.repair.log.size(), 1u);
+    EXPECT_EQ(partial.repair.log[0].lost, "Hotel1");
+    EXPECT_TRUE(partial.repair.log[0].replacement.empty());
+  }
+
+  // degrade: plain partial answers, no repair machinery engaged.
+  {
+    StreamingOptions options = StreamOptions(scenario);
+    options.repair.policy = RepairPolicy::kDegrade;
+    StreamingEngine engine(options);
+    SECO_ASSERT_OK_AND_ASSIGN(StreamingResult partial, engine.Execute(plan));
+    EXPECT_FALSE(partial.complete);
+    EXPECT_FALSE(partial.degraded.empty());
+    EXPECT_FALSE(partial.repair.any());
+  }
+
+  // off + strict reliability: the outage stays a hard error.
+  {
+    StreamingOptions options = StreamOptions(scenario);
+    StreamingEngine engine(options);
+    Result<StreamingResult> failed = engine.Execute(plan);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(PlanRepairTest, FailoverPoliciesRequireARegistry) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  StreamingOptions options = StreamOptions(scenario);
+  options.repair.policy = RepairPolicy::kFailover;  // registry left null
+  StreamingEngine engine(options);
+  Result<StreamingResult> failed = engine.Execute(plan);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanRepairTest, RepairPolicyParsesAndPrints) {
+  for (RepairPolicy policy :
+       {RepairPolicy::kOff, RepairPolicy::kDegrade, RepairPolicy::kFailover,
+        RepairPolicy::kFailoverThenDegrade}) {
+    SECO_ASSERT_OK_AND_ASSIGN(RepairPolicy parsed,
+                              ParseRepairPolicy(RepairPolicyToString(policy)));
+    EXPECT_EQ(parsed, policy);
+  }
+  EXPECT_FALSE(ParseRepairPolicy("self-heal").ok());
+}
+
+// --- Breaker telemetry (satellite: per-interface breaker state) ------------
+
+TEST(PlanRepairTest, BreakerStateIsReportedPerInterface) {
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeConferenceScenario());
+  SECO_ASSERT_OK_AND_ASSIGN(
+      QueryPlan plan, OptimizeScenario(scenario.registry, scenario.query_text));
+  KillBackend(&scenario, "Hotel1");
+
+  StreamingOptions options = StreamOptions(scenario);
+  options.reliability.degrade = true;
+  options.reliability.breaker_failure_threshold = 2;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult result, engine.Execute(plan));
+
+  ASSERT_FALSE(result.reliability.breakers.empty());
+  bool saw_hotel = false;
+  for (const CircuitBreakerState& state : result.reliability.breakers) {
+    if (state.interface_name != "Hotel1") {
+      EXPECT_EQ(state.phase, BreakerPhase::kClosed) << state.interface_name;
+      continue;
+    }
+    saw_hotel = true;
+    EXPECT_EQ(state.phase, BreakerPhase::kOpen);
+    EXPECT_GE(state.trips, 1);
+    EXPECT_GE(state.consecutive_failures, 2);
+  }
+  EXPECT_TRUE(saw_hotel);
+
+  ASSERT_FALSE(result.reliability.services_lost.empty());
+  EXPECT_EQ(result.reliability.services_lost[0].interface_name, "Hotel1");
+}
+
+}  // namespace
+}  // namespace seco

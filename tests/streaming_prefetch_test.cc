@@ -224,6 +224,65 @@ TEST_F(StreamingPrefetchBudgetTest, ChargedPlusWastedEqualsRealCalls) {
   EXPECT_GT(stream.speculative_calls, 0);
 }
 
+TEST_F(StreamingPrefetchBudgetTest, LostServiceSpeculationCountsAsWasted) {
+  // Regression: speculative fetches already in flight against a service that
+  // is then declared permanently lost fail at their consumption point. They
+  // must still land in `speculative_wasted` — charging-then-checking used to
+  // count them as consumed, leaking them out of both `total_calls` and the
+  // waste counter — and the shared cache must never serve data for the lost
+  // service.
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, MakePlan());
+  outer_.backend->ResetCallCount();
+  inner_.backend->ResetCallCount();
+  FaultProfile outage;
+  outage.permanent_outage = true;
+  inner_.backend->set_fault_profile(outage);
+
+  ServiceCallCache cache;
+  StreamingOptions options;
+  options.k = 1000;  // run to exhaustion so every Outer chunk is consumed
+  options.max_calls = 10000;
+  options.num_threads = 8;
+  options.prefetch_depth = 4;
+  options.cache = &cache;
+  options.reliability.degrade = true;
+  StreamingEngine engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult stream, engine.Execute(plan));
+
+  EXPECT_FALSE(stream.complete);
+  ASSERT_FALSE(stream.degraded.empty());
+  EXPECT_EQ(stream.degraded[0].service, "Inner");
+  // The outage is discovered through real refused attempts (they count on
+  // the backend, like every failed attempt), but nothing of Inner is ever
+  // charged: every charged call is Outer's, and with the run driven to
+  // exhaustion every Outer fetch was consumed — so speculation against the
+  // lost service is pure waste and must be visible as such.
+  EXPECT_GT(inner_.backend->call_count(), 0);
+  EXPECT_EQ(outer_.backend->call_count(), stream.total_calls);
+  EXPECT_GT(stream.speculative_calls, 0);
+  EXPECT_GT(stream.speculative_wasted, 0);
+
+  // Nothing of the lost service reached the shared cache: a warm rerun is
+  // served entirely from Outer's cached chunks (zero charged calls, zero
+  // new Outer traffic) and still degrades Inner with the identical partial
+  // answers — its errors were never stored, so they cannot replay as data.
+  int64_t outer_after_cold = outer_.backend->call_count();
+  StreamingEngine warm_engine(options);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult warm, warm_engine.Execute(plan));
+  EXPECT_EQ(outer_.backend->call_count(), outer_after_cold);
+  EXPECT_EQ(warm.total_calls, 0);
+  EXPECT_FALSE(warm.complete);
+  ASSERT_FALSE(warm.degraded.empty());
+  EXPECT_EQ(warm.degraded[0].service, "Inner");
+  ASSERT_EQ(warm.combinations.size(), stream.combinations.size());
+  for (size_t i = 0; i < stream.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warm.combinations[i].combined_score,
+                     stream.combinations[i].combined_score);
+    EXPECT_EQ(warm.combinations[i].missing_atoms,
+              stream.combinations[i].missing_atoms);
+  }
+}
+
 TEST_F(StreamingPrefetchBudgetTest, SequentialBudgetErrorIsUnchanged) {
   // The overdraw guard may refuse a demand fetch only while speculation is
   // outstanding; without speculation the error point must match the
