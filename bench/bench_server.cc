@@ -1,0 +1,130 @@
+// Offered load vs goodput for the overload-safe QueryServer
+// (docs/SERVER.md). Sweeps the open-loop offered load past the server's
+// capacity and reports, per load point:
+//
+//   goodput      queries/s that completed or degraded (useful answers)
+//   shed_rate    fraction rejected at admission
+//   p95_wait     interactive queue-wait p95, ms
+//
+// The interesting shape: goodput saturates near capacity while shed_rate
+// absorbs the excess — offered load beyond capacity must not collapse
+// goodput (the "overload-safe" property), and interactive p95 stays flat
+// because batch takes the shedding first.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::Unwrap;
+
+ServerOptions LoadedServerOptions() {
+  ServerOptions options;
+  options.admission.max_in_flight = 2;
+  options.admission.interactive.queue_capacity = 8;
+  options.admission.batch.queue_capacity = 8;
+  options.ladder.enabled = true;
+  options.num_threads = 2;
+  return options;
+}
+
+// One burst of `offered` open-loop queries against a fresh server. The
+// backends run in (scaled) real time so queries genuinely occupy the
+// admission window; counters come from the server's own ledger.
+void BM_ServerOfferedLoad(benchmark::State& state) {
+  const int offered = static_cast<int>(state.range(0));
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.001);
+  }
+
+  int64_t useful = 0, shed = 0, submitted = 0;
+  double wall_ms_total = 0.0, p95_wait = 0.0;
+  for (auto _ : state) {
+    QueryServer server(scenario.registry, LoadedServerOptions());
+    LoadProfile profile;
+    profile.seed = 17;
+    profile.num_queries = offered;
+    profile.closed_loop_width = 0;  // open loop: the overload case
+    profile.mean_interarrival_ms = 0.0;
+    profile.interactive_fraction = 0.5;
+    profile.k_min = 3;
+    profile.k_max = 8;
+    LoadGenerator generator(profile, scenario.query_text, scenario.inputs);
+    LoadReport report = DriveLoad(&server, generator.Schedule(), profile);
+    server.Drain();
+
+    ServerStats stats = server.stats();
+    submitted += stats.interactive.submitted + stats.batch.submitted;
+    useful += stats.interactive.completed + stats.interactive.degraded +
+              stats.batch.completed + stats.batch.degraded;
+    shed += stats.interactive.shed + stats.batch.shed;
+    wall_ms_total += report.wall_ms;
+    p95_wait = Percentile(stats.interactive.queue_wait_ms, 95.0);
+  }
+
+  state.counters["offered"] = static_cast<double>(offered);
+  state.counters["goodput_qps"] =
+      wall_ms_total > 0.0 ? 1000.0 * static_cast<double>(useful) / wall_ms_total
+                          : 0.0;
+  state.counters["shed_rate"] =
+      submitted > 0
+          ? static_cast<double>(shed) / static_cast<double>(submitted)
+          : 0.0;
+  state.counters["interactive_p95_wait_ms"] = p95_wait;
+}
+// Capacity is ~10 concurrent admissions (2 in flight + 2x8 queued): the
+// sweep crosses it and keeps going to 6x.
+BENCHMARK(BM_ServerOfferedLoad)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Closed-loop sweep: `width` concurrent clients resubmitting on completion.
+// Below capacity nothing is shed; goodput scales with width until the
+// admission window saturates.
+void BM_ServerClosedLoop(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.001);
+  }
+
+  int64_t useful = 0, shed = 0;
+  double wall_ms_total = 0.0;
+  for (auto _ : state) {
+    QueryServer server(scenario.registry, LoadedServerOptions());
+    LoadProfile profile;
+    profile.seed = 23;
+    profile.num_queries = 24;
+    profile.closed_loop_width = width;
+    profile.interactive_fraction = 0.75;
+    profile.k_min = 3;
+    profile.k_max = 8;
+    LoadGenerator generator(profile, scenario.query_text, scenario.inputs);
+    LoadReport report = DriveLoad(&server, generator.Schedule(), profile);
+    server.Drain();
+
+    ServerStats stats = server.stats();
+    useful += stats.interactive.completed + stats.interactive.degraded +
+              stats.batch.completed + stats.batch.degraded;
+    shed += stats.interactive.shed + stats.batch.shed;
+    wall_ms_total += report.wall_ms;
+  }
+
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["goodput_qps"] =
+      wall_ms_total > 0.0 ? 1000.0 * static_cast<double>(useful) / wall_ms_total
+                          : 0.0;
+  state.counters["shed_rate"] =
+      static_cast<double>(shed) / static_cast<double>(shed + useful);
+}
+BENCHMARK(BM_ServerClosedLoop)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace seco
+
+BENCHMARK_MAIN();

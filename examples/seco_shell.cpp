@@ -45,6 +45,20 @@
 //                                   what to do when a service is permanently
 //                                   lost mid-query (default: off)
 //
+// Serving mode (docs/SERVER.md):
+//     --serve                       run a QueryServer and drive a load
+//                                   profile through it instead of a single
+//                                   query; prints the per-class serving
+//                                   report (outcomes, latency percentiles,
+//                                   degradation histogram, shed counts)
+//     --load=light|overload|burst   load profile (default: light)
+//     --max-in-flight=N             admission window (default: 4)
+//     --no-ladder                   disable the degradation ladder (answers
+//                                   then match standalone runs bit for bit)
+//     --seed=S                      load-generator seed (default: 1)
+// Fault flags compose with --serve: the load then runs against the faulty
+// scenario, with breaker state feeding the ladder's pressure score.
+//
 // With any reliability knob set, a summary table (attempts, retries, hedges
 // won, per-interface breaker state, degraded nodes) prints after the
 // results; with a repair policy, a repair block (events, replans, chosen
@@ -57,6 +71,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +105,11 @@ struct Options {
   bool degrade = false;
   bool replicas = false;
   seco::RepairPolicy repair = seco::RepairPolicy::kOff;
+  bool serve = false;
+  std::string load = "light";
+  int max_in_flight = 4;
+  bool no_ladder = false;
+  uint64_t seed = 1;
   std::string query;
 
   bool faulty() const {
@@ -179,6 +199,16 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         return false;
       }
       options->repair = parsed.value();
+    } else if (arg == "--serve") {
+      options->serve = true;
+    } else if (const char* v = value_of("--load=")) {
+      options->load = v;
+    } else if (const char* v = value_of("--max-in-flight=")) {
+      options->max_in_flight = std::atoi(v);
+    } else if (arg == "--no-ladder") {
+      options->no_ladder = true;
+    } else if (const char* v = value_of("--seed=")) {
+      options->seed = std::strtoull(v, nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -340,6 +370,102 @@ seco::Status Run(const Options& options) {
   // Re-optimize with the same options as the original plan, so a failover
   // plan equals what planning against the replica would have produced.
   repair_options.optimizer = optimizer_options;
+
+  if (options.serve) {
+    std::optional<seco::LoadProfile> profile =
+        seco::LoadProfileByName(options.load);
+    if (!profile.has_value()) {
+      return seco::Status::InvalidArgument("unknown load profile '" +
+                                           options.load + "'");
+    }
+    profile->seed = options.seed;
+    profile->streaming = options.stream;
+
+    seco::ServerOptions server_options;
+    server_options.admission.max_in_flight = options.max_in_flight;
+    server_options.ladder.enabled = !options.no_ladder;
+    server_options.reliability = options.policy();
+    server_options.repair = repair_options;
+    server_options.num_threads = options.threads;
+    server_options.prefetch_depth = options.prefetch;
+    seco::QueryServer server(scenario.registry, server_options,
+                             optimizer_options);
+
+    seco::LoadGenerator generator(*profile, query_text, scenario.inputs);
+    std::vector<seco::LoadItem> schedule = generator.Schedule();
+    std::printf(
+        "serving %zu queries (profile '%s', %s loop, seed %llu, "
+        "window %d, ladder %s)...\n",
+        schedule.size(), options.load.c_str(),
+        profile->closed_loop_width > 0 ? "closed" : "open",
+        static_cast<unsigned long long>(profile->seed),
+        options.max_in_flight, options.no_ladder ? "off" : "on");
+    seco::LoadReport report = seco::DriveLoad(&server, schedule, *profile);
+    server.Drain();
+
+    seco::PressureSignals pressure = server.pressure();
+    seco::ServerStats stats = server.stats();
+    seco::CallCacheStats cache = server.cache().stats();
+
+    std::printf("\nserving report (wall %.1f ms, goodput %.1f q/s):\n",
+                report.wall_ms,
+                report.wall_ms > 0.0
+                    ? 1000.0 *
+                          static_cast<double>(
+                              report.CountOutcome(
+                                  seco::ServedOutcome::kCompleted) +
+                              report.CountOutcome(seco::ServedOutcome::kDegraded)) /
+                          report.wall_ms
+                    : 0.0);
+    std::printf(
+        "  %-12s %9s %9s %8s %6s %8s %6s %10s %9s %9s %9s %9s\n", "class",
+        "submitted", "completed", "degraded", "shed", "expired", "failed",
+        "peak queue", "wait p50", "wait p95", "sim p50", "sim p95");
+    for (seco::PriorityClass priority :
+         {seco::PriorityClass::kInteractive, seco::PriorityClass::kBatch}) {
+      const seco::ClassServingStats& cls = stats.of(priority);
+      std::printf(
+          "  %-12s %9lld %9lld %8lld %6lld %8lld %6lld %10d %8.1fms %8.1fms "
+          "%8.1fms %8.1fms\n",
+          seco::PriorityClassToString(priority),
+          static_cast<long long>(cls.submitted),
+          static_cast<long long>(cls.completed),
+          static_cast<long long>(cls.degraded),
+          static_cast<long long>(cls.shed),
+          static_cast<long long>(cls.expired),
+          static_cast<long long>(cls.failed), cls.peak_queue_depth,
+          seco::Percentile(cls.queue_wait_ms, 50.0),
+          seco::Percentile(cls.queue_wait_ms, 95.0),
+          seco::Percentile(cls.sim_elapsed_ms, 50.0),
+          seco::Percentile(cls.sim_elapsed_ms, 95.0));
+    }
+    std::printf("  degradation levels (admitted queries):");
+    for (int level = 0; level <= seco::DegradationLadder::kMaxLevel; ++level) {
+      long long count = 0;
+      for (seco::PriorityClass priority :
+           {seco::PriorityClass::kInteractive, seco::PriorityClass::kBatch}) {
+        count += stats.of(priority).degradation_levels[level];
+      }
+      std::printf("  L%d:%lld", level, count);
+    }
+    std::printf("\n");
+    std::printf(
+        "  peak in-flight %d of %d; final pressure %.2f (pool queue %d, "
+        "open breakers %d)\n",
+        stats.peak_in_flight, options.max_in_flight,
+        seco::DegradationLadder::Score(pressure, server_options.ladder),
+        pressure.pool_queue_depth, pressure.open_breakers);
+    std::printf(
+        "  shared cache: %lld entries, %lld bytes (high water %lld) of %zu; "
+        "%lld hits / %lld misses, %lld evictions\n",
+        static_cast<long long>(cache.entries),
+        static_cast<long long>(cache.bytes),
+        static_cast<long long>(cache.bytes_high_water),
+        server.cache().byte_budget(), static_cast<long long>(cache.hits),
+        static_cast<long long>(cache.misses),
+        static_cast<long long>(cache.evictions));
+    return seco::Status::OK();
+  }
 
   if (options.explain) {
     SECO_ASSIGN_OR_RETURN(seco::BoundQuery bound, session.Prepare(query_text));

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Soak the query server under ThreadSanitizer: build the serving stack with
+# -fsanitize=thread, run the server/admission test suites (including the
+# overload soak test, which drives an open-loop burst at 3x+ capacity with
+# fault injection), then push a deterministic overload profile through the
+# shell's serving mode. Use this after touching src/server/, the thread
+# pool, the call cache, or the engines' degradation hooks.
+#
+# Usage: scripts/soak.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tsan
+
+cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
+  query_server_test server_soak_test thread_pool_test call_cache_test \
+  seco_shell
+
+(cd "${BUILD_DIR}" && ctest --output-on-failure -j"$(nproc)" -R \
+  'QueryServer|ServerSoak|AdmissionController|DegradationLadder|ThreadPool|CallCache' "$@")
+
+# End-to-end serving sweep: each profile is deterministic (fixed seed), so
+# failures here reproduce exactly. "overload" is the one that sheds.
+for profile in light overload burst; do
+  echo "==== soak: --serve --load=${profile} ===="
+  "${BUILD_DIR}/examples/seco_shell" --serve --load="${profile}" --seed=7
+done

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kDeadlineExceeded:
       return "deadline exceeded";
+    case StatusCode::kRejected:
+      return "rejected";
   }
   return "unknown";
 }

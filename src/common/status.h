@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted = 9, ///< A configured budget (calls, plans, ...) ran out.
   kUnavailable = 10,      ///< A service is (transiently or permanently) down.
   kDeadlineExceeded = 11, ///< A call or query overran its deadline.
+  kRejected = 12,         ///< Admission control shed the request (retry later).
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "not found", ...).
@@ -81,6 +82,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -23,20 +23,29 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());
       queue_.pop();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
     }
     task();  // packaged_task: exceptions land in the future
+    completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
+  // Join outside the queue mutex so draining workers can still pop tasks.
+  // A worker thread running Shutdown (e.g. a task that tears down the pool's
+  // owner) must not join itself; its join falls to the next Shutdown call —
+  // the destructor at the latest. `join_mutex_` keeps two concurrent
+  // Shutdowns from racing a join on the same thread.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
   for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+    if (worker.joinable() && worker.get_id() != std::this_thread::get_id()) {
+      worker.join();
+    }
   }
 }
 

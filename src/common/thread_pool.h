@@ -1,7 +1,9 @@
 #ifndef SECO_COMMON_THREAD_POOL_H_
 #define SECO_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -24,6 +26,11 @@ namespace seco {
 /// thrown by a task are captured and rethrown from `future::get()`.
 /// Destruction (or `Shutdown()`) drains every already-queued task before
 /// joining the workers, so submitted work is never silently dropped.
+///
+/// The pool exposes its own congestion — `queue_depth()` plus cumulative
+/// `submitted()` / `completed()` counters — as a backpressure signal for
+/// admission control (docs/SERVER.md). All three are safe to poll from any
+/// thread without stalling the workers.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).
@@ -37,29 +44,57 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks accepted but not yet picked up by a worker. A sustained nonzero
+  /// depth means the pool is saturated (more offered work than workers).
+  int queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative tasks ever accepted by `Submit` (including post-shutdown
+  /// inline executions).
+  int64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative tasks that finished running (including those that stored an
+  /// exception in their future, and post-shutdown inline executions).
+  int64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues `f` and returns a future for its result. After `Shutdown()`
   /// the task runs inline on the submitting thread (the pool never rejects
-  /// work).
+  /// work). The inline path never holds the pool mutex while the task runs,
+  /// so a task submitted from inside a worker during shutdown — even one
+  /// that itself submits further tasks — cannot self-deadlock on the pool.
   template <typename F>
   auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> future = task->get_future();
+    submitted_.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      if (stopping_) {
+      if (!stopping_) {
+        queue_.push([task] { (*task)(); });
+        queued_.fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
-        (*task)();
+        cv_.notify_one();
         return future;
       }
-      queue_.push([task] { (*task)(); });
     }
-    cv_.notify_one();
+    // Post-shutdown inline path: run with no lock held. A packaged_task
+    // captures exceptions into the future, so this never throws.
+    (*task)();
+    completed_.fetch_add(1, std::memory_order_relaxed);
     return future;
   }
 
   /// Waits for all queued tasks to finish, then joins the workers.
-  /// Idempotent; called by the destructor.
+  /// Idempotent, and safe to call from inside a pool task: a worker thread
+  /// calling `Shutdown` (directly or through a task's destructors) joins its
+  /// siblings but skips itself — the final self-join is left to a later
+  /// `Shutdown` from a non-worker thread (typically the destructor).
   void Shutdown();
 
  private:
@@ -68,8 +103,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
+  std::mutex join_mutex_;  // serializes the join loop of concurrent Shutdowns
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<int> queued_{0};
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
 };
 
 }  // namespace seco

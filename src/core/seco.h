@@ -22,6 +22,7 @@
 ///   reliability/ fault-handling decorators: retry, deadlines, breakers
 ///   repair/    mid-query plan repair: replica failover + re-optimization
 ///   exec/      dataflow execution engine
+///   server/    overload-safe query server: admission, shedding, degradation
 ///   core/      QuerySession facade
 
 #include "common/result.h"
@@ -59,9 +60,13 @@
 #include "repair/plan_repairer.h"
 #include "repair/repair.h"
 #include "repair/repair_driver.h"
+#include "server/admission.h"
+#include "server/degradation.h"
+#include "server/server.h"
 #include "service/registry.h"
 #include "sim/fault_model.h"
 #include "sim/fixtures.h"
+#include "sim/load_generator.h"
 #include "sim/service_builder.h"
 
 #endif  // SECO_CORE_SECO_H_

@@ -110,6 +110,7 @@ void ServiceCallCache::Put(const std::string& key,
   shard.lru.push_front(Entry{key, response, bytes});
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
+  shard.bytes_high_water = std::max(shard.bytes_high_water, shard.bytes);
 }
 
 CallCacheStats ServiceCallCache::stats() const {
@@ -122,6 +123,7 @@ CallCacheStats ServiceCallCache::stats() const {
     total.evictions += shard.evictions;
     total.entries += static_cast<int64_t>(shard.lru.size());
     total.bytes += static_cast<int64_t>(shard.bytes);
+    total.bytes_high_water += static_cast<int64_t>(shard.bytes_high_water);
   }
   return total;
 }
@@ -133,6 +135,7 @@ void ServiceCallCache::Clear() {
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
+    shard.bytes_high_water = 0;
     shard.hits = shard.misses = shard.evictions = 0;
   }
 }

@@ -26,6 +26,10 @@ struct CallCacheStats {
   int64_t evictions = 0;
   int64_t entries = 0;
   int64_t bytes = 0;
+  /// Sum of the per-shard byte high-water marks — an upper bound on any
+  /// instantaneous total footprint the cache ever had. Never exceeds the
+  /// byte budget; the gap between it and `bytes` measures churn headroom.
+  int64_t bytes_high_water = 0;
 };
 
 /// A process-wide, sharded, byte-budgeted LRU cache of service responses.
@@ -81,6 +85,13 @@ class ServiceCallCache {
 
   int num_shards() const { return num_shards_; }
 
+  /// The configured byte budget (shard budget x shards). `stats().bytes`
+  /// never exceeds this; `bytes / byte_budget()` is the cache-pressure
+  /// signal the serving layer's degradation ladder reads (docs/SERVER.md).
+  size_t byte_budget() const {
+    return shard_budget_ * static_cast<size_t>(num_shards_);
+  }
+
   /// Which shard `key` lives in (exposed for the distribution tests).
   size_t ShardOf(const std::string& key) const;
 
@@ -99,6 +110,7 @@ class ServiceCallCache {
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     size_t bytes = 0;
+    size_t bytes_high_water = 0;
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;

@@ -132,12 +132,15 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
   if (policy.retry.max_retries == 0 && options_.call_retries > 0) {
     policy.retry.max_retries = options_.call_retries;
   }
-  if (force_degrade) policy.degrade = true;
+  if (force_degrade || options_.degradation_level >= 3) policy.degrade = true;
   const bool resilient = policy.enabled();
   CallBudget budget(resilient ? options_.max_calls : -1);
   ReliabilityLedger ledger;
-  CircuitBreakerRegistry breakers(policy.breaker_failure_threshold,
-                                  policy.breaker_probe_interval);
+  CircuitBreakerRegistry local_breakers(policy.breaker_failure_threshold,
+                                        policy.breaker_probe_interval);
+  CircuitBreakerRegistry& breakers = options_.shared_breakers != nullptr
+                                         ? *options_.shared_breakers
+                                         : local_breakers;
   ServiceLostCollector lost_collector;
   // Atoms whose service degraded: partial rows missing only these atoms
   // survive selections, joins, and output as flagged partial answers.
@@ -709,6 +712,7 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
     result.reliability.services_lost = lost_collector.Snapshot();
     result.open_breakers = breakers.OpenBreakers();
   }
+  result.degradation_level = options_.degradation_level;
   result.wall_clock_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)

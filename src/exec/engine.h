@@ -14,6 +14,7 @@
 namespace seco {
 
 class ServiceCallCache;
+class CircuitBreakerRegistry;
 
 /// Options of one plan execution.
 struct ExecutionOptions {
@@ -51,6 +52,19 @@ struct ExecutionOptions {
   /// need `repair.registry`; all repair policies force degradation on for
   /// the individual rounds so losses are observed deterministically.
   RepairOptions repair;
+  /// Externally-imposed degradation level from the serving layer's ladder
+  /// (docs/SERVER.md). 0 (default) = full quality. The materializing engine
+  /// reacts at level >= 3 by forcing `reliability.degrade` on, so permanent
+  /// losses yield partial answers instead of failing the query; levels 1-2
+  /// (speculation / k+budget cuts) are applied by the caller before Execute.
+  /// The level is echoed into `ExecutionResult::degradation_level`.
+  int degradation_level = 0;
+  /// Cross-query circuit-breaker registry (e.g. a `QueryServer`'s). When
+  /// null (default) each execution gets a private registry — the historical
+  /// behavior. Sharing lets breaker state persist across queries, so one
+  /// query's failures shield the next, and gives the serving layer a live
+  /// per-interface health feed. Must outlive the execution. Not owned.
+  CircuitBreakerRegistry* shared_breakers = nullptr;
 };
 
 /// One recorded service request-response (when tracing is enabled).
@@ -106,6 +120,9 @@ struct ExecutionResult {
   /// False when any node degraded: `combinations` may then contain partial
   /// combinations (see `Combination::missing_atoms`).
   bool complete = true;
+  /// The `ExecutionOptions::degradation_level` this run was executed under,
+  /// echoed so multi-query ledgers can attribute quality loss per query.
+  int degradation_level = 0;
 };
 
 /// Dataflow interpreter for query plans (§3.2): walks the DAG in

@@ -911,6 +911,10 @@ Result<std::unique_ptr<Op>> BuildOp(const QueryPlan& plan, int node_id,
 }  // namespace
 
 Result<StreamingResult> StreamingEngine::Execute(const QueryPlan& plan) {
+  // An externally-imposed degradation level (docs/SERVER.md) only removes
+  // work: level >= 1 drops speculation, level >= 3 allows partial answers.
+  if (options_.degradation_level >= 1) options_.prefetch_depth = 0;
+  if (options_.degradation_level >= 3) options_.reliability.degrade = true;
   switch (options_.repair.policy) {
     case RepairPolicy::kOff:
       return ExecuteOnce(plan, nullptr, /*force_degrade=*/false);
@@ -975,8 +979,11 @@ Result<StreamingResult> StreamingEngine::ExecuteOnce(
   // guards and raw handlers, bit-for-bit.
   CallBudget budget(state.resilient ? options_.max_calls : -1);
   ReliabilityLedger ledger;
-  CircuitBreakerRegistry breakers(state.policy.breaker_failure_threshold,
-                                  state.policy.breaker_probe_interval);
+  CircuitBreakerRegistry local_breakers(state.policy.breaker_failure_threshold,
+                                        state.policy.breaker_probe_interval);
+  CircuitBreakerRegistry& breakers = options_.shared_breakers != nullptr
+                                         ? *options_.shared_breakers
+                                         : local_breakers;
   ServiceLostCollector lost_collector;
   SECO_ASSIGN_OR_RETURN(std::vector<int> speculation_order,
                         plan.TopologicalOrder());
@@ -1073,6 +1080,7 @@ Result<StreamingResult> StreamingEngine::ExecuteOnce(
     result.degraded.push_back(std::move(status));
   }
   result.complete = result.degraded.empty();
+  result.degradation_level = options_.degradation_level;
 
   // Overlap-aware simulated clock: per-node ready/finish times over the
   // plan DAG, exactly the materializing engine's model — parallel branches

@@ -15,6 +15,7 @@
 namespace seco {
 
 class ServiceCallCache;
+class CircuitBreakerRegistry;
 
 /// Options of a streaming execution.
 struct StreamingOptions {
@@ -59,6 +60,18 @@ struct StreamingOptions {
   /// need `repair.registry`; repair rounds share one call cache so an
   /// abandoned round's chunks replay as free hits after replanning.
   RepairOptions repair;
+  /// Externally-imposed degradation level from the serving layer's ladder
+  /// (docs/SERVER.md). 0 (default) = full quality. Level >= 1 drops
+  /// speculation (`prefetch_depth` is treated as 0); level >= 3 additionally
+  /// forces `reliability.degrade` on so permanent losses yield partial
+  /// answers. Levels only remove work, so a degraded answer is always a
+  /// subset-quality version of the undegraded one. Echoed into
+  /// `StreamingResult::degradation_level`.
+  int degradation_level = 0;
+  /// Cross-query circuit-breaker registry (e.g. a `QueryServer`'s). When
+  /// null (default) each execution gets a private registry — the historical
+  /// behavior. Must outlive the execution. Not owned.
+  CircuitBreakerRegistry* shared_breakers = nullptr;
 };
 
 /// Result of a streaming run. Combinations appear in *arrival order* — the
@@ -106,6 +119,9 @@ struct StreamingResult {
   /// False when any node degraded: `combinations` may then contain partial
   /// combinations (see `Combination::missing_atoms`).
   bool complete = true;
+  /// The `StreamingOptions::degradation_level` this run was executed under,
+  /// echoed so multi-query ledgers can attribute quality loss per query.
+  int degradation_level = 0;
 };
 
 /// Pull-based (Volcano-style) interpreter for the same plans the

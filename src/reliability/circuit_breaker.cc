@@ -22,6 +22,15 @@ std::vector<std::string> CircuitBreakerRegistry::OpenBreakers() const {
   return open;
 }
 
+int CircuitBreakerRegistry::OpenCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int open = 0;
+  for (const auto& [name, breaker] : breakers_) {
+    if (breaker->open()) ++open;
+  }
+  return open;
+}
+
 std::vector<CircuitBreakerState> CircuitBreakerRegistry::States() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<CircuitBreakerState> out;

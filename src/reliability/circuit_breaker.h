@@ -103,6 +103,11 @@ class CircuitBreakerRegistry {
   /// Names of interfaces whose breaker is currently open.
   std::vector<std::string> OpenBreakers() const;
 
+  /// Number of currently open breakers. Cheap enough to poll: this is the
+  /// per-interface health signal the serving layer's degradation ladder
+  /// reads when the registry is shared across queries (docs/SERVER.md).
+  int OpenCount() const;
+
   /// State of every breaker, sorted by interface name.
   std::vector<CircuitBreakerState> States() const;
 

@@ -1,0 +1,89 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace seco {
+
+const char* PriorityClassToString(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<int> DrainWeights(const AdmissionConfig& config) {
+  return {std::max(1, config.interactive.weight),
+          std::max(1, config.batch.weight)};
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config), wrr_(Clock::Create(DrainWeights(config)).value()) {}
+
+std::optional<uint64_t> AdmissionController::Offer(PriorityClass priority,
+                                                   double now_ms,
+                                                   double request_deadline_ms) {
+  const AdmissionClassConfig& cls = config_.of(priority);
+  std::deque<QueueTicket>& queue = queues_[static_cast<int>(priority)];
+  if (static_cast<int>(queue.size()) >= cls.queue_capacity) {
+    return std::nullopt;  // shed: backlog is bounded by construction
+  }
+  QueueTicket ticket;
+  ticket.id = next_id_++;
+  ticket.priority = priority;
+  ticket.enqueued_ms = now_ms;
+  ticket.deadline_ms =
+      request_deadline_ms > 0.0 ? request_deadline_ms : cls.queue_deadline_ms;
+  queue.push_back(ticket);
+  return ticket.id;
+}
+
+std::optional<QueueTicket> AdmissionController::NextToDispatch(double now_ms) {
+  // Expired tickets resolve without running and never claim an in-flight
+  // slot, so they are swept regardless of the window — interactive class
+  // first, FIFO within a class. A later ticket can expire before an earlier
+  // one (per-request deadlines differ), hence the full scan.
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->deadline_ms > 0.0 &&
+          now_ms - it->enqueued_ms > it->deadline_ms) {
+        QueueTicket ticket = *it;
+        queue.erase(it);
+        ticket.expired = true;
+        return ticket;
+      }
+    }
+  }
+
+  if (in_flight_ >= config_.max_in_flight) return std::nullopt;
+
+  // The WRR clock only ticks callable (non-empty) classes; syncing the
+  // suspension set here keeps empty classes from absorbing drain credit.
+  for (int i = 0; i < kNumPriorityClasses; ++i) {
+    if (queues_[i].empty()) {
+      if (!wrr_.suspended(i)) wrr_.Suspend(i);
+    } else if (wrr_.suspended(i)) {
+      wrr_.Resume(i);
+    }
+  }
+  int next = wrr_.NextService();
+  if (next < 0) return std::nullopt;
+
+  QueueTicket ticket = queues_[next].front();
+  queues_[next].pop_front();
+  ++in_flight_;
+  return ticket;
+}
+
+void AdmissionController::OnFinished() {
+  if (in_flight_ > 0) --in_flight_;
+}
+
+}  // namespace seco

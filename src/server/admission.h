@@ -1,0 +1,122 @@
+#ifndef SECO_SERVER_ADMISSION_H_
+#define SECO_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "join/clock.h"
+
+namespace seco {
+
+/// Priority class of one query submission. Interactive traffic is drained
+/// ahead of batch by the weighted round-robin scheduler, and batch absorbs
+/// the shedding first when the server overloads.
+enum class PriorityClass {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+inline constexpr int kNumPriorityClasses = 2;
+
+const char* PriorityClassToString(PriorityClass priority);
+
+/// Per-class admission knobs.
+struct AdmissionClassConfig {
+  /// Waiting-room size beyond the in-flight window. An arrival finding the
+  /// queue full is shed with `Status::kRejected` — the server builds
+  /// backlog up to here and not one query further. 0 = shed everything.
+  int queue_capacity = 16;
+  /// Default queue-time deadline: a query that waited longer than this when
+  /// its turn comes is resolved `deadline_expired` without running.
+  /// 0 = no deadline. A per-request deadline overrides it.
+  double queue_deadline_ms = 0.0;
+  /// Weighted round-robin drain weight (clamped to >= 1). The defaults give
+  /// interactive four drain tickets for every batch one.
+  int weight = 1;
+};
+
+struct AdmissionConfig {
+  /// Concurrent queries dispatched to the runner pool (the server's
+  /// capacity). Arrivals beyond it wait in the class queues.
+  int max_in_flight = 4;
+  AdmissionClassConfig interactive{/*queue_capacity=*/16,
+                                   /*queue_deadline_ms=*/0.0, /*weight=*/4};
+  AdmissionClassConfig batch{/*queue_capacity=*/32,
+                             /*queue_deadline_ms=*/0.0, /*weight=*/1};
+
+  const AdmissionClassConfig& of(PriorityClass priority) const {
+    return priority == PriorityClass::kInteractive ? interactive : batch;
+  }
+};
+
+/// One queued admission. `id` keys the caller's payload; times ride a
+/// caller-supplied millisecond clock so tests can drive a virtual one.
+struct QueueTicket {
+  uint64_t id = 0;
+  PriorityClass priority = PriorityClass::kInteractive;
+  double enqueued_ms = 0.0;
+  /// Effective queue deadline (request override or class default; 0 = none).
+  double deadline_ms = 0.0;
+  /// Set by `NextToDispatch`: the ticket overran its queue deadline and must
+  /// be resolved `deadline_expired` without running (no in-flight slot was
+  /// claimed for it).
+  bool expired = false;
+};
+
+/// Token/concurrency admission control with bounded priority queues and
+/// weighted round-robin draining — the policy half of the `QueryServer`
+/// (docs/SERVER.md). NOT thread-safe: the server calls it under its own
+/// mutex; keeping it lock-free makes the decision sequence a deterministic
+/// function of the arrival/completion order.
+///
+/// The drain order across classes reuses the chapter's §4.3.2 `Clock` (the
+/// smooth weighted round-robin that paces service calls inside a join):
+/// with weights 4:1, out of every 5 consecutive dispatches interactive gets
+/// 4 and batch 1, interleaved as evenly as possible — batch cannot starve
+/// interactive, and interactive cannot completely starve batch either.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Admission decision for one arrival at `now_ms`. Returns the queued
+  /// ticket id, or nullopt when the class queue is full (shed — the caller
+  /// rejects with `Status::kRejected` and a retry-after hint).
+  std::optional<uint64_t> Offer(PriorityClass priority, double now_ms,
+                                double request_deadline_ms = 0.0);
+
+  /// Pops the next ticket in weighted round-robin order. Returns nullopt
+  /// when the in-flight window is full or every queue is empty. A returned
+  /// ticket either claimed an in-flight slot (`expired == false` — run it,
+  /// then call `OnFinished`) or overran its queue deadline (`expired ==
+  /// true` — resolve it without running; no slot was claimed).
+  std::optional<QueueTicket> NextToDispatch(double now_ms);
+
+  /// Releases the in-flight slot of a dispatched (non-expired) ticket.
+  void OnFinished();
+
+  // Gauges (inputs of the pressure score and the stats ledger).
+  int in_flight() const { return in_flight_; }
+  int queued(PriorityClass priority) const {
+    return static_cast<int>(queues_[static_cast<int>(priority)].size());
+  }
+  int queued_total() const {
+    return queued(PriorityClass::kInteractive) + queued(PriorityClass::kBatch);
+  }
+  int queue_capacity_total() const {
+    return config_.interactive.queue_capacity + config_.batch.queue_capacity;
+  }
+
+ private:
+  AdmissionConfig config_;
+  std::deque<QueueTicket> queues_[kNumPriorityClasses];
+  Clock wrr_;  // weighted round-robin drain order across classes
+  int in_flight_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVER_ADMISSION_H_

@@ -1,0 +1,44 @@
+#include "server/degradation.h"
+
+namespace seco {
+
+double DegradationLadder::Score(const PressureSignals& signals,
+                                const DegradationLadderConfig& config) {
+  double saturation =
+      static_cast<double>(signals.in_flight) /
+      static_cast<double>(std::max(signals.max_in_flight, 1));
+  double backlog = static_cast<double>(signals.queued) /
+                   static_cast<double>(std::max(signals.queue_capacity, 1));
+  double load = 0.5 * saturation + 0.5 * backlog;
+
+  double pool = config.pool_weight *
+                std::min(1.0, static_cast<double>(signals.pool_queue_depth) /
+                                  static_cast<double>(
+                                      std::max(signals.runner_threads, 1)));
+  double breakers = signals.open_breakers > 0 ? config.breaker_weight : 0.0;
+  double cache =
+      config.cache_weight *
+      std::min(1.0, signals.cache_bytes / std::max(signals.cache_budget, 1.0));
+
+  return std::max({load, pool, breakers, cache});
+}
+
+int DegradationLadder::LevelFor(const PressureSignals& signals) const {
+  if (!config_.enabled) return 0;
+  double score = Score(signals, config_);
+  if (score >= config_.level3_threshold) return 3;
+  if (score >= config_.level2_threshold) return 2;
+  if (score >= config_.level1_threshold) return 1;
+  return 0;
+}
+
+void DegradationLadder::ApplyToRequest(int level, int* k,
+                                       int* max_calls) const {
+  if (level < 2) return;
+  *k = std::max(config_.min_k,
+                static_cast<int>(*k * config_.k_factor));
+  *max_calls = std::max(1, static_cast<int>(*max_calls *
+                                            config_.call_budget_factor));
+}
+
+}  // namespace seco

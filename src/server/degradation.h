@@ -1,0 +1,107 @@
+#ifndef SECO_SERVER_DEGRADATION_H_
+#define SECO_SERVER_DEGRADATION_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace seco {
+
+/// Point-in-time resource pressure of a `QueryServer`, assembled from every
+/// shared facility a query consumes: the admission window, the runner pool,
+/// the per-class waiting queues, the cross-query circuit breakers, and the
+/// shared service-call cache. All inputs are cheap gauges; the snapshot is
+/// taken under the server mutex at each admission, so a query's degradation
+/// level is a pure function of the server state at its arrival.
+struct PressureSignals {
+  /// Queries dispatched to the runner pool and not yet finished.
+  int in_flight = 0;
+  /// The admission window (`ServerOptions::max_in_flight`).
+  int max_in_flight = 1;
+  /// Dispatched queries still waiting for a free runner thread
+  /// (`ThreadPool::queue_depth()` of the runner pool).
+  int pool_queue_depth = 0;
+  int runner_threads = 1;
+  /// Queries waiting in the per-class admission queues, summed.
+  int queued = 0;
+  /// Total waiting-room capacity, summed over classes (>= 1 for scoring).
+  int queue_capacity = 1;
+  /// Currently open circuit breakers in the server's shared registry.
+  int open_breakers = 0;
+  /// Shared call-cache footprint vs its byte budget.
+  double cache_bytes = 0.0;
+  double cache_budget = 1.0;
+};
+
+/// Thresholds and weights of the graceful-degradation ladder
+/// (docs/SERVER.md). The ladder maps a pressure score in [0, ~1.5] onto a
+/// level 0..3; each level strictly removes work from *newly admitted*
+/// queries (running queries are never touched):
+///
+///   level 0  full quality
+///   level 1  drop speculation (streaming `prefetch_depth` -> 0)
+///   level 2  additionally cut k and the call budget (`k_factor`,
+///            `call_budget_factor`) — fewer answers, less chunk lookahead
+///   level 3  additionally force `reliability.degrade`: partial answers
+///            are preferred over failing the query
+struct DegradationLadderConfig {
+  /// Master switch: disabled = every admission runs at level 0.
+  bool enabled = true;
+  /// Score thresholds of levels 1..3 (monotone non-decreasing).
+  double level1_threshold = 0.50;
+  double level2_threshold = 0.75;
+  double level3_threshold = 0.90;
+  /// Multipliers applied to k / max_calls at level >= 2.
+  double k_factor = 0.5;
+  int min_k = 1;
+  double call_budget_factor = 0.5;
+  /// Score contributed by >= 1 open breaker (a sick backend is pressure
+  /// even when queues are empty). 0.75 lands on level 2 by default.
+  double breaker_weight = 0.75;
+  /// Weight of the cache-fill fraction. A full LRU cache is the normal
+  /// steady state, so its weight sits below `level2_threshold` by default:
+  /// cache churn alone only drops speculation (the main cache polluter).
+  double cache_weight = 0.6;
+  /// Weight of runner-pool backlog relative to `runner_threads`.
+  double pool_weight = 0.9;
+};
+
+/// The pressure-to-level policy. Stateless and deterministic: the same
+/// signals always yield the same level, so admission ledgers are exactly
+/// reproducible from an arrival/completion trace.
+class DegradationLadder {
+ public:
+  explicit DegradationLadder(DegradationLadderConfig config)
+      : config_(config) {}
+
+  const DegradationLadderConfig& config() const { return config_; }
+
+  /// Pressure score: the max over per-facility components, each normalized
+  /// so 1.0 means "this facility is exhausted".
+  ///  - load: half saturation (in_flight / max_in_flight), half backlog
+  ///    (queued / queue_capacity) — all slots busy with empty queues scores
+  ///    0.5 (level 1), full queues push toward 1.0;
+  ///  - pool: dispatched-but-not-running vs runner threads, capped at 1;
+  ///  - breakers: a fixed weight while any breaker is open;
+  ///  - cache: fill fraction times its weight.
+  static double Score(const PressureSignals& signals,
+                      const DegradationLadderConfig& config);
+
+  /// Level for `signals` under this ladder's config: 0 when disabled,
+  /// otherwise the highest threshold the score reaches.
+  int LevelFor(const PressureSignals& signals) const;
+
+  /// Applies `level` to the per-query knobs the server owns. Level >= 2
+  /// multiplies `k` (floored at `min_k`) and `max_calls` (floored at 1);
+  /// the engine-side effects (speculation, partial answers) ride on
+  /// `ExecutionOptions::degradation_level` instead.
+  void ApplyToRequest(int level, int* k, int* max_calls) const;
+
+  static constexpr int kMaxLevel = 3;
+
+ private:
+  DegradationLadderConfig config_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVER_DEGRADATION_H_

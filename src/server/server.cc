@@ -1,0 +1,342 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "query/parser.h"
+
+namespace seco {
+
+const char* ServedOutcomeToString(ServedOutcome outcome) {
+  switch (outcome) {
+    case ServedOutcome::kCompleted:
+      return "completed";
+    case ServedOutcome::kDegraded:
+      return "degraded";
+    case ServedOutcome::kShed:
+      return "shed";
+    case ServedOutcome::kDeadlineExpired:
+      return "deadline_expired";
+    case ServedOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  double rank = p / 100.0 * static_cast<double>(samples.size());
+  int index = static_cast<int>(std::ceil(rank)) - 1;
+  index = std::clamp(index, 0, static_cast<int>(samples.size()) - 1);
+  return samples[index];
+}
+
+QueryServer::QueryServer(std::shared_ptr<ServiceRegistry> registry,
+                         ServerOptions options,
+                         OptimizerOptions optimizer_options)
+    : registry_(std::move(registry)),
+      options_(std::move(options)),
+      optimizer_options_(optimizer_options),
+      cache_(options_.cache_byte_budget),
+      // The shared registry's breaker parameters come from the server-wide
+      // default policy; per-request policies only decide whether breakers
+      // are consulted at all.
+      breakers_(options_.reliability.breaker_failure_threshold,
+                options_.reliability.breaker_probe_interval),
+      ladder_(options_.ladder),
+      pool_(options_.runner_threads > 0
+                ? options_.runner_threads
+                : std::max(1, options_.admission.max_in_flight)),
+      admission_(options_.admission),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (options_.runner_threads <= 0) {
+    options_.runner_threads = std::max(1, options_.admission.max_in_flight);
+  }
+}
+
+QueryServer::~QueryServer() {
+  Drain();
+  // Join the runners before any member the tasks touch is destroyed
+  // (members destruct in reverse declaration order, which would tear down
+  // the stats/mutex before the pool).
+  pool_.Shutdown();
+}
+
+double QueryServer::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+PressureSignals QueryServer::PressureLocked() const {
+  PressureSignals signals;
+  signals.in_flight = admission_.in_flight();
+  signals.max_in_flight = std::max(1, options_.admission.max_in_flight);
+  signals.pool_queue_depth = pool_.queue_depth();
+  signals.runner_threads = options_.runner_threads;
+  signals.queued = admission_.queued_total();
+  signals.queue_capacity = std::max(1, admission_.queue_capacity_total());
+  signals.open_breakers = breakers_.OpenCount();
+  CallCacheStats cache_stats = cache_.stats();
+  signals.cache_bytes = static_cast<double>(cache_stats.bytes);
+  signals.cache_budget =
+      static_cast<double>(std::max<size_t>(1, cache_.byte_budget()));
+  return signals;
+}
+
+std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+
+  PriorityClass priority = request.priority;
+  bool was_shed = false;
+  QueryResponse shed_response;
+  std::vector<Dispatch> dispatches;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    double now = NowMs();
+    ClassServingStats& cls = stats_.of(priority);
+    ++cls.submitted;
+
+    // The degradation level is decided from the pressure at arrival, before
+    // this query itself contributes to it.
+    int level = ladder_.LevelFor(PressureLocked());
+
+    std::optional<uint64_t> ticket =
+        admission_.Offer(priority, now, request.deadline_ms);
+    if (!ticket.has_value()) {
+      ++cls.shed;
+      double backlog =
+          static_cast<double>(admission_.queued_total()) /
+          static_cast<double>(std::max(1, admission_.queue_capacity_total()));
+      shed_response.outcome = ServedOutcome::kShed;
+      shed_response.priority = priority;
+      shed_response.retry_after_ms =
+          options_.retry_after_ms * (1.0 + backlog);
+      shed_response.status = Status::Rejected(
+          std::string(PriorityClassToString(priority)) +
+          " admission queue full; retry after " +
+          std::to_string(shed_response.retry_after_ms) + " ms");
+      was_shed = true;
+    } else {
+      auto pending = std::make_unique<Pending>();
+      pending->request = std::move(request);
+      pending->promise = std::move(promise);
+      pending->degradation_level = level;
+      waiting_.emplace(*ticket, std::move(pending));
+      ++unresolved_;
+      cls.peak_queue_depth =
+          std::max(cls.peak_queue_depth, admission_.queued(priority));
+      dispatches = CollectDispatchesLocked();
+    }
+  }
+  // A shed query touches no execution state and its future is ready
+  // immediately; the promise fires outside the lock, like every other.
+  if (was_shed) promise.set_value(std::move(shed_response));
+  LaunchDispatches(std::move(dispatches));
+  return future;
+}
+
+std::vector<QueryServer::Dispatch> QueryServer::CollectDispatchesLocked() {
+  std::vector<Dispatch> dispatches;
+  double now = NowMs();
+  while (std::optional<QueueTicket> ticket = admission_.NextToDispatch(now)) {
+    auto it = waiting_.find(ticket->id);
+    if (it == waiting_.end()) continue;  // unreachable: every ticket has a payload
+    Dispatch dispatch;
+    dispatch.ticket = *ticket;
+    dispatch.pending = std::move(it->second);
+    waiting_.erase(it);
+    dispatches.push_back(std::move(dispatch));
+  }
+  stats_.peak_in_flight =
+      std::max(stats_.peak_in_flight, admission_.in_flight());
+  return dispatches;
+}
+
+void QueryServer::LaunchDispatches(std::vector<Dispatch> dispatches) {
+  for (Dispatch& dispatch : dispatches) {
+    if (dispatch.ticket.expired) {
+      // Overran its queue deadline: resolve without running. No in-flight
+      // slot was claimed, so there is no OnFinished here.
+      double wait = NowMs() - dispatch.ticket.enqueued_ms;
+      QueryResponse response;
+      response.outcome = ServedOutcome::kDeadlineExpired;
+      response.priority = dispatch.ticket.priority;
+      response.degradation_level = dispatch.pending->degradation_level;
+      response.queue_wait_ms = wait;
+      response.status = Status::DeadlineExceeded(
+          "query waited " + std::to_string(wait) +
+          " ms in the admission queue, past its deadline of " +
+          std::to_string(dispatch.ticket.deadline_ms) + " ms");
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ClassServingStats& cls = stats_.of(dispatch.ticket.priority);
+        ++cls.expired;
+        cls.queue_wait_ms.push_back(wait);
+        --unresolved_;
+        drain_cv_.notify_all();
+      }
+      dispatch.pending->promise.set_value(std::move(response));
+      continue;
+    }
+    // std::function requires a copyable target, so the payload rides a
+    // shared_ptr into the pool task.
+    std::shared_ptr<Pending> pending(std::move(dispatch.pending));
+    QueueTicket ticket = dispatch.ticket;
+    pool_.Submit([this, ticket, pending] { RunOne(ticket, pending); });
+  }
+}
+
+void QueryServer::RunOne(QueueTicket ticket,
+                         std::shared_ptr<Pending> pending) {
+  // Queue wait is measured when the runner actually picks the query up, so
+  // it includes any time spent queued inside the pool itself.
+  double wait = NowMs() - ticket.enqueued_ms;
+  PriorityClass priority = pending->request.priority;
+
+  QueryResponse response =
+      ExecuteRequest(pending->request, pending->degradation_level);
+  response.queue_wait_ms = wait;
+  response.priority = priority;
+
+  std::vector<Dispatch> dispatches;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    admission_.OnFinished();
+    ClassServingStats& cls = stats_.of(priority);
+    switch (response.outcome) {
+      case ServedOutcome::kCompleted:
+        ++cls.completed;
+        break;
+      case ServedOutcome::kDegraded:
+        ++cls.degraded;
+        break;
+      case ServedOutcome::kDeadlineExpired:
+        ++cls.expired;
+        break;
+      default:
+        ++cls.failed;
+        break;
+    }
+    ++cls.degradation_levels[std::clamp(pending->degradation_level, 0,
+                                        DegradationLadder::kMaxLevel)];
+    cls.queue_wait_ms.push_back(wait);
+    cls.sim_elapsed_ms.push_back(response.streamed
+                                     ? response.streaming.total_latency_ms
+                                     : response.execution.elapsed_ms);
+    --unresolved_;
+    dispatches = CollectDispatchesLocked();
+    drain_cv_.notify_all();
+  }
+  pending->promise.set_value(std::move(response));
+  LaunchDispatches(std::move(dispatches));
+}
+
+QueryResponse QueryServer::ExecuteRequest(const QueryRequest& request,
+                                          int level) {
+  QueryResponse response;
+  response.degradation_level = level;
+  response.streamed = request.streaming;
+
+  auto fail = [&response](Status status) -> QueryResponse {
+    response.outcome = status.code() == StatusCode::kDeadlineExceeded
+                           ? ServedOutcome::kDeadlineExpired
+                           : ServedOutcome::kFailed;
+    response.status = std::move(status);
+    return std::move(response);
+  };
+
+  // Prepare: either the caller pre-bound the query, or parse + bind here.
+  const BoundQuery* bound = request.bound.get();
+  BoundQuery local_bound;
+  if (bound == nullptr) {
+    Result<ParsedQuery> parsed = ParseQuery(request.query_text);
+    if (!parsed.ok()) return fail(parsed.status());
+    Result<BoundQuery> bound_result = BindQuery(parsed.value(), *registry_);
+    if (!bound_result.ok()) return fail(bound_result.status());
+    local_bound = std::move(bound_result).value();
+    bound = &local_bound;
+  }
+
+  // The ladder cuts k / max_calls at admission level >= 2; the optimizer
+  // then plans for the cut k, so fetch factors shrink along with it.
+  int k = request.k;
+  int max_calls = request.max_calls;
+  ladder_.ApplyToRequest(level, &k, &max_calls);
+
+  OptimizerOptions optimizer_options = optimizer_options_;
+  optimizer_options.k = k;
+  Optimizer optimizer(optimizer_options);
+  Result<OptimizationResult> optimized = optimizer.Optimize(*bound);
+  if (!optimized.ok()) return fail(optimized.status());
+
+  ReliabilityPolicy reliability =
+      request.reliability.enabled() ? request.reliability
+                                    : options_.reliability;
+  RepairOptions repair =
+      request.repair.active() ? request.repair : options_.repair;
+  repair.registry = registry_.get();
+  repair.optimizer = optimizer_options;
+
+  if (request.streaming) {
+    StreamingOptions stream;
+    stream.k = k;
+    stream.input_bindings = request.input_bindings;
+    stream.max_calls = max_calls;
+    stream.num_threads = options_.num_threads;
+    stream.prefetch_depth = options_.prefetch_depth;
+    stream.cache = &cache_;
+    stream.collect_trace = request.collect_trace;
+    stream.reliability = reliability;
+    stream.repair = repair;
+    stream.degradation_level = level;
+    stream.shared_breakers = &breakers_;
+    StreamingEngine engine(std::move(stream));
+    Result<StreamingResult> result = engine.Execute(optimized->plan);
+    if (!result.ok()) return fail(result.status());
+    response.streaming = std::move(result).value();
+    response.outcome = (level > 0 || !response.streaming.complete)
+                           ? ServedOutcome::kDegraded
+                           : ServedOutcome::kCompleted;
+  } else {
+    ExecutionOptions exec;
+    exec.k = k;
+    exec.input_bindings = request.input_bindings;
+    exec.max_calls = max_calls;
+    exec.num_threads = options_.num_threads;
+    exec.cache = &cache_;
+    exec.collect_trace = request.collect_trace;
+    exec.reliability = reliability;
+    exec.repair = repair;
+    exec.degradation_level = level;
+    exec.shared_breakers = &breakers_;
+    ExecutionEngine engine(std::move(exec));
+    Result<ExecutionResult> result = engine.Execute(optimized->plan);
+    if (!result.ok()) return fail(result.status());
+    response.execution = std::move(result).value();
+    response.outcome = (level > 0 || !response.execution.complete)
+                           ? ServedOutcome::kDegraded
+                           : ServedOutcome::kCompleted;
+  }
+  return response;
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return unresolved_ == 0; });
+}
+
+ServerStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+PressureSignals QueryServer::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PressureLocked();
+}
+
+}  // namespace seco

@@ -1,0 +1,264 @@
+#ifndef SECO_SERVER_SERVER_H_
+#define SECO_SERVER_SERVER_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/call_cache.h"
+#include "exec/engine.h"
+#include "exec/streaming.h"
+#include "optimizer/optimizer.h"
+#include "query/bound_query.h"
+#include "reliability/circuit_breaker.h"
+#include "server/admission.h"
+#include "server/degradation.h"
+#include "service/registry.h"
+
+namespace seco {
+
+/// One query submission to a `QueryServer`.
+struct QueryRequest {
+  /// SeCoQL text; parsed and bound per execution. Ignored when `bound` is
+  /// set (a pre-prepared query skips parse + bind on the serving path).
+  std::string query_text;
+  std::shared_ptr<const BoundQuery> bound;
+
+  PriorityClass priority = PriorityClass::kInteractive;
+  /// Queue-time deadline: if the query is still waiting in the admission
+  /// queue after this many ms, it resolves `kDeadlineExpired` without
+  /// running. 0 = the class default (`AdmissionClassConfig`).
+  double deadline_ms = 0.0;
+
+  /// Requested answer count and charged-call budget. The degradation ladder
+  /// may cut both at admission (level >= 2); the response records the level.
+  int k = 10;
+  int max_calls = 10000;
+  std::map<std::string, Value> input_bindings;
+
+  /// false = materializing `ExecutionEngine`; true = `StreamingEngine`.
+  bool streaming = false;
+
+  /// Per-request reliability / repair overrides. When the policy is inert
+  /// (`!enabled()`) the server's defaults apply; when the repair policy is
+  /// `kOff` the server's default repair applies. The registry/optimizer
+  /// fields of a request repair policy are filled in by the server.
+  ReliabilityPolicy reliability;
+  RepairOptions repair;
+
+  /// Trace collection for this query (rides into the engine options).
+  bool collect_trace = false;
+};
+
+/// Terminal outcome of one served query — every submission gets exactly one.
+enum class ServedOutcome {
+  /// Ran at level 0 and produced a complete answer.
+  kCompleted = 0,
+  /// Ran under a degradation level > 0, or produced a partial answer.
+  kDegraded = 1,
+  /// Shed at admission (`Status::kRejected`): the class queue was full. The
+  /// query consumed no execution resources at all.
+  kShed = 2,
+  /// Overran its queue-time deadline before a runner slot freed up, or the
+  /// execution itself overran the reliability policy's query deadline.
+  kDeadlineExpired = 3,
+  /// The execution itself failed (parse/bind/optimize error, exhausted call
+  /// budget without `degrade`, ...).
+  kFailed = 4,
+};
+
+const char* ServedOutcomeToString(ServedOutcome outcome);
+
+/// Everything the server says about one submission.
+struct QueryResponse {
+  ServedOutcome outcome = ServedOutcome::kFailed;
+  /// Ladder level the query was admitted under (0 = full quality).
+  int degradation_level = 0;
+  /// OK for kCompleted/kDegraded; kRejected for kShed (with a retry-after
+  /// hint in the message); kDeadlineExceeded for kDeadlineExpired; the
+  /// execution error for kFailed.
+  Status status = Status::OK();
+  /// For kShed: how long the client should wait before resubmitting, ms.
+  double retry_after_ms = 0.0;
+  /// Wall-clock ms spent in the admission queue (0 for shed queries).
+  double queue_wait_ms = 0.0;
+  PriorityClass priority = PriorityClass::kInteractive;
+
+  /// Engine results; exactly one is populated for kCompleted/kDegraded,
+  /// per `streamed`.
+  bool streamed = false;
+  ExecutionResult execution;
+  StreamingResult streaming;
+};
+
+/// Server construction knobs.
+struct ServerOptions {
+  /// Admission window + per-class queues (docs/SERVER.md).
+  AdmissionConfig admission;
+  /// Runner threads executing admitted queries. 0 = `admission.max_in_flight`
+  /// (so `ThreadPool::queue_depth()` > 0 is a genuine backpressure signal).
+  int runner_threads = 0;
+  /// Degradation ladder thresholds/weights; `ladder.enabled = false` yields
+  /// bit-identical answers to standalone runs at any load.
+  DegradationLadderConfig ladder;
+
+  /// Server-wide default reliability / repair policy for requests that do
+  /// not carry their own.
+  ReliabilityPolicy reliability;
+  RepairOptions repair;
+
+  /// Engine parallelism applied to every query: intra-query fan-out threads
+  /// and streaming prefetch depth (the ladder zeroes the latter at level
+  /// >= 1).
+  int num_threads = 1;
+  int prefetch_depth = 0;
+
+  /// Byte budget of the server-owned shared `ServiceCallCache`.
+  size_t cache_byte_budget = ServiceCallCache::kDefaultByteBudget;
+
+  /// Base retry-after hint attached to shed responses; scaled by the
+  /// instantaneous backlog fraction.
+  double retry_after_ms = 50.0;
+};
+
+/// Per-class serving ledger.
+struct ClassServingStats {
+  int64_t submitted = 0;
+  int64_t shed = 0;
+  int64_t expired = 0;
+  int64_t completed = 0;
+  int64_t degraded = 0;
+  int64_t failed = 0;
+  /// Admissions per ladder level 0..3 (shed/expired queries excluded).
+  std::array<int64_t, DegradationLadder::kMaxLevel + 1> degradation_levels{};
+  int peak_queue_depth = 0;
+  /// Per-query samples for percentile reporting.
+  std::vector<double> queue_wait_ms;
+  std::vector<double> sim_elapsed_ms;
+
+  int64_t finished() const {
+    return shed + expired + completed + degraded + failed;
+  }
+};
+
+struct ServerStats {
+  ClassServingStats interactive;
+  ClassServingStats batch;
+  int peak_in_flight = 0;
+
+  const ClassServingStats& of(PriorityClass priority) const {
+    return priority == PriorityClass::kInteractive ? interactive : batch;
+  }
+  ClassServingStats& of(PriorityClass priority) {
+    return priority == PriorityClass::kInteractive ? interactive : batch;
+  }
+};
+
+/// p in [0, 100] percentile of `samples` (nearest-rank); 0 when empty.
+double Percentile(std::vector<double> samples, double p);
+
+/// Overload-safe serving front end over the execution stack (docs/SERVER.md):
+/// concurrent query submissions run on a shared runner `ThreadPool`, a
+/// shared `ServiceCallCache`, and a shared cross-query
+/// `CircuitBreakerRegistry`, guarded by three mechanisms —
+///
+///  1. *admission control*: a bounded in-flight window plus bounded
+///     per-class priority queues; arrivals beyond them are shed immediately
+///     with `Status::kRejected` and a retry-after hint, touching no
+///     execution state;
+///  2. *graceful degradation*: a pressure score over the shared facilities
+///     maps each admission onto a ladder level that progressively drops
+///     speculation, cuts k and call budgets, and finally prefers partial
+///     answers over failures — newly admitted queries degrade, running ones
+///     are never touched;
+///  3. *fair scheduling*: queues drain in smooth weighted round-robin order
+///     (the §4.3.2 `Clock`, reused across priority classes), so interactive
+///     traffic stays fast under batch floods without starving batch.
+///
+/// Every submission resolves to exactly one `QueryResponse` future with an
+/// explicit `ServedOutcome`. With the ladder disabled and load below
+/// capacity, per-query answers are bit-identical to standalone engine runs.
+class QueryServer {
+ public:
+  QueryServer(std::shared_ptr<ServiceRegistry> registry,
+              ServerOptions options = {},
+              OptimizerOptions optimizer_options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Submits one query. Always returns a future that will hold exactly one
+  /// terminal `QueryResponse`; a shed query's future is ready immediately.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Blocks until every accepted query has resolved.
+  void Drain();
+
+  /// Snapshot of the serving ledger.
+  ServerStats stats() const;
+  /// Snapshot of the current pressure signals (as the next admission would
+  /// see them) — surfaced by the shell's serving report.
+  PressureSignals pressure() const;
+
+  ServiceCallCache& cache() { return cache_; }
+  CircuitBreakerRegistry& breakers() { return breakers_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    int degradation_level = 0;
+  };
+  /// A ticket popped for dispatch, joined with its payload.
+  struct Dispatch {
+    QueueTicket ticket;
+    std::unique_ptr<Pending> pending;
+  };
+
+  double NowMs() const;
+  PressureSignals PressureLocked() const;
+  /// Pops every dispatchable ticket. Runnable ones are handed to the pool
+  /// and expired ones resolved — both *after* `mu_` is released (the pool's
+  /// post-shutdown inline path and promise continuations must not run under
+  /// the server mutex).
+  std::vector<Dispatch> CollectDispatchesLocked();
+  void LaunchDispatches(std::vector<Dispatch> dispatches);
+  /// Runner-pool entry: executes one admitted query end to end.
+  void RunOne(QueueTicket ticket, std::shared_ptr<Pending> pending);
+  /// The execution itself (no server lock held).
+  QueryResponse ExecuteRequest(const QueryRequest& request, int level);
+
+  std::shared_ptr<ServiceRegistry> registry_;
+  ServerOptions options_;
+  OptimizerOptions optimizer_options_;
+
+  ServiceCallCache cache_;
+  CircuitBreakerRegistry breakers_;
+  DegradationLadder ladder_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  AdmissionController admission_;
+  std::unordered_map<uint64_t, std::unique_ptr<Pending>> waiting_;
+  ServerStats stats_;
+  int64_t unresolved_ = 0;  ///< accepted-but-unresolved queries
+  std::condition_variable drain_cv_;
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVER_SERVER_H_

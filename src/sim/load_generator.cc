@@ -1,0 +1,138 @@
+#include "sim/load_generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+
+namespace seco {
+
+std::vector<LoadItem> LoadGenerator::Schedule() const {
+  std::vector<LoadItem> schedule;
+  schedule.reserve(std::max(0, profile_.num_queries));
+  SplitMix64 arrivals(profile_.seed ^ 0xA5C1E7D3B2F49817ULL);
+  SplitMix64 classes(profile_.seed ^ 0x1B56C4E9D8A73F02ULL);
+  SplitMix64 ks(profile_.seed ^ 0x7E2D9F4C1A8B5E63ULL);
+
+  double now_ms = 0.0;
+  for (int i = 0; i < profile_.num_queries; ++i) {
+    bool new_group =
+        profile_.burst_size <= 0 || i % profile_.burst_size == 0;
+    if (i > 0 && new_group) {
+      // Exponential gap; 1 - u keeps the argument of log strictly positive.
+      double u = arrivals.NextDouble();
+      now_ms += -profile_.mean_interarrival_ms * std::log(1.0 - u);
+    }
+
+    LoadItem item;
+    item.arrival_ms = now_ms;
+    item.request.query_text = query_text_;
+    item.request.input_bindings = input_bindings_;
+    item.request.priority = classes.NextDouble() < profile_.interactive_fraction
+                                ? PriorityClass::kInteractive
+                                : PriorityClass::kBatch;
+    int k_lo = std::max(1, profile_.k_min);
+    int k_hi = std::max(k_lo, profile_.k_max);
+    item.request.k = static_cast<int>(ks.UniformRange(k_lo, k_hi));
+    item.request.max_calls = profile_.max_calls;
+    item.request.deadline_ms = profile_.queue_deadline_ms;
+    item.request.streaming = profile_.streaming;
+    schedule.push_back(std::move(item));
+  }
+  return schedule;
+}
+
+int64_t LoadReport::CountOutcome(ServedOutcome outcome) const {
+  return std::count_if(
+      responses.begin(), responses.end(),
+      [outcome](const QueryResponse& r) { return r.outcome == outcome; });
+}
+
+LoadReport DriveLoad(QueryServer* server,
+                     const std::vector<LoadItem>& schedule,
+                     const LoadProfile& profile) {
+  LoadReport report;
+  report.responses.resize(schedule.size());
+  auto start = std::chrono::steady_clock::now();
+
+  if (profile.closed_loop_width > 0) {
+    // Closed loop: a sliding window of outstanding queries. The next query
+    // is submitted only after the oldest outstanding one resolves, so the
+    // offered load tracks the server's own pace.
+    std::deque<std::pair<size_t, std::future<QueryResponse>>> outstanding;
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      if (static_cast<int>(outstanding.size()) >= profile.closed_loop_width) {
+        auto [index, future] = std::move(outstanding.front());
+        outstanding.pop_front();
+        report.responses[index] = future.get();
+      }
+      outstanding.emplace_back(i, server->Submit(schedule[i].request));
+    }
+    while (!outstanding.empty()) {
+      auto [index, future] = std::move(outstanding.front());
+      outstanding.pop_front();
+      report.responses[index] = future.get();
+    }
+  } else {
+    // Open loop: submit on schedule no matter how the server keeps up —
+    // the discipline that actually overloads it.
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(schedule.size());
+    double last_arrival = 0.0;
+    for (const LoadItem& item : schedule) {
+      if (profile.realtime_factor > 0.0 && item.arrival_ms > last_arrival) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            (item.arrival_ms - last_arrival) * profile.realtime_factor));
+      }
+      last_arrival = item.arrival_ms;
+      futures.push_back(server->Submit(item.request));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      report.responses[i] = futures[i].get();
+    }
+  }
+
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return report;
+}
+
+std::optional<LoadProfile> LoadProfileByName(const std::string& name) {
+  LoadProfile profile;
+  if (name == "light") {
+    // Below capacity: closed loop narrower than the default admission
+    // window, so nothing queues long and nothing sheds.
+    profile.num_queries = 32;
+    profile.closed_loop_width = 2;
+    profile.interactive_fraction = 0.75;
+    return profile;
+  }
+  if (name == "overload") {
+    // Open loop, back to back: offered load is bounded only by submission
+    // speed — far past any configured capacity.
+    profile.num_queries = 160;
+    profile.closed_loop_width = 0;
+    profile.mean_interarrival_ms = 0.0;
+    profile.interactive_fraction = 0.5;
+    return profile;
+  }
+  if (name == "burst") {
+    // Synchronized arrival groups with quiet gaps: exercises shedding and
+    // recovery in alternation.
+    profile.num_queries = 96;
+    profile.closed_loop_width = 0;
+    profile.burst_size = 16;
+    profile.mean_interarrival_ms = 40.0;
+    profile.realtime_factor = 1.0;
+    profile.interactive_fraction = 0.5;
+    return profile;
+  }
+  return std::nullopt;
+}
+
+}  // namespace seco

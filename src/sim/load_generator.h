@@ -1,0 +1,97 @@
+#ifndef SECO_SIM_LOAD_GENERATOR_H_
+#define SECO_SIM_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/server.h"
+#include "service/tuple.h"
+
+namespace seco {
+
+/// Parameters of one deterministic load run against a `QueryServer`. The
+/// whole schedule — arrival times, priority classes, per-query k — is a
+/// pure function of `seed`, so overload experiments replay exactly.
+struct LoadProfile {
+  uint64_t seed = 1;
+  int num_queries = 64;
+  /// Probability that a query is interactive (the rest are batch).
+  double interactive_fraction = 0.7;
+  /// Mean of the exponential interarrival gap (open-loop pacing).
+  double mean_interarrival_ms = 5.0;
+  /// Arrivals per burst. 0 = Poisson arrivals; n > 0 = groups of n queries
+  /// arriving together, with an exponential gap between groups.
+  int burst_size = 0;
+  /// Closed-loop concurrency: keep exactly this many queries outstanding,
+  /// submitting the next as the oldest resolves (arrival times are then
+  /// ignored). 0 = open loop: submit on schedule regardless of completions
+  /// — offered load is independent of capacity, which is what overloads the
+  /// server.
+  int closed_loop_width = 0;
+  /// Open loop only: > 0 paces submissions in real time, sleeping
+  /// `gap * realtime_factor` between arrivals. 0 submits back to back.
+  double realtime_factor = 0.0;
+  /// Per-query answer count, drawn uniformly from [k_min, k_max].
+  int k_min = 5;
+  int k_max = 15;
+  int max_calls = 10000;
+  /// Queue-time deadline attached to every request (0 = class default).
+  double queue_deadline_ms = 0.0;
+  /// Run queries through the streaming engine instead of materializing.
+  bool streaming = false;
+};
+
+/// One scheduled arrival.
+struct LoadItem {
+  double arrival_ms = 0.0;
+  QueryRequest request;
+};
+
+/// Expands a profile into a reproducible arrival schedule for one query
+/// template (all requests share the query text and inputs; class, k, and
+/// timing vary per the profile's seed).
+class LoadGenerator {
+ public:
+  LoadGenerator(LoadProfile profile, std::string query_text,
+                std::map<std::string, Value> input_bindings)
+      : profile_(profile),
+        query_text_(std::move(query_text)),
+        input_bindings_(std::move(input_bindings)) {}
+
+  const LoadProfile& profile() const { return profile_; }
+
+  std::vector<LoadItem> Schedule() const;
+
+ private:
+  LoadProfile profile_;
+  std::string query_text_;
+  std::map<std::string, Value> input_bindings_;
+};
+
+/// The outcome of driving one schedule: terminal responses in submission
+/// order, plus the measured wall clock of the whole run.
+struct LoadReport {
+  std::vector<QueryResponse> responses;
+  double wall_ms = 0.0;
+
+  int64_t CountOutcome(ServedOutcome outcome) const;
+};
+
+/// Submits `schedule` to `server` per the profile's loop discipline and
+/// waits for every response. Open loop offers load on schedule (the
+/// overload case); closed loop throttles to `closed_loop_width` outstanding
+/// queries (the capacity-probe case).
+LoadReport DriveLoad(QueryServer* server, const std::vector<LoadItem>& schedule,
+                     const LoadProfile& profile);
+
+/// Named profiles surfaced by the shell's `--serve --load=<name>` flag:
+/// "light" (below capacity), "overload" (open loop at >= 3x capacity), and
+/// "burst" (synchronized arrival groups). nullopt for unknown names.
+std::optional<LoadProfile> LoadProfileByName(const std::string& name);
+
+}  // namespace seco
+
+#endif  // SECO_SIM_LOAD_GENERATOR_H_

@@ -156,5 +156,79 @@ TEST(CallCacheTest, ConcurrentGetPutHammering) {
   EXPECT_LE(stats.bytes, 8192);
 }
 
+TEST(CallCacheTest, BytesHighWaterBoundedByBudgetAndAboveBytes) {
+  ServiceCallCache cache(/*byte_budget=*/4096, /*num_shards=*/2);
+  for (int i = 0; i < 200; ++i) {
+    cache.Put(ServiceCallCache::Key("S", std::to_string(i), 0),
+              MakeResponse("payload-" + std::to_string(i), i));
+  }
+  CallCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.bytes, 4096);
+  EXPECT_LE(stats.bytes_high_water, 4096);
+  EXPECT_GE(stats.bytes_high_water, stats.bytes);
+  cache.Clear();
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes_high_water, 0);
+}
+
+TEST(CallCacheTest, PressurePastBudgetFromManyThreadsKeepsInvariants) {
+  // 8 writers offer far more distinct payload bytes than the budget while a
+  // sampler polls stats concurrently: the byte budget (and the high-water
+  // mark derived from it) must hold at every instant, not just at the end,
+  // and eviction accounting must stay consistent.
+  constexpr size_t kBudget = 8192;
+  ServiceCallCache cache(kBudget, /*num_shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 1500;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> budget_violations{0};
+  std::thread sampler([&cache, &done, &budget_violations] {
+    while (!done.load()) {
+      CallCacheStats snapshot = cache.stats();
+      if (snapshot.bytes > static_cast<int64_t>(kBudget) ||
+          snapshot.bytes_high_water > static_cast<int64_t>(kBudget) ||
+          snapshot.bytes < 0 || snapshot.entries < 0) {
+        budget_violations.fetch_add(1);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int key_id = (t * 131 + i * 29) % 512;
+        std::string key =
+            ServiceCallCache::Key("svc", std::to_string(key_id), i % 3);
+        if (i % 2 == 0) {
+          cache.Put(key, MakeResponse(
+                             std::string(64, 'x') + std::to_string(key_id),
+                             key_id));
+        } else {
+          (void)cache.Get(key);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  done.store(true);
+  sampler.join();
+
+  EXPECT_EQ(budget_violations.load(), 0);
+  CallCacheStats stats = cache.stats();
+  // Every Get was either a hit or a miss — no double counting under races.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(kThreads) * (kOpsPerThread / 2));
+  EXPECT_GT(stats.evictions, 0);  // the offered bytes dwarf the budget
+  EXPECT_LE(stats.bytes, static_cast<int64_t>(kBudget));
+  EXPECT_LE(stats.bytes_high_water, static_cast<int64_t>(kBudget));
+  EXPECT_GE(stats.bytes_high_water, stats.bytes);
+  // 512 key ids x 3 chunks bound the distinct keys ever stored.
+  EXPECT_LE(stats.entries, 512 * 3);
+}
+
 }  // namespace
 }  // namespace seco

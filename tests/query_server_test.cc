@@ -1,0 +1,523 @@
+// QueryServer behavior (docs/SERVER.md): admission control with explicit
+// shedding, the degradation ladder, weighted round-robin fairness across
+// priority classes, queue-time deadlines, and the determinism contract —
+// with the ladder off and load below capacity, served answers are
+// bit-identical to standalone engine runs.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "core/seco.h"
+
+namespace seco {
+namespace {
+
+// --- DegradationLadder (pure policy) --------------------------------------
+
+PressureSignals IdleSignals() {
+  PressureSignals signals;
+  signals.max_in_flight = 4;
+  signals.runner_threads = 4;
+  signals.queue_capacity = 16;
+  signals.cache_budget = 1 << 20;
+  return signals;
+}
+
+TEST(DegradationLadderTest, IdleServerScoresZeroAndLevelZero) {
+  DegradationLadder ladder(DegradationLadderConfig{});
+  EXPECT_DOUBLE_EQ(DegradationLadder::Score(IdleSignals(), ladder.config()),
+                   0.0);
+  EXPECT_EQ(ladder.LevelFor(IdleSignals()), 0);
+}
+
+TEST(DegradationLadderTest, LevelsRiseWithLoad) {
+  DegradationLadder ladder(DegradationLadderConfig{});
+  PressureSignals signals = IdleSignals();
+
+  // All slots busy, queues empty: score 0.5 -> level 1.
+  signals.in_flight = 4;
+  EXPECT_EQ(ladder.LevelFor(signals), 1);
+
+  // Slots busy + queues three-quarters full: score climbs past level 2.
+  signals.queued = 12;
+  EXPECT_GE(ladder.LevelFor(signals), 2);
+
+  // Queues full as well: level 3.
+  signals.queued = 16;
+  EXPECT_EQ(ladder.LevelFor(signals), 3);
+}
+
+TEST(DegradationLadderTest, OpenBreakerAloneReachesLevelTwo) {
+  DegradationLadder ladder(DegradationLadderConfig{});
+  PressureSignals signals = IdleSignals();
+  signals.open_breakers = 1;
+  // breaker_weight 0.75 sits exactly at the level-2 threshold.
+  EXPECT_EQ(ladder.LevelFor(signals), 2);
+}
+
+TEST(DegradationLadderTest, DisabledLadderPinsLevelZero) {
+  DegradationLadderConfig config;
+  config.enabled = false;
+  DegradationLadder ladder(config);
+  PressureSignals signals = IdleSignals();
+  signals.in_flight = 4;
+  signals.queued = 16;
+  signals.open_breakers = 3;
+  EXPECT_EQ(ladder.LevelFor(signals), 0);
+}
+
+TEST(DegradationLadderTest, ApplyCutsKAndBudgetOnlyFromLevelTwo) {
+  DegradationLadder ladder(DegradationLadderConfig{});
+  int k = 10, max_calls = 1000;
+  ladder.ApplyToRequest(1, &k, &max_calls);
+  EXPECT_EQ(k, 10);
+  EXPECT_EQ(max_calls, 1000);
+  ladder.ApplyToRequest(2, &k, &max_calls);
+  EXPECT_EQ(k, 5);
+  EXPECT_EQ(max_calls, 500);
+  // Floors: k never drops below min_k, max_calls never below 1.
+  int k1 = 1, budget1 = 1;
+  ladder.ApplyToRequest(3, &k1, &budget1);
+  EXPECT_EQ(k1, 1);
+  EXPECT_EQ(budget1, 1);
+}
+
+// --- AdmissionController ---------------------------------------------------
+
+AdmissionConfig SmallAdmission() {
+  AdmissionConfig config;
+  config.max_in_flight = 2;
+  config.interactive.queue_capacity = 2;
+  config.batch.queue_capacity = 2;
+  return config;
+}
+
+TEST(AdmissionControllerTest, ShedsWhenClassQueueIsFull) {
+  AdmissionController admission(SmallAdmission());
+  EXPECT_TRUE(admission.Offer(PriorityClass::kInteractive, 0.0).has_value());
+  EXPECT_TRUE(admission.Offer(PriorityClass::kInteractive, 0.0).has_value());
+  // Interactive is full; batch still has room.
+  EXPECT_FALSE(admission.Offer(PriorityClass::kInteractive, 0.0).has_value());
+  EXPECT_TRUE(admission.Offer(PriorityClass::kBatch, 0.0).has_value());
+}
+
+TEST(AdmissionControllerTest, WindowBoundsInFlight) {
+  AdmissionConfig config = SmallAdmission();
+  config.interactive.queue_capacity = 8;
+  AdmissionController admission(config);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(admission.Offer(PriorityClass::kInteractive, 0.0).has_value());
+  }
+  EXPECT_TRUE(admission.NextToDispatch(0.0).has_value());
+  EXPECT_TRUE(admission.NextToDispatch(0.0).has_value());
+  EXPECT_EQ(admission.in_flight(), 2);
+  EXPECT_FALSE(admission.NextToDispatch(0.0).has_value());  // window full
+  admission.OnFinished();
+  EXPECT_TRUE(admission.NextToDispatch(0.0).has_value());
+}
+
+TEST(AdmissionControllerTest, DrainFollowsWeightedRoundRobin) {
+  AdmissionConfig config;
+  config.max_in_flight = 100;
+  config.interactive = {/*queue_capacity=*/16, 0.0, /*weight=*/4};
+  config.batch = {/*queue_capacity=*/16, 0.0, /*weight=*/1};
+  AdmissionController admission(config);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(admission.Offer(PriorityClass::kInteractive, 0.0).has_value());
+    ASSERT_TRUE(admission.Offer(PriorityClass::kBatch, 0.0).has_value());
+  }
+  // Out of the first 5 dispatches, 4 go to interactive and 1 to batch —
+  // smoothly interleaved, and in FIFO order within each class.
+  int interactive = 0, batch = 0;
+  uint64_t last_interactive_id = 0, last_batch_id = 0;
+  for (int i = 0; i < 5; ++i) {
+    std::optional<QueueTicket> ticket = admission.NextToDispatch(0.0);
+    ASSERT_TRUE(ticket.has_value());
+    if (ticket->priority == PriorityClass::kInteractive) {
+      ++interactive;
+      EXPECT_GT(ticket->id, last_interactive_id);
+      last_interactive_id = ticket->id;
+    } else {
+      ++batch;
+      EXPECT_GT(ticket->id, last_batch_id);
+      last_batch_id = ticket->id;
+    }
+  }
+  EXPECT_EQ(interactive, 4);
+  EXPECT_EQ(batch, 1);
+}
+
+TEST(AdmissionControllerTest, BatchDrainsWhenInteractiveIsEmpty) {
+  AdmissionController admission(SmallAdmission());
+  ASSERT_TRUE(admission.Offer(PriorityClass::kBatch, 0.0).has_value());
+  std::optional<QueueTicket> ticket = admission.NextToDispatch(0.0);
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(ticket->priority, PriorityClass::kBatch);
+}
+
+TEST(AdmissionControllerTest, ExpiredTicketsResolveWithoutClaimingSlots) {
+  AdmissionConfig config = SmallAdmission();
+  config.max_in_flight = 1;
+  AdmissionController admission(config);
+  ASSERT_TRUE(admission.Offer(PriorityClass::kInteractive, 0.0).has_value());
+  ASSERT_TRUE(
+      admission.Offer(PriorityClass::kInteractive, 0.0, /*deadline=*/5.0)
+          .has_value());
+
+  // The first (deadline-free) ticket claims the single slot; the deadlined
+  // one queues behind it.
+  std::optional<QueueTicket> first = admission.NextToDispatch(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->expired);
+  EXPECT_EQ(admission.in_flight(), 1);
+
+  std::optional<QueueTicket> expired = admission.NextToDispatch(10.0);
+  ASSERT_TRUE(expired.has_value());
+  EXPECT_TRUE(expired->expired);
+  EXPECT_EQ(expired->priority, PriorityClass::kInteractive);
+  EXPECT_EQ(admission.in_flight(), 1);  // no slot claimed
+  EXPECT_FALSE(admission.NextToDispatch(10.0).has_value());
+}
+
+// --- QueryServer integration ----------------------------------------------
+
+ServerOptions QuietServer() {
+  ServerOptions options;
+  options.admission.max_in_flight = 2;
+  options.ladder.enabled = false;
+  return options;
+}
+
+TEST(QueryServerTest, LowLoadCompletesEverythingAtFullQuality) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  QueryServer server(scenario->registry, QuietServer());
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    QueryRequest request;
+    request.query_text = scenario->query_text;
+    request.input_bindings = scenario->inputs;
+    request.k = 5;
+    request.priority =
+        i % 2 == 0 ? PriorityClass::kInteractive : PriorityClass::kBatch;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  for (std::future<QueryResponse>& future : futures) {
+    QueryResponse response = future.get();
+    EXPECT_EQ(response.outcome, ServedOutcome::kCompleted)
+        << ServedOutcomeToString(response.outcome) << ": "
+        << response.status.ToString();
+    EXPECT_EQ(response.degradation_level, 0);
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_EQ(response.execution.combinations.size(), 5u);
+  }
+  server.Drain();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.interactive.completed + stats.batch.completed, 6);
+  EXPECT_EQ(stats.interactive.shed + stats.batch.shed, 0);
+  EXPECT_LE(stats.peak_in_flight, 2);
+  // Identical queries share the call cache: later runs hit warm entries.
+  EXPECT_GT(server.cache().stats().hits, 0);
+}
+
+TEST(QueryServerTest, AnswersBitIdenticalToStandaloneUnderCapacity) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+
+  // Standalone run: private everything, default options.
+  QuerySession session(scenario->registry);
+  Result<QueryOutcome> standalone =
+      session.Run(scenario->query_text, scenario->inputs);
+  ASSERT_TRUE(standalone.ok());
+
+  // Served run, ladder off, load far below capacity.
+  QueryServer server(scenario->registry, QuietServer());
+  QueryRequest request;
+  request.query_text = scenario->query_text;
+  request.input_bindings = scenario->inputs;
+  request.k = 10;
+  QueryResponse response = server.Submit(std::move(request)).get();
+  ASSERT_EQ(response.outcome, ServedOutcome::kCompleted)
+      << response.status.ToString();
+
+  const ExecutionResult& a = standalone->execution;
+  const ExecutionResult& b = response.execution;
+  EXPECT_EQ(b.total_calls, a.total_calls);
+  EXPECT_DOUBLE_EQ(b.elapsed_ms, a.elapsed_ms);
+  ASSERT_EQ(b.combinations.size(), a.combinations.size());
+  for (size_t i = 0; i < a.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.combinations[i].combined_score,
+                     a.combinations[i].combined_score);
+    ASSERT_EQ(b.combinations[i].components.size(),
+              a.combinations[i].components.size());
+    for (size_t c = 0; c < a.combinations[i].components.size(); ++c) {
+      EXPECT_TRUE(b.combinations[i].components[c] ==
+                  a.combinations[i].components[c]);
+    }
+  }
+}
+
+TEST(QueryServerTest, ShedsWithRejectedStatusWhenQueueIsFull) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  ServerOptions options = QuietServer();
+  options.admission.interactive.queue_capacity = 0;  // shed everything
+  QueryServer server(scenario->registry, options);
+
+  QueryRequest request;
+  request.query_text = scenario->query_text;
+  request.input_bindings = scenario->inputs;
+  std::future<QueryResponse> future = server.Submit(std::move(request));
+  // A shed future is ready immediately.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  QueryResponse response = future.get();
+  EXPECT_EQ(response.outcome, ServedOutcome::kShed);
+  EXPECT_EQ(response.status.code(), StatusCode::kRejected);
+  EXPECT_GT(response.retry_after_ms, 0.0);
+  EXPECT_EQ(server.stats().interactive.shed, 1);
+}
+
+TEST(QueryServerTest, ShedQueryLeavesNoExecutionResidue) {
+  // A shed query must consume nothing: no cache entries, no breaker state,
+  // no charged reliability attempts — admission rejects before any
+  // execution facility is touched.
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  ServerOptions options = QuietServer();
+  options.admission.interactive.queue_capacity = 0;
+  options.admission.batch.queue_capacity = 0;
+  options.reliability.retry.max_retries = 2;  // a live policy, never charged
+  QueryServer server(scenario->registry, options);
+
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest request;
+    request.query_text = scenario->query_text;
+    request.input_bindings = scenario->inputs;
+    request.priority =
+        i % 2 == 0 ? PriorityClass::kInteractive : PriorityClass::kBatch;
+    QueryResponse response = server.Submit(std::move(request)).get();
+    ASSERT_EQ(response.outcome, ServedOutcome::kShed);
+    EXPECT_EQ(response.execution.total_calls, 0);
+    EXPECT_EQ(response.execution.reliability.attempts, 0);
+  }
+  server.Drain();
+
+  CallCacheStats cache = server.cache().stats();
+  EXPECT_EQ(cache.entries, 0);
+  EXPECT_EQ(cache.bytes, 0);
+  EXPECT_EQ(cache.bytes_high_water, 0);
+  EXPECT_EQ(cache.hits + cache.misses, 0);
+  EXPECT_EQ(server.breakers().OpenCount(), 0);
+  EXPECT_TRUE(server.breakers().States().empty());
+  for (const auto& [name, backend] : scenario->backends) {
+    EXPECT_EQ(backend->call_count(), 0) << name;
+  }
+}
+
+// Pins every scenario backend to real time so queries occupy the window
+// long enough for queues to form.
+void SlowDown(Scenario* scenario, double factor) {
+  for (auto& [name, backend] : scenario->backends) {
+    backend->set_realtime_factor(factor);
+  }
+}
+
+TEST(QueryServerTest, QueueDeadlineExpiresWaitingQueries) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.02);  // ~2000 simulated ms -> ~40 real ms per query
+
+  ServerOptions options = QuietServer();
+  options.admission.max_in_flight = 1;
+  QueryServer server(scenario->registry, options);
+
+  QueryRequest slow;
+  slow.query_text = scenario->query_text;
+  slow.input_bindings = scenario->inputs;
+  std::future<QueryResponse> holder = server.Submit(slow);
+
+  // Tiny queue deadline: by the time the slot frees, it has long expired.
+  QueryRequest hurried = slow;
+  hurried.deadline_ms = 0.5;
+  std::future<QueryResponse> expired = server.Submit(std::move(hurried));
+
+  QueryResponse response = expired.get();
+  EXPECT_EQ(response.outcome, ServedOutcome::kDeadlineExpired);
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(response.queue_wait_ms, 0.5);
+  EXPECT_TRUE(holder.get().status.ok());
+  server.Drain();
+  EXPECT_EQ(server.stats().interactive.expired, 1);
+}
+
+TEST(QueryServerTest, InteractiveWaitsLessThanBatchUnderBacklog) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.01);
+
+  ServerOptions options = QuietServer();
+  options.admission.max_in_flight = 1;
+  options.admission.interactive.queue_capacity = 8;
+  options.admission.batch.queue_capacity = 8;
+  QueryServer server(scenario->registry, options);
+
+  // One query pins the single slot; the rest pile up behind it, batch
+  // first so FIFO order would favor batch — the 4:1 weighted round-robin
+  // must not.
+  QueryRequest base;
+  base.query_text = scenario->query_text;
+  base.input_bindings = scenario->inputs;
+  base.k = 5;
+  std::vector<std::future<QueryResponse>> futures;
+  futures.push_back(server.Submit(base));
+
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest batch = base;
+    batch.priority = PriorityClass::kBatch;
+    futures.push_back(server.Submit(std::move(batch)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest interactive = base;
+    interactive.priority = PriorityClass::kInteractive;
+    futures.push_back(server.Submit(std::move(interactive)));
+  }
+  for (std::future<QueryResponse>& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  server.Drain();
+
+  ServerStats stats = server.stats();
+  ASSERT_EQ(stats.interactive.queue_wait_ms.size(), 5u);
+  ASSERT_EQ(stats.batch.queue_wait_ms.size(), 4u);
+  // Despite arriving later, interactive queries drain mostly ahead of the
+  // batch backlog: their mean wait must come in under batch's.
+  auto mean = [](const std::vector<double>& samples) {
+    double sum = 0.0;
+    for (double s : samples) sum += s;
+    return sum / static_cast<double>(samples.size());
+  };
+  EXPECT_LT(mean(stats.interactive.queue_wait_ms),
+            mean(stats.batch.queue_wait_ms));
+}
+
+TEST(QueryServerTest, LadderDegradesAdmissionsUnderPressure) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.01);
+
+  ServerOptions options;
+  options.admission.max_in_flight = 1;
+  options.admission.interactive.queue_capacity = 6;
+  options.ladder.enabled = true;
+  QueryServer server(scenario->registry, options);
+
+  QueryRequest base;
+  base.query_text = scenario->query_text;
+  base.input_bindings = scenario->inputs;
+  base.k = 8;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 7; ++i) futures.push_back(server.Submit(base));
+
+  bool saw_degraded_level = false;
+  int cut_k_seen = 0;
+  for (std::future<QueryResponse>& future : futures) {
+    QueryResponse response = future.get();
+    if (response.degradation_level > 0 &&
+        response.outcome != ServedOutcome::kShed) {
+      saw_degraded_level = true;
+      EXPECT_EQ(response.outcome, ServedOutcome::kDegraded);
+      EXPECT_EQ(response.execution.degradation_level,
+                response.degradation_level);
+      if (response.degradation_level >= 2) {
+        // k was cut in half at admission (8 -> 4).
+        EXPECT_LE(response.execution.combinations.size(), 4u);
+        ++cut_k_seen;
+      }
+    }
+  }
+  server.Drain();
+  // The first query runs at level 0; the backlog behind the single slot
+  // must push later admissions up the ladder.
+  EXPECT_TRUE(saw_degraded_level);
+  ServerStats stats = server.stats();
+  int64_t degraded_admissions = 0;
+  for (int level = 1; level <= DegradationLadder::kMaxLevel; ++level) {
+    degraded_admissions += stats.interactive.degradation_levels[level];
+  }
+  EXPECT_GT(degraded_admissions, 0);
+  (void)cut_k_seen;
+}
+
+TEST(QueryServerTest, StreamingRequestsServeThroughTheSameFrontEnd) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  QueryServer server(scenario->registry, QuietServer());
+
+  QueryRequest request;
+  request.query_text = scenario->query_text;
+  request.input_bindings = scenario->inputs;
+  request.streaming = true;
+  request.k = 5;
+  QueryResponse response = server.Submit(std::move(request)).get();
+  ASSERT_EQ(response.outcome, ServedOutcome::kCompleted)
+      << response.status.ToString();
+  EXPECT_TRUE(response.streamed);
+  EXPECT_EQ(response.streaming.combinations.size(), 5u);
+  EXPECT_EQ(response.execution.combinations.size(), 0u);
+}
+
+TEST(QueryServerTest, ParseFailureResolvesAsFailedOutcome) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  QueryServer server(scenario->registry, QuietServer());
+
+  QueryRequest request;
+  request.query_text = "this is not a query";
+  QueryResponse response = server.Submit(std::move(request)).get();
+  EXPECT_EQ(response.outcome, ServedOutcome::kFailed);
+  EXPECT_FALSE(response.status.ok());
+  server.Drain();
+  EXPECT_EQ(server.stats().interactive.failed, 1);
+}
+
+TEST(QueryServerTest, EveryOutcomeIsLedgeredExactlyOnce) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  ServerOptions options = QuietServer();
+  options.admission.interactive.queue_capacity = 1;
+  options.admission.batch.queue_capacity = 1;
+  QueryServer server(scenario->registry, options);
+
+  LoadProfile profile;
+  profile.num_queries = 24;
+  profile.closed_loop_width = 0;  // open loop: force some shedding
+  profile.mean_interarrival_ms = 0.0;
+  profile.k_min = 3;
+  profile.k_max = 6;
+  LoadGenerator generator(profile, scenario->query_text, scenario->inputs);
+  LoadReport report = DriveLoad(&server, generator.Schedule(), profile);
+  server.Drain();
+
+  ASSERT_EQ(report.responses.size(), 24u);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.interactive.submitted + stats.batch.submitted, 24);
+  EXPECT_EQ(stats.interactive.finished() + stats.batch.finished(), 24);
+  for (const QueryResponse& response : report.responses) {
+    // Every query terminates with an explicit outcome; no silent drops.
+    EXPECT_TRUE(response.outcome == ServedOutcome::kCompleted ||
+                response.outcome == ServedOutcome::kDegraded ||
+                response.outcome == ServedOutcome::kShed ||
+                response.outcome == ServedOutcome::kDeadlineExpired ||
+                response.outcome == ServedOutcome::kFailed);
+  }
+}
+
+}  // namespace
+}  // namespace seco

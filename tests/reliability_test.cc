@@ -49,6 +49,49 @@ TEST(RetryPolicyTest, JitterIsDeterministicAndBounded) {
   EXPECT_NE(retry.BackoffMs(1, 0), retry.BackoffMs(2, 0));
 }
 
+TEST(RetryPolicyTest, BackoffBaseAboveCapIsClampedToCap) {
+  // A misconfigured base larger than the cap must still yield the capped,
+  // deterministic value — for every attempt, including the first.
+  RetryPolicy retry;
+  retry.backoff_base_ms = 5000.0;
+  retry.backoff_cap_ms = 300.0;
+  retry.jitter_fraction = 0.0;
+  for (int attempt : {0, 1, 5, 50}) {
+    EXPECT_DOUBLE_EQ(retry.BackoffMs(3, attempt), 300.0);
+  }
+}
+
+TEST(RetryPolicyTest, ZeroJitterIsExactNominalCurve) {
+  RetryPolicy retry;
+  retry.backoff_base_ms = 40.0;
+  retry.backoff_multiplier = 3.0;
+  retry.backoff_cap_ms = 1000.0;
+  retry.jitter_fraction = 0.0;
+  // With jitter off, the (ordinal, attempt) hash must not leak into the
+  // result: every ordinal sees the identical nominal curve.
+  for (uint64_t ordinal : {0ULL, 9ULL, 0xFFFFFFFFFFULL}) {
+    EXPECT_DOUBLE_EQ(retry.BackoffMs(ordinal, 0), 40.0);
+    EXPECT_DOUBLE_EQ(retry.BackoffMs(ordinal, 1), 120.0);
+    EXPECT_DOUBLE_EQ(retry.BackoffMs(ordinal, 2), 360.0);
+    EXPECT_DOUBLE_EQ(retry.BackoffMs(ordinal, 3), 1000.0);  // capped
+  }
+}
+
+TEST(RetryPolicyTest, UnitMultiplierNeverGrowsAndStaysCapped) {
+  RetryPolicy retry;
+  retry.backoff_base_ms = 75.0;
+  retry.backoff_multiplier = 1.0;  // constant backoff; the loop must
+  retry.backoff_cap_ms = 2000.0;   // terminate despite never reaching cap
+  retry.jitter_fraction = 0.0;
+  for (int attempt : {0, 1, 7, 100}) {
+    EXPECT_DOUBLE_EQ(retry.BackoffMs(11, attempt), 75.0);
+  }
+  // Constant backoff above the cap clamps like any other.
+  retry.backoff_base_ms = 4000.0;
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(11, 0), 2000.0);
+  EXPECT_DOUBLE_EQ(retry.BackoffMs(11, 64), 2000.0);
+}
+
 // --- CircuitBreaker -------------------------------------------------------
 
 TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndProbes) {

@@ -1,0 +1,175 @@
+// Soak test: the server is hit with an open-loop burst several times its
+// capacity while backends inject transient faults. The overload-safety
+// invariants (docs/SERVER.md) must hold throughout:
+//   - every submitted query terminates with an explicit outcome,
+//   - in-flight work and queue depths stay within their configured bounds,
+//   - shedding absorbs the excess (mostly in the batch class),
+//   - interactive queue waits stay within a generous bound.
+// The run is sized to stay fast enough for a TSan build (scripts/soak.sh).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "core/seco.h"
+
+namespace seco {
+namespace {
+
+TEST(ServerSoakTest, OverloadBurstWithFaultsKeepsEveryInvariant) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  // Transient faults on every backend; the server-wide retry policy must
+  // absorb them so overload — not fault leakage — decides the outcomes.
+  FaultProfile faults;
+  faults.transient_rate = 0.1;
+  faults.transient_attempts = 1;
+  faults.seed = 7;
+  for (auto& [name, backend] : scenario->backends) {
+    backend->set_fault_profile(faults);
+    backend->set_realtime_factor(0.002);  // queries occupy slots for real ms
+  }
+
+  ServerOptions options;
+  options.admission.max_in_flight = 2;
+  options.admission.interactive.queue_capacity = 6;
+  options.admission.batch.queue_capacity = 6;
+  options.ladder.enabled = true;
+  options.reliability.retry.max_retries = 2;
+  options.num_threads = 2;
+  QueryServer server(scenario->registry, options);
+
+  // Open loop at zero interarrival: 48 queries against a capacity of
+  // 2 in flight + 12 queued — a 3x+ overload by construction.
+  LoadProfile profile;
+  profile.seed = 11;
+  profile.num_queries = 48;
+  profile.closed_loop_width = 0;
+  profile.mean_interarrival_ms = 0.0;
+  profile.interactive_fraction = 0.5;
+  profile.k_min = 3;
+  profile.k_max = 8;
+  LoadGenerator generator(profile, scenario->query_text, scenario->inputs);
+  LoadReport report = DriveLoad(&server, generator.Schedule(), profile);
+  server.Drain();
+
+  ASSERT_EQ(report.responses.size(), 48u);
+  ServerStats stats = server.stats();
+
+  // Ledger closure: submissions equal terminal outcomes, per class.
+  EXPECT_EQ(stats.interactive.submitted + stats.batch.submitted, 48);
+  EXPECT_EQ(stats.interactive.finished(), stats.interactive.submitted);
+  EXPECT_EQ(stats.batch.finished(), stats.batch.submitted);
+
+  // Every response carries an explicit outcome and a status consistent
+  // with it — no silent drops, no successes reported as failures.
+  std::array<int, 5> outcome_counts{};
+  for (const QueryResponse& response : report.responses) {
+    outcome_counts[static_cast<int>(response.outcome)]++;
+    switch (response.outcome) {
+      case ServedOutcome::kCompleted:
+      case ServedOutcome::kDegraded:
+        EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+        break;
+      case ServedOutcome::kShed:
+        EXPECT_EQ(response.status.code(), StatusCode::kRejected);
+        EXPECT_GT(response.retry_after_ms, 0.0);
+        break;
+      case ServedOutcome::kDeadlineExpired:
+        EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+        break;
+      case ServedOutcome::kFailed:
+        EXPECT_FALSE(response.status.ok());
+        break;
+    }
+  }
+  int total = 0;
+  for (int count : outcome_counts) total += count;
+  EXPECT_EQ(total, 48);
+
+  // Bounded structures: the admission window and per-class queues never
+  // overshoot their configured capacities.
+  EXPECT_LE(stats.peak_in_flight, 2);
+  EXPECT_LE(stats.interactive.peak_queue_depth, 6);
+  EXPECT_LE(stats.batch.peak_queue_depth, 6);
+
+  // A 3x overload must shed; nothing may fail outright (faults are
+  // transient and within the retry budget).
+  EXPECT_GT(stats.interactive.shed + stats.batch.shed, 0);
+  EXPECT_EQ(stats.interactive.failed + stats.batch.failed, 0);
+
+  // Some queries still complete or degrade — the server keeps serving
+  // under overload rather than collapsing.
+  int64_t served = stats.interactive.completed + stats.interactive.degraded +
+                   stats.batch.completed + stats.batch.degraded;
+  EXPECT_GT(served, 0);
+
+  // Queue waits are bounded by construction: with a finite queue and a
+  // single-digit service time, the worst admitted query waits roughly
+  // (queue depth x service time). The generous real-time bound below is
+  // ~20x that, so it only fires on true unboundedness.
+  if (!stats.interactive.queue_wait_ms.empty()) {
+    double p95 = Percentile(stats.interactive.queue_wait_ms, 95.0);
+    EXPECT_LT(p95, 10000.0);
+  }
+
+  // Retries actually ran against the injected faults.
+  int64_t attempts = 0;
+  for (const QueryResponse& response : report.responses) {
+    attempts += response.streamed
+                    ? response.streaming.reliability.attempts
+                    : response.execution.reliability.attempts;
+  }
+  EXPECT_GT(attempts, 0);
+}
+
+TEST(ServerSoakTest, RepeatedBurstsStayStableAcrossEpochs) {
+  // Three consecutive bursts against one server instance: the ledger keeps
+  // closing and bounds keep holding as state (cache, breakers, stats)
+  // accumulates across epochs.
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  for (auto& [name, backend] : scenario->backends) {
+    backend->set_realtime_factor(0.002);
+  }
+
+  ServerOptions options;
+  options.admission.max_in_flight = 2;
+  options.admission.interactive.queue_capacity = 4;
+  options.admission.batch.queue_capacity = 4;
+  options.ladder.enabled = true;
+  options.num_threads = 2;
+  QueryServer server(scenario->registry, options);
+
+  int64_t expected_submitted = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    LoadProfile profile;
+    profile.seed = 100 + epoch;
+    profile.num_queries = 20;
+    profile.closed_loop_width = 0;
+    profile.mean_interarrival_ms = 0.0;
+    profile.k_min = 3;
+    profile.k_max = 6;
+    LoadGenerator generator(profile, scenario->query_text, scenario->inputs);
+    LoadReport report = DriveLoad(&server, generator.Schedule(), profile);
+    server.Drain();
+    expected_submitted += 20;
+
+    ASSERT_EQ(report.responses.size(), 20u);
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.interactive.submitted + stats.batch.submitted,
+              expected_submitted);
+    EXPECT_EQ(stats.interactive.finished() + stats.batch.finished(),
+              expected_submitted);
+    EXPECT_LE(stats.peak_in_flight, 2);
+  }
+  // The shared cache stayed within budget through all epochs.
+  CallCacheStats cache = server.cache().stats();
+  int64_t budget = static_cast<int64_t>(server.cache().byte_budget());
+  EXPECT_LE(cache.bytes, budget);
+  EXPECT_LE(cache.bytes_high_water, budget);
+}
+
+}  // namespace
+}  // namespace seco

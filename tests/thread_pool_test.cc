@@ -93,5 +93,70 @@ TEST(ThreadPoolTest, ThreadCountClampedToOne) {
   EXPECT_EQ(pool.Submit([] { return 3; }).get(), 3);
 }
 
+// The `completed()` counter bumps just after a task's future becomes ready,
+// so assertions on it wait for the counter to catch up.
+void AwaitCompleted(const ThreadPool& pool, int64_t expected) {
+  while (pool.completed() < expected) std::this_thread::yield();
+}
+
+TEST(ThreadPoolTest, QueueDepthAndCountersTrackSubmissions) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> started;
+  std::future<void> blocker = pool.Submit([&started, opened] {
+    started.set_value();
+    opened.wait();
+  });
+  started.get_future().wait();  // the lone worker is now pinned
+
+  std::future<void> a = pool.Submit([] {});
+  std::future<void> b = pool.Submit([] {});
+  EXPECT_EQ(pool.queue_depth(), 2);
+  EXPECT_EQ(pool.submitted(), 3);
+  EXPECT_EQ(pool.completed(), 0);
+
+  gate.set_value();
+  blocker.get();
+  a.get();
+  b.get();
+  AwaitCompleted(pool, 3);
+  EXPECT_EQ(pool.queue_depth(), 0);
+  EXPECT_EQ(pool.submitted(), 3);
+  EXPECT_EQ(pool.completed(), 3);
+}
+
+TEST(ThreadPoolTest, CountersIncludePostShutdownInlineTasks) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_EQ(pool.Submit([] { return 5; }).get(), 5);
+  EXPECT_EQ(pool.queue_depth(), 0);
+  EXPECT_EQ(pool.submitted(), 1);
+  EXPECT_EQ(pool.completed(), 1);
+}
+
+// Regression: a task that shuts the pool down and then submits more work
+// from inside a worker used to be able to deadlock if the inline-execution
+// path ran the task while holding the pool mutex. The inline path must run
+// lock-free, and a worker-side Shutdown must not join itself.
+TEST(ThreadPoolTest, SubmitFromWorkerDuringShutdownDoesNotDeadlock) {
+  std::atomic<int> inline_ran{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&pool, &inline_ran] {
+        pool.Shutdown();  // joins the sibling, skips the calling worker
+        // stopping_ is set: both submissions take the inline path, on a
+        // worker thread, nested one inside the other.
+        pool.Submit([&pool, &inline_ran] {
+              inline_ran.fetch_add(1);
+              pool.Submit([&inline_ran] { inline_ran.fetch_add(1); }).get();
+            })
+            .get();
+      })
+        .get();
+  }  // destructor performs the final self-join
+  EXPECT_EQ(inline_ran.load(), 2);
+}
+
 }  // namespace
 }  // namespace seco
