@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 
 namespace seco {
@@ -46,7 +48,8 @@ SyntheticPairParams BaseParams(ScoreDecay decay_x) {
 }
 
 MethodOutcome RunParallel(ScoreDecay decay_x, JoinInvocation invocation,
-                          JoinCompletion completion, int k) {
+                          JoinCompletion completion, int k,
+                          bool columnar = false) {
   SyntheticPair pair = Unwrap(MakeSyntheticPair(BaseParams(decay_x)), "pair");
   ChunkSource x(pair.x.interface, {});
   ChunkSource y(pair.y.interface, {});
@@ -55,6 +58,9 @@ MethodOutcome RunParallel(ScoreDecay decay_x, JoinInvocation invocation,
   config.strategy.completion = completion;
   config.k = k;
   config.max_calls = 200;
+  if (columnar) {
+    config.columns = ColumnJoinSpec{AttrPath{0, -1}, AttrPath{0, -1}};
+  }
   ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
   JoinExecution exec = Unwrap(executor.Run(), "run");
   MethodOutcome outcome;
@@ -127,7 +133,114 @@ MethodOutcome RunPipe(ScoreDecay decay_x, int fetches_per_input,
   return outcome;
 }
 
+/// E6b: per-chunk join throughput — the scalar tree-walk predicate (the
+/// seed's inner loop: Value::Compare per pair) against the columnar kernels
+/// (decode once into flat key arrays, then batch equality scans) at each
+/// compiled ISA level. All variants produce identical pair lists; only the
+/// clock differs.
+void ColumnarThroughput(bench_util::BenchJsonWriter* json) {
+  Section("E6b: per-chunk columnar kernels vs tree-walk predicate");
+  const size_t n = 256;  // one decoded batch per side
+  SplitMix64 rng(123);
+  std::vector<Tuple> tx, ty;
+  std::vector<double> sx, sy;
+  std::vector<int64_t> kx, ky;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key_x = static_cast<int64_t>(rng.Uniform(64));
+    int64_t key_y = static_cast<int64_t>(rng.Uniform(64));
+    kx.push_back(key_x);
+    ky.push_back(key_y);
+    sx.push_back(1.0 - static_cast<double>(i) / n);
+    sy.push_back(1.0 - 0.5 * static_cast<double>(i) / n);
+    tx.push_back(Tuple({Value(key_x), Value(sx.back())}));
+    ty.push_back(Tuple({Value(key_y), Value(sy.back())}));
+  }
+  const AttrPath key_path{0, -1};
+
+  // Wall-time a thunk for ~80ms and return pairs compared per second.
+  auto throughput = [&](auto&& body) {
+    body();  // warm-up
+    auto start = std::chrono::steady_clock::now();
+    long long iters = 0;
+    double secs = 0.0;
+    do {
+      body();
+      ++iters;
+      secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+    } while (secs < 0.08);
+    return static_cast<double>(iters) * static_cast<double>(n) *
+           static_cast<double>(n) / secs;
+  };
+
+  size_t sink = 0;
+  double tree_walk = throughput([&] {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        Result<bool> eq = tx[i].ValueAt(key_path).Compare(
+            Comparator::kEq, ty[j].ValueAt(key_path));
+        if (eq.ok() && eq.value()) ++sink;
+      }
+    }
+  });
+  std::printf("  %-22s %12.1fM pairs/s\n", "tree-walk predicate",
+              tree_walk / 1e6);
+  json->Record("match_pairs_throughput", "variant=tree_walk", "pairs_per_sec",
+               tree_walk);
+
+  KeyDictionary dict;
+  ColumnChunk cx = ColumnChunk::Decode(tx, sx, key_path, &dict);
+  ColumnChunk cy = ColumnChunk::Decode(ty, sy, key_path, &dict);
+  std::vector<simd::RowPair> pairs;
+  std::vector<simd::Kernel> variants = {simd::Kernel::kScalar,
+                                        simd::Kernel::kSse2};
+  if (simd::Avx2Available()) variants.push_back(simd::Kernel::kAvx2);
+  double scalar_columnar = 0.0;
+  for (simd::Kernel k : variants) {
+    simd::SetKernelOverride(k);
+    if (simd::ActiveKernel() != k) continue;  // not compiled in / no CPU
+    double rate = throughput([&] {
+      pairs.clear();
+      simd::MatchEqPairsI64(cx.key().i64, n, cy.key().i64, n, &pairs);
+      sink += pairs.size();
+    });
+    if (k == simd::Kernel::kScalar) scalar_columnar = rate;
+    char suffix[64] = "";
+    if (k != simd::Kernel::kScalar && scalar_columnar > 0.0) {
+      std::snprintf(suffix, sizeof(suffix), ", %.1fx scalar columnar",
+                    rate / scalar_columnar);
+    }
+    std::printf("  %-22s %12.1fM pairs/s   (%5.1fx tree-walk%s)\n",
+                (std::string("columnar ") + simd::KernelName(k)).c_str(),
+                rate / 1e6, rate / tree_walk, suffix);
+    json->Record("match_pairs_throughput",
+                 std::string("variant=") + simd::KernelName(k),
+                 "pairs_per_sec", rate);
+  }
+  simd::SetKernelOverride(std::nullopt);
+  benchmark::DoNotOptimize(sink);
+
+  // End-to-end sanity: the columnar parallel join returns bit-identical
+  // results to the tree-walk run (same scores, same order).
+  MethodOutcome plain = RunParallel(ScoreDecay::kLinear,
+                                    JoinInvocation::kMergeScan,
+                                    JoinCompletion::kRectangular, 20, false);
+  MethodOutcome col = RunParallel(ScoreDecay::kLinear,
+                                  JoinInvocation::kMergeScan,
+                                  JoinCompletion::kRectangular, 20, true);
+  std::printf("  end-to-end parallel join: %zu results tree-walk, %zu columnar"
+              " (%s)\n",
+              plain.results, col.results,
+              plain.results == col.results && plain.calls == col.calls
+                  ? "identical"
+                  : "MISMATCH");
+  json->Record("e2e_results_match", "parallel_ms_rect_k20", "bool",
+               plain.results == col.results ? 1.0 : 0.0);
+}
+
 void Report() {
+  bench_util::BenchJsonWriter json("join_methods");
   for (ScoreDecay decay : {ScoreDecay::kStep, ScoreDecay::kLinear}) {
     Section(std::string("E6: 8 join methods, outer decay = ") +
             ScoreDecayToString(decay) + ", k=20");
@@ -143,6 +256,12 @@ void Report() {
                     JoinInvocationToString(invocation),
                     JoinCompletionToString(completion), outcome.calls,
                     outcome.elapsed_ms, outcome.results, outcome.concordance);
+        json.Record("join_calls",
+                    std::string("topology=parallel invocation=") +
+                        JoinInvocationToString(invocation) + " completion=" +
+                        JoinCompletionToString(completion) + " decay=" +
+                        ScoreDecayToString(decay),
+                    "calls", outcome.calls);
       }
     }
     for (int fetches : {1, 2}) {
@@ -163,6 +282,7 @@ void Report() {
       "  (the extraction-order/cost trade-off); NL + triangular pays both\n"
       "  penalties at once -- the SS4.5 combination that 'makes little\n"
       "  sense in practice'.\n");
+  ColumnarThroughput(&json);
 }
 
 void BM_ParallelMergeScan(benchmark::State& state) {

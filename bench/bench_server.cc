@@ -22,6 +22,12 @@ namespace {
 
 using bench_util::Unwrap;
 
+/// Shared artifact writer; flushed by main after the benchmark run.
+bench_util::BenchJsonWriter& ServerJson() {
+  static bench_util::BenchJsonWriter writer("server");
+  return writer;
+}
+
 ServerOptions LoadedServerOptions() {
   ServerOptions options;
   options.admission.max_in_flight = 2;
@@ -76,6 +82,12 @@ void BM_ServerOfferedLoad(benchmark::State& state) {
           ? static_cast<double>(shed) / static_cast<double>(submitted)
           : 0.0;
   state.counters["interactive_p95_wait_ms"] = p95_wait;
+  std::string config = "offered=" + std::to_string(offered);
+  ServerJson().Record("goodput_qps", config, "qps",
+                      state.counters["goodput_qps"]);
+  ServerJson().Record("shed_rate", config, "fraction",
+                      state.counters["shed_rate"]);
+  ServerJson().Record("interactive_p95_wait_ms", config, "ms", p95_wait);
 }
 // Capacity is ~10 concurrent admissions (2 in flight + 2x8 queued): the
 // sweep crosses it and keeps going to 6x.
@@ -120,6 +132,11 @@ void BM_ServerClosedLoop(benchmark::State& state) {
                           : 0.0;
   state.counters["shed_rate"] =
       static_cast<double>(shed) / static_cast<double>(shed + useful);
+  std::string config = "closed_loop_width=" + std::to_string(width);
+  ServerJson().Record("goodput_qps", config, "qps",
+                      state.counters["goodput_qps"]);
+  ServerJson().Record("shed_rate", config, "fraction",
+                      state.counters["shed_rate"]);
 }
 BENCHMARK(BM_ServerClosedLoop)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
@@ -127,4 +144,11 @@ BENCHMARK(BM_ServerClosedLoop)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace seco
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  seco::ServerJson().Flush();
+  ::benchmark::Shutdown();
+  return 0;
+}

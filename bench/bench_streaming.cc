@@ -39,7 +39,7 @@ Fixture MakeMovieFixture() {
   return fx;
 }
 
-void Report() {
+void Report(bench_util::BenchJsonWriter* json) {
   Section("E15: streaming vs materializing execution (movie example)");
   Fixture fx = MakeMovieFixture();
   std::printf("  %-6s | %18s %18s %14s\n", "k", "materializing calls",
@@ -63,6 +63,10 @@ void Report() {
                 stream.total_calls,
                 100.0 * (mat.total_calls - stream.total_calls) /
                     std::max(mat.total_calls, 1));
+    json->Record("streaming_calls", "k=" + std::to_string(k), "calls",
+                 stream.total_calls);
+    json->Record("materializing_calls", "k=" + std::to_string(k), "calls",
+                 mat.total_calls);
   }
   std::printf(
       "\n  shape expectation: savings are largest at small k (the first\n"
@@ -185,6 +189,72 @@ void ReportPrefetchOverlap() {
       "  the same calls; wasted fetches stay cached for later runs.\n");
 }
 
+/// Columnar data plane inside the streaming JoinOp: the doctor plan's
+/// WorksAt node (atomic string-equality join of two search services) runs
+/// its equality group as key-scan kernels over the canonicalized partials.
+/// Sweeps the kernel ISA (answers must be identical) and reports the
+/// per-batch counters the engine now exposes. The movie fixture is NOT used
+/// here on purpose: its join is a repeating-group predicate, which the
+/// columnar gate correctly declines (the oracle keeps those).
+void ReportColumnar(bench_util::BenchJsonWriter* json) {
+  Section("streaming columnar data plane (doctor WorksAt join)");
+  DoctorScenarioParams params;
+  params.num_hospitals = 40;
+  params.doctors_per_specialty = 200;
+  Scenario scenario = Unwrap(MakeDoctorScenario(params), "scenario");
+  ParsedQuery parsed = Unwrap(ParseQuery(scenario.query_text), "parse");
+  BoundQuery query = Unwrap(BindQuery(parsed, *scenario.registry), "bind");
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.parallel_strategy.completion = JoinCompletion::kRectangular;
+  spec.atom_settings[0].fetch_factor = 8;
+  spec.atom_settings[1].fetch_factor = 8;
+  QueryPlan plan = Unwrap(BuildPlan(query, spec), "build");
+  CheckOk(AnnotatePlan(&plan).status(), "annotate");
+  auto run = [&]() {
+    StreamingOptions options;
+    options.k = 50;
+    options.input_bindings = scenario.inputs;
+    options.max_calls = 100000;
+    StreamingEngine engine(options);
+    return Unwrap(engine.Execute(plan), "stream");
+  };
+  StreamingResult baseline;
+  std::printf("  %-10s | %8s %13s %13s %12s %9s\n", "kernel", "answers",
+              "kernel scans", "scalar scans", "rows", "Mrows/s");
+  std::vector<simd::Kernel> variants = {simd::Kernel::kScalar,
+                                        simd::Kernel::kSse2};
+  if (simd::Avx2Available()) variants.push_back(simd::Kernel::kAvx2);
+  bool identical = true;
+  for (simd::Kernel k : variants) {
+    simd::SetKernelOverride(k);
+    if (simd::ActiveKernel() != k) continue;
+    StreamingResult r = run();
+    if (k == simd::Kernel::kScalar) {
+      baseline = r;
+    } else {
+      identical = identical &&
+                  r.combinations.size() == baseline.combinations.size();
+      for (size_t i = 0; identical && i < r.combinations.size(); ++i) {
+        identical = r.combinations[i].combined_score ==
+                    baseline.combinations[i].combined_score;
+      }
+    }
+    std::printf("  %-10s | %8zu %13lld %13lld %12lld %9.1f\n",
+                simd::KernelName(k), r.combinations.size(),
+                r.columnar.kernel_batches, r.columnar.scalar_batches,
+                r.columnar.kernel_rows, r.columnar.KernelRowsPerSec() / 1e6);
+    json->Record("streaming_kernel_rows_per_sec",
+                 std::string("kernel=") + simd::KernelName(k), "rows_per_sec",
+                 r.columnar.KernelRowsPerSec());
+  }
+  simd::SetKernelOverride(std::nullopt);
+  std::printf("  answers identical across kernels: %s\n",
+              identical ? "yes" : "NO (BUG)");
+  json->Record("streaming_kernel_identical", "movie_k20", "bool",
+               identical ? 1.0 : 0.0);
+}
+
 void BM_MaterializingK5(benchmark::State& state) {
   Fixture fx = MakeMovieFixture();
   ExecutionOptions options;
@@ -215,8 +285,11 @@ BENCHMARK(BM_StreamingK5);
 }  // namespace seco
 
 int main(int argc, char** argv) {
-  seco::Report();
+  seco::bench_util::BenchJsonWriter json("streaming");
+  seco::Report(&json);
   seco::ReportPrefetchOverlap();
+  seco::ReportColumnar(&json);
+  json.Flush();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -116,6 +116,100 @@ inline Result<ChainScenario> MakeChainScenario(int n, int rows = 400,
   return scenario;
 }
 
+/// Collects named metrics during a bench run and writes them as
+/// `BENCH_<name>.json` on destruction, so CI can upload machine-readable
+/// artifacts next to the human-readable stdout tables. Output directory is
+/// `$SECO_BENCH_DIR` (falls back to the working directory); the git revision
+/// is taken from `$SECO_GIT_REV` when the driver exports it.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  ~BenchJsonWriter() { Flush(); }
+
+  /// Records one measurement: a metric name, the configuration cell it was
+  /// measured under (free-form, e.g. "kernel=avx2 chunk=10"), a unit, and
+  /// the value. Re-recording the same (metric, config) overwrites — so
+  /// google-benchmark's repeated timing invocations keep the last value
+  /// instead of accumulating duplicates.
+  void Record(const std::string& metric, const std::string& config,
+              const std::string& unit, double value) {
+    for (Entry& e : entries_) {
+      if (e.metric == metric && e.config == config) {
+        e.unit = unit;
+        e.value = value;
+        return;
+      }
+    }
+    entries_.push_back(Entry{metric, config, unit, value});
+  }
+
+  /// Writes the file now (also called by the destructor; idempotent).
+  void Flush() {
+    if (flushed_ || entries_.empty()) return;
+    flushed_ = true;
+    std::string dir = ".";
+    if (const char* env = std::getenv("SECO_BENCH_DIR")) {
+      if (env[0] != '\0') dir = env;
+    }
+    std::string rev = "unknown";
+    if (const char* env = std::getenv("SECO_GIT_REV")) {
+      if (env[0] != '\0') rev = env;
+    }
+    std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJsonWriter: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n",
+                 Escaped(bench_name_).c_str(), Escaped(rev).c_str());
+    std::fprintf(f, "  \"entries\": [\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(
+          f,
+          "    {\"metric\": \"%s\", \"config\": \"%s\", \"unit\": \"%s\", "
+          "\"value\": %.17g}%s\n",
+          Escaped(e.metric).c_str(), Escaped(e.config).c_str(),
+          Escaped(e.unit).c_str(), e.value, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::string metric;
+    std::string config;
+    std::string unit;
+    double value;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+  bool flushed_ = false;
+};
+
 /// Kendall-tau-style concordance of a result sequence against its ideal
 /// (descending combined score) order: 1.0 = already sorted, 0 = random,
 /// negative = reversed. Measures "approximate ranking" quality (§4.1).

@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "core/seco.h"
+#include "data/kernels.h"
 #include "query/printer.h"
 
 namespace {
@@ -529,6 +530,23 @@ seco::Status Run(const Options& options) {
           "(finished %.0f ms, %d tuples out)\n",
           node_id, stats.calls, stats.cache_hits, stats.latency_ms,
           stats.finished_at_ms, stats.tuples_out);
+    }
+    if (stream.columnar.chunks_decoded > 0 ||
+        stream.columnar.kernel_batches > 0) {
+      const seco::ColumnarStats& col = stream.columnar;
+      std::printf(
+          "columnar data plane (kernel %s): %lld batches decoded "
+          "(%lld fallbacks), %lld kernel scans / %lld scalar, "
+          "%lld rows through kernels\n",
+          seco::simd::KernelName(seco::simd::ActiveKernel()),
+          col.chunks_decoded, col.decode_fallbacks, col.kernel_batches,
+          col.scalar_batches, col.kernel_rows);
+      if (col.KernelRowsPerSec() > 0.0) {
+        // Wall-clock-derived, so on its own "wall" line: the determinism
+        // check diffs shell output modulo `grep -v wall`.
+        std::printf("columnar kernel wall throughput: %.1fM rows/s\n",
+                    col.KernelRowsPerSec() / 1e6);
+      }
     }
     int rank = 0;
     for (const seco::Combination& combo : stream.combinations) {

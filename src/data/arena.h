@@ -1,0 +1,65 @@
+#ifndef SECO_DATA_ARENA_H_
+#define SECO_DATA_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace seco {
+
+/// A bump allocator backing one decoded column chunk. Allocations live until
+/// the arena is destroyed — there is no per-object free, which is exactly the
+/// lifetime of a chunk's columns: decoded once at admission, dropped with the
+/// owning `ColumnChunk`. Blocks grow geometrically so a chunk of any size
+/// costs O(log size) mallocs.
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = 4096)
+      : next_block_bytes_(first_block_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` objects of trivially destructible T.
+  /// The arena never runs destructors, so non-trivial types are forbidden.
+  template <typename T>
+  T* Allocate(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    if (n == 0) return nullptr;
+    size_t bytes = n * sizeof(T);
+    uintptr_t p = (cursor_ + alignof(T) - 1) & ~(uintptr_t{alignof(T)} - 1);
+    if (p + bytes > limit_) {
+      NewBlock(bytes + alignof(T));
+      p = (cursor_ + alignof(T) - 1) & ~(uintptr_t{alignof(T)} - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<T*>(p);
+  }
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  void NewBlock(size_t min_bytes) {
+    size_t size = next_block_bytes_;
+    while (size < min_bytes) size *= 2;
+    next_block_bytes_ = size * 2;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    cursor_ = reinterpret_cast<uintptr_t>(blocks_.back().get());
+    limit_ = cursor_ + size;
+    bytes_allocated_ += size;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_block_bytes_;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace seco
+
+#endif  // SECO_DATA_ARENA_H_

@@ -1,0 +1,294 @@
+#include "data/column_chunk.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace seco {
+
+namespace {
+
+/// Largest magnitude at which every int64 converts to double exactly; above
+/// it, distinct ints can collide after conversion, so int-vs-double columns
+/// must fall back rather than compare canonical double bits.
+constexpr int64_t kMaxExactInt = int64_t{1} << 53;
+
+/// Canonical bit pattern of a double for equality-by-bits: -0.0 folds into
+/// +0.0 (they compare equal as doubles but differ in bits). NaNs are never
+/// canonicalized — columns containing them are marked not f64_valid.
+int64_t CanonicalBits(double d) {
+  if (d == 0.0) d = 0.0;  // -0.0 == 0.0 is true, so this folds the sign out
+  int64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+bool NumericFamily(KeyFamily f) {
+  return f == KeyFamily::kInt || f == KeyFamily::kNumeric;
+}
+
+/// Folds one value's type into the running family of a column; kFallback is
+/// terminal (nulls, or a family mix that Compare would reject / that has no
+/// shared canonical encoding).
+KeyFamily MergeFamily(KeyFamily so_far, ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      if (so_far == KeyFamily::kInt || so_far == KeyFamily::kNumeric) {
+        return so_far;
+      }
+      return KeyFamily::kFallback;
+    case ValueType::kDouble:
+      if (NumericFamily(so_far)) return KeyFamily::kNumeric;
+      return KeyFamily::kFallback;
+    case ValueType::kString:
+      return so_far == KeyFamily::kString ? so_far : KeyFamily::kFallback;
+    case ValueType::kBool:
+      return so_far == KeyFamily::kBool ? so_far : KeyFamily::kFallback;
+    case ValueType::kNull:
+      return KeyFamily::kFallback;
+  }
+  return KeyFamily::kFallback;
+}
+
+KeyFamily InitialFamily(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return KeyFamily::kInt;
+    case ValueType::kDouble:
+      return KeyFamily::kNumeric;
+    case ValueType::kString:
+      return KeyFamily::kString;
+    case ValueType::kBool:
+      return KeyFamily::kBool;
+    case ValueType::kNull:
+      return KeyFamily::kFallback;
+  }
+  return KeyFamily::kFallback;
+}
+
+}  // namespace
+
+std::optional<PairMode> ComparablePairMode(const KeyColumn& a,
+                                           const KeyColumn& b) {
+  if (a.family == KeyFamily::kFallback || b.family == KeyFamily::kFallback) {
+    return std::nullopt;
+  }
+  if (a.family == b.family) {
+    switch (a.family) {
+      case KeyFamily::kInt:
+      case KeyFamily::kBool:
+        return PairMode::kI64;
+      case KeyFamily::kNumeric:
+        if (a.f64_valid && b.f64_valid) return PairMode::kF64Bits;
+        return std::nullopt;
+      case KeyFamily::kString:
+        return PairMode::kDict;
+      case KeyFamily::kFallback:
+        return std::nullopt;
+    }
+  }
+  // Cross-family: only int-vs-numeric is comparable (via exact double
+  // bits). Anything else would raise a type error per pair in the scalar
+  // semantics, which the scalar path must surface.
+  if (NumericFamily(a.family) && NumericFamily(b.family) && a.f64_valid &&
+      b.f64_valid) {
+    return PairMode::kF64Bits;
+  }
+  return std::nullopt;
+}
+
+std::optional<ScalarKey> CanonicalScalarKey(const Value& v,
+                                            KeyDictionary* dict) {
+  ScalarKey key;
+  switch (v.type()) {
+    case ValueType::kInt: {
+      int64_t i = v.AsInt();
+      key.family = KeyFamily::kInt;
+      key.i64 = i;
+      key.f64_valid = i <= kMaxExactInt && i >= -kMaxExactInt;
+      if (key.f64_valid) key.f64_bits = CanonicalBits(static_cast<double>(i));
+      return key;
+    }
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      key.family = KeyFamily::kNumeric;
+      key.f64_valid = !std::isnan(d);
+      if (key.f64_valid) key.f64_bits = CanonicalBits(d);
+      return key;
+    }
+    case ValueType::kString: {
+      if (dict == nullptr) return std::nullopt;
+      std::optional<uint32_t> code = dict->Intern(v.AsString());
+      if (!code.has_value()) return std::nullopt;
+      key.family = KeyFamily::kString;
+      key.code = *code;
+      return key;
+    }
+    case ValueType::kBool:
+      key.family = KeyFamily::kBool;
+      key.i64 = v.AsBool() ? 1 : 0;
+      return key;
+    case ValueType::kNull:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<PairMode> ComparableScalarMode(const ScalarKey& k,
+                                             const KeyColumn& col) {
+  KeyColumn probe;
+  probe.family = k.family;
+  probe.f64_valid = k.f64_valid;
+  return ComparablePairMode(probe, col);
+}
+
+void ScalarKeyBatch::Add(const std::optional<ScalarKey>& k) {
+  if (!k.has_value()) {
+    valid = false;
+    return;
+  }
+  if (!valid) return;
+  if (!any) {
+    any = true;
+    family = k->family;
+  } else if (family != k->family) {
+    bool numeric_mix =
+        (family == KeyFamily::kInt || family == KeyFamily::kNumeric) &&
+        (k->family == KeyFamily::kInt || k->family == KeyFamily::kNumeric);
+    if (!numeric_mix) {
+      valid = false;
+      return;
+    }
+    family = KeyFamily::kNumeric;
+  }
+  // Each representation stays aligned with the batch only while every key
+  // feeds it; the first key that can't drops that representation for good.
+  if (k->family == KeyFamily::kInt || k->family == KeyFamily::kBool) {
+    if (i64_ok) i64.push_back(k->i64);
+  } else {
+    i64_ok = false;
+  }
+  if (k->family != KeyFamily::kString && k->f64_valid) {
+    if (f64_ok) f64_bits.push_back(k->f64_bits);
+  } else {
+    f64_ok = false;
+  }
+  codes.push_back(k->code);
+}
+
+KeyColumn ScalarKeyBatch::View() const {
+  KeyColumn c;
+  c.family = (valid && any) ? family : KeyFamily::kFallback;
+  if ((c.family == KeyFamily::kInt || c.family == KeyFamily::kBool) &&
+      !i64_ok) {
+    c.family = KeyFamily::kFallback;
+  }
+  c.i64 = i64_ok ? i64.data() : nullptr;
+  c.f64_bits = f64_ok ? f64_bits.data() : nullptr;
+  c.f64_valid = f64_ok;
+  c.codes = codes.data();
+  c.size = codes.size();
+  return c;
+}
+
+ColumnChunk ColumnChunk::Decode(const std::vector<Tuple>& tuples,
+                                const std::vector<double>& scores,
+                                const AttrPath& key_path,
+                                KeyDictionary* dict) {
+  ColumnChunk out;
+  size_t n = tuples.size();
+  out.num_rows_ = n;
+
+  double* score_col = out.arena_.Allocate<double>(n);
+  int32_t* row_ids = out.arena_.Allocate<int32_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    score_col[i] = i < scores.size() ? scores[i] : 0.0;
+    row_ids[i] = static_cast<int32_t>(i);
+  }
+  out.scores_ = score_col;
+  out.row_ids_ = row_ids;
+  out.key_.size = n;
+  out.key_.family = KeyFamily::kFallback;
+  if (n == 0) return out;
+
+  // Pass 1: classify. The whole column must land in one kernel-comparable
+  // family; repeating-group keys keep their existential semantics and stay
+  // on the scalar path.
+  KeyFamily family = KeyFamily::kFallback;
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& t = tuples[i];
+    if (key_path.is_sub_attribute() || key_path.attr_index < 0 ||
+        key_path.attr_index >= t.num_slots() ||
+        !t.IsAtomic(key_path.attr_index)) {
+      return out;
+    }
+    ValueType vt = t.AtomicAt(key_path.attr_index).type();
+    family = i == 0 ? InitialFamily(vt) : MergeFamily(family, vt);
+    if (family == KeyFamily::kFallback) return out;
+  }
+
+  // Pass 2: fill the canonical arrays for the family.
+  switch (family) {
+    case KeyFamily::kInt: {
+      int64_t* i64 = out.arena_.Allocate<int64_t>(n);
+      int64_t* bits = out.arena_.Allocate<int64_t>(n);
+      bool exact = true;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t v = tuples[i].AtomicAt(key_path.attr_index).AsInt();
+        i64[i] = v;
+        exact = exact && v <= kMaxExactInt && v >= -kMaxExactInt;
+        if (exact) bits[i] = CanonicalBits(static_cast<double>(v));
+      }
+      out.key_.i64 = i64;
+      out.key_.f64_valid = exact;
+      if (exact) out.key_.f64_bits = bits;
+      break;
+    }
+    case KeyFamily::kNumeric: {
+      int64_t* bits = out.arena_.Allocate<int64_t>(n);
+      bool valid = true;
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = tuples[i].AtomicAt(key_path.attr_index);
+        if (v.type() == ValueType::kInt) {
+          int64_t iv = v.AsInt();
+          valid = valid && iv <= kMaxExactInt && iv >= -kMaxExactInt;
+          if (valid) bits[i] = CanonicalBits(static_cast<double>(iv));
+        } else {
+          double d = v.AsDouble();
+          valid = valid && !std::isnan(d);
+          if (valid) bits[i] = CanonicalBits(d);
+        }
+      }
+      if (!valid) return out;  // NaN or inexact int: scalar path
+      out.key_.f64_valid = true;
+      out.key_.f64_bits = bits;
+      break;
+    }
+    case KeyFamily::kString: {
+      if (dict == nullptr) return out;
+      uint32_t* codes = out.arena_.Allocate<uint32_t>(n);
+      for (size_t i = 0; i < n; ++i) {
+        std::optional<uint32_t> code =
+            dict->Intern(tuples[i].AtomicAt(key_path.attr_index).AsString());
+        if (!code.has_value()) return out;  // dictionary overflow
+        codes[i] = *code;
+      }
+      out.key_.codes = codes;
+      break;
+    }
+    case KeyFamily::kBool: {
+      int64_t* i64 = out.arena_.Allocate<int64_t>(n);
+      for (size_t i = 0; i < n; ++i) {
+        i64[i] = tuples[i].AtomicAt(key_path.attr_index).AsBool() ? 1 : 0;
+      }
+      out.key_.i64 = i64;
+      break;
+    }
+    case KeyFamily::kFallback:
+      return out;
+  }
+  out.key_.family = family;
+  return out;
+}
+
+}  // namespace seco

@@ -1,0 +1,209 @@
+#ifndef SECO_DATA_COLUMN_CHUNK_H_
+#define SECO_DATA_COLUMN_CHUNK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/arena.h"
+#include "data/kernels.h"
+#include "service/schema.h"
+#include "service/tuple.h"
+
+namespace seco {
+
+/// Interns join-key strings into dense uint32 codes so string equality
+/// becomes integer equality. Codes are only comparable within ONE dictionary,
+/// so the two sides of a join must share an instance (the executor owns it).
+/// A full dictionary stops interning; affected chunks fall back to the
+/// scalar predicate path — never to wrong answers.
+class KeyDictionary {
+ public:
+  explicit KeyDictionary(size_t capacity = size_t{1} << 16)
+      : capacity_(capacity) {}
+
+  /// The code for `s`, interning it if new; nullopt once the dictionary is
+  /// at capacity and `s` is unseen.
+  std::optional<uint32_t> Intern(const std::string& s) {
+    auto it = codes_.find(s);
+    if (it != codes_.end()) return it->second;
+    if (codes_.size() >= capacity_) {
+      overflowed_ = true;
+      return std::nullopt;
+    }
+    uint32_t code = static_cast<uint32_t>(codes_.size());
+    codes_.emplace(s, code);
+    return code;
+  }
+
+  size_t size() const { return codes_.size(); }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> codes_;
+  size_t capacity_;
+  bool overflowed_ = false;
+};
+
+/// The dynamic type family of a decoded key column. Kernels only compare
+/// columns whose families make `Value::Compare(kEq, ...)` equivalent to an
+/// integer comparison of the canonical encodings; anything else (nulls,
+/// repeating groups, mixed families, NaN, huge ints next to doubles,
+/// dictionary overflow) is `kFallback` and takes the scalar predicate.
+enum class KeyFamily : uint8_t {
+  kInt = 0,   // every key is kInt
+  kNumeric,   // kInt/kDouble mix; comparable via canonical double bits
+  kString,    // every key is kString, interned in the shared dictionary
+  kBool,      // every key is kBool, stored as 0/1 in i64
+  kFallback,  // not kernel-comparable; use the scalar path
+};
+
+/// One decoded key column. Array validity by family:
+///   kInt     -> i64 always; f64_bits iff f64_valid (all |v| <= 2^53)
+///   kNumeric -> f64_bits iff f64_valid (no NaN, ints exactly representable)
+///   kString  -> codes
+///   kBool    -> i64 (0/1)
+/// All arrays live in the owning ColumnChunk's arena.
+struct KeyColumn {
+  KeyFamily family = KeyFamily::kFallback;
+  const int64_t* i64 = nullptr;
+  const int64_t* f64_bits = nullptr;
+  const uint32_t* codes = nullptr;
+  bool f64_valid = false;
+  size_t size = 0;
+};
+
+/// Which canonical arrays a kernel should compare for a pair of columns.
+enum class PairMode : uint8_t { kI64, kF64Bits, kDict };
+
+/// The kernel mode under which comparing `a`'s and `b`'s canonical arrays is
+/// *exactly* `Value::Compare(kEq)` per row pair — including the property
+/// that no row pair could produce a type error. nullopt: scalar path.
+/// kDict requires both columns' codes to come from one shared dictionary;
+/// that is the caller's contract, not checked here.
+std::optional<PairMode> ComparablePairMode(const KeyColumn& a,
+                                           const KeyColumn& b);
+
+/// The canonical encoding of a single join-key value, for key-vs-column
+/// scans (pipe joins, streaming joins, top-k incremental buffers).
+struct ScalarKey {
+  KeyFamily family = KeyFamily::kFallback;
+  int64_t i64 = 0;
+  int64_t f64_bits = 0;
+  uint32_t code = 0;
+  bool f64_valid = false;
+};
+
+/// Canonicalizes one Value; nullopt when the value is not kernel-encodable
+/// (null, or a new string once `dict` is full).
+std::optional<ScalarKey> CanonicalScalarKey(const Value& v,
+                                            KeyDictionary* dict);
+
+/// Kernel mode for matching `k` against column `col`; nullopt: scalar path.
+std::optional<PairMode> ComparableScalarMode(const ScalarKey& k,
+                                             const KeyColumn& col);
+
+/// Accumulates canonical scalar keys into contiguous arrays so a batch of
+/// heterogeneous rows (streaming partials, top-k buffers) can serve as the
+/// haystack of a key-scan kernel. Any non-encodable key poisons the batch:
+/// `View()` then reports kFallback and callers take the scalar path.
+struct ScalarKeyBatch {
+  bool valid = true;
+  bool any = false;
+  KeyFamily family = KeyFamily::kFallback;
+  bool i64_ok = true;  // i64 array aligned with every key so far
+  bool f64_ok = true;  // f64_bits array aligned and NaN/precision-clean
+  std::vector<int64_t> i64;
+  std::vector<int64_t> f64_bits;
+  std::vector<uint32_t> codes;
+
+  void Clear() { *this = ScalarKeyBatch(); }
+  void Add(const std::optional<ScalarKey>& k);
+  /// A KeyColumn view over the accumulated keys, for pair-mode checks and
+  /// kernel scans. Arrays stay valid until the next Add/Clear.
+  KeyColumn View() const;
+};
+
+/// A service chunk decoded once, at admission, into flat columns: the
+/// canonicalized join-key column, the score column padded with 0.0 exactly
+/// as the executors pad missing scores, and a row-id column mapping each
+/// column row back to the owning Tuple for answer materialization. All
+/// storage lives in a per-chunk bump arena; the views stay valid for the
+/// lifetime of the ColumnChunk and never outlive the source's tuple storage.
+class ColumnChunk {
+ public:
+  ColumnChunk() = default;
+  ColumnChunk(ColumnChunk&&) = default;
+  ColumnChunk& operator=(ColumnChunk&&) = default;
+
+  /// Decodes `tuples`/`scores` (a `Chunk`'s payload) with the join key at
+  /// `key_path`. String keys intern into `dict` (may be null: string keys
+  /// then fall back). Never fails: undecodable keys yield a kFallback
+  /// column; scores and row ids are always materialized.
+  static ColumnChunk Decode(const std::vector<Tuple>& tuples,
+                            const std::vector<double>& scores,
+                            const AttrPath& key_path, KeyDictionary* dict);
+
+  const KeyColumn& key() const { return key_; }
+  /// `scores()[i]` is the executors' `i < scores.size() ? scores[i] : 0.0`.
+  const double* scores() const { return scores_; }
+  /// `row_ids()[i]` indexes the owning chunk's `tuples` vector.
+  const int32_t* row_ids() const { return row_ids_; }
+  size_t num_rows() const { return num_rows_; }
+  bool key_fallback() const { return key_.family == KeyFamily::kFallback; }
+
+ private:
+  Arena arena_;
+  KeyColumn key_;
+  const double* scores_ = nullptr;
+  const int32_t* row_ids_ = nullptr;
+  size_t num_rows_ = 0;
+};
+
+/// Per-run columnar execution counters, merged up into `JoinExecution` /
+/// `StreamingResult` and printed by seco_shell.
+struct ColumnarStats {
+  long long chunks_decoded = 0;
+  /// Chunks whose key column is kFallback (scalar predicate still correct).
+  long long decode_fallbacks = 0;
+  /// Batches (tiles / buffer scans / row blocks) routed through a kernel
+  /// vs. taken by the scalar tree-walk path.
+  long long kernel_batches = 0;
+  long long scalar_batches = 0;
+  /// Candidate rows compared in each mode (tile: |X| * |Y|).
+  long long kernel_rows = 0;
+  long long scalar_rows = 0;
+  /// Wall time spent inside kernel batches, for rows/sec reporting.
+  double kernel_ns = 0.0;
+
+  void Merge(const ColumnarStats& o) {
+    chunks_decoded += o.chunks_decoded;
+    decode_fallbacks += o.decode_fallbacks;
+    kernel_batches += o.kernel_batches;
+    scalar_batches += o.scalar_batches;
+    kernel_rows += o.kernel_rows;
+    scalar_rows += o.scalar_rows;
+    kernel_ns += o.kernel_ns;
+  }
+
+  double KernelRowsPerSec() const {
+    if (kernel_ns <= 0.0) return 0.0;
+    return static_cast<double>(kernel_rows) * 1e9 / kernel_ns;
+  }
+};
+
+/// Identifies the join-key attribute on each side of a binary join, opting
+/// that executor into the columnar fast path. The executor's predicate MUST
+/// be equality of exactly these two attributes (`Value::Compare(kEq)`
+/// semantics): kernels replace the predicate only on chunks proven
+/// equivalent, and everything else falls back to calling it.
+struct ColumnJoinSpec {
+  AttrPath x;
+  AttrPath y;
+};
+
+}  // namespace seco
+
+#endif  // SECO_DATA_COLUMN_CHUNK_H_

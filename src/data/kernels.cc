@@ -1,0 +1,427 @@
+#include "data/kernels_internal.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace seco {
+namespace simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. Compiled unconditionally; every SIMD variant is
+// checked against these bit-for-bit by tests/columnar_kernels_test.cc.
+// ---------------------------------------------------------------------------
+
+size_t ScalarMatchEqPairsI64(const int64_t* a, size_t na, const int64_t* b,
+                             size_t nb, std::vector<RowPair>* out) {
+  size_t found = 0;
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      if (a[i] == b[j]) {
+        out->push_back(
+            RowPair{static_cast<int32_t>(i), static_cast<int32_t>(j)});
+        ++found;
+      }
+    }
+  }
+  return found;
+}
+
+size_t ScalarMatchEqPairsU32(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb, std::vector<RowPair>* out) {
+  size_t found = 0;
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      if (a[i] == b[j]) {
+        out->push_back(
+            RowPair{static_cast<int32_t>(i), static_cast<int32_t>(j)});
+        ++found;
+      }
+    }
+  }
+  return found;
+}
+
+size_t ScalarMatchKeyI64(int64_t key, const int64_t* b, size_t nb,
+                         std::vector<int32_t>* out) {
+  size_t found = 0;
+  for (size_t j = 0; j < nb; ++j) {
+    if (b[j] == key) {
+      out->push_back(static_cast<int32_t>(j));
+      ++found;
+    }
+  }
+  return found;
+}
+
+size_t ScalarMatchKeyU32(uint32_t key, const uint32_t* b, size_t nb,
+                         std::vector<int32_t>* out) {
+  size_t found = 0;
+  for (size_t j = 0; j < nb; ++j) {
+    if (b[j] == key) {
+      out->push_back(static_cast<int32_t>(j));
+      ++found;
+    }
+  }
+  return found;
+}
+
+void ScalarCombineScores(double wa, const double* a, double wb,
+                         const double* b, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = wa * a[i] + wb * b[i];
+  }
+}
+
+void ScalarCombineScores1(double wa, double a, double wb, const double* b,
+                          size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = wa * a + wb * b[i];
+  }
+}
+
+void ScalarEqualMaskI64(const int64_t* a, const int64_t* b, size_t n,
+                        uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] == b[i] ? 1 : 0;
+  }
+}
+
+void ScalarEqualMaskU32(const uint32_t* a, const uint32_t* b, size_t n,
+                        uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] == b[i] ? 1 : 0;
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    &ScalarMatchEqPairsI64, &ScalarMatchEqPairsU32, &ScalarMatchKeyI64,
+    &ScalarMatchKeyU32,     &ScalarCombineScores,   &ScalarCombineScores1,
+    &ScalarEqualMaskI64,    &ScalarEqualMaskU32,
+};
+
+// ---------------------------------------------------------------------------
+// SSE2 kernels. SSE2 is part of the x86-64 baseline, so these compile
+// whenever the target is x86-64 — no extra flags, no separate TU.
+// ---------------------------------------------------------------------------
+#if defined(__SSE2__)
+
+/// 64-bit lane equality without SSE4.1's cmpeq_epi64: compare 32-bit halves,
+/// then AND each half with its partner so a lane is all-ones iff both halves
+/// matched.
+inline __m128i CmpEq64(__m128i a, __m128i b) {
+  __m128i t = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(t, _mm_shuffle_epi32(t, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+size_t Sse2MatchKeyI64(int64_t key, const int64_t* b, size_t nb,
+                       std::vector<int32_t>* out) {
+  size_t found = 0;
+  __m128i vk = _mm_set1_epi64x(key);
+  size_t j = 0;
+  for (; j + 2 <= nb; j += 2) {
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    int m = _mm_movemask_pd(_mm_castsi128_pd(CmpEq64(vk, vb)));
+    while (m != 0) {
+      int bit = __builtin_ctz(m);
+      out->push_back(static_cast<int32_t>(j + bit));
+      ++found;
+      m &= m - 1;
+    }
+  }
+  for (; j < nb; ++j) {
+    if (b[j] == key) {
+      out->push_back(static_cast<int32_t>(j));
+      ++found;
+    }
+  }
+  return found;
+}
+
+size_t Sse2MatchKeyU32(uint32_t key, const uint32_t* b, size_t nb,
+                       std::vector<int32_t>* out) {
+  size_t found = 0;
+  __m128i vk = _mm_set1_epi32(static_cast<int32_t>(key));
+  size_t j = 0;
+  for (; j + 4 <= nb; j += 4) {
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    int m = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(vk, vb)));
+    while (m != 0) {
+      int bit = __builtin_ctz(m);
+      out->push_back(static_cast<int32_t>(j + bit));
+      ++found;
+      m &= m - 1;
+    }
+  }
+  for (; j < nb; ++j) {
+    if (b[j] == key) {
+      out->push_back(static_cast<int32_t>(j));
+      ++found;
+    }
+  }
+  return found;
+}
+
+size_t Sse2MatchEqPairsI64(const int64_t* a, size_t na, const int64_t* b,
+                           size_t nb, std::vector<RowPair>* out) {
+  size_t found = 0;
+  for (size_t i = 0; i < na; ++i) {
+    __m128i va = _mm_set1_epi64x(a[i]);
+    size_t j = 0;
+    for (; j + 2 <= nb; j += 2) {
+      __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      int m = _mm_movemask_pd(_mm_castsi128_pd(CmpEq64(va, vb)));
+      while (m != 0) {
+        int bit = __builtin_ctz(m);
+        out->push_back(RowPair{static_cast<int32_t>(i),
+                               static_cast<int32_t>(j + bit)});
+        ++found;
+        m &= m - 1;
+      }
+    }
+    for (; j < nb; ++j) {
+      if (b[j] == a[i]) {
+        out->push_back(
+            RowPair{static_cast<int32_t>(i), static_cast<int32_t>(j)});
+        ++found;
+      }
+    }
+  }
+  return found;
+}
+
+size_t Sse2MatchEqPairsU32(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, std::vector<RowPair>* out) {
+  size_t found = 0;
+  for (size_t i = 0; i < na; ++i) {
+    __m128i va = _mm_set1_epi32(static_cast<int32_t>(a[i]));
+    size_t j = 0;
+    for (; j + 4 <= nb; j += 4) {
+      __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      int m = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+      while (m != 0) {
+        int bit = __builtin_ctz(m);
+        out->push_back(RowPair{static_cast<int32_t>(i),
+                               static_cast<int32_t>(j + bit)});
+        ++found;
+        m &= m - 1;
+      }
+    }
+    for (; j < nb; ++j) {
+      if (b[j] == a[i]) {
+        out->push_back(
+            RowPair{static_cast<int32_t>(i), static_cast<int32_t>(j)});
+        ++found;
+      }
+    }
+  }
+  return found;
+}
+
+void Sse2CombineScores(double wa, const double* a, double wb, const double* b,
+                       size_t n, double* out) {
+  __m128d vwa = _mm_set1_pd(wa);
+  __m128d vwb = _mm_set1_pd(wb);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d va = _mm_mul_pd(vwa, _mm_loadu_pd(a + i));
+    __m128d vb = _mm_mul_pd(vwb, _mm_loadu_pd(b + i));
+    _mm_storeu_pd(out + i, _mm_add_pd(va, vb));
+  }
+  for (; i < n; ++i) {
+    out[i] = wa * a[i] + wb * b[i];
+  }
+}
+
+void Sse2CombineScores1(double wa, double a, double wb, const double* b,
+                        size_t n, double* out) {
+  __m128d vwaa = _mm_mul_pd(_mm_set1_pd(wa), _mm_set1_pd(a));
+  __m128d vwb = _mm_set1_pd(wb);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d vb = _mm_mul_pd(vwb, _mm_loadu_pd(b + i));
+    _mm_storeu_pd(out + i, _mm_add_pd(vwaa, vb));
+  }
+  for (; i < n; ++i) {
+    out[i] = wa * a + wb * b[i];
+  }
+}
+
+void Sse2EqualMaskI64(const int64_t* a, const int64_t* b, size_t n,
+                      uint8_t* out) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    int m = _mm_movemask_pd(_mm_castsi128_pd(CmpEq64(va, vb)));
+    out[i] = static_cast<uint8_t>(m & 1);
+    out[i + 1] = static_cast<uint8_t>((m >> 1) & 1);
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] == b[i] ? 1 : 0;
+  }
+}
+
+void Sse2EqualMaskU32(const uint32_t* a, const uint32_t* b, size_t n,
+                      uint8_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    int m = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+    for (int lane = 0; lane < 4; ++lane) {
+      out[i + lane] = static_cast<uint8_t>((m >> lane) & 1);
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] == b[i] ? 1 : 0;
+  }
+}
+
+constexpr KernelTable kSse2Table = {
+    &Sse2MatchEqPairsI64, &Sse2MatchEqPairsU32, &Sse2MatchKeyI64,
+    &Sse2MatchKeyU32,     &Sse2CombineScores,   &Sse2CombineScores1,
+    &Sse2EqualMaskI64,    &Sse2EqualMaskU32,
+};
+#define SECO_HAVE_SSE2_TABLE 1
+#endif  // __SSE2__
+
+bool CpuHasAvx2() {
+#if defined(SECO_HAVE_AVX2_TU) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+/// Clamps a requested kernel to what this binary + CPU can actually run.
+Kernel Clamp(Kernel want) {
+  if (want == Kernel::kAvx2 && !CpuHasAvx2()) want = Kernel::kSse2;
+#if !defined(SECO_HAVE_SSE2_TABLE)
+  if (want == Kernel::kSse2) want = Kernel::kScalar;
+#endif
+  return want;
+}
+
+Kernel DetectKernel() {
+#if defined(SECO_SIMD_DISABLED)
+  return Kernel::kScalar;
+#else
+  const char* env = std::getenv("SECO_SIMD");
+  if (env != nullptr) {
+    std::string v(env);
+    if (v == "off" || v == "0" || v == "scalar") return Kernel::kScalar;
+    if (v == "sse2") return Clamp(Kernel::kSse2);
+    if (v == "avx2") return Clamp(Kernel::kAvx2);
+  }
+  return Clamp(Kernel::kAvx2);
+#endif
+}
+
+std::atomic<int> g_override{-1};
+
+const KernelTable* TableFor(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return &kScalarTable;
+    case Kernel::kSse2:
+#if defined(SECO_HAVE_SSE2_TABLE)
+      return &kSse2Table;
+#else
+      return &kScalarTable;
+#endif
+    case Kernel::kAvx2:
+#if defined(SECO_HAVE_AVX2_TU)
+      return &kAvx2Table;
+#else
+      break;
+#endif
+  }
+  return &kScalarTable;
+}
+
+const KernelTable* ActiveTable() { return TableFor(ActiveKernel()); }
+
+}  // namespace
+
+const char* KernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kSse2:
+      return "sse2";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Kernel ActiveKernel() {
+  int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return Clamp(static_cast<Kernel>(forced));
+  static const Kernel detected = DetectKernel();
+  return detected;
+}
+
+void SetKernelOverride(std::optional<Kernel> k) {
+  g_override.store(k.has_value() ? static_cast<int>(*k) : -1,
+                   std::memory_order_relaxed);
+}
+
+bool Avx2Available() {
+#if defined(SECO_SIMD_DISABLED)
+  return false;
+#else
+  return CpuHasAvx2();
+#endif
+}
+
+size_t MatchEqPairsI64(const int64_t* a, size_t na, const int64_t* b,
+                       size_t nb, std::vector<RowPair>* out) {
+  return ActiveTable()->match_eq_pairs_i64(a, na, b, nb, out);
+}
+
+size_t MatchEqPairsU32(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, std::vector<RowPair>* out) {
+  return ActiveTable()->match_eq_pairs_u32(a, na, b, nb, out);
+}
+
+size_t MatchKeyI64(int64_t key, const int64_t* b, size_t nb,
+                   std::vector<int32_t>* out) {
+  return ActiveTable()->match_key_i64(key, b, nb, out);
+}
+
+size_t MatchKeyU32(uint32_t key, const uint32_t* b, size_t nb,
+                   std::vector<int32_t>* out) {
+  return ActiveTable()->match_key_u32(key, b, nb, out);
+}
+
+void CombineScores(double wa, const double* a, double wb, const double* b,
+                   size_t n, double* out) {
+  ActiveTable()->combine_scores(wa, a, wb, b, n, out);
+}
+
+void CombineScores1(double wa, double a, double wb, const double* b, size_t n,
+                    double* out) {
+  ActiveTable()->combine_scores1(wa, a, wb, b, n, out);
+}
+
+void EqualMaskI64(const int64_t* a, const int64_t* b, size_t n, uint8_t* out) {
+  ActiveTable()->equal_mask_i64(a, b, n, out);
+}
+
+void EqualMaskU32(const uint32_t* a, const uint32_t* b, size_t n,
+                  uint8_t* out) {
+  ActiveTable()->equal_mask_u32(a, b, n, out);
+}
+
+}  // namespace simd
+}  // namespace seco

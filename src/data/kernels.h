@@ -1,0 +1,73 @@
+#ifndef SECO_DATA_KERNELS_H_
+#define SECO_DATA_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace seco {
+namespace simd {
+
+/// The kernel implementations compiled into this binary. Scalar is always
+/// present and is the reference: every SIMD variant must produce the exact
+/// same output in the exact same order, so dispatch is invisible to results.
+enum class Kernel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* KernelName(Kernel k);
+
+/// The kernel calls dispatch to right now: the best ISA the CPU supports
+/// among those compiled in, unless overridden by `SetKernelOverride` or the
+/// `SECO_SIMD` environment variable ("off"/"scalar", "sse2", "avx2").
+Kernel ActiveKernel();
+
+/// Forces dispatch to a specific kernel (tests and benches compare variants
+/// in-process). Requests for a kernel that is not compiled in or not
+/// supported by the CPU degrade to the best available one. nullopt restores
+/// automatic detection.
+void SetKernelOverride(std::optional<Kernel> k);
+
+/// True if the AVX2 kernel translation unit was compiled in and the CPU
+/// supports it (the override may still route around it).
+bool Avx2Available();
+
+/// One matching (row-of-a, row-of-b) pair.
+struct RowPair {
+  int32_t a;
+  int32_t b;
+};
+
+/// Appends every (i, j) with a[i] == b[j] to `out`, i-major with j ascending
+/// — the order of the scalar nested loop. Returns pairs appended.
+size_t MatchEqPairsI64(const int64_t* a, size_t na, const int64_t* b,
+                       size_t nb, std::vector<RowPair>* out);
+size_t MatchEqPairsU32(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, std::vector<RowPair>* out);
+
+/// Appends every j with b[j] == key to `out`, ascending. Returns matches.
+size_t MatchKeyI64(int64_t key, const int64_t* b, size_t nb,
+                   std::vector<int32_t>* out);
+size_t MatchKeyU32(uint32_t key, const uint32_t* b, size_t nb,
+                   std::vector<int32_t>* out);
+
+/// out[i] = wa * a[i] + wb * b[i], computed as two multiplies and an add in
+/// every variant (never an FMA), so the bits match the executors' scalar
+/// `wx * sx + wy * sy` expression exactly.
+void CombineScores(double wa, const double* a, double wb, const double* b,
+                   size_t n, double* out);
+
+/// out[i] = wa * a + wb * b[i]; the broadcast form used where one side of
+/// the combination is a single tuple (pipe joins, top-k new-tuple scans).
+void CombineScores1(double wa, double a, double wb, const double* b, size_t n,
+                    double* out);
+
+/// out[i] = (a[i] == b[i]) ? 1 : 0 — elementwise equality of two aligned
+/// key columns (the materializing engine's row-filter form).
+void EqualMaskI64(const int64_t* a, const int64_t* b, size_t n, uint8_t* out);
+void EqualMaskU32(const uint32_t* a, const uint32_t* b, size_t n,
+                  uint8_t* out);
+
+}  // namespace simd
+}  // namespace seco
+
+#endif  // SECO_DATA_KERNELS_H_

@@ -1,0 +1,203 @@
+// AVX2 variants of the columnar kernels. This is the only translation unit
+// compiled with -mavx2 (see src/data/CMakeLists.txt); it is reached solely
+// through the dispatch table, after __builtin_cpu_supports("avx2") verified
+// the ISA at runtime. Note: -mfma is deliberately absent and score
+// combination uses explicit mul+mul+add, so floating-point results are
+// bit-identical to the scalar reference.
+
+#include "data/kernels_internal.h"
+
+#if !defined(SECO_HAVE_AVX2_TU)
+#error "kernels_avx2.cc must be compiled with SECO_HAVE_AVX2_TU defined"
+#endif
+
+#include <immintrin.h>
+
+namespace seco {
+namespace simd {
+
+namespace {
+
+size_t Avx2MatchEqPairsI64(const int64_t* a, size_t na, const int64_t* b,
+                           size_t nb, std::vector<RowPair>* out) {
+  size_t found = 0;
+  for (size_t i = 0; i < na; ++i) {
+    __m256i va = _mm256_set1_epi64x(a[i]);
+    size_t j = 0;
+    for (; j + 4 <= nb; j += 4) {
+      __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      int m = _mm256_movemask_pd(
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb)));
+      while (m != 0) {
+        int bit = __builtin_ctz(m);
+        out->push_back(RowPair{static_cast<int32_t>(i),
+                               static_cast<int32_t>(j + bit)});
+        ++found;
+        m &= m - 1;
+      }
+    }
+    for (; j < nb; ++j) {
+      if (b[j] == a[i]) {
+        out->push_back(
+            RowPair{static_cast<int32_t>(i), static_cast<int32_t>(j)});
+        ++found;
+      }
+    }
+  }
+  return found;
+}
+
+size_t Avx2MatchEqPairsU32(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, std::vector<RowPair>* out) {
+  size_t found = 0;
+  for (size_t i = 0; i < na; ++i) {
+    __m256i va = _mm256_set1_epi32(static_cast<int32_t>(a[i]));
+    size_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+      __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      int m = _mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+      while (m != 0) {
+        int bit = __builtin_ctz(m);
+        out->push_back(RowPair{static_cast<int32_t>(i),
+                               static_cast<int32_t>(j + bit)});
+        ++found;
+        m &= m - 1;
+      }
+    }
+    for (; j < nb; ++j) {
+      if (b[j] == a[i]) {
+        out->push_back(
+            RowPair{static_cast<int32_t>(i), static_cast<int32_t>(j)});
+        ++found;
+      }
+    }
+  }
+  return found;
+}
+
+size_t Avx2MatchKeyI64(int64_t key, const int64_t* b, size_t nb,
+                       std::vector<int32_t>* out) {
+  size_t found = 0;
+  __m256i vk = _mm256_set1_epi64x(key);
+  size_t j = 0;
+  for (; j + 4 <= nb; j += 4) {
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    int m =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(vk, vb)));
+    while (m != 0) {
+      int bit = __builtin_ctz(m);
+      out->push_back(static_cast<int32_t>(j + bit));
+      ++found;
+      m &= m - 1;
+    }
+  }
+  for (; j < nb; ++j) {
+    if (b[j] == key) {
+      out->push_back(static_cast<int32_t>(j));
+      ++found;
+    }
+  }
+  return found;
+}
+
+size_t Avx2MatchKeyU32(uint32_t key, const uint32_t* b, size_t nb,
+                       std::vector<int32_t>* out) {
+  size_t found = 0;
+  __m256i vk = _mm256_set1_epi32(static_cast<int32_t>(key));
+  size_t j = 0;
+  for (; j + 8 <= nb; j += 8) {
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    int m =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(vk, vb)));
+    while (m != 0) {
+      int bit = __builtin_ctz(m);
+      out->push_back(static_cast<int32_t>(j + bit));
+      ++found;
+      m &= m - 1;
+    }
+  }
+  for (; j < nb; ++j) {
+    if (b[j] == key) {
+      out->push_back(static_cast<int32_t>(j));
+      ++found;
+    }
+  }
+  return found;
+}
+
+void Avx2CombineScores(double wa, const double* a, double wb, const double* b,
+                       size_t n, double* out) {
+  __m256d vwa = _mm256_set1_pd(wa);
+  __m256d vwb = _mm256_set1_pd(wb);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d va = _mm256_mul_pd(vwa, _mm256_loadu_pd(a + i));
+    __m256d vb = _mm256_mul_pd(vwb, _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(va, vb));
+  }
+  for (; i < n; ++i) {
+    out[i] = wa * a[i] + wb * b[i];
+  }
+}
+
+void Avx2CombineScores1(double wa, double a, double wb, const double* b,
+                        size_t n, double* out) {
+  __m256d vwaa = _mm256_mul_pd(_mm256_set1_pd(wa), _mm256_set1_pd(a));
+  __m256d vwb = _mm256_set1_pd(wb);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vb = _mm256_mul_pd(vwb, _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(vwaa, vb));
+  }
+  for (; i < n; ++i) {
+    out[i] = wa * a + wb * b[i];
+  }
+}
+
+void Avx2EqualMaskI64(const int64_t* a, const int64_t* b, size_t n,
+                      uint8_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    int m =
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb)));
+    for (int lane = 0; lane < 4; ++lane) {
+      out[i + lane] = static_cast<uint8_t>((m >> lane) & 1);
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] == b[i] ? 1 : 0;
+  }
+}
+
+void Avx2EqualMaskU32(const uint32_t* a, const uint32_t* b, size_t n,
+                      uint8_t* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    int m =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vb)));
+    for (int lane = 0; lane < 8; ++lane) {
+      out[i + lane] = static_cast<uint8_t>((m >> lane) & 1);
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] == b[i] ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+const KernelTable kAvx2Table = {
+    &Avx2MatchEqPairsI64, &Avx2MatchEqPairsU32, &Avx2MatchKeyI64,
+    &Avx2MatchKeyU32,     &Avx2CombineScores,   &Avx2CombineScores1,
+    &Avx2EqualMaskI64,    &Avx2EqualMaskU32,
+};
+
+}  // namespace simd
+}  // namespace seco

@@ -1,0 +1,37 @@
+#ifndef SECO_DATA_KERNELS_INTERNAL_H_
+#define SECO_DATA_KERNELS_INTERNAL_H_
+
+#include "data/kernels.h"
+
+namespace seco {
+namespace simd {
+
+/// The per-ISA function table dispatch indexes into. Shared between
+/// kernels.cc (scalar + SSE2 + dispatch) and kernels_avx2.cc (the only TU
+/// built with -mavx2, so AVX2 code never leaks into baseline code paths).
+struct KernelTable {
+  size_t (*match_eq_pairs_i64)(const int64_t*, size_t, const int64_t*, size_t,
+                               std::vector<RowPair>*);
+  size_t (*match_eq_pairs_u32)(const uint32_t*, size_t, const uint32_t*,
+                               size_t, std::vector<RowPair>*);
+  size_t (*match_key_i64)(int64_t, const int64_t*, size_t,
+                          std::vector<int32_t>*);
+  size_t (*match_key_u32)(uint32_t, const uint32_t*, size_t,
+                          std::vector<int32_t>*);
+  void (*combine_scores)(double, const double*, double, const double*, size_t,
+                         double*);
+  void (*combine_scores1)(double, double, double, const double*, size_t,
+                          double*);
+  void (*equal_mask_i64)(const int64_t*, const int64_t*, size_t, uint8_t*);
+  void (*equal_mask_u32)(const uint32_t*, const uint32_t*, size_t, uint8_t*);
+};
+
+#if defined(SECO_HAVE_AVX2_TU)
+/// Defined in kernels_avx2.cc.
+extern const KernelTable kAvx2Table;
+#endif
+
+}  // namespace simd
+}  // namespace seco
+
+#endif  // SECO_DATA_KERNELS_INTERNAL_H_

@@ -1,0 +1,58 @@
+#ifndef SECO_DATA_PREDICATE_FAST_H_
+#define SECO_DATA_PREDICATE_FAST_H_
+
+#include "common/result.h"
+#include "query/bound_query.h"
+#include "service/tuple.h"
+
+namespace seco {
+
+/// True iff every clause of `group` joins atomic paths between the group's
+/// two endpoint atoms. For such groups the oracle's InstanceSearch has zero
+/// repeating groups to enumerate, so `EvalAtomicJoinGroup` below is exactly
+/// equivalent to `SatisfiesJoinGroup` — minus the per-call allocations
+/// (atom vector, std::function, assignment map).
+inline bool JoinGroupAllAtomic(const BoundJoinGroup& group) {
+  if (group.clauses.empty()) return true;
+  int from_atom = group.clauses[0].from_atom;
+  int to_atom = group.clauses[0].to_atom;
+  for (const JoinClause& c : group.clauses) {
+    if (c.from_path.is_sub_attribute() || c.to_path.is_sub_attribute()) {
+      return false;
+    }
+    if ((c.from_atom != from_atom && c.from_atom != to_atom) ||
+        (c.to_atom != from_atom && c.to_atom != to_atom)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Evaluates an all-atomic join group (`JoinGroupAllAtomic` must hold):
+/// the clauses are conjoined over direct attribute values, with the same
+/// comparison results and error statuses as the oracle.
+inline Result<bool> EvalAtomicJoinGroup(const BoundJoinGroup& group,
+                                        const Tuple& from_tuple,
+                                        const Tuple& to_tuple) {
+  if (group.clauses.empty()) return true;
+  int from_atom = group.clauses[0].from_atom;
+  for (const JoinClause& c : group.clauses) {
+    const Tuple& lhs = c.from_atom == from_atom ? from_tuple : to_tuple;
+    const Tuple& rhs = c.to_atom == from_atom ? from_tuple : to_tuple;
+    SECO_ASSIGN_OR_RETURN(
+        bool ok, lhs.ValueAt(c.from_path).Compare(c.op, rhs.ValueAt(c.to_path)));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// True iff the group is one atomic-path equality clause — the shape the
+/// columnar kernels accelerate end to end.
+inline bool IsAtomicEqJoinGroup(const BoundJoinGroup& group) {
+  return group.clauses.size() == 1 &&
+         group.clauses[0].op == Comparator::kEq && JoinGroupAllAtomic(group);
+}
+
+}  // namespace seco
+
+#endif  // SECO_DATA_PREDICATE_FAST_H_

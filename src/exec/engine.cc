@@ -9,6 +9,7 @@
 #include <set>
 
 #include "common/thread_pool.h"
+#include "data/predicate_fast.h"
 #include "exec/call_cache.h"
 #include "exec/call_scheduler.h"
 #include "query/semantics.h"
@@ -60,6 +61,15 @@ struct FetchOutcome {
   bool failed = false;
   Status failure;
 };
+
+/// Join-group check with the allocation-free fast path for all-atomic
+/// groups (exactly equivalent to the oracle; see data/predicate_fast.h).
+Result<bool> HoldsJoinGroup(const BoundQuery& query,
+                            const BoundJoinGroup& group, const Tuple& a,
+                            const Tuple& b) {
+  if (JoinGroupAllAtomic(group)) return EvalAtomicJoinGroup(group, a, b);
+  return SatisfiesJoinGroup(query, group, a, b);
+}
 
 }  // namespace
 
@@ -235,10 +245,11 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
                     }
                     continue;
                   }
-                  for (Value& v :
-                       row.tuples[provider]->CandidateValuesAt(provider_path)) {
-                    values.push_back(std::move(v));
-                  }
+                  row.tuples[provider]->ForEachCandidateAt(
+                      provider_path, [&values](const Value& v) {
+                        values.push_back(v);
+                        return true;
+                      });
                 }
                 if (!values.empty()) break;
               }
@@ -474,8 +485,8 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
                 }
                 SECO_ASSIGN_OR_RETURN(
                     bool holds,
-                    SatisfiesJoinGroup(query, group, *extended.tuples[a],
-                                       *extended.tuples[b]));
+                    HoldsJoinGroup(query, group, *extended.tuples[a],
+                                   *extended.tuples[b]));
                 if (!holds) {
                   ok = false;
                   break;
@@ -542,9 +553,9 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
                 break;
               }
               SECO_ASSIGN_OR_RETURN(bool holds,
-                                    SatisfiesJoinGroup(query, group,
-                                                       *row.tuples[a],
-                                                       *row.tuples[b]));
+                                    HoldsJoinGroup(query, group,
+                                                   *row.tuples[a],
+                                                   *row.tuples[b]));
               if (!holds) {
                 ok = false;
                 break;
@@ -641,8 +652,8 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
                 break;
               }
               SECO_ASSIGN_OR_RETURN(
-                  bool holds, SatisfiesJoinGroup(query, group, *row.tuples[a],
-                                                 *row.tuples[b]));
+                  bool holds, HoldsJoinGroup(query, group, *row.tuples[a],
+                                             *row.tuples[b]));
               if (!holds) {
                 ok = false;
                 break;

@@ -11,6 +11,9 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "data/column_chunk.h"
+#include "data/kernels.h"
+#include "data/predicate_fast.h"
 #include "exec/call_cache.h"
 #include "exec/call_scheduler.h"
 #include "query/semantics.h"
@@ -81,6 +84,8 @@ struct RunState {
   /// the deterministic mid-run clock the query deadline is checked against.
   double consumed_latency_ms = 0.0;
   double overhead_consumed_ms = 0.0;
+  /// Columnar data-plane counters, merged from every JoinOp of the run.
+  ColumnarStats columnar;
 
   ServiceCallHandler* HandlerFor(const PlanNode& node) const {
     auto it = handlers.find(node.id);
@@ -142,6 +147,15 @@ int ClassifyEndpoints(const SRow& row, int a, int b, const RunState& state) {
     cls = 1;
   }
   return cls;
+}
+
+/// Join-group check with the allocation-free fast path for all-atomic
+/// groups (exactly equivalent to the oracle; see data/predicate_fast.h).
+Result<bool> HoldsJoinGroup(const BoundQuery& query,
+                            const BoundJoinGroup& group, const Tuple& a,
+                            const Tuple& b) {
+  if (JoinGroupAllAtomic(group)) return EvalAtomicJoinGroup(group, a, b);
+  return SatisfiesJoinGroup(query, group, a, b);
 }
 
 /// Lazily-fetched, cached result list for one (service, binding) pair.
@@ -397,10 +411,11 @@ Result<std::vector<std::vector<Value>>> ComputeNodeBindings(
             }
             continue;
           }
-          for (Value& v :
-               pulled.tuples[provider]->CandidateValuesAt(provider_path)) {
-            values.push_back(std::move(v));
-          }
+          pulled.tuples[provider]->ForEachCandidateAt(
+              provider_path, [&values](const Value& v) {
+                values.push_back(v);
+                return true;
+              });
         }
         if (!values.empty()) break;
       }
@@ -603,8 +618,8 @@ class ServiceCallOp : public Op {
         continue;
       }
       SECO_ASSIGN_OR_RETURN(bool holds,
-                            SatisfiesJoinGroup(query, group, *extended.tuples[a],
-                                               *extended.tuples[b]));
+                            HoldsJoinGroup(query, group, *extended.tuples[a],
+                                           *extended.tuples[b]));
       if (!holds) return false;
     }
     return true;
@@ -673,9 +688,8 @@ class SelectionOp : public Op {
             break;
           }
           SECO_ASSIGN_OR_RETURN(bool holds,
-                                SatisfiesJoinGroup(query, group,
-                                                   *pulled.tuples[a],
-                                                   *pulled.tuples[b]));
+                                HoldsJoinGroup(query, group, *pulled.tuples[a],
+                                               *pulled.tuples[b]));
           if (!holds) {
             ok = false;
             break;
@@ -746,6 +760,7 @@ class JoinOp : public Op {
             &(*caches_)[branches_.back()->id]);
         have_last_row_ = false;
         partial_idx_ = 0;
+        PrepareColumnar();
         seeded_ = true;
       }
 
@@ -755,54 +770,88 @@ class JoinOp : public Op {
           if (!got) break;  // this upstream row is drained
           have_last_row_ = true;
           partial_idx_ = 0;
+          PrepareMatches();
         }
         bool emitted = false;
-        while (partial_idx_ < partials_.size()) {
-          const SRow& partial = partials_[partial_idx_++];
-          if (branches_.size() == 2 &&
-              node_->strategy.completion == JoinCompletion::kTriangular) {
-            double fx = std::max(branches_[0]->fetch_factor, 1);
-            double fy = std::max(branches_[1]->fetch_factor, 1);
-            double pos = (partial.chunk_ord + 0.5) / fx +
-                         (last_row_.chunk_ord + 0.5) / fy;
-            if (pos > 1.0) continue;
-          }
-          SRow merged = partial;
-          for (size_t a = 0; a < merged.tuples.size(); ++a) {
-            if (last_row_.tuples[a].has_value() && !merged.tuples[a].has_value()) {
-              merged.tuples[a] = last_row_.tuples[a];
-              merged.scores[a] = last_row_.scores[a];
+        if (col_have_matches_) {
+          // Kernel path: `col_matches_` holds exactly the partials whose key
+          // equals this last row's (Value::Compare(kEq)-equivalent by
+          // ComparableScalarMode), in ascending partial order — the scalar
+          // loop's iteration order. The node's single equality group IS that
+          // match, so no per-pair re-check runs.
+          while (col_match_pos_ < col_matches_.size()) {
+            const SRow& partial = partials_[col_matches_[col_match_pos_++]];
+            if (branches_.size() == 2 &&
+                node_->strategy.completion == JoinCompletion::kTriangular) {
+              double fx = std::max(branches_[0]->fetch_factor, 1);
+              double fy = std::max(branches_[1]->fetch_factor, 1);
+              double pos = (partial.chunk_ord + 0.5) / fx +
+                           (last_row_.chunk_ord + 0.5) / fy;
+              if (pos > 1.0) continue;
             }
-          }
-          bool ok = true;
-          for (int group_idx : node_->join_groups) {
-            const BoundJoinGroup& group = query.joins[group_idx];
-            const JoinClause& first = group.clauses[0];
-            int a = first.from_atom, b = first.to_atom;
-            int cls = ClassifyEndpoints(merged, a, b, *state_);
-            if (cls == 1) continue;  // degraded endpoint: predicate skipped
-            if (cls < 0) {
-              ok = false;
-              break;
+            SRow merged = partial;
+            for (size_t a = 0; a < merged.tuples.size(); ++a) {
+              if (last_row_.tuples[a].has_value() &&
+                  !merged.tuples[a].has_value()) {
+                merged.tuples[a] = last_row_.tuples[a];
+                merged.scores[a] = last_row_.scores[a];
+              }
             }
-            SECO_ASSIGN_OR_RETURN(bool holds,
-                                  SatisfiesJoinGroup(query, group,
-                                                     *merged.tuples[a],
-                                                     *merged.tuples[b]));
-            if (!holds) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) {
             ++state_->node_stats[node_->id].tuples_out;
             *row = std::move(merged);
             emitted = true;
             break;
           }
+        } else {
+          while (partial_idx_ < partials_.size()) {
+            const SRow& partial = partials_[partial_idx_++];
+            if (branches_.size() == 2 &&
+                node_->strategy.completion == JoinCompletion::kTriangular) {
+              double fx = std::max(branches_[0]->fetch_factor, 1);
+              double fy = std::max(branches_[1]->fetch_factor, 1);
+              double pos = (partial.chunk_ord + 0.5) / fx +
+                           (last_row_.chunk_ord + 0.5) / fy;
+              if (pos > 1.0) continue;
+            }
+            SRow merged = partial;
+            for (size_t a = 0; a < merged.tuples.size(); ++a) {
+              if (last_row_.tuples[a].has_value() &&
+                  !merged.tuples[a].has_value()) {
+                merged.tuples[a] = last_row_.tuples[a];
+                merged.scores[a] = last_row_.scores[a];
+              }
+            }
+            bool ok = true;
+            for (int group_idx : node_->join_groups) {
+              const BoundJoinGroup& group = query.joins[group_idx];
+              const JoinClause& first = group.clauses[0];
+              int a = first.from_atom, b = first.to_atom;
+              int cls = ClassifyEndpoints(merged, a, b, *state_);
+              if (cls == 1) continue;  // degraded endpoint: predicate skipped
+              if (cls < 0) {
+                ok = false;
+                break;
+              }
+              SECO_ASSIGN_OR_RETURN(bool holds,
+                                    HoldsJoinGroup(query, group,
+                                                   *merged.tuples[a],
+                                                   *merged.tuples[b]));
+              if (!holds) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) {
+              ++state_->node_stats[node_->id].tuples_out;
+              *row = std::move(merged);
+              emitted = true;
+              break;
+            }
+          }
         }
         if (emitted) return true;
         have_last_row_ = false;  // exhausted partials for this last row
+        col_have_matches_ = false;
       }
       seeded_ = false;  // advance to the next upstream row
     }
@@ -849,6 +898,99 @@ class JoinOp : public Op {
     }
   }
 
+  /// Columnar fast path (docs/DATA_PLANE.md): when the node verifies exactly
+  /// one all-atomic equality group whose endpoints split partials-side /
+  /// last-branch-side, the partials' keys canonicalize once per seed and
+  /// each last row takes one key-scan kernel over them instead of
+  /// per-partial oracle calls. Any non-encodable key — or a degraded atom —
+  /// falls back to the scalar loop, so answers are bit-identical.
+  void PrepareColumnar() {
+    col_ok_ = false;
+    col_have_matches_ = false;
+    if (!state_->degraded_atoms.empty()) return;
+    if (node_->join_groups.size() != 1 || partials_.empty()) return;
+    const BoundJoinGroup& group =
+        state_->query->joins[node_->join_groups[0]];
+    if (!IsAtomicEqJoinGroup(group)) return;
+    const JoinClause& c = group.clauses[0];
+    int last_atom = branches_.back()->atom;
+    if (c.from_atom == last_atom && c.to_atom != last_atom) {
+      col_last_path_ = c.from_path;
+      col_partial_atom_ = c.to_atom;
+      col_partial_path_ = c.to_path;
+    } else if (c.to_atom == last_atom && c.from_atom != last_atom) {
+      col_last_path_ = c.to_path;
+      col_partial_atom_ = c.from_atom;
+      col_partial_path_ = c.from_path;
+    } else {
+      return;
+    }
+    col_last_atom_ = last_atom;
+    col_batch_.Clear();
+    for (const SRow& partial : partials_) {
+      const std::optional<Tuple>& t = partial.tuples[col_partial_atom_];
+      if (!t.has_value() || col_partial_path_.attr_index < 0 ||
+          col_partial_path_.attr_index >= t->num_slots() ||
+          !t->IsAtomic(col_partial_path_.attr_index)) {
+        col_batch_.Add(std::nullopt);
+        break;
+      }
+      col_batch_.Add(CanonicalScalarKey(
+          t->AtomicAt(col_partial_path_.attr_index), &col_dict_));
+      if (!col_batch_.valid) break;
+    }
+    ++state_->columnar.chunks_decoded;
+    if (!col_batch_.valid) {
+      ++state_->columnar.decode_fallbacks;
+      return;
+    }
+    col_ok_ = true;
+  }
+
+  /// Scans the current last row's canonical key against the partial batch.
+  void PrepareMatches() {
+    col_have_matches_ = false;
+    if (!col_ok_) return;
+    const std::optional<Tuple>& t = last_row_.tuples[col_last_atom_];
+    std::optional<ScalarKey> key;
+    if (t.has_value() && col_last_path_.attr_index >= 0 &&
+        col_last_path_.attr_index < t->num_slots() &&
+        t->IsAtomic(col_last_path_.attr_index)) {
+      key = CanonicalScalarKey(t->AtomicAt(col_last_path_.attr_index),
+                               &col_dict_);
+    }
+    KeyColumn view = col_batch_.View();
+    std::optional<PairMode> mode;
+    if (key.has_value()) mode = ComparableScalarMode(*key, view);
+    if (!mode.has_value()) {
+      ++state_->columnar.scalar_batches;
+      state_->columnar.scalar_rows += static_cast<long long>(partials_.size());
+      return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    col_matches_.clear();
+    switch (*mode) {
+      case PairMode::kI64:
+        simd::MatchKeyI64(key->i64, view.i64, view.size, &col_matches_);
+        break;
+      case PairMode::kF64Bits:
+        simd::MatchKeyI64(key->f64_bits, view.f64_bits, view.size,
+                          &col_matches_);
+        break;
+      case PairMode::kDict:
+        simd::MatchKeyU32(key->code, view.codes, view.size, &col_matches_);
+        break;
+    }
+    state_->columnar.kernel_ns +=
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    ++state_->columnar.kernel_batches;
+    state_->columnar.kernel_rows += static_cast<long long>(view.size);
+    col_match_pos_ = 0;
+    col_have_matches_ = true;
+  }
+
   std::unique_ptr<Op> upstream_;
   std::vector<const PlanNode*> branches_;
   const PlanNode* node_;
@@ -860,6 +1002,16 @@ class JoinOp : public Op {
   SRow last_row_;
   bool have_last_row_ = false;
   size_t partial_idx_ = 0;
+  KeyDictionary col_dict_;
+  ScalarKeyBatch col_batch_;
+  bool col_ok_ = false;
+  int col_partial_atom_ = -1;
+  int col_last_atom_ = -1;
+  AttrPath col_partial_path_;
+  AttrPath col_last_path_;
+  std::vector<int32_t> col_matches_;
+  size_t col_match_pos_ = 0;
+  bool col_have_matches_ = false;
 };
 
 /// Recursively builds the operator tree rooted at `node_id`.
@@ -1081,6 +1233,7 @@ Result<StreamingResult> StreamingEngine::ExecuteOnce(
   }
   result.complete = result.degraded.empty();
   result.degradation_level = options_.degradation_level;
+  result.columnar = state.columnar;
 
   // Overlap-aware simulated clock: per-node ready/finish times over the
   // plan DAG, exactly the materializing engine's model — parallel branches

@@ -8,6 +8,7 @@
 
 #include "common/interrupt.h"
 #include "common/result.h"
+#include "data/column_chunk.h"
 #include "exec/engine.h"
 #include "plan/plan.h"
 #include "service/tuple.h"
@@ -122,6 +123,10 @@ struct StreamingResult {
   /// The `StreamingOptions::degradation_level` this run was executed under,
   /// echoed so multi-query ledgers can attribute quality loss per query.
   int degradation_level = 0;
+  /// Columnar data-plane counters (docs/DATA_PLANE.md): join nodes whose
+  /// single equality group ran as a key-scan kernel over canonicalized
+  /// partial-row keys, vs. rows that took the scalar predicate.
+  ColumnarStats columnar;
 };
 
 /// Pull-based (Volcano-style) interpreter for the same plans the

@@ -27,8 +27,26 @@ bool ChunkSource::IngestResponse(ServiceResponse resp, bool from_cache) {
   }
   tuples_seen_ += static_cast<int>(chunk.tuples.size());
   chunks_.push_back(std::move(chunk));
+  if (columnar_path_.has_value()) DecodeChunkColumns(chunks_.back());
   if (resp.exhausted) exhausted_ = true;
   return true;
+}
+
+void ChunkSource::EnableColumnar(const AttrPath& key_path,
+                                 KeyDictionary* dict) {
+  columnar_path_ = key_path;
+  dict_ = dict;
+  // Backfill chunks fetched before opting in, keeping the deques parallel.
+  while (columns_.size() < chunks_.size()) {
+    DecodeChunkColumns(chunks_[columns_.size()]);
+  }
+}
+
+void ChunkSource::DecodeChunkColumns(const Chunk& chunk) {
+  columns_.push_back(
+      ColumnChunk::Decode(chunk.tuples, chunk.scores, *columnar_path_, dict_));
+  ++chunks_decoded_;
+  if (columns_.back().key_fallback()) ++decode_fallbacks_;
 }
 
 Result<bool> ChunkSource::FetchNext() {

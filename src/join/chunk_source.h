@@ -4,9 +4,11 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
+#include "data/column_chunk.h"
 #include "exec/call_cache.h"
 #include "exec/call_scheduler.h"
 #include "service/service_interface.h"
@@ -79,6 +81,27 @@ class ChunkSource {
   const Chunk& chunk(int i) const { return chunks_[i]; }
   bool exhausted() const { return exhausted_; }
 
+  /// Opts this source into the columnar data plane: every chunk admitted
+  /// from now on (and any already fetched) is decoded once into flat
+  /// columns, with the join key at `key_path` canonicalized for the SIMD
+  /// kernels. String keys intern into `dict` (not owned; may be null),
+  /// which the two sides of a join must share for codes to be comparable.
+  /// Decoding happens on the consumer thread inside `FetchNext` — prefetch
+  /// pool jobs only fill response slots — so no locking is needed.
+  void EnableColumnar(const AttrPath& key_path, KeyDictionary* dict);
+
+  /// The decoded columns of chunk `i`, or nullptr when columnar decoding is
+  /// not enabled. Valid as long as the chunk itself.
+  const ColumnChunk* columns(int i) const {
+    if (!columnar_path_.has_value()) return nullptr;
+    return &columns_[i];
+  }
+
+  /// Chunks decoded into columns / whose key column fell back to the
+  /// scalar path (nulls, repeating groups, mixed types, dict overflow).
+  int chunks_decoded() const { return chunks_decoded_; }
+  int decode_fallbacks() const { return decode_fallbacks_; }
+
   int calls() const { return calls_; }
   /// Chunks served from the call cache instead of a service call.
   int cache_hits() const { return cache_hits_; }
@@ -112,6 +135,9 @@ class ChunkSource {
   /// the synchronous and prefetched paths.
   bool IngestResponse(ServiceResponse resp, bool from_cache);
 
+  /// Decodes one admitted chunk into `columns_` (columnar mode only).
+  void DecodeChunkColumns(const Chunk& chunk);
+
   /// The handler fetches go through: the override when set, the
   /// interface's own otherwise.
   ServiceCallHandler* effective_handler() const {
@@ -125,6 +151,13 @@ class ChunkSource {
   // Deque: growing must not invalidate references to earlier chunks (the
   // top-k executor keeps pointers into fetched tuples).
   std::deque<Chunk> chunks_;
+  /// Decoded columns, parallel to `chunks_` when columnar mode is enabled
+  /// (deque for the same reference-stability reason).
+  std::deque<ColumnChunk> columns_;
+  std::optional<AttrPath> columnar_path_;
+  KeyDictionary* dict_ = nullptr;  // not owned; may be null
+  int chunks_decoded_ = 0;
+  int decode_fallbacks_ = 0;
   /// Prefetches in flight, oldest first; FetchNext consumes the front.
   std::deque<std::unique_ptr<PendingFetch>> pending_;
   bool exhausted_ = false;

@@ -1,6 +1,7 @@
 #include "join/parallel_join.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <future>
 
@@ -9,17 +10,27 @@ namespace seco {
 namespace {
 
 /// Orders tiles by descending representative score, breaking ties by
-/// ascending index sum then x (deterministic diagonal order).
+/// ascending index sum then x (deterministic diagonal order). Scores are
+/// batch-evaluated once per tile instead of O(n log n) times inside the
+/// comparator.
 void SortTilesBest(std::vector<Tile>* tiles, const SearchSpace& space) {
-  std::stable_sort(tiles->begin(), tiles->end(),
-                   [&space](const Tile& a, const Tile& b) {
-                     double sa = space.TileScore(a), sb = space.TileScore(b);
-                     if (sa != sb) return sa > sb;
-                     if (a.IndexSum() != b.IndexSum()) {
-                       return a.IndexSum() < b.IndexSum();
+  std::vector<std::pair<Tile, double>> scored;
+  scored.reserve(tiles->size());
+  for (const Tile& t : *tiles) {
+    scored.emplace_back(t, space.TileScore(t));
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const std::pair<Tile, double>& a,
+                      const std::pair<Tile, double>& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     if (a.first.IndexSum() != b.first.IndexSum()) {
+                       return a.first.IndexSum() < b.first.IndexSum();
                      }
-                     return a.x < b.x;
+                     return a.first.x < b.first.x;
                    });
+  for (size_t i = 0; i < scored.size(); ++i) {
+    (*tiles)[i] = scored[i].first;
+  }
 }
 
 }  // namespace
@@ -89,20 +100,81 @@ Result<int> ParallelJoinExecutor::ProcessTile(const Tile& tile,
   const Chunk& cy = y_->chunk(tile.y);
   int found = 0;
   std::vector<JoinResultTuple> tile_results;
-  for (size_t i = 0; i < cx.tuples.size(); ++i) {
-    for (size_t j = 0; j < cy.tuples.size(); ++j) {
-      SECO_ASSIGN_OR_RETURN(bool match, predicate_(cx.tuples[i], cy.tuples[j]));
-      if (!match) continue;
+  const ColumnChunk* colx = x_->columns(tile.x);
+  const ColumnChunk* coly = y_->columns(tile.y);
+  std::optional<PairMode> mode;
+  if (colx != nullptr && coly != nullptr) {
+    mode = ComparablePairMode(colx->key(), coly->key());
+  }
+  if (mode.has_value()) {
+    // Columnar merge-scan: one kernel pass over the canonical key columns
+    // replaces |X| * |Y| predicate calls, then scores combine in a batch.
+    // Pair order (i-major, j ascending) and the mul+mul+add combination
+    // match the scalar loop exactly, so emitted results are bit-identical.
+    const KeyColumn& kx = colx->key();
+    const KeyColumn& ky = coly->key();
+    auto t0 = std::chrono::steady_clock::now();
+    pairs_.clear();
+    switch (*mode) {
+      case PairMode::kI64:
+        simd::MatchEqPairsI64(kx.i64, kx.size, ky.i64, ky.size, &pairs_);
+        break;
+      case PairMode::kF64Bits:
+        simd::MatchEqPairsI64(kx.f64_bits, kx.size, ky.f64_bits, ky.size,
+                              &pairs_);
+        break;
+      case PairMode::kDict:
+        simd::MatchEqPairsU32(kx.codes, kx.size, ky.codes, ky.size, &pairs_);
+        break;
+    }
+    scratch_sx_.resize(pairs_.size());
+    scratch_sy_.resize(pairs_.size());
+    scratch_comb_.resize(pairs_.size());
+    for (size_t p = 0; p < pairs_.size(); ++p) {
+      scratch_sx_[p] = colx->scores()[pairs_[p].a];
+      scratch_sy_[p] = coly->scores()[pairs_[p].b];
+    }
+    simd::CombineScores(config_.weight_x, scratch_sx_.data(), config_.weight_y,
+                        scratch_sy_.data(), pairs_.size(),
+                        scratch_comb_.data());
+    stats_.kernel_ns += std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    ++stats_.kernel_batches;
+    stats_.kernel_rows +=
+        static_cast<long long>(kx.size) * static_cast<long long>(ky.size);
+    tile_results.reserve(pairs_.size());
+    for (size_t p = 0; p < pairs_.size(); ++p) {
       JoinResultTuple result;
-      result.x = cx.tuples[i];
-      result.y = cy.tuples[j];
-      result.score_x = i < cx.scores.size() ? cx.scores[i] : 0.0;
-      result.score_y = j < cy.scores.size() ? cy.scores[j] : 0.0;
-      result.combined =
-          config_.weight_x * result.score_x + config_.weight_y * result.score_y;
+      result.x = cx.tuples[colx->row_ids()[pairs_[p].a]];
+      result.y = cy.tuples[coly->row_ids()[pairs_[p].b]];
+      result.score_x = scratch_sx_[p];
+      result.score_y = scratch_sy_[p];
+      result.combined = scratch_comb_[p];
       result.tile = tile;
       tile_results.push_back(std::move(result));
       ++found;
+    }
+  } else {
+    ++stats_.scalar_batches;
+    stats_.scalar_rows += static_cast<long long>(cx.tuples.size()) *
+                          static_cast<long long>(cy.tuples.size());
+    for (size_t i = 0; i < cx.tuples.size(); ++i) {
+      for (size_t j = 0; j < cy.tuples.size(); ++j) {
+        SECO_ASSIGN_OR_RETURN(bool match,
+                              predicate_(cx.tuples[i], cy.tuples[j]));
+        if (!match) continue;
+        JoinResultTuple result;
+        result.x = cx.tuples[i];
+        result.y = cy.tuples[j];
+        result.score_x = i < cx.scores.size() ? cx.scores[i] : 0.0;
+        result.score_y = j < cy.scores.size() ? cy.scores[j] : 0.0;
+        result.combined = config_.weight_x * result.score_x +
+                          config_.weight_y * result.score_y;
+        result.tile = tile;
+        tile_results.push_back(std::move(result));
+        ++found;
+      }
     }
   }
   // Within a tile, emit best combinations first.
@@ -121,6 +193,10 @@ Result<int> ParallelJoinExecutor::ProcessTile(const Tile& tile,
 
 Result<JoinExecution> ParallelJoinExecutor::Run() {
   JoinExecution exec;
+  if (config_.columns.has_value()) {
+    x_->EnableColumnar(config_.columns->x, &dict_);
+    y_->EnableColumnar(config_.columns->y, &dict_);
+  }
   CallScheduler scheduler(config_.pool);
   // Tops up each side's in-flight speculation to prefetch_depth, reserving
   // budget for every issued fetch so consumed + pending never overdraws
@@ -232,6 +308,9 @@ Result<JoinExecution> ParallelJoinExecutor::Run() {
       std::max(x_->total_latency_ms(), y_->total_latency_ms());
   exec.exhausted_x = x_->exhausted();
   exec.exhausted_y = y_->exhausted();
+  stats_.chunks_decoded = x_->chunks_decoded() + y_->chunks_decoded();
+  stats_.decode_fallbacks = x_->decode_fallbacks() + y_->decode_fallbacks();
+  exec.columnar = stats_;
   exec.space = space_;
   return exec;
 }

@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "data/column_chunk.h"
+#include "data/kernels.h"
 #include "join/chunk_source.h"
 #include "join/clock.h"
 #include "join/search_space.h"
@@ -41,6 +43,13 @@ struct ParallelJoinConfig {
   /// under max_calls), so it can under-speculate near the budget but never
   /// overdraw it. 0 (default) disables speculation beyond the priming pair.
   int prefetch_depth = 0;
+  /// Opts the executor into the columnar data plane. REQUIRES the predicate
+  /// to be equality of exactly these two attributes: tiles whose decoded key
+  /// columns are kernel-comparable skip the per-pair predicate and run a
+  /// SIMD merge-scan instead; every other tile (nulls, repeating groups,
+  /// mixed types, dictionary overflow) still calls the predicate, so results
+  /// are bit-identical with this set or not.
+  std::optional<ColumnJoinSpec> columns;
 };
 
 /// What happened during a join run, for benches and property tests.
@@ -81,6 +90,8 @@ struct JoinExecution {
   double latency_parallel_ms = 0.0;
   bool exhausted_x = false;
   bool exhausted_y = false;
+  /// Columnar data-plane counters (all zero when `config.columns` unset).
+  ColumnarStats columnar;
   /// Final search-space state (chunk representative scores etc.).
   SearchSpace space;
 };
@@ -117,6 +128,13 @@ class ParallelJoinExecutor {
   JoinPredicate predicate_;
   ParallelJoinConfig config_;
   SearchSpace space_;
+  /// Shared join-key dictionary: both sides intern into it, so equal codes
+  /// mean equal strings across the two sources.
+  KeyDictionary dict_;
+  ColumnarStats stats_;
+  /// Kernel scratch, reused across tiles to stay allocation-free.
+  std::vector<simd::RowPair> pairs_;
+  std::vector<double> scratch_sx_, scratch_sy_, scratch_comb_;
   /// Call-rate regulator for merge-scan (created on first use).
   std::optional<Clock> clock_;
   /// Triangular threshold slack: admits further diagonals when the base

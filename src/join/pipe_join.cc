@@ -1,5 +1,10 @@
 #include "join/pipe_join.h"
 
+#include <chrono>
+
+#include "data/column_chunk.h"
+#include "data/kernels.h"
+
 namespace seco {
 
 Result<JoinExecution> RunPipeJoin(ChunkSource* outer,
@@ -10,6 +15,13 @@ Result<JoinExecution> RunPipeJoin(ChunkSource* outer,
   JoinExecution exec;
   double inner_latency = 0.0;
   int inner_calls = 0;
+  // With no residual predicate every inner tuple is kept — nothing to
+  // accelerate; the columnar path exists to replace predicate calls.
+  const bool columnar = config.columns.has_value() && predicate != nullptr;
+  KeyDictionary dict;
+  ColumnarStats stats;
+  std::vector<int32_t> matches;
+  std::vector<double> scratch_sy, scratch_comb;
 
   while (static_cast<int>(exec.results.size()) < config.k) {
     if (outer->calls() + inner_calls >= config.max_calls) break;
@@ -25,36 +37,108 @@ Result<JoinExecution> RunPipeJoin(ChunkSource* outer,
       if (outer->calls() + inner_calls >= config.max_calls) break;
 
       ChunkSource inner(inner_iface, inner_inputs(outer_tuple));
+      std::optional<ScalarKey> outer_key;
+      if (columnar) {
+        inner.EnableColumnar(config.columns->y, &dict);
+        const AttrPath& xp = config.columns->x;
+        if (!xp.is_sub_attribute() && xp.attr_index >= 0 &&
+            xp.attr_index < outer_tuple.num_slots() &&
+            outer_tuple.IsAtomic(xp.attr_index)) {
+          outer_key =
+              CanonicalScalarKey(outer_tuple.AtomicAt(xp.attr_index), &dict);
+        }
+      }
       int kept = 0;
       for (int f = 0; f < config.fetches_per_input; ++f) {
         if (outer->calls() + inner_calls >= config.max_calls) break;
         SECO_ASSIGN_OR_RETURN(bool inner_got, inner.FetchNext());
         ++inner_calls;
         if (!inner_got) break;
-        const Chunk& inner_chunk = inner.chunk(inner.num_chunks() - 1);
-        for (size_t j = 0; j < inner_chunk.tuples.size(); ++j) {
-          if (config.keep_per_input > 0 && kept >= config.keep_per_input) break;
-          bool match = true;
-          if (predicate) {
-            SECO_ASSIGN_OR_RETURN(match,
-                                  predicate(outer_tuple, inner_chunk.tuples[j]));
+        int inner_idx = inner.num_chunks() - 1;
+        const Chunk& inner_chunk = inner.chunk(inner_idx);
+        const ColumnChunk* cols = inner.columns(inner_idx);
+        std::optional<PairMode> mode;
+        if (outer_key.has_value() && cols != nullptr) {
+          mode = ComparableScalarMode(*outer_key, cols->key());
+        }
+        if (mode.has_value()) {
+          // Broadcast key-scan: one kernel pass finds the inner rows whose
+          // canonical key equals the outer tuple's, in ascending row order —
+          // the order of the scalar loop — then scores combine in a batch.
+          const KeyColumn& ky = cols->key();
+          auto t0 = std::chrono::steady_clock::now();
+          matches.clear();
+          switch (*mode) {
+            case PairMode::kI64:
+              simd::MatchKeyI64(outer_key->i64, ky.i64, ky.size, &matches);
+              break;
+            case PairMode::kF64Bits:
+              simd::MatchKeyI64(outer_key->f64_bits, ky.f64_bits, ky.size,
+                                &matches);
+              break;
+            case PairMode::kDict:
+              simd::MatchKeyU32(outer_key->code, ky.codes, ky.size, &matches);
+              break;
           }
-          if (!match) continue;
-          JoinResultTuple result;
-          result.x = outer_tuple;
-          result.y = inner_chunk.tuples[j];
-          result.score_x = outer_score;
-          result.score_y =
-              j < inner_chunk.scores.size() ? inner_chunk.scores[j] : 0.0;
-          result.combined = config.weight_outer * result.score_x +
-                            config.weight_inner * result.score_y;
-          result.tile = Tile{chunk_idx, inner.num_chunks() - 1};
-          exec.results.push_back(std::move(result));
-          ++kept;
+          scratch_sy.resize(matches.size());
+          scratch_comb.resize(matches.size());
+          for (size_t m = 0; m < matches.size(); ++m) {
+            scratch_sy[m] = cols->scores()[matches[m]];
+          }
+          simd::CombineScores1(config.weight_outer, outer_score,
+                               config.weight_inner, scratch_sy.data(),
+                               matches.size(), scratch_comb.data());
+          stats.kernel_ns += std::chrono::duration<double, std::nano>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+          ++stats.kernel_batches;
+          stats.kernel_rows += static_cast<long long>(ky.size);
+          for (size_t m = 0; m < matches.size(); ++m) {
+            if (config.keep_per_input > 0 && kept >= config.keep_per_input) {
+              break;
+            }
+            JoinResultTuple result;
+            result.x = outer_tuple;
+            result.y = inner_chunk.tuples[cols->row_ids()[matches[m]]];
+            result.score_x = outer_score;
+            result.score_y = scratch_sy[m];
+            result.combined = scratch_comb[m];
+            result.tile = Tile{chunk_idx, inner_idx};
+            exec.results.push_back(std::move(result));
+            ++kept;
+          }
+        } else {
+          if (columnar) {
+            ++stats.scalar_batches;
+            stats.scalar_rows +=
+                static_cast<long long>(inner_chunk.tuples.size());
+          }
+          for (size_t j = 0; j < inner_chunk.tuples.size(); ++j) {
+            if (config.keep_per_input > 0 && kept >= config.keep_per_input) break;
+            bool match = true;
+            if (predicate) {
+              SECO_ASSIGN_OR_RETURN(match,
+                                    predicate(outer_tuple, inner_chunk.tuples[j]));
+            }
+            if (!match) continue;
+            JoinResultTuple result;
+            result.x = outer_tuple;
+            result.y = inner_chunk.tuples[j];
+            result.score_x = outer_score;
+            result.score_y =
+                j < inner_chunk.scores.size() ? inner_chunk.scores[j] : 0.0;
+            result.combined = config.weight_outer * result.score_x +
+                              config.weight_inner * result.score_y;
+            result.tile = Tile{chunk_idx, inner_idx};
+            exec.results.push_back(std::move(result));
+            ++kept;
+          }
         }
         if (config.keep_per_input > 0 && kept >= config.keep_per_input) break;
       }
       inner_latency += inner.total_latency_ms();
+      stats.chunks_decoded += inner.chunks_decoded();
+      stats.decode_fallbacks += inner.decode_fallbacks();
       if (static_cast<int>(exec.results.size()) >= config.k) break;
     }
     exec.exhausted_x = outer->exhausted();
@@ -62,6 +146,7 @@ Result<JoinExecution> RunPipeJoin(ChunkSource* outer,
 
   exec.calls_x = outer->calls();
   exec.calls_y = inner_calls;
+  exec.columnar = stats;
   // Pipe joins are sequential by construction: inner calls depend on outer
   // results, so nothing overlaps.
   exec.latency_sequential_ms = outer->total_latency_ms() + inner_latency;

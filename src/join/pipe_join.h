@@ -27,6 +27,13 @@ struct PipeJoinConfig {
   int keep_per_input = 0;
   double weight_outer = 0.5;
   double weight_inner = 0.5;
+  /// Opts the pipe into the columnar data plane (`x` = outer key attribute,
+  /// `y` = inner). REQUIRES `predicate` to be equality of exactly those two
+  /// attributes; inner chunks whose key column is kernel-comparable with the
+  /// outer tuple's canonical key take a broadcast key-scan kernel instead of
+  /// per-pair predicate calls. Ignored when `predicate` is null (every inner
+  /// tuple is accepted, so there is nothing to accelerate).
+  std::optional<ColumnJoinSpec> columns;
 };
 
 /// Executes a pipe join between `outer` (drained in ranking order) and the

@@ -1,6 +1,7 @@
 #include "join/topk_join.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 
 namespace seco {
@@ -22,12 +23,87 @@ struct Candidate {
   }
 };
 
+/// One side's canonical key arrays, grown chunk by chunk alongside its
+/// `Buffered` vector so kernel scans can run against the whole buffer. Each
+/// representation has its own validity flag: once a chunk can't feed a
+/// representation the flag drops forever and that array is never consulted
+/// again — later chunks keep the *other* representations aligned.
+struct SideKeys {
+  bool any = false;  // at least one chunk appended
+  bool valid = true;
+  KeyFamily family = KeyFamily::kFallback;
+  bool i64_ok = true;
+  bool f64_ok = true;
+  std::vector<int64_t> i64;
+  std::vector<int64_t> f64_bits;
+  std::vector<uint32_t> codes;
+
+  void Append(const ColumnChunk* cc) {
+    if (!valid) return;
+    if (cc == nullptr || cc->key_fallback()) {
+      valid = false;
+      return;
+    }
+    const KeyColumn& k = cc->key();
+    if (!any) {
+      any = true;
+      family = k.family;
+    } else if (family != k.family) {
+      bool numeric_mix =
+          (family == KeyFamily::kInt || family == KeyFamily::kNumeric) &&
+          (k.family == KeyFamily::kInt || k.family == KeyFamily::kNumeric);
+      if (!numeric_mix) {
+        valid = false;
+        return;
+      }
+      family = KeyFamily::kNumeric;
+    }
+    if (k.i64 != nullptr && i64_ok) {
+      i64.insert(i64.end(), k.i64, k.i64 + k.size);
+    } else {
+      i64_ok = false;
+    }
+    if (k.f64_bits != nullptr && k.f64_valid && f64_ok) {
+      f64_bits.insert(f64_bits.end(), k.f64_bits, k.f64_bits + k.size);
+    } else {
+      f64_ok = false;
+    }
+    if (k.codes != nullptr) {
+      codes.insert(codes.end(), k.codes, k.codes + k.size);
+    }
+  }
+
+  /// A KeyColumn view over the accumulated buffer, for pair-mode checks.
+  KeyColumn View() const {
+    KeyColumn c;
+    c.family = (valid && any) ? family : KeyFamily::kFallback;
+    if (c.family == KeyFamily::kInt && !i64_ok) c.family = KeyFamily::kFallback;
+    if (c.family == KeyFamily::kBool && !i64_ok) c.family = KeyFamily::kFallback;
+    c.i64 = i64_ok ? i64.data() : nullptr;
+    c.f64_bits = f64_ok ? f64_bits.data() : nullptr;
+    c.f64_valid = f64_ok;
+    c.codes = codes.data();
+    return c;
+  }
+};
+
 }  // namespace
 
 Result<TopKJoinExecution> TopKJoinExecutor::Run() {
   TopKJoinExecution exec;
   std::vector<Buffered> buffer_x, buffer_y;
   std::priority_queue<Candidate> candidates;
+
+  const bool columnar = config_.columns.has_value();
+  KeyDictionary dict;
+  ColumnarStats stats;
+  SideKeys keys_x, keys_y;
+  std::vector<int32_t> matches;
+  std::vector<double> scratch_s, scratch_comb;
+  if (columnar) {
+    x_->EnableColumnar(config_.columns->x, &dict);
+    y_->EnableColumnar(config_.columns->y, &dict);
+  }
 
   double top_x = -1.0, last_x = 1.0;  // best / most recent score per side
   double top_y = -1.0, last_y = 1.0;
@@ -71,21 +147,98 @@ Result<TopKJoinExecution> TopKJoinExecutor::Run() {
         last_y = score;
       }
     }
+    SideKeys& own_keys = is_x ? keys_x : keys_y;
+    const SideKeys& other_keys = is_x ? keys_y : keys_x;
+    if (columnar) {
+      own_keys.Append(self->columns(self->num_chunks() - 1));
+    }
+    std::optional<PairMode> mode;
+    if (columnar && other_keys.any && !other.empty()) {
+      mode = ComparablePairMode(own_keys.View(), other_keys.View());
+    }
     // Join the new tuples against the whole opposite buffer.
-    for (size_t i = own_start; i < own.size(); ++i) {
-      for (const Buffered& o : other) {
-        const Buffered& bx = is_x ? own[i] : o;
-        const Buffered& by = is_x ? o : own[i];
-        SECO_ASSIGN_OR_RETURN(bool match, predicate_(*bx.tuple, *by.tuple));
-        if (!match) continue;
-        JoinResultTuple result;
-        result.x = *bx.tuple;
-        result.y = *by.tuple;
-        result.score_x = bx.score;
-        result.score_y = by.score;
-        result.combined = config_.weight_x * bx.score + config_.weight_y * by.score;
-        result.tile = Tile{bx.chunk, by.chunk};
-        candidates.push(Candidate{std::move(result)});
+    if (mode.has_value()) {
+      // Kernel path: each new tuple's canonical key scans the opposite
+      // buffer's key array (ascending, the scalar loop's order), then the
+      // matches' scores combine in a batch. Candidates are pushed in the
+      // same order with bit-identical combined scores, so the priority
+      // queue behaves exactly as on the scalar path.
+      const KeyColumn other_view = other_keys.View();
+      for (size_t i = own_start; i < own.size(); ++i) {
+        auto t0 = std::chrono::steady_clock::now();
+        matches.clear();
+        switch (*mode) {
+          case PairMode::kI64:
+            simd::MatchKeyI64(own_keys.i64[i], other_view.i64, other.size(),
+                              &matches);
+            break;
+          case PairMode::kF64Bits:
+            simd::MatchKeyI64(own_keys.f64_bits[i], other_view.f64_bits,
+                              other.size(), &matches);
+            break;
+          case PairMode::kDict:
+            simd::MatchKeyU32(own_keys.codes[i], other_view.codes,
+                              other.size(), &matches);
+            break;
+        }
+        scratch_s.resize(matches.size());
+        scratch_comb.resize(matches.size());
+        for (size_t m = 0; m < matches.size(); ++m) {
+          scratch_s[m] = other[matches[m]].score;
+        }
+        // weight_x always multiplies the X score; IEEE addition commutes
+        // bitwise, so the broadcast-first form matches the scalar
+        // `wx * bx.score + wy * by.score` exactly on both sides.
+        if (is_x) {
+          simd::CombineScores1(config_.weight_x, own[i].score,
+                               config_.weight_y, scratch_s.data(),
+                               matches.size(), scratch_comb.data());
+        } else {
+          simd::CombineScores1(config_.weight_y, own[i].score,
+                               config_.weight_x, scratch_s.data(),
+                               matches.size(), scratch_comb.data());
+        }
+        stats.kernel_ns += std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+        for (size_t m = 0; m < matches.size(); ++m) {
+          const Buffered& o = other[matches[m]];
+          const Buffered& bx = is_x ? own[i] : o;
+          const Buffered& by = is_x ? o : own[i];
+          JoinResultTuple result;
+          result.x = *bx.tuple;
+          result.y = *by.tuple;
+          result.score_x = bx.score;
+          result.score_y = by.score;
+          result.combined = scratch_comb[m];
+          result.tile = Tile{bx.chunk, by.chunk};
+          candidates.push(Candidate{std::move(result)});
+        }
+      }
+      ++stats.kernel_batches;
+      stats.kernel_rows += static_cast<long long>(own.size() - own_start) *
+                           static_cast<long long>(other.size());
+    } else {
+      if (columnar) {
+        ++stats.scalar_batches;
+        stats.scalar_rows += static_cast<long long>(own.size() - own_start) *
+                             static_cast<long long>(other.size());
+      }
+      for (size_t i = own_start; i < own.size(); ++i) {
+        for (const Buffered& o : other) {
+          const Buffered& bx = is_x ? own[i] : o;
+          const Buffered& by = is_x ? o : own[i];
+          SECO_ASSIGN_OR_RETURN(bool match, predicate_(*bx.tuple, *by.tuple));
+          if (!match) continue;
+          JoinResultTuple result;
+          result.x = *bx.tuple;
+          result.y = *by.tuple;
+          result.score_x = bx.score;
+          result.score_y = by.score;
+          result.combined = config_.weight_x * bx.score + config_.weight_y * by.score;
+          result.tile = Tile{bx.chunk, by.chunk};
+          candidates.push(Candidate{std::move(result)});
+        }
       }
     }
     return Status::OK();
@@ -144,6 +297,11 @@ Result<TopKJoinExecution> TopKJoinExecutor::Run() {
   }
   exec.calls_x = x_->calls();
   exec.calls_y = y_->calls();
+  if (columnar) {
+    stats.chunks_decoded = x_->chunks_decoded() + y_->chunks_decoded();
+    stats.decode_fallbacks = x_->decode_fallbacks() + y_->decode_fallbacks();
+  }
+  exec.columnar = stats;
   exec.final_threshold = threshold();
   exec.latency_sequential_ms = x_->total_latency_ms() + y_->total_latency_ms();
   exec.latency_parallel_ms =

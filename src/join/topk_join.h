@@ -15,6 +15,12 @@ struct TopKJoinConfig {
   int max_calls = 500;
   double weight_x = 0.5;
   double weight_y = 0.5;
+  /// Opts the executor into the columnar data plane. REQUIRES the predicate
+  /// to be equality of exactly these two attributes; new chunks then join
+  /// against the opposite buffer with a key-scan kernel and batch score
+  /// combination instead of per-pair predicate calls, falling back to the
+  /// predicate whenever a side's keys stop being kernel-comparable.
+  std::optional<ColumnJoinSpec> columns;
 };
 
 /// Outcome of a top-k join run.
@@ -33,6 +39,8 @@ struct TopKJoinExecution {
   bool guaranteed = false;
   double latency_sequential_ms = 0.0;
   double latency_parallel_ms = 0.0;
+  /// Columnar data-plane counters (all zero when `config.columns` unset).
+  ColumnarStats columnar;
 };
 
 /// A guaranteed top-k rank join in the style of HRJN (hash rank join), the

@@ -49,6 +49,21 @@ class Tuple {
   /// semantics quantifies existentially over group instances.
   std::vector<Value> CandidateValuesAt(const AttrPath& path) const;
 
+  /// Non-allocating form of `CandidateValuesAt`: visits the candidates in
+  /// the same order without materializing a vector. `fn(const Value&)`
+  /// returns false to stop early (short-circuiting existential checks).
+  template <typename Fn>
+  void ForEachCandidateAt(const AttrPath& path, Fn&& fn) const {
+    const TupleSlot& s = slots_[path.attr_index];
+    if (!path.is_sub_attribute()) {
+      fn(std::get<Value>(s));
+      return;
+    }
+    for (const GroupInstance& inst : std::get<RepeatingGroupValue>(s)) {
+      if (!fn(inst[path.sub_index])) return;
+    }
+  }
+
   bool operator==(const Tuple& other) const { return slots_ == other.slots_; }
 
   /// Renders the tuple against its schema, e.g. `{Title:'Up', Genres:[...]}`.

@@ -46,13 +46,17 @@ Result<std::vector<int>> SimulatedService::MatchingRowIndices(
       // A row matches an input binding if some candidate value at the path
       // equals the bound value (existential over repeating-group instances).
       bool any = false;
-      for (const Value& v : row.CandidateValuesAt(in_paths[i])) {
-        SECO_ASSIGN_OR_RETURN(bool eq, v.Compare(Comparator::kEq, inputs[i]));
-        if (eq) {
-          any = true;
-          break;
+      Status status = Status::OK();
+      row.ForEachCandidateAt(in_paths[i], [&](const Value& v) {
+        Result<bool> eq = v.Compare(Comparator::kEq, inputs[i]);
+        if (!eq.ok()) {
+          status = eq.status();
+          return false;
         }
-      }
+        if (eq.value()) any = true;
+        return !any;
+      });
+      SECO_RETURN_IF_ERROR(status);
       if (!any) {
         match = false;
         break;

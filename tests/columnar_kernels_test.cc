@@ -1,0 +1,573 @@
+// Scalar-vs-SIMD equivalence for the columnar data plane (docs/DATA_PLANE.md).
+//
+// Three layers of checks:
+//   1. Kernel fuzz: every SIMD variant compiled into this binary produces
+//      BITWISE-identical output to the scalar reference on random inputs
+//      with ties, duplicates, -0.0, and lengths chosen to exercise vector
+//      tails (0, 1, lane-1, lane, lane+1, odd).
+//   2. Canonicalization fallbacks: nulls, dictionary overflow, huge ints
+//      next to doubles, mixed families — every case the kernels must NOT
+//      claim routes to KeyFamily::kFallback / nullopt, never to a wrong
+//      comparison.
+//   3. End-to-end: the parallel / pipe / top-k executors and the streaming
+//      engine return bit-identical answers with the columnar plane on or
+//      off, under every kernel override.
+//
+// CI runs this binary twice: once as-is and once with SECO_SIMD=off, so the
+// dispatch override path itself is covered (scripts in .github/workflows).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/seco.h"
+#include "data/column_chunk.h"
+#include "data/kernels.h"
+#include "join/pipe_join.h"
+#include "join/topk_join.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+using testing_util::MakeKeyedSearchService;
+
+/// The kernels this binary can actually dispatch to (kScalar always; others
+/// only when compiled in AND supported by this CPU — SetKernelOverride
+/// degrades unsupported requests, which would silently test scalar twice).
+std::vector<simd::Kernel> AvailableKernels() {
+  std::vector<simd::Kernel> out;
+  for (simd::Kernel k :
+       {simd::Kernel::kScalar, simd::Kernel::kSse2, simd::Kernel::kAvx2}) {
+    simd::SetKernelOverride(k);
+    if (simd::ActiveKernel() == k) out.push_back(k);
+  }
+  simd::SetKernelOverride(std::nullopt);
+  return out;
+}
+
+/// RAII: restore automatic kernel detection when a test scope ends, so test
+/// order never leaks an override into another test.
+struct KernelOverrideGuard {
+  ~KernelOverrideGuard() { simd::SetKernelOverride(std::nullopt); }
+};
+
+bool BitwiseEq(double a, double b) {
+  int64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+JoinPredicate KeyEquals() {
+  return [](const Tuple& x, const Tuple& y) -> Result<bool> {
+    return x.AtomicAt(0).AsInt() == y.AtomicAt(0).AsInt();
+  };
+}
+
+// Lengths that hit every tail case of 2-lane (SSE2 i64), 4-lane (AVX2 i64 /
+// SSE2 f32x4-style u32) and 8-lane (AVX2 u32) kernels.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100};
+
+TEST(KernelFuzz, MatchEqPairsI64BitwiseAcrossKernels) {
+  KernelOverrideGuard guard;
+  SplitMix64 rng(1);
+  for (size_t na : kLengths) {
+    for (size_t nb : {size_t{0}, size_t{5}, size_t{17}, size_t{64}}) {
+      std::vector<int64_t> a(na), b(nb);
+      // Small domain: lots of ties and duplicates, including negatives.
+      for (auto& v : a) v = static_cast<int64_t>(rng.Uniform(7)) - 3;
+      for (auto& v : b) v = static_cast<int64_t>(rng.Uniform(7)) - 3;
+
+      simd::SetKernelOverride(simd::Kernel::kScalar);
+      std::vector<simd::RowPair> ref;
+      simd::MatchEqPairsI64(a.data(), na, b.data(), nb, &ref);
+
+      for (simd::Kernel k : AvailableKernels()) {
+        simd::SetKernelOverride(k);
+        std::vector<simd::RowPair> got;
+        size_t n = simd::MatchEqPairsI64(a.data(), na, b.data(), nb, &got);
+        ASSERT_EQ(n, ref.size()) << simd::KernelName(k);
+        ASSERT_EQ(got.size(), ref.size()) << simd::KernelName(k);
+        for (size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(got[i].a, ref[i].a) << simd::KernelName(k) << " @" << i;
+          EXPECT_EQ(got[i].b, ref[i].b) << simd::KernelName(k) << " @" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelFuzz, MatchEqPairsU32BitwiseAcrossKernels) {
+  KernelOverrideGuard guard;
+  SplitMix64 rng(2);
+  for (size_t na : kLengths) {
+    std::vector<uint32_t> a(na), b(33);
+    for (auto& v : a) v = static_cast<uint32_t>(rng.Uniform(5));
+    for (auto& v : b) v = static_cast<uint32_t>(rng.Uniform(5));
+
+    simd::SetKernelOverride(simd::Kernel::kScalar);
+    std::vector<simd::RowPair> ref;
+    simd::MatchEqPairsU32(a.data(), na, b.data(), b.size(), &ref);
+
+    for (simd::Kernel k : AvailableKernels()) {
+      simd::SetKernelOverride(k);
+      std::vector<simd::RowPair> got;
+      simd::MatchEqPairsU32(a.data(), na, b.data(), b.size(), &got);
+      ASSERT_EQ(got.size(), ref.size()) << simd::KernelName(k);
+      for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(got[i].a, ref[i].a) << simd::KernelName(k);
+        EXPECT_EQ(got[i].b, ref[i].b) << simd::KernelName(k);
+      }
+    }
+  }
+}
+
+TEST(KernelFuzz, MatchKeyBitwiseAcrossKernels) {
+  KernelOverrideGuard guard;
+  SplitMix64 rng(3);
+  for (size_t nb : kLengths) {
+    std::vector<int64_t> b64(nb);
+    std::vector<uint32_t> b32(nb);
+    for (auto& v : b64) v = static_cast<int64_t>(rng.Uniform(4));
+    for (auto& v : b32) v = static_cast<uint32_t>(rng.Uniform(4));
+    for (int64_t key : {int64_t{0}, int64_t{3}, int64_t{-1}}) {
+      simd::SetKernelOverride(simd::Kernel::kScalar);
+      std::vector<int32_t> ref64, ref32;
+      simd::MatchKeyI64(key, b64.data(), nb, &ref64);
+      simd::MatchKeyU32(static_cast<uint32_t>(key < 0 ? 0 : key), b32.data(),
+                        nb, &ref32);
+      for (simd::Kernel k : AvailableKernels()) {
+        simd::SetKernelOverride(k);
+        std::vector<int32_t> got64, got32;
+        simd::MatchKeyI64(key, b64.data(), nb, &got64);
+        simd::MatchKeyU32(static_cast<uint32_t>(key < 0 ? 0 : key), b32.data(),
+                          nb, &got32);
+        EXPECT_EQ(got64, ref64) << simd::KernelName(k) << " key=" << key;
+        EXPECT_EQ(got32, ref32) << simd::KernelName(k) << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(KernelFuzz, EqualMaskBitwiseAcrossKernels) {
+  KernelOverrideGuard guard;
+  SplitMix64 rng(4);
+  for (size_t n : kLengths) {
+    std::vector<int64_t> a64(n), b64(n);
+    std::vector<uint32_t> a32(n), b32(n);
+    for (size_t i = 0; i < n; ++i) {
+      a64[i] = static_cast<int64_t>(rng.Uniform(3));
+      b64[i] = static_cast<int64_t>(rng.Uniform(3));
+      a32[i] = static_cast<uint32_t>(rng.Uniform(3));
+      b32[i] = static_cast<uint32_t>(rng.Uniform(3));
+    }
+    simd::SetKernelOverride(simd::Kernel::kScalar);
+    std::vector<uint8_t> ref64(n), ref32(n);
+    simd::EqualMaskI64(a64.data(), b64.data(), n, ref64.data());
+    simd::EqualMaskU32(a32.data(), b32.data(), n, ref32.data());
+    for (simd::Kernel k : AvailableKernels()) {
+      simd::SetKernelOverride(k);
+      std::vector<uint8_t> got64(n, 0xCC), got32(n, 0xCC);
+      simd::EqualMaskI64(a64.data(), b64.data(), n, got64.data());
+      simd::EqualMaskU32(a32.data(), b32.data(), n, got32.data());
+      EXPECT_EQ(got64, ref64) << simd::KernelName(k);
+      EXPECT_EQ(got32, ref32) << simd::KernelName(k);
+    }
+  }
+}
+
+TEST(KernelFuzz, CombineScoresBitwiseAcrossKernels) {
+  KernelOverrideGuard guard;
+  SplitMix64 rng(5);
+  for (size_t n : kLengths) {
+    std::vector<double> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<double>(rng.Uniform(1000)) / 997.0;
+      b[i] = static_cast<double>(rng.Uniform(1000)) / 997.0;
+    }
+    // Edge values the executors can legitimately see: exact zeros, negative
+    // zero (canonicalization), scores at the 2^53 precision boundary.
+    if (n >= 4) {
+      a[0] = 0.0;
+      b[0] = -0.0;
+      a[1] = -0.0;
+      b[1] = -0.0;
+      a[2] = 9007199254740992.0;  // 2^53
+      b[3] = 9007199254740993.0;  // 2^53 + 1 rounds; still must match scalar
+    }
+    for (auto [wa, wb] : {std::pair<double, double>{0.5, 0.5},
+                          {0.25, 0.75},
+                          {1.0, 0.0},
+                          {1.0 / 3.0, 2.0 / 3.0}}) {
+      simd::SetKernelOverride(simd::Kernel::kScalar);
+      std::vector<double> ref(n), ref1(n);
+      simd::CombineScores(wa, a.data(), wb, b.data(), n, ref.data());
+      double broadcast = n > 0 ? a[0] : 0.0;
+      simd::CombineScores1(wa, broadcast, wb, b.data(), n, ref1.data());
+      // The scalar reference itself must be the executors' expression.
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(BitwiseEq(ref[i], wa * a[i] + wb * b[i]));
+        ASSERT_TRUE(BitwiseEq(ref1[i], wa * broadcast + wb * b[i]));
+      }
+      for (simd::Kernel k : AvailableKernels()) {
+        simd::SetKernelOverride(k);
+        std::vector<double> got(n), got1(n);
+        simd::CombineScores(wa, a.data(), wb, b.data(), n, got.data());
+        simd::CombineScores1(wa, broadcast, wb, b.data(), n, got1.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_TRUE(BitwiseEq(got[i], ref[i]))
+              << simd::KernelName(k) << " @" << i << ": " << got[i]
+              << " != " << ref[i];
+          EXPECT_TRUE(BitwiseEq(got1[i], ref1[i]))
+              << simd::KernelName(k) << " @" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(CanonicalKeyTest, NullAndOverflowFallBack) {
+  // Null is never kernel-encodable.
+  KeyDictionary dict;
+  EXPECT_FALSE(CanonicalScalarKey(Value(), &dict).has_value());
+
+  // A tiny dictionary overflows on the third distinct string; the overflowed
+  // key must decline (scalar path), not alias an existing code.
+  KeyDictionary tiny(2);
+  auto k1 = CanonicalScalarKey(Value("alpha"), &tiny);
+  auto k2 = CanonicalScalarKey(Value("beta"), &tiny);
+  auto k3 = CanonicalScalarKey(Value("gamma"), &tiny);
+  ASSERT_TRUE(k1.has_value());
+  ASSERT_TRUE(k2.has_value());
+  EXPECT_FALSE(k3.has_value());
+  EXPECT_TRUE(tiny.overflowed());
+  EXPECT_NE(k1->code, k2->code);
+  // Re-interning a seen string still succeeds after overflow.
+  auto again = CanonicalScalarKey(Value("alpha"), &tiny);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->code, k1->code);
+
+  // String keys without a dictionary cannot be encoded.
+  EXPECT_FALSE(CanonicalScalarKey(Value("alpha"), nullptr).has_value());
+}
+
+TEST(CanonicalKeyTest, HugeIntsRefuseTheDoubleRepresentation) {
+  KeyDictionary dict;
+  const int64_t huge = (int64_t{1} << 53) + 1;  // not exactly a double
+  auto hk = CanonicalScalarKey(Value(huge), &dict);
+  ASSERT_TRUE(hk.has_value());
+  EXPECT_EQ(hk->family, KeyFamily::kInt);
+  EXPECT_FALSE(hk->f64_valid);
+
+  // A batch of {huge int, double} forces the numeric family but loses the
+  // f64 representation -> no comparable mode against a double key, because
+  // 2^53+1 == 9007199254740992.0 would be TRUE under doubles and FALSE
+  // under Value::Compare.
+  ScalarKeyBatch batch;
+  batch.Add(hk);
+  batch.Add(CanonicalScalarKey(Value(9007199254740992.0), &dict));
+  KeyColumn col = batch.View();
+  auto dkey = CanonicalScalarKey(Value(1.5), &dict);
+  ASSERT_TRUE(dkey.has_value());
+  EXPECT_FALSE(ComparableScalarMode(*dkey, col).has_value());
+
+  // All-int batches keep the exact i64 representation and stay comparable.
+  ScalarKeyBatch ints;
+  ints.Add(CanonicalScalarKey(Value(huge), &dict));
+  ints.Add(CanonicalScalarKey(Value(huge + 1), &dict));
+  auto ikey = CanonicalScalarKey(Value(huge), &dict);
+  ASSERT_TRUE(ikey.has_value());
+  auto mode = ComparableScalarMode(*ikey, ints.View());
+  ASSERT_TRUE(mode.has_value());
+  EXPECT_EQ(*mode, PairMode::kI64);
+}
+
+TEST(CanonicalKeyTest, MixedFamilyBatchPoisons) {
+  KeyDictionary dict;
+  ScalarKeyBatch batch;
+  batch.Add(CanonicalScalarKey(Value(int64_t{7}), &dict));
+  batch.Add(CanonicalScalarKey(Value("seven"), &dict));
+  EXPECT_EQ(batch.View().family, KeyFamily::kFallback);
+
+  ScalarKeyBatch with_null;
+  with_null.Add(CanonicalScalarKey(Value(int64_t{7}), &dict));
+  with_null.Add(CanonicalScalarKey(Value(), &dict));  // null poisons
+  EXPECT_EQ(with_null.View().family, KeyFamily::kFallback);
+
+  // Empty batch: nothing to compare -> fallback, not a zero-length kernel.
+  ScalarKeyBatch empty;
+  EXPECT_EQ(empty.View().family, KeyFamily::kFallback);
+}
+
+TEST(ColumnChunkTest, DecodeFallbacksNeverLie) {
+  KeyDictionary dict;
+  AttrPath key_path;
+  key_path.attr_index = 0;
+
+  // Null key in one row -> whole chunk's key column falls back, but scores
+  // and row ids are still materialized (the executors always use those).
+  std::vector<Tuple> tuples;
+  tuples.push_back(Tuple({Value(int64_t{1}), Value("a")}));
+  tuples.push_back(Tuple({Value(), Value("b")}));
+  tuples.push_back(Tuple({Value(int64_t{3}), Value("c")}));
+  std::vector<double> scores = {0.9, 0.8};  // shorter than tuples: pad 0.0
+  ColumnChunk chunk = ColumnChunk::Decode(tuples, scores, key_path, &dict);
+  EXPECT_TRUE(chunk.key_fallback());
+  ASSERT_EQ(chunk.num_rows(), 3u);
+  EXPECT_TRUE(BitwiseEq(chunk.scores()[0], 0.9));
+  EXPECT_TRUE(BitwiseEq(chunk.scores()[1], 0.8));
+  EXPECT_TRUE(BitwiseEq(chunk.scores()[2], 0.0));  // executor padding rule
+  EXPECT_EQ(chunk.row_ids()[0], 0);
+  EXPECT_EQ(chunk.row_ids()[2], 2);
+
+  // A clean int chunk decodes to kInt with exact keys.
+  std::vector<Tuple> clean;
+  clean.push_back(Tuple({Value(int64_t{5})}));
+  clean.push_back(Tuple({Value(int64_t{-5})}));
+  ColumnChunk ok = ColumnChunk::Decode(clean, {1.0, 0.5}, key_path, &dict);
+  EXPECT_FALSE(ok.key_fallback());
+  EXPECT_EQ(ok.key().family, KeyFamily::kInt);
+  EXPECT_EQ(ok.key().i64[0], 5);
+  EXPECT_EQ(ok.key().i64[1], -5);
+
+  // Dictionary overflow mid-chunk -> fallback.
+  KeyDictionary tiny(1);
+  std::vector<Tuple> strings;
+  strings.push_back(Tuple({Value("x")}));
+  strings.push_back(Tuple({Value("y")}));
+  ColumnChunk over = ColumnChunk::Decode(strings, {1.0, 0.5}, key_path, &tiny);
+  EXPECT_TRUE(over.key_fallback());
+
+  // An out-of-range key path cannot be decoded.
+  AttrPath bad;
+  bad.attr_index = 9;
+  ColumnChunk miss = ColumnChunk::Decode(clean, {1.0, 0.5}, bad, &dict);
+  EXPECT_TRUE(miss.key_fallback());
+}
+
+/// Two executions are bit-identical: same tuples in the same order with the
+/// same (bitwise) scores.
+void ExpectIdenticalResults(const std::vector<JoinResultTuple>& got,
+                            const std::vector<JoinResultTuple>& ref,
+                            const char* label) {
+  ASSERT_EQ(got.size(), ref.size()) << label;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i].x.AtomicAt(0).AsInt(), ref[i].x.AtomicAt(0).AsInt())
+        << label << " @" << i;
+    EXPECT_EQ(got[i].y.AtomicAt(0).AsInt(), ref[i].y.AtomicAt(0).AsInt())
+        << label << " @" << i;
+    EXPECT_TRUE(BitwiseEq(got[i].score_x, ref[i].score_x)) << label << " @" << i;
+    EXPECT_TRUE(BitwiseEq(got[i].score_y, ref[i].score_y)) << label << " @" << i;
+    EXPECT_TRUE(BitwiseEq(got[i].combined, ref[i].combined))
+        << label << " @" << i << ": " << got[i].combined
+        << " != " << ref[i].combined;
+  }
+}
+
+ColumnJoinSpec FirstAttrBothSides() {
+  ColumnJoinSpec spec;
+  spec.x.attr_index = 0;
+  spec.y.attr_index = 0;
+  return spec;
+}
+
+TEST(ColumnarEndToEnd, ParallelJoinBitIdenticalAcrossKernels) {
+  KernelOverrideGuard guard;
+  SyntheticPairParams params;
+  params.rows_x = 150;
+  params.rows_y = 150;
+  params.chunk_x = 10;
+  params.chunk_y = 10;
+  params.key_domain = 12;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+
+  auto run = [&](bool columnar) -> Result<JoinExecution> {
+    ChunkSource x(pair.x.interface, {});
+    ChunkSource y(pair.y.interface, {});
+    ParallelJoinConfig config;
+    config.strategy.invocation = JoinInvocation::kMergeScan;
+    config.strategy.completion = JoinCompletion::kRectangular;
+    config.k = 25;
+    config.max_calls = 200;
+    config.weight_x = 0.25;
+    config.weight_y = 0.75;
+    if (columnar) config.columns = FirstAttrBothSides();
+    ParallelJoinExecutor executor(&x, &y, KeyEquals(), config);
+    return executor.Run();
+  };
+
+  simd::SetKernelOverride(simd::Kernel::kScalar);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution ref, run(/*columnar=*/false));
+  ASSERT_GE(ref.results.size(), 25u);
+
+  for (simd::Kernel k : AvailableKernels()) {
+    simd::SetKernelOverride(k);
+    SECO_ASSERT_OK_AND_ASSIGN(JoinExecution col, run(/*columnar=*/true));
+    ExpectIdenticalResults(col.results, ref.results, simd::KernelName(k));
+    EXPECT_GT(col.columnar.chunks_decoded, 0) << simd::KernelName(k);
+    EXPECT_GT(col.columnar.kernel_batches, 0) << simd::KernelName(k);
+    EXPECT_EQ(col.columnar.decode_fallbacks, 0) << simd::KernelName(k);
+    EXPECT_EQ(col.calls_x, ref.calls_x);
+    EXPECT_EQ(col.calls_y, ref.calls_y);
+  }
+}
+
+TEST(ColumnarEndToEnd, PipeJoinBitIdenticalAcrossKernels) {
+  KernelOverrideGuard guard;
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService outer,
+                            MakeKeyedSearchService("O", 40, 5, 6));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService inner,
+      MakeKeyedSearchService("I", 80, 5, 6, ScoreDecay::kLinear,
+                             /*key_is_input=*/true));
+
+  auto run = [&](bool columnar) -> Result<JoinExecution> {
+    ChunkSource outer_source(outer.interface, {});
+    PipeJoinConfig config;
+    config.k = 20;
+    config.max_calls = 300;
+    config.weight_outer = 0.4;
+    config.weight_inner = 0.6;
+    if (columnar) config.columns = FirstAttrBothSides();
+    return RunPipeJoin(&outer_source, inner.interface,
+                       [](const Tuple& t) {
+                         return std::vector<Value>{t.AtomicAt(0)};
+                       },
+                       KeyEquals(), config);
+  };
+
+  simd::SetKernelOverride(simd::Kernel::kScalar);
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution ref, run(/*columnar=*/false));
+  ASSERT_GE(ref.results.size(), 10u);
+
+  for (simd::Kernel k : AvailableKernels()) {
+    simd::SetKernelOverride(k);
+    SECO_ASSERT_OK_AND_ASSIGN(JoinExecution col, run(/*columnar=*/true));
+    ExpectIdenticalResults(col.results, ref.results, simd::KernelName(k));
+    EXPECT_GT(col.columnar.kernel_batches, 0) << simd::KernelName(k);
+  }
+}
+
+TEST(ColumnarEndToEnd, TopKJoinBitIdenticalAcrossKernels) {
+  KernelOverrideGuard guard;
+  SyntheticPairParams params;
+  params.rows_x = 120;
+  params.rows_y = 120;
+  params.chunk_x = 8;
+  params.chunk_y = 8;
+  params.key_domain = 10;
+  SECO_ASSERT_OK_AND_ASSIGN(SyntheticPair pair, MakeSyntheticPair(params));
+
+  auto run = [&](bool columnar) -> Result<TopKJoinExecution> {
+    ChunkSource x(pair.x.interface, {});
+    ChunkSource y(pair.y.interface, {});
+    TopKJoinConfig config;
+    config.k = 15;
+    config.max_calls = 300;
+    config.weight_x = 2.0 / 3.0;  // asymmetric, non-terminating binary
+    config.weight_y = 1.0 / 3.0;
+    if (columnar) config.columns = FirstAttrBothSides();
+    TopKJoinExecutor executor(&x, &y, KeyEquals(), config);
+    return executor.Run();
+  };
+
+  simd::SetKernelOverride(simd::Kernel::kScalar);
+  SECO_ASSERT_OK_AND_ASSIGN(TopKJoinExecution ref, run(/*columnar=*/false));
+  ASSERT_GE(ref.results.size(), 15u);
+
+  for (simd::Kernel k : AvailableKernels()) {
+    simd::SetKernelOverride(k);
+    SECO_ASSERT_OK_AND_ASSIGN(TopKJoinExecution col, run(/*columnar=*/true));
+    ExpectIdenticalResults(col.results, ref.results, simd::KernelName(k));
+    EXPECT_EQ(col.guaranteed, ref.guaranteed);
+    EXPECT_TRUE(BitwiseEq(col.final_threshold, ref.final_threshold));
+    EXPECT_GT(col.columnar.kernel_batches, 0) << simd::KernelName(k);
+    EXPECT_GT(col.columnar.chunks_decoded, 0) << simd::KernelName(k);
+  }
+}
+
+TEST(ColumnarEndToEnd, StreamingDoctorScenarioIdenticalAcrossKernels) {
+  KernelOverrideGuard guard;
+  // The doctor WorksAt join (Doctor.HospitalName == Hospital.Name) is an
+  // atomic string equality — the streaming gate engages the kDict kernel.
+  DoctorScenarioParams params;
+  params.num_hospitals = 12;
+  params.doctors_per_specialty = 50;
+  SECO_ASSERT_OK_AND_ASSIGN(Scenario scenario, MakeDoctorScenario(params));
+  SECO_ASSERT_OK_AND_ASSIGN(ParsedQuery parsed,
+                            ParseQuery(scenario.query_text));
+  SECO_ASSERT_OK_AND_ASSIGN(BoundQuery query,
+                            BindQuery(parsed, *scenario.registry));
+  TopologySpec spec;
+  spec.stages = {{0, 1}, {2}};
+  spec.parallel_strategy.completion = JoinCompletion::kRectangular;
+  spec.atom_settings[0].fetch_factor = 6;
+  spec.atom_settings[1].fetch_factor = 6;
+  SECO_ASSERT_OK_AND_ASSIGN(QueryPlan plan, BuildPlan(query, spec));
+  SECO_ASSERT_OK(AnnotatePlan(&plan).status());
+
+  auto run = [&]() -> Result<StreamingResult> {
+    StreamingOptions options;
+    options.k = 20;
+    options.input_bindings = scenario.inputs;
+    options.max_calls = 100000;
+    StreamingEngine engine(options);
+    return engine.Execute(plan);
+  };
+
+  simd::SetKernelOverride(simd::Kernel::kScalar);
+  SECO_ASSERT_OK_AND_ASSIGN(StreamingResult ref, run());
+  ASSERT_FALSE(ref.combinations.empty());
+  EXPECT_GT(ref.columnar.kernel_batches, 0);
+  EXPECT_EQ(ref.columnar.scalar_batches, 0);
+
+  for (simd::Kernel k : AvailableKernels()) {
+    simd::SetKernelOverride(k);
+    SECO_ASSERT_OK_AND_ASSIGN(StreamingResult got, run());
+    ASSERT_EQ(got.combinations.size(), ref.combinations.size())
+        << simd::KernelName(k);
+    for (size_t i = 0; i < ref.combinations.size(); ++i) {
+      EXPECT_TRUE(BitwiseEq(got.combinations[i].combined_score,
+                            ref.combinations[i].combined_score))
+          << simd::KernelName(k) << " @" << i;
+    }
+    EXPECT_EQ(got.total_calls, ref.total_calls) << simd::KernelName(k);
+  }
+}
+
+TEST(ColumnarEndToEnd, ExhaustiveDrainStaysIdentical) {
+  KernelOverrideGuard guard;
+  // k larger than every joinable pair: both runs drain the sources fully,
+  // so the comparison covers every emitted tuple, not just a top-k prefix.
+  SECO_ASSERT_OK_AND_ASSIGN(BuiltService outer,
+                            MakeKeyedSearchService("O2", 30, 5, 4));
+  SECO_ASSERT_OK_AND_ASSIGN(
+      BuiltService inner,
+      MakeKeyedSearchService("I2", 60, 5, 4, ScoreDecay::kLinear,
+                             /*key_is_input=*/true));
+  auto run = [&](bool columnar) -> Result<JoinExecution> {
+    ChunkSource outer_source(outer.interface, {});
+    PipeJoinConfig config;
+    config.k = 1000;
+    config.max_calls = 500;
+    if (columnar) config.columns = FirstAttrBothSides();
+    return RunPipeJoin(&outer_source, inner.interface,
+                       [](const Tuple& t) {
+                         return std::vector<Value>{t.AtomicAt(0)};
+                       },
+                       KeyEquals(), config);
+  };
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution ref, run(false));
+  SECO_ASSERT_OK_AND_ASSIGN(JoinExecution col, run(true));
+  ExpectIdenticalResults(col.results, ref.results, "exhaustive pipe");
+}
+
+}  // namespace
+}  // namespace seco
