@@ -141,6 +141,84 @@ void BM_ServerClosedLoop(benchmark::State& state) {
 BENCHMARK(BM_ServerClosedLoop)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/// Shared artifact writer for the answer-cache sweep (its own BENCH_*.json,
+/// picked up by the CI bench job's artifact glob like the others).
+bench_util::BenchJsonWriter& ServerCacheJson() {
+  static bench_util::BenchJsonWriter writer("server_cache");
+  return writer;
+}
+
+// Warm-vs-cold goodput: a closed loop replays a pool of queries whose cache
+// identities overlap by 0/50/90%, with the whole-answer cache off and on.
+// At high overlap the cached server resolves most requests at Submit —
+// without touching the admission window — so goodput is bounded by probe
+// speed, not by backend latency. The acceptance line: >= 5x goodput at 90%
+// overlap vs cache-off.
+void BM_ServerOverlap(benchmark::State& state) {
+  const int overlap_pct = static_cast<int>(state.range(0));
+  const bool cache_on = state.range(1) != 0;
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.001);
+  }
+
+  int64_t useful = 0, hits = 0;
+  double wall_ms_total = 0.0;
+  for (auto _ : state) {
+    ServerOptions options;
+    // Wide window + deep queues: nothing sheds, the ladder stays quiet, so
+    // the sweep isolates caching from admission effects.
+    options.admission.max_in_flight = 4;
+    options.admission.interactive.queue_capacity = 256;
+    options.admission.batch.queue_capacity = 256;
+    options.ladder.enabled = false;
+    options.num_threads = 2;
+    options.answer_cache = cache_on;
+    QueryServer server(scenario.registry, options);
+
+    LoadProfile profile;
+    profile.seed = 31;
+    // Enough requests that first-occurrence cold misses stop dominating the
+    // hit rate: at 90% overlap the warm fraction should approach 0.9.
+    profile.num_queries = 192;
+    profile.closed_loop_width = 8;
+    profile.interactive_fraction = 0.5;
+    profile.k_min = 6;
+    profile.k_max = 6;
+    profile.overlap_fraction = static_cast<double>(overlap_pct) / 100.0;
+    LoadGenerator generator(profile, scenario.query_text, scenario.inputs);
+    LoadReport report = DriveLoad(&server, generator.Schedule(), profile);
+    server.Drain();
+
+    ServerStats stats = server.stats();
+    useful += stats.interactive.completed + stats.interactive.degraded +
+              stats.batch.completed + stats.batch.degraded;
+    hits += stats.interactive.answer_cache_hits +
+            stats.batch.answer_cache_hits;
+    wall_ms_total += report.wall_ms;
+  }
+
+  state.counters["overlap_pct"] = static_cast<double>(overlap_pct);
+  state.counters["cache"] = cache_on ? 1.0 : 0.0;
+  state.counters["goodput_qps"] =
+      wall_ms_total > 0.0 ? 1000.0 * static_cast<double>(useful) / wall_ms_total
+                          : 0.0;
+  state.counters["hit_rate"] =
+      useful > 0 ? static_cast<double>(hits) / static_cast<double>(useful)
+                 : 0.0;
+  std::string config = "overlap=" + std::to_string(overlap_pct) +
+                       ",cache=" + (cache_on ? "on" : "off");
+  ServerCacheJson().Record("goodput_qps", config, "qps",
+                           state.counters["goodput_qps"]);
+  ServerCacheJson().Record("hit_rate", config, "fraction",
+                           state.counters["hit_rate"]);
+}
+BENCHMARK(BM_ServerOverlap)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({50, 0})->Args({50, 1})
+    ->Args({90, 0})->Args({90, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace seco
 
@@ -149,6 +227,7 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   seco::ServerJson().Flush();
+  seco::ServerCacheJson().Flush();
   ::benchmark::Shutdown();
   return 0;
 }

@@ -56,6 +56,11 @@
 //     --no-ladder                   disable the degradation ladder (answers
 //                                   then match standalone runs bit for bit)
 //     --seed=S                      load-generator seed (default: 1)
+//     --answer-cache=on|off         whole-answer reuse + single-flight +
+//                                   optimizer plan memo (docs/CACHING.md;
+//                                   default: off)
+//     --memo-bytes=N                plan-memo byte budget (0 keeps only the
+//                                   answer cache; default: 4 MiB)
 // Fault flags compose with --serve: the load then runs against the faulty
 // scenario, with breaker state feeding the ladder's pressure score.
 //
@@ -107,6 +112,8 @@ struct Options {
   bool replicas = false;
   seco::RepairPolicy repair = seco::RepairPolicy::kOff;
   bool serve = false;
+  bool answer_cache = false;
+  size_t memo_bytes = 4 << 20;
   std::string load = "light";
   int max_in_flight = 4;
   bool no_ladder = false;
@@ -202,6 +209,17 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->repair = parsed.value();
     } else if (arg == "--serve") {
       options->serve = true;
+    } else if (const char* v = value_of("--answer-cache=")) {
+      if (std::strcmp(v, "on") == 0) {
+        options->answer_cache = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        options->answer_cache = false;
+      } else {
+        std::fprintf(stderr, "unknown --answer-cache value '%s'\n", v);
+        return false;
+      }
+    } else if (const char* v = value_of("--memo-bytes=")) {
+      options->memo_bytes = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value_of("--load=")) {
       options->load = v;
     } else if (const char* v = value_of("--max-in-flight=")) {
@@ -389,6 +407,8 @@ seco::Status Run(const Options& options) {
     server_options.repair = repair_options;
     server_options.num_threads = options.threads;
     server_options.prefetch_depth = options.prefetch;
+    server_options.answer_cache = options.answer_cache;
+    server_options.plan_memo_bytes = options.memo_bytes;
     seco::QueryServer server(scenario.registry, server_options,
                              optimizer_options);
 
@@ -458,13 +478,58 @@ seco::Status Run(const Options& options) {
         pressure.pool_queue_depth, pressure.open_breakers);
     std::printf(
         "  shared cache: %lld entries, %lld bytes (high water %lld) of %zu; "
-        "%lld hits / %lld misses, %lld evictions\n",
+        "%lld hits / %lld misses, %lld evictions, %lld invalidations\n",
         static_cast<long long>(cache.entries),
         static_cast<long long>(cache.bytes),
         static_cast<long long>(cache.bytes_high_water),
         server.cache().byte_budget(), static_cast<long long>(cache.hits),
         static_cast<long long>(cache.misses),
-        static_cast<long long>(cache.evictions));
+        static_cast<long long>(cache.evictions),
+        static_cast<long long>(cache.invalidations));
+    {
+      std::vector<seco::CallCacheShardStats> shards = server.cache().shard_stats();
+      std::printf("  shard    hits  misses  evict  inval  entries      bytes\n");
+      for (size_t i = 0; i < shards.size(); ++i) {
+        const seco::CallCacheShardStats& sh = shards[i];
+        if (sh.hits == 0 && sh.misses == 0 && sh.entries == 0) continue;
+        std::printf("  %5zu %7lld %7lld %6lld %6lld %8lld %10lld\n", i,
+                    static_cast<long long>(sh.hits),
+                    static_cast<long long>(sh.misses),
+                    static_cast<long long>(sh.evictions),
+                    static_cast<long long>(sh.invalidations),
+                    static_cast<long long>(sh.entries),
+                    static_cast<long long>(sh.bytes));
+      }
+    }
+    if (const seco::AnswerCache* answers = server.answer_cache()) {
+      seco::MemoStats mem = answers->stats();
+      std::printf(
+          "  answer cache: %lld hits / %lld probes (%.0f%%), %lld entries "
+          "(%lld bytes), %lld inserts, %lld replaced; flights %lld led / "
+          "%lld followed\n",
+          static_cast<long long>(mem.hits),
+          static_cast<long long>(mem.probes), 100.0 * mem.HitRate(),
+          static_cast<long long>(mem.entries),
+          static_cast<long long>(mem.bytes),
+          static_cast<long long>(mem.inserts),
+          static_cast<long long>(mem.replacements),
+          static_cast<long long>(answers->flights_led()),
+          static_cast<long long>(answers->flights_followed()));
+    }
+    if (const seco::PlanMemo* memo = server.plan_memo()) {
+      seco::PlanMemoStats mem = memo->stats();
+      std::printf(
+          "  plan memo: %lld hits / %lld probes (plans %lld/%lld, bounds "
+          "%lld/%lld, feasibility %lld/%lld)\n",
+          static_cast<long long>(mem.hits()),
+          static_cast<long long>(mem.probes()),
+          static_cast<long long>(mem.plans.hits),
+          static_cast<long long>(mem.plans.probes),
+          static_cast<long long>(mem.bounds.hits),
+          static_cast<long long>(mem.bounds.probes),
+          static_cast<long long>(mem.feasibility.hits),
+          static_cast<long long>(mem.feasibility.probes));
+    }
     return seco::Status::OK();
   }
 

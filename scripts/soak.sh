@@ -15,10 +15,10 @@ BUILD_DIR=build-tsan
 cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
   query_server_test server_soak_test thread_pool_test call_cache_test \
-  seco_shell
+  memo_table_test answer_cache_test seco_shell
 
 (cd "${BUILD_DIR}" && ctest --output-on-failure -j"$(nproc)" -R \
-  'QueryServer|ServerSoak|AdmissionController|DegradationLadder|ThreadPool|CallCache' "$@")
+  'QueryServer|ServerSoak|AdmissionController|DegradationLadder|ThreadPool|CallCache|MemoTable|AnswerCache' "$@")
 
 # End-to-end serving sweep: each profile is deterministic (fixed seed), so
 # failures here reproduce exactly. "overload" is the one that sheds.
@@ -26,3 +26,10 @@ for profile in light overload burst; do
   echo "==== soak: --serve --load=${profile} ===="
   "${BUILD_DIR}/examples/seco_shell" --serve --load="${profile}" --seed=7
 done
+
+# Cache-stress leg: high-overlap repeats with the whole-answer cache and
+# plan memo on — the memo table's contended probe/insert/invalidate paths
+# under TSan (docs/CACHING.md).
+echo "==== soak: --serve --load=cachestress --answer-cache=on ===="
+"${BUILD_DIR}/examples/seco_shell" --serve --load=cachestress --seed=7 \
+  --answer-cache=on

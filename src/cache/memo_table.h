@@ -1,0 +1,376 @@
+#ifndef SECO_CACHE_MEMO_TABLE_H_
+#define SECO_CACHE_MEMO_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "cache/signature.h"
+
+namespace seco {
+
+/// Aggregate counters of one MemoTable. All counters are monotonic except
+/// `entries`/`bytes`, which track live state approximately (stale-generation
+/// entries are reclaimed lazily and stay counted until overwritten).
+struct MemoStats {
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t inserts = 0;       ///< publications into empty slots
+  int64_t replacements = 0;  ///< publications that displaced a victim
+  int64_t rejected = 0;      ///< inserts refused (budget / oversized payload)
+  int64_t contended_skips = 0;  ///< best-effort inserts skipped under a racing writer
+  int64_t stale_drops = 0;   ///< probes that matched an invalidated generation
+  int64_t entries = 0;
+  int64_t bytes = 0;
+  uint64_t generation = 0;
+  size_t capacity = 0;
+
+  double HitRate() const {
+    return probes > 0 ? static_cast<double>(hits) / static_cast<double>(probes)
+                      : 0.0;
+  }
+};
+
+/// A fixed-size, power-of-two, lock-free memo table in the transposition-
+/// table idiom: each slot carries two atomic words — a packed metadata word
+/// `[stamp:24 | benefit:16 | gen:16 | flags:8]` and a check word
+/// `sig.hi ^ packed` whose XOR pairing detects torn reads — plus a
+/// refcounted-seqlock slot protecting a `shared_ptr` to the immutable
+/// payload record.
+///
+/// Readers NEVER block: a probe that observes a writer mid-publication
+/// simply treats the slot as a miss. Writers are best-effort: an insert that
+/// loses the version CAS is dropped (the value is recomputable by
+/// definition — this is a memo, not a store of record).
+///
+/// Correctness does not rest on the 128-bit hash: the full `Signature` is
+/// stored in the record and compared on every probe, so a partial-hash or
+/// even full-hash collision costs a miss, never a wrong payload.
+///
+/// Invalidation is O(1): `BumpGeneration()` advances an epoch counter; the
+/// 16-bit generation tag in the packed word fails probes cheaply, and the
+/// full 64-bit generation in the record guards against 16-bit rollover.
+/// Replacement prefers empty slots, then stale generations, then the lowest
+/// (benefit, stamp) — cheap-to-recompute and old entries die first.
+template <typename V>
+class MemoTable {
+ public:
+  /// Sizes the table for roughly `byte_budget` of payload, assuming the
+  /// caller's byte estimates average a few hundred bytes per entry.
+  explicit MemoTable(size_t byte_budget)
+      : MemoTable(byte_budget, CapacityFor(byte_budget)) {}
+
+  /// Test hook: explicit slot count (rounded up to a power of two, >= 8).
+  MemoTable(size_t byte_budget, size_t capacity)
+      : byte_budget_(byte_budget),
+        mask_(RoundPow2(capacity) - 1),
+        entries_(new Entry[mask_ + 1]) {}
+
+  MemoTable(const MemoTable&) = delete;
+  MemoTable& operator=(const MemoTable&) = delete;
+
+  /// Lock-free lookup. Returns the payload (aliased into the slot's record,
+  /// so it stays valid after the slot is overwritten) or nullptr.
+  std::shared_ptr<const V> Probe(const Signature& sig) {
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t gen = generation_.load(std::memory_order_acquire);
+    const size_t base = static_cast<size_t>(sig.lo) & mask_;
+    for (int way = 0; way < kWays; ++way) {
+      Entry& e = entries_[(base + way) & mask_];
+      const uint64_t packed = e.packed.load(std::memory_order_acquire);
+      if (!(packed & kOccupied)) continue;
+      const uint64_t check = e.check.load(std::memory_order_acquire);
+      // XOR pairing: a torn (check, packed) pair from a concurrent writer
+      // fails this test unless it also fails the record comparison below.
+      if ((check ^ packed) != sig.hi) continue;
+      if (PackedGen(packed) != static_cast<uint16_t>(gen)) {
+        stale_drops_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::shared_ptr<const Record> rec = ReadSlot(e);
+      if (!rec) continue;
+      if (!(rec->sig == sig)) continue;  // full verification: no false hits
+      if (rec->generation != gen) {
+        stale_drops_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return std::shared_ptr<const V>(rec, &rec->value);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Best-effort publication. `benefit` orders replacement (higher = more
+  /// worth keeping; e.g. execution cost saved); `payload_bytes` is the
+  /// caller's estimate of the payload footprint. Returns false when the
+  /// insert was skipped (contention, budget, or an oversized payload).
+  bool Insert(const Signature& sig, V value, double benefit,
+              size_t payload_bytes) {
+    if (byte_budget_ > 0 && payload_bytes > byte_budget_ / 2) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const uint64_t gen = generation_.load(std::memory_order_acquire);
+    const uint16_t benefit_q = QuantizeBenefit(benefit);
+    const size_t base = static_cast<size_t>(sig.lo) & mask_;
+
+    // Victim selection: same-signature slot > empty > stale generation >
+    // lowest (benefit, stamp).
+    Entry* victim = nullptr;
+    bool victim_empty = false;
+    uint64_t victim_rank = ~0ULL;
+    for (int way = 0; way < kWays; ++way) {
+      Entry& e = entries_[(base + way) & mask_];
+      const uint64_t packed = e.packed.load(std::memory_order_acquire);
+      if (!(packed & kOccupied)) {
+        if (!victim || !victim_empty) {
+          victim = &e;
+          victim_empty = true;
+          victim_rank = 0;
+        }
+        continue;
+      }
+      const uint64_t check = e.check.load(std::memory_order_acquire);
+      if ((check ^ packed) == sig.hi) {
+        victim = &e;  // refresh the existing entry for this signature
+        victim_empty = false;
+        break;
+      }
+      if (victim_empty) continue;
+      const bool stale = PackedGen(packed) != static_cast<uint16_t>(gen);
+      const uint64_t rank =
+          stale ? 1
+                : 2 + (static_cast<uint64_t>(PackedBenefit(packed)) << 24 |
+                       PackedStamp(packed));
+      if (rank < victim_rank) {
+        victim = &e;
+        victim_rank = rank;
+      }
+    }
+    if (!victim) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Enforce the byte budget approximately: growing into an empty slot is
+    // only allowed while under budget; replacement keeps bytes roughly flat.
+    if (victim_empty && byte_budget_ > 0 &&
+        bytes_.load(std::memory_order_relaxed) +
+                static_cast<int64_t>(payload_bytes) >
+            static_cast<int64_t>(byte_budget_)) {
+      victim = nullptr;
+      victim_rank = ~0ULL;
+      for (int way = 0; way < kWays; ++way) {
+        Entry& e = entries_[(base + way) & mask_];
+        const uint64_t packed = e.packed.load(std::memory_order_acquire);
+        if (!(packed & kOccupied)) continue;
+        const bool stale = PackedGen(packed) != static_cast<uint16_t>(gen);
+        const uint64_t rank =
+            stale ? 1
+                  : 2 + (static_cast<uint64_t>(PackedBenefit(packed)) << 24 |
+                         PackedStamp(packed));
+        if (rank < victim_rank) {
+          victim = &e;
+          victim_rank = rank;
+        }
+      }
+      victim_empty = false;
+      if (!victim) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+
+    auto rec = std::make_shared<Record>();
+    rec->sig = sig;
+    rec->generation = gen;
+    rec->bytes = payload_bytes;
+    rec->value = std::move(value);
+    return PublishSlot(*victim, std::move(rec), benefit_q, gen);
+  }
+
+  /// O(1) whole-table invalidation: every live entry's generation tag stops
+  /// matching. Slots are reclaimed lazily by later inserts.
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+  size_t byte_budget() const { return byte_budget_; }
+
+  MemoStats stats() const {
+    MemoStats s;
+    s.probes = probes_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.replacements = replacements_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.contended_skips = contended_skips_.load(std::memory_order_relaxed);
+    s.stale_drops = stale_drops_.load(std::memory_order_relaxed);
+    s.entries = entries_live_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.generation = generation_.load(std::memory_order_acquire);
+    s.capacity = mask_ + 1;
+    return s;
+  }
+
+ private:
+  static constexpr int kWays = 4;
+  static constexpr uint64_t kOccupied = 1;
+
+  struct Record {
+    Signature sig;
+    uint64_t generation = 0;
+    size_t bytes = 0;
+    V value{};
+  };
+
+  struct Entry {
+    /// sig.hi ^ packed of the published pair; 0 when never written.
+    std::atomic<uint64_t> check{0};
+    /// [stamp:24 | benefit:16 | gen:16 | flags:8]; bit 0 = occupied.
+    std::atomic<uint64_t> packed{0};
+    /// Seqlock version word: odd while a writer owns the slot.
+    std::atomic<uint32_t> version{0};
+    /// Readers currently copying `record`; writers wait for zero.
+    std::atomic<uint32_t> readers{0};
+    std::shared_ptr<const Record> record;
+  };
+
+  static size_t RoundPow2(size_t n) {
+    size_t p = 8;
+    while (p < n && p < (size_t{1} << 31)) p <<= 1;
+    return p;
+  }
+
+  static size_t CapacityFor(size_t byte_budget) {
+    // Assume a few hundred bytes of payload per entry on average; clamp so
+    // tiny budgets still get a usable table and huge ones stay bounded.
+    size_t target = byte_budget / 384;
+    if (target < 256) target = 256;
+    if (target > (size_t{1} << 20)) target = size_t{1} << 20;
+    return RoundPow2(target);
+  }
+
+  static uint16_t PackedGen(uint64_t packed) {
+    return static_cast<uint16_t>(packed >> 8);
+  }
+  static uint16_t PackedBenefit(uint64_t packed) {
+    return static_cast<uint16_t>(packed >> 24);
+  }
+  static uint32_t PackedStamp(uint64_t packed) {
+    return static_cast<uint32_t>(packed >> 40) & 0xFFFFFFu;
+  }
+  static uint64_t Pack(uint16_t gen, uint16_t benefit, uint32_t stamp) {
+    return kOccupied | (static_cast<uint64_t>(gen) << 8) |
+           (static_cast<uint64_t>(benefit) << 24) |
+           (static_cast<uint64_t>(stamp & 0xFFFFFFu) << 40);
+  }
+
+  static uint16_t QuantizeBenefit(double benefit) {
+    if (benefit <= 0.0) return 0;
+    // log2 quantization: each step doubles the benefit; saturates at 2^65535
+    // conceptually, in practice at the 16-bit ceiling.
+    double scaled = benefit;
+    uint32_t q = 0;
+    while (scaled >= 2.0 && q < 0xFFFF) {
+      scaled *= 0.5;
+      ++q;
+    }
+    uint32_t fine = static_cast<uint32_t>(scaled * 8.0);  // 3 fractional bits
+    uint64_t total = static_cast<uint64_t>(q) * 8 + fine;
+    return total > 0xFFFF ? 0xFFFF : static_cast<uint16_t>(total);
+  }
+
+  /// Reader side of the refcounted seqlock. Sequentially-consistent fences
+  /// on version/readers give a total order: either the reader's
+  /// `readers.fetch_add` precedes a writer's CAS (the writer then spins on
+  /// `readers`), or the writer's CAS precedes the reader's second version
+  /// load (the reader then observes an odd/changed version and aborts).
+  /// Either way no reader copies `record` while a writer mutates it.
+  std::shared_ptr<const Record> ReadSlot(Entry& e) {
+    const uint32_t v1 = e.version.load(std::memory_order_seq_cst);
+    if (v1 & 1) return nullptr;  // writer active: readers never block
+    e.readers.fetch_add(1, std::memory_order_seq_cst);
+    std::shared_ptr<const Record> rec;
+    if (e.version.load(std::memory_order_seq_cst) == v1) {
+      rec = e.record;  // copy bumps the refcount; record itself is immutable
+    }
+    e.readers.fetch_sub(1, std::memory_order_release);
+    return rec;
+  }
+
+  /// Writer side: CAS the version even→odd (losing the CAS drops the insert
+  /// — best-effort by design), wait out in-flight readers, swap the record,
+  /// publish packed/check, release the version.
+  bool PublishSlot(Entry& e, std::shared_ptr<const Record> rec,
+                   uint16_t benefit_q, uint64_t gen) {
+    uint32_t v = e.version.load(std::memory_order_relaxed);
+    if ((v & 1) ||
+        !e.version.compare_exchange_strong(v, v + 1,
+                                           std::memory_order_seq_cst)) {
+      contended_skips_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    int spins = 0;
+    while (e.readers.load(std::memory_order_seq_cst) != 0) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+    // Everything needed after the version release is captured while this
+    // writer still owns the slot: once `version` goes even again another
+    // writer may immediately re-take it and move `e.record` out from under
+    // any late dereference.
+    const uint64_t new_hi = rec->sig.hi;
+    const int64_t byte_delta =
+        static_cast<int64_t>(rec->bytes) -
+        static_cast<int64_t>(e.record ? e.record->bytes : 0);
+    std::shared_ptr<const Record> old = std::move(e.record);
+    e.record = std::move(rec);
+    const uint32_t stamp =
+        static_cast<uint32_t>(stamp_.fetch_add(1, std::memory_order_relaxed));
+    const uint64_t packed =
+        Pack(static_cast<uint16_t>(gen), benefit_q, stamp);
+    e.packed.store(packed, std::memory_order_release);
+    e.check.store(new_hi ^ packed, std::memory_order_release);
+    e.version.store(v + 2, std::memory_order_seq_cst);
+
+    bytes_.fetch_add(byte_delta, std::memory_order_relaxed);
+    if (!old) {
+      entries_live_.fetch_add(1, std::memory_order_relaxed);
+      inserts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      replacements_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  const size_t byte_budget_;
+  const size_t mask_;
+  std::unique_ptr<Entry[]> entries_;
+
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> stamp_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> entries_live_{0};
+  std::atomic<int64_t> probes_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> replacements_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> contended_skips_{0};
+  std::atomic<int64_t> stale_drops_{0};
+};
+
+}  // namespace seco
+
+#endif  // SECO_CACHE_MEMO_TABLE_H_

@@ -1,0 +1,39 @@
+#include "cache/plan_memo.h"
+
+namespace seco {
+
+PlanMemo::PlanMemo(size_t byte_budget)
+    : plans_(byte_budget / 2),
+      bounds_(byte_budget / 4),
+      feasibility_(byte_budget / 4) {}
+
+void PlanMemo::BumpGeneration() {
+  plans_.BumpGeneration();
+  bounds_.BumpGeneration();
+  feasibility_.BumpGeneration();
+}
+
+PlanMemoStats PlanMemo::stats() const {
+  PlanMemoStats s;
+  s.plans = plans_.stats();
+  s.bounds = bounds_.stats();
+  s.feasibility = feasibility_.stats();
+  return s;
+}
+
+uint64_t OptimizerFingerprint(const OptimizerOptions& options) {
+  SignatureBuilder b(0x0F71F1A65ULL);
+  b.AddInt(static_cast<int64_t>(options.metric));
+  b.AddDouble(options.cost_params.join_cpu_cost_per_candidate);
+  b.AddInt(options.k);
+  b.AddInt(static_cast<int64_t>(options.access_heuristic));
+  b.AddInt(static_cast<int64_t>(options.topology_heuristic));
+  b.AddInt(static_cast<int64_t>(options.fetch_heuristic));
+  b.AddInt(options.max_fetch_iterations);
+  b.AddInt(options.max_fetch_factor);
+  b.AddBool(options.auto_join_strategy);
+  Signature s = b.Finish();
+  return Mix64(s.lo) ^ s.hi;
+}
+
+}  // namespace seco

@@ -1,0 +1,76 @@
+#ifndef SECO_CACHE_PLAN_MEMO_H_
+#define SECO_CACHE_PLAN_MEMO_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/memo_table.h"
+#include "cache/signature.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan.h"
+
+namespace seco {
+
+/// Memoized result of building+annotating+costing one (assignment, topology,
+/// fetch-factor) choice. `cost`/`answers` are valid for any query with the
+/// same alias-free content signature; the materialized `plan` (which embeds
+/// the bound query verbatim, aliases included) is only reused when
+/// `exact_tag` also matches, and may be null for probe-only entries.
+struct PlanCostEntry {
+  double cost = 0.0;
+  double answers = 0.0;
+  uint64_t exact_tag = 0;
+  std::shared_ptr<const QueryPlan> plan;
+};
+
+/// Aggregated per-table stats of a PlanMemo.
+struct PlanMemoStats {
+  MemoStats plans;
+  MemoStats bounds;
+  MemoStats feasibility;
+
+  int64_t hits() const { return plans.hits + bounds.hits + feasibility.hits; }
+  int64_t probes() const {
+    return plans.probes + bounds.probes + feasibility.probes;
+  }
+};
+
+/// Cross-query memoization for the §5 branch-and-bound optimizer: three
+/// lock-free MemoTables over order-preserving content signatures —
+///  - plans: full build+annotate+cost results per (assignment, spec, k),
+///  - bounds: Phase-2 partial-plan lower bounds per (assignment, placed
+///    stages, k),
+///  - feasibility: Phase-1 feasibility verdicts per assignment.
+/// Keys are *content* hashes (service statistics included), so a memo hit
+/// replays a bit-identical pure floating-point computation — the optimizer
+/// with a warm memo returns byte-identical OptimizationResults.
+class PlanMemo {
+ public:
+  explicit PlanMemo(size_t byte_budget);
+
+  MemoTable<PlanCostEntry>& plans() { return plans_; }
+  MemoTable<double>& bounds() { return bounds_; }
+  MemoTable<uint8_t>& feasibility() { return feasibility_; }
+
+  /// Invalidates all three tables (registry change, replica failover).
+  void BumpGeneration();
+  uint64_t generation() const { return plans_.generation(); }
+
+  PlanMemoStats stats() const;
+
+ private:
+  MemoTable<PlanCostEntry> plans_;
+  MemoTable<double> bounds_;
+  MemoTable<uint8_t> feasibility_;
+};
+
+/// Fingerprint of every OptimizerOptions field that changes optimization
+/// *values* (metric, cost params, k, heuristics, phase-3 bounds, strategy
+/// auto-selection). Excluded: `max_plans` (an anytime traversal budget that
+/// never alters the value computed for a given key) and the memo pointer
+/// itself.
+uint64_t OptimizerFingerprint(const OptimizerOptions& options);
+
+}  // namespace seco
+
+#endif  // SECO_CACHE_PLAN_MEMO_H_

@@ -1,0 +1,292 @@
+#include "cache/signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <tuple>
+
+#include "service/access_pattern.h"
+#include "service/schema.h"
+#include "service/service_interface.h"
+
+namespace seco {
+namespace {
+
+// Domain-separation salts so signatures from different spaces (queries,
+// plans, bindings) can never collide structurally.
+constexpr uint64_t kSaltAnswerQuery = 0xA11C0DE0A117ULL;
+constexpr uint64_t kSaltContentQuery = 0xC057C0DE0C11ULL;
+constexpr uint64_t kSaltPlan = 0x91A7C0DE0D1AULL;
+constexpr uint64_t kSaltBindings = 0xB17D17650B17ULL;
+constexpr uint64_t kSaltInterface = 0x1F5C0DE0F1F5ULL;
+
+uint64_t Fnv64(const char* data, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void AddPath(SignatureBuilder& b, const AttrPath& path) {
+  b.AddInt(path.attr_index);
+  b.AddInt(path.sub_index);
+}
+
+/// Full content signature of a service interface: name, behavioural
+/// statistics, schema shape, and adornments. Two interfaces hash equal only
+/// when the optimizer and engine would treat them identically, so memo
+/// entries survive exactly as long as they are semantically valid.
+Signature InterfaceSignature(const ServiceInterface& iface) {
+  SignatureBuilder b(kSaltInterface);
+  b.AddString(iface.name());
+  b.AddInt(static_cast<int64_t>(iface.kind()));
+
+  const ServiceStats& stats = iface.stats();
+  b.AddDouble(stats.avg_tuples_per_call);
+  b.AddInt(stats.chunk_size);
+  b.AddBool(stats.chunked);
+  b.AddDouble(stats.avg_matches_per_binding);
+  b.AddDouble(stats.latency_ms);
+  b.AddDouble(stats.cost_per_call);
+  b.AddInt(static_cast<int64_t>(stats.decay));
+  b.AddInt(stats.step_h);
+  b.AddDouble(stats.step_high);
+  b.AddDouble(stats.step_low);
+
+  const ServiceSchema& schema = iface.schema();
+  b.AddInt(schema.num_attributes());
+  for (const AttributeDef& attr : schema.attributes()) {
+    b.AddString(attr.name);
+    b.AddInt(static_cast<int64_t>(attr.type));
+    b.AddBool(attr.is_repeating_group);
+    for (const SubAttributeDef& sub : attr.sub_attributes) {
+      b.AddString(sub.name);
+      b.AddInt(static_cast<int64_t>(sub.type));
+    }
+  }
+
+  const AccessPattern& pattern = iface.pattern();
+  for (const AttrPath& p : pattern.input_paths()) AddPath(b, p);
+  b.Add(0x1A);  // section separator
+  for (const AttrPath& p : pattern.output_paths()) AddPath(b, p);
+  b.Add(0x1B);
+  for (const AttrPath& p : pattern.ranked_paths()) AddPath(b, p);
+  return b.Finish();
+}
+
+Signature AtomContentSignature(const BoundAtom& atom, bool include_alias) {
+  SignatureBuilder b;
+  if (include_alias) b.AddString(atom.alias);
+  if (atom.iface) {
+    b.AddBool(true);
+    b.AddSignature(InterfaceSignature(*atom.iface));
+  } else {
+    // Mart-level atom: identity is the candidate set Phase 1 chooses among.
+    b.AddBool(false);
+    b.AddString(atom.service_name);
+    b.AddString(atom.mart_name);
+    b.AddInt(static_cast<int64_t>(atom.candidates.size()));
+    for (const auto& cand : atom.candidates) {
+      b.AddSignature(InterfaceSignature(*cand));
+    }
+  }
+  return b.Finish();
+}
+
+void AddSelection(SignatureBuilder& b, const BoundSelection& sel) {
+  b.AddInt(sel.atom);
+  AddPath(b, sel.path);
+  b.AddInt(static_cast<int64_t>(sel.op));
+  if (sel.input_var.empty()) {
+    b.AddBool(false);
+    b.AddValue(sel.constant);
+  } else {
+    b.AddBool(true);
+    b.AddString(sel.input_var);
+  }
+  b.AddDouble(sel.selectivity);
+}
+
+/// `a op b` is equivalent to `b Mirror(op) a` for every comparator except
+/// kLike (patterns are not symmetric).
+Comparator Mirror(Comparator op) {
+  switch (op) {
+    case Comparator::kLt:
+      return Comparator::kGt;
+    case Comparator::kLe:
+      return Comparator::kGe;
+    case Comparator::kGt:
+      return Comparator::kLt;
+    case Comparator::kGe:
+      return Comparator::kLe;
+    default:
+      return op;
+  }
+}
+
+/// Canonical orientation of a join clause: smaller (atom, path) side first,
+/// comparator mirrored when the sides swap. `LIKE` keeps its written
+/// orientation (it is genuinely asymmetric).
+JoinClause Orient(JoinClause c) {
+  if (c.op == Comparator::kLike) return c;
+  auto key = [](int atom, const AttrPath& p) {
+    return std::tuple(atom, p.attr_index, p.sub_index);
+  };
+  if (key(c.to_atom, c.to_path) < key(c.from_atom, c.from_path)) {
+    std::swap(c.from_atom, c.to_atom);
+    std::swap(c.from_path, c.to_path);
+    c.op = Mirror(c.op);
+  }
+  return c;
+}
+
+Signature ClauseSignature(const JoinClause& clause) {
+  SignatureBuilder b;
+  b.AddInt(clause.from_atom);
+  AddPath(b, clause.from_path);
+  b.AddInt(static_cast<int64_t>(clause.op));
+  b.AddInt(clause.to_atom);
+  AddPath(b, clause.to_path);
+  return b.Finish();
+}
+
+/// Canonical group signature: clauses oriented and combined commutatively;
+/// the connection-pattern *name* is excluded (only semantics matter), the
+/// combined selectivity is included (it drives plan choice).
+Signature GroupSignature(const BoundJoinGroup& group) {
+  CommutativeAccumulator clauses;
+  for (const JoinClause& clause : group.clauses) {
+    clauses.Add(ClauseSignature(Orient(clause)));
+  }
+  SignatureBuilder b;
+  b.AddSignature(clauses.Finish());
+  b.AddDouble(group.selectivity);
+  return b.Finish();
+}
+
+void AddClauseOrdered(SignatureBuilder& b, const JoinClause& clause) {
+  b.AddInt(clause.from_atom);
+  AddPath(b, clause.from_path);
+  b.AddInt(static_cast<int64_t>(clause.op));
+  b.AddInt(clause.to_atom);
+  AddPath(b, clause.to_path);
+}
+
+}  // namespace
+
+void SignatureBuilder::AddDouble(double v) {
+  Add(std::bit_cast<uint64_t>(v));
+}
+
+void SignatureBuilder::AddString(const std::string& s) {
+  Add(Fnv64(s.data(), s.size()));
+  Add(s.size());
+}
+
+void SignatureBuilder::AddValue(const Value& v) {
+  Add(static_cast<uint64_t>(v.type()));
+  Add(v.Hash());
+}
+
+Signature QueryAnswerSignature(const BoundQuery& query) {
+  SignatureBuilder b(kSaltAnswerQuery);
+
+  b.AddInt(static_cast<int64_t>(query.atoms.size()));
+  for (const BoundAtom& atom : query.atoms) {
+    b.AddSignature(AtomContentSignature(atom, /*include_alias=*/false));
+  }
+
+  // Selection order is execution-relevant (selectivity products and input
+  // assembly walk the vector in order), so it stays ordered.
+  b.AddInt(static_cast<int64_t>(query.selections.size()));
+  for (const BoundSelection& sel : query.selections) AddSelection(b, sel);
+
+  // Join groups commute: clauses are conjunctive and the canonical clause
+  // orientation above makes `A.x < B.y` and `B.y > A.x` hash equal.
+  CommutativeAccumulator joins;
+  for (const BoundJoinGroup& group : query.joins) joins.Add(GroupSignature(group));
+  b.AddSignature(joins.Finish());
+
+  for (double w : query.explicit_weights) b.AddDouble(w);
+  b.AddInt(static_cast<int64_t>(query.explicit_weights.size()));
+  return b.Finish();
+}
+
+Signature QueryContentSignature(const BoundQuery& query, bool include_aliases) {
+  SignatureBuilder b(kSaltContentQuery);
+
+  b.AddInt(static_cast<int64_t>(query.atoms.size()));
+  for (const BoundAtom& atom : query.atoms) {
+    b.AddSignature(AtomContentSignature(atom, include_aliases));
+  }
+
+  b.AddInt(static_cast<int64_t>(query.selections.size()));
+  for (const BoundSelection& sel : query.selections) AddSelection(b, sel);
+
+  // Declaration order preserved everywhere: equal signatures must imply the
+  // cost pipeline touches identical doubles in an identical order.
+  b.AddInt(static_cast<int64_t>(query.joins.size()));
+  for (const BoundJoinGroup& group : query.joins) {
+    b.AddInt(static_cast<int64_t>(group.clauses.size()));
+    for (const JoinClause& clause : group.clauses) AddClauseOrdered(b, clause);
+    b.AddDouble(group.selectivity);
+  }
+
+  for (const std::string& var : query.input_vars) b.AddString(var);
+  for (double w : query.explicit_weights) b.AddDouble(w);
+  b.AddInt(static_cast<int64_t>(query.explicit_weights.size()));
+  return b.Finish();
+}
+
+uint64_t ExactContentTag(const BoundQuery& query) {
+  Signature s = QueryContentSignature(query, /*include_aliases=*/true);
+  return Mix64(s.lo) ^ s.hi;
+}
+
+Signature PlanSignature(const QueryPlan& plan) {
+  SignatureBuilder b(kSaltPlan);
+  b.AddInt(plan.num_nodes());
+  for (const PlanNode& node : plan.nodes()) {
+    b.AddInt(node.id);
+    b.AddInt(static_cast<int64_t>(node.kind));
+    b.AddInt(node.atom);
+    if (node.iface) b.AddString(node.iface->name());
+    b.AddInt(node.fetch_factor);
+    b.AddInt(node.keep_per_input);
+    for (int g : node.pipe_groups) b.AddInt(g);
+    b.Add(0x2A);
+    for (int s : node.input_selections) b.AddInt(s);
+    b.Add(0x2B);
+    for (int g : node.join_groups) b.AddInt(g);
+    b.AddInt(static_cast<int64_t>(node.strategy.invocation));
+    b.AddInt(static_cast<int64_t>(node.strategy.completion));
+    b.AddInt(node.strategy.ratio_x);
+    b.AddInt(node.strategy.ratio_y);
+    b.AddInt(node.join_upstream);
+    for (int s : node.selections) b.AddInt(s);
+    b.Add(0x2C);
+    for (int g : node.residual_join_groups) b.AddInt(g);
+    b.Add(0x2D);
+    for (int e : node.inputs) b.AddInt(e);
+    b.Add(0x2E);
+    for (int e : node.outputs) b.AddInt(e);
+    b.Add(0x2F);
+  }
+  return b.Finish();
+}
+
+Signature CombineBindings(const Signature& base,
+                          const std::map<std::string, Value>& bindings) {
+  SignatureBuilder b(kSaltBindings);
+  b.AddSignature(base);
+  b.AddInt(static_cast<int64_t>(bindings.size()));
+  for (const auto& [name, value] : bindings) {
+    b.AddString(name);
+    b.AddValue(value);
+  }
+  return b.Finish();
+}
+
+}  // namespace seco

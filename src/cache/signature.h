@@ -1,0 +1,149 @@
+#ifndef SECO_CACHE_SIGNATURE_H_
+#define SECO_CACHE_SIGNATURE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "plan/plan.h"
+#include "query/bound_query.h"
+#include "service/value.h"
+
+namespace seco {
+
+/// A 128-bit canonical signature. `lo` indexes the memo table (slot
+/// selection), `hi` feeds the packed-entry check word; the full pair is
+/// verified against the stored record before any hit is served, so partial
+/// collisions can cost a probe but never a wrong answer.
+struct Signature {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Signature&) const = default;
+  bool IsZero() const { return lo == 0 && hi == 0; }
+};
+
+/// SplitMix64 finalizer: the feature mixer behind every signature.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive 128-bit accumulator: `Add` folds one feature into both
+/// lanes with a position-dependent tweak, so permuted sequences hash
+/// differently. Use for anything whose order is execution-relevant (atom
+/// positions, selection order, plan node lists).
+class SignatureBuilder {
+ public:
+  SignatureBuilder() = default;
+  explicit SignatureBuilder(uint64_t salt) { Add(salt); }
+
+  void Add(uint64_t feature) {
+    ++count_;
+    lo_ = Mix64(lo_ ^ (feature * 0xC2B2AE3D27D4EB4FULL));
+    hi_ = Mix64(hi_ + feature + count_ * 0xD6E8FEB86659FD93ULL);
+  }
+  void AddInt(int64_t v) { Add(static_cast<uint64_t>(v)); }
+  void AddBool(bool v) { Add(v ? 0x2545F4914F6CDD1DULL : 0x9E6C63D0876A9A47ULL); }
+  void AddDouble(double v);
+  void AddString(const std::string& s);
+  void AddSignature(const Signature& s) {
+    Add(s.lo);
+    Add(s.hi);
+  }
+  void AddValue(const Value& v);
+
+  Signature Finish() const {
+    Signature s;
+    s.lo = Mix64(lo_ ^ count_);
+    s.hi = Mix64(hi_ ^ (count_ * 0xA0761D6478BD642FULL));
+    if (s.IsZero()) s.lo = 1;  // the all-zero signature means "empty entry"
+    return s;
+  }
+
+ private:
+  uint64_t lo_ = 0x5ECC0C0DE0000001ULL;
+  uint64_t hi_ = 0x5ECC0C0DE0000002ULL;
+  uint64_t count_ = 0;
+};
+
+/// Zobrist-style commutative accumulator: features XOR in and out in O(1),
+/// so a backtracking search (the optimizer's topology enumeration) can
+/// maintain the signature of its current partial state incrementally.
+/// Order-free by construction — use only for sets whose order is NOT
+/// execution-relevant (join groups, placed-atom stages keyed by position).
+struct CommutativeAccumulator {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint64_t count = 0;
+
+  void Add(const Signature& s) {
+    lo ^= s.lo;
+    hi ^= s.hi;
+    ++count;
+  }
+  /// Exact inverse of `Add` (XOR is an involution).
+  void Remove(const Signature& s) {
+    lo ^= s.lo;
+    hi ^= s.hi;
+    --count;
+  }
+  Signature Finish() const {
+    SignatureBuilder b(0x5A17C0DEULL);
+    b.Add(lo);
+    b.Add(hi);
+    b.Add(count);
+    return b.Finish();
+  }
+};
+
+/// Canonical *answer-mode* signature of a bound query: two queries hash
+/// equal iff executing them yields the same answers.
+///
+/// Included (execution-relevant): atom positions and their resolved
+/// interfaces (full content: schema, access pattern, statistics — not just
+/// the name), selections in declaration order, join groups, INPUT variable
+/// references, explicit ranking weights.
+///
+/// Excluded / canonicalized:
+///  - atom aliases (pure names; renamed atoms hash equal),
+///  - join order: groups combine commutatively, clauses within a group
+///    combine commutatively, and each non-`like` clause is oriented
+///    canonically with its comparator mirrored — `A.x < B.y` and
+///    `B.y > A.x` hash equal,
+///  - connection-pattern names (only their clauses + selectivity matter).
+///
+/// Atom *positions* stay significant: `Combination::components` is indexed
+/// by atom, so reordering the select list changes the answer shape.
+Signature QueryAnswerSignature(const BoundQuery& query);
+
+/// Order-preserving content signature (cost mode): hashes the query exactly
+/// as written — atoms, selections, and joins in declaration order, no
+/// canonicalization — so two equal signatures guarantee bit-identical
+/// floating-point results from the (pure) cost/cardinality pipeline.
+/// `include_aliases` distinguishes the plan-reuse exact tag (true) from the
+/// cost/feasibility memo keys (false: cost math never reads aliases).
+Signature QueryContentSignature(const BoundQuery& query, bool include_aliases);
+
+/// 64-bit alias-inclusive content tag used to gate memoized *plan* reuse:
+/// costs and cardinalities are shared across renamed queries, but a stored
+/// plan (which embeds the bound query, aliases and all) is only returned
+/// verbatim when the requesting query matches exactly.
+uint64_t ExactContentTag(const BoundQuery& query);
+
+/// Ordered signature of a materialized plan DAG: nodes (kind, atom,
+/// interface, fetch factor, strategy, selections) and edges in id order.
+/// Annotations (`t_in`/`t_out`/`est_calls`) are excluded — the same plan
+/// before and after AnnotatePlan hashes equal.
+Signature PlanSignature(const QueryPlan& plan);
+
+/// Folds a user binding map into `base` (std::map iterates in key order, so
+/// the result is independent of insertion order).
+Signature CombineBindings(const Signature& base,
+                          const std::map<std::string, Value>& bindings);
+
+}  // namespace seco
+
+#endif  // SECO_CACHE_SIGNATURE_H_

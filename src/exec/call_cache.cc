@@ -70,10 +70,16 @@ size_t ServiceCallCache::ShardOf(const std::string& key) const {
 }
 
 std::optional<ServiceResponse> ServiceCallCache::Get(const std::string& key) {
+  const uint64_t gen = generation();
   Shard& shard = shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  if (it->second->generation != gen) {
+    InvalidateLocked(shard, it);
     ++shard.misses;
     return std::nullopt;
   }
@@ -85,7 +91,8 @@ std::optional<ServiceResponse> ServiceCallCache::Get(const std::string& key) {
 bool ServiceCallCache::Contains(const std::string& key) const {
   const Shard& shard = shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.index.find(key) != shard.index.end();
+  auto it = shard.index.find(key);
+  return it != shard.index.end() && it->second->generation == generation();
 }
 
 void ServiceCallCache::Put(const std::string& key,
@@ -107,10 +114,19 @@ void ServiceCallCache::Put(const std::string& key,
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(Entry{key, response, bytes});
+  shard.lru.push_front(Entry{key, response, bytes, generation()});
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
   shard.bytes_high_water = std::max(shard.bytes_high_water, shard.bytes);
+}
+
+void ServiceCallCache::InvalidateLocked(
+    Shard& shard,
+    std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it) {
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  ++shard.invalidations;
 }
 
 CallCacheStats ServiceCallCache::stats() const {
@@ -121,11 +137,28 @@ CallCacheStats ServiceCallCache::stats() const {
     total.hits += shard.hits;
     total.misses += shard.misses;
     total.evictions += shard.evictions;
+    total.invalidations += shard.invalidations;
     total.entries += static_cast<int64_t>(shard.lru.size());
     total.bytes += static_cast<int64_t>(shard.bytes);
     total.bytes_high_water += static_cast<int64_t>(shard.bytes_high_water);
   }
   return total;
+}
+
+std::vector<CallCacheShardStats> ServiceCallCache::shard_stats() const {
+  std::vector<CallCacheShardStats> out(static_cast<size_t>(num_shards_));
+  for (int i = 0; i < num_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out[i].hits = shard.hits;
+    out[i].misses = shard.misses;
+    out[i].evictions = shard.evictions;
+    out[i].invalidations = shard.invalidations;
+    out[i].entries = static_cast<int64_t>(shard.lru.size());
+    out[i].bytes = static_cast<int64_t>(shard.bytes);
+    out[i].bytes_high_water = static_cast<int64_t>(shard.bytes_high_water);
+  }
+  return out;
 }
 
 void ServiceCallCache::Clear() {
@@ -136,7 +169,7 @@ void ServiceCallCache::Clear() {
     shard.index.clear();
     shard.bytes = 0;
     shard.bytes_high_water = 0;
-    shard.hits = shard.misses = shard.evictions = 0;
+    shard.hits = shard.misses = shard.evictions = shard.invalidations = 0;
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef SECO_EXEC_CALL_CACHE_H_
 #define SECO_EXEC_CALL_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -24,11 +25,25 @@ struct CallCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;
+  /// Entries dropped because their generation stamp was older than the
+  /// cache's current generation (see `BumpGeneration`).
+  int64_t invalidations = 0;
   int64_t entries = 0;
   int64_t bytes = 0;
   /// Sum of the per-shard byte high-water marks — an upper bound on any
   /// instantaneous total footprint the cache ever had. Never exceeds the
   /// byte budget; the gap between it and `bytes` measures churn headroom.
+  int64_t bytes_high_water = 0;
+};
+
+/// Per-shard counters, for diagnosing hash skew and contention hot spots.
+struct CallCacheShardStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t invalidations = 0;
+  int64_t entries = 0;
+  int64_t bytes = 0;
   int64_t bytes_high_water = 0;
 };
 
@@ -80,6 +95,21 @@ class ServiceCallCache {
   /// Counters summed over all shards.
   CallCacheStats stats() const;
 
+  /// Per-shard counter snapshot, indexed by shard.
+  std::vector<CallCacheShardStats> shard_stats() const;
+
+  /// O(1) logical invalidation: entries stamped with an older generation
+  /// are treated as absent and reclaimed lazily on their next touch. Lets
+  /// callers flush stale responses (a backend's data changed, a registry
+  /// epoch moved on) without a process restart or a stop-the-world Clear().
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Drops every entry; counters are reset too.
   void Clear();
 
@@ -103,6 +133,7 @@ class ServiceCallCache {
     std::string key;
     ServiceResponse response;
     size_t bytes = 0;
+    uint64_t generation = 0;
   };
 
   struct Shard {
@@ -114,11 +145,19 @@ class ServiceCallCache {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    int64_t invalidations = 0;
   };
+
+  /// Erases `it`'s entry from `shard` and counts it as an invalidation.
+  void InvalidateLocked(Shard& shard,
+                        std::unordered_map<std::string,
+                                           std::list<Entry>::iterator>::iterator
+                            it);
 
   int num_shards_;
   size_t shard_budget_;
   std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace seco

@@ -6,6 +6,8 @@
 #include <limits>
 #include <map>
 
+#include "cache/plan_memo.h"
+#include "cache/signature.h"
 #include "join/strategy_select.h"
 #include "query/feasibility.h"
 
@@ -222,6 +224,78 @@ Result<OptimizationResult> Optimizer::Optimize(const BoundQuery& query) {
   state.options = &options_;
   bool any_feasible = false;
 
+  // ---------- Cross-query memoization (optional) ----------
+  // Keys are order-preserving content hashes: (assignment signature,
+  // incrementally-maintained topology signature, fetch factors, options
+  // fingerprint). Equal keys imply the memoized pure FP computation would
+  // replay bit-identically, so a warm memo changes wall-clock only — never
+  // the OptimizationResult.
+  PlanMemo* memo = options_.memo;
+  const uint64_t options_fp = memo ? OptimizerFingerprint(options_) : 0;
+  Signature assignment_sig;  // alias-free content sig of the current leaf
+  uint64_t exact_tag = 0;    // alias-inclusive tag gating plan reuse
+  CommutativeAccumulator topo_acc;  // Zobrist-incremental placed stages
+
+  auto stage_feature = [](const std::vector<int>& stage, size_t depth) {
+    SignatureBuilder b(0x57A6EULL);
+    b.Add(depth);  // position tweak: stage order stays significant
+    for (int a : stage) b.AddInt(a);
+    return b.Finish();
+  };
+
+  // Memoized BuildAnnotateCost. Probe-only callers (`want_plan` false) get
+  // cost/answers with an empty plan; plan-bearing hits are reused only when
+  // the exact (alias-inclusive) tag matches, since the stored plan embeds
+  // the bound query verbatim.
+  auto build_cost = [&](const BoundQuery& q, const TopologySpec& spec,
+                        const std::map<int, int>& fetch,
+                        bool want_plan) -> Result<PlanBuildOutput> {
+    if (!memo) return BuildAnnotateCost(q, spec, options_);
+    SignatureBuilder kb(0x91A7B11DULL);
+    kb.AddSignature(assignment_sig);
+    kb.AddSignature(topo_acc.Finish());
+    for (const auto& [atom, f] : fetch) {
+      kb.AddInt(atom);
+      kb.AddInt(f);
+    }
+    kb.Add(options_fp);
+    const Signature key = kb.Finish();
+    if (auto hit = memo->plans().Probe(key)) {
+      if (!want_plan) return PlanBuildOutput{QueryPlan{}, hit->cost, hit->answers};
+      if (hit->plan && hit->exact_tag == exact_tag) {
+        return PlanBuildOutput{*hit->plan, hit->cost, hit->answers};
+      }
+    }
+    SECO_ASSIGN_OR_RETURN(PlanBuildOutput out,
+                          BuildAnnotateCost(q, spec, options_));
+    PlanCostEntry entry;
+    entry.cost = out.cost;
+    entry.answers = out.answers;
+    entry.exact_tag = exact_tag;
+    size_t bytes = 160;
+    if (want_plan) {
+      entry.plan = std::make_shared<const QueryPlan>(out.plan);
+      bytes = 512 + static_cast<size_t>(out.plan.num_nodes()) * 256;
+    }
+    memo->plans().Insert(key, std::move(entry), want_plan ? 4.0 : 1.0, bytes);
+    return out;
+  };
+
+  auto lower_bound = [&](const BoundQuery& q,
+                         const std::vector<std::vector<int>>& stages)
+      -> Result<double> {
+    if (!memo) return PartialLowerBound(q, stages, options_);
+    SignatureBuilder kb(0xB0DB0DULL);
+    kb.AddSignature(assignment_sig);
+    kb.AddSignature(topo_acc.Finish());
+    kb.Add(options_fp);
+    const Signature key = kb.Finish();
+    if (auto hit = memo->bounds().Probe(key)) return *hit;
+    SECO_ASSIGN_OR_RETURN(double bound, PartialLowerBound(q, stages, options_));
+    memo->bounds().Insert(key, bound, 1.0, 64);
+    return bound;
+  };
+
   // ---------- Phase 3: fetch factors for a fixed topology ----------
   auto run_phase3 = [&](const BoundQuery& q,
                         const std::vector<std::vector<int>>& stages) -> Status {
@@ -244,7 +318,8 @@ Result<OptimizationResult> Optimizer::Optimize(const BoundQuery& query) {
 
     PlanBuildOutput current;
     {
-      SECO_ASSIGN_OR_RETURN(current, BuildAnnotateCost(q, make_spec(), options_));
+      SECO_ASSIGN_OR_RETURN(
+          current, build_cost(q, make_spec(), fetch, /*want_plan=*/true));
     }
     for (int iter = 0; iter < options_.max_fetch_iterations; ++iter) {
       if (state.CanPrune(current.cost)) {
@@ -271,8 +346,9 @@ Result<OptimizationResult> Optimizer::Optimize(const BoundQuery& query) {
         for (int a : chunked) {
           if (fetch[a] >= options_.max_fetch_factor) continue;
           ++fetch[a];
-          SECO_ASSIGN_OR_RETURN(PlanBuildOutput probe,
-                                BuildAnnotateCost(q, make_spec(), options_));
+          SECO_ASSIGN_OR_RETURN(
+              PlanBuildOutput probe,
+              build_cost(q, make_spec(), fetch, /*want_plan=*/false));
           --fetch[a];
           double dcost = std::max(probe.cost - current.cost, 1e-9);
           double dans = probe.answers - current.answers;
@@ -286,7 +362,8 @@ Result<OptimizationResult> Optimizer::Optimize(const BoundQuery& query) {
       }
       if (pick < 0) break;
       ++fetch[pick];
-      SECO_ASSIGN_OR_RETURN(current, BuildAnnotateCost(q, make_spec(), options_));
+      SECO_ASSIGN_OR_RETURN(
+          current, build_cost(q, make_spec(), fetch, /*want_plan=*/true));
     }
     if (state.CanPrune(current.cost)) {
       ++state.stats.branches_pruned;
@@ -332,17 +409,22 @@ Result<OptimizationResult> Optimizer::Optimize(const BoundQuery& query) {
 
     for (const std::vector<int>& stage : candidates) {
       if (!state.Budget()) return Status::OK();
+      const Signature feature = stage_feature(stage, stages.size());
       stages.push_back(stage);
       for (int a : stage) placed[a] = true;
-      SECO_ASSIGN_OR_RETURN(double bound,
-                            PartialLowerBound(q, stages, options_));
-      if (state.CanPrune(bound)) {
-        ++state.stats.branches_pruned;
-      } else {
-        SECO_RETURN_IF_ERROR(enum_topologies(q, placed, stages));
-      }
+      topo_acc.Add(feature);  // O(1) incremental push
+      Status status = [&]() -> Status {
+        SECO_ASSIGN_OR_RETURN(double bound, lower_bound(q, stages));
+        if (state.CanPrune(bound)) {
+          ++state.stats.branches_pruned;
+          return Status::OK();
+        }
+        return enum_topologies(q, placed, stages);
+      }();
+      topo_acc.Remove(feature);  // O(1) incremental pop
       for (int a : stage) placed[a] = false;
       stages.pop_back();
+      SECO_RETURN_IF_ERROR(status);
     }
     return Status::OK();
   };
@@ -357,8 +439,25 @@ Result<OptimizationResult> Optimizer::Optimize(const BoundQuery& query) {
         q.atoms[a].iface = assignment[a];
         q.atoms[a].schema = assignment[a]->schema_ptr();
       }
-      SECO_ASSIGN_OR_RETURN(FeasibilityReport report, CheckFeasibility(q));
-      if (!report.feasible) return Status::OK();
+      bool feasible = false;
+      if (memo) {
+        assignment_sig = QueryContentSignature(q, /*include_aliases=*/false);
+        exact_tag = ExactContentTag(q);
+        SignatureBuilder fb(0xFEA5ULL);
+        fb.AddSignature(assignment_sig);
+        const Signature key = fb.Finish();
+        if (auto hit = memo->feasibility().Probe(key)) {
+          feasible = *hit != 0;
+        } else {
+          SECO_ASSIGN_OR_RETURN(FeasibilityReport report, CheckFeasibility(q));
+          feasible = report.feasible;
+          memo->feasibility().Insert(key, feasible ? 1 : 0, 1.0, 64);
+        }
+      } else {
+        SECO_ASSIGN_OR_RETURN(FeasibilityReport report, CheckFeasibility(q));
+        feasible = report.feasible;
+      }
+      if (!feasible) return Status::OK();
       any_feasible = true;
       std::vector<bool> placed(q.atoms.size(), false);
       std::vector<std::vector<int>> stages;

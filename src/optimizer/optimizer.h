@@ -12,6 +12,8 @@
 
 namespace seco {
 
+class PlanMemo;
+
 /// Options steering the branch-and-bound search (§5.2, Fig. 8).
 struct OptimizerOptions {
   CostMetricKind metric = CostMetricKind::kSumCost;
@@ -33,6 +35,15 @@ struct OptimizerOptions {
   /// services' score models (nested-loop for step services, merge-scan with
   /// latency-derived ratio otherwise).
   bool auto_join_strategy = true;
+
+  /// Cross-query memoization of subplan costs, partial-plan lower bounds,
+  /// and feasibility verdicts (src/cache/plan_memo.h). nullptr (default) =
+  /// off; the search then behaves exactly as before. With a memo the search
+  /// returns bit-identical results — memo keys are order-preserving content
+  /// hashes, so a hit replays the same pure floating-point computation.
+  /// Not owned; must outlive the optimization. Excluded from
+  /// OptimizerFingerprint.
+  PlanMemo* memo = nullptr;
 };
 
 /// Outcome of an optimization run.

@@ -54,6 +54,13 @@ QueryServer::QueryServer(std::shared_ptr<ServiceRegistry> registry,
   if (options_.runner_threads <= 0) {
     options_.runner_threads = std::max(1, options_.admission.max_in_flight);
   }
+  if (options_.answer_cache) {
+    answer_cache_ = std::make_unique<AnswerCache>(options_.answer_cache_bytes);
+    if (options_.plan_memo_bytes > 0) {
+      plan_memo_ = std::make_unique<PlanMemo>(options_.plan_memo_bytes);
+    }
+  }
+  registry_gen_seen_.store(registry_->generation(), std::memory_order_release);
 }
 
 QueryServer::~QueryServer() {
@@ -92,8 +99,20 @@ std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
 
   PriorityClass priority = request.priority;
   bool was_shed = false;
-  QueryResponse shed_response;
+  bool was_hit = false;
+  QueryResponse ready_response;
   std::vector<Dispatch> dispatches;
+
+  // Answer-cache preparation happens before the server lock: parsing,
+  // binding, and hashing the canonical signature are pure work that must
+  // not serialize the admission path. Trace requests bypass the cache — a
+  // cached answer carries no fresh trace.
+  std::optional<AnswerKey> key_base;
+  if (answer_cache_ && !request.collect_trace) {
+    RefreshCacheEpoch();
+    key_base = BuildAnswerKeyBase(request);
+  }
+
   {
     std::unique_lock<std::mutex> lock(mu_);
     double now = NowMs();
@@ -104,27 +123,64 @@ std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
     // this query itself contributes to it.
     int level = ladder_.LevelFor(PressureLocked());
 
-    std::optional<uint64_t> ticket =
-        admission_.Offer(priority, now, request.deadline_ms);
-    if (!ticket.has_value()) {
+    // The level-dependent key parts (degradation level, the ladder's k /
+    // call-budget cuts) are only known now, so the final signature is
+    // assembled under the lock. A warm hit resolves right here: it consumes
+    // no admission-window slot and no runner thread.
+    std::optional<Signature> answer_sig;
+    if (key_base.has_value()) {
+      AnswerKey key = *key_base;
+      key.k = request.k;
+      key.max_calls = request.max_calls;
+      ladder_.ApplyToRequest(level, &key.k, &key.max_calls);
+      key.degradation_level = level;
+      answer_sig = AnswerSignature(key, request.input_bindings);
+      if (std::shared_ptr<const CachedAnswer> hit =
+              answer_cache_->Probe(*answer_sig)) {
+        ready_response = ResponseFromCached(*hit, level);
+        if (ready_response.outcome == ServedOutcome::kDegraded) {
+          ++cls.degraded;
+        } else {
+          ++cls.completed;
+        }
+        ++cls.answer_cache_hits;
+        ++cls.degradation_levels[std::clamp(level, 0,
+                                            DegradationLadder::kMaxLevel)];
+        cls.queue_wait_ms.push_back(0.0);
+        cls.sim_elapsed_ms.push_back(
+            ready_response.streamed
+                ? ready_response.streaming.total_latency_ms
+                : ready_response.execution.elapsed_ms);
+        was_hit = true;
+      }
+    }
+
+    std::optional<uint64_t> ticket;
+    if (!was_hit) {
+      ticket = admission_.Offer(priority, now, request.deadline_ms);
+    }
+    if (was_hit) {
+      // Resolved from cache above; nothing to enqueue.
+    } else if (!ticket.has_value()) {
       ++cls.shed;
       double backlog =
           static_cast<double>(admission_.queued_total()) /
           static_cast<double>(std::max(1, admission_.queue_capacity_total()));
-      shed_response.outcome = ServedOutcome::kShed;
-      shed_response.priority = priority;
-      shed_response.retry_after_ms =
+      ready_response.outcome = ServedOutcome::kShed;
+      ready_response.priority = priority;
+      ready_response.retry_after_ms =
           options_.retry_after_ms * (1.0 + backlog);
-      shed_response.status = Status::Rejected(
+      ready_response.status = Status::Rejected(
           std::string(PriorityClassToString(priority)) +
           " admission queue full; retry after " +
-          std::to_string(shed_response.retry_after_ms) + " ms");
+          std::to_string(ready_response.retry_after_ms) + " ms");
       was_shed = true;
     } else {
       auto pending = std::make_unique<Pending>();
       pending->request = std::move(request);
       pending->promise = std::move(promise);
       pending->degradation_level = level;
+      pending->answer_sig = answer_sig;
       waiting_.emplace(*ticket, std::move(pending));
       ++unresolved_;
       cls.peak_queue_depth =
@@ -132,9 +188,13 @@ std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
       dispatches = CollectDispatchesLocked();
     }
   }
-  // A shed query touches no execution state and its future is ready
-  // immediately; the promise fires outside the lock, like every other.
-  if (was_shed) promise.set_value(std::move(shed_response));
+  // Shed queries and warm cache hits touch no execution state and their
+  // futures are ready immediately; the promise fires outside the lock, like
+  // every other.
+  if (was_shed || was_hit) {
+    ready_response.priority = priority;
+    promise.set_value(std::move(ready_response));
+  }
   LaunchDispatches(std::move(dispatches));
   return future;
 }
@@ -197,8 +257,8 @@ void QueryServer::RunOne(QueueTicket ticket,
   double wait = NowMs() - ticket.enqueued_ms;
   PriorityClass priority = pending->request.priority;
 
-  QueryResponse response =
-      ExecuteRequest(pending->request, pending->degradation_level);
+  QueryResponse response = ExecuteRequest(
+      pending->request, pending->degradation_level, pending->answer_sig);
   response.queue_wait_ms = wait;
   response.priority = priority;
 
@@ -221,6 +281,7 @@ void QueryServer::RunOne(QueueTicket ticket,
         ++cls.failed;
         break;
     }
+    if (response.answer_cache_hit) ++cls.answer_cache_hits;
     ++cls.degradation_levels[std::clamp(pending->degradation_level, 0,
                                         DegradationLadder::kMaxLevel)];
     cls.queue_wait_ms.push_back(wait);
@@ -235,8 +296,54 @@ void QueryServer::RunOne(QueueTicket ticket,
   LaunchDispatches(std::move(dispatches));
 }
 
-QueryResponse QueryServer::ExecuteRequest(const QueryRequest& request,
-                                          int level) {
+QueryResponse QueryServer::ExecuteRequest(
+    const QueryRequest& request, int level,
+    const std::optional<Signature>& answer_sig) {
+  if (!answer_cache_ || !answer_sig.has_value()) {
+    return ExecuteUncached(request, level);
+  }
+
+  // Single-flight: re-probe (the answer may have landed while this query
+  // waited in the admission queue), then either lead the execution or wait
+  // for the identical one already running.
+  AnswerCache::Flight flight = answer_cache_->JoinOrLead(*answer_sig);
+  if (flight.cached) return ResponseFromCached(*flight.cached, level);
+  if (!flight.leader) {
+    std::shared_ptr<const CachedAnswer> answer = flight.wait.get();
+    if (answer) return ResponseFromCached(*answer, level);
+    // The leader's run turned out uncacheable (failed, incomplete, or
+    // repaired mid-run); execute independently rather than convoying a
+    // chain of new flights behind one another.
+    return ExecuteUncached(request, level);
+  }
+
+  QueryResponse response = ExecuteUncached(request, level);
+  std::shared_ptr<const CachedAnswer> payload;
+  const bool outcome_ok = response.outcome == ServedOutcome::kCompleted ||
+                          response.outcome == ServedOutcome::kDegraded;
+  if (response.status.ok() && outcome_ok) {
+    const bool cacheable =
+        response.streamed
+            ? (response.streaming.complete && !response.streaming.repair.any())
+            : (response.execution.complete && !response.execution.repair.any());
+    if (cacheable) {
+      auto answer = std::make_shared<CachedAnswer>();
+      answer->streamed = response.streamed;
+      answer->degradation_level = level;
+      if (response.streamed) {
+        answer->streaming = response.streaming;
+      } else {
+        answer->execution = response.execution;
+      }
+      payload = std::move(answer);
+    }
+  }
+  answer_cache_->CompleteFlight(*answer_sig, std::move(payload));
+  return response;
+}
+
+QueryResponse QueryServer::ExecuteUncached(const QueryRequest& request,
+                                           int level) {
   QueryResponse response;
   response.degradation_level = level;
   response.streamed = request.streaming;
@@ -269,6 +376,7 @@ QueryResponse QueryServer::ExecuteRequest(const QueryRequest& request,
 
   OptimizerOptions optimizer_options = optimizer_options_;
   optimizer_options.k = k;
+  optimizer_options.memo = plan_memo_.get();
   Optimizer optimizer(optimizer_options);
   Result<OptimizationResult> optimized = optimizer.Optimize(*bound);
   if (!optimized.ok()) return fail(optimized.status());
@@ -321,7 +429,87 @@ QueryResponse QueryServer::ExecuteRequest(const QueryRequest& request,
                            ? ServedOutcome::kDegraded
                            : ServedOutcome::kCompleted;
   }
+  // A repair event means a replica was swapped mid-run: plans and answers
+  // derived from the old replica health may no longer reproduce, so the
+  // derived caches roll their generation. The call cache keeps its entries
+  // (a recorded backend response is still that response) — salvage across
+  // repair rounds depends on them staying warm.
+  const RepairStats& rep = response.streamed ? response.streaming.repair
+                                             : response.execution.repair;
+  if (rep.any() && answer_cache_) {
+    answer_cache_->BumpGeneration();
+    if (plan_memo_) plan_memo_->BumpGeneration();
+  }
   return response;
+}
+
+std::optional<AnswerKey> QueryServer::BuildAnswerKeyBase(
+    const QueryRequest& request) const {
+  // Parse + bind failures are not cached: the normal execution path reports
+  // them with its usual diagnostics.
+  const BoundQuery* bound = request.bound.get();
+  BoundQuery local_bound;
+  if (bound == nullptr) {
+    Result<ParsedQuery> parsed = ParseQuery(request.query_text);
+    if (!parsed.ok()) return std::nullopt;
+    Result<BoundQuery> bound_result = BindQuery(parsed.value(), *registry_);
+    if (!bound_result.ok()) return std::nullopt;
+    local_bound = std::move(bound_result).value();
+    bound = &local_bound;
+  }
+  AnswerKey key;
+  key.query = QueryAnswerSignature(*bound);
+  key.streaming = request.streaming;
+  // Mirror ExecuteUncached's policy defaulting so the fingerprints hash the
+  // configuration that will actually run. The ladder's k/max_calls cuts are
+  // a pure function of (request.k, level), both already in the key, so the
+  // fingerprints can use the server-wide optimizer options as-is.
+  const ReliabilityPolicy& reliability = request.reliability.enabled()
+                                             ? request.reliability
+                                             : options_.reliability;
+  RepairOptions repair =
+      request.repair.active() ? request.repair : options_.repair;
+  repair.optimizer = optimizer_options_;
+  key.reliability_fp = ReliabilityFingerprint(reliability);
+  key.repair_fp = RepairFingerprint(repair);
+  key.optimizer_fp = OptimizerFingerprint(optimizer_options_);
+  return key;
+}
+
+QueryResponse QueryServer::ResponseFromCached(const CachedAnswer& answer,
+                                              int level) const {
+  QueryResponse response;
+  response.degradation_level = level;
+  response.streamed = answer.streamed;
+  response.answer_cache_hit = true;
+  if (answer.streamed) {
+    response.streaming = answer.streaming;
+    response.outcome = (level > 0 || !response.streaming.complete)
+                           ? ServedOutcome::kDegraded
+                           : ServedOutcome::kCompleted;
+  } else {
+    response.execution = answer.execution;
+    response.outcome = (level > 0 || !response.execution.complete)
+                           ? ServedOutcome::kDegraded
+                           : ServedOutcome::kCompleted;
+  }
+  return response;
+}
+
+void QueryServer::RefreshCacheEpoch() {
+  uint64_t gen = registry_->generation();
+  uint64_t seen = registry_gen_seen_.load(std::memory_order_acquire);
+  while (gen != seen) {
+    if (registry_gen_seen_.compare_exchange_weak(seen, gen,
+                                                 std::memory_order_acq_rel)) {
+      // The catalog moved (a replica, interface, or pattern appeared): the
+      // optimizer's candidate sets shifted, so memoized plans and whole
+      // answers may differ from what a fresh run would produce now.
+      answer_cache_->BumpGeneration();
+      if (plan_memo_) plan_memo_->BumpGeneration();
+      return;
+    }
+  }
 }
 
 void QueryServer::Drain() {

@@ -13,6 +13,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/answer_cache.h"
+#include "cache/plan_memo.h"
+#include "cache/signature.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/call_cache.h"
@@ -94,6 +97,11 @@ struct QueryResponse {
   double queue_wait_ms = 0.0;
   PriorityClass priority = PriorityClass::kInteractive;
 
+  /// True when this answer came out of the whole-answer cache (or from a
+  /// concurrent identical execution via single-flight) instead of a fresh
+  /// execution. Cached answers are byte-identical to fresh ones.
+  bool answer_cache_hit = false;
+
   /// Engine results; exactly one is populated for kCompleted/kDegraded,
   /// per `streamed`.
   bool streamed = false;
@@ -126,6 +134,18 @@ struct ServerOptions {
   /// Byte budget of the server-owned shared `ServiceCallCache`.
   size_t cache_byte_budget = ServiceCallCache::kDefaultByteBudget;
 
+  /// Whole-answer reuse + optimizer plan memoization (docs/CACHING.md).
+  /// Off by default: the serving path is then bit-identical to the pre-cache
+  /// server. When on, a warm hit resolves at Submit without consuming an
+  /// admission window slot, and N concurrent identical cold queries execute
+  /// once (single-flight).
+  bool answer_cache = false;
+  /// Byte budget of the whole-answer memo table.
+  size_t answer_cache_bytes = 8 << 20;
+  /// Byte budget of the optimizer plan/bound/feasibility memo; 0 disables
+  /// the plan memo while keeping the answer cache.
+  size_t plan_memo_bytes = 4 << 20;
+
   /// Base retry-after hint attached to shed responses; scaled by the
   /// instantaneous backlog fraction.
   double retry_after_ms = 50.0;
@@ -139,6 +159,9 @@ struct ClassServingStats {
   int64_t completed = 0;
   int64_t degraded = 0;
   int64_t failed = 0;
+  /// Of the completed/degraded, how many were served from the answer cache
+  /// (warm probe at Submit, or a single-flight follower).
+  int64_t answer_cache_hits = 0;
   /// Admissions per ladder level 0..3 (shed/expired queries excluded).
   std::array<int64_t, DegradationLadder::kMaxLevel + 1> degradation_levels{};
   int peak_queue_depth = 0;
@@ -215,11 +238,19 @@ class QueryServer {
   CircuitBreakerRegistry& breakers() { return breakers_; }
   const ServerOptions& options() const { return options_; }
 
+  /// The whole-answer cache / plan memo; null when `options.answer_cache`
+  /// is off.
+  const AnswerCache* answer_cache() const { return answer_cache_.get(); }
+  const PlanMemo* plan_memo() const { return plan_memo_.get(); }
+
  private:
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
     int degradation_level = 0;
+    /// Answer-cache signature computed at Submit (absent when caching is
+    /// off, the request is untraceable/uncacheable, or parse/bind failed).
+    std::optional<Signature> answer_sig;
   };
   /// A ticket popped for dispatch, joined with its payload.
   struct Dispatch {
@@ -237,12 +268,31 @@ class QueryServer {
   void LaunchDispatches(std::vector<Dispatch> dispatches);
   /// Runner-pool entry: executes one admitted query end to end.
   void RunOne(QueueTicket ticket, std::shared_ptr<Pending> pending);
-  /// The execution itself (no server lock held).
-  QueryResponse ExecuteRequest(const QueryRequest& request, int level);
+  /// The execution itself (no server lock held): answer-cache probe +
+  /// single-flight around ExecuteUncached when `answer_sig` is set.
+  QueryResponse ExecuteRequest(const QueryRequest& request, int level,
+                               const std::optional<Signature>& answer_sig);
+  /// One fresh end-to-end execution (parse/bind, optimize, run).
+  QueryResponse ExecuteUncached(const QueryRequest& request, int level);
+  /// Builds the level-independent part of the request's answer key
+  /// (canonical query signature + policy fingerprints); nullopt when the
+  /// request cannot be cached (trace collection, parse/bind failure).
+  std::optional<AnswerKey> BuildAnswerKeyBase(const QueryRequest& request) const;
+  /// Materializes a response from a cached answer.
+  QueryResponse ResponseFromCached(const CachedAnswer& answer, int level) const;
+  /// Invalidates the answer cache + plan memo when the registry's catalog
+  /// generation moved since the last check (e.g. a replica was registered).
+  void RefreshCacheEpoch();
 
   std::shared_ptr<ServiceRegistry> registry_;
   ServerOptions options_;
   OptimizerOptions optimizer_options_;
+
+  /// Null unless `options_.answer_cache`.
+  std::unique_ptr<AnswerCache> answer_cache_;
+  std::unique_ptr<PlanMemo> plan_memo_;
+  /// Registry catalog generation the caches were last validated against.
+  std::atomic<uint64_t> registry_gen_seen_{0};
 
   ServiceCallCache cache_;
   CircuitBreakerRegistry breakers_;

@@ -8,6 +8,7 @@ Status ServiceRegistry::RegisterMart(std::shared_ptr<ServiceMart> mart) {
     return Status::AlreadyExists("mart '" + name + "' already registered");
   }
   marts_[name] = std::move(mart);
+  BumpGeneration();
   return Status::OK();
 }
 
@@ -26,6 +27,7 @@ Status ServiceRegistry::RegisterInterface(std::shared_ptr<ServiceInterface> ifac
     interface_to_mart_[name] = mart_name;
   }
   interfaces_[name] = std::move(iface);
+  BumpGeneration();
   return Status::OK();
 }
 
@@ -37,6 +39,7 @@ Status ServiceRegistry::RegisterConnectionPattern(
                                  "' already registered");
   }
   patterns_[name] = std::move(pattern);
+  BumpGeneration();
   return Status::OK();
 }
 

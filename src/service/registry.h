@@ -1,6 +1,8 @@
 #ifndef SECO_SERVICE_REGISTRY_H_
 #define SECO_SERVICE_REGISTRY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,7 +53,20 @@ class ServiceRegistry {
   std::vector<std::string> mart_names() const;
   std::vector<std::string> interface_names() const;
 
+  /// Monotonic catalog epoch: bumped by every successful registration.
+  /// Caching layers compare it against the epoch they captured at publish
+  /// time and invalidate when it moved (e.g. a replica appeared, so plans
+  /// and answers derived from the old candidate sets may be stale).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::atomic<uint64_t> generation_{1};
   std::map<std::string, std::shared_ptr<ServiceMart>> marts_;
   std::map<std::string, std::shared_ptr<ServiceInterface>> interfaces_;
   std::map<std::string, std::shared_ptr<ConnectionPattern>> patterns_;

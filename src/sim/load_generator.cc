@@ -17,6 +17,7 @@ std::vector<LoadItem> LoadGenerator::Schedule() const {
   SplitMix64 arrivals(profile_.seed ^ 0xA5C1E7D3B2F49817ULL);
   SplitMix64 classes(profile_.seed ^ 0x1B56C4E9D8A73F02ULL);
   SplitMix64 ks(profile_.seed ^ 0x7E2D9F4C1A8B5E63ULL);
+  SplitMix64 overlap(profile_.seed ^ 0x3C6EF372FE94F82AULL);
 
   double now_ms = 0.0;
   for (int i = 0; i < profile_.num_queries; ++i) {
@@ -39,6 +40,15 @@ std::vector<LoadItem> LoadGenerator::Schedule() const {
     int k_hi = std::max(k_lo, profile_.k_max);
     item.request.k = static_cast<int>(ks.UniformRange(k_lo, k_hi));
     item.request.max_calls = profile_.max_calls;
+    // Non-overlapping requests get a unique call budget: it perturbs the
+    // answer-cache signature but not execution (budgets this large are
+    // never exhausted), so cache-off runs are unaffected. The draw happens
+    // unconditionally to keep the other streams' values stable across
+    // overlap settings.
+    double miss_draw = overlap.NextDouble();
+    if (miss_draw >= profile_.overlap_fraction) {
+      item.request.max_calls = profile_.max_calls + 1 + i;
+    }
     item.request.deadline_ms = profile_.queue_deadline_ms;
     item.request.streaming = profile_.streaming;
     schedule.push_back(std::move(item));
@@ -130,6 +140,19 @@ std::optional<LoadProfile> LoadProfileByName(const std::string& name) {
     profile.mean_interarrival_ms = 40.0;
     profile.realtime_factor = 1.0;
     profile.interactive_fraction = 0.5;
+    return profile;
+  }
+  if (name == "cachestress") {
+    // High-overlap repeats in a moderate closed loop: most requests share a
+    // cache identity, so with the answer cache on the run is dominated by
+    // warm probes and single-flight coordination — the memo table's
+    // contended paths — while the off-cache run replays identical work.
+    profile.num_queries = 192;
+    profile.closed_loop_width = 8;
+    profile.interactive_fraction = 0.6;
+    profile.k_min = 6;
+    profile.k_max = 6;
+    profile.overlap_fraction = 0.9;
     return profile;
   }
   return std::nullopt;

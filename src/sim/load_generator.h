@@ -42,6 +42,13 @@ struct LoadProfile {
   double queue_deadline_ms = 0.0;
   /// Run queries through the streaming engine instead of materializing.
   bool streaming = false;
+  /// Fraction of requests whose cache identity repeats (answer-cache warm
+  /// pool). 1.0 = every request is the same cacheable identity (the
+  /// default, and the historical behaviour); at f < 1, a (1-f) share of
+  /// requests get a unique call budget, which enters the answer-cache
+  /// signature without changing what executes — deterministic cache-miss
+  /// traffic for warm-vs-cold experiments.
+  double overlap_fraction = 1.0;
 };
 
 /// One scheduled arrival.
@@ -89,7 +96,9 @@ LoadReport DriveLoad(QueryServer* server, const std::vector<LoadItem>& schedule,
 
 /// Named profiles surfaced by the shell's `--serve --load=<name>` flag:
 /// "light" (below capacity), "overload" (open loop at >= 3x capacity), and
-/// "burst" (synchronized arrival groups). nullopt for unknown names.
+/// "burst" (synchronized arrival groups), and "cachestress" (closed-loop
+/// high-overlap repeats for the answer-cache soak). nullopt for unknown
+/// names.
 std::optional<LoadProfile> LoadProfileByName(const std::string& name);
 
 }  // namespace seco

@@ -230,5 +230,62 @@ TEST(CallCacheTest, PressurePastBudgetFromManyThreadsKeepsInvariants) {
   EXPECT_LE(stats.entries, 512 * 3);
 }
 
+TEST(CallCacheTest, ShardStatsSumToAggregateStats) {
+  ServiceCallCache cache(1 << 20, /*num_shards=*/4);
+  for (int i = 0; i < 64; ++i) {
+    std::string key = ServiceCallCache::Key("S", std::to_string(i), 0);
+    cache.Put(key, MakeResponse("v" + std::to_string(i), 1.0));
+    cache.Get(key);                                              // hit
+    cache.Get(ServiceCallCache::Key("S", std::to_string(i), 9));  // miss
+  }
+  CallCacheStats total = cache.stats();
+  std::vector<CallCacheShardStats> shards = cache.shard_stats();
+  ASSERT_EQ(shards.size(), 4u);
+  CallCacheShardStats sum;
+  for (const CallCacheShardStats& shard : shards) {
+    sum.hits += shard.hits;
+    sum.misses += shard.misses;
+    sum.evictions += shard.evictions;
+    sum.invalidations += shard.invalidations;
+    sum.entries += shard.entries;
+    sum.bytes += shard.bytes;
+    sum.bytes_high_water += shard.bytes_high_water;
+  }
+  EXPECT_EQ(sum.hits, total.hits);
+  EXPECT_EQ(sum.misses, total.misses);
+  EXPECT_EQ(sum.evictions, total.evictions);
+  EXPECT_EQ(sum.invalidations, total.invalidations);
+  EXPECT_EQ(sum.entries, total.entries);
+  EXPECT_EQ(sum.bytes, total.bytes);
+  EXPECT_EQ(sum.bytes_high_water, total.bytes_high_water);
+  EXPECT_GT(sum.hits, 0);
+  EXPECT_GT(sum.misses, 0);
+}
+
+TEST(CallCacheTest, GenerationBumpInvalidatesLazily) {
+  ServiceCallCache cache;
+  std::string key = ServiceCallCache::Key("S", "b", 0);
+  cache.Put(key, MakeResponse("old", 1.0));
+  ASSERT_TRUE(cache.Contains(key));
+  ASSERT_TRUE(cache.Get(key).has_value());
+
+  cache.BumpGeneration();
+  EXPECT_EQ(cache.generation(), 1u);
+  // The stale entry is treated as absent everywhere...
+  EXPECT_FALSE(cache.Contains(key));
+  EXPECT_FALSE(cache.Get(key).has_value());
+  // ...and the Get reclaimed it, counted as an invalidation + miss.
+  CallCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1);
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+
+  // A fresh Put under the current generation serves again.
+  cache.Put(key, MakeResponse("new", 2.0));
+  std::optional<ServiceResponse> got = cache.Get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tuples[0].AtomicAt(0).AsString(), "new");
+}
+
 }  // namespace
 }  // namespace seco

@@ -1,0 +1,226 @@
+// MemoTable: lock-free probe/insert semantics, collision safety, generation
+// invalidation (including 16-bit tag rollover), and a multi-threaded fuzz
+// that the TSan job runs (scripts/tsan.sh).
+
+#include "cache/memo_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace seco {
+namespace {
+
+// The integrity invariant of every test here: a probe either misses or
+// returns exactly the payload that was inserted under that signature.
+uint64_t PayloadFor(const Signature& sig) { return sig.lo * 31 + sig.hi; }
+
+TEST(MemoTableTest, RoundtripAndMiss) {
+  MemoTable<uint64_t> table(1 << 20);
+  Signature sig{0x1234567890ABCDEFULL, 0xFEDCBA0987654321ULL};
+  EXPECT_EQ(table.Probe(sig), nullptr);
+  EXPECT_TRUE(table.Insert(sig, PayloadFor(sig), 1.0, 64));
+  std::shared_ptr<const uint64_t> hit = table.Probe(sig);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, PayloadFor(sig));
+
+  MemoStats stats = table.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, 64);
+}
+
+TEST(MemoTableTest, ProbeResultSurvivesOverwrite) {
+  MemoTable<uint64_t> table(1 << 20, /*capacity=*/8);
+  Signature a{0x10, 0xA0};
+  ASSERT_TRUE(table.Insert(a, PayloadFor(a), 1.0, 32));
+  std::shared_ptr<const uint64_t> hit = table.Probe(a);
+  ASSERT_NE(hit, nullptr);
+  // Displace every slot of a's set; the aliased pointer must stay valid and
+  // keep its original value (the record is immutable and refcounted).
+  for (uint64_t i = 0; i < 64; ++i) {
+    Signature other{0x10 + (i << 32), 0xB0 + i};
+    table.Insert(other, PayloadFor(other), 100.0, 32);
+  }
+  EXPECT_EQ(*hit, PayloadFor(a));
+}
+
+// Two signatures landing in the same 4-way set with different hi words must
+// coexist or miss — never cross-contaminate.
+TEST(MemoTableTest, SameSetDistinctHi) {
+  MemoTable<uint64_t> table(1 << 20, /*capacity=*/64);
+  // Same low bits of lo (same set base), different hi.
+  Signature a{0x40, 0x111111};
+  Signature b{0x40, 0x222222};
+  ASSERT_TRUE(table.Insert(a, PayloadFor(a), 1.0, 32));
+  ASSERT_TRUE(table.Insert(b, PayloadFor(b), 1.0, 32));
+  std::shared_ptr<const uint64_t> ha = table.Probe(a);
+  std::shared_ptr<const uint64_t> hb = table.Probe(b);
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(*ha, PayloadFor(a));
+  EXPECT_EQ(*hb, PayloadFor(b));
+}
+
+// Full partial-hash collision: same set AND same hi, different lo. The
+// check word cannot distinguish them (the insert may treat them as the same
+// entry), but the full signature stored in the record must prevent a wrong
+// payload from ever being returned.
+TEST(MemoTableTest, PartialHashCollisionNeverWrongPayload) {
+  MemoTable<uint64_t> table(1 << 20, /*capacity=*/64);
+  Signature a{0x40, 0x999999};
+  Signature b{0x40 + (1ULL << 40), 0x999999};  // same set, same hi
+  ASSERT_TRUE(table.Insert(a, PayloadFor(a), 1.0, 32));
+  table.Insert(b, PayloadFor(b), 1.0, 32);
+  for (const Signature& sig : {a, b}) {
+    std::shared_ptr<const uint64_t> hit = table.Probe(sig);
+    if (hit) {
+      EXPECT_EQ(*hit, PayloadFor(sig));
+    }
+  }
+}
+
+// Overfill one set (> kWays distinct signatures): evictions happen, and
+// every probe still returns either nullptr or its own payload.
+TEST(MemoTableTest, ReplacementIsSafeUnderSetPressure) {
+  MemoTable<uint64_t> table(1 << 20, /*capacity=*/8);
+  std::vector<Signature> sigs;
+  for (uint64_t i = 0; i < 16; ++i) {
+    // All in the same set: identical low bits, distinct upper bits.
+    sigs.push_back(Signature{0x3 + (i << 32), 0x5000 + i});
+  }
+  for (const Signature& sig : sigs) {
+    table.Insert(sig, PayloadFor(sig), static_cast<double>(sig.hi & 7), 32);
+  }
+  int live = 0;
+  for (const Signature& sig : sigs) {
+    std::shared_ptr<const uint64_t> hit = table.Probe(sig);
+    if (hit) {
+      EXPECT_EQ(*hit, PayloadFor(sig));
+      ++live;
+    }
+  }
+  EXPECT_GT(live, 0);
+  EXPECT_LE(live, 4);  // one 4-way set can hold at most 4
+}
+
+TEST(MemoTableTest, RefreshingSameSignatureReplacesInPlace) {
+  MemoTable<uint64_t> table(1 << 20);
+  Signature sig{0xABCD, 0xEF12};
+  ASSERT_TRUE(table.Insert(sig, 1, 1.0, 32));
+  ASSERT_TRUE(table.Insert(sig, 2, 1.0, 32));
+  std::shared_ptr<const uint64_t> hit = table.Probe(sig);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 2u);
+  MemoStats stats = table.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.replacements, 1);
+}
+
+TEST(MemoTableTest, GenerationBumpInvalidates) {
+  MemoTable<uint64_t> table(1 << 20);
+  Signature sig{0x77, 0x88};
+  ASSERT_TRUE(table.Insert(sig, PayloadFor(sig), 1.0, 32));
+  ASSERT_NE(table.Probe(sig), nullptr);
+  table.BumpGeneration();
+  EXPECT_EQ(table.Probe(sig), nullptr);
+  EXPECT_GT(table.stats().stale_drops, 0);
+  // A post-bump insert under the same signature is served again.
+  ASSERT_TRUE(table.Insert(sig, 42, 1.0, 32));
+  std::shared_ptr<const uint64_t> hit = table.Probe(sig);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42u);
+}
+
+// 65536 bumps wrap the 16-bit generation tag in the packed word back to the
+// entry's own tag; the full 64-bit generation in the record must still
+// reject the stale entry.
+TEST(MemoTableTest, GenerationRolloverStaysInvalid) {
+  MemoTable<uint64_t> table(1 << 20);
+  Signature sig{0x7777, 0x8888};
+  ASSERT_TRUE(table.Insert(sig, PayloadFor(sig), 1.0, 32));
+  for (int i = 0; i < 65536; ++i) table.BumpGeneration();
+  EXPECT_EQ(table.generation(), 65536u);
+  EXPECT_EQ(table.Probe(sig), nullptr);
+}
+
+TEST(MemoTableTest, OversizedPayloadRejected) {
+  MemoTable<uint64_t> table(/*byte_budget=*/1024);
+  Signature sig{0x1, 0x2};
+  EXPECT_FALSE(table.Insert(sig, 1, 1.0, /*payload_bytes=*/4096));
+  EXPECT_EQ(table.Probe(sig), nullptr);
+  EXPECT_EQ(table.stats().rejected, 1);
+}
+
+TEST(MemoTableTest, ByteBudgetBoundsGrowth) {
+  MemoTable<uint64_t> table(/*byte_budget=*/4096, /*capacity=*/1024);
+  for (uint64_t i = 0; i < 512; ++i) {
+    Signature sig{Mix64(i + 1), Mix64(i + 100001)};
+    table.Insert(sig, PayloadFor(sig), 1.0, 64);
+  }
+  // bytes is maintained with relaxed arithmetic but single-threaded here it
+  // is exact: replacements keep it at or under the budget.
+  EXPECT_LE(table.stats().bytes, 4096);
+}
+
+// The TSan stress: concurrent probes, inserts over a small signature
+// universe (forcing set sharing and same-signature races), and a generation
+// bumper. The invariant throughout: a hit's payload always matches its
+// signature — torn publications must surface as misses, never as garbage.
+TEST(MemoTableTest, ConcurrentFuzzIntegrity) {
+  MemoTable<uint64_t> table(1 << 16, /*capacity=*/64);
+  constexpr int kUniverse = 48;
+  std::vector<Signature> sigs;
+  for (uint64_t i = 0; i < kUniverse; ++i) {
+    sigs.push_back(Signature{Mix64(i + 1), Mix64(i + 7001)});
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> verified_hits{0};
+  const int kThreads = 6;
+  const int kOpsPerThread = 20000;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t rng = 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(t + 1);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        rng = Mix64(rng);
+        const Signature& sig = sigs[rng % kUniverse];
+        if ((rng >> 32) % 3 == 0) {
+          table.Insert(sig, PayloadFor(sig), static_cast<double>(rng % 100),
+                       32 + rng % 64);
+        } else {
+          std::shared_ptr<const uint64_t> hit = table.Probe(sig);
+          if (hit) {
+            // The one invariant that must hold under any interleaving.
+            EXPECT_EQ(*hit, PayloadFor(sig));
+            verified_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::thread bumper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      table.BumpGeneration();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  bumper.join();
+
+  MemoStats stats = table.stats();
+  EXPECT_GT(stats.probes, 0);
+  // Sanity: the run actually exercised publication under contention.
+  EXPECT_GT(stats.inserts + stats.replacements, 0);
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,196 @@
+// Canonical plan/query signatures (src/cache/signature.h): commuted join
+// conjuncts and renamed aliases hash equal; anything that changes which
+// answers come back — atom order, k, call budget, degradation level,
+// bindings — hashes different.
+
+#include <gtest/gtest.h>
+
+#include "cache/answer_cache.h"
+#include "cache/signature.h"
+#include "query/bound_query.h"
+#include "query/parser.h"
+#include "sim/fixtures.h"
+#include "tests/test_util.h"
+
+namespace seco {
+namespace {
+
+class PlanSignatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Scenario> scenario = MakeMovieScenario();
+    ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+    scenario_ = std::move(scenario).value();
+  }
+
+  BoundQuery Bind(const std::string& text) {
+    Result<ParsedQuery> parsed = ParseQuery(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    Result<BoundQuery> bound = BindQuery(parsed.value(), *scenario_.registry);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return std::move(bound).value();
+  }
+
+  Scenario scenario_;
+};
+
+constexpr const char* kBaseQuery =
+    "select Movie11 as M, Theatre11 as T, Restaurant11 as R "
+    "where Shows(M, T) and DinnerPlace(T, R) "
+    "and M.Genres.Genre = INPUT1 and T.UCity = INPUT5 "
+    "rank by (0.3, 0.5, 0.2)";
+
+TEST(PlanSignatureBasics, EmptyBuilderIsNonZeroAndStable) {
+  Signature a = SignatureBuilder(1).Finish();
+  Signature b = SignatureBuilder(1).Finish();
+  Signature c = SignatureBuilder(2).Finish();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a.IsZero());
+}
+
+TEST(PlanSignatureBasics, CommutativeAccumulatorIsOrderFree) {
+  CommutativeAccumulator x;
+  x.Add(Signature{1, 2});
+  x.Add(Signature{3, 4});
+  CommutativeAccumulator y;
+  y.Add(Signature{3, 4});
+  y.Add(Signature{1, 2});
+  EXPECT_EQ(x.Finish(), y.Finish());
+  // Remove undoes Add exactly.
+  y.Add(Signature{5, 6});
+  y.Remove(Signature{5, 6});
+  EXPECT_EQ(x.Finish(), y.Finish());
+}
+
+TEST_F(PlanSignatureTest, CommutedJoinConjunctsHashEqual) {
+  BoundQuery a = Bind(kBaseQuery);
+  BoundQuery b = Bind(
+      "select Movie11 as M, Theatre11 as T, Restaurant11 as R "
+      "where DinnerPlace(T, R) and Shows(M, T) "
+      "and M.Genres.Genre = INPUT1 and T.UCity = INPUT5 "
+      "rank by (0.3, 0.5, 0.2)");
+  EXPECT_EQ(QueryAnswerSignature(a), QueryAnswerSignature(b));
+}
+
+TEST_F(PlanSignatureTest, RenamedAliasesHashEqual) {
+  BoundQuery a = Bind(kBaseQuery);
+  BoundQuery b = Bind(
+      "select Movie11 as X, Theatre11 as Y, Restaurant11 as Z "
+      "where Shows(X, Y) and DinnerPlace(Y, Z) "
+      "and X.Genres.Genre = INPUT1 and Y.UCity = INPUT5 "
+      "rank by (0.3, 0.5, 0.2)");
+  EXPECT_EQ(QueryAnswerSignature(a), QueryAnswerSignature(b));
+  // The alias-free content signature agrees too; the alias-inclusive exact
+  // tag (which gates optimizer plan reuse) distinguishes them.
+  EXPECT_EQ(QueryContentSignature(a, /*include_aliases=*/false),
+            QueryContentSignature(b, /*include_aliases=*/false));
+  EXPECT_NE(ExactContentTag(a), ExactContentTag(b));
+}
+
+TEST_F(PlanSignatureTest, ReorderedAtomsHashDifferent) {
+  BoundQuery a = Bind(kBaseQuery);
+  // Atom positions are semantic: rank weights and join endpoints are
+  // positional, so a different atom order is a different query.
+  BoundQuery b = Bind(
+      "select Theatre11 as T, Movie11 as M, Restaurant11 as R "
+      "where Shows(M, T) and DinnerPlace(T, R) "
+      "and M.Genres.Genre = INPUT1 and T.UCity = INPUT5 "
+      "rank by (0.3, 0.5, 0.2)");
+  EXPECT_FALSE(QueryAnswerSignature(a) == QueryAnswerSignature(b));
+}
+
+TEST_F(PlanSignatureTest, DifferentSelectionsHashDifferent) {
+  BoundQuery a = Bind(kBaseQuery);
+  BoundQuery b = Bind(
+      "select Movie11 as M, Theatre11 as T, Restaurant11 as R "
+      "where Shows(M, T) and DinnerPlace(T, R) "
+      "and M.Genres.Genre = INPUT1 and T.UCountry = INPUT2 "
+      "rank by (0.3, 0.5, 0.2)");
+  EXPECT_FALSE(QueryAnswerSignature(a) == QueryAnswerSignature(b));
+}
+
+TEST_F(PlanSignatureTest, DifferentRankWeightsHashDifferent) {
+  BoundQuery a = Bind(kBaseQuery);
+  BoundQuery b = Bind(
+      "select Movie11 as M, Theatre11 as T, Restaurant11 as R "
+      "where Shows(M, T) and DinnerPlace(T, R) "
+      "and M.Genres.Genre = INPUT1 and T.UCity = INPUT5 "
+      "rank by (0.5, 0.3, 0.2)");
+  EXPECT_FALSE(QueryAnswerSignature(a) == QueryAnswerSignature(b));
+}
+
+TEST_F(PlanSignatureTest, MartVsInterfaceAtomHashDifferent) {
+  BoundQuery a = Bind("select Movie11 as M where M.Title = 'x'");
+  // The mart atom leaves interface selection to the optimizer (two
+  // candidates), so its answer identity differs from the pinned interface.
+  BoundQuery b = Bind("select Movie as M where M.Title = 'x'");
+  EXPECT_FALSE(QueryAnswerSignature(a) == QueryAnswerSignature(b));
+}
+
+TEST_F(PlanSignatureTest, AnswerKeyDistinguishesExecutionKnobs) {
+  BoundQuery q = Bind(kBaseQuery);
+  AnswerKey base;
+  base.query = QueryAnswerSignature(q);
+
+  std::map<std::string, Value> bindings = scenario_.inputs;
+  Signature s0 = AnswerSignature(base, bindings);
+
+  AnswerKey k_changed = base;
+  k_changed.k = base.k + 1;
+  EXPECT_FALSE(AnswerSignature(k_changed, bindings) == s0);
+
+  AnswerKey calls_changed = base;
+  calls_changed.max_calls = base.max_calls + 1;
+  EXPECT_FALSE(AnswerSignature(calls_changed, bindings) == s0);
+
+  AnswerKey level_changed = base;
+  level_changed.degradation_level = 2;
+  EXPECT_FALSE(AnswerSignature(level_changed, bindings) == s0);
+
+  AnswerKey stream_changed = base;
+  stream_changed.streaming = true;
+  EXPECT_FALSE(AnswerSignature(stream_changed, bindings) == s0);
+
+  AnswerKey fp_changed = base;
+  fp_changed.reliability_fp = 123;
+  EXPECT_FALSE(AnswerSignature(fp_changed, bindings) == s0);
+
+  std::map<std::string, Value> other_bindings = bindings;
+  other_bindings["INPUT1"] = Value(std::string("Comedy"));
+  EXPECT_FALSE(AnswerSignature(base, other_bindings) == s0);
+
+  // And it is a pure function: same inputs, same signature.
+  EXPECT_EQ(AnswerSignature(base, bindings), s0);
+}
+
+TEST_F(PlanSignatureTest, ReliabilityFingerprintCoversPolicy) {
+  ReliabilityPolicy a;
+  ReliabilityPolicy b = a;
+  EXPECT_EQ(ReliabilityFingerprint(a), ReliabilityFingerprint(b));
+  b.retry.max_retries = 3;
+  EXPECT_NE(ReliabilityFingerprint(a), ReliabilityFingerprint(b));
+  ReliabilityPolicy c = a;
+  c.hedge_delay_ms = 5.0;
+  EXPECT_NE(ReliabilityFingerprint(a), ReliabilityFingerprint(c));
+}
+
+TEST_F(PlanSignatureTest, OptimizerFingerprintIgnoresAnytimeBudgetAndMemo) {
+  OptimizerOptions a;
+  OptimizerOptions b = a;
+  b.max_plans = a.max_plans * 2;  // traversal budget, not answer identity
+  PlanMemo memo(1 << 16);
+  b.memo = &memo;
+  EXPECT_EQ(OptimizerFingerprint(a), OptimizerFingerprint(b));
+  OptimizerOptions c = a;
+  c.k = a.k + 1;
+  EXPECT_NE(OptimizerFingerprint(a), OptimizerFingerprint(c));
+  OptimizerOptions d = a;
+  d.metric = CostMetricKind::kSumCost == a.metric
+                 ? CostMetricKind::kExecutionTime
+                 : CostMetricKind::kSumCost;
+  EXPECT_NE(OptimizerFingerprint(a), OptimizerFingerprint(d));
+}
+
+}  // namespace
+}  // namespace seco

@@ -519,5 +519,233 @@ TEST(QueryServerTest, EveryOutcomeIsLedgeredExactlyOnce) {
   }
 }
 
+// --- Whole-answer cache (docs/CACHING.md) ----------------------------------
+
+ServerOptions CachedQuietServer() {
+  ServerOptions options = QuietServer();
+  options.answer_cache = true;
+  return options;
+}
+
+QueryRequest CanonicalRequest(const Scenario& scenario) {
+  QueryRequest request;
+  request.query_text = scenario.query_text;
+  request.input_bindings = scenario.inputs;
+  request.k = 10;
+  return request;
+}
+
+void ExpectSameAnswers(const ExecutionResult& a, const ExecutionResult& b) {
+  ASSERT_EQ(b.combinations.size(), a.combinations.size());
+  for (size_t i = 0; i < a.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.combinations[i].combined_score,
+                     a.combinations[i].combined_score);
+    ASSERT_EQ(b.combinations[i].components.size(),
+              a.combinations[i].components.size());
+    for (size_t c = 0; c < a.combinations[i].components.size(); ++c) {
+      EXPECT_TRUE(b.combinations[i].components[c] ==
+                  a.combinations[i].components[c]);
+    }
+  }
+}
+
+void ExpectBitIdentical(const ExecutionResult& a, const ExecutionResult& b) {
+  EXPECT_EQ(b.total_calls, a.total_calls);
+  EXPECT_DOUBLE_EQ(b.elapsed_ms, a.elapsed_ms);
+  ExpectSameAnswers(a, b);
+}
+
+TEST(AnswerCacheServerTest, CacheIsOffByDefault) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  QueryServer server(scenario->registry, QuietServer());
+  EXPECT_EQ(server.answer_cache(), nullptr);
+  EXPECT_EQ(server.plan_memo(), nullptr);
+  for (int i = 0; i < 2; ++i) {
+    QueryResponse response =
+        server.Submit(CanonicalRequest(*scenario)).get();
+    ASSERT_EQ(response.outcome, ServedOutcome::kCompleted);
+    EXPECT_FALSE(response.answer_cache_hit);
+  }
+  server.Drain();
+  EXPECT_EQ(server.stats().interactive.answer_cache_hits, 0);
+}
+
+// The acceptance property: a warm hit served by a cache-on server running
+// any {num_threads, prefetch_depth} is byte-identical to a fresh cache-off
+// execution — those knobs are excluded from the signature precisely because
+// the determinism suites prove they do not change answers.
+TEST(AnswerCacheServerTest, WarmHitBitIdenticalAcrossExecutionKnobs) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+
+  // Fresh reference: cache off, single-threaded.
+  QueryServer reference(scenario->registry, QuietServer());
+  QueryResponse fresh = reference.Submit(CanonicalRequest(*scenario)).get();
+  ASSERT_EQ(fresh.outcome, ServedOutcome::kCompleted)
+      << fresh.status.ToString();
+
+  // Cached server with different execution knobs.
+  ServerOptions options = CachedQuietServer();
+  options.num_threads = 4;
+  options.prefetch_depth = 2;
+  QueryServer server(scenario->registry, options);
+  ASSERT_NE(server.answer_cache(), nullptr);
+
+  QueryResponse cold = server.Submit(CanonicalRequest(*scenario)).get();
+  ASSERT_EQ(cold.outcome, ServedOutcome::kCompleted)
+      << cold.status.ToString();
+  EXPECT_FALSE(cold.answer_cache_hit);
+
+  QueryResponse warm = server.Submit(CanonicalRequest(*scenario)).get();
+  ASSERT_EQ(warm.outcome, ServedOutcome::kCompleted)
+      << warm.status.ToString();
+  EXPECT_TRUE(warm.answer_cache_hit);
+
+  ExpectBitIdentical(fresh.execution, cold.execution);
+  ExpectBitIdentical(fresh.execution, warm.execution);
+
+  server.Drain();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.interactive.answer_cache_hits, 1);
+  EXPECT_GT(server.answer_cache()->stats().hits, 0);
+  // The optimizer memo was exercised on the cold run.
+  ASSERT_NE(server.plan_memo(), nullptr);
+  EXPECT_GT(server.plan_memo()->stats().probes(), 0);
+}
+
+// N identical cold queries submitted concurrently execute ONCE: one leader
+// runs, the followers reuse its answer, and the backends see exactly the
+// call pattern of a single run.
+TEST(AnswerCacheServerTest, SingleFlightExecutesConcurrentIdenticalOnce) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.02);  // leader stays in flight while followers join
+
+  // Baseline: one cold query on its own cache-on server.
+  std::map<std::string, int64_t> baseline;
+  {
+    ServerOptions options = CachedQuietServer();
+    options.admission.max_in_flight = 8;
+    QueryServer server(scenario->registry, options);
+    QueryResponse response =
+        server.Submit(CanonicalRequest(*scenario)).get();
+    ASSERT_EQ(response.outcome, ServedOutcome::kCompleted);
+    server.Drain();
+    for (const auto& [name, backend] : scenario->backends) {
+      baseline[name] = backend->call_count();
+      backend->ResetCallCount();
+    }
+  }
+
+  constexpr int kClients = 6;
+  ServerOptions options = CachedQuietServer();
+  options.admission.max_in_flight = 8;
+  QueryServer server(scenario->registry, options);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(server.Submit(CanonicalRequest(*scenario)));
+  }
+  QueryResponse first = futures[0].get();
+  ASSERT_EQ(first.outcome, ServedOutcome::kCompleted)
+      << first.status.ToString();
+  for (int i = 1; i < kClients; ++i) {
+    QueryResponse response = futures[i].get();
+    ASSERT_EQ(response.outcome, ServedOutcome::kCompleted);
+    ExpectBitIdentical(first.execution, response.execution);
+  }
+  server.Drain();
+
+  // The backends ran the workload of exactly one query.
+  for (const auto& [name, backend] : scenario->backends) {
+    EXPECT_EQ(backend->call_count(), baseline[name]) << name;
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.interactive.answer_cache_hits, kClients - 1);
+  EXPECT_EQ(server.answer_cache()->flights_led(), 1);
+}
+
+TEST(AnswerCacheServerTest, RegistryChangeInvalidatesCachedAnswers) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  QueryServer server(scenario->registry, CachedQuietServer());
+
+  QueryResponse cold = server.Submit(CanonicalRequest(*scenario)).get();
+  ASSERT_EQ(cold.outcome, ServedOutcome::kCompleted);
+  QueryResponse warm = server.Submit(CanonicalRequest(*scenario)).get();
+  EXPECT_TRUE(warm.answer_cache_hit);
+
+  // Any successful registration bumps the catalog generation; the answers
+  // and plans derived from the old candidate sets must stop being served.
+  auto pattern = std::make_shared<ConnectionPattern>(
+      "CacheTestPattern", "Movie", "Theatre",
+      std::vector<ConnectionClause>{
+          {"Title", Comparator::kEq, "Movie.Title"}});
+  ASSERT_TRUE(scenario->registry->RegisterConnectionPattern(pattern).ok());
+
+  QueryResponse after = server.Submit(CanonicalRequest(*scenario)).get();
+  ASSERT_EQ(after.outcome, ServedOutcome::kCompleted);
+  EXPECT_FALSE(after.answer_cache_hit);
+  // The ServiceCallCache is deliberately NOT bumped on registry changes, so
+  // the re-execution runs against warm chunks: call counts and latency
+  // legitimately drop while the answers themselves stay identical.
+  ExpectSameAnswers(cold.execution, after.execution);
+  // And the re-executed answer is cached again under the new generation.
+  QueryResponse rewarm = server.Submit(CanonicalRequest(*scenario)).get();
+  EXPECT_TRUE(rewarm.answer_cache_hit);
+  server.Drain();
+}
+
+TEST(AnswerCacheServerTest, TraceRequestsBypassTheCache) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  QueryServer server(scenario->registry, CachedQuietServer());
+
+  // Prime the cache with the untraced identity.
+  QueryResponse primed = server.Submit(CanonicalRequest(*scenario)).get();
+  ASSERT_EQ(primed.outcome, ServedOutcome::kCompleted);
+
+  ASSERT_NE(server.answer_cache(), nullptr);
+  const MemoStats before = server.answer_cache()->stats();
+  for (int i = 0; i < 2; ++i) {
+    QueryRequest request = CanonicalRequest(*scenario);
+    request.collect_trace = true;
+    QueryResponse response = server.Submit(std::move(request)).get();
+    ASSERT_EQ(response.outcome, ServedOutcome::kCompleted);
+    // A cached answer carries no fresh trace; trace requests must execute.
+    // (The trace itself may be empty here: trace events record actual
+    // backend calls, and the warm ServiceCallCache absorbs them all.)
+    EXPECT_FALSE(response.answer_cache_hit);
+    ExpectSameAnswers(primed.execution, response.execution);
+  }
+  // Traced requests never touched the answer cache — no probes, no inserts.
+  const MemoStats after = server.answer_cache()->stats();
+  EXPECT_EQ(after.probes, before.probes);
+  EXPECT_EQ(after.inserts, before.inserts);
+  server.Drain();
+}
+
+TEST(AnswerCacheServerTest, DifferentKOrBindingsMissTheCache) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  QueryServer server(scenario->registry, CachedQuietServer());
+
+  QueryResponse first = server.Submit(CanonicalRequest(*scenario)).get();
+  ASSERT_EQ(first.outcome, ServedOutcome::kCompleted);
+
+  QueryRequest other_k = CanonicalRequest(*scenario);
+  other_k.k = 5;
+  QueryResponse response_k = server.Submit(std::move(other_k)).get();
+  ASSERT_EQ(response_k.outcome, ServedOutcome::kCompleted);
+  EXPECT_FALSE(response_k.answer_cache_hit);
+  EXPECT_EQ(response_k.execution.combinations.size(), 5u);
+
+  QueryRequest other_binding = CanonicalRequest(*scenario);
+  other_binding.input_bindings["INPUT1"] = Value(std::string("Comedy"));
+  QueryResponse response_b = server.Submit(std::move(other_binding)).get();
+  EXPECT_FALSE(response_b.answer_cache_hit);
+  server.Drain();
+}
+
 }  // namespace
 }  // namespace seco
