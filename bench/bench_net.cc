@@ -1,0 +1,192 @@
+// Network serving cost (docs/NETWORK.md): what the loopback TCP hops add
+// on top of the in-process QueryServer. Three topologies run the same
+// closed-loop schedule —
+//
+//   in-process   DriveLoad against the QueryServer (the PR-5 baseline)
+//   front-end    DriveLoadOverWire through a NetServer
+//   both-hops    NetServer front end + RemoteServiceHandler backends
+//
+// — and report goodput side by side, plus a per-call microbenchmark of the
+// RemoteBackendClient round trip against a direct handler call. The
+// interesting shape: goodput tracks the in-process curve (the wire adds
+// per-call latency, not a throughput ceiling), and the backend round trip
+// stays in the tens of microseconds on loopback.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "net/backend_server.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "net/remote_handler.h"
+
+namespace seco {
+namespace {
+
+using bench_util::Unwrap;
+
+/// Shared artifact writer; flushed by main after the benchmark run.
+bench_util::BenchJsonWriter& NetJson() {
+  static bench_util::BenchJsonWriter writer("net");
+  return writer;
+}
+
+enum Topology { kInProcess = 0, kFrontEnd = 1, kBothHops = 2 };
+
+const char* TopologyName(int topology) {
+  switch (topology) {
+    case kInProcess: return "in-process";
+    case kFrontEnd: return "front-end";
+    default: return "both-hops";
+  }
+}
+
+ServerOptions WireServerOptions() {
+  ServerOptions options;
+  options.admission.max_in_flight = 4;
+  options.admission.interactive.queue_capacity = 64;
+  options.admission.batch.queue_capacity = 64;
+  options.ladder.enabled = false;  // level 0 only: legs stay comparable
+  options.num_threads = 2;
+  return options;
+}
+
+LoadProfile ClosedLoopProfile(int width) {
+  LoadProfile profile;
+  profile.seed = 29;
+  profile.num_queries = 24;
+  profile.closed_loop_width = width;
+  profile.interactive_fraction = 0.75;
+  profile.k_min = 3;
+  profile.k_max = 8;
+  return profile;
+}
+
+// Closed-loop goodput sweep across the three topologies. Backends run in
+// scaled real time so the schedule genuinely occupies the admission window;
+// the wire legs replay the identical schedule, so any goodput gap is the
+// cost of the socket hops alone.
+void BM_NetClosedLoop(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int topology = static_cast<int>(state.range(1));
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.001);
+  }
+
+  LoadProfile profile = ClosedLoopProfile(width);
+  LoadGenerator generator(profile, scenario.query_text, scenario.inputs);
+  std::vector<LoadItem> schedule = generator.Schedule();
+
+  int64_t useful = 0, total = 0;
+  double wall_ms_total = 0.0;
+  for (auto _ : state) {
+    std::shared_ptr<ServiceRegistry> registry = scenario.registry;
+    BackendServer backend_server;
+    if (topology == kBothHops) {
+      backend_server.ExposeRegistry(*scenario.registry);
+      bench_util::CheckOk(backend_server.Start(), "backend start");
+      registry = Unwrap(MakeRemoteRegistry(*scenario.registry, "127.0.0.1",
+                                           backend_server.port()),
+                        "remote registry");
+    }
+    QueryServer server(registry, WireServerOptions());
+
+    if (topology == kInProcess) {
+      LoadReport report = DriveLoad(&server, schedule, profile);
+      server.Drain();
+      for (const QueryResponse& r : report.responses) {
+        total += 1;
+        if (r.outcome == ServedOutcome::kCompleted ||
+            r.outcome == ServedOutcome::kDegraded) {
+          useful += 1;
+        }
+      }
+      wall_ms_total += report.wall_ms;
+    } else {
+      NetServer net(&server);
+      bench_util::CheckOk(net.Start(), "net start");
+      WireLoadReport report =
+          DriveLoadOverWire("127.0.0.1", net.port(), schedule, profile);
+      net.Stop();
+      total += static_cast<int64_t>(report.responses.size());
+      useful += report.CountOutcome(ServedOutcome::kCompleted) +
+                report.CountOutcome(ServedOutcome::kDegraded);
+      wall_ms_total += report.wall_ms;
+    }
+    if (topology == kBothHops) backend_server.Stop();
+  }
+
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["goodput_qps"] =
+      wall_ms_total > 0.0 ? 1000.0 * static_cast<double>(useful) / wall_ms_total
+                          : 0.0;
+  state.counters["useful_fraction"] =
+      total > 0 ? static_cast<double>(useful) / static_cast<double>(total)
+                : 0.0;
+  std::string config = std::string("topology=") + TopologyName(topology) +
+                       ",closed_loop_width=" + std::to_string(width);
+  NetJson().Record("goodput_qps", config, "qps",
+                   state.counters["goodput_qps"]);
+  NetJson().Record("useful_fraction", config, "fraction",
+                   state.counters["useful_fraction"]);
+}
+BENCHMARK(BM_NetClosedLoop)
+    ->Args({1, kInProcess})->Args({1, kFrontEnd})->Args({1, kBothHops})
+    ->Args({4, kInProcess})->Args({4, kFrontEnd})->Args({4, kBothHops})
+    ->Args({8, kInProcess})->Args({8, kFrontEnd})->Args({8, kBothHops})
+    ->Unit(benchmark::kMillisecond);
+
+// Per-call round-trip microbenchmark: a RemoteBackendClient call against a
+// loopback BackendServer vs the direct handler call it fronts. The
+// backends stay in simulated time (no real sleeps), so the difference is
+// pure wire overhead — encode, two socket hops, decode.
+void BM_BackendCallRoundtrip(benchmark::State& state) {
+  const bool remote = state.range(0) != 0;
+  SyntheticPair pair = Unwrap(MakeSyntheticPair(), "synthetic pair");
+
+  BackendServer server;
+  server.RegisterHandler("SX", pair.x.backend);
+  bench_util::CheckOk(server.Start(), "backend start");
+  RemoteBackendClient client("127.0.0.1", server.port());
+
+  int64_t calls = 0;
+  double wall_us = 0.0;
+  for (auto _ : state) {
+    ServiceRequest request;
+    request.chunk_index = static_cast<int>(calls % 4);
+    auto begin = std::chrono::steady_clock::now();
+    Result<ServiceResponse> result =
+        remote ? client.Call("SX", request) : pair.x.backend->Call(request);
+    auto end = std::chrono::steady_clock::now();
+    bench_util::CheckOk(result.status(), "call");
+    benchmark::DoNotOptimize(result.value().tuples.size());
+    wall_us +=
+        std::chrono::duration<double, std::micro>(end - begin).count();
+    calls += 1;
+  }
+  server.Stop();
+
+  const double per_call_us = calls > 0 ? wall_us / calls : 0.0;
+  state.counters["per_call_us"] = per_call_us;
+  std::string config = std::string("path=") + (remote ? "remote" : "direct");
+  NetJson().Record("backend_call_us", config, "us", per_call_us);
+}
+BENCHMARK(BM_BackendCallRoundtrip)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  seco::NetJson().Flush();
+  ::benchmark::Shutdown();
+  return 0;
+}

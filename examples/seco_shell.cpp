@@ -64,6 +64,34 @@
 // Fault flags compose with --serve: the load then runs against the faulty
 // scenario, with breaker state feeding the ladder's pressure score.
 //
+// Network mode (docs/NETWORK.md):
+//     --listen=PORT                 run as a daemon: a NetServer front end
+//                                   over the QueryServer on 127.0.0.1:PORT
+//                                   (0 = ephemeral). Prints "listening on
+//                                   port N" once ready. SIGINT/SIGTERM
+//                                   drains in flight queries, refuses new
+//                                   connections with a retry-after, and
+//                                   exits 0.
+//     --serve-backend=PORT          run a BackendServer exposing the
+//                                   scenario's services over the wire
+//                                   (0 = ephemeral). Same signal handling.
+//     --connect=HOST:PORT           drive the --load profile against a
+//                                   remote front end instead of serving
+//                                   in-process
+//     --remote-backend=HOST:PORT    swap every scenario service for a
+//                                   RemoteServiceHandler against that
+//                                   backend daemon before serving/querying
+//     --drain-grace=MS              window between the drain signal and
+//                                   the final stop, during which new
+//                                   connections get the structured
+//                                   "draining; retry after" rejection
+//                                   (default 200)
+//     --dump-answers=PATH           write one AnswerBodyHex line per
+//                                   response (submission order) — the
+//                                   byte-diffable oracle form used by
+//                                   scripts/net_e2e.sh; applies to --serve
+//                                   and --connect runs
+//
 // With any reliability knob set, a summary table (attempts, retries, hedges
 // won, per-interface breaker state, degraded nodes) prints after the
 // results; with a repair policy, a repair block (events, replans, chosen
@@ -72,12 +100,15 @@
 // Without a query argument, the scenario's canonical query runs. INPUT
 // variables are bound from the scenario's defaults.
 
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/seco.h"
@@ -118,6 +149,12 @@ struct Options {
   int max_in_flight = 4;
   bool no_ladder = false;
   uint64_t seed = 1;
+  int listen = -1;          // >= 0: front-end daemon on this port
+  int serve_backend = -1;   // >= 0: backend daemon on this port
+  std::string connect;      // host:port of a front end to drive load at
+  std::string remote_backend;  // host:port of a backend daemon to call
+  int drain_grace_ms = 200;
+  std::string dump_answers;
   std::string query;
 
   bool faulty() const {
@@ -134,6 +171,44 @@ struct Options {
     return policy;
   }
 };
+
+// Daemon shutdown: SIGINT/SIGTERM set a flag; the serving loop notices,
+// drains gracefully, and exits 0 (the soak harness asserts on that).
+volatile std::sig_atomic_t g_shutdown = 0;
+void OnShutdownSignal(int) { g_shutdown = 1; }
+
+void AwaitShutdownSignal() {
+  std::signal(SIGINT, OnShutdownSignal);
+  std::signal(SIGTERM, OnShutdownSignal);
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+bool SplitHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(std::atoi(spec.c_str() + colon + 1));
+  return !host->empty() && *port != 0;
+}
+
+/// One AnswerBodyHex line per response, submission order — the diffable
+/// oracle form (scripts/net_e2e.sh byte-compares these across topologies).
+seco::Status DumpAnswerBodies(const std::string& path,
+                              const std::vector<std::string>& bodies) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return seco::Status::Internal("cannot open '" + path + "' for writing");
+  }
+  for (const std::string& body : bodies) {
+    std::fprintf(f, "%s\n", seco::AnswerBodyHex(body).c_str());
+  }
+  std::fclose(f);
+  std::printf("wrote %zu answer bodies to %s\n", bodies.size(), path.c_str());
+  return seco::Status::OK();
+}
 
 bool ParseArgs(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
@@ -228,6 +303,20 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->no_ladder = true;
     } else if (const char* v = value_of("--seed=")) {
       options->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--listen=")) {
+      options->listen = std::atoi(v);
+    } else if (const char* v = value_of("--serve-backend=")) {
+      options->serve_backend = std::atoi(v);
+    } else if (arg == "--serve-backend") {
+      options->serve_backend = 0;
+    } else if (const char* v = value_of("--connect=")) {
+      options->connect = v;
+    } else if (const char* v = value_of("--remote-backend=")) {
+      options->remote_backend = v;
+    } else if (const char* v = value_of("--drain-grace=")) {
+      options->drain_grace_ms = std::atoi(v);
+    } else if (const char* v = value_of("--dump-answers=")) {
+      options->dump_answers = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -377,6 +466,24 @@ seco::Status Run(const Options& options) {
     return combo.components[atom].AtomicAt(0).ToString();
   };
 
+  if (!options.remote_backend.empty()) {
+    // Swap every service for a RemoteServiceHandler twin before anything
+    // plans or executes: planner, engines, and decorators are untouched —
+    // only the handler seam crosses the wire (docs/NETWORK.md).
+    std::string host;
+    uint16_t port = 0;
+    if (!SplitHostPort(options.remote_backend, &host, &port)) {
+      return seco::Status::InvalidArgument(
+          "--remote-backend expects HOST:PORT, got '" +
+          options.remote_backend + "'");
+    }
+    SECO_ASSIGN_OR_RETURN(
+        scenario.registry,
+        seco::MakeRemoteRegistry(*scenario.registry, host, port));
+    std::printf("using remote backends at %s\n",
+                options.remote_backend.c_str());
+  }
+
   seco::OptimizerOptions optimizer_options;
   optimizer_options.k = options.k;
   optimizer_options.metric = options.metric;
@@ -390,6 +497,109 @@ seco::Status Run(const Options& options) {
   // plan equals what planning against the replica would have produced.
   repair_options.optimizer = optimizer_options;
 
+  auto make_server_options = [&] {
+    seco::ServerOptions server_options;
+    server_options.admission.max_in_flight = options.max_in_flight;
+    server_options.ladder.enabled = !options.no_ladder;
+    server_options.reliability = options.policy();
+    server_options.repair = repair_options;
+    server_options.num_threads = options.threads;
+    server_options.prefetch_depth = options.prefetch;
+    server_options.answer_cache = options.answer_cache;
+    server_options.plan_memo_bytes = options.memo_bytes;
+    return server_options;
+  };
+
+  if (options.serve_backend >= 0) {
+    // Backend daemon: the scenario's services (with whatever fault profiles
+    // the flags injected) behind a BackendServer.
+    seco::BackendServer backend;
+    backend.ExposeRegistry(*scenario.registry);
+    SECO_RETURN_IF_ERROR(
+        backend.Start(static_cast<uint16_t>(options.serve_backend)));
+    std::printf("backend listening on port %u\n", backend.port());
+    std::fflush(stdout);
+    AwaitShutdownSignal();
+    backend.Stop();
+    std::printf("backend served %lld calls\n",
+                static_cast<long long>(backend.calls_served()));
+    return seco::Status::OK();
+  }
+
+  if (options.listen >= 0) {
+    // Front-end daemon: QueryServer + NetServer until SIGINT/SIGTERM, then
+    // graceful drain — new connections get the structured retry-after for
+    // --drain-grace ms while in-flight queries run out, then exit 0.
+    seco::QueryServer server(scenario.registry, make_server_options(),
+                             optimizer_options);
+    seco::NetServer net(&server);
+    SECO_RETURN_IF_ERROR(net.Start(static_cast<uint16_t>(options.listen)));
+    std::printf("listening on port %u\n", net.port());
+    std::fflush(stdout);
+    AwaitShutdownSignal();
+    std::printf("draining: refusing new connections for %d ms\n",
+                options.drain_grace_ms);
+    std::fflush(stdout);
+    net.BeginDrain();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.drain_grace_ms));
+    net.Stop();
+    seco::ServerStats stats = server.stats();
+    std::printf(
+        "served %lld queries over %lld connections "
+        "(%lld shed, %lld protocol errors)\n",
+        static_cast<long long>(net.queries_served()),
+        static_cast<long long>(net.connections_accepted()),
+        static_cast<long long>(stats.interactive.shed + stats.batch.shed),
+        static_cast<long long>(net.protocol_errors()));
+    return seco::Status::OK();
+  }
+
+  if (!options.connect.empty()) {
+    // Wire client: replay the load profile against a remote front end and
+    // report outcomes like the in-process serving report.
+    std::string host;
+    uint16_t port = 0;
+    if (!SplitHostPort(options.connect, &host, &port)) {
+      return seco::Status::InvalidArgument(
+          "--connect expects HOST:PORT, got '" + options.connect + "'");
+    }
+    std::optional<seco::LoadProfile> profile =
+        seco::LoadProfileByName(options.load);
+    if (!profile.has_value()) {
+      return seco::Status::InvalidArgument("unknown load profile '" +
+                                           options.load + "'");
+    }
+    profile->seed = options.seed;
+    profile->streaming = options.stream;
+    seco::LoadGenerator generator(*profile, query_text, scenario.inputs);
+    std::vector<seco::LoadItem> schedule = generator.Schedule();
+    std::printf("driving %zu queries (profile '%s', %s loop) at %s...\n",
+                schedule.size(), options.load.c_str(),
+                profile->closed_loop_width > 0 ? "closed" : "open",
+                options.connect.c_str());
+    seco::WireLoadReport report =
+        seco::DriveLoadOverWire(host, port, schedule, *profile);
+    std::printf(
+        "wire report (wall %.1f ms): %lld completed, %lld degraded, "
+        "%lld shed, %lld expired, %lld failed\n",
+        report.wall_ms,
+        static_cast<long long>(
+            report.CountOutcome(seco::ServedOutcome::kCompleted)),
+        static_cast<long long>(
+            report.CountOutcome(seco::ServedOutcome::kDegraded)),
+        static_cast<long long>(report.CountOutcome(seco::ServedOutcome::kShed)),
+        static_cast<long long>(
+            report.CountOutcome(seco::ServedOutcome::kDeadlineExpired)),
+        static_cast<long long>(
+            report.CountOutcome(seco::ServedOutcome::kFailed)));
+    if (!options.dump_answers.empty()) {
+      SECO_RETURN_IF_ERROR(
+          DumpAnswerBodies(options.dump_answers, report.bodies));
+    }
+    return seco::Status::OK();
+  }
+
   if (options.serve) {
     std::optional<seco::LoadProfile> profile =
         seco::LoadProfileByName(options.load);
@@ -400,15 +610,7 @@ seco::Status Run(const Options& options) {
     profile->seed = options.seed;
     profile->streaming = options.stream;
 
-    seco::ServerOptions server_options;
-    server_options.admission.max_in_flight = options.max_in_flight;
-    server_options.ladder.enabled = !options.no_ladder;
-    server_options.reliability = options.policy();
-    server_options.repair = repair_options;
-    server_options.num_threads = options.threads;
-    server_options.prefetch_depth = options.prefetch;
-    server_options.answer_cache = options.answer_cache;
-    server_options.plan_memo_bytes = options.memo_bytes;
+    seco::ServerOptions server_options = make_server_options();
     seco::QueryServer server(scenario.registry, server_options,
                              optimizer_options);
 
@@ -423,6 +625,15 @@ seco::Status Run(const Options& options) {
         options.max_in_flight, options.no_ladder ? "off" : "on");
     seco::LoadReport report = seco::DriveLoad(&server, schedule, *profile);
     server.Drain();
+
+    if (!options.dump_answers.empty()) {
+      std::vector<std::string> bodies;
+      bodies.reserve(report.responses.size());
+      for (const seco::QueryResponse& response : report.responses) {
+        bodies.push_back(seco::EncodeAnswerBody(response));
+      }
+      SECO_RETURN_IF_ERROR(DumpAnswerBodies(options.dump_answers, bodies));
+    }
 
     seco::PressureSignals pressure = server.pressure();
     seco::ServerStats stats = server.stats();

@@ -15,10 +15,12 @@ BUILD_DIR=build-tsan
 cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
   query_server_test server_soak_test thread_pool_test call_cache_test \
-  memo_table_test answer_cache_test seco_shell
+  memo_table_test answer_cache_test \
+  wire_test remote_handler_test net_server_test net_equivalence_test \
+  seco_shell
 
 (cd "${BUILD_DIR}" && ctest --output-on-failure -j"$(nproc)" -R \
-  'QueryServer|ServerSoak|AdmissionController|DegradationLadder|ThreadPool|CallCache|MemoTable|AnswerCache' "$@")
+  'QueryServer|ServerSoak|AdmissionController|DegradationLadder|ThreadPool|CallCache|MemoTable|AnswerCache|Wire|FrameDecoder|AnswerBody|RemoteHandler|NetServer|NetEquivalence' "$@")
 
 # End-to-end serving sweep: each profile is deterministic (fixed seed), so
 # failures here reproduce exactly. "overload" is the one that sheds.
@@ -33,3 +35,9 @@ done
 echo "==== soak: --serve --load=cachestress --answer-cache=on ===="
 "${BUILD_DIR}/examples/seco_shell" --serve --load=cachestress --seed=7 \
   --answer-cache=on
+
+# Network leg: the real daemons under TSan — acceptor + per-connection io
+# threads, the backend adapter's connection pool, and the graceful-drain
+# path all race-checked end to end (docs/NETWORK.md).
+echo "==== soak: net_e2e under TSan ===="
+scripts/net_e2e.sh "${BUILD_DIR}"

@@ -15,8 +15,9 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
   streaming_prefetch_test streaming_test join_methods_test \
   engine_test engine_advanced_test integration_test \
   reliability_test fault_recovery_test columnar_kernels_test \
-  memo_table_test answer_cache_test plan_signature_test query_server_test
+  memo_table_test answer_cache_test plan_signature_test query_server_test \
+  wire_test remote_handler_test net_server_test net_equivalence_test
 
 cd "${BUILD_DIR}"
 ctest --output-on-failure -j"$(nproc)" -R \
-  'ThreadPool|CallCache|ConcurrencyDeterminism|StreamingPrefetch|Streaming|ParallelJoin|Engine|Integration|Reliability|RetryPolicy|CircuitBreaker|CallBudget|ResilientHandler|RetryStorm|FaultRecovery|KernelFuzz|CanonicalKey|ColumnChunk|Columnar|MemoTable|AnswerCache|PlanSignature|PlanMemo' "$@"
+  'ThreadPool|CallCache|ConcurrencyDeterminism|StreamingPrefetch|Streaming|ParallelJoin|Engine|Integration|Reliability|RetryPolicy|CircuitBreaker|CallBudget|ResilientHandler|RetryStorm|FaultRecovery|KernelFuzz|CanonicalKey|ColumnChunk|Columnar|MemoTable|AnswerCache|PlanSignature|PlanMemo|Wire|FrameDecoder|AnswerBody|RemoteHandler|NetServer|NetEquivalence' "$@"

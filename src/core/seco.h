@@ -23,6 +23,7 @@
 ///   repair/    mid-query plan repair: replica failover + re-optimization
 ///   exec/      dataflow execution engine
 ///   server/    overload-safe query server: admission, shedding, degradation
+///   net/       TCP front end, wire codec, remote backend adapters
 ///   core/      QuerySession facade
 
 #include "common/result.h"
@@ -42,6 +43,12 @@
 #include "join/search_space.h"
 #include "join/strategy_select.h"
 #include "join/topk_join.h"
+#include "net/backend_server.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "net/remote_handler.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "optimizer/augmentation.h"
 #include "optimizer/calibration.h"
 #include "optimizer/optimizer.h"

@@ -1,0 +1,194 @@
+#include "net/backend_server.h"
+
+#include <sys/socket.h>
+
+namespace seco {
+
+void BackendServer::RegisterHandler(
+    const std::string& name, std::shared_ptr<ServiceCallHandler> handler) {
+  handlers_[name] = std::move(handler);
+}
+
+void BackendServer::ExposeRegistry(const ServiceRegistry& registry) {
+  for (const std::string& name : registry.interface_names()) {
+    auto iface = registry.FindInterface(name);
+    if (iface.ok()) RegisterHandler(name, iface.value()->handler_ptr());
+  }
+}
+
+Status BackendServer::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("backend server already running");
+  }
+  SECO_RETURN_IF_ERROR(listener_.Listen(port));
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void BackendServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  listener_.Close();  // fails the blocked Accept in the acceptor thread
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // unblocks connection recvs
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.clear();
+  }
+}
+
+void BackendServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Result<Socket> conn = listener_.Accept();
+    if (!conn.ok()) break;  // listener closed by Stop (or fatal error)
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load(std::memory_order_acquire)) break;
+    Socket socket = std::move(conn.value());
+    conn_fds_.push_back(socket.fd());
+    size_t slot = conn_fds_.size() - 1;
+    conn_threads_.emplace_back(
+        [this, slot](Socket s) {
+          ServeConnection(std::move(s));
+          std::lock_guard<std::mutex> lock(conn_mu_);
+          conn_fds_[slot] = -1;
+        },
+        std::move(socket));
+  }
+}
+
+void BackendServer::ServeConnection(Socket conn) {
+  FrameDecoder decoder;
+
+  // Hello handshake: magic + version + role must match before any call is
+  // served, so a query client that dials the backend port fails loudly.
+  {
+    Result<Frame> hello = RecvFrame(&conn, &decoder);
+    if (!hello.ok() || hello.value().type != FrameType::kHello) return;
+    WireReader r(hello.value().payload);
+    auto magic = r.U32();
+    auto version = r.U16();
+    auto role = r.U8();
+    std::string problem;
+    if (!magic.ok() || magic.value() != kWireMagic) {
+      problem = "bad magic in hello";
+    } else if (!version.ok() || version.value() != kWireVersion) {
+      problem = "unsupported protocol version";
+    } else if (!role.ok() ||
+               role.value() != static_cast<uint8_t>(WireRole::kBackendClient)) {
+      problem = "expected a backend client hello";
+    }
+    if (!problem.empty()) {
+      WireWriter w;
+      EncodeStatus(Status::InvalidArgument("backend: " + problem), &w);
+      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      return;
+    }
+    WireWriter ack;
+    ack.U16(kWireVersion);
+    if (!SendFrame(&conn, FrameType::kHelloAck, ack.Take()).ok()) return;
+  }
+
+  while (running_.load(std::memory_order_acquire)) {
+    Result<Frame> frame = RecvFrame(&conn, &decoder);
+    if (!frame.ok()) return;  // peer closed / reset / framing error
+    switch (frame.value().type) {
+      case FrameType::kCall: {
+        std::string reply = HandleCall(frame.value().payload);
+        if (!SendFrame(&conn, FrameType::kCallReply, reply).ok()) return;
+        break;
+      }
+      case FrameType::kPing: {
+        if (!SendFrame(&conn, FrameType::kPong, frame.value().payload).ok()) {
+          return;
+        }
+        break;
+      }
+      case FrameType::kGoodbye:
+        return;
+      default: {
+        WireWriter w;
+        EncodeStatus(Status::InvalidArgument(
+                         "backend: unexpected frame type " +
+                         std::to_string(static_cast<int>(frame.value().type))),
+                     &w);
+        (void)SendFrame(&conn, FrameType::kError, w.Take());
+        return;
+      }
+    }
+  }
+}
+
+std::string BackendServer::HandleCall(const std::string& payload) {
+  WireWriter reply;
+  WireReader r(payload);
+
+  uint64_t call_id = 0;
+  Status parsed = Status::OK();
+  std::string interface_name;
+  ServiceRequest request;
+  {
+    auto id = r.U64();
+    if (!id.ok()) {
+      parsed = id.status();
+    } else {
+      call_id = id.value();
+      auto name = r.Str();
+      if (!name.ok()) {
+        parsed = name.status();
+      } else {
+        interface_name = name.value();
+        auto req = DecodeServiceRequest(&r);
+        if (!req.ok()) {
+          parsed = req.status();
+        } else {
+          request = std::move(req.value());
+          parsed = r.ExpectEnd();
+        }
+      }
+    }
+  }
+
+  reply.U64(call_id);
+  if (!parsed.ok()) {
+    reply.Bool(false);
+    EncodeStatus(parsed, &reply);
+    return reply.Take();
+  }
+
+  auto it = handlers_.find(interface_name);
+  if (it == handlers_.end()) {
+    reply.Bool(false);
+    EncodeStatus(Status::NotFound("backend: no handler registered for '" +
+                                  interface_name + "'"),
+                 &reply);
+    return reply.Take();
+  }
+
+  calls_served_.fetch_add(1, std::memory_order_relaxed);
+  Result<ServiceResponse> response = it->second->Call(request);
+  if (!response.ok()) {
+    // Round-trip the handler's own status verbatim: a FaultModel behind
+    // this server must look identical to one in-process.
+    reply.Bool(false);
+    EncodeStatus(response.status(), &reply);
+    return reply.Take();
+  }
+  reply.Bool(true);
+  EncodeServiceResponse(response.value(), &reply);
+  return reply.Take();
+}
+
+}  // namespace seco

@@ -1,0 +1,82 @@
+#ifndef SECO_NET_BACKEND_SERVER_H_
+#define SECO_NET_BACKEND_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "service/invocation.h"
+#include "service/registry.h"
+
+namespace seco {
+
+/// Exposes `ServiceCallHandler`s over a localhost socket — the server half
+/// of the drop-in-backend claim (docs/NETWORK.md). A `RemoteServiceHandler`
+/// on the other end makes the hop invisible to the engines: requests and
+/// responses travel as the bit-exact wire codec, and handler errors
+/// round-trip code + message verbatim, so a `FaultModel` behind this server
+/// trips retries and breakers exactly as it does in-process.
+///
+/// Concurrency model: one acceptor thread plus one thread per connection,
+/// each serving calls serially; parallelism comes from clients opening
+/// several connections (the `RemoteServiceHandler` pools them).
+class BackendServer {
+ public:
+  BackendServer() = default;
+  ~BackendServer() { Stop(); }
+  BackendServer(const BackendServer&) = delete;
+  BackendServer& operator=(const BackendServer&) = delete;
+
+  /// Registers `handler` under `name`. Call before `Start`.
+  void RegisterHandler(const std::string& name,
+                       std::shared_ptr<ServiceCallHandler> handler);
+
+  /// Registers every interface of `registry` under its interface name —
+  /// the one-liner that puts a whole sim substrate behind the wire.
+  void ExposeRegistry(const ServiceRegistry& registry);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see `port()`) and starts the
+  /// acceptor thread.
+  Status Start(uint16_t port = 0);
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  uint16_t port() const { return listener_.port(); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Calls served since `Start` (across all connections).
+  int64_t calls_served() const {
+    return calls_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(Socket conn);
+  /// Handles one kCall frame; returns the kCallReply payload.
+  std::string HandleCall(const std::string& payload);
+
+  std::map<std::string, std::shared_ptr<ServiceCallHandler>> handlers_;
+  Listener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> calls_served_{0};
+
+  std::mutex conn_mu_;
+  /// Live connection fds, for shutdown-on-Stop; -1 once a slot's thread
+  /// exits.
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_NET_BACKEND_SERVER_H_

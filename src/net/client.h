@@ -1,0 +1,90 @@
+#ifndef SECO_NET_CLIENT_H_
+#define SECO_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "sim/load_generator.h"
+
+namespace seco {
+
+/// One response as it arrived off the wire: the result-header fields plus
+/// the reassembled answer body (the canonical `EncodeAnswerBody` bytes —
+/// compare these against an in-process run for the equivalence oracle, or
+/// `DecodeAnswerBody` them for a structured `QueryResponse`).
+struct WireResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kFailed;
+  double retry_after_ms = 0.0;
+  std::string body;
+};
+
+/// Client for the framed query protocol — the wire twin of holding a
+/// `QueryServer*`. Supports pipelining: `Submit` any number of requests,
+/// then `Receive` responses in the same order. Not thread-safe; use one
+/// client per thread (see `DriveLoadOverWire`).
+class NetClient {
+ public:
+  /// Dials the front end and runs the hello handshake. A draining server
+  /// refuses here with the structured `kRejected` status off the wire.
+  static Result<NetClient> Connect(const std::string& host, uint16_t port,
+                                   int timeout_ms = -1);
+
+  NetClient(NetClient&&) = default;
+  NetClient& operator=(NetClient&&) = default;
+
+  /// Sends one query frame tagged `request_id` (client-chosen; echoed in
+  /// the response frames).
+  Status Submit(uint64_t request_id, const QueryRequest& request);
+
+  /// Reads the next response: header, body chunks, end. Responses arrive
+  /// in submission order.
+  Result<WireResponse> Receive();
+
+  /// Submit + Receive for the single-outstanding-call case.
+  Result<WireResponse> Roundtrip(uint64_t request_id,
+                                 const QueryRequest& request);
+
+  /// Liveness probe: sends a ping and waits for the echoed pong.
+  Status Ping(uint64_t cookie);
+
+  /// Announces a clean close and shuts the connection down.
+  void Goodbye();
+
+ private:
+  NetClient(Socket socket, int timeout_ms)
+      : socket_(std::move(socket)), timeout_ms_(timeout_ms) {}
+
+  Socket socket_;
+  FrameDecoder decoder_;
+  int timeout_ms_ = -1;
+};
+
+/// `DriveLoad`, but over loopback TCP: replays a `LoadGenerator` schedule
+/// against a `NetServer` and returns the decoded terminal responses in
+/// submission order, exactly like the in-process report. Closed loop runs
+/// `closed_loop_width` worker connections each keeping one call
+/// outstanding; open loop pipelines the whole schedule down one
+/// keep-alive connection (responses still arrive in submission order).
+struct WireLoadReport {
+  /// Decoded responses, submission order. A transport-level failure leaves
+  /// a `kFailed` response carrying the socket error.
+  std::vector<QueryResponse> responses;
+  /// Raw answer bodies, submission order — the oracle's byte-diff input.
+  std::vector<std::string> bodies;
+  double wall_ms = 0.0;
+
+  int64_t CountOutcome(ServedOutcome outcome) const;
+};
+
+WireLoadReport DriveLoadOverWire(const std::string& host, uint16_t port,
+                                 const std::vector<LoadItem>& schedule,
+                                 const LoadProfile& profile);
+
+}  // namespace seco
+
+#endif  // SECO_NET_CLIENT_H_

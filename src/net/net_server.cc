@@ -1,0 +1,289 @@
+#include "net/net_server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <sys/socket.h>
+#include <utility>
+
+namespace seco {
+
+NetServer::NetServer(QueryServer* server, NetServerOptions options)
+    : server_(server), options_(options) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("net server already running");
+  }
+  SECO_RETURN_IF_ERROR(listener_.Listen(port));
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NetServer::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  server_->BeginDrain();
+}
+
+void NetServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  BeginDrain();
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RD);  // readers see EOF, stop pulling
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.clear();
+  }
+  server_->Drain();
+}
+
+void NetServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Result<Socket> conn = listener_.Accept();
+    if (!conn.ok()) break;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load(std::memory_order_acquire)) break;
+    Socket socket = std::move(conn.value());
+    conn_fds_.push_back(socket.fd());
+    size_t slot = conn_fds_.size() - 1;
+    conn_threads_.emplace_back(
+        [this, slot](Socket s) {
+          ServeConnection(std::move(s));
+          std::lock_guard<std::mutex> lock(conn_mu_);
+          conn_fds_[slot] = -1;
+        },
+        std::move(socket));
+  }
+}
+
+namespace {
+
+/// One pipelined response waiting to be written back.
+struct PendingReply {
+  uint64_t request_id = 0;
+  std::future<QueryResponse> future;
+  /// Set instead of `future` when the request failed before submission
+  /// (malformed payload): the error travels as a kFailed response.
+  std::optional<QueryResponse> immediate;
+};
+
+/// FIFO of in-flight responses shared between a connection's reader (the
+/// ServeConnection thread) and its writer thread. Bounded by
+/// `pipeline_depth`: a full queue blocks the reader, which stops draining
+/// the socket, which backpressures the client through TCP.
+class ReplyQueue {
+ public:
+  explicit ReplyQueue(size_t cap) : cap_(cap) {}
+
+  void Push(PendingReply reply) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return queue_.size() < cap_; });
+    queue_.push_back(std::move(reply));
+    cv_.notify_all();
+  }
+
+  /// Pops the oldest reply; false once the queue is closed *and* empty.
+  bool Pop(PendingReply* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    cv_.notify_all();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  const size_t cap_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingReply> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+void NetServer::ServeConnection(Socket conn) {
+  FrameDecoder decoder;
+
+  // Hello handshake.
+  {
+    Result<Frame> hello = RecvFrame(&conn, &decoder, options_.idle_timeout_ms);
+    if (!hello.ok() || hello.value().type != FrameType::kHello) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    WireReader r(hello.value().payload);
+    auto magic = r.U32();
+    auto version = r.U16();
+    auto role = r.U8();
+    Status problem = Status::OK();
+    if (!magic.ok() || magic.value() != kWireMagic) {
+      problem = Status::InvalidArgument("front end: bad magic in hello");
+    } else if (!version.ok() || version.value() != kWireVersion) {
+      problem =
+          Status::Unsupported("front end: unsupported protocol version");
+    } else if (!role.ok() ||
+               role.value() != static_cast<uint8_t>(WireRole::kQueryClient)) {
+      problem =
+          Status::InvalidArgument("front end: expected a query client hello");
+    } else if (draining_.load(std::memory_order_acquire)) {
+      // The wire-level drain refusal: a structured kRejected plus a
+      // retry-after, so load generators back off instead of erroring out.
+      double retry_after = server_->options().retry_after_ms;
+      WireWriter w;
+      EncodeStatus(Status::Rejected("front end draining; retry after " +
+                                    std::to_string(retry_after) + " ms"),
+                   &w);
+      w.F64(retry_after);
+      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      return;
+    }
+    if (!problem.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WireWriter w;
+      EncodeStatus(problem, &w);
+      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      return;
+    }
+    WireWriter ack;
+    ack.U16(kWireVersion);
+    if (!SendFrame(&conn, FrameType::kHelloAck, ack.Take()).ok()) return;
+  }
+
+  ReplyQueue replies(static_cast<size_t>(
+      options_.pipeline_depth > 0 ? options_.pipeline_depth : 1));
+
+  // Writer: pops responses FIFO (request order) and frames them out.
+  // Waiting on the head future blocks only this connection's writes.
+  std::thread writer([this, &conn, &replies] {
+    PendingReply reply;
+    while (replies.Pop(&reply)) {
+      QueryResponse response = reply.immediate.has_value()
+                                   ? std::move(*reply.immediate)
+                                   : reply.future.get();
+      WireStatus wire_status = WireStatusOf(response);
+      if (wire_status == WireStatus::kShed && server_->draining()) {
+        wire_status = WireStatus::kDraining;
+      }
+      std::string body = EncodeAnswerBody(response);
+
+      WireWriter header;
+      header.U64(reply.request_id);
+      header.U8(static_cast<uint8_t>(wire_status));
+      header.F64(response.retry_after_ms);
+      header.U32(static_cast<uint32_t>(body.size()));
+      if (!SendFrame(&conn, FrameType::kResultHeader, header.Take()).ok()) {
+        break;
+      }
+      bool write_failed = false;
+      for (size_t offset = 0; offset < body.size();
+           offset += kBodyChunkBytes) {
+        WireWriter chunk;
+        chunk.U64(reply.request_id);
+        chunk.Bytes(body.data() + offset,
+                    std::min<size_t>(kBodyChunkBytes, body.size() - offset));
+        if (!SendFrame(&conn, FrameType::kResultBody, chunk.Take()).ok()) {
+          write_failed = true;
+          break;
+        }
+      }
+      if (write_failed) break;
+      WireWriter end;
+      end.U64(reply.request_id);
+      if (!SendFrame(&conn, FrameType::kResultEnd, end.Take()).ok()) break;
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Keep draining futures even if the socket died: every accepted
+    // submission must be consumed so Stop()'s Drain() cannot wedge.
+    while (replies.Pop(&reply)) {
+      if (!reply.immediate.has_value()) (void)reply.future.get();
+    }
+  });
+
+  // Reader: pulls frames, submits queries, enqueues their futures.
+  while (true) {
+    Result<Frame> frame = RecvFrame(&conn, &decoder, options_.idle_timeout_ms);
+    if (!frame.ok()) {
+      if (decoder.poisoned()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        WireWriter w;
+        EncodeStatus(frame.status(), &w);
+        (void)SendFrame(&conn, FrameType::kError, w.Take());
+      }
+      break;
+    }
+    if (frame.value().type == FrameType::kGoodbye) break;
+    if (frame.value().type == FrameType::kPing) {
+      // Pong jumps the pipeline: it is a liveness probe, not a response.
+      if (!SendFrame(&conn, FrameType::kPong, frame.value().payload).ok()) {
+        break;
+      }
+      continue;
+    }
+    if (frame.value().type != FrameType::kQuery) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WireWriter w;
+      EncodeStatus(
+          Status::InvalidArgument(
+              "front end: unexpected frame type " +
+              std::to_string(static_cast<int>(frame.value().type))),
+          &w);
+      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      break;
+    }
+
+    WireReader r(frame.value().payload);
+    auto request_id = r.U64();
+    if (!request_id.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    size_t consumed = frame.value().payload.size() - r.remaining();
+    Result<QueryRequest> request =
+        DecodeQueryRequest(frame.value().payload.substr(consumed));
+
+    PendingReply reply;
+    reply.request_id = request_id.value();
+    if (!request.ok()) {
+      // A malformed query payload fails that request, not the connection:
+      // the id is known, so the client gets a well-formed kFailed answer.
+      QueryResponse failed;
+      failed.outcome = ServedOutcome::kFailed;
+      failed.status = request.status();
+      reply.immediate = std::move(failed);
+    } else {
+      reply.future = server_->Submit(std::move(request.value()));
+    }
+    replies.Push(std::move(reply));
+  }
+
+  replies.Close();
+  writer.join();
+}
+
+}  // namespace seco

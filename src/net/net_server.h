@@ -1,0 +1,100 @@
+#ifndef SECO_NET_NET_SERVER_H_
+#define SECO_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "server/server.h"
+
+namespace seco {
+
+/// Front-end knobs.
+struct NetServerOptions {
+  /// Responses a connection may have in flight before its reader stops
+  /// pulling new queries off the socket — the pipelining cap. Backpressure
+  /// then propagates to the client through TCP.
+  int pipeline_depth = 64;
+  /// Idle receive timeout for keep-alive connections, ms; < 0 waits
+  /// forever.
+  int idle_timeout_ms = -1;
+};
+
+/// TCP listener in front of a `QueryServer` (docs/NETWORK.md): speaks the
+/// framed query protocol on its own acceptor + per-connection io threads,
+/// parses `kQuery` frames into `QueryRequest`s, and maps each
+/// `ServedOutcome` — including admission shedding with its retry-after
+/// hint — onto a wire status in the result header. Answer bodies are the
+/// canonical `EncodeAnswerBody` bytes, chunked at `kBodyChunkBytes`, so a
+/// wire answer is byte-identical to the in-process response it came from.
+///
+/// Connections are keep-alive and pipelined: a client may send many
+/// `kQuery` frames without waiting; responses come back in per-connection
+/// request order (submission order = response order, so closed-loop
+/// clients see exactly the in-process future semantics).
+class NetServer {
+ public:
+  /// `server` must outlive this object.
+  explicit NetServer(QueryServer* server, NetServerOptions options = {});
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see `port()`) and starts the
+  /// acceptor thread.
+  Status Start(uint16_t port = 0);
+
+  /// Graceful-shutdown entry (SIGINT/SIGTERM): puts the `QueryServer`
+  /// into draining mode — in-flight queries finish, new submissions shed
+  /// — and makes every *new* connection's hello fail with a structured
+  /// `kRejected` + retry-after. Existing connections keep their pipeline;
+  /// their queued queries resolve, later ones come back `kDraining`.
+  void BeginDrain();
+
+  /// Full stop: `BeginDrain`, close the listener, shut down every
+  /// connection's read side, join all threads, and drain the
+  /// `QueryServer`. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return listener_.port(); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  int64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped for malformed framing (oversized prefix, unknown
+  /// type, garbage) — the robustness ledger.
+  int64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(Socket conn);
+
+  QueryServer* const server_;
+  const NetServerOptions options_;
+  Listener listener_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> queries_served_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;  ///< -1 once the owning thread exited
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_NET_NET_SERVER_H_

@@ -1,0 +1,141 @@
+#include "net/remote_handler.h"
+
+namespace seco {
+
+RemoteBackendClient::RemoteBackendClient(std::string host, uint16_t port,
+                                         RemoteBackendOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+Result<std::unique_ptr<RemoteBackendClient::PooledConn>>
+RemoteBackendClient::CheckOut() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      auto conn = std::move(pool_.back());
+      pool_.pop_back();
+      return conn;
+    }
+  }
+  SECO_ASSIGN_OR_RETURN(Socket socket,
+                        ConnectTcp(host_, port_, options_.timeout_ms));
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_unique<PooledConn>();
+  conn->socket = std::move(socket);
+
+  // Hello handshake on the fresh connection.
+  WireWriter hello;
+  hello.U32(kWireMagic);
+  hello.U16(kWireVersion);
+  hello.U8(static_cast<uint8_t>(WireRole::kBackendClient));
+  SECO_RETURN_IF_ERROR(
+      SendFrame(&conn->socket, FrameType::kHello, hello.Take()));
+  SECO_ASSIGN_OR_RETURN(
+      Frame ack,
+      RecvFrame(&conn->socket, &conn->decoder, options_.timeout_ms));
+  if (ack.type == FrameType::kError) {
+    WireReader r(ack.payload);
+    Status remote = Status::OK();
+    if (!DecodeStatus(&r, &remote).ok() || remote.ok()) {
+      return Status::Unavailable("backend rejected hello");
+    }
+    return remote;
+  }
+  if (ack.type != FrameType::kHelloAck) {
+    return Status::Unavailable("backend sent unexpected frame " +
+                               std::to_string(static_cast<int>(ack.type)) +
+                               " instead of hello ack");
+  }
+  return conn;
+}
+
+void RemoteBackendClient::CheckIn(std::unique_ptr<PooledConn> conn) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (static_cast<int>(pool_.size()) < options_.max_pool) {
+    pool_.push_back(std::move(conn));
+  }
+}
+
+Result<ServiceResponse> RemoteBackendClient::Call(
+    const std::string& interface_name, const ServiceRequest& request) {
+  SECO_ASSIGN_OR_RETURN(std::unique_ptr<PooledConn> conn, CheckOut());
+
+  const uint64_t call_id =
+      next_call_id_.fetch_add(1, std::memory_order_relaxed);
+  WireWriter call;
+  call.U64(call_id);
+  call.Str(interface_name);
+  EncodeServiceRequest(request, &call);
+  SECO_RETURN_IF_ERROR(
+      SendFrame(&conn->socket, FrameType::kCall, call.Take()));
+
+  // Any failure from here on discards the connection: a reply may be in
+  // flight, so the stream can no longer be trusted for the next call.
+  SECO_ASSIGN_OR_RETURN(
+      Frame frame,
+      RecvFrame(&conn->socket, &conn->decoder, options_.timeout_ms));
+  if (frame.type == FrameType::kError) {
+    WireReader r(frame.payload);
+    Status remote = Status::OK();
+    if (!DecodeStatus(&r, &remote).ok() || remote.ok()) {
+      return Status::Unavailable("backend protocol error");
+    }
+    return remote;
+  }
+  if (frame.type != FrameType::kCallReply) {
+    return Status::Unavailable("backend sent unexpected frame " +
+                               std::to_string(static_cast<int>(frame.type)) +
+                               " instead of a call reply");
+  }
+
+  WireReader r(frame.payload);
+  SECO_ASSIGN_OR_RETURN(uint64_t reply_id, r.U64());
+  if (reply_id != call_id) {
+    return Status::Unavailable("backend reply id " +
+                               std::to_string(reply_id) +
+                               " does not match call id " +
+                               std::to_string(call_id));
+  }
+  SECO_ASSIGN_OR_RETURN(bool ok, r.Bool());
+  if (!ok) {
+    Status remote = Status::OK();
+    SECO_RETURN_IF_ERROR(DecodeStatus(&r, &remote));
+    SECO_RETURN_IF_ERROR(r.ExpectEnd());
+    CheckIn(std::move(conn));  // the protocol exchange itself succeeded
+    if (remote.ok()) {
+      return Status::Unavailable("backend reported failure without status");
+    }
+    return remote;
+  }
+  SECO_ASSIGN_OR_RETURN(ServiceResponse response, DecodeServiceResponse(&r));
+  SECO_RETURN_IF_ERROR(r.ExpectEnd());
+  CheckIn(std::move(conn));
+  return response;
+}
+
+Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistry(
+    const ServiceRegistry& local, const std::string& host, uint16_t port,
+    RemoteBackendOptions options) {
+  auto client = std::make_shared<RemoteBackendClient>(host, port, options);
+  auto remote = std::make_shared<ServiceRegistry>();
+
+  for (const std::string& name : local.mart_names()) {
+    SECO_ASSIGN_OR_RETURN(auto mart, local.FindMart(name));
+    SECO_RETURN_IF_ERROR(remote->RegisterMart(mart));
+  }
+  for (const std::string& name : local.interface_names()) {
+    SECO_ASSIGN_OR_RETURN(auto iface, local.FindInterface(name));
+    auto handler = std::make_shared<RemoteServiceHandler>(client, name);
+    auto twin = std::make_shared<ServiceInterface>(
+        iface->name(), iface->schema_ptr(), iface->pattern(), iface->kind(),
+        iface->stats(), std::move(handler));
+    SECO_RETURN_IF_ERROR(
+        remote->RegisterInterface(twin, local.MartOfInterface(name)));
+  }
+  for (const std::string& name : local.pattern_names()) {
+    SECO_ASSIGN_OR_RETURN(auto pattern, local.FindConnectionPattern(name));
+    SECO_RETURN_IF_ERROR(remote->RegisterConnectionPattern(pattern));
+  }
+  return remote;
+}
+
+}  // namespace seco

@@ -1,0 +1,111 @@
+#ifndef SECO_NET_REMOTE_HANDLER_H_
+#define SECO_NET_REMOTE_HANDLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "service/invocation.h"
+#include "service/registry.h"
+
+namespace seco {
+
+/// Client-side configuration for one backend connection pool.
+struct RemoteBackendOptions {
+  /// Receive timeout per call, milliseconds; < 0 blocks forever. A timeout
+  /// surfaces as `kDeadlineExceeded` — the same code the in-process
+  /// deadline path emits, so the reliability layer treats a slow backend
+  /// exactly like a slow simulated service.
+  int timeout_ms = -1;
+  /// Idle connections kept for reuse. Calls beyond the pool dial fresh
+  /// connections, so the pool bounds memory, not concurrency.
+  int max_pool = 8;
+};
+
+/// Shared connection pool to one `BackendServer`. Handlers check a
+/// connection out per call and return it on success; any socket or
+/// protocol error discards the connection, so a poisoned stream can never
+/// serve a second call.
+class RemoteBackendClient {
+ public:
+  RemoteBackendClient(std::string host, uint16_t port,
+                      RemoteBackendOptions options = {});
+
+  /// Performs one remote call against `interface_name`. Socket failures
+  /// map onto the structured fault statuses the reliability layer retries
+  /// on: refused/reset/closed -> `kUnavailable`, timeout ->
+  /// `kDeadlineExceeded`. Backend-side handler errors round-trip verbatim.
+  Result<ServiceResponse> Call(const std::string& interface_name,
+                               const ServiceRequest& request);
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+  /// Connections dialed so far (diagnostic; reuse keeps this near the
+  /// concurrency level rather than the call count).
+  int64_t connections_opened() const {
+    return connections_opened_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PooledConn {
+    Socket socket;
+    /// Persists across calls: bytes of the next reply may arrive with the
+    /// tail of the previous one.
+    FrameDecoder decoder;
+  };
+
+  Result<std::unique_ptr<PooledConn>> CheckOut();
+  void CheckIn(std::unique_ptr<PooledConn> conn);
+
+  const std::string host_;
+  const uint16_t port_;
+  const RemoteBackendOptions options_;
+  std::atomic<uint64_t> next_call_id_{1};
+  std::atomic<int64_t> connections_opened_{0};
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<PooledConn>> pool_;
+};
+
+/// `ServiceCallHandler` that forwards every call to a `BackendServer` over
+/// TCP — the drop-in remote backend. Constructed exactly where a
+/// `SimulatedService` would be, and wrapped by the same
+/// `CachingHandler`/`ResilientHandler` decorators; nothing above the
+/// handler seam can tell the data source moved out of process.
+class RemoteServiceHandler : public ServiceCallHandler {
+ public:
+  RemoteServiceHandler(std::shared_ptr<RemoteBackendClient> client,
+                       std::string interface_name)
+      : client_(std::move(client)),
+        interface_name_(std::move(interface_name)) {}
+
+  Result<ServiceResponse> Call(const ServiceRequest& request) override {
+    return client_->Call(interface_name_, request);
+  }
+
+  const std::string& interface_name() const { return interface_name_; }
+
+ private:
+  std::shared_ptr<RemoteBackendClient> client_;
+  std::string interface_name_;
+};
+
+/// Builds a twin of `local` whose every interface calls a remote backend:
+/// marts, connection patterns, schemas, access patterns, and stats are
+/// shared with the original, only the handlers are replaced by
+/// `RemoteServiceHandler`s over one pooled client. Point the result at a
+/// `BackendServer` exposing `local` and queries plan and execute
+/// identically — the registry-level form of the drop-in claim.
+Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistry(
+    const ServiceRegistry& local, const std::string& host, uint16_t port,
+    RemoteBackendOptions options = {});
+
+}  // namespace seco
+
+#endif  // SECO_NET_REMOTE_HANDLER_H_

@@ -1,0 +1,185 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace seco {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status Socket::SendAll(const std::string& data) {
+  if (fd_ < 0) return Status::Unavailable("socket: send on closed socket");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("socket: send failed"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::RecvSome(std::string* out, size_t max_bytes,
+                                int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("socket: recv on closed socket");
+  if (timeout_ms >= 0) {
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) return Status::Unavailable(Errno("socket: poll failed"));
+    if (ready == 0) {
+      return Status::DeadlineExceeded("socket: recv timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+  }
+  char buf[16384];
+  size_t want = std::min(max_bytes, sizeof(buf));
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buf, want, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Status::Unavailable(Errno("socket: recv failed"));
+  out->append(buf, static_cast<size_t>(n));
+  return static_cast<size_t>(n);
+}
+
+void Socket::SetNoDelay() {
+  if (fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status Listener::Listen(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable(Errno("socket: socket() failed"));
+  Socket owned(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Unavailable(Errno("socket: bind to 127.0.0.1:" +
+                                     std::to_string(port) + " failed"));
+  }
+  if (::listen(fd, backlog) < 0) {
+    return Status::Unavailable(Errno("socket: listen failed"));
+  }
+  // Recover the kernel-assigned port when the caller asked for an
+  // ephemeral one.
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Unavailable(Errno("socket: getsockname failed"));
+  }
+  port_ = ntohs(addr.sin_port);
+  socket_ = std::move(owned);
+  return Status::OK();
+}
+
+Result<Socket> Listener::Accept() {
+  if (!socket_.valid()) {
+    return Status::Unavailable("socket: accept on closed listener");
+  }
+  int fd;
+  do {
+    fd = ::accept(socket_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return Status::Unavailable(Errno("socket: accept failed"));
+  Socket conn(fd);
+  conn.SetNoDelay();
+  return conn;
+}
+
+void Listener::Close() {
+  // shutdown() first so a concurrent blocked accept() returns instead of
+  // racing the close of a descriptor another thread still polls.
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
+  socket_.Close();
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          int timeout_ms) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* node = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, node, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("socket: cannot parse IPv4 address '" +
+                                   host + "'");
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable(Errno("socket: socket() failed"));
+  Socket conn(fd);
+
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::Unavailable(Errno("socket: connect to " + host + ":" +
+                                     std::to_string(port) + " failed"));
+  }
+  (void)timeout_ms;  // loopback connects complete or fail immediately
+  conn.SetNoDelay();
+  return conn;
+}
+
+Result<Frame> RecvFrame(Socket* socket, FrameDecoder* decoder,
+                        int timeout_ms) {
+  Frame frame;
+  while (!decoder->Next(&frame)) {
+    std::string bytes;
+    SECO_ASSIGN_OR_RETURN(size_t n,
+                          socket->RecvSome(&bytes, 65536, timeout_ms));
+    if (n == 0) {
+      return Status::Unavailable("socket: connection closed by peer");
+    }
+    SECO_RETURN_IF_ERROR(decoder->Feed(bytes));
+  }
+  return frame;
+}
+
+}  // namespace seco

@@ -1,0 +1,109 @@
+#ifndef SECO_NET_SOCKET_H_
+#define SECO_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "net/wire.h"
+
+namespace seco {
+
+/// Thin RAII wrappers over POSIX TCP sockets, shared by every `src/net/`
+/// component. All IO is blocking with optional `poll`-based receive
+/// timeouts; partial reads/writes and EINTR are handled here so the
+/// protocol layers above only ever see whole frames.
+
+/// Owns one connected socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+  /// Shuts down the read side, unblocking a peer's or our own blocked
+  /// `recv` — the graceful-drain signal for connection threads.
+  void ShutdownRead();
+  /// Shuts down the write side (sends FIN; peer's recv returns 0).
+  void ShutdownWrite();
+
+  /// Writes all of `data`, looping over partial sends. `SIGPIPE` is
+  /// suppressed (`MSG_NOSIGNAL`); a closed peer returns a Status instead.
+  Status SendAll(const std::string& data);
+
+  /// Reads up to `max_bytes` into `out` (appending). Returns the number of
+  /// bytes read; 0 means clean EOF. `timeout_ms < 0` blocks forever;
+  /// otherwise a `poll` timeout fails with `kDeadlineExceeded`.
+  Result<size_t> RecvSome(std::string* out, size_t max_bytes,
+                          int timeout_ms = -1);
+
+  /// Disables Nagle's algorithm — both protocols are request/response, so
+  /// coalescing delay is pure added latency.
+  void SetNoDelay();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Owns a listening socket bound to 127.0.0.1.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  /// Binds and listens on loopback. `port == 0` picks an ephemeral port;
+  /// the chosen port is available from `port()` afterwards.
+  Status Listen(uint16_t port, int backlog = 64);
+
+  /// Accepts one connection (blocking). Fails once `Close()` has been
+  /// called from another thread.
+  Result<Socket> Accept();
+
+  /// Closes the listening socket, failing any blocked `Accept`.
+  void Close();
+
+  bool valid() const { return socket_.valid(); }
+  uint16_t port() const { return port_; }
+
+ private:
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to `host:port`; `timeout_ms < 0` means the OS default.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          int timeout_ms = -1);
+
+/// Sends one framed message.
+inline Status SendFrame(Socket* socket, FrameType type,
+                        const std::string& payload) {
+  return socket->SendAll(EncodeFrame(type, payload));
+}
+
+/// Receives frames into `decoder` until one complete frame pops, then
+/// returns it. Fails on EOF, malformed framing, or receive timeout
+/// (`kDeadlineExceeded`).
+Result<Frame> RecvFrame(Socket* socket, FrameDecoder* decoder,
+                        int timeout_ms = -1);
+
+}  // namespace seco
+
+#endif  // SECO_NET_SOCKET_H_

@@ -103,6 +103,25 @@ std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
   QueryResponse ready_response;
   std::vector<Dispatch> dispatches;
 
+  // Graceful shutdown: once draining, arrivals are shed before touching
+  // the cache or admission state — in-flight queries keep their resources.
+  if (draining_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ClassServingStats& cls = stats_.of(priority);
+      ++cls.submitted;
+      ++cls.shed;
+    }
+    ready_response.outcome = ServedOutcome::kShed;
+    ready_response.priority = priority;
+    ready_response.retry_after_ms = options_.retry_after_ms;
+    ready_response.status = Status::Rejected(
+        "server draining; retry after " +
+        std::to_string(ready_response.retry_after_ms) + " ms");
+    promise.set_value(std::move(ready_response));
+    return future;
+  }
+
   // Answer-cache preparation happens before the server lock: parsing,
   // binding, and hashing the canonical signature are pure work that must
   // not serialize the admission path. Trace requests bypass the cache — a

@@ -228,6 +228,15 @@ class QueryServer {
   /// Blocks until every accepted query has resolved.
   void Drain();
 
+  /// Begins graceful shutdown: every *subsequent* Submit is shed
+  /// immediately with a "server draining" rejection (counted in the shed
+  /// ledger, with the usual retry-after hint), while already-accepted
+  /// queries run to completion. Follow with `Drain()` to wait them out.
+  /// Irreversible for the server's lifetime; used by the network front
+  /// end's SIGINT/SIGTERM path (docs/NETWORK.md).
+  void BeginDrain() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
   /// Snapshot of the serving ledger.
   ServerStats stats() const;
   /// Snapshot of the current pressure signals (as the next admission would
@@ -298,6 +307,8 @@ class QueryServer {
   CircuitBreakerRegistry breakers_;
   DegradationLadder ladder_;
   ThreadPool pool_;
+
+  std::atomic<bool> draining_{false};
 
   mutable std::mutex mu_;
   AdmissionController admission_;

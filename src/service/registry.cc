@@ -138,4 +138,10 @@ std::vector<std::string> ServiceRegistry::interface_names() const {
   return out;
 }
 
+std::vector<std::string> ServiceRegistry::pattern_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : patterns_) out.push_back(name);
+  return out;
+}
+
 }  // namespace seco

@@ -52,6 +52,7 @@ class ServiceRegistry {
 
   std::vector<std::string> mart_names() const;
   std::vector<std::string> interface_names() const;
+  std::vector<std::string> pattern_names() const;
 
   /// Monotonic catalog epoch: bumped by every successful registration.
   /// Caching layers compare it against the epoch they captured at publish

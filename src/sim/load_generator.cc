@@ -142,6 +142,15 @@ std::optional<LoadProfile> LoadProfileByName(const std::string& name) {
     profile.interactive_fraction = 0.5;
     return profile;
   }
+  if (name == "serial") {
+    // One query outstanding at a time: with the ladder off, every answer
+    // is independent of timing, so a serial run is the byte-exact
+    // equivalence leg for wire-vs-in-process diffs (docs/NETWORK.md).
+    profile.num_queries = 24;
+    profile.closed_loop_width = 1;
+    profile.interactive_fraction = 0.75;
+    return profile;
+  }
   if (name == "cachestress") {
     // High-overlap repeats in a moderate closed loop: most requests share a
     // cache identity, so with the answer cache on the run is dominated by

@@ -95,10 +95,11 @@ LoadReport DriveLoad(QueryServer* server, const std::vector<LoadItem>& schedule,
                      const LoadProfile& profile);
 
 /// Named profiles surfaced by the shell's `--serve --load=<name>` flag:
-/// "light" (below capacity), "overload" (open loop at >= 3x capacity), and
-/// "burst" (synchronized arrival groups), and "cachestress" (closed-loop
-/// high-overlap repeats for the answer-cache soak). nullopt for unknown
-/// names.
+/// "light" (below capacity), "overload" (open loop at >= 3x capacity),
+/// "burst" (synchronized arrival groups), "cachestress" (closed-loop
+/// high-overlap repeats for the answer-cache soak), and "serial" (width-1
+/// closed loop — the byte-exact wire-equivalence leg, docs/NETWORK.md).
+/// nullopt for unknown names.
 std::optional<LoadProfile> LoadProfileByName(const std::string& name);
 
 }  // namespace seco

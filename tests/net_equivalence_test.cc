@@ -1,0 +1,235 @@
+// The byte-identical oracle (docs/NETWORK.md): a deterministic in-process
+// serial load run is the reference; the same schedule driven (a) through
+// the TCP front end, (b) over remote backends, and (c) through both hops
+// at once must produce answer bodies that are byte-for-byte identical to
+// the in-process `EncodeAnswerBody` bytes — for every scenario, for both
+// engines, and under injected backend faults with retries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/backend_server.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "net/remote_handler.h"
+#include "server/server.h"
+#include "sim/fault_model.h"
+#include "sim/fixtures.h"
+#include "sim/load_generator.h"
+
+namespace seco {
+namespace {
+
+LoadProfile SerialProfile(bool streaming) {
+  LoadProfile profile = LoadProfileByName("serial").value();
+  profile.num_queries = 8;  // keep the matrix fast; determinism is per-query
+  profile.streaming = streaming;
+  return profile;
+}
+
+ServerOptions ByteExactOptions() {
+  ServerOptions options;
+  options.ladder.enabled = false;  // level 0 always: bit-identical answers
+  return options;
+}
+
+std::vector<std::string> OracleBodies(const LoadReport& report) {
+  std::vector<std::string> bodies;
+  bodies.reserve(report.responses.size());
+  for (const QueryResponse& response : report.responses) {
+    bodies.push_back(EncodeAnswerBody(response));
+  }
+  return bodies;
+}
+
+void ExpectSameBodies(const std::vector<std::string>& got,
+                      const std::vector<std::string>& want,
+                      const std::string& leg) {
+  ASSERT_EQ(got.size(), want.size()) << leg;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(AnswerBodyHex(got[i]), AnswerBodyHex(want[i]))
+        << leg << ": query " << i << " diverged";
+  }
+}
+
+/// Runs the full topology matrix for one scenario/engine combination:
+/// in-process oracle, front end only, remote backends only, and both.
+void RunMatrix(const Scenario& scenario, bool streaming,
+               const std::string& tag) {
+  LoadProfile profile = SerialProfile(streaming);
+  LoadGenerator generator(profile, scenario.query_text, scenario.inputs);
+  std::vector<LoadItem> schedule = generator.Schedule();
+
+  // Oracle: plain in-process serving.
+  std::vector<std::string> oracle;
+  {
+    QueryServer server(scenario.registry, ByteExactOptions());
+    LoadReport report = DriveLoad(&server, schedule, profile);
+    for (const QueryResponse& r : report.responses) {
+      ASSERT_NE(r.outcome, ServedOutcome::kShed) << tag;
+      ASSERT_NE(r.outcome, ServedOutcome::kFailed)
+          << tag << ": " << r.status.ToString();
+    }
+    oracle = OracleBodies(report);
+  }
+
+  // Leg 1: TCP front end over the in-process substrate.
+  {
+    QueryServer server(scenario.registry, ByteExactOptions());
+    NetServer net(&server);
+    ASSERT_TRUE(net.Start().ok());
+    WireLoadReport report =
+        DriveLoadOverWire("127.0.0.1", net.port(), schedule, profile);
+    ExpectSameBodies(report.bodies, oracle, tag + "/front-end");
+    net.Stop();
+  }
+
+  // Leg 2: in-process front end over remote backends.
+  {
+    BackendServer backend;
+    backend.ExposeRegistry(*scenario.registry);
+    ASSERT_TRUE(backend.Start().ok());
+    Result<std::shared_ptr<ServiceRegistry>> remote = MakeRemoteRegistry(
+        *scenario.registry, "127.0.0.1", backend.port());
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    QueryServer server(remote.value(), ByteExactOptions());
+    LoadReport report = DriveLoad(&server, schedule, profile);
+    ExpectSameBodies(OracleBodies(report), oracle, tag + "/backend");
+    backend.Stop();
+  }
+
+  // Leg 3: both hops — the full daemon topology.
+  {
+    BackendServer backend;
+    backend.ExposeRegistry(*scenario.registry);
+    ASSERT_TRUE(backend.Start().ok());
+    Result<std::shared_ptr<ServiceRegistry>> remote = MakeRemoteRegistry(
+        *scenario.registry, "127.0.0.1", backend.port());
+    ASSERT_TRUE(remote.ok());
+    QueryServer server(remote.value(), ByteExactOptions());
+    NetServer net(&server);
+    ASSERT_TRUE(net.Start().ok());
+    WireLoadReport report =
+        DriveLoadOverWire("127.0.0.1", net.port(), schedule, profile);
+    ExpectSameBodies(report.bodies, oracle, tag + "/both");
+    net.Stop();
+    backend.Stop();
+  }
+}
+
+TEST(NetEquivalenceTest, MovieScenarioMaterialized) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  RunMatrix(scenario.value(), /*streaming=*/false, "movie/materialized");
+}
+
+TEST(NetEquivalenceTest, MovieScenarioStreaming) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  RunMatrix(scenario.value(), /*streaming=*/true, "movie/streaming");
+}
+
+TEST(NetEquivalenceTest, ConferenceScenarioBothHops) {
+  Result<Scenario> scenario = MakeConferenceScenario();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  RunMatrix(scenario.value(), /*streaming=*/false, "conference");
+}
+
+TEST(NetEquivalenceTest, DoctorScenarioBothHops) {
+  Result<Scenario> scenario = MakeDoctorScenario();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  RunMatrix(scenario.value(), /*streaming=*/true, "doctor");
+}
+
+/// Builds a twin of `local` in which `faulty_name`'s handler is wrapped in
+/// a `FaultInjectingHandler` — the in-process reference for the faulty leg.
+std::shared_ptr<ServiceRegistry> WrapWithFaults(
+    const ServiceRegistry& local, const std::string& faulty_name,
+    const FaultProfile& profile) {
+  auto twin = std::make_shared<ServiceRegistry>();
+  for (const std::string& name : local.mart_names()) {
+    EXPECT_TRUE(twin->RegisterMart(local.FindMart(name).value()).ok());
+  }
+  for (const std::string& name : local.interface_names()) {
+    auto iface = local.FindInterface(name).value();
+    std::shared_ptr<ServiceCallHandler> handler = iface->handler_ptr();
+    if (name == faulty_name) {
+      handler = std::make_shared<FaultInjectingHandler>(handler, profile);
+    }
+    auto copy = std::make_shared<ServiceInterface>(
+        iface->name(), iface->schema_ptr(), iface->pattern(), iface->kind(),
+        iface->stats(), std::move(handler));
+    EXPECT_TRUE(
+        twin->RegisterInterface(copy, local.MartOfInterface(name)).ok());
+  }
+  for (const std::string& name : local.pattern_names()) {
+    EXPECT_TRUE(
+        twin->RegisterConnectionPattern(local.FindConnectionPattern(name).value())
+            .ok());
+  }
+  return twin;
+}
+
+TEST(NetEquivalenceTest, FaultyBackendWithRetriesStaysByteIdentical) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+
+  // 30% of Theatre11's logical requests fail their first attempt; one
+  // retry always recovers them. The FaultModel keys on (identity, attempt),
+  // so the recovered answers — and their reliability telemetry — are
+  // deterministic on both sides of the wire.
+  FaultProfile flaky;
+  flaky.transient_rate = 0.3;
+  flaky.transient_attempts = 1;
+  flaky.seed = 11;
+  std::shared_ptr<ServiceRegistry> faulty =
+      WrapWithFaults(*scenario.value().registry, "Theatre11", flaky);
+
+  ServerOptions options = ByteExactOptions();
+  options.reliability.retry.max_retries = 2;
+
+  LoadProfile profile = SerialProfile(/*streaming=*/false);
+  LoadGenerator generator(profile, scenario.value().query_text,
+                          scenario.value().inputs);
+  std::vector<LoadItem> schedule = generator.Schedule();
+
+  std::vector<std::string> oracle;
+  {
+    QueryServer server(faulty, options);
+    LoadReport report = DriveLoad(&server, schedule, profile);
+    for (const QueryResponse& r : report.responses) {
+      ASSERT_NE(r.outcome, ServedOutcome::kFailed) << r.status.ToString();
+    }
+    oracle = OracleBodies(report);
+    // The faults actually happened: at least one response paid overhead.
+    bool any_retries = false;
+    for (const QueryResponse& r : report.responses) {
+      if (r.execution.reliability.retries > 0) any_retries = true;
+    }
+    EXPECT_TRUE(any_retries);
+  }
+
+  // Full daemon topology over the *same* faulty substrate: the
+  // FaultModel's failures now cross the wire before the reliability layer
+  // sees them, and the recovered answers must not move by one byte.
+  BackendServer backend;
+  backend.ExposeRegistry(*faulty);
+  ASSERT_TRUE(backend.Start().ok());
+  Result<std::shared_ptr<ServiceRegistry>> remote =
+      MakeRemoteRegistry(*faulty, "127.0.0.1", backend.port());
+  ASSERT_TRUE(remote.ok());
+  QueryServer server(remote.value(), options);
+  NetServer net(&server);
+  ASSERT_TRUE(net.Start().ok());
+  WireLoadReport report =
+      DriveLoadOverWire("127.0.0.1", net.port(), schedule, profile);
+  ExpectSameBodies(report.bodies, oracle, "movie/faulty-both");
+  net.Stop();
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,277 @@
+// The drop-in-backend claim (docs/NETWORK.md): a `RemoteServiceHandler`
+// calling a `BackendServer` over loopback is indistinguishable from the
+// in-process handler it fronts — responses are bit-identical, handler
+// errors round-trip code + message verbatim, socket failures map onto the
+// structured fault statuses the reliability layer retries on, and the usual
+// CachingHandler / ResilientHandler decorators compose over it unchanged.
+
+#include "net/remote_handler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "exec/resumable.h"
+#include "net/backend_server.h"
+#include "net/socket.h"
+#include "reliability/resilient_handler.h"
+#include "sim/fault_model.h"
+#include "sim/fixtures.h"
+
+namespace seco {
+namespace {
+
+// SX/SY take no inputs, so handcrafted ServiceRequests are valid.
+SyntheticPair MakePair() {
+  Result<SyntheticPair> pair = MakeSyntheticPair();
+  EXPECT_TRUE(pair.ok()) << pair.status().ToString();
+  return pair.value();
+}
+
+void ExpectSameResponse(const ServiceResponse& got,
+                        const ServiceResponse& want) {
+  ASSERT_EQ(got.tuples.size(), want.tuples.size());
+  for (size_t i = 0; i < got.tuples.size(); ++i) {
+    EXPECT_TRUE(got.tuples[i] == want.tuples[i]) << "tuple " << i;
+  }
+  EXPECT_EQ(got.scores, want.scores);
+  EXPECT_EQ(got.exhausted, want.exhausted);
+  EXPECT_EQ(got.latency_ms, want.latency_ms);  // bit-exact over the wire
+  EXPECT_EQ(got.fault_overhead_ms, want.fault_overhead_ms);
+}
+
+TEST(RemoteHandlerTest, RemoteCallsAreBitIdenticalToInProcessCalls) {
+  SyntheticPair pair = MakePair();
+  BackendServer server;
+  server.RegisterHandler("SX", pair.x.backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client =
+      std::make_shared<RemoteBackendClient>("127.0.0.1", server.port());
+  RemoteServiceHandler remote(client, "SX");
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    ServiceRequest request;
+    request.chunk_index = chunk;
+    Result<ServiceResponse> over_wire = remote.Call(request);
+    Result<ServiceResponse> direct = pair.x.backend->Call(request);
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    ASSERT_TRUE(direct.ok());
+    ExpectSameResponse(over_wire.value(), direct.value());
+  }
+  EXPECT_EQ(server.calls_served(), 4);
+  // Sequential calls reuse the pooled connection instead of redialing.
+  EXPECT_EQ(client->connections_opened(), 1);
+  server.Stop();
+}
+
+TEST(RemoteHandlerTest, HandlerFaultStatusRoundTripsVerbatim) {
+  SyntheticPair pair = MakePair();
+  FaultProfile outage;
+  outage.permanent_outage = true;
+  auto faulty =
+      std::make_shared<FaultInjectingHandler>(pair.x.backend, outage);
+
+  BackendServer server;
+  server.RegisterHandler("SX", faulty);
+  ASSERT_TRUE(server.Start().ok());
+
+  ServiceRequest request;
+  Result<ServiceResponse> direct = faulty->Call(request);
+  ASSERT_FALSE(direct.ok());
+
+  RemoteBackendClient client("127.0.0.1", server.port());
+  Result<ServiceResponse> over_wire = client.Call("SX", request);
+  ASSERT_FALSE(over_wire.ok());
+  // The exact status the FaultModel emitted, code and message.
+  EXPECT_EQ(over_wire.status().code(), direct.status().code());
+  EXPECT_EQ(over_wire.status().message(), direct.status().message());
+  server.Stop();
+}
+
+TEST(RemoteHandlerTest, UnknownInterfaceIsACleanNotFound) {
+  BackendServer server;
+  ASSERT_TRUE(server.Start().ok());
+  RemoteBackendClient client("127.0.0.1", server.port());
+  Result<ServiceResponse> result = client.Call("Nope", ServiceRequest{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // A protocol-level failure keeps the connection: the next call against a
+  // registered name would reuse it rather than redial.
+  Result<ServiceResponse> again = client.Call("Nope", ServiceRequest{});
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(client.connections_opened(), 1);
+  server.Stop();
+}
+
+// --- Socket fault mapping (satellite): refused / reset / timeout surface
+// --- as the same structured statuses `FaultModel` emits, so the
+// --- reliability layer retries and breaks on them identically.
+
+TEST(RemoteHandlerTest, ConnectionRefusedMapsToUnavailable) {
+  // Grab an ephemeral port, then free it: dialing it is refused.
+  uint16_t dead_port;
+  {
+    Listener probe;
+    ASSERT_TRUE(probe.Listen(0).ok());
+    dead_port = probe.port();
+    probe.Close();
+  }
+  RemoteBackendClient client("127.0.0.1", dead_port);
+  Result<ServiceResponse> result = client.Call("SX", ServiceRequest{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RemoteHandlerTest, ConnectionClosedMidCallMapsToUnavailable) {
+  // A raw acceptor that completes the handshake, then slams the connection
+  // shut on the first call.
+  Listener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  std::thread rogue([&] {
+    Result<Socket> conn = listener.Accept();
+    if (!conn.ok()) return;
+    FrameDecoder decoder;
+    Result<Frame> hello = RecvFrame(&conn.value(), &decoder);
+    if (!hello.ok()) return;
+    WireWriter ack;
+    ack.U16(kWireVersion);
+    (void)SendFrame(&conn.value(), FrameType::kHelloAck, ack.Take());
+    (void)RecvFrame(&conn.value(), &decoder);  // the call
+    conn.value().Close();                      // ... and no reply
+  });
+  RemoteBackendClient client("127.0.0.1", listener.port());
+  Result<ServiceResponse> result = client.Call("SX", ServiceRequest{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  rogue.join();
+  listener.Close();
+}
+
+TEST(RemoteHandlerTest, BackendTimeoutMapsToDeadlineExceeded) {
+  // Handshakes fine, then sits on the call forever; the client's receive
+  // timeout must convert the silence into kDeadlineExceeded.
+  Listener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  std::atomic<bool> release{false};
+  std::thread slow([&] {
+    Result<Socket> conn = listener.Accept();
+    if (!conn.ok()) return;
+    FrameDecoder decoder;
+    Result<Frame> hello = RecvFrame(&conn.value(), &decoder);
+    if (!hello.ok()) return;
+    WireWriter ack;
+    ack.U16(kWireVersion);
+    (void)SendFrame(&conn.value(), FrameType::kHelloAck, ack.Take());
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  RemoteBackendOptions options;
+  options.timeout_ms = 100;
+  RemoteBackendClient client("127.0.0.1", listener.port(), options);
+  Result<ServiceResponse> result = client.Call("SX", ServiceRequest{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  release.store(true);
+  slow.join();
+  listener.Close();
+}
+
+// --- Decorator composition: the remote handler slots under the same
+// --- reliability / caching wrappers as any in-process handler.
+
+TEST(RemoteHandlerTest, ResilientHandlerRetriesTransientBackendFaults) {
+  SyntheticPair pair = MakePair();
+  FaultProfile transient;
+  transient.transient_rate = 1.0;  // every request fails...
+  transient.transient_attempts = 2;  // ...its first two attempts
+  auto flaky =
+      std::make_shared<FaultInjectingHandler>(pair.x.backend, transient);
+
+  BackendServer server;
+  server.RegisterHandler("SX", flaky);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client =
+      std::make_shared<RemoteBackendClient>("127.0.0.1", server.port());
+  ReliabilityContext context;
+  context.policy.retry.max_retries = 3;
+  ResilientHandler resilient(
+      std::make_shared<RemoteServiceHandler>(client, "SX"), "SX", context);
+
+  ServiceRequest request;
+  Result<ServiceResponse> recovered = resilient.Call(request);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // The recovered value matches the clean in-process service; the retries
+  // only show up as fault overhead.
+  Result<ServiceResponse> clean = pair.x.backend->Call(request);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_EQ(recovered.value().tuples.size(), clean.value().tuples.size());
+  EXPECT_EQ(recovered.value().scores, clean.value().scores);
+  EXPECT_EQ(recovered.value().latency_ms, clean.value().latency_ms);
+  EXPECT_GT(recovered.value().fault_overhead_ms, 0.0);
+  server.Stop();
+}
+
+TEST(RemoteHandlerTest, CachingHandlerAbsorbsRepeatedRemoteCalls) {
+  SyntheticPair pair = MakePair();
+  BackendServer server;
+  server.RegisterHandler("SX", pair.x.backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client =
+      std::make_shared<RemoteBackendClient>("127.0.0.1", server.port());
+  CachingHandler caching(std::make_shared<RemoteServiceHandler>(client, "SX"),
+                         "SX");
+  ServiceRequest request;
+  Result<ServiceResponse> first = caching.Call(request);
+  Result<ServiceResponse> second = caching.Call(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.value().tuples.size(), first.value().tuples.size());
+  for (size_t i = 0; i < second.value().tuples.size(); ++i) {
+    EXPECT_TRUE(second.value().tuples[i] == first.value().tuples[i]);
+  }
+  EXPECT_EQ(second.value().scores, first.value().scores);
+  EXPECT_EQ(second.value().exhausted, first.value().exhausted);
+  EXPECT_EQ(second.value().latency_ms, 0.0);  // cache hits are free
+  EXPECT_EQ(caching.novel_calls(), 1);
+  EXPECT_EQ(caching.cache_hits(), 1);
+  EXPECT_EQ(server.calls_served(), 1);  // the wire never saw the repeat
+  server.Stop();
+}
+
+TEST(RemoteHandlerTest, MakeRemoteRegistryTwinsEveryInterface) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  BackendServer server;
+  server.ExposeRegistry(*scenario.value().registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<std::shared_ptr<ServiceRegistry>> remote = MakeRemoteRegistry(
+      *scenario.value().registry, "127.0.0.1", server.port());
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(remote.value()->interface_names(),
+            scenario.value().registry->interface_names());
+  EXPECT_EQ(remote.value()->mart_names(),
+            scenario.value().registry->mart_names());
+
+  // The twins share schema and access pattern with the originals — only
+  // the handler moved across the wire.
+  for (const std::string& name : remote.value()->interface_names()) {
+    auto local_iface = scenario.value().registry->FindInterface(name);
+    auto remote_iface = remote.value()->FindInterface(name);
+    ASSERT_TRUE(local_iface.ok());
+    ASSERT_TRUE(remote_iface.ok());
+    EXPECT_EQ(remote_iface.value()->schema_ptr(),
+              local_iface.value()->schema_ptr());
+    EXPECT_EQ(remote_iface.value()->pattern().num_inputs(),
+              local_iface.value()->pattern().num_inputs());
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace seco
