@@ -1,6 +1,5 @@
 #include "net/backend_server.h"
 
-#include <sys/socket.h>
 
 namespace seco {
 
@@ -29,53 +28,27 @@ Status BackendServer::Start(uint16_t port) {
 void BackendServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   listener_.Close();  // fails the blocked Accept in the acceptor thread
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // unblocks connection recvs
-    }
-  }
+  conns_.ShutdownAll();  // unblocks connection recvs and blocked sends
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.clear();
-  }
+  conns_.JoinAll();
 }
 
 void BackendServer::AcceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
     Result<Socket> conn = listener_.Accept();
     if (!conn.ok()) break;  // listener closed by Stop (or fatal error)
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (!running_.load(std::memory_order_acquire)) break;
-    Socket socket = std::move(conn.value());
-    conn_fds_.push_back(socket.fd());
-    size_t slot = conn_fds_.size() - 1;
-    conn_threads_.emplace_back(
-        [this, slot](Socket s) {
-          ServeConnection(std::move(s));
-          std::lock_guard<std::mutex> lock(conn_mu_);
-          conn_fds_[slot] = -1;
-        },
-        std::move(socket));
+    conns_.Launch(std::move(conn.value()),
+                  [this](Socket* socket) { ServeConnection(socket); });
   }
 }
 
-void BackendServer::ServeConnection(Socket conn) {
+void BackendServer::ServeConnection(Socket* conn) {
   FrameDecoder decoder;
 
   // Hello handshake: magic + version + role must match before any call is
   // served, so a query client that dials the backend port fails loudly.
   {
-    Result<Frame> hello = RecvFrame(&conn, &decoder);
+    Result<Frame> hello = RecvFrame(conn, &decoder);
     if (!hello.ok() || hello.value().type != FrameType::kHello) return;
     WireReader r(hello.value().payload);
     auto magic = r.U32();
@@ -93,25 +66,25 @@ void BackendServer::ServeConnection(Socket conn) {
     if (!problem.empty()) {
       WireWriter w;
       EncodeStatus(Status::InvalidArgument("backend: " + problem), &w);
-      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      (void)SendFrame(conn, FrameType::kError, w.Take());
       return;
     }
     WireWriter ack;
     ack.U16(kWireVersion);
-    if (!SendFrame(&conn, FrameType::kHelloAck, ack.Take()).ok()) return;
+    if (!SendFrame(conn, FrameType::kHelloAck, ack.Take()).ok()) return;
   }
 
   while (running_.load(std::memory_order_acquire)) {
-    Result<Frame> frame = RecvFrame(&conn, &decoder);
+    Result<Frame> frame = RecvFrame(conn, &decoder);
     if (!frame.ok()) return;  // peer closed / reset / framing error
     switch (frame.value().type) {
       case FrameType::kCall: {
         std::string reply = HandleCall(frame.value().payload);
-        if (!SendFrame(&conn, FrameType::kCallReply, reply).ok()) return;
+        if (!SendFrame(conn, FrameType::kCallReply, reply).ok()) return;
         break;
       }
       case FrameType::kPing: {
-        if (!SendFrame(&conn, FrameType::kPong, frame.value().payload).ok()) {
+        if (!SendFrame(conn, FrameType::kPong, frame.value().payload).ok()) {
           return;
         }
         break;
@@ -124,7 +97,7 @@ void BackendServer::ServeConnection(Socket conn) {
                          "backend: unexpected frame type " +
                          std::to_string(static_cast<int>(frame.value().type))),
                      &w);
-        (void)SendFrame(&conn, FrameType::kError, w.Take());
+        (void)SendFrame(conn, FrameType::kError, w.Take());
         return;
       }
     }

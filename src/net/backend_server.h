@@ -5,12 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "common/result.h"
+#include "net/conn_registry.h"
 #include "net/socket.h"
 #include "service/invocation.h"
 #include "service/registry.h"
@@ -60,7 +59,7 @@ class BackendServer {
 
  private:
   void AcceptLoop();
-  void ServeConnection(Socket conn);
+  void ServeConnection(Socket* conn);
   /// Handles one kCall frame; returns the kCallReply payload.
   std::string HandleCall(const std::string& payload);
 
@@ -70,11 +69,7 @@ class BackendServer {
   std::atomic<bool> running_{false};
   std::atomic<int64_t> calls_served_{0};
 
-  std::mutex conn_mu_;
-  /// Live connection fds, for shutdown-on-Stop; -1 once a slot's thread
-  /// exits.
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  ConnectionRegistry conns_;
 };
 
 }  // namespace seco

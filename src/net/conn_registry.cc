@@ -1,0 +1,70 @@
+#include "net/conn_registry.h"
+
+#include <sys/socket.h>
+#include <utility>
+
+namespace seco {
+
+bool ConnectionRegistry::Launch(Socket socket,
+                                std::function<void(Socket*)> serve) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return false;  // racing a Stop: drop the connection
+  ReapLocked();
+  slots_.push_back(std::make_unique<Slot>());
+  Slot* slot = slots_.back().get();
+  slot->fd = socket.fd();
+  slot->thread = std::thread(
+      [this, slot, serve = std::move(serve)](Socket conn) {
+        serve(&conn);
+        {
+          // Unregister the fd *before* the socket closes: once close()
+          // runs, the kernel may hand the same number to a new descriptor,
+          // and a concurrent ShutdownAll must not shut that one down.
+          std::lock_guard<std::mutex> lock(mu_);
+          slot->fd = -1;
+        }
+        conn.Close();
+        std::lock_guard<std::mutex> lock(mu_);
+        slot->done = true;
+      },
+      std::move(socket));
+  return true;
+}
+
+void ConnectionRegistry::ShutdownAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    if (slot->fd >= 0) ::shutdown(slot->fd, SHUT_RDWR);
+  }
+}
+
+void ConnectionRegistry::JoinAll() {
+  std::vector<std::unique_ptr<Slot>> slots;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots.swap(slots_);
+  }
+  // The threads still lock mu_ to clear fd/done on their (heap) slots,
+  // which outlive the swap; join without holding it.
+  for (const std::unique_ptr<Slot>& slot : slots) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = false;
+}
+
+void ConnectionRegistry::ReapLocked() {
+  for (size_t i = 0; i < slots_.size();) {
+    if (slots_[i]->done) {
+      // done is set by the thread's last statement; the join completes as
+      // soon as it returns, so holding mu_ here cannot deadlock.
+      if (slots_[i]->thread.joinable()) slots_[i]->thread.join();
+      slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace seco

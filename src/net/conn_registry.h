@@ -1,0 +1,65 @@
+#ifndef SECO_NET_CONN_REGISTRY_H_
+#define SECO_NET_CONN_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace seco {
+
+/// Tracks the live connections of a one-thread-per-connection server
+/// (`NetServer`, `BackendServer`): spawns each serving thread, keeps the
+/// connection fd so `ShutdownAll` can force blocked reads *and writes* to
+/// fail, and reaps finished threads opportunistically on every `Launch` so
+/// a long-lived server accepting many short connections does not
+/// accumulate one thread handle per connection ever served.
+///
+/// Lifecycle guarantees:
+///  - A slot's fd is cleared (under the lock) *before* the socket is
+///    closed, so a concurrent `ShutdownAll` can never act on a recycled
+///    descriptor number.
+///  - After `ShutdownAll`, `Launch` refuses (drops the socket) until
+///    `JoinAll` completes, closing the accept/stop race.
+class ConnectionRegistry {
+ public:
+  ConnectionRegistry() = default;
+  ConnectionRegistry(const ConnectionRegistry&) = delete;
+  ConnectionRegistry& operator=(const ConnectionRegistry&) = delete;
+
+  /// Spawns a thread running `serve(&socket)` and registers it. Returns
+  /// false (destroying the socket, serving nothing) once `ShutdownAll` has
+  /// been called.
+  bool Launch(Socket socket, std::function<void(Socket*)> serve);
+
+  /// `shutdown(SHUT_RDWR)` on every live connection: unblocks reader
+  /// threads stuck in recv *and* writer threads stuck in send against a
+  /// peer that stopped reading. New `Launch` calls are refused from here
+  /// until `JoinAll`.
+  void ShutdownAll();
+
+  /// Joins every remaining connection thread and clears the registry,
+  /// re-enabling `Launch` (for servers restarted after `Stop`).
+  void JoinAll();
+
+ private:
+  struct Slot {
+    int fd = -1;       ///< live fd; -1 once the serving thread is past IO
+    std::thread thread;
+    bool done = false; ///< set last, after the socket is closed
+  };
+
+  /// Joins and erases every finished slot. Caller holds `mu_`.
+  void ReapLocked();
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  bool closed_ = false;
+};
+
+}  // namespace seco
+
+#endif  // SECO_NET_CONN_REGISTRY_H_

@@ -3,7 +3,6 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
-#include <sys/socket.h>
 #include <utility>
 
 namespace seco {
@@ -32,25 +31,12 @@ void NetServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   BeginDrain();
   listener_.Close();
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RD);  // readers see EOF, stop pulling
-    }
-  }
+  // SHUT_RDWR: readers see EOF and stop pulling, and a writer blocked in
+  // send() against a client that stopped reading fails instead of wedging
+  // the join below.
+  conns_.ShutdownAll();
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.clear();
-  }
+  conns_.JoinAll();
   server_->Drain();
 }
 
@@ -59,30 +45,41 @@ void NetServer::AcceptLoop() {
     Result<Socket> conn = listener_.Accept();
     if (!conn.ok()) break;
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (!running_.load(std::memory_order_acquire)) break;
-    Socket socket = std::move(conn.value());
-    conn_fds_.push_back(socket.fd());
-    size_t slot = conn_fds_.size() - 1;
-    conn_threads_.emplace_back(
-        [this, slot](Socket s) {
-          ServeConnection(std::move(s));
-          std::lock_guard<std::mutex> lock(conn_mu_);
-          conn_fds_[slot] = -1;
-        },
-        std::move(socket));
+    conns_.Launch(std::move(conn.value()),
+                  [this](Socket* socket) { ServeConnection(socket); });
   }
 }
 
 namespace {
 
-/// One pipelined response waiting to be written back.
+/// One pipelined item waiting to be written back: a query response, or a
+/// control frame (pong, protocol error) the reader wants forwarded. Control
+/// frames ride the same FIFO so the writer thread is the ONLY thread that
+/// ever touches the socket after the handshake — a pong sent directly from
+/// the reader could land between a result header and its body chunks and
+/// corrupt the stream for pipelined clients.
 struct PendingReply {
+  enum class Kind { kQuery, kControlFrame };
+  Kind kind = Kind::kQuery;
+
+  // kQuery:
   uint64_t request_id = 0;
   std::future<QueryResponse> future;
   /// Set instead of `future` when the request failed before submission
   /// (malformed payload): the error travels as a kFailed response.
   std::optional<QueryResponse> immediate;
+
+  // kControlFrame:
+  FrameType frame_type = FrameType::kPong;
+  std::string frame_payload;
+
+  static PendingReply ControlFrame(FrameType type, std::string payload) {
+    PendingReply reply;
+    reply.kind = Kind::kControlFrame;
+    reply.frame_type = type;
+    reply.frame_payload = std::move(payload);
+    return reply;
+  }
 };
 
 /// FIFO of in-flight responses shared between a connection's reader (the
@@ -127,12 +124,13 @@ class ReplyQueue {
 
 }  // namespace
 
-void NetServer::ServeConnection(Socket conn) {
+void NetServer::ServeConnection(Socket* conn) {
   FrameDecoder decoder;
 
-  // Hello handshake.
+  // Hello handshake. (Single-threaded until the writer spawns below, so
+  // these direct sends cannot interleave with anything.)
   {
-    Result<Frame> hello = RecvFrame(&conn, &decoder, options_.idle_timeout_ms);
+    Result<Frame> hello = RecvFrame(conn, &decoder, options_.idle_timeout_ms);
     if (!hello.ok() || hello.value().type != FrameType::kHello) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -160,29 +158,38 @@ void NetServer::ServeConnection(Socket conn) {
                                     std::to_string(retry_after) + " ms"),
                    &w);
       w.F64(retry_after);
-      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      (void)SendFrame(conn, FrameType::kError, w.Take());
       return;
     }
     if (!problem.ok()) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       WireWriter w;
       EncodeStatus(problem, &w);
-      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      (void)SendFrame(conn, FrameType::kError, w.Take());
       return;
     }
     WireWriter ack;
     ack.U16(kWireVersion);
-    if (!SendFrame(&conn, FrameType::kHelloAck, ack.Take()).ok()) return;
+    if (!SendFrame(conn, FrameType::kHelloAck, ack.Take()).ok()) return;
   }
 
   ReplyQueue replies(static_cast<size_t>(
       options_.pipeline_depth > 0 ? options_.pipeline_depth : 1));
 
-  // Writer: pops responses FIFO (request order) and frames them out.
-  // Waiting on the head future blocks only this connection's writes.
-  std::thread writer([this, &conn, &replies] {
+  // Writer: pops replies FIFO (request order) and frames them out. From
+  // here on it is the only thread writing to the socket; the reader routes
+  // pongs and protocol errors through the queue rather than sending them
+  // itself, so frames can never interleave mid-response. Waiting on the
+  // head future blocks only this connection's writes.
+  std::thread writer([this, conn, &replies] {
     PendingReply reply;
     while (replies.Pop(&reply)) {
+      if (reply.kind == PendingReply::Kind::kControlFrame) {
+        if (!SendFrame(conn, reply.frame_type, reply.frame_payload).ok()) {
+          break;
+        }
+        continue;
+      }
       QueryResponse response = reply.immediate.has_value()
                                    ? std::move(*reply.immediate)
                                    : reply.future.get();
@@ -197,7 +204,7 @@ void NetServer::ServeConnection(Socket conn) {
       header.U8(static_cast<uint8_t>(wire_status));
       header.F64(response.retry_after_ms);
       header.U32(static_cast<uint32_t>(body.size()));
-      if (!SendFrame(&conn, FrameType::kResultHeader, header.Take()).ok()) {
+      if (!SendFrame(conn, FrameType::kResultHeader, header.Take()).ok()) {
         break;
       }
       bool write_failed = false;
@@ -207,7 +214,7 @@ void NetServer::ServeConnection(Socket conn) {
         chunk.U64(reply.request_id);
         chunk.Bytes(body.data() + offset,
                     std::min<size_t>(kBodyChunkBytes, body.size() - offset));
-        if (!SendFrame(&conn, FrameType::kResultBody, chunk.Take()).ok()) {
+        if (!SendFrame(conn, FrameType::kResultBody, chunk.Take()).ok()) {
           write_failed = true;
           break;
         }
@@ -215,34 +222,40 @@ void NetServer::ServeConnection(Socket conn) {
       if (write_failed) break;
       WireWriter end;
       end.U64(reply.request_id);
-      if (!SendFrame(&conn, FrameType::kResultEnd, end.Take()).ok()) break;
+      if (!SendFrame(conn, FrameType::kResultEnd, end.Take()).ok()) break;
       queries_served_.fetch_add(1, std::memory_order_relaxed);
     }
     // Keep draining futures even if the socket died: every accepted
     // submission must be consumed so Stop()'s Drain() cannot wedge.
     while (replies.Pop(&reply)) {
-      if (!reply.immediate.has_value()) (void)reply.future.get();
+      if (reply.kind == PendingReply::Kind::kQuery &&
+          !reply.immediate.has_value()) {
+        (void)reply.future.get();
+      }
     }
   });
 
   // Reader: pulls frames, submits queries, enqueues their futures.
   while (true) {
-    Result<Frame> frame = RecvFrame(&conn, &decoder, options_.idle_timeout_ms);
+    Result<Frame> frame = RecvFrame(conn, &decoder, options_.idle_timeout_ms);
     if (!frame.ok()) {
       if (decoder.poisoned()) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         WireWriter w;
         EncodeStatus(frame.status(), &w);
-        (void)SendFrame(&conn, FrameType::kError, w.Take());
+        replies.Push(
+            PendingReply::ControlFrame(FrameType::kError, w.Take()));
       }
       break;
     }
     if (frame.value().type == FrameType::kGoodbye) break;
     if (frame.value().type == FrameType::kPing) {
-      // Pong jumps the pipeline: it is a liveness probe, not a response.
-      if (!SendFrame(&conn, FrameType::kPong, frame.value().payload).ok()) {
-        break;
-      }
+      // The pong rides the reply FIFO behind any queued responses: a
+      // liveness probe answered out-of-band could land inside another
+      // response's chunk sequence. (It also gives pipelined clients a
+      // clean barrier: submit N, receive N, ping.)
+      replies.Push(PendingReply::ControlFrame(FrameType::kPong,
+                                              frame.value().payload));
       continue;
     }
     if (frame.value().type != FrameType::kQuery) {
@@ -253,7 +266,7 @@ void NetServer::ServeConnection(Socket conn) {
               "front end: unexpected frame type " +
               std::to_string(static_cast<int>(frame.value().type))),
           &w);
-      (void)SendFrame(&conn, FrameType::kError, w.Take());
+      replies.Push(PendingReply::ControlFrame(FrameType::kError, w.Take()));
       break;
     }
 

@@ -3,11 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
-#include <vector>
 
 #include "common/result.h"
+#include "net/conn_registry.h"
 #include "net/socket.h"
 #include "server/server.h"
 
@@ -55,9 +54,10 @@ class NetServer {
   /// their queued queries resolve, later ones come back `kDraining`.
   void BeginDrain();
 
-  /// Full stop: `BeginDrain`, close the listener, shut down every
-  /// connection's read side, join all threads, and drain the
-  /// `QueryServer`. Idempotent.
+  /// Full stop: `BeginDrain`, close the listener, shut down both sides of
+  /// every connection (a writer blocked in `send` against a stalled client
+  /// must fail too), join all threads, and drain the `QueryServer`.
+  /// Idempotent.
   void Stop();
 
   uint16_t port() const { return listener_.port(); }
@@ -78,7 +78,7 @@ class NetServer {
 
  private:
   void AcceptLoop();
-  void ServeConnection(Socket conn);
+  void ServeConnection(Socket* conn);
 
   QueryServer* const server_;
   const NetServerOptions options_;
@@ -90,9 +90,7 @@ class NetServer {
   std::atomic<int64_t> queries_served_{0};
   std::atomic<int64_t> protocol_errors_{0};
 
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;  ///< -1 once the owning thread exited
-  std::vector<std::thread> conn_threads_;
+  ConnectionRegistry conns_;
 };
 
 }  // namespace seco

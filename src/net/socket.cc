@@ -131,10 +131,12 @@ Result<Socket> Listener::Accept() {
 }
 
 void Listener::Close() {
-  // shutdown() first so a concurrent blocked accept() returns instead of
-  // racing the close of a descriptor another thread still polls.
+  // shutdown() only — it fails a concurrent blocked accept() without
+  // writing the fd member an acceptor thread is still reading (close()
+  // here would race that read, and could recycle the descriptor number
+  // under it). The descriptor itself is released when the Listener is
+  // destroyed or rebound by the next Listen().
   if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
-  socket_.Close();
 }
 
 Result<Socket> ConnectTcp(const std::string& host, uint16_t port,

@@ -77,7 +77,9 @@ class Listener {
   /// called from another thread.
   Result<Socket> Accept();
 
-  /// Closes the listening socket, failing any blocked `Accept`.
+  /// Shuts the listening socket down, failing any blocked `Accept` (from
+  /// any thread). The descriptor is released on destruction or the next
+  /// `Listen`, once the acceptor thread is known to be done with it.
   void Close();
 
   bool valid() const { return socket_.valid(); }

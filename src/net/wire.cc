@@ -196,27 +196,27 @@ Status FrameDecoder::Feed(const char* data, size_t size) {
   if (poisoned_) {
     return Status::InvalidArgument("wire: decoder poisoned by earlier error");
   }
-  for (size_t i = 0; i < size; ++i) {
-    buffer_.push_back(data[i]);
-    // Validate the header the instant its 5th byte lands: an oversized
-    // length prefix or unknown type must be rejected before any payload is
-    // accepted, let alone a buffer sized to it.
-    if (buffer_.size() - consumed_ == 5) {
-      const char* header = buffer_.data() + consumed_;
-      uint32_t len = static_cast<uint32_t>(GetLE(header, 4));
-      uint8_t type = static_cast<uint8_t>(header[4]);
-      if (len > kMaxFramePayload) {
-        poisoned_ = true;
-        return Status::InvalidArgument(
-            "wire: frame payload length " + std::to_string(len) +
-            " exceeds the " + std::to_string(kMaxFramePayload) + "-byte cap");
-      }
-      if (!KnownFrameType(type)) {
-        poisoned_ = true;
-        return Status::InvalidArgument("wire: unknown frame type " +
-                                       std::to_string(type));
-      }
+  buffer_.append(data, size);
+  // Walk every header that is now fully buffered, frame to frame: an
+  // oversized length prefix or unknown type must be rejected before any
+  // payload is accepted, no matter how the bytes were fragmented or batched
+  // across recv chunks (a pipelined burst can carry many headers at once).
+  while (scan_ + 5 <= buffer_.size()) {
+    const char* header = buffer_.data() + scan_;
+    uint32_t len = static_cast<uint32_t>(GetLE(header, 4));
+    uint8_t type = static_cast<uint8_t>(header[4]);
+    if (len > kMaxFramePayload) {
+      poisoned_ = true;
+      return Status::InvalidArgument(
+          "wire: frame payload length " + std::to_string(len) +
+          " exceeds the " + std::to_string(kMaxFramePayload) + "-byte cap");
     }
+    if (!KnownFrameType(type)) {
+      poisoned_ = true;
+      return Status::InvalidArgument("wire: unknown frame type " +
+                                     std::to_string(type));
+    }
+    scan_ += 5 + static_cast<size_t>(len);
   }
   return Status::OK();
 }
@@ -227,6 +227,13 @@ bool FrameDecoder::Next(Frame* frame) {
   if (avail < 5) return false;
   const char* header = buffer_.data() + consumed_;
   uint32_t len = static_cast<uint32_t>(GetLE(header, 4));
+  // Belt and braces: Feed validated this header when it was buffered, but a
+  // frame must never pop unchecked.
+  if (len > kMaxFramePayload ||
+      !KnownFrameType(static_cast<uint8_t>(header[4]))) {
+    poisoned_ = true;
+    return false;
+  }
   if (avail < 5 + static_cast<size_t>(len)) return false;
   frame->type = static_cast<FrameType>(static_cast<uint8_t>(header[4]));
   frame->payload.assign(buffer_.data() + consumed_ + 5, len);
@@ -235,6 +242,7 @@ bool FrameDecoder::Next(Frame* frame) {
   // connection does not grow its buffer without bound.
   if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
     buffer_.erase(0, consumed_);
+    scan_ -= consumed_;
     consumed_ = 0;
   }
   return true;

@@ -174,6 +174,10 @@ class FrameDecoder {
  private:
   std::string buffer_;
   size_t consumed_ = 0;
+  /// Offset of the next frame header that has not been validated yet.
+  /// Always >= consumed_: headers are validated the moment they are fully
+  /// buffered, before their payload is complete enough for Next to pop.
+  size_t scan_ = 0;
   bool poisoned_ = false;
 };
 

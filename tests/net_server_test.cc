@@ -225,6 +225,66 @@ TEST(NetServerTest, MalformedQueryPayloadFailsTheRequestNotTheConnection) {
   EXPECT_EQ(h.net->protocol_errors(), 0);
 }
 
+TEST(NetServerTest, PingBehindPipelinedQueriesNeverInterleavesMidResponse) {
+  // Queries and a ping sent in one burst: the ping arrives at the server's
+  // reader while the writer is still streaming result frames. The pong must
+  // ride the reply FIFO — behind the two complete responses — never between
+  // a result header and its body chunks (which would corrupt the stream).
+  Harness h = MakeHarness();
+  FrameDecoder decoder;
+  Socket conn = RawHello(h.net->port(), &decoder);
+
+  std::string burst;
+  for (uint64_t id = 1; id <= 2; ++id) {
+    WireWriter q;
+    q.U64(id);
+    std::string encoded = EncodeQueryRequest(h.Request());
+    q.Bytes(encoded.data(), encoded.size());
+    burst += EncodeFrame(FrameType::kQuery, q.Take());
+  }
+  WireWriter ping;
+  ping.U64(0xFEED);
+  burst += EncodeFrame(FrameType::kPing, ping.Take());
+  ASSERT_TRUE(conn.SendAll(burst).ok());
+
+  for (uint64_t id = 1; id <= 2; ++id) {
+    Result<Frame> header = RecvFrame(&conn, &decoder);
+    ASSERT_TRUE(header.ok()) << header.status().ToString();
+    ASSERT_EQ(header.value().type, FrameType::kResultHeader);
+    EXPECT_EQ(WireReader(header.value().payload).U64().value(), id);
+    // Until kResultEnd, ONLY body chunks for this id may appear.
+    while (true) {
+      Result<Frame> f = RecvFrame(&conn, &decoder);
+      ASSERT_TRUE(f.ok()) << f.status().ToString();
+      if (f.value().type == FrameType::kResultEnd) break;
+      ASSERT_EQ(f.value().type, FrameType::kResultBody);
+      EXPECT_EQ(WireReader(f.value().payload).U64().value(), id);
+    }
+  }
+  Result<Frame> pong = RecvFrame(&conn, &decoder);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong.value().type, FrameType::kPong);
+  EXPECT_EQ(WireReader(pong.value().payload).U64().value(), 0xFEEDu);
+  h.net->Stop();
+  EXPECT_EQ(h.net->queries_served(), 2);
+}
+
+TEST(NetServerTest, ManyShortLivedConnectionsThenCleanStop) {
+  // Connection churn: finished serving threads are reaped as new
+  // connections arrive (rather than accumulating until Stop), and Stop
+  // still joins whatever is live.
+  Harness h = MakeHarness();
+  for (int i = 0; i < 20; ++i) {
+    Result<NetClient> client = NetClient::Connect("127.0.0.1", h.net->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client.value().Ping(static_cast<uint64_t>(i)).ok());
+    client.value().Goodbye();
+  }
+  h.net->Stop();
+  EXPECT_EQ(h.net->connections_accepted(), 20);
+  EXPECT_EQ(h.net->protocol_errors(), 0);
+}
+
 TEST(NetServerTest, GarbageFramingDropsTheConnection) {
   Harness h = MakeHarness();
   FrameDecoder decoder;

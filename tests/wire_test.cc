@@ -407,6 +407,56 @@ TEST(FrameDecoderTest, JustOverTheCapFailsJustUnderPasses) {
   }
 }
 
+TEST(FrameDecoderTest, OversizedHeaderBehindAPipelinedFrameIsRejected) {
+  // A pipelined burst: a valid frame and the next frame's oversized header
+  // arriving in ONE Feed chunk. The second header never lands alone at the
+  // buffer tail, but it must be validated (and rejected) all the same —
+  // otherwise the decoder would buffer everything fed while waiting for a
+  // ~4 GiB payload that never completes.
+  std::string chunk = EncodeFrame(FrameType::kPing, "cookie99");
+  WireWriter bad;
+  bad.U32(0xFFFFFFFF);
+  bad.U8(static_cast<uint8_t>(FrameType::kQuery));
+  chunk += bad.Take();
+
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.Feed(chunk).ok());
+  EXPECT_TRUE(decoder.poisoned());
+  Frame frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+}
+
+TEST(FrameDecoderTest, UnknownTypeBehindAPipelinedFrameIsRejected) {
+  std::string chunk = EncodeFrame(FrameType::kQuery, "q1") +
+                      EncodeFrame(FrameType::kQuery, "q2");
+  WireWriter bad;
+  bad.U32(3);
+  bad.U8(0xEE);  // not a FrameType
+  chunk += bad.Take();
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.Feed(chunk).ok());
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FrameDecoderTest, ManyFramesInOneChunkAllPop) {
+  // The happy-path counterpart: header validation across a batched chunk
+  // must not reject or skip legitimate pipelined frames.
+  std::string chunk;
+  for (int i = 0; i < 10; ++i) {
+    chunk += EncodeFrame(FrameType::kQuery, std::string(i * 17, 'x'));
+  }
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(chunk).ok());
+  Frame frame;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(decoder.Next(&frame)) << i;
+    EXPECT_EQ(frame.type, FrameType::kQuery);
+    EXPECT_EQ(frame.payload.size(), static_cast<size_t>(i * 17));
+  }
+  EXPECT_FALSE(decoder.Next(&frame));
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
 TEST(FrameDecoderTest, GarbageFrameTypeIsRejected) {
   WireWriter w;
   w.U32(3);
