@@ -14,15 +14,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "net/backend_server.h"
+#include "net/chaos.h"
 #include "net/client.h"
 #include "net/net_server.h"
 #include "net/remote_handler.h"
+#include "net/wire.h"
 
 namespace seco {
 namespace {
@@ -141,6 +149,173 @@ BENCHMARK(BM_NetClosedLoop)
     ->Args({8, kInProcess})->Args({8, kFrontEnd})->Args({8, kBothHops})
     ->Unit(benchmark::kMillisecond);
 
+/// Chaos artifact writer: `BENCH_net_chaos.json`, next to the net one, so
+/// the goodput/latency-vs-fault-rate curve is machine-readable in CI.
+bench_util::BenchJsonWriter& ChaosJson() {
+  static bench_util::BenchJsonWriter writer("net_chaos");
+  return writer;
+}
+
+/// All fault classes scaled by one intensity knob, with a fixed seed so
+/// every sweep point replays the identical fault schedule run-to-run. The
+/// window is small enough that faults actually land inside the short
+/// query exchanges (see tests/net_chaos_test.cc for the same tuning).
+ChaosOptions SweepChaos(double intensity) {
+  ChaosOptions chaos;
+  chaos.seed = 1237;
+  chaos.refuse_rate = 0.3 * intensity;
+  chaos.reset_rate = intensity;
+  chaos.corrupt_rate = intensity;
+  chaos.truncate_rate = intensity;
+  chaos.stall_rate = intensity;
+  chaos.blackhole_rate = 0.5 * intensity;
+  chaos.stall_ms = 2.0;
+  chaos.fault_window_bytes = 768;
+  return chaos;
+}
+
+struct ChaosSweepSample {
+  int64_t useful = 0;
+  int64_t total = 0;
+  double wall_ms = 0.0;
+  /// Client-observed per-slot latency (dial + round trip) for slots that
+  /// came back completed or degraded.
+  std::vector<double> latencies_ms;
+};
+
+/// Closed-loop drive like `DriveLoadOverWire`, but measuring what a real
+/// client feels under faults: each worker keeps one call outstanding,
+/// redials when its connection dies, and charges the reconnect to the slot
+/// that needed it. One attempt per slot — a query lost to chaos counts
+/// against `completed_fraction` instead of being retried into invisibility.
+ChaosSweepSample DriveChaosClosedLoop(uint16_t port,
+                                      const std::vector<LoadItem>& schedule,
+                                      int width) {
+  ChaosSweepSample sample;
+  sample.total = static_cast<int64_t>(schedule.size());
+  std::mutex mu;
+  std::atomic<size_t> next{0};
+  std::atomic<int64_t> useful{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(width);
+  for (int w = 0; w < width; ++w) {
+    workers.emplace_back([&] {
+      // Recv timeout bounds the worst chaos outcome (a stalled stream) so
+      // the sweep cannot wedge; chaos-free sweeps never hit it.
+      Result<NetClient> client =
+          NetClient::Connect("127.0.0.1", port, /*timeout_ms=*/2000);
+      std::vector<double> local;
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < schedule.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        auto begin = std::chrono::steady_clock::now();
+        if (!client.ok()) {
+          client = NetClient::Connect("127.0.0.1", port, /*timeout_ms=*/2000);
+        }
+        if (!client.ok()) continue;  // this slot's dial was refused
+        Result<WireResponse> wire = client.value().Roundtrip(
+            static_cast<uint64_t>(i + 1), schedule[i].request);
+        if (!wire.ok()) {
+          client = wire.status();  // poisoned stream: next slot dials fresh
+          continue;
+        }
+        Result<QueryResponse> decoded = DecodeAnswerBody(wire.value().body);
+        if (!decoded.ok()) continue;
+        const ServedOutcome outcome = decoded.value().outcome;
+        if (outcome == ServedOutcome::kCompleted ||
+            outcome == ServedOutcome::kDegraded) {
+          useful.fetch_add(1, std::memory_order_relaxed);
+          local.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count());
+        }
+      }
+      if (client.ok()) client.value().Goodbye();
+      std::lock_guard<std::mutex> lock(mu);
+      sample.latencies_ms.insert(sample.latencies_ms.end(), local.begin(),
+                                 local.end());
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  sample.useful = useful.load(std::memory_order_relaxed);
+  sample.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return sample;
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(values->size() - 1) + 0.5);
+  return (*values)[std::min(idx, values->size() - 1)];
+}
+
+// Goodput and tail latency versus fault intensity: the front end runs under
+// a seeded ChaosStream while reconnecting closed-loop clients replay the
+// standard schedule. The shape to watch: completed_fraction degrades
+// roughly linearly with intensity while p99 grows with the reconnect tax —
+// a cliff in either curve means the serving layer is amplifying faults
+// (wedged connections, poisoned pools) instead of absorbing them.
+void BM_NetChaosSweep(benchmark::State& state) {
+  static const double kIntensities[] = {0.0, 0.05, 0.15, 0.30};
+  const double intensity = kIntensities[state.range(0)];
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.001);
+  }
+  const int width = 4;
+  LoadProfile profile = ClosedLoopProfile(width);
+  LoadGenerator generator(profile, scenario.query_text, scenario.inputs);
+  std::vector<LoadItem> schedule = generator.Schedule();
+
+  int64_t useful = 0, total = 0, faults = 0;
+  double wall_ms_total = 0.0;
+  std::vector<double> latencies;
+  for (auto _ : state) {
+    QueryServer server(scenario.registry, WireServerOptions());
+    NetServerOptions net_options;
+    net_options.chaos = SweepChaos(intensity);
+    net_options.write_timeout_ms = 2000;
+    NetServer net(&server, net_options);
+    bench_util::CheckOk(net.Start(), "net start");
+    ChaosSweepSample sample = DriveChaosClosedLoop(net.port(), schedule, width);
+    net.Stop();
+    useful += sample.useful;
+    total += sample.total;
+    wall_ms_total += sample.wall_ms;
+    faults += static_cast<int64_t>(net.chaos_stats().total_faults());
+    latencies.insert(latencies.end(), sample.latencies_ms.begin(),
+                     sample.latencies_ms.end());
+  }
+
+  const double goodput =
+      wall_ms_total > 0.0 ? 1000.0 * static_cast<double>(useful) / wall_ms_total
+                          : 0.0;
+  const double completed_fraction =
+      total > 0 ? static_cast<double>(useful) / static_cast<double>(total)
+                : 0.0;
+  const double p99 = Percentile(&latencies, 0.99);
+  state.counters["goodput_qps"] = goodput;
+  state.counters["completed_fraction"] = completed_fraction;
+  state.counters["p99_ms"] = p99;
+  state.counters["faults_injected"] = static_cast<double>(faults);
+
+  char config[64];
+  std::snprintf(config, sizeof(config), "fault_rate=%.2f,closed_loop_width=%d",
+                intensity, width);
+  ChaosJson().Record("goodput_qps", config, "qps", goodput);
+  ChaosJson().Record("completed_fraction", config, "fraction",
+                     completed_fraction);
+  ChaosJson().Record("p99_ms", config, "ms", p99);
+  ChaosJson().Record("faults_injected", config, "count",
+                     static_cast<double>(faults));
+}
+BENCHMARK(BM_NetChaosSweep)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
 // Per-call round-trip microbenchmark: a RemoteBackendClient call against a
 // loopback BackendServer vs the direct handler call it fronts. The
 // backends stay in simulated time (no real sleeps), so the difference is
@@ -187,6 +362,7 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   seco::NetJson().Flush();
+  seco::ChaosJson().Flush();
   ::benchmark::Shutdown();
   return 0;
 }

@@ -91,6 +91,31 @@
 //                                   byte-diffable oracle form used by
 //                                   scripts/net_e2e.sh; applies to --serve
 //                                   and --connect runs
+//     --write-timeout=MS            front-end write-progress deadline: a
+//                                   client that stops reading while owed
+//                                   responses is disconnected (slow-loris
+//                                   defense; applies to --listen)
+//
+// Chaos (docs/NETWORK.md, "Failure model & chaos testing"):
+//     --chaos-seed=S                deterministic fault schedule seed
+//     --chaos-refuse=R              connection-refusal rate in [0,1]
+//     --chaos-reset=R               mid-stream RST rate
+//     --chaos-corrupt=R             byte-corruption rate (checksum-caught)
+//     --chaos-truncate=R            mid-frame truncation rate
+//     --chaos-stall=R               one-shot stall rate
+//     --chaos-stall-ms=MS           stall duration (default 25)
+//     --chaos-blackhole=R           read-silence rate
+//     --chaos-window=BYTES          fault offsets land in the first BYTES
+//                                   of each connection (default 8192)
+// Chaos flags apply to whichever network role this process plays: accepted
+// connections for --listen / --serve-backend, dialed connections for
+// --remote-backend. A fired-fault summary prints on shutdown.
+//     --chaos-proxy=PORT            run a chaos TCP proxy on 127.0.0.1:PORT
+//                                   (0 = ephemeral) instead of a query
+//                                   role; forwards bytes verbatim to
+//                                   --upstream while injecting the chaos
+//                                   schedule on the client-facing socket
+//     --upstream=HOST:PORT          where --chaos-proxy forwards to
 //
 // With any reliability knob set, a summary table (attempts, retries, hedges
 // won, per-interface breaker state, degraded nodes) prints after the
@@ -155,6 +180,10 @@ struct Options {
   std::string remote_backend;  // host:port of a backend daemon to call
   int drain_grace_ms = 200;
   std::string dump_answers;
+  int write_timeout_ms = -1;
+  int chaos_proxy = -1;     // >= 0: chaos proxy daemon on this port
+  std::string upstream;     // host:port the chaos proxy forwards to
+  seco::ChaosOptions chaos;
   std::string query;
 
   bool faulty() const {
@@ -317,6 +346,31 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->drain_grace_ms = std::atoi(v);
     } else if (const char* v = value_of("--dump-answers=")) {
       options->dump_answers = v;
+    } else if (const char* v = value_of("--write-timeout=")) {
+      options->write_timeout_ms = std::atoi(v);
+    } else if (const char* v = value_of("--chaos-proxy=")) {
+      options->chaos_proxy = std::atoi(v);
+    } else if (const char* v = value_of("--upstream=")) {
+      options->upstream = v;
+    } else if (const char* v = value_of("--chaos-seed=")) {
+      options->chaos.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--chaos-refuse=")) {
+      options->chaos.refuse_rate = std::atof(v);
+    } else if (const char* v = value_of("--chaos-reset=")) {
+      options->chaos.reset_rate = std::atof(v);
+    } else if (const char* v = value_of("--chaos-corrupt=")) {
+      options->chaos.corrupt_rate = std::atof(v);
+    } else if (const char* v = value_of("--chaos-truncate=")) {
+      options->chaos.truncate_rate = std::atof(v);
+    } else if (const char* v = value_of("--chaos-stall=")) {
+      options->chaos.stall_rate = std::atof(v);
+    } else if (const char* v = value_of("--chaos-stall-ms=")) {
+      options->chaos.stall_ms = std::atof(v);
+    } else if (const char* v = value_of("--chaos-blackhole=")) {
+      options->chaos.blackhole_rate = std::atof(v);
+    } else if (const char* v = value_of("--chaos-window=")) {
+      options->chaos.fault_window_bytes =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -327,7 +381,43 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   return true;
 }
 
+void PrintChaosStats(const char* role, const seco::ChaosStats& stats) {
+  std::printf(
+      "%s chaos: %lld connections planned, %lld refusals, %lld resets, "
+      "%lld corruptions, %lld truncations, %lld stalls, %lld blackholes\n",
+      role, static_cast<long long>(stats.connections_planned),
+      static_cast<long long>(stats.refusals),
+      static_cast<long long>(stats.resets),
+      static_cast<long long>(stats.corruptions),
+      static_cast<long long>(stats.truncations),
+      static_cast<long long>(stats.stalls),
+      static_cast<long long>(stats.blackholes));
+}
+
 seco::Status Run(const Options& options) {
+  if (options.chaos_proxy >= 0) {
+    // Chaos proxy daemon: no query role at all — a byte pump between real
+    // daemons that injects the deterministic fault schedule on the
+    // client-facing socket (scripts/net_chaos.sh runs one per seed).
+    std::string host;
+    uint16_t port = 0;
+    if (!SplitHostPort(options.upstream, &host, &port)) {
+      return seco::Status::InvalidArgument(
+          "--chaos-proxy needs --upstream=HOST:PORT, got '" +
+          options.upstream + "'");
+    }
+    seco::ChaosProxy proxy(host, port, options.chaos);
+    SECO_RETURN_IF_ERROR(
+        proxy.Start(static_cast<uint16_t>(options.chaos_proxy)));
+    std::printf("chaos proxy listening on port %u (upstream %s)\n",
+                proxy.port(), options.upstream.c_str());
+    std::fflush(stdout);
+    AwaitShutdownSignal();
+    proxy.Stop();
+    PrintChaosStats("proxy", proxy.stats());
+    return seco::Status::OK();
+  }
+
   seco::Scenario scenario;
   if (options.scenario == "movie") {
     SECO_ASSIGN_OR_RETURN(scenario, seco::MakeMovieScenario());
@@ -466,6 +556,7 @@ seco::Status Run(const Options& options) {
     return combo.components[atom].AtomicAt(0).ToString();
   };
 
+  std::shared_ptr<seco::RemoteBackendClient> remote_client;
   if (!options.remote_backend.empty()) {
     // Swap every service for a RemoteServiceHandler twin before anything
     // plans or executes: planner, engines, and decorators are untouched —
@@ -477,12 +568,53 @@ seco::Status Run(const Options& options) {
           "--remote-backend expects HOST:PORT, got '" +
           options.remote_backend + "'");
     }
+    seco::RemoteBackendOptions remote_options;
+    remote_options.chaos = options.chaos;  // client-side dial chaos
     SECO_ASSIGN_OR_RETURN(
         scenario.registry,
-        seco::MakeRemoteRegistry(*scenario.registry, host, port));
+        seco::MakeRemoteRegistry(*scenario.registry, host, port,
+                                 remote_options, &remote_client));
     std::printf("using remote backends at %s\n",
                 options.remote_backend.c_str());
   }
+
+  // Remote pool/health table: how the self-healing client spent the run
+  // (reuse vs dials, discards, eviction state per replica). Printed after
+  // any run that went over the wire to a backend.
+  auto print_remote_pool = [&] {
+    if (remote_client == nullptr) return;
+    seco::RemotePoolStats pool = remote_client->stats();
+    std::printf("\nremote backend pool:\n");
+    std::printf("  %-24s %lld\n", "connections opened",
+                static_cast<long long>(pool.connections_opened));
+    std::printf("  %-24s %lld\n", "connections reused",
+                static_cast<long long>(pool.connections_reused));
+    std::printf("  %-24s %lld\n", "connections discarded",
+                static_cast<long long>(pool.connections_discarded));
+    std::printf("  %-24s %lld\n", "reconnect attempts",
+                static_cast<long long>(pool.reconnect_attempts));
+    std::printf("  %-24s %lld\n", "dial overflows",
+                static_cast<long long>(pool.dial_overflows));
+    std::printf("  %-24s %lld sent / %lld failed\n", "checkout pings",
+                static_cast<long long>(pool.pings_sent),
+                static_cast<long long>(pool.ping_failures));
+    std::printf("  %-24s %lld (%lld exhaustions)\n", "endpoints evicted",
+                static_cast<long long>(pool.endpoints_evicted),
+                static_cast<long long>(pool.endpoint_exhaustions));
+    std::printf("    %-22s %-8s %6s %8s %9s %7s\n", "endpoint", "state",
+                "dials", "calls ok", "transport", "evicted");
+    for (const seco::RemoteEndpointHealth& ep : pool.endpoints) {
+      std::printf("    %-22s %-8s %6lld %8lld %9lld %7lld\n",
+                  ep.endpoint.c_str(), ep.evicted ? "EVICTED" : "healthy",
+                  static_cast<long long>(ep.dials),
+                  static_cast<long long>(ep.calls_ok),
+                  static_cast<long long>(ep.transport_failures),
+                  static_cast<long long>(ep.evictions));
+    }
+    if (options.chaos.active()) {
+      PrintChaosStats("client", remote_client->chaos_stats());
+    }
+  };
 
   seco::OptimizerOptions optimizer_options;
   optimizer_options.k = options.k;
@@ -513,7 +645,9 @@ seco::Status Run(const Options& options) {
   if (options.serve_backend >= 0) {
     // Backend daemon: the scenario's services (with whatever fault profiles
     // the flags injected) behind a BackendServer.
-    seco::BackendServer backend;
+    seco::BackendServerOptions backend_options;
+    backend_options.chaos = options.chaos;
+    seco::BackendServer backend(backend_options);
     backend.ExposeRegistry(*scenario.registry);
     SECO_RETURN_IF_ERROR(
         backend.Start(static_cast<uint16_t>(options.serve_backend)));
@@ -521,8 +655,12 @@ seco::Status Run(const Options& options) {
     std::fflush(stdout);
     AwaitShutdownSignal();
     backend.Stop();
-    std::printf("backend served %lld calls\n",
-                static_cast<long long>(backend.calls_served()));
+    std::printf("backend served %lld calls (%lld deadline rejections)\n",
+                static_cast<long long>(backend.calls_served()),
+                static_cast<long long>(backend.deadline_rejections()));
+    if (options.chaos.active()) {
+      PrintChaosStats("backend", backend.chaos_stats());
+    }
     return seco::Status::OK();
   }
 
@@ -532,7 +670,10 @@ seco::Status Run(const Options& options) {
     // --drain-grace ms while in-flight queries run out, then exit 0.
     seco::QueryServer server(scenario.registry, make_server_options(),
                              optimizer_options);
-    seco::NetServer net(&server);
+    seco::NetServerOptions net_options;
+    net_options.chaos = options.chaos;
+    net_options.write_timeout_ms = options.write_timeout_ms;
+    seco::NetServer net(&server, net_options);
     SECO_RETURN_IF_ERROR(net.Start(static_cast<uint16_t>(options.listen)));
     std::printf("listening on port %u\n", net.port());
     std::fflush(stdout);
@@ -547,11 +688,15 @@ seco::Status Run(const Options& options) {
     seco::ServerStats stats = server.stats();
     std::printf(
         "served %lld queries over %lld connections "
-        "(%lld shed, %lld protocol errors)\n",
+        "(%lld shed, %lld protocol errors, %lld write stalls)\n",
         static_cast<long long>(net.queries_served()),
         static_cast<long long>(net.connections_accepted()),
         static_cast<long long>(stats.interactive.shed + stats.batch.shed),
-        static_cast<long long>(net.protocol_errors()));
+        static_cast<long long>(net.protocol_errors()),
+        static_cast<long long>(net.write_stalls()));
+    if (options.chaos.active()) {
+      PrintChaosStats("front end", net.chaos_stats());
+    }
     return seco::Status::OK();
   }
 
@@ -741,6 +886,7 @@ seco::Status Run(const Options& options) {
           static_cast<long long>(mem.feasibility.hits),
           static_cast<long long>(mem.feasibility.probes));
     }
+    print_remote_pool();
     return seco::Status::OK();
   }
 
@@ -832,9 +978,13 @@ seco::Status Run(const Options& options) {
       }
       std::printf("\n");
     }
+    if (remote_client != nullptr) {
+      stream.reliability.remote = remote_client->stats();
+    }
     print_reliability(stream.reliability, stream.degraded,
                       stream.open_breakers, stream.complete);
     print_repair(stream.repair);
+    print_remote_pool();
     return seco::Status::OK();
   }
 
@@ -879,10 +1029,14 @@ seco::Status Run(const Options& options) {
     }
     std::printf("\n");
   }
+  if (remote_client != nullptr) {
+    outcome.execution.reliability.remote = remote_client->stats();
+  }
   print_reliability(outcome.execution.reliability, outcome.execution.degraded,
                     outcome.execution.open_breakers,
                     outcome.execution.complete);
   print_repair(outcome.execution.repair);
+  print_remote_pool();
   if (options.estimates) {
     seco::EstimateReport report =
         seco::CompareEstimates(outcome.optimization.plan, outcome.execution);

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Chaos end-to-end (docs/NETWORK.md, "Failure model & chaos testing"): put a
+# seeded seco_shell chaos proxy between a real client and a real front-end
+# daemon and prove the serving stack absorbs transport faults instead of
+# amplifying them:
+#
+#   leg 0  passthrough proxy (all rates zero) is byte-transparent — every
+#          answer body identical to the in-process oracle
+#   leg 1  seed matrix: under refusals/resets/corruption/truncation/stalls/
+#          black-holes the client still terminates every query, the fault
+#          schedule actually fired, and the daemon survives
+#   leg 2  determinism: the same seed against fresh daemons replays the
+#          identical fault schedule byte-for-byte (same dump both runs)
+#   leg 3  health: after the chaos runs the daemon still completes a clean
+#          serial profile with nothing shed, expired, or failed
+#
+# Use this after touching src/net/ (the unit twin is tests/net_chaos_test.cc;
+# this script exercises the same contracts across real processes).
+#
+# Usage: scripts/net_chaos.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SHELL_BIN="${BUILD_DIR}/examples/seco_shell"
+[[ -x "${SHELL_BIN}" ]] || { echo "missing ${SHELL_BIN}; build first" >&2; exit 1; }
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "${pid}" 2>/dev/null || true; done
+  for pid in "${PIDS[@]:-}"; do wait "${pid}" 2>/dev/null || true; done
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+wait_for_port() { # <logfile> <pattern>
+  local log="$1" pattern="$2" port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n "s/^${pattern} \([0-9]*\).*$/\1/p" "${log}" | head -n1)"
+    [[ -n "${port}" ]] && { echo "${port}"; return 0; }
+    sleep 0.1
+  done
+  echo "daemon never announced its port (${log}):" >&2
+  cat "${log}" >&2
+  return 1
+}
+
+# Deterministic byte-exact configuration, as in scripts/net_e2e.sh.
+ORACLE_FLAGS=(--scenario=movie --load=serial --seed=7 --no-ladder)
+
+# The fault matrix: every class enabled, tuned so faults genuinely land
+# inside the short serial exchanges (small window, rates matching
+# tests/net_chaos_test.cc's MatrixChaos).
+CHAOS_FLAGS=(--chaos-refuse=0.10 --chaos-reset=0.25 --chaos-corrupt=0.25
+             --chaos-truncate=0.25 --chaos-stall=0.30 --chaos-blackhole=0.15
+             --chaos-stall-ms=2 --chaos-window=768)
+
+start_front() { # <logfile>; sets FRONT_PID + FRONT_PORT
+  "${SHELL_BIN}" --listen=0 "${ORACLE_FLAGS[@]}" > "$1" &
+  FRONT_PID=$!; PIDS+=("${FRONT_PID}")
+  FRONT_PORT="$(wait_for_port "$1" "listening on port")"
+}
+
+start_proxy() { # <logfile> <upstream-port> <seed> [chaos flags...]
+  local log="$1" upstream="$2" seed="$3"; shift 3
+  "${SHELL_BIN}" --chaos-proxy=0 --upstream="127.0.0.1:${upstream}" \
+    --chaos-seed="${seed}" "$@" > "${log}" &
+  PROXY_PID=$!; PIDS+=("${PROXY_PID}")
+  PROXY_PORT="$(wait_for_port "${log}" "chaos proxy listening on port")"
+}
+
+stop_pid() { # <pid>
+  kill -TERM "$1" 2>/dev/null || true
+  wait "$1" 2>/dev/null || true
+}
+
+echo "==== net_chaos: in-process oracle ===="
+"${SHELL_BIN}" --serve "${ORACLE_FLAGS[@]}" \
+  --dump-answers="${WORK}/oracle.hex" > "${WORK}/oracle.log"
+[[ -s "${WORK}/oracle.hex" ]] || { echo "oracle dumped no answers" >&2; exit 1; }
+TOTAL="$(wc -l < "${WORK}/oracle.hex")"
+
+echo "==== net_chaos: leg 0 — passthrough proxy is byte-transparent ===="
+start_front "${WORK}/front.log"
+start_proxy "${WORK}/pass.log" "${FRONT_PORT}" 1
+"${SHELL_BIN}" --connect="127.0.0.1:${PROXY_PORT}" "${ORACLE_FLAGS[@]}" \
+  --dump-answers="${WORK}/pass.hex" > "${WORK}/pass_client.log"
+diff "${WORK}/oracle.hex" "${WORK}/pass.hex" \
+  || { echo "FAIL: passthrough proxy altered answer bytes" >&2; exit 1; }
+stop_pid "${PROXY_PID}"
+
+echo "==== net_chaos: leg 1 — seed matrix ===="
+MATRIX_FAULTS=0
+for seed in 3 5 9; do
+  start_proxy "${WORK}/proxy${seed}.log" "${FRONT_PORT}" "${seed}" \
+    "${CHAOS_FLAGS[@]}"
+  "${SHELL_BIN}" --connect="127.0.0.1:${PROXY_PORT}" "${ORACLE_FLAGS[@]}" \
+    --dump-answers="${WORK}/seed${seed}.hex" | tee "${WORK}/client${seed}.log"
+  grep -q "wire report" "${WORK}/client${seed}.log" \
+    || { echo "FAIL: seed ${seed} client produced no wire report" >&2; exit 1; }
+  # Every scheduled query terminated — faulted queries fail structurally,
+  # they do not vanish.
+  LINES="$(wc -l < "${WORK}/seed${seed}.hex")"
+  [[ "${LINES}" -eq "${TOTAL}" ]] \
+    || { echo "FAIL: seed ${seed} dumped ${LINES}/${TOTAL} answers" >&2; exit 1; }
+  stop_pid "${PROXY_PID}"
+  grep -q "^proxy chaos:" "${WORK}/proxy${seed}.log" \
+    || { echo "FAIL: seed ${seed} proxy printed no chaos ledger" >&2; exit 1; }
+  FAULTS="$(awk -F'planned, ' '/^proxy chaos:/ {
+    n = split($2, parts, ", "); total = 0;
+    for (i = 1; i <= n; i++) total += parts[i] + 0;
+    print total }' "${WORK}/proxy${seed}.log")"
+  echo "seed ${seed}: ${FAULTS} faults fired"
+  MATRIX_FAULTS=$((MATRIX_FAULTS + FAULTS))
+done
+[[ "${MATRIX_FAULTS}" -gt 0 ]] \
+  || { echo "FAIL: the whole seed matrix fired zero faults" >&2; exit 1; }
+
+echo "==== net_chaos: leg 2 — same seed, same fault schedule ===="
+# Fresh front end per run: the answer-cache warmth of a shared daemon would
+# legitimately change the bytes, masking any real nondeterminism.
+stop_pid "${FRONT_PID}"
+for run in a b; do
+  start_front "${WORK}/det_front_${run}.log"
+  RUN_FRONT_PID="${FRONT_PID}"
+  start_proxy "${WORK}/det_proxy_${run}.log" "${FRONT_PORT}" 5 \
+    "${CHAOS_FLAGS[@]}"
+  "${SHELL_BIN}" --connect="127.0.0.1:${PROXY_PORT}" "${ORACLE_FLAGS[@]}" \
+    --dump-answers="${WORK}/det_${run}.hex" > "${WORK}/det_client_${run}.log"
+  stop_pid "${PROXY_PID}"
+  stop_pid "${RUN_FRONT_PID}"
+done
+diff "${WORK}/det_a.hex" "${WORK}/det_b.hex" \
+  || { echo "FAIL: same seed produced different fault outcomes" >&2; exit 1; }
+
+echo "==== net_chaos: leg 3 — daemon healthy after the storm ===="
+start_front "${WORK}/health_front.log"
+"${SHELL_BIN}" --connect="127.0.0.1:${FRONT_PORT}" "${ORACLE_FLAGS[@]}" \
+  | tee "${WORK}/health.log"
+grep -q "0 shed, 0 expired, 0 failed" "${WORK}/health.log" \
+  || { echo "FAIL: clean profile unhealthy after chaos runs" >&2; exit 1; }
+stop_pid "${FRONT_PID}"
+PIDS=()
+
+echo "net_chaos: passthrough transparent; matrix fired ${MATRIX_FAULTS} faults; same-seed runs identical; daemon healthy"

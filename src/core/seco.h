@@ -44,6 +44,7 @@
 #include "join/strategy_select.h"
 #include "join/topk_join.h"
 #include "net/backend_server.h"
+#include "net/chaos.h"
 #include "net/client.h"
 #include "net/net_server.h"
 #include "net/remote_handler.h"

@@ -1,7 +1,20 @@
 #include "net/backend_server.h"
 
+#include <chrono>
+#include <deque>
+#include <utility>
 
 namespace seco {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 void BackendServer::RegisterHandler(
     const std::string& name, std::shared_ptr<ServiceCallHandler> handler) {
@@ -34,9 +47,18 @@ void BackendServer::Stop() {
 }
 
 void BackendServer::AcceptLoop() {
+  const bool chaotic = options_.chaos.active();
   while (running_.load(std::memory_order_acquire)) {
     Result<Socket> conn = listener_.Accept();
     if (!conn.ok()) break;  // listener closed by Stop (or fatal error)
+    if (chaotic) {
+      std::shared_ptr<ChaosPlan> plan = chaos_.PlanConnection();
+      // Refusal: drop the accepted socket before any byte — the dialing
+      // client sees an immediate EOF, the moral equivalent of
+      // ECONNREFUSED for a loopback accept we cannot intercept earlier.
+      if (plan->refuse) continue;
+      conn.value().AttachChaos(std::move(plan));
+    }
     conns_.Launch(std::move(conn.value()),
                   [this](Socket* socket) { ServeConnection(socket); });
   }
@@ -74,17 +96,50 @@ void BackendServer::ServeConnection(Socket* conn) {
     if (!SendFrame(conn, FrameType::kHelloAck, ack.Take()).ok()) return;
   }
 
+  // Frames are timestamped the moment they arrive off the socket, THEN
+  // served serially. A pipelined burst queued behind a slow call therefore
+  // accumulates measurable wait — the clock deadline propagation runs on:
+  // a call whose transported budget was consumed while it sat here is
+  // answered kDeadlineExceeded without ever invoking its handler.
+  std::deque<std::pair<Frame, double>> queue;
+  std::string pending;
   while (running_.load(std::memory_order_acquire)) {
-    Result<Frame> frame = RecvFrame(conn, &decoder);
-    if (!frame.ok()) return;  // peer closed / reset / framing error
-    switch (frame.value().type) {
+    if (queue.empty()) {
+      Result<Frame> first = RecvFrame(conn, &decoder);
+      if (!first.ok()) return;  // peer closed / reset / framing error
+      const double now = NowMs();
+      queue.emplace_back(std::move(first.value()), now);
+      // Drain every frame that arrived in the same recv burst: they have
+      // all been waiting since `now`.
+      Frame extra;
+      while (decoder.Next(&extra)) queue.emplace_back(std::move(extra), now);
+    }
+    // Before dispatching (possibly into a slow handler), pull any bytes the
+    // kernel has already queued into the frame queue: pipelined calls are
+    // timestamped when they reached this server, not when the calls ahead
+    // of them finished. Errors here (EOF, faults, framing) are left for the
+    // blocking read above to surface once the queue drains.
+    while (true) {
+      pending.clear();
+      Result<size_t> more = conn->RecvSome(&pending, 64 << 10,
+                                           /*timeout_ms=*/0);
+      if (!more.ok() || more.value() == 0) break;
+      if (!decoder.Feed(pending).ok()) break;
+      const double now = NowMs();
+      Frame extra;
+      while (decoder.Next(&extra)) queue.emplace_back(std::move(extra), now);
+    }
+    Frame frame = std::move(queue.front().first);
+    const double waited_ms = NowMs() - queue.front().second;
+    queue.pop_front();
+    switch (frame.type) {
       case FrameType::kCall: {
-        std::string reply = HandleCall(frame.value().payload);
+        std::string reply = HandleCall(frame.payload, waited_ms);
         if (!SendFrame(conn, FrameType::kCallReply, reply).ok()) return;
         break;
       }
       case FrameType::kPing: {
-        if (!SendFrame(conn, FrameType::kPong, frame.value().payload).ok()) {
+        if (!SendFrame(conn, FrameType::kPong, frame.payload).ok()) {
           return;
         }
         break;
@@ -95,7 +150,7 @@ void BackendServer::ServeConnection(Socket* conn) {
         WireWriter w;
         EncodeStatus(Status::InvalidArgument(
                          "backend: unexpected frame type " +
-                         std::to_string(static_cast<int>(frame.value().type))),
+                         std::to_string(static_cast<int>(frame.type))),
                      &w);
         (void)SendFrame(conn, FrameType::kError, w.Take());
         return;
@@ -104,7 +159,8 @@ void BackendServer::ServeConnection(Socket* conn) {
   }
 }
 
-std::string BackendServer::HandleCall(const std::string& payload) {
+std::string BackendServer::HandleCall(const std::string& payload,
+                                      double waited_ms) {
   WireWriter reply;
   WireReader r(payload);
 
@@ -147,6 +203,24 @@ std::string BackendServer::HandleCall(const std::string& payload) {
     EncodeStatus(Status::NotFound("backend: no handler registered for '" +
                                   interface_name + "'"),
                  &reply);
+    return reply.Take();
+  }
+
+  // Deadline propagation: the caller shipped its remaining budget in the
+  // request; if queue wait alone has consumed it, the caller has already
+  // timed out (or retried elsewhere) — computing an answer would be pure
+  // waste. Reply with the same kDeadlineExceeded the caller's own recv
+  // timeout produces, as a handler-level status (round-tripped verbatim,
+  // never wire-retried).
+  if (request.deadline_ms >= 0.0 && waited_ms > request.deadline_ms) {
+    deadline_rejections_.fetch_add(1, std::memory_order_relaxed);
+    reply.Bool(false);
+    EncodeStatus(
+        Status::DeadlineExceeded(
+            "backend: call waited " + std::to_string(waited_ms) +
+            " ms, over its " + std::to_string(request.deadline_ms) +
+            " ms transported budget"),
+        &reply);
     return reply.Take();
   }
 

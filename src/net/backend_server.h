@@ -9,12 +9,21 @@
 #include <thread>
 
 #include "common/result.h"
+#include "net/chaos.h"
 #include "net/conn_registry.h"
 #include "net/socket.h"
 #include "service/invocation.h"
 #include "service/registry.h"
 
 namespace seco {
+
+/// Backend-server knobs.
+struct BackendServerOptions {
+  /// Deterministic fault injection on accepted connections (connect
+  /// refusal, resets, corruption, stalls — see `net/chaos.h`). Inert by
+  /// default.
+  ChaosOptions chaos;
+};
 
 /// Exposes `ServiceCallHandler`s over a localhost socket — the server half
 /// of the drop-in-backend claim (docs/NETWORK.md). A `RemoteServiceHandler`
@@ -28,7 +37,8 @@ namespace seco {
 /// several connections (the `RemoteServiceHandler` pools them).
 class BackendServer {
  public:
-  BackendServer() = default;
+  explicit BackendServer(BackendServerOptions options = {})
+      : options_(options), chaos_(options.chaos) {}
   ~BackendServer() { Stop(); }
   BackendServer(const BackendServer&) = delete;
   BackendServer& operator=(const BackendServer&) = delete;
@@ -57,17 +67,31 @@ class BackendServer {
     return calls_served_.load(std::memory_order_relaxed);
   }
 
+  /// Calls dropped by deadline propagation: their queue wait had already
+  /// consumed the caller's transported budget, so no handler ran.
+  int64_t deadline_rejections() const {
+    return deadline_rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// Faults fired by this server's chaos engine (zeros when chaos is off).
+  ChaosStats chaos_stats() const { return chaos_.stats(); }
+
  private:
   void AcceptLoop();
   void ServeConnection(Socket* conn);
-  /// Handles one kCall frame; returns the kCallReply payload.
-  std::string HandleCall(const std::string& payload);
+  /// Handles one kCall frame; returns the kCallReply payload. `waited_ms`
+  /// is how long the frame sat queued behind earlier calls on this
+  /// connection — the deadline-propagation clock.
+  std::string HandleCall(const std::string& payload, double waited_ms);
 
   std::map<std::string, std::shared_ptr<ServiceCallHandler>> handlers_;
+  const BackendServerOptions options_;
+  ChaosEngine chaos_;
   Listener listener_;
   std::thread acceptor_;
   std::atomic<bool> running_{false};
   std::atomic<int64_t> calls_served_{0};
+  std::atomic<int64_t> deadline_rejections_{0};
 
   ConnectionRegistry conns_;
 };

@@ -194,13 +194,24 @@ WireLoadReport DriveLoadOverWire(const std::string& host, uint16_t port,
              i < schedule.size();
              i = next.fetch_add(1, std::memory_order_relaxed)) {
           if (!client.ok()) {
+            // Reconnect per slot: one refused dial or one poisoned stream
+            // fails its own query, not every query this worker would have
+            // pulled for the rest of the run.
+            client = NetClient::Connect(host, port);
+          }
+          if (!client.ok()) {
             report.responses[i].outcome = ServedOutcome::kFailed;
             report.responses[i].status = client.status();
             continue;
           }
-          FillSlot(client.value().Roundtrip(static_cast<uint64_t>(i + 1),
-                                            schedule[i].request),
-                   &report, i);
+          Result<WireResponse> wire = client.value().Roundtrip(
+              static_cast<uint64_t>(i + 1), schedule[i].request);
+          if (!wire.ok()) {
+            // The stream may hold a half-delivered response; poison the
+            // client so the next slot dials fresh.
+            client = wire.status();
+          }
+          FillSlot(std::move(wire), &report, i);
         }
         if (client.ok()) client.value().Goodbye();
       });

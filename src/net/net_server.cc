@@ -8,7 +8,7 @@
 namespace seco {
 
 NetServer::NetServer(QueryServer* server, NetServerOptions options)
-    : server_(server), options_(options) {}
+    : server_(server), options_(options), chaos_(options.chaos) {}
 
 NetServer::~NetServer() { Stop(); }
 
@@ -41,9 +41,21 @@ void NetServer::Stop() {
 }
 
 void NetServer::AcceptLoop() {
+  const bool chaotic = options_.chaos.active();
   while (running_.load(std::memory_order_acquire)) {
     Result<Socket> conn = listener_.Accept();
     if (!conn.ok()) break;
+    if (chaotic) {
+      std::shared_ptr<ChaosPlan> plan = chaos_.PlanConnection();
+      // Refusal: drop the accepted socket before any byte — the dialing
+      // client sees an immediate EOF, the loopback equivalent of
+      // ECONNREFUSED.
+      if (plan->refuse) continue;
+      conn.value().AttachChaos(std::move(plan));
+    }
+    if (options_.write_timeout_ms >= 0) {
+      conn.value().SetWriteTimeout(options_.write_timeout_ms);
+    }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     conns_.Launch(std::move(conn.value()),
                   [this](Socket* socket) { ServeConnection(socket); });
@@ -122,6 +134,38 @@ class ReplyQueue {
   bool closed_ = false;
 };
 
+/// Per-connection cap on queries admitted into the QueryServer but not yet
+/// fully written back. The reader Acquires before submitting, the writer
+/// Releases after the response leaves (or is drained on teardown) — so a
+/// client that streams queries without reading responses is throttled at
+/// the cap instead of filling the executor with work nobody collects.
+class InFlightGate {
+ public:
+  explicit InFlightGate(int cap) : cap_(cap) {}
+
+  void Acquire() {
+    if (cap_ <= 0) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ < cap_; });
+    ++count_;
+  }
+
+  void Release() {
+    if (cap_ <= 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --count_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  const int cap_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
 }  // namespace
 
 void NetServer::ServeConnection(Socket* conn) {
@@ -175,18 +219,30 @@ void NetServer::ServeConnection(Socket* conn) {
 
   ReplyQueue replies(static_cast<size_t>(
       options_.pipeline_depth > 0 ? options_.pipeline_depth : 1));
+  InFlightGate gate(options_.max_conn_in_flight);
 
   // Writer: pops replies FIFO (request order) and frames them out. From
   // here on it is the only thread writing to the socket; the reader routes
   // pongs and protocol errors through the queue rather than sending them
   // itself, so frames can never interleave mid-response. Waiting on the
   // head future blocks only this connection's writes.
-  std::thread writer([this, conn, &replies] {
+  std::thread writer([this, conn, &replies, &gate] {
+    // Classifies send failures so a slow-loris kill (write-progress
+    // deadline) is ledgered separately from ordinary disconnects.
+    auto send = [this, conn](FrameType type, std::string payload) {
+      Status sent = SendFrame(conn, type, std::move(payload));
+      if (!sent.ok() &&
+          sent.code() == StatusCode::kDeadlineExceeded) {
+        write_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return sent.ok();
+    };
     PendingReply reply;
-    while (replies.Pop(&reply)) {
+    bool socket_dead = false;
+    while (!socket_dead && replies.Pop(&reply)) {
       if (reply.kind == PendingReply::Kind::kControlFrame) {
-        if (!SendFrame(conn, reply.frame_type, reply.frame_payload).ok()) {
-          break;
+        if (!send(reply.frame_type, std::move(reply.frame_payload))) {
+          socket_dead = true;
         }
         continue;
       }
@@ -204,33 +260,43 @@ void NetServer::ServeConnection(Socket* conn) {
       header.U8(static_cast<uint8_t>(wire_status));
       header.F64(response.retry_after_ms);
       header.U32(static_cast<uint32_t>(body.size()));
-      if (!SendFrame(conn, FrameType::kResultHeader, header.Take()).ok()) {
-        break;
-      }
-      bool write_failed = false;
-      for (size_t offset = 0; offset < body.size();
+      bool wrote = send(FrameType::kResultHeader, header.Take());
+      for (size_t offset = 0; wrote && offset < body.size();
            offset += kBodyChunkBytes) {
         WireWriter chunk;
         chunk.U64(reply.request_id);
         chunk.Bytes(body.data() + offset,
                     std::min<size_t>(kBodyChunkBytes, body.size() - offset));
-        if (!SendFrame(conn, FrameType::kResultBody, chunk.Take()).ok()) {
-          write_failed = true;
-          break;
-        }
+        wrote = send(FrameType::kResultBody, chunk.Take());
       }
-      if (write_failed) break;
-      WireWriter end;
-      end.U64(reply.request_id);
-      if (!SendFrame(conn, FrameType::kResultEnd, end.Take()).ok()) break;
+      if (wrote) {
+        WireWriter end;
+        end.U64(reply.request_id);
+        wrote = send(FrameType::kResultEnd, end.Take());
+      }
+      // The gate slot frees whether or not the bytes landed — the query's
+      // trip through the executor is over either way.
+      gate.Release();
+      if (!wrote) {
+        socket_dead = true;
+        continue;
+      }
       queries_served_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (socket_dead) {
+      // Unblock a reader mid-recv on this socket: with the write side
+      // dead no response can ever be delivered, so parsing further
+      // queries is pointless (and a gate-blocked reader would deadlock
+      // against a writer that no longer writes).
+      conn->ShutdownRead();
+    }
     // Keep draining futures even if the socket died: every accepted
-    // submission must be consumed so Stop()'s Drain() cannot wedge.
+    // submission must be consumed so Stop()'s Drain() cannot wedge, and
+    // every gate slot must free so the reader can reach its own exit.
     while (replies.Pop(&reply)) {
-      if (reply.kind == PendingReply::Kind::kQuery &&
-          !reply.immediate.has_value()) {
-        (void)reply.future.get();
+      if (reply.kind == PendingReply::Kind::kQuery) {
+        if (!reply.immediate.has_value()) (void)reply.future.get();
+        gate.Release();
       }
     }
   });
@@ -282,6 +348,10 @@ void NetServer::ServeConnection(Socket* conn) {
 
     PendingReply reply;
     reply.request_id = request_id.value();
+    // Take a gate slot before the query touches the executor; the writer
+    // returns it once the response is fully written (or drained). Blocks
+    // here — not in the executor — when the connection is over its cap.
+    gate.Acquire();
     if (!request.ok()) {
       // A malformed query payload fails that request, not the connection:
       // the id is known, so the client gets a well-formed kFailed answer.

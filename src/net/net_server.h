@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/result.h"
+#include "net/chaos.h"
 #include "net/conn_registry.h"
 #include "net/socket.h"
 #include "server/server.h"
@@ -21,6 +22,19 @@ struct NetServerOptions {
   /// Idle receive timeout for keep-alive connections, ms; < 0 waits
   /// forever.
   int idle_timeout_ms = -1;
+  /// Queries a connection may have admitted into the QueryServer but not
+  /// yet fully written back. Distinct from `pipeline_depth` (which bounds
+  /// the reply FIFO): this bounds *work*, so one connection spraying
+  /// queries cannot monopolize the executor. <= 0 disables the gate.
+  int max_conn_in_flight = 0;
+  /// Write-progress deadline per connection, ms: a peer that submits
+  /// queries and then stops reading (slow loris) fails its writer with
+  /// kDeadlineExceeded instead of wedging a server thread in send().
+  /// < 0 waits forever.
+  int write_timeout_ms = -1;
+  /// Deterministic fault injection on accepted connections (see
+  /// `net/chaos.h`). Inert by default.
+  ChaosOptions chaos;
 };
 
 /// TCP listener in front of a `QueryServer` (docs/NETWORK.md): speaks the
@@ -75,6 +89,14 @@ class NetServer {
   int64_t protocol_errors() const {
     return protocol_errors_.load(std::memory_order_relaxed);
   }
+  /// Connections killed by the write-progress deadline (peer stopped
+  /// reading while responses were owed).
+  int64_t write_stalls() const {
+    return write_stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// Faults fired by this server's chaos engine (zeros when chaos is off).
+  ChaosStats chaos_stats() const { return chaos_.stats(); }
 
  private:
   void AcceptLoop();
@@ -82,6 +104,7 @@ class NetServer {
 
   QueryServer* const server_;
   const NetServerOptions options_;
+  ChaosEngine chaos_;
   Listener listener_;
   std::thread acceptor_;
   std::atomic<bool> running_{false};
@@ -89,6 +112,7 @@ class NetServer {
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> queries_served_{0};
   std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> write_stalls_{0};
 
   ConnectionRegistry conns_;
 };

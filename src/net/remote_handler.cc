@@ -1,121 +1,458 @@
 #include "net/remote_handler.h"
 
+#include <chrono>
+#include <thread>
+#include <utility>
+
 namespace seco {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
 
 RemoteBackendClient::RemoteBackendClient(std::string host, uint16_t port,
                                          RemoteBackendOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+    : RemoteBackendClient(
+          std::vector<RemoteEndpoint>{{std::move(host), port}}, options) {}
 
-Result<std::unique_ptr<RemoteBackendClient::PooledConn>>
-RemoteBackendClient::CheckOut() {
+RemoteBackendClient::RemoteBackendClient(std::vector<RemoteEndpoint> endpoints,
+                                         RemoteBackendOptions options)
+    : endpoints_config_(std::move(endpoints)),
+      options_(options),
+      chaos_(options.chaos) {
+  endpoints_.resize(endpoints_config_.size());
+  for (size_t i = 0; i < endpoints_config_.size(); ++i) {
+    endpoints_[i].host = endpoints_config_[i].host;
+    endpoints_[i].port = endpoints_config_[i].port;
+  }
+}
+
+Result<RemoteBackendClient::Checked> RemoteBackendClient::Dial(
+    size_t endpoint_index) {
+  EndpointState& ep = endpoints_[endpoint_index];
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!pool_.empty()) {
-      auto conn = std::move(pool_.back());
-      pool_.pop_back();
-      return conn;
+    std::lock_guard<std::mutex> lock(mu_);
+    ep.dials++;
+  }
+
+  // Client-side chaos sits below the dial: a refused plan fails before the
+  // kernel connect, everything else rides the socket as byte-offset faults.
+  std::shared_ptr<ChaosPlan> plan;
+  if (options_.chaos.active()) {
+    plan = chaos_.PlanConnection();
+    if (plan->refuse) {
+      return Status::Unavailable("chaos: connection to " + ep.host + ":" +
+                                 std::to_string(ep.port) + " refused");
     }
   }
+
   SECO_ASSIGN_OR_RETURN(Socket socket,
-                        ConnectTcp(host_, port_, options_.timeout_ms));
+                        ConnectTcp(ep.host, ep.port, options_.timeout_ms));
   connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  if (plan != nullptr) socket.AttachChaos(std::move(plan));
   auto conn = std::make_unique<PooledConn>();
   conn->socket = std::move(socket);
 
-  // Hello handshake on the fresh connection.
+  // Hello handshake on the fresh connection. The recv is always bounded:
+  // a peer that accepts the dial but never answers must fail the dial, not
+  // hang it — and it fails as kUnavailable (a transport fault the retry
+  // loop may heal on another endpoint), never kDeadlineExceeded.
   WireWriter hello;
   hello.U32(kWireMagic);
   hello.U16(kWireVersion);
   hello.U8(static_cast<uint8_t>(WireRole::kBackendClient));
   SECO_RETURN_IF_ERROR(
       SendFrame(&conn->socket, FrameType::kHello, hello.Take()));
-  SECO_ASSIGN_OR_RETURN(
-      Frame ack,
-      RecvFrame(&conn->socket, &conn->decoder, options_.timeout_ms));
-  if (ack.type == FrameType::kError) {
-    WireReader r(ack.payload);
+  Result<Frame> ack = RecvFrame(&conn->socket, &conn->decoder,
+                                options_.handshake_timeout_ms);
+  if (!ack.ok()) {
+    if (ack.status().code() == StatusCode::kDeadlineExceeded) {
+      return Status::Unavailable("backend handshake timed out: " +
+                                 ack.status().message());
+    }
+    return ack.status();
+  }
+  if (ack.value().type == FrameType::kError) {
+    WireReader r(ack.value().payload);
     Status remote = Status::OK();
     if (!DecodeStatus(&r, &remote).ok() || remote.ok()) {
       return Status::Unavailable("backend rejected hello");
     }
     return remote;
   }
-  if (ack.type != FrameType::kHelloAck) {
-    return Status::Unavailable("backend sent unexpected frame " +
-                               std::to_string(static_cast<int>(ack.type)) +
-                               " instead of hello ack");
+  if (ack.value().type != FrameType::kHelloAck) {
+    return Status::Unavailable(
+        "backend sent unexpected frame " +
+        std::to_string(static_cast<int>(ack.value().type)) +
+        " instead of hello ack");
   }
-  return conn;
+  Checked checked;
+  checked.conn = std::move(conn);
+  checked.endpoint = endpoint_index;
+  return checked;
 }
 
-void RemoteBackendClient::CheckIn(std::unique_ptr<PooledConn> conn) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  if (static_cast<int>(pool_.size()) < options_.max_pool) {
-    pool_.push_back(std::move(conn));
+Result<RemoteBackendClient::Checked> RemoteBackendClient::CheckOut(
+    bool* exhausted) {
+  // May loop: a pooled connection that fails its checkout ping is
+  // discarded and the next candidate tried. Bounded because each pass
+  // either returns or permanently shrinks a pool.
+  for (;;) {
+    std::unique_ptr<PooledConn> pooled;
+    size_t pooled_index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < endpoints_.size(); ++i) {
+        EndpointState& ep = endpoints_[i];
+        if (ep.evicted || ep.pool.empty()) continue;
+        pooled = std::move(ep.pool.back());
+        ep.pool.pop_back();
+        pooled_index = i;
+        break;
+      }
+    }
+    if (pooled != nullptr) {
+      connections_reused_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.ping_on_checkout) {
+        Status alive = PingConn(pooled.get());
+        if (!alive.ok()) {
+          // A dead pooled connection is stale state, not fresh evidence
+          // about the endpoint — discard it and keep looking rather than
+          // charging it toward eviction.
+          ping_failures_.fetch_add(1, std::memory_order_relaxed);
+          connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      Checked checked;
+      checked.conn = std::move(pooled);
+      checked.endpoint = pooled_index;
+      return checked;
+    }
+
+    // No pooled connection: pick a dial target round-robin among healthy
+    // endpoints, letting one probe through to an evicted endpoint whose
+    // re-probe window has elapsed (half-open circuit).
+    size_t target = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const double now = NowMs();
+      bool found = false;
+      for (size_t offset = 0; offset < endpoints_.size(); ++offset) {
+        const size_t i = (rr_ + offset) % endpoints_.size();
+        EndpointState& ep = endpoints_[i];
+        if (!ep.evicted) {
+          target = i;
+          found = true;
+          break;
+        }
+        if (now - ep.evicted_at_ms >= options_.reprobe_ms &&
+            !ep.probe_in_flight) {
+          ep.probe_in_flight = true;
+          target = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        // Every replica evicted and none due for a probe: fail fast with
+        // the structured signal the reliability layer converts into a
+        // ServiceLostEvent — plan repair is the healing path from here.
+        *exhausted = true;
+        endpoint_exhaustions_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable(
+            "remote backend: all endpoints evicted or unreachable");
+      }
+      rr_ = (target + 1) % endpoints_.size();
+
+      if (options_.max_dials > 0 && dials_in_flight_ >= options_.max_dials) {
+        const bool freed = dial_cv_.wait_for(
+            lock,
+            std::chrono::milliseconds(std::max(0, options_.dial_wait_ms)),
+            [this] { return dials_in_flight_ < options_.max_dials; });
+        if (!freed) {
+          dial_overflows_.fetch_add(1, std::memory_order_relaxed);
+          endpoints_[target].probe_in_flight = false;
+          return Status::Unavailable(
+              "remote backend: dial queue full (" +
+              std::to_string(options_.max_dials) +
+              " dials in flight, waited " +
+              std::to_string(options_.dial_wait_ms) + " ms)");
+        }
+      }
+      ++dials_in_flight_;
+    }
+
+    Result<Checked> dialed = Dial(target);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --dials_in_flight_;
+    }
+    dial_cv_.notify_one();
+    if (!dialed.ok()) {
+      NoteTransportFailure(target);
+      return dialed.status();
+    }
+    return dialed;
+  }
+}
+
+void RemoteBackendClient::CheckIn(size_t endpoint_index,
+                                  std::unique_ptr<PooledConn> conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointState& ep = endpoints_[endpoint_index];
+  if (!ep.evicted && static_cast<int>(ep.pool.size()) < options_.max_pool) {
+    ep.pool.push_back(std::move(conn));
+    return;
+  }
+  connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status RemoteBackendClient::PingConn(PooledConn* conn) {
+  pings_sent_.fetch_add(1, std::memory_order_relaxed);
+  WireWriter w;
+  w.U64(0x5EC0);  // echoed cookie
+  SECO_RETURN_IF_ERROR(SendFrame(&conn->socket, FrameType::kPing, w.Take()));
+  SECO_ASSIGN_OR_RETURN(
+      Frame pong,
+      RecvFrame(&conn->socket, &conn->decoder, options_.ping_timeout_ms));
+  if (pong.type != FrameType::kPong) {
+    return Status::Unavailable("backend answered ping with frame " +
+                               std::to_string(static_cast<int>(pong.type)));
+  }
+  return Status::OK();
+}
+
+void RemoteBackendClient::DiscardLocked(EndpointState* ep) {
+  connections_discarded_.fetch_add(static_cast<int64_t>(ep->pool.size()),
+                                   std::memory_order_relaxed);
+  ep->pool.clear();
+}
+
+void RemoteBackendClient::NoteSuccess(size_t endpoint_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointState& ep = endpoints_[endpoint_index];
+  ep.consecutive_failures = 0;
+  ep.calls_ok++;
+  ep.evicted = false;
+  ep.probe_in_flight = false;
+}
+
+void RemoteBackendClient::NoteTransportFailure(size_t endpoint_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointState& ep = endpoints_[endpoint_index];
+  ep.transport_failures++;
+  ep.consecutive_failures++;
+  if (ep.probe_in_flight) {
+    // Failed probe: restart the re-probe clock, release the probe slot.
+    ep.probe_in_flight = false;
+    ep.evicted_at_ms = NowMs();
+  }
+  if (!ep.evicted && ep.consecutive_failures >= options_.eviction_threshold) {
+    ep.evicted = true;
+    ep.evicted_at_ms = NowMs();
+    ep.evictions++;
+    endpoints_evicted_.fetch_add(1, std::memory_order_relaxed);
+    // Pooled connections to an endpoint we just declared dead are not
+    // worth health-gating one by one.
+    DiscardLocked(&ep);
   }
 }
 
 Result<ServiceResponse> RemoteBackendClient::Call(
     const std::string& interface_name, const ServiceRequest& request) {
-  SECO_ASSIGN_OR_RETURN(std::unique_ptr<PooledConn> conn, CheckOut());
+  // Ship the caller's remaining budget inside the request so the backend
+  // can skip work for calls that already timed out client-side.
+  ServiceRequest wire_request = request;
+  if (wire_request.deadline_ms < 0.0 && options_.timeout_ms >= 0) {
+    wire_request.deadline_ms = static_cast<double>(options_.timeout_ms);
+  }
+  const uint64_t ordinal = RequestOrdinal(request);
 
-  const uint64_t call_id =
-      next_call_id_.fetch_add(1, std::memory_order_relaxed);
-  WireWriter call;
-  call.U64(call_id);
-  call.Str(interface_name);
-  EncodeServiceRequest(request, &call);
-  SECO_RETURN_IF_ERROR(
-      SendFrame(&conn->socket, FrameType::kCall, call.Take()));
-
-  // Any failure from here on discards the connection: a reply may be in
-  // flight, so the stream can no longer be trusted for the next call.
-  SECO_ASSIGN_OR_RETURN(
-      Frame frame,
-      RecvFrame(&conn->socket, &conn->decoder, options_.timeout_ms));
-  if (frame.type == FrameType::kError) {
-    WireReader r(frame.payload);
-    Status remote = Status::OK();
-    if (!DecodeStatus(&r, &remote).ok() || remote.ok()) {
-      return Status::Unavailable("backend protocol error");
+  const int attempts =
+      options_.wire_retries < 0 ? 1 : options_.wire_retries + 1;
+  Status last = Status::Unavailable("remote backend: no call attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      reconnect_attempts_.fetch_add(1, std::memory_order_relaxed);
+      SleepMs(options_.reconnect.BackoffMs(ordinal, attempt - 1));
     }
-    return remote;
-  }
-  if (frame.type != FrameType::kCallReply) {
-    return Status::Unavailable("backend sent unexpected frame " +
-                               std::to_string(static_cast<int>(frame.type)) +
-                               " instead of a call reply");
-  }
 
-  WireReader r(frame.payload);
-  SECO_ASSIGN_OR_RETURN(uint64_t reply_id, r.U64());
-  if (reply_id != call_id) {
-    return Status::Unavailable("backend reply id " +
-                               std::to_string(reply_id) +
-                               " does not match call id " +
-                               std::to_string(call_id));
-  }
-  SECO_ASSIGN_OR_RETURN(bool ok, r.Bool());
-  if (!ok) {
-    Status remote = Status::OK();
-    SECO_RETURN_IF_ERROR(DecodeStatus(&r, &remote));
-    SECO_RETURN_IF_ERROR(r.ExpectEnd());
-    CheckIn(std::move(conn));  // the protocol exchange itself succeeded
-    if (remote.ok()) {
-      return Status::Unavailable("backend reported failure without status");
+    bool exhausted = false;
+    Result<Checked> co = CheckOut(&exhausted);
+    if (!co.ok()) {
+      if (exhausted) return co.status();  // fail fast: nothing left to try
+      if (co.status().code() != StatusCode::kUnavailable) {
+        // Non-transport dial failure (e.g. a version-mismatch rejection):
+        // retrying the same handshake cannot help.
+        return co.status();
+      }
+      last = co.status();
+      continue;
     }
-    return remote;
+    Checked checked = std::move(co.value());
+    PooledConn* conn = checked.conn.get();
+
+    const uint64_t call_id =
+        next_call_id_.fetch_add(1, std::memory_order_relaxed);
+    WireWriter call;
+    call.U64(call_id);
+    call.Str(interface_name);
+    EncodeServiceRequest(wire_request, &call);
+    Status sent = SendFrame(&conn->socket, FrameType::kCall, call.Take());
+    if (!sent.ok()) {
+      NoteTransportFailure(checked.endpoint);
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      last = sent;
+      continue;
+    }
+
+    // Any failure from here on discards the connection: a reply may be in
+    // flight, so the stream can never be trusted for another call — this
+    // is what makes a stale reply impossible to misattribute to call N+1.
+    Result<Frame> frame =
+        RecvFrame(&conn->socket, &conn->decoder, options_.timeout_ms);
+    if (!frame.ok()) {
+      NoteTransportFailure(checked.endpoint);
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        // An honest timeout goes straight up: the reliability layer owns
+        // the retry decision for slow backends, and silently retrying
+        // here would double the configured budget.
+        return frame.status();
+      }
+      last = frame.status();
+      continue;
+    }
+    if (frame.value().type == FrameType::kError) {
+      // The backend spoke the protocol to reject us (bad frame type,
+      // undecodable call). Deliberate, not transport damage — surface it.
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      WireReader r(frame.value().payload);
+      Status remote = Status::OK();
+      if (!DecodeStatus(&r, &remote).ok() || remote.ok()) {
+        return Status::Unavailable("backend protocol error");
+      }
+      return remote;
+    }
+    if (frame.value().type != FrameType::kCallReply) {
+      NoteTransportFailure(checked.endpoint);
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      last = Status::Unavailable(
+          "backend sent unexpected frame " +
+          std::to_string(static_cast<int>(frame.value().type)) +
+          " instead of a call reply");
+      continue;
+    }
+
+    WireReader r(frame.value().payload);
+    auto reply_id = r.U64();
+    if (!reply_id.ok()) {
+      NoteTransportFailure(checked.endpoint);
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      last = reply_id.status();
+      continue;
+    }
+    if (reply_id.value() != call_id) {
+      // A stale reply (the answer to some earlier call on a stream that
+      // should have been discarded) must never be attributed to this one.
+      NoteTransportFailure(checked.endpoint);
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      last = Status::Unavailable(
+          "backend reply id " + std::to_string(reply_id.value()) +
+          " does not match call id " + std::to_string(call_id));
+      continue;
+    }
+    auto ok = r.Bool();
+    if (!ok.ok()) {
+      NoteTransportFailure(checked.endpoint);
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      last = ok.status();
+      continue;
+    }
+    if (!ok.value()) {
+      Status remote = Status::OK();
+      Status decoded = DecodeStatus(&r, &remote);
+      if (decoded.ok()) decoded = r.ExpectEnd();
+      if (!decoded.ok()) {
+        NoteTransportFailure(checked.endpoint);
+        connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+        last = decoded;
+        continue;
+      }
+      // The protocol exchange itself succeeded: the connection is healthy
+      // and the handler's status must round-trip verbatim, un-retried —
+      // the reliability layer upstream decides what a fault status means.
+      NoteSuccess(checked.endpoint);
+      CheckIn(checked.endpoint, std::move(checked.conn));
+      if (remote.ok()) {
+        return Status::Unavailable(
+            "backend reported failure without status");
+      }
+      return remote;
+    }
+    auto response = DecodeServiceResponse(&r);
+    Status tail = response.ok() ? r.ExpectEnd() : response.status();
+    if (!tail.ok()) {
+      NoteTransportFailure(checked.endpoint);
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      last = tail;
+      continue;
+    }
+    NoteSuccess(checked.endpoint);
+    CheckIn(checked.endpoint, std::move(checked.conn));
+    return std::move(response.value());
   }
-  SECO_ASSIGN_OR_RETURN(ServiceResponse response, DecodeServiceResponse(&r));
-  SECO_RETURN_IF_ERROR(r.ExpectEnd());
-  CheckIn(std::move(conn));
-  return response;
+  return last;
 }
 
-Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistry(
-    const ServiceRegistry& local, const std::string& host, uint16_t port,
-    RemoteBackendOptions options) {
-  auto client = std::make_shared<RemoteBackendClient>(host, port, options);
+RemotePoolStats RemoteBackendClient::stats() const {
+  RemotePoolStats out;
+  out.connections_opened =
+      connections_opened_.load(std::memory_order_relaxed);
+  out.connections_reused =
+      connections_reused_.load(std::memory_order_relaxed);
+  out.connections_discarded =
+      connections_discarded_.load(std::memory_order_relaxed);
+  out.reconnect_attempts =
+      reconnect_attempts_.load(std::memory_order_relaxed);
+  out.dial_overflows = dial_overflows_.load(std::memory_order_relaxed);
+  out.pings_sent = pings_sent_.load(std::memory_order_relaxed);
+  out.ping_failures = ping_failures_.load(std::memory_order_relaxed);
+  out.endpoints_evicted = endpoints_evicted_.load(std::memory_order_relaxed);
+  out.endpoint_exhaustions =
+      endpoint_exhaustions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const EndpointState& ep : endpoints_) {
+    RemoteEndpointHealth health;
+    health.endpoint = ep.host + ":" + std::to_string(ep.port);
+    health.evicted = ep.evicted;
+    health.consecutive_failures = ep.consecutive_failures;
+    health.dials = ep.dials;
+    health.calls_ok = ep.calls_ok;
+    health.transport_failures = ep.transport_failures;
+    health.evictions = ep.evictions;
+    out.endpoints.push_back(std::move(health));
+  }
+  return out;
+}
+
+Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistryRouted(
+    const ServiceRegistry& local,
+    std::shared_ptr<RemoteBackendClient> default_client,
+    const std::map<std::string, std::shared_ptr<RemoteBackendClient>>&
+        routes) {
   auto remote = std::make_shared<ServiceRegistry>();
 
   for (const std::string& name : local.mart_names()) {
@@ -124,6 +461,9 @@ Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistry(
   }
   for (const std::string& name : local.interface_names()) {
     SECO_ASSIGN_OR_RETURN(auto iface, local.FindInterface(name));
+    auto route = routes.find(name);
+    std::shared_ptr<RemoteBackendClient> client =
+        route != routes.end() ? route->second : default_client;
     auto handler = std::make_shared<RemoteServiceHandler>(client, name);
     auto twin = std::make_shared<ServiceInterface>(
         iface->name(), iface->schema_ptr(), iface->pattern(), iface->kind(),
@@ -136,6 +476,15 @@ Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistry(
     SECO_RETURN_IF_ERROR(remote->RegisterConnectionPattern(pattern));
   }
   return remote;
+}
+
+Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistry(
+    const ServiceRegistry& local, const std::string& host, uint16_t port,
+    RemoteBackendOptions options,
+    std::shared_ptr<RemoteBackendClient>* client_out) {
+  auto client = std::make_shared<RemoteBackendClient>(host, port, options);
+  if (client_out != nullptr) *client_out = client;
+  return MakeRemoteRegistryRouted(local, std::move(client), {});
 }
 
 }  // namespace seco

@@ -2,55 +2,108 @@
 #define SECO_NET_REMOTE_HANDLER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "net/chaos.h"
 #include "net/socket.h"
+#include "reliability/policy.h"
 #include "service/invocation.h"
 #include "service/registry.h"
 
 namespace seco {
+
+/// One backend replica address.
+struct RemoteEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
 
 /// Client-side configuration for one backend connection pool.
 struct RemoteBackendOptions {
   /// Receive timeout per call, milliseconds; < 0 blocks forever. A timeout
   /// surfaces as `kDeadlineExceeded` — the same code the in-process
   /// deadline path emits, so the reliability layer treats a slow backend
-  /// exactly like a slow simulated service.
+  /// exactly like a slow simulated service. Timeouts are never silently
+  /// wire-retried (the reliability layer owns that decision), but they DO
+  /// count toward endpoint eviction.
   int timeout_ms = -1;
-  /// Idle connections kept for reuse. Calls beyond the pool dial fresh
-  /// connections, so the pool bounds memory, not concurrency.
+  /// Idle connections kept for reuse, per endpoint. Bounds memory.
   int max_pool = 8;
+  /// Concurrent dials in flight across all endpoints — the retry-storm
+  /// valve: dials beyond the cap queue up to `dial_wait_ms`, then fail
+  /// `kUnavailable` instead of opening unbounded sockets against a
+  /// struggling backend.
+  int max_dials = 8;
+  int dial_wait_ms = 1000;
+  /// Receive timeout for the hello handshake on a fresh connection. Always
+  /// bounded (even when `timeout_ms` < 0): a peer that accepts but never
+  /// handshakes must not hang a dial — it fails `kUnavailable` and counts
+  /// as a transport failure.
+  int handshake_timeout_ms = 1000;
+  /// Transparent retries of one call on a *fresh* connection after a
+  /// transport-class failure (dial refused, reset, checksum corruption,
+  /// half-written reply, stale reply id). Handler-level statuses and recv
+  /// timeouts are never wire-retried. 0 disables self-healing.
+  int wire_retries = 2;
+  /// Backoff between wire retries, keyed on the request ordinal — capped,
+  /// jittered, deterministic per (request, attempt).
+  RetryPolicy reconnect;
+  /// Consecutive transport failures that evict an endpoint from rotation.
+  int eviction_threshold = 3;
+  /// Real milliseconds after which one probe dial may test an evicted
+  /// endpoint (half-open, single probe at a time).
+  double reprobe_ms = 1000.0;
+  /// Health-gate pooled connections with a ping/pong before reuse.
+  bool ping_on_checkout = false;
+  int ping_timeout_ms = 200;
+  /// Client-side deterministic fault injection on dialed connections.
+  ChaosOptions chaos;
 };
 
-/// Shared connection pool to one `BackendServer`. Handlers check a
-/// connection out per call and return it on success; any socket or
-/// protocol error discards the connection, so a poisoned stream can never
-/// serve a second call.
+/// Self-healing connection pool across one or more backend replicas.
+/// Handlers check a connection out per call and return it on success; any
+/// socket or protocol error discards the connection, so a poisoned stream
+/// can never serve a second call. Transport faults heal transparently
+/// (reconnect + bounded retry with jittered backoff); endpoints that keep
+/// failing are evicted and re-probed; when every replica is gone, calls
+/// fast-fail `kUnavailable` — which the resilient handler turns into a
+/// `ServiceLostEvent`, so `PlanRepairer` failover works across the wire
+/// exactly as in-process.
 class RemoteBackendClient {
  public:
   RemoteBackendClient(std::string host, uint16_t port,
                       RemoteBackendOptions options = {});
+  explicit RemoteBackendClient(std::vector<RemoteEndpoint> endpoints,
+                               RemoteBackendOptions options = {});
 
   /// Performs one remote call against `interface_name`. Socket failures
   /// map onto the structured fault statuses the reliability layer retries
-  /// on: refused/reset/closed -> `kUnavailable`, timeout ->
+  /// on: refused/reset/closed/corrupted -> `kUnavailable`, timeout ->
   /// `kDeadlineExceeded`. Backend-side handler errors round-trip verbatim.
   Result<ServiceResponse> Call(const std::string& interface_name,
                                const ServiceRequest& request);
 
-  const std::string& host() const { return host_; }
-  uint16_t port() const { return port_; }
+  const std::string& host() const { return endpoints_[0].host; }
+  uint16_t port() const { return endpoints_[0].port; }
 
   /// Connections dialed so far (diagnostic; reuse keeps this near the
   /// concurrency level rather than the call count).
   int64_t connections_opened() const {
     return connections_opened_.load(std::memory_order_relaxed);
   }
+
+  /// Pool/health snapshot, including per-endpoint state.
+  RemotePoolStats stats() const;
+
+  /// Faults fired by the client-side chaos engine (zeros when chaos off).
+  ChaosStats chaos_stats() const { return chaos_.stats(); }
 
  private:
   struct PooledConn {
@@ -60,17 +113,56 @@ class RemoteBackendClient {
     FrameDecoder decoder;
   };
 
-  Result<std::unique_ptr<PooledConn>> CheckOut();
-  void CheckIn(std::unique_ptr<PooledConn> conn);
+  /// One replica plus its health ledger. Mutable state guarded by `mu_`.
+  struct EndpointState {
+    std::string host;
+    uint16_t port = 0;
+    bool evicted = false;
+    double evicted_at_ms = 0.0;
+    bool probe_in_flight = false;
+    int consecutive_failures = 0;
+    int64_t dials = 0;
+    int64_t calls_ok = 0;
+    int64_t transport_failures = 0;
+    int64_t evictions = 0;
+    std::vector<std::unique_ptr<PooledConn>> pool;
+  };
 
-  const std::string host_;
-  const uint16_t port_;
+  struct Checked {
+    std::unique_ptr<PooledConn> conn;
+    size_t endpoint = 0;
+  };
+
+  /// Pops a healthy pooled connection or dials a usable endpoint. Sets
+  /// `*exhausted` when no endpoint is even eligible to try — the signal
+  /// `Call` fast-fails on instead of retrying into a void.
+  Result<Checked> CheckOut(bool* exhausted);
+  Result<Checked> Dial(size_t endpoint_index);
+  void CheckIn(size_t endpoint_index, std::unique_ptr<PooledConn> conn);
+  Status PingConn(PooledConn* conn);
+  void NoteSuccess(size_t endpoint_index);
+  void NoteTransportFailure(size_t endpoint_index);
+  void DiscardLocked(EndpointState* ep);
+
+  const std::vector<RemoteEndpoint> endpoints_config_;
   const RemoteBackendOptions options_;
+  ChaosEngine chaos_;
   std::atomic<uint64_t> next_call_id_{1};
   std::atomic<int64_t> connections_opened_{0};
+  std::atomic<int64_t> connections_reused_{0};
+  std::atomic<int64_t> connections_discarded_{0};
+  std::atomic<int64_t> reconnect_attempts_{0};
+  std::atomic<int64_t> dial_overflows_{0};
+  std::atomic<int64_t> pings_sent_{0};
+  std::atomic<int64_t> ping_failures_{0};
+  std::atomic<int64_t> endpoints_evicted_{0};
+  std::atomic<int64_t> endpoint_exhaustions_{0};
 
-  std::mutex pool_mu_;
-  std::vector<std::unique_ptr<PooledConn>> pool_;
+  mutable std::mutex mu_;
+  std::condition_variable dial_cv_;
+  int dials_in_flight_ = 0;
+  size_t rr_ = 0;  ///< Round-robin cursor over endpoints.
+  std::vector<EndpointState> endpoints_;
 };
 
 /// `ServiceCallHandler` that forwards every call to a `BackendServer` over
@@ -101,10 +193,24 @@ class RemoteServiceHandler : public ServiceCallHandler {
 /// shared with the original, only the handlers are replaced by
 /// `RemoteServiceHandler`s over one pooled client. Point the result at a
 /// `BackendServer` exposing `local` and queries plan and execute
-/// identically — the registry-level form of the drop-in claim.
+/// identically — the registry-level form of the drop-in claim. When
+/// `client_out` is non-null it receives the shared client, so callers can
+/// read pool/health stats after the run.
 Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistry(
     const ServiceRegistry& local, const std::string& host, uint16_t port,
-    RemoteBackendOptions options = {});
+    RemoteBackendOptions options = {},
+    std::shared_ptr<RemoteBackendClient>* client_out = nullptr);
+
+/// Like `MakeRemoteRegistry`, but with per-interface client routing:
+/// interfaces named in `routes` call their mapped client, everything else
+/// calls `default_client`. This is how a replica interface can live on a
+/// different backend (or port) than its primary — the over-the-wire
+/// failover topology.
+Result<std::shared_ptr<ServiceRegistry>> MakeRemoteRegistryRouted(
+    const ServiceRegistry& local,
+    std::shared_ptr<RemoteBackendClient> default_client,
+    const std::map<std::string, std::shared_ptr<RemoteBackendClient>>&
+        routes);
 
 }  // namespace seco
 

@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "net/chaos.h"
+
 namespace seco {
 
 namespace {
@@ -38,13 +40,50 @@ Status Socket::SendAll(const std::string& data) {
   if (fd_ < 0) return Status::Unavailable("socket: send on closed socket");
   size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t n =
-        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    size_t want = data.size() - sent;
+    if (chaos_) {
+      Status fault = ChaosBeforeSend(chaos_.get(), tx_offset_, &want);
+      if (!fault.ok()) {
+        // Make the fault visible to the peer too: it sees EOF mid-frame,
+        // exactly like a real half-closed connection.
+        ShutdownWrite();
+        return fault;
+      }
+      // Clamping never yields 0: at the boundary the call above fails
+      // instead, so every pass makes progress.
+    }
+    if (write_timeout_ms_ >= 0) {
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, write_timeout_ms_);
+      } while (ready < 0 && errno == EINTR);
+      if (ready < 0) return Status::Unavailable(Errno("socket: poll failed"));
+      if (ready == 0) {
+        return Status::DeadlineExceeded(
+            "socket: write stalled for " +
+            std::to_string(write_timeout_ms_) +
+            " ms (peer not reading)");
+      }
+    }
+    const int flags =
+        MSG_NOSIGNAL | (write_timeout_ms_ >= 0 ? MSG_DONTWAIT : 0);
+    ssize_t n = ::send(fd_, data.data() + sent, want, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // With MSG_DONTWAIT the buffer may have refilled between the poll
+      // and the send; loop back to the poll for another progress window.
+      if (write_timeout_ms_ >= 0 &&
+          (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        continue;
+      }
       return Status::Unavailable(Errno("socket: send failed"));
     }
     sent += static_cast<size_t>(n);
+    tx_offset_ += static_cast<uint64_t>(n);
   }
   return Status::OK();
 }
@@ -52,6 +91,16 @@ Status Socket::SendAll(const std::string& data) {
 Result<size_t> Socket::RecvSome(std::string* out, size_t max_bytes,
                                 int timeout_ms) {
   if (fd_ < 0) return Status::Unavailable("socket: recv on closed socket");
+  char buf[16384];
+  size_t want = std::min(max_bytes, sizeof(buf));
+  if (chaos_) {
+    bool eof = false;
+    Status fault =
+        ChaosBeforeRecv(chaos_.get(), rx_offset_, &want, timeout_ms, &eof);
+    SECO_RETURN_IF_ERROR(fault);
+    if (eof) return static_cast<size_t>(0);  // truncation: clean EOF
+    if (want == 0) want = 1;  // never issue a zero-byte recv
+  }
   if (timeout_ms >= 0) {
     struct pollfd pfd;
     pfd.fd = fd_;
@@ -67,13 +116,15 @@ Result<size_t> Socket::RecvSome(std::string* out, size_t max_bytes,
                                       std::to_string(timeout_ms) + " ms");
     }
   }
-  char buf[16384];
-  size_t want = std::min(max_bytes, sizeof(buf));
   ssize_t n;
   do {
     n = ::recv(fd_, buf, want, 0);
   } while (n < 0 && errno == EINTR);
   if (n < 0) return Status::Unavailable(Errno("socket: recv failed"));
+  if (chaos_ && n > 0) {
+    ChaosAfterRecv(chaos_.get(), rx_offset_, buf, static_cast<size_t>(n));
+  }
+  rx_offset_ += static_cast<uint64_t>(n);
   out->append(buf, static_cast<size_t>(n));
   return static_cast<size_t>(n);
 }
@@ -173,6 +224,13 @@ Result<Frame> RecvFrame(Socket* socket, FrameDecoder* decoder,
                         int timeout_ms) {
   Frame frame;
   while (!decoder->Next(&frame)) {
+    // Next() returning false while poisoned means a payload failed its
+    // checksum: the stream is corrupt, not merely incomplete. Fail before
+    // blocking in recv for bytes that would never complete a frame.
+    if (decoder->poisoned()) {
+      return Status::Unavailable(
+          "socket: frame stream failed checksum (corrupted)");
+    }
     std::string bytes;
     SECO_ASSIGN_OR_RETURN(size_t n,
                           socket->RecvSome(&bytes, 65536, timeout_ms));

@@ -2,6 +2,7 @@
 #define SECO_NET_SOCKET_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -9,6 +10,8 @@
 #include "net/wire.h"
 
 namespace seco {
+
+struct ChaosPlan;
 
 /// Thin RAII wrappers over POSIX TCP sockets, shared by every `src/net/`
 /// component. All IO is blocking with optional `poll`-based receive
@@ -22,11 +25,20 @@ class Socket {
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
 
-  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket(Socket&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        chaos_(std::move(other.chaos_)),
+        tx_offset_(std::exchange(other.tx_offset_, 0)),
+        rx_offset_(std::exchange(other.rx_offset_, 0)),
+        write_timeout_ms_(std::exchange(other.write_timeout_ms_, -1)) {}
   Socket& operator=(Socket&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = std::exchange(other.fd_, -1);
+      chaos_ = std::move(other.chaos_);
+      tx_offset_ = std::exchange(other.tx_offset_, 0);
+      rx_offset_ = std::exchange(other.rx_offset_, 0);
+      write_timeout_ms_ = std::exchange(other.write_timeout_ms_, -1);
     }
     return *this;
   }
@@ -57,8 +69,26 @@ class Socket {
   /// coalescing delay is pure added latency.
   void SetNoDelay();
 
+  /// Attaches a deterministic fault schedule (see `net/chaos.h`). Faults
+  /// then fire inside `SendAll`/`RecvSome` at exact byte offsets of this
+  /// socket's tx/rx streams. Pass nullptr to detach.
+  void AttachChaos(std::shared_ptr<ChaosPlan> plan) {
+    chaos_ = std::move(plan);
+  }
+
+  /// Write-progress deadline: once set (>= 0 ms), `SendAll` fails with
+  /// `kDeadlineExceeded` whenever the peer accepts no bytes for that long —
+  /// the slow-loris defense. Progress resets the window. < 0 disables.
+  void SetWriteTimeout(int timeout_ms) { write_timeout_ms_ = timeout_ms; }
+
  private:
   int fd_ = -1;
+  std::shared_ptr<ChaosPlan> chaos_;
+  /// Cumulative bytes sent/received — the chaos offset keys. Each counter
+  /// is owned by the single thread driving that direction.
+  uint64_t tx_offset_ = 0;
+  uint64_t rx_offset_ = 0;
+  int write_timeout_ms_ = -1;
 };
 
 /// Owns a listening socket bound to 127.0.0.1.

@@ -183,11 +183,23 @@ Status WireReader::ExpectEnd() const {
   return Status::OK();
 }
 
+uint32_t FrameChecksum(const char* data, size_t size) {
+  // FNV-1a, 32-bit: cheap, order-sensitive, catches single-byte flips —
+  // exactly the corruption class the chaos layer injects.
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
 std::string EncodeFrame(FrameType type, const std::string& payload) {
   std::string out;
-  out.reserve(5 + payload.size());
+  out.reserve(kFrameHeaderBytes + payload.size());
   PutLE(&out, payload.size(), 4);
   out.push_back(static_cast<char>(type));
+  PutLE(&out, FrameChecksum(payload), 4);
   out.append(payload);
   return out;
 }
@@ -201,6 +213,8 @@ Status FrameDecoder::Feed(const char* data, size_t size) {
   // oversized length prefix or unknown type must be rejected before any
   // payload is accepted, no matter how the bytes were fragmented or batched
   // across recv chunks (a pipelined burst can carry many headers at once).
+  // Length and type live in the first 5 header bytes, so they are validated
+  // as soon as those arrive — before the checksum word completes.
   while (scan_ + 5 <= buffer_.size()) {
     const char* header = buffer_.data() + scan_;
     uint32_t len = static_cast<uint32_t>(GetLE(header, 4));
@@ -216,7 +230,8 @@ Status FrameDecoder::Feed(const char* data, size_t size) {
       return Status::InvalidArgument("wire: unknown frame type " +
                                      std::to_string(type));
     }
-    scan_ += 5 + static_cast<size_t>(len);
+    if (scan_ + kFrameHeaderBytes > buffer_.size()) break;
+    scan_ += kFrameHeaderBytes + static_cast<size_t>(len);
   }
   return Status::OK();
 }
@@ -224,7 +239,7 @@ Status FrameDecoder::Feed(const char* data, size_t size) {
 bool FrameDecoder::Next(Frame* frame) {
   if (poisoned_) return false;
   size_t avail = buffer_.size() - consumed_;
-  if (avail < 5) return false;
+  if (avail < kFrameHeaderBytes) return false;
   const char* header = buffer_.data() + consumed_;
   uint32_t len = static_cast<uint32_t>(GetLE(header, 4));
   // Belt and braces: Feed validated this header when it was buffered, but a
@@ -234,10 +249,19 @@ bool FrameDecoder::Next(Frame* frame) {
     poisoned_ = true;
     return false;
   }
-  if (avail < 5 + static_cast<size_t>(len)) return false;
+  if (avail < kFrameHeaderBytes + static_cast<size_t>(len)) return false;
+  const uint32_t declared = static_cast<uint32_t>(GetLE(header + 5, 4));
+  const char* payload = buffer_.data() + consumed_ + kFrameHeaderBytes;
+  if (FrameChecksum(payload, len) != declared) {
+    // Corrupted payload: the stream can no longer be trusted (a flipped
+    // byte in a *header* would already have failed above or desynced the
+    // framing). Poison instead of popping garbage.
+    poisoned_ = true;
+    return false;
+  }
   frame->type = static_cast<FrameType>(static_cast<uint8_t>(header[4]));
-  frame->payload.assign(buffer_.data() + consumed_ + 5, len);
-  consumed_ += 5 + len;
+  frame->payload.assign(payload, len);
+  consumed_ += kFrameHeaderBytes + len;
   // Compact once the consumed prefix dominates, so a long-lived keep-alive
   // connection does not grow its buffer without bound.
   if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
@@ -404,6 +428,7 @@ void EncodeServiceRequest(const ServiceRequest& request, WireWriter* w) {
   for (const Value& v : request.inputs) EncodeValue(v, w);
   w->U32(static_cast<uint32_t>(request.chunk_index));
   w->U32(static_cast<uint32_t>(request.attempt));
+  w->F64(request.deadline_ms);
 }
 
 Result<ServiceRequest> DecodeServiceRequest(WireReader* r) {
@@ -416,6 +441,7 @@ Result<ServiceRequest> DecodeServiceRequest(WireReader* r) {
   }
   SECO_ASSIGN_OR_RETURN(uint32_t chunk_index, r->U32());
   SECO_ASSIGN_OR_RETURN(uint32_t attempt, r->U32());
+  SECO_ASSIGN_OR_RETURN(request.deadline_ms, r->F64());
   request.chunk_index = static_cast<int>(chunk_index);
   request.attempt = static_cast<int>(attempt);
   return request;

@@ -17,7 +17,8 @@ namespace seco {
 /// The SeCo wire protocol (docs/NETWORK.md): length-prefixed frames over a
 /// byte stream. Every frame is
 ///
-///     [u32 payload length, little-endian][u8 frame type][payload bytes]
+///     [u32 payload length, LE][u8 frame type][u32 payload checksum, LE]
+///     [payload bytes]
 ///
 /// The same framing carries both protocols: the *query* protocol between a
 /// `NetClient` and a `NetServer` front end, and the *backend* protocol
@@ -25,11 +26,25 @@ namespace seco {
 /// integers are little-endian; doubles travel as their IEEE-754 bit pattern
 /// (a u64), so every numeric value round-trips bit-exactly — the foundation
 /// of the "wire answers are byte-identical to in-process runs" oracle.
+///
+/// The checksum (FNV-1a over the payload, v2) closes the silent-corruption
+/// hole: a flipped byte anywhere in a payload poisons the decoder instead
+/// of decoding into a plausible-but-wrong value, so corruption degrades
+/// through the structured `kUnavailable` path like any other stream fault.
 
 /// Protocol constants. The version is negotiated by the Hello/HelloAck
 /// exchange that opens every connection.
 inline constexpr uint32_t kWireMagic = 0x4F434553;  // "SECO" little-endian
-inline constexpr uint16_t kWireVersion = 1;
+inline constexpr uint16_t kWireVersion = 2;  // v2: checksummed frame header
+
+/// Bytes in one frame header: length + type + checksum.
+inline constexpr size_t kFrameHeaderBytes = 9;
+
+/// FNV-1a (32-bit) over a byte span — the frame payload checksum.
+uint32_t FrameChecksum(const char* data, size_t size);
+inline uint32_t FrameChecksum(const std::string& bytes) {
+  return FrameChecksum(bytes.data(), bytes.size());
+}
 
 /// Hard ceiling on one frame's payload. A length prefix beyond this is
 /// rejected *before* any buffer is sized to it, so a hostile or corrupt
@@ -152,19 +167,23 @@ std::string EncodeFrame(FrameType type, const std::string& payload);
 /// from `recv`, in any fragmentation) and poll complete frames out. An
 /// oversized length prefix fails immediately — before any payload byte is
 /// buffered — and poisons the decoder, mirroring how a connection must be
-/// dropped after a framing error.
+/// dropped after a framing error. A payload whose checksum does not match
+/// its header poisons the decoder at pop time (see `Next`).
 class FrameDecoder {
  public:
   /// Appends raw bytes. Returns non-OK on a malformed header (oversized
-  /// length or unknown frame type); the decoder then rejects all further
-  /// input.
+  /// length or unknown frame type — both visible from the first 5 header
+  /// bytes, before any payload is accepted); the decoder then rejects all
+  /// further input.
   Status Feed(const char* data, size_t size);
   Status Feed(const std::string& bytes) {
     return Feed(bytes.data(), bytes.size());
   }
 
   /// Pops the next complete frame into `*frame`; false when no complete
-  /// frame is buffered yet.
+  /// frame is buffered yet. A checksum mismatch poisons the decoder and
+  /// returns false — callers must check `poisoned()` to tell corruption
+  /// from not-yet-complete (RecvFrame does).
   bool Next(Frame* frame);
 
   bool poisoned() const { return poisoned_; }

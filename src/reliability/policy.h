@@ -144,6 +144,45 @@ class ServiceLostCollector {
   std::map<std::string, ServiceLostEvent> events_;
 };
 
+/// Health of one remote backend endpoint, as tracked by a
+/// `RemoteBackendClient` (src/net/remote_handler.h). Defined here — not in
+/// net/ — so `ReliabilityStats` can carry pool health without a
+/// reliability→net dependency.
+struct RemoteEndpointHealth {
+  std::string endpoint;  ///< "host:port"
+  bool evicted = false;
+  int consecutive_failures = 0;
+  int64_t dials = 0;
+  int64_t calls_ok = 0;
+  int64_t transport_failures = 0;
+  int64_t evictions = 0;  ///< Times this endpoint crossed the threshold.
+};
+
+/// Connection-pool and self-healing telemetry of the remote backend path.
+/// Wall-clock-dependent (reconnects, evictions and dial contention follow
+/// real network timing), so it is *excluded from the wire-encoded answer
+/// body* — like `wall_clock_ms` — keeping recovered wire runs byte-identical
+/// to fault-free ones.
+struct RemotePoolStats {
+  int64_t connections_opened = 0;
+  int64_t connections_reused = 0;
+  int64_t connections_discarded = 0;
+  int64_t reconnect_attempts = 0;  ///< Wire-level retries on fresh conns.
+  int64_t dial_overflows = 0;      ///< Dials rejected at the dial cap.
+  int64_t pings_sent = 0;
+  int64_t ping_failures = 0;
+  int64_t endpoints_evicted = 0;
+  int64_t endpoint_exhaustions = 0;  ///< All-replicas-dead events.
+  std::vector<RemoteEndpointHealth> endpoints;
+
+  bool any() const {
+    return connections_opened != 0 || connections_reused != 0 ||
+           connections_discarded != 0 || reconnect_attempts != 0 ||
+           dial_overflows != 0 || pings_sent != 0 || ping_failures != 0 ||
+           endpoints_evicted != 0 || endpoint_exhaustions != 0;
+  }
+};
+
 /// Aggregate reliability telemetry for one execution. Counters are
 /// attempt-level and include speculative work, so under concurrency their
 /// totals may vary run-to-run; `overhead_ms` is accounted at consumption
@@ -170,6 +209,11 @@ struct ReliabilityStats {
 
   /// Services declared permanently lost, one entry per interface.
   std::vector<ServiceLostEvent> services_lost;
+
+  /// Remote-backend pool health (filled by the shell when a
+  /// `RemoteBackendClient` is in play; empty otherwise). NOT wire-encoded —
+  /// see `RemotePoolStats`.
+  RemotePoolStats remote;
 
   bool any() const {
     return attempts != 0 || retries != 0 || transient_failures != 0 ||

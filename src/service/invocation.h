@@ -22,6 +22,13 @@ struct ServiceRequest {
   /// models mix the attempt in, so a transient failure of attempt 0 does not
   /// doom attempt 1.
   int attempt = 0;
+  /// Remaining real-time budget for this call, milliseconds; < 0 means
+  /// unbounded. Carried over the wire (deadline propagation): a
+  /// `BackendServer` drops a queued call whose wait already exceeded the
+  /// budget instead of computing an answer nobody is waiting for. Like
+  /// `attempt`, excluded from `RequestOrdinal` — it is delivery metadata,
+  /// not request identity.
+  double deadline_ms = -1.0;
 };
 
 /// The result of one request-response.

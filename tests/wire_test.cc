@@ -143,6 +143,7 @@ TEST(WireCodecTest, ServiceRequestAndResponseRoundTrip) {
   request.inputs = {Value("Roma"), Value(int64_t{3})};
   request.chunk_index = 2;
   request.attempt = 1;
+  request.deadline_ms = 87.5;
   WireWriter w;
   EncodeServiceRequest(request, &w);
   WireReader r(w.buffer());
@@ -151,6 +152,14 @@ TEST(WireCodecTest, ServiceRequestAndResponseRoundTrip) {
   EXPECT_EQ(req_back.value().inputs, request.inputs);
   EXPECT_EQ(req_back.value().chunk_index, 2);
   EXPECT_EQ(req_back.value().attempt, 1);
+  EXPECT_EQ(req_back.value().deadline_ms, 87.5);
+
+  // The deadline is delivery metadata like `attempt`: two requests that
+  // differ only in transported budget are the SAME logical request (same
+  // retry schedule, same cache identity).
+  ServiceRequest no_deadline = request;
+  no_deadline.deadline_ms = -1.0;
+  EXPECT_EQ(RequestOrdinal(request), RequestOrdinal(no_deadline));
 
   ServiceResponse response;
   response.tuples.push_back(Tuple({TupleSlot(Value("Up"))}));
@@ -358,6 +367,37 @@ TEST(FrameDecoderTest, WholeFrameRoundTrips) {
   EXPECT_EQ(frame.payload, "payload");
   EXPECT_FALSE(decoder.Next(&frame));
   EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, CorruptedPayloadFailsItsChecksumAndPoisons) {
+  // Flip each payload byte in turn: every single-bit-of-damage variant must
+  // be caught by the frame checksum — silent corruption is the one failure
+  // mode a length-prefixed stream cannot otherwise see.
+  std::string encoded = EncodeFrame(FrameType::kQuery, "payload-bytes");
+  for (size_t i = kFrameHeaderBytes; i < encoded.size(); ++i) {
+    std::string damaged = encoded;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x20);
+    FrameDecoder decoder;
+    // Feed succeeds: header length/type are plausible, the damage is in
+    // the payload and only detectable at pop time.
+    ASSERT_TRUE(decoder.Feed(damaged).ok()) << i;
+    Frame frame;
+    EXPECT_FALSE(decoder.Next(&frame)) << i;
+    EXPECT_TRUE(decoder.poisoned()) << i;
+  }
+}
+
+TEST(FrameDecoderTest, CorruptedChecksumFieldAlsoPoisons) {
+  std::string encoded = EncodeFrame(FrameType::kQuery, "payload");
+  for (size_t i = 5; i < kFrameHeaderBytes; ++i) {  // the 4 checksum bytes
+    std::string damaged = encoded;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x01);
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(damaged).ok()) << i;
+    Frame frame;
+    EXPECT_FALSE(decoder.Next(&frame)) << i;
+    EXPECT_TRUE(decoder.poisoned()) << i;
+  }
 }
 
 TEST(FrameDecoderTest, TruncatedFramesNeverPop) {
