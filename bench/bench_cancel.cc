@@ -1,0 +1,167 @@
+// Cancellation economics (docs/SERVER.md, "Cancellation"). Two questions:
+//
+//   reclaim_ms     how quickly a cancel returns the query's resources —
+//                  wall time from Cancel() to the future resolving.
+//   goodput_qps    what abandoned work costs the queries that stayed: an
+//                  open-loop run where 0/25/50% of clients walk away, with
+//                  cancellation delivering the abandonment to the server
+//                  vs. the pre-cancellation behavior (the server computes
+//                  every abandoned answer to completion for nobody).
+//
+// The acceptance shape: at 25/50% abandonment, the cancelling run's goodput
+// over the *surviving* queries meets or beats the non-cancelling run's,
+// because reaped queries free their window slots early.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace seco {
+namespace {
+
+using bench_util::Unwrap;
+
+bench_util::BenchJsonWriter& CancelJson() {
+  static bench_util::BenchJsonWriter writer("cancel");
+  return writer;
+}
+
+// Wall time from Cancel() of a mid-run query to its future resolving —
+// the latency of getting the slot, threads, and budget back.
+void BM_CancelReclaimLatency(benchmark::State& state) {
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.05);  // ~100 real ms per full query
+  }
+  ServerOptions options;
+  options.admission.max_in_flight = 2;
+  options.ladder.enabled = false;
+  QueryServer server(scenario.registry, options);
+
+  QueryRequest request;
+  request.query_text = scenario.query_text;
+  request.input_bindings = scenario.inputs;
+  request.k = 10;
+
+  double reclaim_total_ms = 0.0;
+  int64_t cancelled = 0;
+  for (auto _ : state) {
+    QueryServer::SubmittedQuery submitted = server.SubmitWithId(request);
+    // Let the query get properly underway before pulling the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto cancel_at = std::chrono::steady_clock::now();
+    server.Cancel(submitted.id, "bench reclaim");
+    QueryResponse response = submitted.future.get();
+    const double reclaim_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - cancel_at)
+            .count();
+    if (response.outcome == ServedOutcome::kCancelled) {
+      reclaim_total_ms += reclaim_ms;
+      ++cancelled;
+    }
+  }
+  server.Drain();
+
+  const double mean_reclaim =
+      cancelled > 0 ? reclaim_total_ms / static_cast<double>(cancelled) : 0.0;
+  state.counters["reclaim_ms"] = mean_reclaim;
+  state.counters["cancelled"] = static_cast<double>(cancelled);
+  CancelJson().Record("reclaim_ms", "realtime=0.05", "ms", mean_reclaim);
+}
+BENCHMARK(BM_CancelReclaimLatency)->Unit(benchmark::kMillisecond);
+
+// Open-loop run where `abandon_pct` of clients walk away 2 ms after
+// submitting. cancel=on delivers the abandonment (QueryServer::Cancel);
+// cancel=off replays the identical schedule with the cancels suppressed —
+// the server computes every abandoned answer in full. Goodput counts only
+// the queries whose clients stayed: the useful work per wall second.
+void BM_ServerAbandonment(benchmark::State& state) {
+  const int abandon_pct = static_cast<int>(state.range(0));
+  const bool cancel_on = state.range(1) != 0;
+  Scenario scenario = Unwrap(MakeMovieScenario(), "scenario");
+  for (auto& [name, backend] : scenario.backends) {
+    backend->set_realtime_factor(0.002);
+  }
+
+  int64_t kept_useful = 0, reaped = 0;
+  double wall_ms_total = 0.0;
+  for (auto _ : state) {
+    ServerOptions options;
+    options.admission.max_in_flight = 2;
+    options.admission.interactive.queue_capacity = 128;
+    options.admission.batch.queue_capacity = 128;
+    options.ladder.enabled = false;
+    options.num_threads = 2;
+    QueryServer server(scenario.registry, options);
+
+    LoadProfile profile;
+    profile.seed = 41;
+    profile.num_queries = 64;
+    profile.closed_loop_width = 0;
+    profile.mean_interarrival_ms = 0.0;
+    profile.interactive_fraction = 0.5;
+    profile.k_min = 3;
+    profile.k_max = 8;
+    profile.abandon_fraction = static_cast<double>(abandon_pct) / 100.0;
+    profile.abandon_after_ms = 2.0;
+    LoadGenerator generator(profile, scenario.query_text, scenario.inputs);
+    std::vector<LoadItem> schedule = generator.Schedule();
+    // The abandon flags mark which clients walk away in BOTH legs; the
+    // off leg strips them so no cancel is ever delivered — the historical
+    // behavior of computing abandoned answers to completion.
+    std::vector<bool> kept(schedule.size());
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      kept[i] = !schedule[i].abandon;
+      if (!cancel_on) schedule[i].abandon = false;
+    }
+    LoadReport report = DriveLoad(&server, schedule, profile);
+    server.Drain();
+
+    for (size_t i = 0; i < report.responses.size(); ++i) {
+      const QueryResponse& response = report.responses[i];
+      if (kept[i] && (response.outcome == ServedOutcome::kCompleted ||
+                      response.outcome == ServedOutcome::kDegraded)) {
+        ++kept_useful;
+      }
+      if (response.outcome == ServedOutcome::kCancelled) ++reaped;
+    }
+    wall_ms_total += report.wall_ms;
+  }
+
+  state.counters["abandon_pct"] = static_cast<double>(abandon_pct);
+  state.counters["cancel"] = cancel_on ? 1.0 : 0.0;
+  state.counters["goodput_qps"] =
+      wall_ms_total > 0.0
+          ? 1000.0 * static_cast<double>(kept_useful) / wall_ms_total
+          : 0.0;
+  state.counters["reaped"] = static_cast<double>(reaped);
+  std::string config = "abandon=" + std::to_string(abandon_pct) +
+                       ",cancel=" + (cancel_on ? "on" : "off");
+  CancelJson().Record("goodput_qps", config, "qps",
+                      state.counters["goodput_qps"]);
+  CancelJson().Record("reaped", config, "count",
+                      state.counters["reaped"]);
+}
+BENCHMARK(BM_ServerAbandonment)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({25, 0})->Args({25, 1})
+    ->Args({50, 0})->Args({50, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace seco
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  seco::CancelJson().Flush();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -56,6 +56,15 @@
 //     --no-ladder                   disable the degradation ladder (answers
 //                                   then match standalone runs bit for bit)
 //     --seed=S                      load-generator seed (default: 1)
+//     --abandon=F                   fraction of load queries the client
+//                                   abandons (QueryServer::Cancel) after
+//                                   --cancel-after-ms (default: 0)
+//     --cancel-after-ms=MS          client-side abandonment timer; setting
+//                                   it without --abandon abandons every
+//                                   query (default: 1)
+//     --stall-grace=MS              stuck-query watchdog: force-cancel
+//                                   queries with no progress for MS
+//                                   (default: 0 = watchdog off)
 //     --answer-cache=on|off         whole-answer reuse + single-flight +
 //                                   optimizer plan memo (docs/CACHING.md;
 //                                   default: off)
@@ -174,6 +183,9 @@ struct Options {
   int max_in_flight = 4;
   bool no_ladder = false;
   uint64_t seed = 1;
+  double abandon_fraction = 0.0;
+  double cancel_after_ms = 0.0;   // 0 keeps the profile default
+  double stall_grace_ms = 0.0;    // 0 = watchdog off
   int listen = -1;          // >= 0: front-end daemon on this port
   int serve_backend = -1;   // >= 0: backend daemon on this port
   std::string connect;      // host:port of a front end to drive load at
@@ -332,6 +344,14 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->no_ladder = true;
     } else if (const char* v = value_of("--seed=")) {
       options->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--abandon=")) {
+      options->abandon_fraction = std::atof(v);
+    } else if (const char* v = value_of("--cancel-after-ms=")) {
+      options->cancel_after_ms = std::atof(v);
+      // --cancel-after-ms alone means "abandon everything after MS".
+      if (options->abandon_fraction <= 0.0) options->abandon_fraction = 1.0;
+    } else if (const char* v = value_of("--stall-grace=")) {
+      options->stall_grace_ms = std::atof(v);
     } else if (const char* v = value_of("--listen=")) {
       options->listen = std::atoi(v);
     } else if (const char* v = value_of("--serve-backend=")) {
@@ -639,6 +659,7 @@ seco::Status Run(const Options& options) {
     server_options.prefetch_depth = options.prefetch;
     server_options.answer_cache = options.answer_cache;
     server_options.plan_memo_bytes = options.memo_bytes;
+    server_options.watchdog.stall_grace_ms = options.stall_grace_ms;
     return server_options;
   };
 
@@ -688,12 +709,22 @@ seco::Status Run(const Options& options) {
     seco::ServerStats stats = server.stats();
     std::printf(
         "served %lld queries over %lld connections "
-        "(%lld shed, %lld protocol errors, %lld write stalls)\n",
+        "(%lld shed, %lld protocol errors, %lld write stalls, "
+        "%lld cancels, %lld disconnect cancels)\n",
         static_cast<long long>(net.queries_served()),
         static_cast<long long>(net.connections_accepted()),
         static_cast<long long>(stats.interactive.shed + stats.batch.shed),
         static_cast<long long>(net.protocol_errors()),
-        static_cast<long long>(net.write_stalls()));
+        static_cast<long long>(net.write_stalls()),
+        static_cast<long long>(net.cancels_received()),
+        static_cast<long long>(net.disconnect_cancels()));
+    if (options.stall_grace_ms > 0.0) {
+      seco::WatchdogStats wd = server.watchdog_stats();
+      std::printf("watchdog: %lld tracked, %lld scans, %lld reaped\n",
+                  static_cast<long long>(wd.tracked),
+                  static_cast<long long>(wd.scans),
+                  static_cast<long long>(wd.reaped));
+    }
     if (options.chaos.active()) {
       PrintChaosStats("front end", net.chaos_stats());
     }
@@ -727,7 +758,7 @@ seco::Status Run(const Options& options) {
         seco::DriveLoadOverWire(host, port, schedule, *profile);
     std::printf(
         "wire report (wall %.1f ms): %lld completed, %lld degraded, "
-        "%lld shed, %lld expired, %lld failed\n",
+        "%lld shed, %lld expired, %lld failed, %lld cancelled\n",
         report.wall_ms,
         static_cast<long long>(
             report.CountOutcome(seco::ServedOutcome::kCompleted)),
@@ -737,7 +768,9 @@ seco::Status Run(const Options& options) {
         static_cast<long long>(
             report.CountOutcome(seco::ServedOutcome::kDeadlineExpired)),
         static_cast<long long>(
-            report.CountOutcome(seco::ServedOutcome::kFailed)));
+            report.CountOutcome(seco::ServedOutcome::kFailed)),
+        static_cast<long long>(
+            report.CountOutcome(seco::ServedOutcome::kCancelled)));
     if (!options.dump_answers.empty()) {
       SECO_RETURN_IF_ERROR(
           DumpAnswerBodies(options.dump_answers, report.bodies));
@@ -754,6 +787,10 @@ seco::Status Run(const Options& options) {
     }
     profile->seed = options.seed;
     profile->streaming = options.stream;
+    profile->abandon_fraction = options.abandon_fraction;
+    if (options.cancel_after_ms > 0.0) {
+      profile->abandon_after_ms = options.cancel_after_ms;
+    }
 
     seco::ServerOptions server_options = make_server_options();
     seco::QueryServer server(scenario.registry, server_options,
@@ -795,26 +832,43 @@ seco::Status Run(const Options& options) {
                           report.wall_ms
                     : 0.0);
     std::printf(
-        "  %-12s %9s %9s %8s %6s %8s %6s %10s %9s %9s %9s %9s\n", "class",
+        "  %-12s %9s %9s %8s %6s %8s %6s %9s %10s %9s %9s %9s %9s\n", "class",
         "submitted", "completed", "degraded", "shed", "expired", "failed",
-        "peak queue", "wait p50", "wait p95", "sim p50", "sim p95");
+        "cancelled", "peak queue", "wait p50", "wait p95", "sim p50",
+        "sim p95");
     for (seco::PriorityClass priority :
          {seco::PriorityClass::kInteractive, seco::PriorityClass::kBatch}) {
       const seco::ClassServingStats& cls = stats.of(priority);
       std::printf(
-          "  %-12s %9lld %9lld %8lld %6lld %8lld %6lld %10d %8.1fms %8.1fms "
-          "%8.1fms %8.1fms\n",
+          "  %-12s %9lld %9lld %8lld %6lld %8lld %6lld %9lld %10d %8.1fms "
+          "%8.1fms %8.1fms %8.1fms\n",
           seco::PriorityClassToString(priority),
           static_cast<long long>(cls.submitted),
           static_cast<long long>(cls.completed),
           static_cast<long long>(cls.degraded),
           static_cast<long long>(cls.shed),
           static_cast<long long>(cls.expired),
-          static_cast<long long>(cls.failed), cls.peak_queue_depth,
+          static_cast<long long>(cls.failed),
+          static_cast<long long>(cls.cancelled), cls.peak_queue_depth,
           seco::Percentile(cls.queue_wait_ms, 50.0),
           seco::Percentile(cls.queue_wait_ms, 95.0),
           seco::Percentile(cls.sim_elapsed_ms, 50.0),
           seco::Percentile(cls.sim_elapsed_ms, 95.0));
+    }
+    if (options.abandon_fraction > 0.0) {
+      std::printf("  abandonment: %.0f%% of queries cancelled after %.1f ms "
+                  "(%lld resolved cancelled)\n",
+                  100.0 * options.abandon_fraction, profile->abandon_after_ms,
+                  static_cast<long long>(
+                      report.CountOutcome(seco::ServedOutcome::kCancelled)));
+    }
+    if (options.stall_grace_ms > 0.0) {
+      seco::WatchdogStats wd = server.watchdog_stats();
+      std::printf("  watchdog: %lld tracked, %lld scans, %lld reaped "
+                  "(grace %.1f ms)\n",
+                  static_cast<long long>(wd.tracked),
+                  static_cast<long long>(wd.scans),
+                  static_cast<long long>(wd.reaped), options.stall_grace_ms);
     }
     std::printf("  degradation levels (admitted queries):");
     for (int level = 0; level <= seco::DegradationLadder::kMaxLevel; ++level) {

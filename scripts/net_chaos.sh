@@ -143,4 +143,39 @@ grep -q "0 shed, 0 expired, 0 failed" "${WORK}/health.log" \
 stop_pid "${FRONT_PID}"
 PIDS=()
 
-echo "net_chaos: passthrough transparent; matrix fired ${MATRIX_FAULTS} faults; same-seed runs identical; daemon healthy"
+echo "==== net_chaos: leg 4 — watchdog reaps black-holed backend queries ===="
+# Chain: client -> front end -> chaos proxy -> backend daemon. The proxy
+# turns chosen backend flows silent for 60 s — the true middlebox black
+# hole, with none of the courtesy EOF the proxy's --chaos-blackhole fault
+# delivers (an EOF lets the self-healing client recover by redialing; a
+# silent flow does not). With the remote call timeout unbounded those
+# queries would wedge the front end forever: the stuck-query watchdog
+# (--stall-grace) must reap them, so every client query still terminates
+# and the front end's shutdown summary reports reaped > 0.
+"${SHELL_BIN}" --serve-backend=0 --scenario=movie --seed=7 \
+  > "${WORK}/reap_backend.log" &
+BACKEND_PID=$!; PIDS+=("${BACKEND_PID}")
+BACKEND_PORT="$(wait_for_port "${WORK}/reap_backend.log" "backend listening on port")"
+start_proxy "${WORK}/reap_proxy.log" "${BACKEND_PORT}" 11 \
+  --chaos-stall=0.60 --chaos-stall-ms=60000 --chaos-window=768
+"${SHELL_BIN}" --listen=0 --remote-backend="127.0.0.1:${PROXY_PORT}" \
+  --stall-grace=800 "${ORACLE_FLAGS[@]}" > "${WORK}/reap_front.log" &
+FRONT_PID=$!; PIDS+=("${FRONT_PID}")
+FRONT_PORT="$(wait_for_port "${WORK}/reap_front.log" "listening on port")"
+"${SHELL_BIN}" --connect="127.0.0.1:${FRONT_PORT}" "${ORACLE_FLAGS[@]}" \
+  --dump-answers="${WORK}/reap.hex" | tee "${WORK}/reap_client.log"
+LINES="$(wc -l < "${WORK}/reap.hex")"
+[[ "${LINES}" -eq "${TOTAL}" ]] \
+  || { echo "FAIL: black-hole leg dumped ${LINES}/${TOTAL} answers — a query hung" >&2; exit 1; }
+stop_pid "${FRONT_PID}"
+grep -q "^watchdog:" "${WORK}/reap_front.log" \
+  || { echo "FAIL: front end printed no watchdog summary" >&2; exit 1; }
+REAPED="$(sed -n 's/^watchdog: .* \([0-9]*\) reaped$/\1/p' "${WORK}/reap_front.log")"
+[[ -n "${REAPED}" && "${REAPED}" -gt 0 ]] \
+  || { echo "FAIL: watchdog reaped nothing under backend black-holes" >&2; exit 1; }
+echo "leg 4: watchdog reaped ${REAPED} black-holed queries, all ${TOTAL} answers terminated"
+stop_pid "${PROXY_PID}"
+stop_pid "${BACKEND_PID}"
+PIDS=()
+
+echo "net_chaos: passthrough transparent; matrix fired ${MATRIX_FAULTS} faults; same-seed runs identical; daemon healthy; watchdog reaped ${REAPED} black-holed queries"

@@ -16,11 +16,12 @@ cmake -B "${BUILD_DIR}" -S . -DSECO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDe
 cmake --build "${BUILD_DIR}" -j"$(nproc)" --target \
   query_server_test server_soak_test thread_pool_test call_cache_test \
   memo_table_test answer_cache_test \
+  cancel_test server_cancel_test net_cancel_test \
   wire_test remote_handler_test net_server_test net_equivalence_test \
   seco_shell
 
 (cd "${BUILD_DIR}" && ctest --output-on-failure -j"$(nproc)" -R \
-  'QueryServer|ServerSoak|AdmissionController|DegradationLadder|ThreadPool|CallCache|MemoTable|AnswerCache|Wire|FrameDecoder|AnswerBody|RemoteHandler|NetServer|NetEquivalence' "$@")
+  'QueryServer|ServerSoak|AdmissionController|DegradationLadder|ThreadPool|CallCache|MemoTable|AnswerCache|CancelToken|ServerCancel|NetCancel|Wire|FrameDecoder|AnswerBody|RemoteHandler|NetServer|NetEquivalence' "$@")
 
 # End-to-end serving sweep: each profile is deterministic (fixed seed), so
 # failures here reproduce exactly. "overload" is the one that sheds.
@@ -35,6 +36,16 @@ done
 echo "==== soak: --serve --load=cachestress --answer-cache=on ===="
 "${BUILD_DIR}/examples/seco_shell" --serve --load=cachestress --seed=7 \
   --answer-cache=on
+
+# Cancellation-storm leg: half the clients walk away 2 ms after submitting
+# while the stuck-query watchdog scans in the background — the
+# cancel-vs-complete race, queued-entry purges, slot reclamation, and
+# heartbeat tracking all race-checked at once (docs/SERVER.md,
+# "Cancellation"). The overload profile keeps the queues full so plenty of
+# cancels land on *queued* entries, not just running ones.
+echo "==== soak: --serve --load=overload --abandon=0.5 ===="
+"${BUILD_DIR}/examples/seco_shell" --serve --load=overload --seed=7 \
+  --abandon=0.5 --cancel-after-ms=2 --stall-grace=2000
 
 # Network leg: the real daemons under TSan — acceptor + per-connection io
 # threads, the backend adapter's connection pool, and the graceful-drain

@@ -1,0 +1,154 @@
+#ifndef SECO_COMMON_CANCEL_H_
+#define SECO_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interrupt.h"
+#include "common/status.h"
+
+namespace seco {
+
+/// A one-shot, sticky, reason-carrying cancellation token shared between a
+/// query's owner (server, wire front end, watchdog, shell) and every layer
+/// doing work on its behalf (engines, scheduler jobs, retry loops, remote
+/// clients).
+///
+/// Semantics:
+///  - **One-shot and sticky.** The first `Cancel()` wins and records its
+///    reason; there is no reset. This is deliberately different from
+///    `InterruptFlag`, whose `Reset()` re-arms it between runs (hedge
+///    winners and streaming runs rely on that) — a cancelled query must
+///    stay cancelled no matter who re-arms the pacing flag.
+///  - **Hierarchical.** `Child()` creates a linked token: cancelling the
+///    parent cancels every child (with the parent's reason), while a child
+///    can be cancelled on its own without touching siblings. A child born
+///    of an already-cancelled parent starts cancelled.
+///  - **CV wakeup.** `WaitFor()` blocks until cancelled or the duration
+///    elapses; linked `InterruptFlag`s are triggered on cancel so existing
+///    pacing sleeps (simulated latency, backoff) wake immediately.
+///  - **Progress heartbeats.** Work loops call `Heartbeat()` at chunk /
+///    call boundaries; the watchdog compares `progress()` snapshots to
+///    find queries that stopped advancing (docs/SERVER.md).
+///
+/// All methods are thread-safe. Checking `cancelled()` is one acquire
+/// load, cheap enough for per-chunk polling in the hot loops.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Requests cancellation. The first caller's reason sticks; later calls
+  /// are no-ops. Returns true if this call performed the cancellation.
+  bool Cancel(std::string reason) {
+    std::vector<std::weak_ptr<CancelToken>> children;
+    std::vector<std::shared_ptr<InterruptFlag>> interrupts;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_.load(std::memory_order_relaxed)) return false;
+      reason_ = std::move(reason);
+      cancelled_.store(true, std::memory_order_release);
+      children.swap(children_);
+      interrupts.swap(interrupts_);
+    }
+    cv_.notify_all();
+    // Propagate outside the lock: children take their own locks, and a
+    // child callback must never be able to deadlock against the parent.
+    for (auto& weak : children) {
+      if (auto child = weak.lock()) child->Cancel(ReasonInternal());
+    }
+    for (auto& flag : interrupts) flag->Trigger();
+    return true;
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// The first cancel's reason; empty while not cancelled.
+  std::string reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+  /// `Status::Cancelled(reason)` once cancelled, OK before.
+  Status ToStatus() const {
+    if (!cancelled()) return Status::OK();
+    return Status::Cancelled(ReasonInternal());
+  }
+
+  /// Blocks until cancelled or `duration` elapses. Returns true if the
+  /// wait ended because of cancellation — the drop-in replacement for raw
+  /// `std::this_thread::sleep_for` in backoff / pacing paths.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> duration) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, duration, [this] {
+      return cancelled_.load(std::memory_order_relaxed);
+    });
+  }
+
+  /// Creates a child token: parent cancellation propagates to the child,
+  /// child cancellation stays local. Children of a cancelled parent start
+  /// cancelled.
+  std::shared_ptr<CancelToken> Child() {
+    auto child = std::make_shared<CancelToken>();
+    std::string parent_reason;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!cancelled_.load(std::memory_order_relaxed)) {
+        children_.push_back(child);
+        return child;
+      }
+      parent_reason = reason_;
+    }
+    child->Cancel(std::move(parent_reason));
+    return child;
+  }
+
+  /// Links a pacing flag: on cancel it is `Trigger()`ed so sleeping calls
+  /// wake. A flag linked after cancellation is triggered immediately. The
+  /// flag's own `Reset()` does NOT un-cancel this token.
+  void LinkInterrupt(std::shared_ptr<InterruptFlag> flag) {
+    if (flag == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!cancelled_.load(std::memory_order_relaxed)) {
+        interrupts_.push_back(std::move(flag));
+        return;
+      }
+    }
+    flag->Trigger();
+  }
+
+  /// Progress heartbeat — bump once per unit of observable forward
+  /// progress (chunk admitted, call completed). Relaxed: the watchdog
+  /// only compares snapshots for equality over a grace window.
+  void Heartbeat() { progress_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string ReasonInternal() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_.empty() ? std::string("cancelled") : reason_;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> progress_{0};
+  std::string reason_;
+  std::vector<std::weak_ptr<CancelToken>> children_;
+  std::vector<std::shared_ptr<InterruptFlag>> interrupts_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_COMMON_CANCEL_H_

@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "deadline exceeded";
     case StatusCode::kRejected:
       return "rejected";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

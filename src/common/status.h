@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnavailable = 10,      ///< A service is (transiently or permanently) down.
   kDeadlineExceeded = 11, ///< A call or query overran its deadline.
   kRejected = 12,         ///< Admission control shed the request (retry later).
+  kCancelled = 13,        ///< The caller abandoned the query/call; work was stopped.
 };
 
 /// Returns the canonical lowercase name of a status code ("ok", "not found", ...).
@@ -85,6 +86,9 @@ class Status {
   }
   static Status Rejected(std::string msg) {
     return Status(StatusCode::kRejected, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -7,6 +7,9 @@ namespace seco {
 Status CallScheduler::RunAll(std::vector<CallJob> jobs) {
   if (!concurrent()) {
     for (CallJob& job : jobs) {
+      if (cancel_ != nullptr && cancel_->cancelled()) {
+        return cancel_->ToStatus();
+      }
       Status status = job();
       if (!status.ok()) return status;
     }
@@ -15,6 +18,17 @@ Status CallScheduler::RunAll(std::vector<CallJob> jobs) {
   std::vector<std::future<Status>> futures;
   futures.reserve(jobs.size());
   for (CallJob& job : jobs) {
+    if (cancel_ != nullptr) {
+      // Wrap so a job popped off the queue after cancellation returns
+      // immediately: the pool thread is released in O(1) rather than after
+      // a full fetch chain.
+      std::shared_ptr<CancelToken> token = cancel_;
+      CallJob inner = std::move(job);
+      job = [token = std::move(token), inner = std::move(inner)]() -> Status {
+        if (token->cancelled()) return token->ToStatus();
+        return inner();
+      };
+    }
     futures.push_back(pool_->Submit(std::move(job)));
   }
   Status first_error;

@@ -3,9 +3,11 @@
 
 #include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -33,6 +35,14 @@ class CallScheduler {
   /// `pool` may be null (inline execution). Not owned.
   explicit CallScheduler(ThreadPool* pool) : pool_(pool) {}
 
+  /// Installs a cancellation token: once it fires, jobs that have not yet
+  /// started are skipped (each returns `Status::Cancelled`) instead of
+  /// burning pool threads on work nobody will read. Jobs already running
+  /// observe the token themselves at their own chunk boundaries.
+  void SetCancel(std::shared_ptr<CancelToken> cancel) {
+    cancel_ = std::move(cancel);
+  }
+
   /// Runs every job; returns OK or the lowest-index error.
   Status RunAll(std::vector<CallJob> jobs);
 
@@ -46,6 +56,7 @@ class CallScheduler {
 
  private:
   ThreadPool* pool_;
+  std::shared_ptr<CancelToken> cancel_;
 };
 
 }  // namespace seco

@@ -126,6 +126,7 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
     pool = std::make_unique<ThreadPool>(options_.num_threads);
   }
   CallScheduler scheduler(pool.get());
+  scheduler.SetCancel(options_.cancel);
   ServiceCallCache local_cache;
   ServiceCallCache* cache = cache_override      ? cache_override
                             : options_.cache    ? options_.cache
@@ -144,7 +145,7 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
   }
   if (force_degrade || options_.degradation_level >= 3) policy.degrade = true;
   const bool resilient = policy.enabled();
-  CallBudget budget(resilient ? options_.max_calls : -1);
+  CallBudget budget(resilient ? options_.max_calls : -1, options_.cancel);
   ReliabilityLedger ledger;
   CircuitBreakerRegistry local_breakers(policy.breaker_failure_threshold,
                                         policy.breaker_probe_interval);
@@ -175,6 +176,13 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
   };
 
   for (int id : order) {
+    // Node boundary: the deterministic cancellation point. A cancelled run
+    // aborts before starting the next node — no partial node output ever
+    // reaches `streams`, and nothing written to the shared cache so far is
+    // wrong (complete successful responses only).
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return options_.cancel->ToStatus();
+    }
     const PlanNode& node = plan.node(id);
     NodeRuntimeStats& stats = result.node_stats[id];
     double ready_ms = 0.0;
@@ -306,6 +314,7 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
           ctx.breakers = &breakers;
           ctx.hedge_pool = pool.get();
           ctx.lost = &lost_collector;
+          ctx.cancel = options_.cancel;
           node_handler = std::make_shared<ResilientHandler>(
               std::move(node_handler), iface.name(), ctx);
         }
@@ -345,6 +354,13 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
             jobs.push_back([&, j]() -> Status {
               FetchOutcome& outcome = outcomes[j];
               for (int f = 0; f < fetches; ++f) {
+                // Chunk boundary: abandon the rest of this binding's chain
+                // the moment the query is cancelled. Chunks already fetched
+                // were complete responses, so nothing half-written can
+                // reach the cache.
+                if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+                  return options_.cancel->ToStatus();
+                }
                 std::string cache_key =
                     ServiceCallCache::Key(iface.name(), distinct_keys[j], f);
                 ServiceResponse resp;
@@ -363,6 +379,7 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
                   ServiceRequest request;
                   request.inputs = distinct_bindings[j];
                   request.chunk_index = f;
+                  request.cancel = options_.cancel;
                   Result<ServiceResponse> fetched =
                       node_handler->Call(request);
                   if (!fetched.ok()) {
@@ -392,6 +409,7 @@ Result<ExecutionResult> ExecutionEngine::ExecuteOnce(
                       t < resp.scores.size() ? resp.scores[t] : 0.0);
                   outcome.fetch.chunk_ords.push_back(f);
                 }
+                if (options_.cancel != nullptr) options_.cancel->Heartbeat();
                 if (resp.exhausted) break;
               }
               return Status::OK();

@@ -2,9 +2,11 @@
 #define SECO_EXEC_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "plan/plan.h"
 #include "reliability/policy.h"
@@ -65,6 +67,11 @@ struct ExecutionOptions {
   /// query's failures shield the next, and gives the serving layer a live
   /// per-interface health feed. Must outlive the execution. Not owned.
   CircuitBreakerRegistry* shared_breakers = nullptr;
+  /// Cooperative cancellation token (docs/SERVER.md, "Cancellation"). The
+  /// engine polls it at node and chunk boundaries and aborts the run with
+  /// kCancelled; pool jobs not yet started are skipped. null = never
+  /// cancellable (the historical behavior).
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// One recorded service request-response (when tracing is enabled).

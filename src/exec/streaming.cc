@@ -186,6 +186,9 @@ int FetchCap(const PlanNode& node) {
 void ChargeCall(const PlanNode& node, const std::string& binding_key,
                 int chunk, double latency_ms, double overhead_ms,
                 RunState* state) {
+  // Every charge is observable forward progress for the stuck-query
+  // watchdog; cancelled runs stop charging, so the heartbeat goes quiet.
+  if (state->options->cancel != nullptr) state->options->cancel->Heartbeat();
   ++state->charged_calls;
   ++state->cache_misses;
   state->consumed_latency_ms += latency_ms;
@@ -207,6 +210,11 @@ void TrySpeculate(const PlanNode& node, const std::string& binding_key,
                   const std::vector<Value>& binding, int chunk,
                   RunState* state) {
   if (!state->speculate) return;
+  // A cancelled run abandons speculation outright: no new lookahead work
+  // is worth issuing for an answer nobody will read.
+  if (state->options->cancel != nullptr && state->options->cancel->cancelled()) {
+    return;
+  }
   // Never speculate against a service already declared lost: every such
   // fetch is guaranteed waste, and (for partial-outage fault profiles) its
   // stray successes must not seed the shared cache behind a node the run
@@ -221,11 +229,13 @@ void TrySpeculate(const PlanNode& node, const std::string& binding_key,
   SpecFetch* slot = fetch.get();
   ServiceCallHandler* handler = state->HandlerFor(node);
   ServiceCallCache* cache = state->cache;
+  std::shared_ptr<CancelToken> cancel = state->options->cancel;
   std::optional<std::future<Status>> job = state->scheduler->SubmitOne(
-      [handler, cache, binding, chunk, key, slot]() -> Status {
+      [handler, cache, binding, chunk, key, slot, cancel]() -> Status {
         ServiceRequest request;
         request.inputs = binding;
         request.chunk_index = chunk;
+        request.cancel = cancel;
         Result<ServiceResponse> resp = handler->Call(request);
         if (resp.ok()) {
           // Cache the clean response: reliability overhead is charged once,
@@ -281,6 +291,10 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
     // engine's exact abort point — and leaves the ledger, so a repeat
     // demand becomes an ordinary (free) cache hit, as it would have been
     // sequentially.
+    if (state->options->cancel != nullptr &&
+        state->options->cancel->cancelled()) {
+      return state->options->cancel->ToStatus();
+    }
     if (state->PastQueryDeadline()) {
       return Status::DeadlineExceeded("query deadline exceeded");
     }
@@ -304,6 +318,10 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
     ++state->node_stats[node.id].cache_hits;
     return std::move(*cached);
   }
+  if (state->options->cancel != nullptr &&
+      state->options->cancel->cancelled()) {
+    return state->options->cancel->ToStatus();
+  }
   if (state->PastQueryDeadline()) {
     return Status::DeadlineExceeded("query deadline exceeded");
   }
@@ -315,6 +333,7 @@ Result<ServiceResponse> FetchChunk(const PlanNode& node,
   ServiceRequest request;
   request.inputs = binding;
   request.chunk_index = chunk;
+  request.cancel = state->options->cancel;
   SECO_ASSIGN_OR_RETURN(ServiceResponse resp,
                         state->HandlerFor(node)->Call(request));
   // Cache the clean response — reliability overhead is charged exactly once,
@@ -1106,12 +1125,20 @@ Result<StreamingResult> StreamingEngine::ExecuteOnce(
   auto wall_start = std::chrono::steady_clock::now();
   SECO_RETURN_IF_ERROR(plan.Validate());
   if (options_.interrupt != nullptr) options_.interrupt->Reset();
+  // Link the sticky cancel token to the (resettable) pacing flag so a
+  // cancel fired mid-run wakes realtime sleeps immediately. The Reset
+  // above never un-cancels the token — only the flag is re-armed.
+  if (options_.cancel != nullptr) {
+    if (options_.cancel->cancelled()) return options_.cancel->ToStatus();
+    options_.cancel->LinkInterrupt(options_.interrupt);
+  }
 
   std::unique_ptr<ThreadPool> pool;
   if (options_.num_threads > 1 && options_.prefetch_depth > 0) {
     pool = std::make_unique<ThreadPool>(options_.num_threads);
   }
   CallScheduler scheduler(pool.get());
+  scheduler.SetCancel(options_.cancel);
   ServiceCallCache local_cache;
 
   RunState state;
@@ -1129,7 +1156,8 @@ Result<StreamingResult> StreamingEngine::ExecuteOnce(
   // claims a slot) plus the shared telemetry/breaker state. Only built when
   // the policy is live: the inert path keeps the historical charged-calls
   // guards and raw handlers, bit-for-bit.
-  CallBudget budget(state.resilient ? options_.max_calls : -1);
+  CallBudget budget(state.resilient ? options_.max_calls : -1,
+                    options_.cancel);
   ReliabilityLedger ledger;
   CircuitBreakerRegistry local_breakers(state.policy.breaker_failure_threshold,
                                         state.policy.breaker_probe_interval);
@@ -1152,6 +1180,7 @@ Result<StreamingResult> StreamingEngine::ExecuteOnce(
         ctx.hedge_pool = pool.get();
         ctx.interrupt = options_.interrupt;
         ctx.lost = &lost_collector;
+        ctx.cancel = options_.cancel;
         state.handlers[node.id] = std::make_shared<ResilientHandler>(
             node.iface->handler_ptr(), node.iface->name(), std::move(ctx));
       }
@@ -1168,6 +1197,12 @@ Result<StreamingResult> StreamingEngine::ExecuteOnce(
                           BuildOp(plan, plan.output_node(), &state, &caches));
     SRow row;
     while (static_cast<int>(result.combinations.size()) < options_.k) {
+      // Combination boundary: the pull pipeline's own cancellation point,
+      // for plans whose next combination needs no further service calls
+      // (everything cached) and would otherwise never hit a fetch check.
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        return options_.cancel->ToStatus();
+      }
       SECO_ASSIGN_OR_RETURN(bool got, root->Next(&row));
       if (!got) {
         result.exhausted = true;

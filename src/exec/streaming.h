@@ -73,6 +73,13 @@ struct StreamingOptions {
   /// null (default) each execution gets a private registry — the historical
   /// behavior. Must outlive the execution. Not owned.
   CircuitBreakerRegistry* shared_breakers = nullptr;
+  /// Cooperative cancellation token (docs/SERVER.md, "Cancellation").
+  /// Polled at chunk boundaries by the pull pipeline and by in-flight
+  /// fetch jobs; a fired token abandons speculation and aborts the run
+  /// with kCancelled. The run's teardown is the same as a normal exit:
+  /// every in-flight future is drained before the pool dies, so a
+  /// cancelled run leaks nothing. null = never cancellable.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// Result of a streaming run. Combinations appear in *arrival order* — the

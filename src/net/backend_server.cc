@@ -3,6 +3,7 @@
 #include <chrono>
 #include <deque>
 #include <utility>
+#include <vector>
 
 namespace seco {
 
@@ -129,6 +130,46 @@ void BackendServer::ServeConnection(Socket* conn) {
       Frame extra;
       while (decoder.Next(&extra)) queue.emplace_back(std::move(extra), now);
     }
+    // Sweep `kCancel` frames out of the queue before dispatching. A cancel
+    // always arrives *behind* the call it names, so the only way it can win
+    // is here — while its call is still queued ahead of it. A purged call
+    // is answered `kCancelled` immediately (one reply per call, matched by
+    // call id, order irrelevant to the client); a cancel whose call is gone
+    // already lost the race and is dropped silently.
+    // Two passes, because a deque erase invalidates every other outstanding
+    // iterator: first strip the cancel frames (the erase-returned iterator
+    // is the only one carried forward), then hunt each named call.
+    std::vector<uint64_t> cancel_ids;
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->first.type != FrameType::kCancel) {
+        ++it;
+        continue;
+      }
+      WireReader cr(it->first.payload);
+      auto cancel_id = cr.U64();
+      if (cancel_id.ok()) cancel_ids.push_back(cancel_id.value());
+      it = queue.erase(it);
+    }
+    for (uint64_t cancel_id : cancel_ids) {
+      for (auto call = queue.begin(); call != queue.end(); ++call) {
+        if (call->first.type != FrameType::kCall) continue;
+        WireReader idr(call->first.payload);
+        auto id = idr.U64();
+        if (!id.ok() || id.value() != cancel_id) continue;
+        queue.erase(call);
+        cancelled_purges_.fetch_add(1, std::memory_order_relaxed);
+        WireWriter reply;
+        reply.U64(cancel_id);
+        reply.Bool(false);
+        EncodeStatus(Status::Cancelled("backend: call cancelled by caller"),
+                     &reply);
+        if (!SendFrame(conn, FrameType::kCallReply, reply.Take()).ok()) {
+          return;
+        }
+        break;
+      }
+    }
+    if (queue.empty()) continue;
     Frame frame = std::move(queue.front().first);
     const double waited_ms = NowMs() - queue.front().second;
     queue.pop_front();

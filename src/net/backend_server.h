@@ -73,6 +73,12 @@ class BackendServer {
     return deadline_rejections_.load(std::memory_order_relaxed);
   }
 
+  /// Queued calls purged by a `kCancel` frame (v3) before their handler
+  /// ran; each was answered `kCancelled` to keep one-reply-per-call.
+  int64_t cancelled_purges() const {
+    return cancelled_purges_.load(std::memory_order_relaxed);
+  }
+
   /// Faults fired by this server's chaos engine (zeros when chaos is off).
   ChaosStats chaos_stats() const { return chaos_.stats(); }
 
@@ -92,6 +98,7 @@ class BackendServer {
   std::atomic<bool> running_{false};
   std::atomic<int64_t> calls_served_{0};
   std::atomic<int64_t> deadline_rejections_{0};
+  std::atomic<int64_t> cancelled_purges_{0};
 
   ConnectionRegistry conns_;
 };

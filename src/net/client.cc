@@ -61,7 +61,7 @@ Result<WireResponse> NetClient::Receive() {
     WireReader r(header.payload);
     SECO_ASSIGN_OR_RETURN(response.request_id, r.U64());
     SECO_ASSIGN_OR_RETURN(uint8_t status, r.U8());
-    if (status > static_cast<uint8_t>(WireStatus::kDraining)) {
+    if (status > static_cast<uint8_t>(WireStatus::kCancelled)) {
       return Status::InvalidArgument("wire: result status out of range");
     }
     response.status = static_cast<WireStatus>(status);
@@ -113,6 +113,12 @@ Result<WireResponse> NetClient::Roundtrip(uint64_t request_id,
                                           const QueryRequest& request) {
   SECO_RETURN_IF_ERROR(Submit(request_id, request));
   return Receive();
+}
+
+Status NetClient::Cancel(uint64_t request_id) {
+  WireWriter w;
+  w.U64(request_id);
+  return SendFrame(&socket_, FrameType::kCancel, w.Take());
 }
 
 Status NetClient::Ping(uint64_t cookie) {

@@ -49,6 +49,12 @@ class NetClient {
   Result<WireResponse> Roundtrip(uint64_t request_id,
                                  const QueryRequest& request);
 
+  /// Abandons an outstanding query (v3 `CANCEL` frame). Fire and forget:
+  /// the server still answers the request — `kCancelled` if the cancel won
+  /// the race, the natural outcome if it lost — so `Receive` keeps its
+  /// one-response-per-submit accounting either way.
+  Status Cancel(uint64_t request_id);
+
   /// Liveness probe: sends a ping and waits for the echoed pong.
   Status Ping(uint64_t cookie);
 

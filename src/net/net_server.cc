@@ -3,7 +3,9 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace seco {
 
@@ -166,6 +168,46 @@ class InFlightGate {
   int count_ = 0;
 };
 
+/// Wire request id -> QueryServer submission id for this connection's
+/// outstanding queries. The reader inserts at submission and looks up on a
+/// `kCancel` frame; the writer erases once the response has left (or been
+/// drained). An id surviving to connection teardown is, by construction, a
+/// query the client will never collect — `TakeAll` hands the reader the
+/// list to force-cancel.
+class OutstandingMap {
+ public:
+  void Insert(uint64_t wire_id, uint64_t server_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[wire_id] = server_id;
+  }
+
+  /// Server id for a wire id, or 0 when unknown (already answered, never
+  /// admitted, or a bogus id — all safe to ignore).
+  uint64_t Lookup(uint64_t wire_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(wire_id);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  void Erase(uint64_t wire_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.erase(wire_id);
+  }
+
+  std::vector<uint64_t> TakeAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> ids;
+    ids.reserve(map_.size());
+    for (const auto& [wire_id, server_id] : map_) ids.push_back(server_id);
+    map_.clear();
+    return ids;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, uint64_t> map_;
+};
+
 }  // namespace
 
 void NetServer::ServeConnection(Socket* conn) {
@@ -220,13 +262,14 @@ void NetServer::ServeConnection(Socket* conn) {
   ReplyQueue replies(static_cast<size_t>(
       options_.pipeline_depth > 0 ? options_.pipeline_depth : 1));
   InFlightGate gate(options_.max_conn_in_flight);
+  OutstandingMap outstanding;
 
   // Writer: pops replies FIFO (request order) and frames them out. From
   // here on it is the only thread writing to the socket; the reader routes
   // pongs and protocol errors through the queue rather than sending them
   // itself, so frames can never interleave mid-response. Waiting on the
   // head future blocks only this connection's writes.
-  std::thread writer([this, conn, &replies, &gate] {
+  std::thread writer([this, conn, &replies, &gate, &outstanding] {
     // Classifies send failures so a slow-loris kill (write-progress
     // deadline) is ledgered separately from ordinary disconnects.
     auto send = [this, conn](FrameType type, std::string payload) {
@@ -249,6 +292,9 @@ void NetServer::ServeConnection(Socket* conn) {
       QueryResponse response = reply.immediate.has_value()
                                    ? std::move(*reply.immediate)
                                    : reply.future.get();
+      // The response is in hand: the query can no longer be cancelled, so
+      // drop it from the cancel map before the (possibly slow) write.
+      outstanding.Erase(reply.request_id);
       WireStatus wire_status = WireStatusOf(response);
       if (wire_status == WireStatus::kShed && server_->draining()) {
         wire_status = WireStatus::kDraining;
@@ -296,6 +342,7 @@ void NetServer::ServeConnection(Socket* conn) {
     while (replies.Pop(&reply)) {
       if (reply.kind == PendingReply::Kind::kQuery) {
         if (!reply.immediate.has_value()) (void)reply.future.get();
+        outstanding.Erase(reply.request_id);
         gate.Release();
       }
     }
@@ -322,6 +369,24 @@ void NetServer::ServeConnection(Socket* conn) {
       // clean barrier: submit N, receive N, ping.)
       replies.Push(PendingReply::ControlFrame(FrameType::kPong,
                                               frame.value().payload));
+      continue;
+    }
+    if (frame.value().type == FrameType::kCancel) {
+      cancels_received_.fetch_add(1, std::memory_order_relaxed);
+      WireReader r(frame.value().payload);
+      auto wire_id = r.U64();
+      if (!wire_id.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      // Fire and forget: if the cancel wins, the already-queued future
+      // resolves kCancelled and travels back through the normal reply
+      // path, keeping the one-response-per-submit accounting. If it loses
+      // (unknown/already-answered id), there is nothing to do.
+      uint64_t server_id = outstanding.Lookup(wire_id.value());
+      if (server_id != 0) {
+        (void)server_->Cancel(server_id, "cancelled by client");
+      }
       continue;
     }
     if (frame.value().type != FrameType::kQuery) {
@@ -360,9 +425,25 @@ void NetServer::ServeConnection(Socket* conn) {
       failed.status = request.status();
       reply.immediate = std::move(failed);
     } else {
-      reply.future = server_->Submit(std::move(request.value()));
+      QueryServer::SubmittedQuery submitted =
+          server_->SubmitWithId(std::move(request.value()));
+      // id 0 = resolved at submission (shed, draining, warm cache hit):
+      // nothing server-side left to cancel, so it stays out of the map.
+      if (submitted.id != 0) {
+        outstanding.Insert(reply.request_id, submitted.id);
+      }
+      reply.future = std::move(submitted.future);
     }
     replies.Push(std::move(reply));
+  }
+
+  // The client is gone (EOF, reset, goodbye, or framing error): nobody
+  // will ever collect the still-outstanding responses, so reclaim their
+  // executor resources now instead of letting them run to completion.
+  for (uint64_t server_id : outstanding.TakeAll()) {
+    if (server_->Cancel(server_id, "client disconnected")) {
+      disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   replies.Close();

@@ -94,6 +94,15 @@ class NetServer {
   int64_t write_stalls() const {
     return write_stalls_.load(std::memory_order_relaxed);
   }
+  /// `CANCEL` frames received (v3) — whether or not they won their race.
+  int64_t cancels_received() const {
+    return cancels_received_.load(std::memory_order_relaxed);
+  }
+  /// Server-side queries cancelled because their connection went away
+  /// (EOF, reset, goodbye, or framing error) while they were outstanding.
+  int64_t disconnect_cancels() const {
+    return disconnect_cancels_.load(std::memory_order_relaxed);
+  }
 
   /// Faults fired by this server's chaos engine (zeros when chaos is off).
   ChaosStats chaos_stats() const { return chaos_.stats(); }
@@ -113,6 +122,8 @@ class NetServer {
   std::atomic<int64_t> queries_served_{0};
   std::atomic<int64_t> protocol_errors_{0};
   std::atomic<int64_t> write_stalls_{0};
+  std::atomic<int64_t> cancels_received_{0};
+  std::atomic<int64_t> disconnect_cancels_{0};
 
   ConnectionRegistry conns_;
 };

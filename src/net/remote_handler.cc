@@ -1,7 +1,7 @@
 #include "net/remote_handler.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
 #include <utility>
 
 namespace seco {
@@ -12,11 +12,6 @@ double NowMs() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-void SleepMs(double ms) {
-  if (ms <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
 }  // namespace
@@ -35,6 +30,66 @@ RemoteBackendClient::RemoteBackendClient(std::vector<RemoteEndpoint> endpoints,
   for (size_t i = 0; i < endpoints_config_.size(); ++i) {
     endpoints_[i].host = endpoints_config_[i].host;
     endpoints_[i].port = endpoints_config_[i].port;
+  }
+}
+
+void RemoteBackendClient::Stop() {
+  stopped_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+  dial_cv_.notify_all();
+}
+
+bool RemoteBackendClient::InterruptibleSleep(
+    double ms, const std::shared_ptr<CancelToken>& cancel) {
+  const double deadline = NowMs() + std::max(0.0, ms);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  for (;;) {
+    if (stopped_.load(std::memory_order_acquire)) return false;
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    const double remaining = deadline - NowMs();
+    if (remaining <= 0.0) return true;
+    // Stop() notifies this CV; a cancel token does not, so its observation
+    // rides a bounded slice.
+    const double slice = cancel != nullptr ? std::min(remaining, 10.0)
+                                           : remaining;
+    stop_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(slice));
+  }
+}
+
+Result<Frame> RemoteBackendClient::RecvReply(
+    PooledConn* conn, uint64_t call_id,
+    const std::shared_ptr<CancelToken>& cancel) {
+  const bool bounded = options_.timeout_ms >= 0;
+  const double deadline =
+      bounded ? NowMs() + static_cast<double>(options_.timeout_ms) : 0.0;
+  for (;;) {
+    if (stopped() || (cancel != nullptr && cancel->cancelled())) {
+      // Tell the daemon to purge the still-queued call (fire and forget),
+      // then abandon the connection — the reply may already be in flight,
+      // so this stream can never be trusted for another call.
+      WireWriter w;
+      w.U64(call_id);
+      (void)SendFrame(&conn->socket, FrameType::kCancel, w.Take());
+      return cancel != nullptr && cancel->cancelled()
+                 ? cancel->ToStatus()
+                 : Status::Cancelled("remote backend client stopped");
+    }
+    const double remaining = bounded ? deadline - NowMs() : 20.0;
+    if (bounded && remaining <= 0.0) {
+      return Status::DeadlineExceeded(
+          "backend call timed out after " +
+          std::to_string(options_.timeout_ms) + " ms");
+    }
+    // Sliced wait: each slice re-checks Stop/cancel, so an abandoned call
+    // releases its thread in O(slice), not O(timeout). The decoder keeps
+    // partial frames across slices.
+    const int slice_ms =
+        std::max(1, static_cast<int>(std::min(remaining, 20.0)));
+    Result<Frame> frame = RecvFrame(&conn->socket, &conn->decoder, slice_ms);
+    if (frame.ok() ||
+        frame.status().code() != StatusCode::kDeadlineExceeded) {
+      return frame;
+    }
   }
 }
 
@@ -180,7 +235,14 @@ Result<RemoteBackendClient::Checked> RemoteBackendClient::CheckOut(
         const bool freed = dial_cv_.wait_for(
             lock,
             std::chrono::milliseconds(std::max(0, options_.dial_wait_ms)),
-            [this] { return dials_in_flight_ < options_.max_dials; });
+            [this] {
+              return dials_in_flight_ < options_.max_dials ||
+                     stopped_.load(std::memory_order_acquire);
+            });
+        if (stopped_.load(std::memory_order_acquire)) {
+          endpoints_[target].probe_in_flight = false;
+          return Status::Cancelled("remote backend client stopped");
+        }
         if (!freed) {
           dial_overflows_.fetch_add(1, std::memory_order_relaxed);
           endpoints_[target].probe_in_flight = false;
@@ -284,9 +346,23 @@ Result<ServiceResponse> RemoteBackendClient::Call(
       options_.wire_retries < 0 ? 1 : options_.wire_retries + 1;
   Status last = Status::Unavailable("remote backend: no call attempted");
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    // A cancelled call is never (re)tried, and a stopped client issues
+    // nothing — both checked before any backoff is slept or socket dialed.
+    if (stopped()) {
+      return Status::Cancelled("remote backend client stopped");
+    }
+    if (wire_request.cancel != nullptr && wire_request.cancel->cancelled()) {
+      return wire_request.cancel->ToStatus();
+    }
     if (attempt > 0) {
       reconnect_attempts_.fetch_add(1, std::memory_order_relaxed);
-      SleepMs(options_.reconnect.BackoffMs(ordinal, attempt - 1));
+      if (!InterruptibleSleep(options_.reconnect.BackoffMs(ordinal, attempt - 1),
+                              wire_request.cancel)) {
+        return wire_request.cancel != nullptr &&
+                       wire_request.cancel->cancelled()
+                   ? wire_request.cancel->ToStatus()
+                   : Status::Cancelled("remote backend client stopped");
+      }
     }
 
     bool exhausted = false;
@@ -321,8 +397,13 @@ Result<ServiceResponse> RemoteBackendClient::Call(
     // Any failure from here on discards the connection: a reply may be in
     // flight, so the stream can never be trusted for another call — this
     // is what makes a stale reply impossible to misattribute to call N+1.
-    Result<Frame> frame =
-        RecvFrame(&conn->socket, &conn->decoder, options_.timeout_ms);
+    Result<Frame> frame = RecvReply(conn, call_id, wire_request.cancel);
+    if (!frame.ok() && frame.status().code() == StatusCode::kCancelled) {
+      // Our own abandonment, not endpoint evidence: the connection is
+      // discarded (a reply may be in flight) without charging eviction.
+      connections_discarded_.fetch_add(1, std::memory_order_relaxed);
+      return frame.status();
+    }
     if (!frame.ok()) {
       NoteTransportFailure(checked.endpoint);
       connections_discarded_.fetch_add(1, std::memory_order_relaxed);

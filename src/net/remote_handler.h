@@ -83,6 +83,14 @@ class RemoteBackendClient {
   explicit RemoteBackendClient(std::vector<RemoteEndpoint> endpoints,
                                RemoteBackendOptions options = {});
 
+  /// Shuts the client down: every blocked reconnect-backoff sleep, dial
+  /// wait, and reply wait returns promptly (well under its configured
+  /// duration), and subsequent `Call`s fail `kCancelled` immediately.
+  /// Idempotent; does not close pooled sockets (their daemons own the
+  /// other end and the pool dies with the object).
+  void Stop();
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
   /// Performs one remote call against `interface_name`. Socket failures
   /// map onto the structured fault statuses the reliability layer retries
   /// on: refused/reset/closed/corrupted -> `kUnavailable`, timeout ->
@@ -140,6 +148,15 @@ class RemoteBackendClient {
   Result<Checked> Dial(size_t endpoint_index);
   void CheckIn(size_t endpoint_index, std::unique_ptr<PooledConn> conn);
   Status PingConn(PooledConn* conn);
+  /// Sleeps up to `ms`, returning early (false) if `Stop` fires or
+  /// `cancel` (nullable) is cancelled — the interruptible twin of the old
+  /// raw backoff sleep.
+  bool InterruptibleSleep(double ms, const std::shared_ptr<CancelToken>& cancel);
+  /// Waits for the reply frame of `call_id`, slicing the receive timeout so
+  /// `Stop`/`cancel` interrupt the wait; on interruption a `kCancel` frame
+  /// is sent (fire and forget) so the daemon can purge the queued call.
+  Result<Frame> RecvReply(PooledConn* conn, uint64_t call_id,
+                          const std::shared_ptr<CancelToken>& cancel);
   void NoteSuccess(size_t endpoint_index);
   void NoteTransportFailure(size_t endpoint_index);
   void DiscardLocked(EndpointState* ep);
@@ -157,6 +174,12 @@ class RemoteBackendClient {
   std::atomic<int64_t> ping_failures_{0};
   std::atomic<int64_t> endpoints_evicted_{0};
   std::atomic<int64_t> endpoint_exhaustions_{0};
+
+  std::atomic<bool> stopped_{false};
+  /// Guards nothing but the sleep below; separate from `mu_` so a Stop
+  /// cannot be delayed by pool bookkeeping.
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
 
   mutable std::mutex mu_;
   std::condition_variable dial_cv_;

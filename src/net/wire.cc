@@ -35,6 +35,7 @@ bool KnownFrameType(uint8_t type) {
     case FrameType::kResultEnd:
     case FrameType::kCall:
     case FrameType::kCallReply:
+    case FrameType::kCancel:
       return true;
   }
   return false;
@@ -54,6 +55,8 @@ WireStatus WireStatusOf(const QueryResponse& response) {
       return WireStatus::kDeadline;
     case ServedOutcome::kFailed:
       return WireStatus::kFailed;
+    case ServedOutcome::kCancelled:
+      return WireStatus::kCancelled;
   }
   return WireStatus::kFailed;
 }
@@ -71,6 +74,8 @@ ServedOutcome OutcomeOfWireStatus(WireStatus status) {
       return ServedOutcome::kDeadlineExpired;
     case WireStatus::kFailed:
       return ServedOutcome::kFailed;
+    case WireStatus::kCancelled:
+      return ServedOutcome::kCancelled;
   }
   return ServedOutcome::kFailed;
 }
@@ -89,6 +94,8 @@ const char* WireStatusToString(WireStatus status) {
       return "failed";
     case WireStatus::kDraining:
       return "draining";
+    case WireStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -417,6 +424,9 @@ Status DecodeStatus(WireReader* r, Status* out) {
       return Status::OK();
     case StatusCode::kRejected:
       *out = Status::Rejected(std::move(message));
+      return Status::OK();
+    case StatusCode::kCancelled:
+      *out = Status::Cancelled(std::move(message));
       return Status::OK();
   }
   return Status::InvalidArgument("wire: unknown status code " +
@@ -786,7 +796,7 @@ Result<QueryResponse> DecodeAnswerBody(const std::string& payload) {
   }
   QueryResponse response;
   SECO_ASSIGN_OR_RETURN(uint8_t outcome, r.U8());
-  if (outcome > static_cast<uint8_t>(ServedOutcome::kFailed)) {
+  if (outcome > static_cast<uint8_t>(ServedOutcome::kCancelled)) {
     return Status::InvalidArgument("wire: outcome out of range");
   }
   response.outcome = static_cast<ServedOutcome>(outcome);

@@ -35,7 +35,7 @@ namespace seco {
 /// Protocol constants. The version is negotiated by the Hello/HelloAck
 /// exchange that opens every connection.
 inline constexpr uint32_t kWireMagic = 0x4F434553;  // "SECO" little-endian
-inline constexpr uint16_t kWireVersion = 2;  // v2: checksummed frame header
+inline constexpr uint16_t kWireVersion = 3;  // v3: CANCEL frame + cancelled status
 
 /// Bytes in one frame header: length + type + checksum.
 inline constexpr size_t kFrameHeaderBytes = 9;
@@ -74,6 +74,13 @@ enum class FrameType : uint8_t {
   // Backend protocol (RemoteServiceHandler <-> BackendServer).
   kCall = 9,        ///< u64 call id + interface + encoded ServiceRequest
   kCallReply = 10,  ///< u64 call id + ok flag + (ServiceResponse | Status)
+
+  // Cancellation (both protocols, v3). In the query protocol the id is the
+  // client's request id; in the backend protocol it is the call id. Fire and
+  // forget: the peer answers with the normal result/reply frame (status
+  // `kCancelled` if the cancel won the race, the natural outcome if it
+  // lost), never with a dedicated ack.
+  kCancel = 13,  ///< u64 id: abandon the identified query/call
 };
 
 /// Roles announced in the Hello frame, so a client that dials the wrong
@@ -93,6 +100,7 @@ enum class WireStatus : uint8_t {
   kDeadline = 3,     ///< queue-time or execution deadline expired
   kFailed = 4,       ///< execution error; body's status has details
   kDraining = 5,     ///< server is shutting down: retry elsewhere/later
+  kCancelled = 6,    ///< the client abandoned the query (v3)
 };
 
 WireStatus WireStatusOf(const QueryResponse& response);

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -242,7 +245,10 @@ struct DegradedStatus {
 
 /// True for error codes that mean "the service misbehaved" — the codes the
 /// reliability layer may degrade on. Everything else (bad plan, bad data,
-/// exhausted budget) still aborts.
+/// exhausted budget, caller cancellation) still aborts: in particular
+/// kCancelled is *not* a fault — a cancelled call is never retried, never
+/// degraded into a partial answer, and never recorded as service loss
+/// (docs/RELIABILITY.md, "Cancellation vs. deadline vs. rejection").
 inline bool IsFaultStatus(const Status& s) {
   return s.code() == StatusCode::kUnavailable ||
          s.code() == StatusCode::kDeadlineExceeded;
@@ -254,10 +260,16 @@ inline bool IsFaultStatus(const Status& s) {
 /// query's `max_calls` no matter how many threads are fetching.
 class CallBudget {
  public:
-  /// `max_calls < 0` means unlimited.
-  explicit CallBudget(int64_t max_calls) : max_(max_calls) {}
+  /// `max_calls < 0` means unlimited. `cancel` (optional) closes the
+  /// budget the moment the query is cancelled: no further claims succeed,
+  /// so retry storms and speculative fetches racing the cancel cannot
+  /// issue new work.
+  explicit CallBudget(int64_t max_calls,
+                      std::shared_ptr<CancelToken> cancel = nullptr)
+      : max_(max_calls), cancel_(std::move(cancel)) {}
 
   bool TryClaim() {
+    if (cancel_ != nullptr && cancel_->cancelled()) return false;
     if (max_ < 0) {
       used_.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -272,11 +284,18 @@ class CallBudget {
     return false;
   }
 
+  /// True when a claim failure means "cancelled" rather than "exhausted" —
+  /// callers surface kCancelled instead of kResourceExhausted.
+  bool closed_by_cancel() const {
+    return cancel_ != nullptr && cancel_->cancelled();
+  }
+
   int64_t used() const { return used_.load(std::memory_order_relaxed); }
   int64_t max_calls() const { return max_; }
 
  private:
   int64_t max_;
+  std::shared_ptr<CancelToken> cancel_;
   std::atomic<int64_t> used_{0};
 };
 

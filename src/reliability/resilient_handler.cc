@@ -39,7 +39,14 @@ ResilientHandler::ResilientHandler(std::shared_ptr<ServiceCallHandler> inner,
 
 Result<ServiceResponse> ResilientHandler::AttemptOnce(
     const ServiceRequest& request, int attempt, double* overhead_ms) {
+  if (context_.cancel != nullptr && context_.cancel->cancelled()) {
+    return context_.cancel->ToStatus();
+  }
   if (context_.budget != nullptr && !context_.budget->TryClaim()) {
+    if (context_.budget->closed_by_cancel()) {
+      return Status::Cancelled("call to '" + name_ +
+                               "' abandoned: query cancelled");
+    }
     return Status::ResourceExhausted("call budget exhausted while calling '" +
                                      name_ + "'");
   }
@@ -66,7 +73,14 @@ Result<ServiceResponse> ResilientHandler::HedgedAttempt(
     const ServiceRequest& request, int attempt, double* overhead_ms,
     int* attempts_used) {
   *attempts_used = 1;
+  if (context_.cancel != nullptr && context_.cancel->cancelled()) {
+    return context_.cancel->ToStatus();
+  }
   if (context_.budget != nullptr && !context_.budget->TryClaim()) {
+    if (context_.budget->closed_by_cancel()) {
+      return Status::Cancelled("call to '" + name_ +
+                               "' abandoned: query cancelled");
+    }
     return Status::ResourceExhausted("call budget exhausted while calling '" +
                                      name_ + "'");
   }
@@ -176,6 +190,11 @@ Result<ServiceResponse> ResilientHandler::Call(const ServiceRequest& request) {
   const int max_attempts = policy.retry.max_retries + 1;
   int attempt = 0;
   while (attempt < max_attempts) {
+    if (context_.cancel != nullptr && context_.cancel->cancelled()) {
+      // Cancelled before this round started: abort without claiming
+      // budget, opening breakers, or recording loss.
+      return context_.cancel->ToStatus();
+    }
     if (breaker_ != nullptr && !breaker_->AllowCall()) {
       if (ledger != nullptr) {
         ledger->breaker_short_circuits.fetch_add(1, std::memory_order_relaxed);
@@ -198,6 +217,9 @@ Result<ServiceResponse> ResilientHandler::Call(const ServiceRequest& request) {
     Status s = res.status();
     if (s.code() == StatusCode::kResourceExhausted) {
       return s;  // budget exhaustion aborts: never retried, never degraded
+    }
+    if (s.code() == StatusCode::kCancelled) {
+      return s;  // cancellation aborts: never retried, never degraded
     }
     if (breaker_ != nullptr) breaker_->RecordFailure();
     if (ledger != nullptr) {

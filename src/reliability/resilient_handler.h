@@ -35,6 +35,11 @@ struct ReliabilityContext {
   /// open breaker) records a `ServiceLostEvent` here before the fault status
   /// is returned — the structured signal the repair layer listens for.
   ServiceLostCollector* lost = nullptr;
+  /// Query-level cancellation token. Checked at the top of every retry
+  /// round and after every failed attempt: a cancelled call returns
+  /// kCancelled immediately — never retried, never backed off, never
+  /// hedged, never degraded, never recorded as service loss.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// The reliability decorator: wraps one service's `ServiceCallHandler` with

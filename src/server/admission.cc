@@ -86,4 +86,16 @@ void AdmissionController::OnFinished() {
   if (in_flight_ > 0) --in_flight_;
 }
 
+bool AdmissionController::Remove(uint64_t id) {
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->id == id) {
+        queue.erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace seco

@@ -97,6 +97,11 @@ class AdmissionController {
   /// Releases the in-flight slot of a dispatched (non-expired) ticket.
   void OnFinished();
 
+  /// Purges a still-queued ticket (cancellation before dispatch). Returns
+  /// true if the ticket was found and removed. A queued ticket holds no
+  /// in-flight slot, so no `OnFinished` follows a successful Remove.
+  bool Remove(uint64_t id);
+
   // Gauges (inputs of the pressure score and the stats ledger).
   int in_flight() const { return in_flight_; }
   int queued(PriorityClass priority) const {

@@ -20,6 +20,8 @@ const char* ServedOutcomeToString(ServedOutcome outcome) {
       return "deadline_expired";
     case ServedOutcome::kFailed:
       return "failed";
+    case ServedOutcome::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -49,8 +51,10 @@ QueryServer::QueryServer(std::shared_ptr<ServiceRegistry> registry,
       pool_(options_.runner_threads > 0
                 ? options_.runner_threads
                 : std::max(1, options_.admission.max_in_flight)),
+      watchdog_(options_.watchdog),
       admission_(options_.admission),
       epoch_(std::chrono::steady_clock::now()) {
+  watchdog_.Start();
   if (options_.runner_threads <= 0) {
     options_.runner_threads = std::max(1, options_.admission.max_in_flight);
   }
@@ -65,6 +69,9 @@ QueryServer::QueryServer(std::shared_ptr<ServiceRegistry> registry,
 
 QueryServer::~QueryServer() {
   Drain();
+  // Join the scanner before the runners: the watchdog only touches tokens,
+  // but a scan racing pool teardown buys nothing.
+  watchdog_.Stop();
   // Join the runners before any member the tasks touch is destroyed
   // (members destruct in reverse declaration order, which would tear down
   // the stats/mutex before the pool).
@@ -94,8 +101,14 @@ PressureSignals QueryServer::PressureLocked() const {
 }
 
 std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
+  return SubmitWithId(std::move(request)).future;
+}
+
+QueryServer::SubmittedQuery QueryServer::SubmitWithId(QueryRequest request) {
   std::promise<QueryResponse> promise;
-  std::future<QueryResponse> future = promise.get_future();
+  SubmittedQuery submitted;
+  std::future<QueryResponse>& future = submitted.future;
+  future = promise.get_future();
 
   PriorityClass priority = request.priority;
   bool was_shed = false;
@@ -119,7 +132,7 @@ std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
         "server draining; retry after " +
         std::to_string(ready_response.retry_after_ms) + " ms");
     promise.set_value(std::move(ready_response));
-    return future;
+    return submitted;
   }
 
   // Answer-cache preparation happens before the server lock: parsing,
@@ -200,6 +213,9 @@ std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
       pending->promise = std::move(promise);
       pending->degradation_level = level;
       pending->answer_sig = answer_sig;
+      pending->cancel = std::make_shared<CancelToken>();
+      pending->enqueued_ms = now;
+      submitted.id = *ticket;
       waiting_.emplace(*ticket, std::move(pending));
       ++unresolved_;
       cls.peak_queue_depth =
@@ -215,7 +231,51 @@ std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
     promise.set_value(std::move(ready_response));
   }
   LaunchDispatches(std::move(dispatches));
-  return future;
+  return submitted;
+}
+
+bool QueryServer::Cancel(uint64_t id, std::string reason) {
+  if (id == 0) return false;
+  std::unique_ptr<Pending> purged;
+  std::shared_ptr<CancelToken> token;
+  double wait = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = waiting_.find(id);
+    if (it != waiting_.end()) {
+      // Still queued: purge. The ticket never claimed an in-flight slot,
+      // so there is no OnFinished — the window is untouched and whoever
+      // was going to dispatch next still dispatches next.
+      admission_.Remove(id);
+      purged = std::move(it->second);
+      waiting_.erase(it);
+      wait = NowMs() - purged->enqueued_ms;
+      ClassServingStats& cls = stats_.of(purged->request.priority);
+      ++cls.cancelled;
+      cls.queue_wait_ms.push_back(wait);
+      --unresolved_;
+      drain_cv_.notify_all();
+    } else {
+      auto run = running_.find(id);
+      if (run == running_.end()) return false;  // unknown or already resolved
+      token = run->second;
+    }
+  }
+  if (purged != nullptr) {
+    QueryResponse response;
+    response.outcome = ServedOutcome::kCancelled;
+    response.priority = purged->request.priority;
+    response.degradation_level = purged->degradation_level;
+    response.queue_wait_ms = wait;
+    response.status = Status::Cancelled(std::move(reason));
+    purged->promise.set_value(std::move(response));
+    return true;
+  }
+  // Running: fire the token and let RunOne resolve it. Racing a concurrent
+  // completion is fine — the promise is set exactly once, by RunOne, with
+  // whichever outcome the race produced.
+  token->Cancel(std::move(reason));
+  return true;
 }
 
 std::vector<QueryServer::Dispatch> QueryServer::CollectDispatchesLocked() {
@@ -228,6 +288,12 @@ std::vector<QueryServer::Dispatch> QueryServer::CollectDispatchesLocked() {
     dispatch.ticket = *ticket;
     dispatch.pending = std::move(it->second);
     waiting_.erase(it);
+    if (!ticket->expired) {
+      // Hand the id over to the running set in the same critical section
+      // that removes it from `waiting_`: Cancel always finds it in exactly
+      // one place.
+      running_.emplace(ticket->id, dispatch.pending->cancel);
+    }
     dispatches.push_back(std::move(dispatch));
   }
   stats_.peak_in_flight =
@@ -265,6 +331,7 @@ void QueryServer::LaunchDispatches(std::vector<Dispatch> dispatches) {
     // shared_ptr into the pool task.
     std::shared_ptr<Pending> pending(std::move(dispatch.pending));
     QueueTicket ticket = dispatch.ticket;
+    watchdog_.Track(ticket.id, pending->cancel);
     pool_.Submit([this, ticket, pending] { RunOne(ticket, pending); });
   }
 }
@@ -276,15 +343,18 @@ void QueryServer::RunOne(QueueTicket ticket,
   double wait = NowMs() - ticket.enqueued_ms;
   PriorityClass priority = pending->request.priority;
 
-  QueryResponse response = ExecuteRequest(
-      pending->request, pending->degradation_level, pending->answer_sig);
+  QueryResponse response =
+      ExecuteRequest(pending->request, pending->degradation_level,
+                     pending->answer_sig, pending->cancel);
   response.queue_wait_ms = wait;
   response.priority = priority;
 
+  watchdog_.Untrack(ticket.id);
   std::vector<Dispatch> dispatches;
   {
     std::unique_lock<std::mutex> lock(mu_);
     admission_.OnFinished();
+    running_.erase(ticket.id);
     ClassServingStats& cls = stats_.of(priority);
     switch (response.outcome) {
       case ServedOutcome::kCompleted:
@@ -295,6 +365,9 @@ void QueryServer::RunOne(QueueTicket ticket,
         break;
       case ServedOutcome::kDeadlineExpired:
         ++cls.expired;
+        break;
+      case ServedOutcome::kCancelled:
+        ++cls.cancelled;
         break;
       default:
         ++cls.failed;
@@ -317,9 +390,10 @@ void QueryServer::RunOne(QueueTicket ticket,
 
 QueryResponse QueryServer::ExecuteRequest(
     const QueryRequest& request, int level,
-    const std::optional<Signature>& answer_sig) {
+    const std::optional<Signature>& answer_sig,
+    const std::shared_ptr<CancelToken>& cancel) {
   if (!answer_cache_ || !answer_sig.has_value()) {
-    return ExecuteUncached(request, level);
+    return ExecuteUncached(request, level, cancel);
   }
 
   // Single-flight: re-probe (the answer may have landed while this query
@@ -330,13 +404,19 @@ QueryResponse QueryServer::ExecuteRequest(
   if (!flight.leader) {
     std::shared_ptr<const CachedAnswer> answer = flight.wait.get();
     if (answer) return ResponseFromCached(*answer, level);
-    // The leader's run turned out uncacheable (failed, incomplete, or
-    // repaired mid-run); execute independently rather than convoying a
-    // chain of new flights behind one another.
-    return ExecuteUncached(request, level);
+    // The leader's run turned out uncacheable (failed, incomplete,
+    // repaired mid-run, or cancelled); execute independently rather than
+    // convoying a chain of new flights behind one another. A follower that
+    // was itself cancelled while waiting aborts right away inside
+    // ExecuteUncached.
+    return ExecuteUncached(request, level, cancel);
   }
 
-  QueryResponse response = ExecuteUncached(request, level);
+  // A cancelled leader still reaches CompleteFlight below — with a null
+  // payload, because a kCancelled outcome is never cacheable — so its
+  // followers are explicitly released, never wedged, and a cancelled
+  // partial answer can never poison the cache.
+  QueryResponse response = ExecuteUncached(request, level, cancel);
   std::shared_ptr<const CachedAnswer> payload;
   const bool outcome_ok = response.outcome == ServedOutcome::kCompleted ||
                           response.outcome == ServedOutcome::kDegraded;
@@ -361,8 +441,9 @@ QueryResponse QueryServer::ExecuteRequest(
   return response;
 }
 
-QueryResponse QueryServer::ExecuteUncached(const QueryRequest& request,
-                                           int level) {
+QueryResponse QueryServer::ExecuteUncached(
+    const QueryRequest& request, int level,
+    const std::shared_ptr<CancelToken>& cancel) {
   QueryResponse response;
   response.degradation_level = level;
   response.streamed = request.streaming;
@@ -370,10 +451,18 @@ QueryResponse QueryServer::ExecuteUncached(const QueryRequest& request,
   auto fail = [&response](Status status) -> QueryResponse {
     response.outcome = status.code() == StatusCode::kDeadlineExceeded
                            ? ServedOutcome::kDeadlineExpired
+                       : status.code() == StatusCode::kCancelled
+                           ? ServedOutcome::kCancelled
                            : ServedOutcome::kFailed;
     response.status = std::move(status);
     return std::move(response);
   };
+
+  // Cancelled while waiting for a runner (or for a single-flight leader):
+  // skip parse/optimize/execute outright.
+  if (cancel != nullptr && cancel->cancelled()) {
+    return fail(cancel->ToStatus());
+  }
 
   // Prepare: either the caller pre-bound the query, or parse + bind here.
   const BoundQuery* bound = request.bound.get();
@@ -421,6 +510,7 @@ QueryResponse QueryServer::ExecuteUncached(const QueryRequest& request,
     stream.repair = repair;
     stream.degradation_level = level;
     stream.shared_breakers = &breakers_;
+    stream.cancel = cancel;
     StreamingEngine engine(std::move(stream));
     Result<StreamingResult> result = engine.Execute(optimized->plan);
     if (!result.ok()) return fail(result.status());
@@ -440,6 +530,7 @@ QueryResponse QueryServer::ExecuteUncached(const QueryRequest& request,
     exec.repair = repair;
     exec.degradation_level = level;
     exec.shared_breakers = &breakers_;
+    exec.cancel = cancel;
     ExecutionEngine engine(std::move(exec));
     Result<ExecutionResult> result = engine.Execute(optimized->plan);
     if (!result.ok()) return fail(result.status());

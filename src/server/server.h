@@ -26,6 +26,7 @@
 #include "reliability/circuit_breaker.h"
 #include "server/admission.h"
 #include "server/degradation.h"
+#include "server/watchdog.h"
 #include "service/registry.h"
 
 namespace seco {
@@ -78,6 +79,11 @@ enum class ServedOutcome {
   /// The execution itself failed (parse/bind/optimize error, exhausted call
   /// budget without `degrade`, ...).
   kFailed = 4,
+  /// The caller (or the stuck-query watchdog) cancelled the query —
+  /// purged from the admission queue, or signalled mid-run and unwound
+  /// through the kCancelled path. Never retried, never degraded, never
+  /// cached.
+  kCancelled = 5,
 };
 
 const char* ServedOutcomeToString(ServedOutcome outcome);
@@ -149,6 +155,11 @@ struct ServerOptions {
   /// Base retry-after hint attached to shed responses; scaled by the
   /// instantaneous backlog fraction.
   double retry_after_ms = 50.0;
+
+  /// Stuck-query watchdog (docs/SERVER.md, "Watchdog"): running queries
+  /// whose progress heartbeat stalls past `watchdog.stall_grace_ms` are
+  /// force-cancelled. Disabled by default.
+  WatchdogOptions watchdog;
 };
 
 /// Per-class serving ledger.
@@ -159,6 +170,9 @@ struct ClassServingStats {
   int64_t completed = 0;
   int64_t degraded = 0;
   int64_t failed = 0;
+  /// Cancelled by the client (queued purge or mid-run signal) or reaped by
+  /// the watchdog.
+  int64_t cancelled = 0;
   /// Of the completed/degraded, how many were served from the answer cache
   /// (warm probe at Submit, or a single-flight follower).
   int64_t answer_cache_hits = 0;
@@ -170,7 +184,7 @@ struct ClassServingStats {
   std::vector<double> sim_elapsed_ms;
 
   int64_t finished() const {
-    return shed + expired + completed + degraded + failed;
+    return shed + expired + completed + degraded + failed + cancelled;
   }
 };
 
@@ -225,6 +239,26 @@ class QueryServer {
   /// terminal `QueryResponse`; a shed query's future is ready immediately.
   std::future<QueryResponse> Submit(QueryRequest request);
 
+  /// A submission plus its cancellation handle.
+  struct SubmittedQuery {
+    /// Pass to `Cancel()`. 0 when the future resolved at submission time
+    /// (shed, draining, warm cache hit) — there is nothing left to cancel.
+    uint64_t id = 0;
+    std::future<QueryResponse> future;
+  };
+
+  /// Like `Submit`, but also returns the query's server-side id so the
+  /// caller (shell, wire front end) can cancel it later.
+  SubmittedQuery SubmitWithId(QueryRequest request);
+
+  /// Cancels one accepted query. A still-queued query is purged from the
+  /// admission queue (it never claimed a window slot) and resolves
+  /// immediately with `ServedOutcome::kCancelled`; a running one has its
+  /// token fired and unwinds cooperatively to the same outcome. Returns
+  /// false when the id is unknown or already resolved. Safe to race with
+  /// completion: the query still resolves to exactly one outcome.
+  bool Cancel(uint64_t id, std::string reason = "cancelled by client");
+
   /// Blocks until every accepted query has resolved.
   void Drain();
 
@@ -239,6 +273,8 @@ class QueryServer {
 
   /// Snapshot of the serving ledger.
   ServerStats stats() const;
+  /// Snapshot of the stuck-query watchdog counters.
+  WatchdogStats watchdog_stats() const { return watchdog_.stats(); }
   /// Snapshot of the current pressure signals (as the next admission would
   /// see them) — surfaced by the shell's serving report.
   PressureSignals pressure() const;
@@ -260,6 +296,12 @@ class QueryServer {
     /// Answer-cache signature computed at Submit (absent when caching is
     /// off, the request is untraceable/uncacheable, or parse/bind failed).
     std::optional<Signature> answer_sig;
+    /// Per-query cancellation token, created at acceptance and threaded
+    /// into the engines at dispatch.
+    std::shared_ptr<CancelToken> cancel;
+    /// Arrival clock (server epoch ms) — the queue-wait base when the
+    /// query is purged by Cancel before dispatch.
+    double enqueued_ms = 0.0;
   };
   /// A ticket popped for dispatch, joined with its payload.
   struct Dispatch {
@@ -280,9 +322,11 @@ class QueryServer {
   /// The execution itself (no server lock held): answer-cache probe +
   /// single-flight around ExecuteUncached when `answer_sig` is set.
   QueryResponse ExecuteRequest(const QueryRequest& request, int level,
-                               const std::optional<Signature>& answer_sig);
+                               const std::optional<Signature>& answer_sig,
+                               const std::shared_ptr<CancelToken>& cancel);
   /// One fresh end-to-end execution (parse/bind, optimize, run).
-  QueryResponse ExecuteUncached(const QueryRequest& request, int level);
+  QueryResponse ExecuteUncached(const QueryRequest& request, int level,
+                                const std::shared_ptr<CancelToken>& cancel);
   /// Builds the level-independent part of the request's answer key
   /// (canonical query signature + policy fingerprints); nullopt when the
   /// request cannot be cached (trace collection, parse/bind failure).
@@ -307,12 +351,18 @@ class QueryServer {
   CircuitBreakerRegistry breakers_;
   DegradationLadder ladder_;
   ThreadPool pool_;
+  QueryWatchdog watchdog_;
 
   std::atomic<bool> draining_{false};
 
   mutable std::mutex mu_;
   AdmissionController admission_;
   std::unordered_map<uint64_t, std::unique_ptr<Pending>> waiting_;
+  /// Tokens of dispatched queries, keyed by ticket id. An id lives in
+  /// exactly one of `waiting_` / `running_` at any instant (both under
+  /// `mu_`), which is what makes Cancel's purge-vs-signal decision — and
+  /// exactly-one-outcome — race-free.
+  std::unordered_map<uint64_t, std::shared_ptr<CancelToken>> running_;
   ServerStats stats_;
   int64_t unresolved_ = 0;  ///< accepted-but-unresolved queries
   std::condition_variable drain_cv_;

@@ -1,0 +1,99 @@
+#include "server/watchdog.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace seco {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void QueryWatchdog::Start() {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  scanner_ = std::thread([this] { ScanLoop(); });
+}
+
+void QueryWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    tracked_.clear();
+  }
+  cv_.notify_all();
+  if (scanner_.joinable()) scanner_.join();
+}
+
+void QueryWatchdog::Track(uint64_t id, std::shared_ptr<CancelToken> token) {
+  if (!enabled() || token == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_) return;
+  Entry entry;
+  entry.last_progress = token->progress();
+  entry.last_advance_ms = NowMs();
+  entry.token = std::move(token);
+  tracked_.emplace(id, std::move(entry));
+  ++stats_.tracked;
+}
+
+void QueryWatchdog::Untrack(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracked_.erase(id);
+}
+
+WatchdogStats QueryWatchdog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueryWatchdog::ScanLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.scan_interval_ms > 0.0 ? options_.scan_interval_ms : 50.0);
+  while (running_) {
+    cv_.wait_for(lock, interval, [this] { return !running_; });
+    if (!running_) break;
+    ++stats_.scans;
+    const double now = NowMs();
+    std::vector<std::shared_ptr<CancelToken>> reap;
+    for (auto& [id, entry] : tracked_) {
+      const uint64_t progress = entry.token->progress();
+      if (progress != entry.last_progress) {
+        entry.last_progress = progress;
+        entry.last_advance_ms = now;
+        continue;
+      }
+      if (now - entry.last_advance_ms >= options_.stall_grace_ms &&
+          !entry.token->cancelled()) {
+        reap.push_back(entry.token);
+        // Reset the clock so a query that ignores the cancel (it may be
+        // stuck in an uninterruptible syscall) is not re-reaped every scan.
+        entry.last_advance_ms = now;
+      }
+    }
+    stats_.reaped += static_cast<int64_t>(reap.size());
+    // Cancel outside the lock: Cancel() fans out to children and linked
+    // interrupt flags, and must not hold up Track/Untrack.
+    lock.unlock();
+    for (auto& token : reap) {
+      token->Cancel("watchdog: no progress for " +
+                    std::to_string(options_.stall_grace_ms) + " ms");
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace seco

@@ -1,0 +1,87 @@
+#ifndef SECO_SERVER_WATCHDOG_H_
+#define SECO_SERVER_WATCHDOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/cancel.h"
+
+namespace seco {
+
+/// Knobs of the stuck-query watchdog (docs/SERVER.md, "Watchdog").
+struct WatchdogOptions {
+  /// A running query whose progress heartbeat has not advanced for this
+  /// many real milliseconds is force-cancelled. <= 0 disables the watchdog
+  /// entirely (the historical behavior: a wedged backend strands its slot
+  /// until drain).
+  double stall_grace_ms = 0.0;
+  /// How often the scanner thread wakes to compare heartbeat snapshots.
+  /// Effective reap latency is stall_grace_ms + up to one scan interval.
+  double scan_interval_ms = 50.0;
+};
+
+/// Cumulative watchdog counters, surfaced in the shell serving report.
+struct WatchdogStats {
+  int64_t tracked = 0;  ///< queries ever registered with the scanner
+  int64_t scans = 0;    ///< scanner passes over the tracked set
+  int64_t reaped = 0;   ///< queries force-cancelled for stalling
+};
+
+/// Scanner thread that force-cancels queries whose progress heartbeats go
+/// quiet. Each running query registers its `CancelToken`; work loops bump
+/// the token's heartbeat at chunk/call boundaries. The scanner snapshots
+/// the counters every `scan_interval_ms` and cancels any query whose
+/// counter has not moved for `stall_grace_ms` — so a black-holed socket, a
+/// wedged backend, or a bug strands an admission slot for a bounded time
+/// only. Cancellation is cooperative: the reaped query unwinds through the
+/// ordinary kCancelled path and resolves with `ServedOutcome::kCancelled`.
+class QueryWatchdog {
+ public:
+  explicit QueryWatchdog(WatchdogOptions options) : options_(options) {}
+  ~QueryWatchdog() { Stop(); }
+
+  QueryWatchdog(const QueryWatchdog&) = delete;
+  QueryWatchdog& operator=(const QueryWatchdog&) = delete;
+
+  /// Starts the scanner thread. No-op when disabled or already running.
+  void Start();
+
+  /// Stops and joins the scanner. Tracked entries are dropped; their
+  /// queries keep running (stopping the watchdog never cancels anything).
+  void Stop();
+
+  /// Registers a running query. Untrack on completion — a completed
+  /// query's token must not be reaped late and pollute a reused id.
+  void Track(uint64_t id, std::shared_ptr<CancelToken> token);
+  void Untrack(uint64_t id);
+
+  WatchdogStats stats() const;
+  bool enabled() const { return options_.stall_grace_ms > 0.0; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<CancelToken> token;
+    uint64_t last_progress = 0;
+    /// Steady-clock ms of the last observed progress change (or of Track).
+    double last_advance_ms = 0.0;
+  };
+
+  void ScanLoop();
+
+  WatchdogOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  std::map<uint64_t, Entry> tracked_;
+  WatchdogStats stats_;
+  std::thread scanner_;
+};
+
+}  // namespace seco
+
+#endif  // SECO_SERVER_WATCHDOG_H_

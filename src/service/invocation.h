@@ -1,8 +1,10 @@
 #ifndef SECO_SERVICE_INVOCATION_H_
 #define SECO_SERVICE_INVOCATION_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "service/tuple.h"
 
@@ -29,6 +31,12 @@ struct ServiceRequest {
   /// `attempt`, excluded from `RequestOrdinal` — it is delivery metadata,
   /// not request identity.
   double deadline_ms = -1.0;
+  /// Cooperative cancellation for this call's query (may be null). Never
+  /// travels over the wire and, like `attempt`, is excluded from
+  /// `RequestOrdinal`. Blocking transports (`RemoteBackendClient`) observe
+  /// it to abandon a reply wait early and send the backend a `kCancel`
+  /// frame so the daemon can purge the queued call.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// The result of one request-response.

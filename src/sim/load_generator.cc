@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <queue>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/random.h"
 
@@ -18,6 +24,7 @@ std::vector<LoadItem> LoadGenerator::Schedule() const {
   SplitMix64 classes(profile_.seed ^ 0x1B56C4E9D8A73F02ULL);
   SplitMix64 ks(profile_.seed ^ 0x7E2D9F4C1A8B5E63ULL);
   SplitMix64 overlap(profile_.seed ^ 0x3C6EF372FE94F82AULL);
+  SplitMix64 abandons(profile_.seed ^ 0x9D4C2B8E6F1A3750ULL);
 
   double now_ms = 0.0;
   for (int i = 0; i < profile_.num_queries; ++i) {
@@ -51,6 +58,11 @@ std::vector<LoadItem> LoadGenerator::Schedule() const {
     }
     item.request.deadline_ms = profile_.queue_deadline_ms;
     item.request.streaming = profile_.streaming;
+    // Abandonment rides its own stream (drawn unconditionally, like the
+    // overlap draw): flipping `abandon_fraction` changes which requests are
+    // walked away from, never what they ask for.
+    item.abandon = abandons.NextDouble() < profile_.abandon_fraction;
+    item.abandon_after_ms = profile_.abandon_after_ms;
     schedule.push_back(std::move(item));
   }
   return schedule;
@@ -62,12 +74,106 @@ int64_t LoadReport::CountOutcome(ServedOutcome outcome) const {
       [outcome](const QueryResponse& r) { return r.outcome == outcome; });
 }
 
+namespace {
+
+/// Fires `QueryServer::Cancel` for abandoned requests on their client-side
+/// timers — one worker thread over a deadline heap, so a storm of
+/// abandonments costs one thread, not one per request. A cancel whose query
+/// already resolved is a harmless no-op, so teardown simply drops whatever
+/// is still pending.
+class Abandoner {
+ public:
+  explicit Abandoner(QueryServer* server) : server_(server) {
+    worker_ = std::thread([this] { Run(); });
+  }
+
+  ~Abandoner() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  void Arm(uint64_t id, double delay_ms) {
+    const auto when = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              std::max(0.0, delay_ms)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      heap_.push(Entry{when, id});
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point when;
+    uint64_t id = 0;
+    bool operator>(const Entry& other) const { return when > other.when; }
+  };
+
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (heap_.empty()) {
+        if (done_) return;
+        cv_.wait(lock, [this] { return done_ || !heap_.empty(); });
+        continue;
+      }
+      const auto next = heap_.top().when;
+      if (std::chrono::steady_clock::now() < next) {
+        cv_.wait_until(lock, next);  // re-armed earlier entries re-loop
+        continue;
+      }
+      std::vector<uint64_t> due;
+      const auto now = std::chrono::steady_clock::now();
+      while (!heap_.empty() && heap_.top().when <= now) {
+        due.push_back(heap_.top().id);
+        heap_.pop();
+      }
+      lock.unlock();
+      for (uint64_t id : due) (void)server_->Cancel(id, "abandoned by client");
+      lock.lock();
+    }
+  }
+
+  QueryServer* const server_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  bool done_ = false;
+  std::thread worker_;
+};
+
+}  // namespace
+
 LoadReport DriveLoad(QueryServer* server,
                      const std::vector<LoadItem>& schedule,
                      const LoadProfile& profile) {
   LoadReport report;
   report.responses.resize(schedule.size());
   auto start = std::chrono::steady_clock::now();
+
+  // Only spin the canceller thread up when something will use it.
+  std::optional<Abandoner> abandoner;
+  for (const LoadItem& item : schedule) {
+    if (item.abandon) {
+      abandoner.emplace(server);
+      break;
+    }
+  }
+  auto submit = [&](const LoadItem& item) {
+    QueryServer::SubmittedQuery submitted =
+        server->SubmitWithId(item.request);
+    // id 0 = already resolved at submission; nothing to abandon.
+    if (item.abandon && submitted.id != 0 && abandoner.has_value()) {
+      abandoner->Arm(submitted.id, item.abandon_after_ms);
+    }
+    return std::move(submitted.future);
+  };
 
   if (profile.closed_loop_width > 0) {
     // Closed loop: a sliding window of outstanding queries. The next query
@@ -80,7 +186,7 @@ LoadReport DriveLoad(QueryServer* server,
         outstanding.pop_front();
         report.responses[index] = future.get();
       }
-      outstanding.emplace_back(i, server->Submit(schedule[i].request));
+      outstanding.emplace_back(i, submit(schedule[i]));
     }
     while (!outstanding.empty()) {
       auto [index, future] = std::move(outstanding.front());
@@ -99,7 +205,7 @@ LoadReport DriveLoad(QueryServer* server,
             (item.arrival_ms - last_arrival) * profile.realtime_factor));
       }
       last_arrival = item.arrival_ms;
-      futures.push_back(server->Submit(item.request));
+      futures.push_back(submit(item));
     }
     for (size_t i = 0; i < futures.size(); ++i) {
       report.responses[i] = futures[i].get();

@@ -49,12 +49,25 @@ struct LoadProfile {
   /// signature without changing what executes — deterministic cache-miss
   /// traffic for warm-vs-cold experiments.
   double overlap_fraction = 1.0;
+  /// Fraction of requests the client abandons (cancels) after
+  /// `abandon_after_ms`. Drawn from its own seed stream, so turning it on
+  /// leaves every other request property of the schedule bit-identical.
+  /// 0 = never abandon.
+  double abandon_fraction = 0.0;
+  /// How long after submission an abandoned request's cancel fires, in
+  /// real milliseconds.
+  double abandon_after_ms = 1.0;
 };
 
 /// One scheduled arrival.
 struct LoadItem {
   double arrival_ms = 0.0;
   QueryRequest request;
+  /// The client walks away from this request `abandon_after_ms` after
+  /// submitting it (`QueryServer::Cancel`; the response still arrives,
+  /// as `kCancelled` if the cancel won its race).
+  bool abandon = false;
+  double abandon_after_ms = 0.0;
 };
 
 /// Expands a profile into a reproducible arrival schedule for one query

@@ -1,0 +1,162 @@
+// CancelToken semantics (docs/SERVER.md, "Cancellation"): one-shot sticky
+// cancel with a first-wins reason, hierarchical child propagation, CV
+// wakeup for blocked sleeps, the InterruptFlag bridge into existing pacing
+// waits, and the progress heartbeat the stuck-query watchdog compares.
+
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace seco {
+namespace {
+
+TEST(CancelTokenTest, StartsUncancelledWithOkStatus) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), "");
+  EXPECT_TRUE(token.ToStatus().ok());
+  EXPECT_EQ(token.progress(), 0u);
+}
+
+TEST(CancelTokenTest, FirstCancelWinsAndSticks) {
+  CancelToken token;
+  EXPECT_TRUE(token.Cancel("client hung up"));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "client hung up");
+  // Later cancels are no-ops: the original reason survives.
+  EXPECT_FALSE(token.Cancel("watchdog reaped"));
+  EXPECT_EQ(token.reason(), "client hung up");
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+  EXPECT_NE(token.ToStatus().message().find("client hung up"),
+            std::string::npos);
+}
+
+TEST(CancelTokenTest, WaitForWakesPromptlyOnCancel) {
+  auto token = std::make_shared<CancelToken>();
+  std::thread canceller([token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token->Cancel("wakeup");
+  });
+  const auto start = std::chrono::steady_clock::now();
+  // Nominal 5s sleep; the cancel must cut it to ~20ms.
+  EXPECT_TRUE(token->WaitFor(std::chrono::seconds(5)));
+  const double waited =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(waited, 2000.0);
+  canceller.join();
+}
+
+TEST(CancelTokenTest, WaitForTimesOutWhenNotCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.WaitFor(std::chrono::milliseconds(5)));
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, ParentCancelPropagatesToChildren) {
+  auto parent = std::make_shared<CancelToken>();
+  std::shared_ptr<CancelToken> a = parent->Child();
+  std::shared_ptr<CancelToken> b = parent->Child();
+  parent->Cancel("query torn down");
+  EXPECT_TRUE(a->cancelled());
+  EXPECT_TRUE(b->cancelled());
+  EXPECT_EQ(a->reason(), "query torn down");
+}
+
+TEST(CancelTokenTest, ChildCancelStaysLocal) {
+  auto parent = std::make_shared<CancelToken>();
+  std::shared_ptr<CancelToken> a = parent->Child();
+  std::shared_ptr<CancelToken> b = parent->Child();
+  a->Cancel("one arm abandoned");
+  EXPECT_TRUE(a->cancelled());
+  EXPECT_FALSE(parent->cancelled());
+  EXPECT_FALSE(b->cancelled());
+}
+
+TEST(CancelTokenTest, ChildOfCancelledParentStartsCancelled) {
+  auto parent = std::make_shared<CancelToken>();
+  parent->Cancel("already gone");
+  std::shared_ptr<CancelToken> late = parent->Child();
+  EXPECT_TRUE(late->cancelled());
+  EXPECT_EQ(late->reason(), "already gone");
+}
+
+TEST(CancelTokenTest, ExpiredChildrenAreSkippedSafely) {
+  auto parent = std::make_shared<CancelToken>();
+  { std::shared_ptr<CancelToken> dead = parent->Child(); }
+  std::shared_ptr<CancelToken> alive = parent->Child();
+  parent->Cancel("sweep");  // must not crash on the expired weak_ptr
+  EXPECT_TRUE(alive->cancelled());
+}
+
+TEST(CancelTokenTest, LinkedInterruptFiresOnCancel) {
+  CancelToken token;
+  auto flag = std::make_shared<InterruptFlag>();
+  token.LinkInterrupt(flag);
+  EXPECT_FALSE(flag->triggered());
+  token.Cancel("pacing sleep must wake");
+  EXPECT_TRUE(flag->triggered());
+}
+
+TEST(CancelTokenTest, InterruptLinkedAfterCancelFiresImmediately) {
+  CancelToken token;
+  token.Cancel("early");
+  auto flag = std::make_shared<InterruptFlag>();
+  token.LinkInterrupt(flag);
+  EXPECT_TRUE(flag->triggered());
+}
+
+TEST(CancelTokenTest, InterruptResetDoesNotUncancelTheToken) {
+  // The contract that separates CancelToken from InterruptFlag: hedge
+  // winners Reset() the shared pacing flag between runs, and that must
+  // never resurrect a cancelled query.
+  CancelToken token;
+  auto flag = std::make_shared<InterruptFlag>();
+  token.LinkInterrupt(flag);
+  token.Cancel("stay down");
+  flag->Reset();
+  EXPECT_FALSE(flag->triggered());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, HeartbeatAdvancesProgressMonotonically) {
+  CancelToken token;
+  for (int i = 1; i <= 5; ++i) {
+    token.Heartbeat();
+    EXPECT_EQ(token.progress(), static_cast<uint64_t>(i));
+  }
+  // Heartbeats after cancellation are harmless (work loops may notice the
+  // flag a chunk late).
+  token.Cancel("late beat");
+  token.Heartbeat();
+  EXPECT_EQ(token.progress(), 6u);
+}
+
+TEST(CancelTokenTest, ConcurrentCancelsProduceExactlyOneWinner) {
+  for (int round = 0; round < 50; ++round) {
+    CancelToken token;
+    std::atomic<int> wins{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&token, &wins, t] {
+        if (token.Cancel("racer " + std::to_string(t))) {
+          wins.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(wins.load(), 1);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_FALSE(token.reason().empty());
+  }
+}
+
+}  // namespace
+}  // namespace seco

@@ -1,0 +1,403 @@
+// End-to-end cooperative cancellation through the serving stack
+// (docs/SERVER.md, "Cancellation" and "Watchdog"): queued queries are
+// purged without consuming a window slot, running queries unwind through
+// the kCancelled path, every submission still resolves exactly once under
+// cancel/complete races, a cancelled single-flight leader never wedges its
+// followers, the stuck-query watchdog reaps stalled queries, and a
+// neighbor's answers are untouched by a co-runner's cancellation.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/seco.h"
+
+namespace seco {
+namespace {
+
+ServerOptions QuietServer() {
+  ServerOptions options;
+  options.admission.max_in_flight = 2;
+  options.ladder.enabled = false;
+  return options;
+}
+
+QueryRequest CanonicalRequest(const Scenario& scenario, int k = 5) {
+  QueryRequest request;
+  request.query_text = scenario.query_text;
+  request.input_bindings = scenario.inputs;
+  request.k = k;
+  return request;
+}
+
+void SlowDown(Scenario* scenario, double factor) {
+  for (auto& [name, backend] : scenario->backends) {
+    backend->set_realtime_factor(factor);
+  }
+}
+
+void ExpectSameAnswers(const ExecutionResult& a, const ExecutionResult& b) {
+  ASSERT_EQ(b.combinations.size(), a.combinations.size());
+  for (size_t i = 0; i < a.combinations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.combinations[i].combined_score,
+                     a.combinations[i].combined_score);
+    ASSERT_EQ(b.combinations[i].components.size(),
+              a.combinations[i].components.size());
+    for (size_t c = 0; c < a.combinations[i].components.size(); ++c) {
+      EXPECT_TRUE(b.combinations[i].components[c] ==
+                  a.combinations[i].components[c]);
+    }
+  }
+}
+
+TEST(ServerCancelTest, QueuedQueryIsPurgedWithoutConsumingASlot) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.02);  // the holder occupies the slot ~40 real ms
+
+  ServerOptions options = QuietServer();
+  options.admission.max_in_flight = 1;
+  options.runner_threads = 1;
+  QueryServer server(scenario->registry, options);
+
+  std::future<QueryResponse> holder =
+      server.Submit(CanonicalRequest(*scenario));
+  QueryServer::SubmittedQuery queued =
+      server.SubmitWithId(CanonicalRequest(*scenario));
+  ASSERT_NE(queued.id, 0u);
+
+  EXPECT_TRUE(server.Cancel(queued.id, "client lost interest"));
+  // A purged queued query resolves immediately — it does not wait for the
+  // slot the holder occupies.
+  ASSERT_EQ(queued.future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  QueryResponse cancelled = queued.future.get();
+  EXPECT_EQ(cancelled.outcome, ServedOutcome::kCancelled);
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+  EXPECT_NE(cancelled.status.message().find("client lost interest"),
+            std::string::npos);
+  EXPECT_EQ(cancelled.execution.total_calls, 0);
+
+  // Cancelling a resolved (or unknown) id is a no-op.
+  EXPECT_FALSE(server.Cancel(queued.id));
+  EXPECT_FALSE(server.Cancel(0xDEADBEEF));
+
+  // The purge consumed no window slot: the holder completes and a fresh
+  // query still dispatches through the single slot afterwards.
+  EXPECT_TRUE(holder.get().status.ok());
+  QueryResponse after = server.Submit(CanonicalRequest(*scenario)).get();
+  EXPECT_EQ(after.outcome, ServedOutcome::kCompleted)
+      << after.status.ToString();
+  server.Drain();
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.interactive.cancelled, 1);
+  EXPECT_EQ(stats.interactive.completed, 2);
+  EXPECT_EQ(stats.interactive.finished(), 3);
+}
+
+TEST(ServerCancelTest, RunningQueryUnwindsCooperatively) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.05);  // ~100 real ms end to end
+
+  QueryServer server(scenario->registry, QuietServer());
+  QueryServer::SubmittedQuery submitted =
+      server.SubmitWithId(CanonicalRequest(*scenario, 10));
+  ASSERT_NE(submitted.id, 0u);
+  // Give the runner a moment to dispatch, then cancel mid-run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  server.Cancel(submitted.id, "abandoned mid-run");
+
+  QueryResponse response = submitted.future.get();
+  EXPECT_EQ(response.outcome, ServedOutcome::kCancelled)
+      << ServedOutcomeToString(response.outcome);
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  server.Drain();
+  EXPECT_EQ(server.stats().interactive.cancelled, 1);
+}
+
+TEST(ServerCancelTest, CancelledStreamingQueryUnwindsAndLeaksNothing) {
+  // The streaming engine owns the most teardown-sensitive state — prefetch
+  // jobs in flight, partially filled chunk buffers, the speculation
+  // interrupt link. Cancel it mid-run, then prove the server still serves:
+  // under scripts/asan.sh this is the "cancelled streaming queries leak
+  // nothing" check.
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.05);
+
+  ServerOptions options = QuietServer();
+  options.prefetch_depth = 2;  // keep speculative fetch jobs in flight
+  QueryServer server(scenario->registry, options);
+
+  QueryRequest request = CanonicalRequest(*scenario, 10);
+  request.streaming = true;
+  QueryServer::SubmittedQuery submitted = server.SubmitWithId(request);
+  ASSERT_NE(submitted.id, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  server.Cancel(submitted.id, "stream abandoned mid-run");
+
+  QueryResponse response = submitted.future.get();
+  EXPECT_EQ(response.outcome, ServedOutcome::kCancelled)
+      << ServedOutcomeToString(response.outcome);
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+
+  // The pool, caches, and breaker registry survived the teardown: a fresh
+  // streaming run of the same query completes normally.
+  QueryRequest again = CanonicalRequest(*scenario, 10);
+  again.streaming = true;
+  QueryResponse after = server.Submit(again).get();
+  EXPECT_EQ(after.outcome, ServedOutcome::kCompleted)
+      << after.status.ToString();
+  EXPECT_EQ(static_cast<int>(after.streaming.combinations.size()), 10);
+  server.Drain();
+  EXPECT_EQ(server.stats().interactive.cancelled, 1);
+}
+
+TEST(ServerCancelTest, CancelCompleteRaceResolvesEveryQueryExactlyOnce) {
+  // Fuzz the cancel-vs-complete race: fast queries cancelled from another
+  // thread at staggered offsets. Whatever each race's outcome, every future
+  // resolves exactly once and the ledger accounts for every submission.
+  // (Run under TSan this is the data-race leg.)
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+
+  ServerOptions options = QuietServer();
+  options.admission.max_in_flight = 4;
+  options.admission.interactive.queue_capacity = 64;
+  QueryServer server(scenario->registry, options);
+
+  constexpr int kQueries = 32;
+  std::vector<QueryServer::SubmittedQuery> submitted;
+  submitted.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    submitted.push_back(
+        server.SubmitWithId(CanonicalRequest(*scenario, 3 + i % 4)));
+  }
+  std::thread canceller([&server, &submitted] {
+    for (size_t i = 0; i < submitted.size(); ++i) {
+      if (submitted[i].id == 0) continue;
+      // No pacing: hammer the race window from cold to already-resolved.
+      (void)server.Cancel(submitted[i].id, "race fuzz");
+      if (i % 8 == 7) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  int cancelled = 0, completed = 0;
+  for (QueryServer::SubmittedQuery& query : submitted) {
+    ASSERT_EQ(query.future.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    QueryResponse response = query.future.get();
+    if (response.outcome == ServedOutcome::kCancelled) {
+      ++cancelled;
+      EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+    } else {
+      ++completed;
+      EXPECT_EQ(response.outcome, ServedOutcome::kCompleted)
+          << response.status.ToString();
+    }
+  }
+  canceller.join();
+  server.Drain();
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.interactive.submitted, kQueries);
+  EXPECT_EQ(stats.interactive.finished(), kQueries);
+  EXPECT_EQ(stats.interactive.cancelled, cancelled);
+  EXPECT_EQ(stats.interactive.completed, completed);
+  EXPECT_EQ(cancelled + completed, kQueries);
+}
+
+TEST(ServerCancelTest, CancelledSingleFlightLeaderReleasesFollowers) {
+  // The leader of a single-flight group is cancelled mid-execution. The
+  // followers must not inherit its fate (their clients did not cancel) and
+  // must not wedge waiting for an answer that will never be published —
+  // they execute independently and complete.
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.05);
+
+  ServerOptions options = QuietServer();
+  options.admission.max_in_flight = 8;
+  options.answer_cache = true;
+  QueryServer server(scenario->registry, options);
+
+  QueryServer::SubmittedQuery leader =
+      server.SubmitWithId(CanonicalRequest(*scenario));
+  ASSERT_NE(leader.id, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+
+  std::vector<std::future<QueryResponse>> followers;
+  for (int i = 0; i < 3; ++i) {
+    followers.push_back(server.Submit(CanonicalRequest(*scenario)));
+  }
+  server.Cancel(leader.id, "leader abandoned");
+
+  QueryResponse leader_response = leader.future.get();
+  // The leader itself may have beaten the cancel; either way it resolved.
+  EXPECT_TRUE(leader_response.outcome == ServedOutcome::kCancelled ||
+              leader_response.outcome == ServedOutcome::kCompleted);
+
+  for (std::future<QueryResponse>& follower : followers) {
+    ASSERT_EQ(follower.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    QueryResponse response = follower.get();
+    EXPECT_EQ(response.outcome, ServedOutcome::kCompleted)
+        << response.status.ToString();
+    EXPECT_EQ(response.execution.combinations.size(), 5u);
+  }
+  server.Drain();
+
+  // A cancelled leader's partial work never poisons the answer cache: a
+  // fresh submission gets a complete answer.
+  QueryResponse after = server.Submit(CanonicalRequest(*scenario)).get();
+  EXPECT_EQ(after.outcome, ServedOutcome::kCompleted);
+  EXPECT_EQ(after.execution.combinations.size(), 5u);
+}
+
+TEST(ServerCancelTest, WatchdogReapsStalledQuery) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  // Full realtime: the first backend call alone sleeps ~140 real ms with no
+  // heartbeat in between — a stall far past the grace window below.
+  SlowDown(&*scenario, 1.0);
+
+  ServerOptions options = QuietServer();
+  options.watchdog.stall_grace_ms = 40.0;
+  options.watchdog.scan_interval_ms = 10.0;
+  QueryServer server(scenario->registry, options);
+
+  QueryResponse response = server.Submit(CanonicalRequest(*scenario)).get();
+  EXPECT_EQ(response.outcome, ServedOutcome::kCancelled)
+      << ServedOutcomeToString(response.outcome) << ": "
+      << response.status.ToString();
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  EXPECT_NE(response.status.message().find("watchdog"), std::string::npos);
+  server.Drain();
+
+  WatchdogStats stats = server.watchdog_stats();
+  EXPECT_GE(stats.tracked, 1);
+  EXPECT_GE(stats.scans, 1);
+  EXPECT_GE(stats.reaped, 1);
+  EXPECT_EQ(server.stats().interactive.cancelled, 1);
+}
+
+TEST(ServerCancelTest, WatchdogLeavesHealthyQueriesAlone) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  // Simulated time only: calls complete (and heartbeat) as fast as the CPU
+  // allows, so progress never stalls.
+  ServerOptions options = QuietServer();
+  options.watchdog.stall_grace_ms = 200.0;
+  options.watchdog.scan_interval_ms = 10.0;
+  QueryServer server(scenario->registry, options);
+
+  for (int i = 0; i < 4; ++i) {
+    QueryResponse response =
+        server.Submit(CanonicalRequest(*scenario)).get();
+    EXPECT_EQ(response.outcome, ServedOutcome::kCompleted)
+        << response.status.ToString();
+  }
+  server.Drain();
+  EXPECT_EQ(server.watchdog_stats().reaped, 0);
+  EXPECT_EQ(server.stats().interactive.cancelled, 0);
+}
+
+TEST(ServerCancelTest, NeighborAnswersUntouchedByCoRunnerCancellation) {
+  // Determinism under cancellation: query A's answers must be identical
+  // whether its co-runner B is cancelled mid-run or left to finish.
+  Result<Scenario> reference_scenario = MakeMovieScenario();
+  ASSERT_TRUE(reference_scenario.ok());
+  QueryServer reference(reference_scenario->registry, QuietServer());
+  QueryResponse solo =
+      reference.Submit(CanonicalRequest(*reference_scenario, 10)).get();
+  ASSERT_EQ(solo.outcome, ServedOutcome::kCompleted);
+
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.02);
+  QueryServer server(scenario->registry, QuietServer());
+
+  // B differs from A (different k) and is cancelled while both are in
+  // flight on the two-slot window.
+  QueryServer::SubmittedQuery b =
+      server.SubmitWithId(CanonicalRequest(*scenario, 7));
+  std::future<QueryResponse> a =
+      server.Submit(CanonicalRequest(*scenario, 10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.Cancel(b.id, "co-runner abandoned");
+  (void)b.future.get();
+
+  QueryResponse concurrent = a.get();
+  ASSERT_EQ(concurrent.outcome, ServedOutcome::kCompleted)
+      << concurrent.status.ToString();
+  ExpectSameAnswers(solo.execution, concurrent.execution);
+  server.Drain();
+}
+
+TEST(ServerCancelTest, LoadGeneratorAbandonmentCancelsThroughTheServer) {
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  SlowDown(&*scenario, 0.02);  // queries live long enough to be abandoned
+
+  ServerOptions options = QuietServer();
+  options.admission.max_in_flight = 2;
+  options.admission.interactive.queue_capacity = 32;
+  options.admission.batch.queue_capacity = 32;
+  QueryServer server(scenario->registry, options);
+
+  LoadProfile profile;
+  profile.num_queries = 16;
+  profile.closed_loop_width = 0;
+  profile.mean_interarrival_ms = 0.0;
+  profile.abandon_fraction = 1.0;
+  profile.abandon_after_ms = 1.0;
+  LoadGenerator generator(profile, scenario->query_text, scenario->inputs);
+  LoadReport report = DriveLoad(&server, generator.Schedule(), profile);
+  server.Drain();
+
+  ASSERT_EQ(report.responses.size(), 16u);
+  // Back-to-back submissions against a two-slot window with a 1 ms abandon
+  // timer: the queued tail is reliably cancelled.
+  EXPECT_GT(report.CountOutcome(ServedOutcome::kCancelled), 0);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.interactive.finished() + stats.batch.finished(), 16);
+}
+
+TEST(ServerCancelTest, AbandonStreamLeavesScheduleOtherwiseIdentical) {
+  // Flipping abandon_fraction draws from its own seed stream: every other
+  // request property of the schedule must stay bit-identical.
+  Result<Scenario> scenario = MakeMovieScenario();
+  ASSERT_TRUE(scenario.ok());
+  LoadProfile off;
+  off.num_queries = 32;
+  LoadProfile on = off;
+  on.abandon_fraction = 0.5;
+  on.abandon_after_ms = 2.0;
+
+  LoadGenerator gen_off(off, scenario->query_text, scenario->inputs);
+  LoadGenerator gen_on(on, scenario->query_text, scenario->inputs);
+  std::vector<LoadItem> a = gen_off.Schedule();
+  std::vector<LoadItem> b = gen_on.Schedule();
+  ASSERT_EQ(a.size(), b.size());
+  bool any_abandoned = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_ms, b[i].arrival_ms);
+    EXPECT_EQ(a[i].request.priority, b[i].request.priority);
+    EXPECT_EQ(a[i].request.k, b[i].request.k);
+    EXPECT_EQ(a[i].request.max_calls, b[i].request.max_calls);
+    EXPECT_FALSE(a[i].abandon);
+    any_abandoned = any_abandoned || b[i].abandon;
+  }
+  EXPECT_TRUE(any_abandoned);
+}
+
+}  // namespace
+}  // namespace seco
